@@ -1,0 +1,217 @@
+// Reproduction of Fig. 8: temperature variation of the reference voltage.
+//   * measured   -- the packaged cell in the virtual lab (monotonic rise),
+//   * (S0)       -- simulation with the *best-fit* model card on a clean
+//                   deck: the textbook bell that fails to predict the rise,
+//   * (S1)-(S4)  -- simulation with the analytically extracted card on the
+//                   parasitic-aware deck, RadjA = 0 / 1.8k / 2.5k / 2.7k:
+//                   S1 tracks the measured rise, the trims flatten it.
+//
+// Model-card protocol (documented in EXPERIMENTS.md):
+//  * S0 uses the *standard foundry model card*: the classical best fit run
+//    at wafer level (thermochuck, die temperature accurate), projected to
+//    the conventional XTI = 3 ("couples belonging to each characteristic
+//    straight have been introduced in the model card"). The S0 deck has no
+//    substrate parasitic and no amplifier offset -- the paper notes the
+//    standard card "does not point out" those effects. This is the card a
+//    designer had before the test structure existed.
+//  * S1-S4 use the C3 (computed-temperature) 2x2 couple on a deck that
+//    retains the parasitic and the offset the test structure itself
+//    exposes through pads P4/P5.
+
+#include <cmath>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "icvbe/common/ascii_plot.hpp"
+#include "icvbe/common/constants.hpp"
+#include "icvbe/extract/best_fit.hpp"
+#include "icvbe/extract/dataset.hpp"
+#include "icvbe/extract/meijer.hpp"
+#include "icvbe/lab/campaign.hpp"
+
+namespace {
+
+using namespace icvbe;
+
+std::vector<double> fig8_grid() {
+  std::vector<double> g;
+  for (double t = -80.0; t <= 145.0; t += 12.5) g.push_back(t);
+  return g;
+}
+
+struct Cards {
+  double s0_eg = 0.0, s0_xti = 3.0;  // C1 couple at XTI = 3
+  double s1_eg = 0.0, s1_xti = 0.0;  // C3 2x2 couple
+};
+
+Cards extract_cards(lab::SiliconLot& lot) {
+  // Foundry card: wafer-level classical best fit (thermochuck => accurate
+  // die temperature, ideal_thermal), projected to XTI = 3.
+  lab::CampaignConfig foundry_cfg;
+  foundry_cfg.ideal_thermal = true;
+  foundry_cfg.seed = 880;
+  lab::Laboratory foundry(lot.sample(0), foundry_cfg);
+  const auto pts = foundry.vbe_vs_temperature(
+      1e-6, {-50.0, -25.0, 0.0, 25.0, 50.0, 75.0, 100.0, 125.0});
+  extract::BestFitOptions opt;
+  opt.t0 = to_kelvin(25.0);
+  const auto line = extract::characteristic_straight(
+      extract::samples_from_lab(pts), {1.0, 2.0, 3.0, 4.0, 5.0}, opt);
+
+  // C3: the proposed method on the packaged cell.
+  lab::CampaignConfig cfg;
+  cfg.seed = 88;
+  lab::Laboratory laboratory(lot.sample(1), cfg);
+  const auto sweep = laboratory.test_cell_sweep({-25.0, 25.0, 75.0});
+  const auto m = extract::meijer_from_cell(sweep, -25.0, 25.0, 75.0);
+
+  Cards cards;
+  cards.s0_eg = line.intercept + line.slope * cards.s0_xti;
+  cards.s1_eg = m.with_computed_t.eg;
+  cards.s1_xti = m.with_computed_t.xti;
+  return cards;
+}
+
+Series simulate_card(const lab::SiliconLot& lot, double eg, double xti,
+                     bool with_parasitics, double radja,
+                     const std::vector<double>& grid, std::string name) {
+  lab::DieSample deck = lot.sample(1);
+  if (!with_parasitics) {
+    // Standard-card deck: no parasitic elements and no amplifier offset --
+    // neither appears in the foundry's wafer-level characterisation.
+    deck.opamp_offset = 0.0;
+    deck.qa.iss_e = deck.qb.iss_e = 0.0;
+    deck.qa.iss = deck.qb.iss = 0.0;
+  }
+  // else: the improved deck keeps the parasitics and the offset the test
+  // structure measured on this very sample.
+  deck.qa.eg = deck.qb.eg = eg;
+  deck.qa.xti = deck.qb.xti = xti;
+  lab::CampaignConfig cfg;
+  cfg.ideal_instruments = true;
+  cfg.ideal_thermal = true;  // the designer simulates at face-value temps
+  lab::Laboratory sim(deck, cfg);
+  Series s = sim.vref_curve(grid, radja);
+  s.set_name(std::move(name));
+  return s;
+}
+
+void reproduce_fig8() {
+  bench::banner(
+      "Fig. 8 -- VREF(T): measured cell vs model-card simulations, with "
+      "RadjA trim steps");
+
+  lab::SiliconLot lot;
+  const auto grid = fig8_grid();
+  const Cards cards = extract_cards(lot);
+
+  std::cout << "S0 card (best fit, on C1 line at XTI=3): EG = "
+            << format_fixed(cards.s0_eg, 4) << ", XTI = 3.00\n"
+            << "S1 card (analytical, computed T):        EG = "
+            << format_fixed(cards.s1_eg, 4)
+            << ", XTI = " << format_fixed(cards.s1_xti, 2) << '\n';
+
+  lab::CampaignConfig meas_cfg;
+  meas_cfg.seed = 88;
+  lab::Laboratory meas(lot.sample(1), meas_cfg);
+  Series measured = meas.vref_curve(grid, 0.0);
+  measured.set_name("measured");
+
+  Series s0 = simulate_card(lot, cards.s0_eg, cards.s0_xti, false, 0.0, grid,
+                            "(S0) best-fit card");
+  Series s1 = simulate_card(lot, cards.s1_eg, cards.s1_xti, true, 0.0, grid,
+                            "(S1) RadjA=0");
+  Series s2 = simulate_card(lot, cards.s1_eg, cards.s1_xti, true, 1.8e3, grid,
+                            "(S2) RadjA=1.8k");
+  Series s3 = simulate_card(lot, cards.s1_eg, cards.s1_xti, true, 2.5e3, grid,
+                            "(S3) RadjA=2.5k");
+  Series s4 = simulate_card(lot, cards.s1_eg, cards.s1_xti, true, 2.7e3, grid,
+                            "(S4) RadjA=2.7k");
+
+  Table t({"T [C]", "measured", "(S0)", "(S1)", "(S2)", "(S3)", "(S4)"});
+  for (std::size_t i = 0; i < grid.size(); i += 2) {
+    t.add_row({format_fixed(grid[i], 1), format_fixed(measured.y(i), 4),
+               format_fixed(s0.y(i), 4), format_fixed(s1.y(i), 4),
+               format_fixed(s2.y(i), 4), format_fixed(s3.y(i), 4),
+               format_fixed(s4.y(i), 4)});
+  }
+  bench::emit(t, "fig8_vref_curves.csv");
+
+  AsciiPlotOptions popt;
+  popt.title = "Fig. 8: reference voltage [V] vs temperature [C]";
+  popt.x_label = "Temperature (C)";
+  popt.y_label = "Reference Voltage (V)";
+  popt.height = 20;
+  AsciiPlot plot(popt);
+  plot.add(measured, '*');
+  plot.add(s0, '0');
+  plot.add(s1, '1');
+  plot.add(s2, '2');
+  plot.add(s3, '3');
+  plot.add(s4, '4');
+  plot.print(std::cout);
+
+  bench::banner("Fig. 8 shape checks vs the paper");
+  auto argmax = [](const Series& s) {
+    std::size_t arg = 0;
+    for (std::size_t i = 1; i < s.size(); ++i) {
+      if (s.y(i) > s.y(arg)) arg = i;
+    }
+    return arg;
+  };
+  const std::size_t s0_apex = argmax(s0);
+  Table h({"check", "paper", "reproduced"});
+  h.add_row({"measured rises with T",
+             "yes ('dramatic rise of VREF(T)')",
+             measured.y(measured.size() - 1) > measured.y(0) + 2e-3
+                 ? "yes (+" + format_fixed((measured.y(measured.size() - 1) -
+                                            measured.y(0)) * 1e3, 1) + " mV)"
+                 : "NO"});
+  h.add_row({"S0 is a bell with interior apex", "yes ('expected typical shape')",
+             (s0_apex > 0 && s0_apex < s0.size() - 1)
+                 ? "yes (apex at " + format_fixed(s0.x(s0_apex), 0) + " C)"
+                 : "NO"});
+  double max_dev = 0.0;
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    max_dev = std::max(max_dev, std::abs(s1.y(i) - measured.y(i)));
+  }
+  h.add_row({"S1 tracks measured", "very good correlation",
+             "max deviation " + format_fixed(max_dev * 1e3, 1) + " mV"});
+  const double spread1 = s1.max_y() - s1.min_y();
+  const double spread4 = s4.max_y() - s4.min_y();
+  h.add_row({"trim flattens the curve", "S2-S4 progressively flatter",
+             format_fixed(spread1 * 1e3, 1) + " mV (S1) -> " +
+                 format_fixed(spread4 * 1e3, 1) + " mV (S4)"});
+  bench::emit(h, "fig8_shape_checks.csv");
+}
+
+void bm_vref_point(benchmark::State& state) {
+  lab::SiliconLot lot;
+  lab::CampaignConfig cfg;
+  cfg.ideal_instruments = true;
+  lab::Laboratory sim(lot.sample(1), cfg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.vref_curve({25.0}, 0.0));
+  }
+}
+BENCHMARK(bm_vref_point)->Unit(benchmark::kMillisecond);
+
+void bm_vref_full_curve(benchmark::State& state) {
+  lab::SiliconLot lot;
+  lab::CampaignConfig cfg;
+  cfg.ideal_instruments = true;
+  cfg.ideal_thermal = true;
+  lab::Laboratory sim(lot.sample(1), cfg);
+  const auto grid = fig8_grid();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.vref_curve(grid, 0.0));
+  }
+}
+BENCHMARK(bm_vref_full_curve)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  reproduce_fig8();
+  return icvbe::bench::run_benchmarks(argc, argv);
+}

@@ -1,0 +1,53 @@
+#pragma once
+// Shared helpers for the reproduction benches. Each bench binary
+//  1. regenerates its paper table/figure and prints it (plus CSV under
+//     results/), then
+//  2. runs google-benchmark timings of the computational kernels involved.
+
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+#include <iostream>
+#include <string>
+
+#include "icvbe/common/table.hpp"
+
+namespace icvbe::bench {
+
+/// Directory for CSV artefacts (created on demand).
+inline std::string results_dir() {
+  const char* env = std::getenv("ICVBE_RESULTS_DIR");
+  std::string dir = env != nullptr ? env : "results";
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+/// Print a section banner.
+inline void banner(const std::string& title) {
+  std::cout << '\n'
+            << "==============================================================="
+            << "=\n"
+            << title << '\n'
+            << "==============================================================="
+            << "=\n";
+}
+
+/// Print a table and also write it as CSV under results/.
+inline void emit(const Table& table, const std::string& csv_name) {
+  table.print(std::cout);
+  const std::string path = results_dir() + "/" + csv_name;
+  table.write_csv(path);
+  std::cout << "[csv] " << path << '\n';
+}
+
+/// Run the reproduction (already printed) then the registered
+/// google-benchmark timings. Call from main().
+inline int run_benchmarks(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace icvbe::bench

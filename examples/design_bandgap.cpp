@@ -1,0 +1,117 @@
+// Design flow example: use the library the way section 6 of the paper
+// does -- prototype a low-voltage bandgap reference, diagnose its
+// temperature behaviour with a properly extracted model card, and trim
+// RadjA for minimum drift.
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "icvbe/bandgap/banba_cell.hpp"
+#include "icvbe/bandgap/test_cell.hpp"
+#include "icvbe/common/constants.hpp"
+#include "icvbe/common/table.hpp"
+#include "icvbe/extract/meijer.hpp"
+#include "icvbe/lab/campaign.hpp"
+
+namespace {
+
+using namespace icvbe;
+
+double tempco_ppm(const Series& vref_curve) {
+  const double spread = vref_curve.max_y() - vref_curve.min_y();
+  const double span = vref_curve.max_x() - vref_curve.min_x();
+  double mean = 0.0;
+  for (std::size_t i = 0; i < vref_curve.size(); ++i) mean += vref_curve.y(i);
+  mean /= static_cast<double>(vref_curve.size());
+  return spread / mean / span * 1e6;  // ppm/K (box method)
+}
+
+}  // namespace
+
+int main() {
+  lab::SiliconLot lot;
+
+  // Step 1: extract the real device parameters with the test structure.
+  lab::CampaignConfig cfg;
+  cfg.seed = 321;
+  lab::Laboratory laboratory(lot.sample(4), cfg);
+  const auto sweep = laboratory.test_cell_sweep({-25.0, 25.0, 75.0});
+  const auto m = extract::meijer_from_cell(sweep, -25.0, 25.0, 75.0);
+  std::printf("extracted card: EG = %.4f eV, XTI = %.2f\n",
+              m.with_computed_t.eg, m.with_computed_t.xti);
+
+  // Step 2: build the design deck -- the extracted card plus the parasitic
+  // and offset the test structure exposed -- and sweep the gain resistor
+  // RB to place the curvature apex mid-range.
+  lab::DieSample deck = lot.sample(4);
+  deck.qa.eg = deck.qb.eg = m.with_computed_t.eg;
+  deck.qa.xti = deck.qb.xti = m.with_computed_t.xti;
+
+  std::vector<double> grid_k;
+  for (double t = -40.0; t <= 125.0; t += 15.0) grid_k.push_back(to_kelvin(t));
+
+  Table rb_sweep({"RB [ohm]", "VREF(25 C) [V]", "spread [mV]", "tempco [ppm/K]"});
+  double best_rb = 0.0, best_spread = 1e9;
+  for (double rb : {2.30e3, 2.38e3, 2.44e3, 2.50e3, 2.58e3}) {
+    bandgap::TestCellParams p;
+    p.qa_model = deck.qa;
+    p.qb_model = deck.qb;
+    p.opamp_offset = deck.opamp_offset;
+    p.rb = rb;
+    spice::Circuit c;
+    auto h = bandgap::build_test_cell(c, p);
+    Series curve("vref");
+    for (double tk : grid_k) {
+      curve.push_back(tk, bandgap::solve_cell_at(c, h, tk).vref);
+    }
+    const double spread = (curve.max_y() - curve.min_y()) * 1e3;
+    rb_sweep.add_row({format_fixed(rb, 0),
+                      format_fixed(curve.y(curve.nearest_index(298.15)), 4),
+                      format_fixed(spread, 1),
+                      format_fixed(tempco_ppm(curve), 1)});
+    if (spread < best_spread) {
+      best_spread = spread;
+      best_rb = rb;
+    }
+  }
+  std::printf("\nRB sweep on the extracted deck:\n");
+  rb_sweep.print(std::cout);
+  std::printf("chosen RB = %.0f ohm\n", best_rb);
+
+  // Step 3: trim RadjA on the chosen design (the paper's S1 -> S4 move).
+  bandgap::TestCellParams p;
+  p.qa_model = deck.qa;
+  p.qb_model = deck.qb;
+  p.opamp_offset = deck.opamp_offset;
+  p.rb = best_rb;
+  spice::Circuit c;
+  auto h = bandgap::build_test_cell(c, p);
+  const auto trim = bandgap::trim_radja(c, h, grid_k, 3.0e3, 25);
+  std::printf("\nRadjA trim: best = %.0f ohm, VREF spread %.1f mV -> %.2f "
+              "ppm/K over -40..125 C (mean %.4f V)\n",
+              trim.radja, trim.vref_spread * 1e3,
+              trim.vref_spread / trim.vref_mean / (grid_k.back() - grid_k.front()) * 1e6,
+              trim.vref_mean);
+
+  // Step 4: the paper's concluding suggestion -- prototype a *sub-1-V*
+  // reference (Banba, ref [10]) with the same extracted card.
+  bandgap::BanbaCellParams bp;
+  bp.qa_model = deck.qa;
+  bp.qb_model = deck.qb;
+  bp.pmos = bandgap::banba_default_pmos();
+  spice::Circuit cb;
+  auto hb = bandgap::build_banba_cell(cb, bp);
+  Series banba("banba");
+  for (double tk : grid_k) {
+    banba.push_back(tk, bandgap::solve_banba_at(cb, hb, bp, tk).vref);
+  }
+  const double spread = (banba.max_y() - banba.min_y()) * 1e3;
+  std::printf("\nSub-1-V Banba prototype from the same card: VREF(25 C) = "
+              "%.3f V from VDD = %.1f V,\nuntrimmed spread %.1f mV over "
+              "-40..125 C (%.1f ppm/K)\n",
+              banba.y(banba.nearest_index(298.15)), bp.vdd, spread,
+              tempco_ppm(banba));
+  return 0;
+}

@@ -1,0 +1,83 @@
+// A guided tour of the virtual laboratory substrate: the ground-truth
+// silicon, the instruments and their error budgets, the fixture thermal
+// model, and the raw measurements every experiment in this repository is
+// built from. Useful to understand what the benches consume.
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "icvbe/common/ascii_plot.hpp"
+#include "icvbe/common/constants.hpp"
+#include "icvbe/lab/campaign.hpp"
+#include "icvbe/physics/saturation_current.hpp"
+
+int main() {
+  using namespace icvbe;
+
+  std::printf("== 1. The silicon ==\n");
+  lab::SiliconLot lot;
+  const auto& truth = lot.truth();
+  std::printf(
+      "ground truth PNP: IS = %.2e A, BF = %.0f, EG = %.4f eV, XTI = %.2f\n",
+      truth.pnp.is, truth.pnp.bf, truth.pnp.eg, truth.pnp.xti);
+  std::printf(
+      "vertical parasitic: ISS_E = %.2e A (ns = %.2f, EG_eff = %.3f eV, "
+      "beta = %.1f)\n",
+      truth.pnp.iss_e, truth.pnp.ns_e, truth.pnp.eg_sub_e, truth.pnp.bf_sub);
+  for (int i = 1; i <= 3; ++i) {
+    const auto s = lot.sample(i);
+    std::printf(
+        "  sample %d: IS spread %+5.1f %%, op-amp offset %+5.2f mV, fixture "
+        "leak %.3f\n",
+        i, (s.qa.is / truth.pnp.is - 1.0) * 100.0, s.opamp_offset * 1e3,
+        s.fixture.leak);
+  }
+
+  std::printf("\n== 2. The fixture: die vs chamber temperature ==\n");
+  const auto s1 = lot.sample(1);
+  std::printf("chamber [C]   die [C]   (sample 1, cell powered)\n");
+  for (double tc : {-50.0, -25.0, 0.0, 25.0, 50.0, 75.0, 100.0, 125.0}) {
+    const double die = s1.fixture.die_temperature(to_kelvin(tc), 230e-6);
+    std::printf("   %6.1f    %7.2f\n", tc, to_celsius(die));
+  }
+  std::printf("(pulled toward the %.1f C lab room, plus self-heating)\n",
+              to_celsius(s1.fixture.room_kelvin));
+
+  std::printf("\n== 3. The instruments ==\n");
+  lab::Pt100Sensor sensor(Rng(12));
+  lab::SmuChannel smu(Rng(13));
+  std::printf("pt100 at a true 25.00 C: reads %.3f C (offset %+.3f K)\n",
+              to_celsius(sensor.read(298.15)), sensor.systematic_offset());
+  std::printf("SMU measuring a true 0.650000 V: reads %.6f V\n",
+              smu.measure_voltage(0.65));
+  std::printf("SMU measuring a true 1.000e-6 A: reads %.4e A\n",
+              smu.measure_current(1e-6));
+
+  std::printf("\n== 4. A raw campaign: VBE(T) on the single DUT ==\n");
+  lab::CampaignConfig cfg;
+  cfg.seed = 7;
+  lab::Laboratory laboratory(lot.sample(1), cfg);
+  const auto pts = laboratory.vbe_vs_temperature(
+      1e-6, {-50.0, -25.0, 0.0, 25.0, 50.0, 75.0, 100.0, 125.0});
+  std::printf("sensor T [K]   true die T [K]   VBE [V]\n");
+  Series vbe("VBE(T)");
+  for (const auto& p : pts) {
+    std::printf("   %7.2f        %7.2f       %.5f\n", p.t_sensor,
+                p.t_die_true, p.vbe);
+    vbe.push_back(p.t_sensor, p.vbe);
+  }
+  AsciiPlotOptions opt;
+  opt.title = "VBE(T) at IC = 1 uA (what the classical method fits)";
+  opt.x_label = "sensor temperature [K]";
+  opt.height = 12;
+  AsciiPlot plot(opt);
+  plot.add(vbe);
+  plot.print(std::cout);
+
+  std::printf(
+      "\nNote the die column: the extraction methods never see it. The "
+      "paper's test\nstructure computes it from the PTAT dVBE -- run "
+      "examples/quickstart to see that.\n");
+  return 0;
+}

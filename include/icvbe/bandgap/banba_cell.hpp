@@ -1,0 +1,74 @@
+#pragma once
+// Sub-1-V current-mode bandgap (Banba et al., JSSC 1999 -- the paper's
+// ref [10]). This is the extension the paper's conclusion points at: "The
+// present test structure can be used to prototype the design of more
+// accurate low voltage reference circuit."
+//
+// Topology: a PMOS mirror (M1 = M2 = M3) forces equal currents into two
+// branches held at equal potential by the op-amp:
+//   branch 1:  R1 || Q1 (1x, diode-connected PNP)    -> I = VBE/R1 + ...
+//   branch 2:  R1 || (R0 + Q2 (Nx))                  -> I = VBE/R1 + dVBE/R0
+// so the mirrored current is I = VBE/R1 + dVBE/R0 -- a weighted sum of a
+// CTAT and a PTAT term -- and the output branch drops it across R2:
+//   VREF = (R2/R1) (VBE + (R1/R0) dVBE).
+// Unlike the classic 1.2 V cell, VREF scales with R2/R1 and can sit at a
+// few hundred millivolts from a ~1 V supply.
+
+#include <string>
+#include <vector>
+
+#include "icvbe/spice/circuit.hpp"
+
+namespace icvbe::bandgap {
+
+struct BanbaCellParams {
+  spice::BjtModel qa_model;   ///< 1x PNP
+  spice::BjtModel qb_model;   ///< Nx PNP (area applied separately)
+  double area_ratio = 8.0;
+  double vdd = 1.0;           ///< supply [V] -- sub-1-V operation target
+  double r0 = 2.44e3;         ///< dVBE resistor [ohm]
+  double r1 = 26.1e3;         ///< VBE/CTAT resistor [ohm]
+  double r2 = 13.0e3;         ///< output scaling resistor [ohm]
+  double resistor_tc1 = 1.2e-3;
+  double resistor_tc2 = 0.4e-6;
+  double opamp_gain = 1.0e6;
+  double opamp_offset = 0.0;
+  spice::MosfetModel pmos;    ///< mirror device card
+  double mirror_wl = 120.0;   ///< W/L of each mirror device
+};
+
+/// Reasonable PMOS card for a ~1 V supply (low |VTO| flavour).
+[[nodiscard]] spice::MosfetModel banba_default_pmos();
+
+struct BanbaHandles {
+  spice::NodeId vref = spice::kGround;
+  spice::NodeId n1 = spice::kGround;   ///< branch-1 head (op-amp +)
+  spice::NodeId n2 = spice::kGround;   ///< branch-2 head (op-amp -)
+  spice::NodeId vdd = spice::kGround;
+  spice::NodeId gate = spice::kGround; ///< mirror gate (op-amp out)
+};
+
+/// Build the cell; names are prefixed so it can coexist with other cells.
+BanbaHandles build_banba_cell(spice::Circuit& circuit,
+                              const BanbaCellParams& params,
+                              const std::string& prefix = "bgb");
+
+struct BanbaObservation {
+  double t_die = 0.0;
+  double vref = 0.0;
+  double v_branch = 0.0;   ///< common branch head voltage (~VBE)
+  double i_mirror = 0.0;   ///< per-branch mirrored current [A]
+};
+
+/// Solve at a die temperature (analytic warm start included, like the
+/// classic cell).
+[[nodiscard]] BanbaObservation solve_banba_at(spice::Circuit& circuit,
+                                              const BanbaHandles& handles,
+                                              const BanbaCellParams& params,
+                                              double t_die_kelvin);
+
+/// First-order prediction VREF = (R2/R1)(VBE + (R1/R0) dVBE).
+[[nodiscard]] double banba_ideal_vref(const BanbaCellParams& params,
+                                      double vbe, double t_kelvin);
+
+}  // namespace icvbe::bandgap

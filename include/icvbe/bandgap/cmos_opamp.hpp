@@ -1,0 +1,56 @@
+#pragma once
+// Transistor-level CMOS op-amp macrocell -- the BiCMOS alternative to the
+// ideal OpAmp device. A classic two-stage Miller-style amplifier (DC only,
+// so no compensation): PMOS differential pair, NMOS mirror load, NMOS
+// common-source second stage with PMOS current-source load.
+//
+//  VDD --+-----------+--------------+
+//        |           |              |
+//      M5 (tail)   mirror bias    M7 (load)
+//        |           |              |
+//   +----+----+      |             out
+//   |         |      |              |
+//  M1 (in+)  M2 (in-)|             M6 (CS)
+//   |         |      |              |
+//  M3 ------ M4 (NMOS mirror)      gnd
+//   |         |
+//  gnd       gnd
+//
+// Open-loop gain ~ (gm1 ro)(gm6 ro) ~ 60-80 dB; input offset arises from
+// realistic M1/M2 threshold mismatch injected by the caller.
+
+#include <string>
+
+#include "icvbe/spice/circuit.hpp"
+
+namespace icvbe::bandgap {
+
+struct CmosOpAmpParams {
+  double vdd = 2.5;            ///< supply [V]
+  double bias_current = 20e-6; ///< tail current [A]
+  double wl_pair = 40.0;       ///< W/L of the input pair
+  double wl_mirror = 10.0;     ///< W/L of the NMOS mirror
+  double wl_cs = 60.0;         ///< W/L of the second stage
+  double vth_mismatch = 0.0;   ///< M1-vs-M2 threshold skew [V] -> offset
+  spice::MosfetModel nmos;     ///< NMOS card (defaults are sane)
+  spice::MosfetModel pmos;     ///< PMOS card
+};
+
+/// Build the amplifier between the given nodes. `prefix` namespaces the
+/// internal device/node names so several instances can coexist. Returns
+/// the supply source name so callers can meter the amplifier's current.
+std::string build_cmos_opamp(spice::Circuit& circuit,
+                             const std::string& prefix, spice::NodeId out,
+                             spice::NodeId inp, spice::NodeId inn,
+                             const CmosOpAmpParams& params = {});
+
+/// Default device cards for the 0.8 um-class BiCMOS process.
+[[nodiscard]] spice::MosfetModel default_nmos();
+[[nodiscard]] spice::MosfetModel default_pmos();
+
+/// Measure the DC open-loop differential gain of a freshly built amplifier
+/// around the bias point where out ~ vdd/2 (finite-difference on the
+/// inputs). Utility for tests and the ablation bench.
+[[nodiscard]] double measure_open_loop_gain(const CmosOpAmpParams& params);
+
+}  // namespace icvbe::bandgap

@@ -1,0 +1,42 @@
+#pragma once
+// AsciiPlot: renders one or more Series as a text chart. Used by the bench
+// binaries to show the *shape* of each reproduced figure directly in the
+// terminal (bell curve vs monotonic rise, straight lines, decade families).
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "icvbe/common/series.hpp"
+
+namespace icvbe {
+
+/// Options controlling chart geometry and axes.
+struct AsciiPlotOptions {
+  int width = 72;        ///< plot area width in characters
+  int height = 20;       ///< plot area height in characters
+  bool log_y = false;    ///< plot log10(y) instead of y
+  std::string x_label;   ///< label under the x axis
+  std::string y_label;   ///< label left of the y axis (printed above)
+  std::string title;     ///< printed above the chart
+};
+
+/// Multi-series ASCII chart. Each series gets a distinct glyph and a legend
+/// entry. Axis ranges cover the union of all series.
+class AsciiPlot {
+ public:
+  explicit AsciiPlot(AsciiPlotOptions options = {});
+
+  /// Add a series; glyph '\0' auto-assigns from a palette.
+  void add(const Series& series, char glyph = '\0');
+
+  /// Render to the stream.
+  void print(std::ostream& os) const;
+
+ private:
+  AsciiPlotOptions options_;
+  std::vector<Series> series_;
+  std::vector<char> glyphs_;
+};
+
+}  // namespace icvbe

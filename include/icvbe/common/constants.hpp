@@ -1,0 +1,42 @@
+#pragma once
+// Physical constants and derived helpers used throughout the library.
+//
+// All values follow CODATA-2018 exact definitions (SI redefinition), which
+// is what modern SPICE engines ship. The paper's equations use q (electron
+// charge), k (Boltzmann) and the thermal voltage VT = kT/q.
+
+namespace icvbe {
+
+/// Elementary charge [C] (exact, SI 2019).
+inline constexpr double kElementaryCharge = 1.602176634e-19;
+
+/// Boltzmann constant [J/K] (exact, SI 2019).
+inline constexpr double kBoltzmann = 1.380649e-23;
+
+/// Boltzmann constant expressed in eV/K: k/q. Appears in the XTI
+/// identification of eq. (12), XTI = 4 - EN - Erho - b/k, where b is in
+/// V/K and k must be in eV/K for the ratio to be dimensionless.
+inline constexpr double kBoltzmannEv = kBoltzmann / kElementaryCharge;
+
+/// Standard reference temperature used by SPICE model cards [K] (27 degC).
+inline constexpr double kTnomKelvin = 300.15;
+
+/// Absolute zero offset between Celsius and Kelvin.
+inline constexpr double kCelsiusOffset = 273.15;
+
+/// Thermal voltage VT = kT/q [V] at absolute temperature `t_kelvin`.
+[[nodiscard]] constexpr double thermal_voltage(double t_kelvin) noexcept {
+  return kBoltzmann * t_kelvin / kElementaryCharge;
+}
+
+/// Celsius -> Kelvin.
+[[nodiscard]] constexpr double to_kelvin(double t_celsius) noexcept {
+  return t_celsius + kCelsiusOffset;
+}
+
+/// Kelvin -> Celsius.
+[[nodiscard]] constexpr double to_celsius(double t_kelvin) noexcept {
+  return t_kelvin - kCelsiusOffset;
+}
+
+}  // namespace icvbe

@@ -1,0 +1,59 @@
+#pragma once
+// Error handling for the icvbe library.
+//
+// Library code throws icvbe::Error (or a subclass) on contract violation or
+// numerical failure. ICVBE_REQUIRE is used to validate user-facing
+// preconditions; internal invariants use assert-like ICVBE_ASSERT which also
+// throws (simulation code must never silently return garbage).
+
+#include <stdexcept>
+#include <string>
+
+namespace icvbe {
+
+/// Base class for all errors raised by the library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when a numerical routine fails to converge or a matrix is
+/// singular beyond recoverability.
+class NumericalError : public Error {
+ public:
+  explicit NumericalError(const std::string& what) : Error(what) {}
+};
+
+/// Raised on malformed circuit construction (dangling node, duplicate
+/// device name, missing ground reference, ...).
+class CircuitError : public Error {
+ public:
+  explicit CircuitError(const std::string& what) : Error(what) {}
+};
+
+/// Raised when a measurement campaign is asked for data it cannot produce
+/// (temperature outside chamber range, current above SMU compliance, ...).
+class MeasurementError : public Error {
+ public:
+  explicit MeasurementError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_requirement_failed(const char* expr, const char* file,
+                                           int line, const std::string& msg);
+}  // namespace detail
+
+}  // namespace icvbe
+
+/// Validate a user-facing precondition; throws icvbe::Error on failure.
+#define ICVBE_REQUIRE(expr, msg)                                         \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      ::icvbe::detail::throw_requirement_failed(#expr, __FILE__,         \
+                                                __LINE__, (msg));        \
+    }                                                                    \
+  } while (false)
+
+/// Internal invariant check; also throws (never disabled in release --
+/// silent corruption is worse than an exception in EDA code).
+#define ICVBE_ASSERT(expr, msg) ICVBE_REQUIRE(expr, msg)

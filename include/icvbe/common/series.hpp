@@ -1,0 +1,65 @@
+#pragma once
+// Series: an ordered (x, y) dataset -- the lingua franca between the SPICE
+// engine (sweep outputs), the virtual lab (measured characteristics) and the
+// extraction core (fit inputs).
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace icvbe {
+
+/// A named, ordered sequence of (x, y) samples. x is typically temperature
+/// [K] or voltage [V]; y a voltage or current. No uniqueness or monotonic
+/// requirement is imposed at construction; routines that need sorted x say
+/// so and verify.
+class Series {
+ public:
+  Series() = default;
+  explicit Series(std::string name) : name_(std::move(name)) {}
+  Series(std::string name, std::vector<double> x, std::vector<double> y);
+
+  void push_back(double x, double y);
+  void reserve(std::size_t n);
+  void clear();
+
+  [[nodiscard]] std::size_t size() const noexcept { return x_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return x_.empty(); }
+
+  [[nodiscard]] double x(std::size_t i) const { return x_.at(i); }
+  [[nodiscard]] double y(std::size_t i) const { return y_.at(i); }
+  [[nodiscard]] const std::vector<double>& xs() const noexcept { return x_; }
+  [[nodiscard]] const std::vector<double>& ys() const noexcept { return y_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// True if x is strictly increasing.
+  [[nodiscard]] bool x_strictly_increasing() const noexcept;
+
+  /// Linear interpolation of y at the given x. Requires at least two
+  /// samples and strictly increasing x; extrapolates linearly beyond the
+  /// ends (callers in the extraction code stay inside the range).
+  [[nodiscard]] double interpolate(double at_x) const;
+
+  /// Index of the sample whose x is closest to `at_x`.
+  [[nodiscard]] std::size_t nearest_index(double at_x) const;
+
+  [[nodiscard]] double min_y() const;
+  [[nodiscard]] double max_y() const;
+  [[nodiscard]] double min_x() const;
+  [[nodiscard]] double max_x() const;
+
+  /// Return a copy with y values transformed by natural log. Throws if any
+  /// y <= 0 (used to plot Fig. 5 on a log current axis).
+  [[nodiscard]] Series log_y() const;
+
+  /// Return a copy sorted by ascending x (stable).
+  [[nodiscard]] Series sorted_by_x() const;
+
+ private:
+  std::string name_;
+  std::vector<double> x_;
+  std::vector<double> y_;
+};
+
+}  // namespace icvbe

@@ -1,0 +1,52 @@
+#pragma once
+// Table: small utility for rendering benchmark results as aligned text
+// tables (paper-style) and as CSV, so every bench binary can print the rows
+// of the table/figure it reproduces.
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace icvbe {
+
+/// A rectangular table of strings with a header row. Cells are formatted by
+/// the caller (use format_si / format_fixed below for numbers).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append a row; must match the header width.
+  void add_row(std::vector<std::string> row);
+
+  /// Number of data rows.
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t cols() const noexcept { return header_.size(); }
+  [[nodiscard]] const std::vector<std::string>& row(std::size_t i) const {
+    return rows_.at(i);
+  }
+
+  /// Render as an aligned ASCII table.
+  void print(std::ostream& os) const;
+
+  /// Render as CSV (RFC-4180-ish; quotes cells containing commas).
+  void print_csv(std::ostream& os) const;
+
+  /// Write CSV to a file path, creating/truncating it.
+  void write_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed decimals (e.g. 1.2345 -> "1.23").
+[[nodiscard]] std::string format_fixed(double v, int decimals);
+
+/// Format with %g-style shortest representation at given significant digits.
+[[nodiscard]] std::string format_sig(double v, int significant);
+
+/// Engineering/scientific format, e.g. 1.2e-08.
+[[nodiscard]] std::string format_sci(double v, int decimals);
+
+}  // namespace icvbe

@@ -1,0 +1,95 @@
+#pragma once
+// The paper's proposed method: analytical (EG, XTI) extraction from three
+// temperatures using the programmable test cell (sections 3-4).
+//
+//  * eq. (16): the die temperature is *computed* from the PTAT dVBE of the
+//    QA/QB pair, needing only one measured reference temperature T2:
+//        T = T2 * dVBE(T) / dVBE(T2).
+//  * eqs. (14)-(15): two Meijer identities on (T1, T2) and (T2, T3) form a
+//    2x2 linear system in (EG, XTI).
+//  * eqs. (17)-(20): when the two collector currents are not exactly equal
+//    (or drift with temperature), the computed temperature gains a
+//    correction through X and the coefficient A = (k T2 / q) ln X.
+
+#include <vector>
+
+#include "icvbe/extract/best_fit.hpp"
+#include "icvbe/lab/campaign.hpp"
+
+namespace icvbe::extract {
+
+/// eq. (16): computed die temperature from dVBE ratios.
+[[nodiscard]] double computed_temperature(double dvbe_t, double dvbe_ref,
+                                          double t_ref_kelvin);
+
+/// eq. (20): the collector-current ratio term
+///     X = (IC_A(T) * IC_B(Tref)) / (IC_A(Tref) * IC_B(T)).
+/// X = 1 when the current *ratio* IC_A/IC_B is temperature independent.
+[[nodiscard]] double current_ratio_x(double ic_a_t, double ic_b_t,
+                                     double ic_a_ref, double ic_b_ref);
+
+/// The paper's section-4 coefficient A = (k T_ref / q) ln X [V]; quoted as
+/// ~0.3 mV (0.45 % of dVBE) for a 0..100 C pair -- i.e. negligible.
+[[nodiscard]] double current_correction_coefficient(double t_ref_kelvin,
+                                                    double x_ratio);
+
+/// eq. (19): computed temperature corrected for the current-ratio drift.
+/// Derivation: dVBE(T) = (kT/q) ln(p r(T)) with r = IC_A/IC_B, so
+/// T = T_ref dVBE(T) / (dVBE(T_ref) + (k T_ref/q) ln X) with X as above.
+[[nodiscard]] double computed_temperature_corrected(double dvbe_t,
+                                                    double dvbe_ref,
+                                                    double t_ref_kelvin,
+                                                    double x_ratio);
+
+/// The straight line in the (XTI, EG) plane implied by a single Meijer
+/// identity (eq. 14) on the pair (t_a, t_b):
+///   EG(XTI) = (lhs - XTI coeff_xti) / coeff_eg.
+/// This is what the paper's Fig. 6 plots for (C2) and (C3): the *line* is
+/// robust even though the 2x2 intersection slides far along it when the
+/// temperatures carry errors.
+[[nodiscard]] Series meijer_line(double t_a, double vbe_a, double t_b,
+                                 double vbe_b,
+                                 const std::vector<double>& xti_grid);
+
+/// Solve eqs. (14)-(15) for (EG, XTI) from three (T, VBE) observations.
+/// The temperatures may be sensor-measured (the paper's C2 line) or
+/// eq.-(16)-computed (the C3 line).
+[[nodiscard]] EgXtiResult meijer_extract(double t1, double vbe1, double t2,
+                                         double vbe2, double t3, double vbe3);
+
+/// Full method driver on a test-cell sweep. Picks the observations nearest
+/// the requested chamber temperatures, computes T1/T3 from dVBE (with the
+/// eq.-19 current correction), and extracts (EG, XTI) two ways:
+/// with sensor temperatures (C2) and with computed temperatures (C3).
+struct MeijerCampaignResult {
+  // Selected observations.
+  lab::CellPoint p1, p2, p3;
+  // eq. (16)/(19) temperatures [K].
+  double t1_computed = 0.0;
+  double t3_computed = 0.0;
+  double t1_computed_uncorrected = 0.0;
+  double t3_computed_uncorrected = 0.0;
+  double x_ratio_t1 = 1.0;     ///< eq. (20) X between T1 and T2
+  double x_ratio_t3 = 1.0;     ///< eq. (20) X between T3 and T2
+  // Extractions.
+  EgXtiResult with_measured_t;  ///< the paper's (C2)
+  EgXtiResult with_computed_t;  ///< the paper's (C3)
+};
+
+[[nodiscard]] MeijerCampaignResult meijer_from_cell(
+    const std::vector<lab::CellPoint>& sweep, double t1_celsius,
+    double t2_celsius, double t3_celsius);
+
+/// Table-1 row: sensor-vs-computed temperature differences for one sample.
+struct TemperatureComparison {
+  double t1_measured = 0.0, t2_measured = 0.0, t3_measured = 0.0;   // [K]
+  double t1_computed = 0.0, t3_computed = 0.0;                      // [K]
+  /// T_measured - T_computed at T1 / T3 (T2 pinned to zero by construction).
+  [[nodiscard]] double delta_t1() const { return t1_measured - t1_computed; }
+  [[nodiscard]] double delta_t3() const { return t3_measured - t3_computed; }
+};
+
+[[nodiscard]] TemperatureComparison compare_temperatures(
+    const MeijerCampaignResult& result);
+
+}  // namespace icvbe::extract

@@ -1,0 +1,47 @@
+#pragma once
+// Extensions beyond the paper's least-squares machinery:
+//  * a full nonlinear fit of the printed eq. (13) -- (EG, XTI, VBE(T0))
+//    free simultaneously, optional reverse-Early (VAR) correction --
+//    via Levenberg-Marquardt;
+//  * a robust (Huber / IRLS) variant of the linear fit that survives the
+//    outlier points a real thermal-chamber campaign occasionally produces
+//    (bad contact at one temperature, etc.).
+
+#include <vector>
+
+#include "icvbe/extract/best_fit.hpp"
+
+namespace icvbe::extract {
+
+/// Result of the three-parameter nonlinear fit.
+struct NonlinearFitResult {
+  double eg = 0.0;
+  double xti = 0.0;
+  double vbe_t0 = 0.0;   ///< fitted reference VBE [V]
+  double rmse = 0.0;
+  bool converged = false;
+  int iterations = 0;
+};
+
+struct NonlinearFitOptions {
+  double t0 = 298.15;      ///< reference temperature [K]
+  double var_volts = 0.0;  ///< reverse Early voltage; 0/inf disables
+  double eg_start = 1.12;
+  double xti_start = 3.0;
+};
+
+/// Fit VBE(T) = corr(T) (T/T0) VBE0 + EG (1 - T/T0) - XTI (kT/q) ln(T/T0)
+/// with corr the optional VAR factor, by Levenberg-Marquardt. Needs >= 4
+/// samples (3 parameters).
+[[nodiscard]] NonlinearFitResult nonlinear_fit_eg_xti(
+    const std::vector<VbeSample>& data, const NonlinearFitOptions& options = {});
+
+/// Robust linear fit: iteratively reweighted least squares with Huber
+/// weights, tuned by `huber_k` (in multiples of the residual scale).
+/// Returns the same statistics object as the plain fit; `outlier_mask`
+/// (optional out-parameter) flags points that ended up down-weighted.
+[[nodiscard]] EgXtiResult robust_fit_eg_xti(
+    const std::vector<VbeSample>& data, const BestFitOptions& options = {},
+    double huber_k = 1.5, std::vector<bool>* outlier_mask = nullptr);
+
+}  // namespace icvbe::extract

@@ -1,0 +1,53 @@
+#pragma once
+// Error-propagation analyses backing the paper's accuracy claims:
+//  * section 3: "a measurement error of 1% on the VBE(T) characteristic may
+//    induce up to 8% of error on the extracted values of EG";
+//  * section 3 (via [13]): "an error dT2 less than 5 K has no significant
+//    influence on the calculated values of EG and XTI";
+//  * section 4: the current-ratio coefficient A = (k T2/q) ln X is ~0.3 mV
+//    for a 0..100 C pair, i.e. 0.45 % of dVBE(T2) -- negligible.
+
+#include <cstdint>
+#include <vector>
+
+#include "icvbe/extract/best_fit.hpp"
+
+namespace icvbe::extract {
+
+/// Monte-Carlo propagation of independent per-point VBE errors through the
+/// classical best fit.
+struct VbeErrorPropagation {
+  double vbe_rel_error = 0.0;   ///< injected 1-sigma relative error
+  double eg_rel_rms = 0.0;      ///< RMS relative EG error over trials
+  double eg_rel_max = 0.0;      ///< worst-case relative EG error
+  double xti_abs_rms = 0.0;     ///< RMS absolute XTI error
+  double xti_abs_max = 0.0;     ///< worst-case absolute XTI error
+};
+
+/// Perturb each VBE sample with N(0, rel_error * |VBE|) noise `trials`
+/// times and re-run the two-parameter best fit. `clean` must be noise-free
+/// (synthesised or well-averaged) so the deltas isolate the injected error.
+[[nodiscard]] VbeErrorPropagation propagate_vbe_error(
+    const std::vector<VbeSample>& clean, double true_eg, double rel_error,
+    int trials, const BestFitOptions& options = {}, std::uint64_t seed = 11);
+
+/// Reference-temperature sensitivity of the Meijer extraction: rerun with
+/// T2 shifted by each delta (computed T1/T3 rescale with it, as they do in
+/// the real procedure) and report the EG/XTI excursions.
+struct T2Sensitivity {
+  double delta_t2 = 0.0;   ///< injected reference error [K]
+  double eg = 0.0;         ///< extracted EG with that error
+  double xti = 0.0;        ///< extracted XTI
+};
+[[nodiscard]] std::vector<T2Sensitivity> meijer_t2_sensitivity(
+    double t1, double vbe1, double t2, double vbe2, double t3, double vbe3,
+    const std::vector<double>& t2_deltas);
+
+/// Worst-case single-point leverage: perturb one sample by +rel_error and
+/// report the largest resulting |dEG|/EG over all sample positions. This is
+/// the "up to" in the paper's 8 % claim.
+[[nodiscard]] double worst_case_eg_error(const std::vector<VbeSample>& clean,
+                                         double true_eg, double rel_error,
+                                         const BestFitOptions& options = {});
+
+}  // namespace icvbe::extract

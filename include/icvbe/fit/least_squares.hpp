@@ -1,0 +1,72 @@
+#pragma once
+// Linear least squares with full fit statistics.
+//
+// The paper's classical extraction (eq. 13) is linear in (EG, XTI) once
+// VBE(T0) is known, so the best-fit method reduces to the routines in this
+// header. The parameter *correlation* reported here is what produces the
+// "characteristic straight" of Fig. 6.
+
+#include <functional>
+#include <vector>
+
+#include "icvbe/linalg/matrix.hpp"
+
+namespace icvbe::fit {
+
+/// Result of a (possibly weighted) linear least-squares fit.
+struct LinearFitResult {
+  linalg::Vector parameters;      ///< fitted coefficients
+  linalg::Vector residuals;       ///< y - A x at the solution
+  double rss = 0.0;               ///< residual sum of squares
+  double rmse = 0.0;              ///< sqrt(rss / (m - n))
+  double r_squared = 0.0;         ///< coefficient of determination
+  linalg::Matrix covariance;      ///< sigma^2 (A^T A)^-1
+  linalg::Matrix correlation;     ///< normalised covariance
+  double condition_number = 0.0;  ///< cond estimate of A^T A from R diag
+
+  /// Pearson correlation between parameters i and j in [-1, 1].
+  [[nodiscard]] double param_correlation(std::size_t i, std::size_t j) const {
+    return correlation(i, j);
+  }
+  [[nodiscard]] double param_sigma(std::size_t i) const;
+};
+
+/// Solve min |A x - y|_2 and compute statistics. A is the design matrix
+/// (one row per observation, one column per parameter). Throws
+/// NumericalError on rank deficiency.
+[[nodiscard]] LinearFitResult linear_least_squares(const linalg::Matrix& a,
+                                                   const linalg::Vector& y);
+
+/// Weighted variant: each row is scaled by sqrt(w_i); w_i > 0 required.
+[[nodiscard]] LinearFitResult weighted_linear_least_squares(
+    const linalg::Matrix& a, const linalg::Vector& y,
+    const linalg::Vector& weights);
+
+/// Build a design matrix from basis functions evaluated at sample points:
+/// A(i, j) = basis[j](x[i]).
+[[nodiscard]] linalg::Matrix design_matrix(
+    const std::vector<double>& x,
+    const std::vector<std::function<double(double)>>& basis);
+
+/// Fit a polynomial of the given degree: y ~ c0 + c1 x + ... + cd x^d.
+/// Returns coefficients in ascending-power order inside the result.
+[[nodiscard]] LinearFitResult polynomial_fit(const std::vector<double>& x,
+                                             const std::vector<double>& y,
+                                             int degree);
+
+/// Evaluate an ascending-power polynomial at x.
+[[nodiscard]] double polyval(const linalg::Vector& coeffs, double x);
+
+/// Ordinary straight-line fit y ~ a + b x; returns {intercept, slope} plus
+/// statistics. Used for the characteristic-straight slope measurements.
+struct LineFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r_squared = 0.0;
+  double sigma_intercept = 0.0;
+  double sigma_slope = 0.0;
+};
+[[nodiscard]] LineFit fit_line(const std::vector<double>& x,
+                               const std::vector<double>& y);
+
+}  // namespace icvbe::fit

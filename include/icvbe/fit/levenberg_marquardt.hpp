@@ -1,0 +1,54 @@
+#pragma once
+// Levenberg-Marquardt nonlinear least squares.
+//
+// Used where the fit is not linear in the parameters: extracting IS and the
+// emission coefficient from IC(VBE) curves, fitting Varshni/Thurmond EG(T)
+// model coefficients, and the reverse-Early-corrected form of eq. (13).
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "icvbe/linalg/matrix.hpp"
+
+namespace icvbe::fit {
+
+/// Residual function: given parameters p, fill r with m residuals.
+using ResidualFn =
+    std::function<void(const linalg::Vector& p, linalg::Vector& r)>;
+
+/// Optional analytic Jacobian: J(i, j) = d r_i / d p_j. When absent the
+/// solver uses forward differences.
+using JacobianFn =
+    std::function<void(const linalg::Vector& p, linalg::Matrix& jac)>;
+
+struct LmOptions {
+  int max_iterations = 200;
+  double gradient_tol = 1e-12;   ///< stop when |J^T r|_inf below this
+  double step_tol = 1e-14;       ///< stop when |dp| / |p| below this
+  double cost_tol = 1e-15;       ///< stop on relative cost improvement
+  double initial_lambda = 1e-3;
+  double lambda_up = 10.0;
+  double lambda_down = 0.5;
+  double max_lambda = 1e12;
+  double fd_step = 1e-7;         ///< relative forward-difference step
+};
+
+struct LmResult {
+  linalg::Vector parameters;
+  double cost = 0.0;             ///< 0.5 |r|^2 at the solution
+  int iterations = 0;
+  bool converged = false;
+  std::string stop_reason;
+  linalg::Matrix covariance;     ///< sigma^2 (J^T J)^-1 at the solution
+};
+
+/// Minimise 0.5 |r(p)|^2 starting from p0. `residual_count` is the number
+/// of residuals (m); must be >= p0.size().
+[[nodiscard]] LmResult levenberg_marquardt(const ResidualFn& residuals,
+                                           std::size_t residual_count,
+                                           linalg::Vector p0,
+                                           const LmOptions& options = {},
+                                           const JacobianFn& jacobian = {});
+
+}  // namespace icvbe::fit

@@ -1,0 +1,98 @@
+#pragma once
+// Measurement campaigns: the lab procedures of the paper's section 5, run
+// against the virtual silicon. Each campaign returns what the *operator*
+// records (sensor readings, SMU readings); ground-truth die temperatures are
+// carried alongside for test validation only and are never consumed by the
+// extraction code.
+
+#include <cstdint>
+#include <vector>
+
+#include "icvbe/bandgap/test_cell.hpp"
+#include "icvbe/common/series.hpp"
+#include "icvbe/lab/instruments.hpp"
+#include "icvbe/lab/silicon.hpp"
+
+namespace icvbe::lab {
+
+/// Campaign-level configuration.
+struct CampaignConfig {
+  std::uint64_t seed = 7;          ///< instrument-error master seed
+  Pt100Sensor::Spec sensor_spec;   ///< pt100 behaviour
+  SmuChannel::Spec smu_spec;       ///< HP4156 channel behaviour
+  bool ideal_instruments = false;  ///< true: no instrument error at all
+  bool ideal_thermal = false;      ///< true: die temperature == chamber
+  bandgap::TestCellParams cell;    ///< cell electricals (models overwritten
+                                   ///< from the DieSample)
+};
+
+/// One VBE(T) observation on the single DUT (classical-method input).
+struct VbePoint {
+  double t_sensor = 0.0;   ///< recorded temperature [K]
+  double vbe = 0.0;        ///< measured base-emitter voltage [V]
+  double ic = 0.0;         ///< measured collector current [A]
+  double t_die_true = 0.0; ///< ground truth [K] -- validation only
+};
+
+/// One test-cell observation (Meijer-method input / Fig. 8 point).
+struct CellPoint {
+  double t_sensor = 0.0;
+  double vbe_qa = 0.0;     ///< pad P4 reading [V]
+  double vbe_qb = 0.0;     ///< pad P5 reading [V]
+  double delta_vbe = 0.0;  ///< vbe_qa - vbe_qb as measured
+  double ic_qa = 0.0;      ///< branch current of QA [A] (measured)
+  double ic_qb = 0.0;      ///< branch current of QB [A] (measured)
+  double vref = 0.0;       ///< reference output [V] (measured)
+  double t_die_true = 0.0; ///< ground truth [K] -- validation only
+};
+
+/// A laboratory session bound to one die sample. Instruments are drawn at
+/// construction (one calibration cycle per session).
+class Laboratory {
+ public:
+  Laboratory(DieSample sample, CampaignConfig config = {});
+
+  /// Fig. 5: the IC(VBE) family of the single DUT. One Series per chamber
+  /// temperature; x = VBE [V], y = IC [A]. VCB is held at 0 (the
+  /// diode-connected saturation-limit bias of the cell).
+  [[nodiscard]] std::vector<Series> icvbe_family(
+      const std::vector<double>& chamber_celsius, double vbe_min,
+      double vbe_max, int points);
+
+  /// Classical-method input: VBE(T) of the single DUT at a forced collector
+  /// current, across chamber settings.
+  [[nodiscard]] std::vector<VbePoint> vbe_vs_temperature(
+      double ic_amps, const std::vector<double>& chamber_celsius);
+
+  /// Meijer-method input + Fig. 8 measured curve: full test-cell sweep.
+  /// `radja_ohms` programs the trim resistor (0 = untrimmed).
+  [[nodiscard]] std::vector<CellPoint> test_cell_sweep(
+      const std::vector<double>& chamber_celsius, double radja_ohms = 0.0);
+
+  /// VREF(T) as a Series (x = chamber Celsius, y = VREF [V]).
+  [[nodiscard]] Series vref_curve(const std::vector<double>& chamber_celsius,
+                                  double radja_ohms = 0.0);
+
+  [[nodiscard]] const DieSample& sample() const noexcept { return sample_; }
+  [[nodiscard]] const CampaignConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  /// Die temperature for a chamber setting and chip power.
+  [[nodiscard]] double die_temperature(double chamber_kelvin,
+                                       double power_watts) const;
+
+  /// Build a fresh test-cell circuit for this sample.
+  [[nodiscard]] bandgap::TestCellHandles build_cell(spice::Circuit& circuit,
+                                                    double radja_ohms) const;
+
+  DieSample sample_;
+  CampaignConfig config_;
+  Pt100Sensor sensor_;
+  SmuChannel smu_vbe_;   ///< channel on the DUT / pad P4
+  SmuChannel smu_pad_;   ///< channel on pad P5
+  SmuChannel smu_aux_;   ///< channel for VREF and currents
+};
+
+}  // namespace icvbe::lab

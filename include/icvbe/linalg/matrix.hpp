@@ -1,0 +1,79 @@
+#pragma once
+// Dense row-major matrix and vector types for the fitting library and the
+// MNA solver. Circuits in this project are tiny (tens of nodes), so a
+// cache-friendly dense representation beats sparse bookkeeping.
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+namespace icvbe::linalg {
+
+using Vector = std::vector<double>;
+
+/// Dense row-major matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  /// Construct from nested initializer list (row major); all rows must
+  /// have identical length.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+
+  [[nodiscard]] double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  /// Bounds-checked access (throws icvbe::Error).
+  [[nodiscard]] double& at(std::size_t r, std::size_t c);
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const;
+
+  /// Reset every element to the given value (used between Newton
+  /// iterations to re-stamp the MNA system).
+  void fill(double value);
+
+  /// Resize, discarding contents.
+  void resize(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  [[nodiscard]] Matrix transposed() const;
+
+  /// this * other; dimension-checked.
+  [[nodiscard]] Matrix multiply(const Matrix& other) const;
+
+  /// this * v; dimension-checked.
+  [[nodiscard]] Vector multiply(const Vector& v) const;
+
+  [[nodiscard]] static Matrix identity(std::size_t n);
+
+  /// Max absolute element (infinity norm of vec(A)).
+  [[nodiscard]] double max_abs() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Euclidean norm.
+[[nodiscard]] double norm2(const Vector& v);
+
+/// Infinity norm.
+[[nodiscard]] double norm_inf(const Vector& v);
+
+/// Dot product (dimension-checked).
+[[nodiscard]] double dot(const Vector& a, const Vector& b);
+
+/// a - b element-wise (dimension-checked).
+[[nodiscard]] Vector subtract(const Vector& a, const Vector& b);
+
+/// a + s*b (dimension-checked).
+[[nodiscard]] Vector axpy(const Vector& a, double s, const Vector& b);
+
+}  // namespace icvbe::linalg

@@ -1,0 +1,76 @@
+#pragma once
+// Direct dense solvers: LU with partial pivoting (square systems, MNA) and
+// Householder QR (least squares, fitting).
+
+#include "icvbe/linalg/matrix.hpp"
+
+namespace icvbe::linalg {
+
+/// LU factorisation with partial pivoting of a square matrix. Factor once,
+/// solve for many right-hand sides.
+class LuFactorization {
+ public:
+  /// Factor A (square). Throws NumericalError if A is singular to working
+  /// precision (pivot below `pivot_tol` * max|A|).
+  explicit LuFactorization(Matrix a, double pivot_tol = 1e-14);
+
+  /// Solve A x = b.
+  [[nodiscard]] Vector solve(const Vector& b) const;
+
+  /// Determinant (from U diagonal and pivot sign).
+  [[nodiscard]] double determinant() const;
+
+  /// Rough 1-norm condition estimate via |A|_1 * |A^-1 e|_1 probing.
+  [[nodiscard]] double condition_estimate() const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return lu_.rows(); }
+
+ private:
+  Matrix lu_;                     // packed L (unit diag) and U
+  std::vector<std::size_t> piv_;  // row permutation
+  int pivot_sign_ = 1;
+  double a_norm1_ = 0.0;          // 1-norm of original A for cond estimate
+};
+
+/// Convenience: solve A x = b once.
+[[nodiscard]] Vector lu_solve(Matrix a, const Vector& b);
+
+/// Householder QR of an m x n matrix (m >= n), for least squares.
+class QrFactorization {
+ public:
+  /// Factor A. Throws NumericalError if numerically rank-deficient
+  /// (|R(k,k)| < rank_tol * |R(0,0)|) when solving.
+  explicit QrFactorization(Matrix a);
+
+  /// Minimise |A x - b|_2; returns x of length n.
+  [[nodiscard]] Vector solve_least_squares(const Vector& b,
+                                           double rank_tol = 1e-12) const;
+
+  /// Diagonal of R -- used for conditioning diagnostics of the normal
+  /// equations (the (EG, XTI) collinearity shows up here).
+  [[nodiscard]] Vector r_diagonal() const;
+
+  /// Upper-triangular solve R x = y for the leading n x n block of R.
+  [[nodiscard]] Vector solve_r(const Vector& y, double rank_tol) const;
+
+  /// Apply Q^T to a vector of length m.
+  [[nodiscard]] Vector apply_qt(const Vector& b) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return qr_.rows(); }
+  [[nodiscard]] std::size_t cols() const noexcept { return qr_.cols(); }
+
+ private:
+  Matrix qr_;           // Householder vectors below diagonal, R on/above
+  Vector beta_;         // Householder scalars
+};
+
+/// Convenience: least-squares solve min |A x - b|.
+[[nodiscard]] Vector qr_least_squares(Matrix a, const Vector& b);
+
+/// Solve a 2x2 system (used for the Meijer two-equation extraction). Throws
+/// NumericalError if the determinant is ~0.
+[[nodiscard]] std::pair<double, double> solve2x2(double a11, double a12,
+                                                 double a21, double a22,
+                                                 double b1, double b2);
+
+}  // namespace icvbe::linalg

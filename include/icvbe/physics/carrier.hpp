@@ -1,0 +1,47 @@
+#pragma once
+// Intrinsic carrier statistics and doping-induced bandgap narrowing.
+//
+// eq. (6):  ni^2(T) = ni^2(T0) (T/T0)^3 exp(-(EG(T)/kT - EG(T0)/kT0))
+// eq. (3):  nie^2(T) = ni^2(T) exp(+dEGbgn / kT)
+// Bandgap narrowing dEGbgn is ~45 meV in highly-doped Si emitters and up to
+// ~150 meV in SiGe HBTs (paper section 1 / ref [2]); the Slotboom model
+// below covers the doping dependence.
+
+#include "icvbe/physics/eg_model.hpp"
+
+namespace icvbe::physics {
+
+/// Reference intrinsic concentration of silicon at 300 K [cm^-3]. Used only
+/// to anchor absolute magnitudes; the extraction math uses ratios.
+inline constexpr double kNi300 = 9.65e9;
+
+/// ni^2(T) per eq. (6), anchored at ni(300 K) = kNi300, with the band gap
+/// supplied by `eg`. Units: cm^-6.
+[[nodiscard]] double ni_squared(const EgModel& eg, double t_kelvin);
+
+/// Effective (narrowing-corrected) nie^2(T) per eq. (3):
+/// nie^2 = ni^2 exp(dEGbgn_ev / (kT/q)).
+[[nodiscard]] double nie_squared(const EgModel& eg, double t_kelvin,
+                                 double delta_eg_bgn_ev);
+
+/// Slotboom-de Graaff bandgap narrowing [eV] for acceptor doping na_cm3.
+/// dEG = V1 ( ln(N/N0) + sqrt(ln^2(N/N0) + 0.5) ), V1 = 9 mV, N0 = 1e17.
+/// Returns 0 below the onset doping.
+[[nodiscard]] double slotboom_bandgap_narrowing(double na_cm3);
+
+/// Temperature-dependent base transport quantities (eqs. 4-5).
+struct BaseTransport {
+  double dnb_t0 = 12.0;   ///< electron diffusion constant at T0 [cm^2/s]
+  double gummel_t0 = 1.0e13;  ///< Gummel number at T0 [cm^-2] (integral of Nab)
+  double en = 0.42;       ///< mobility temperature exponent EN (eq. 4)
+  double erho = 0.11;     ///< Gummel-number temperature exponent Erho (eq. 5)
+  double t0 = 300.0;      ///< reference temperature [K]
+
+  /// Dnb(T) = Dnb(T0) (T/T0)^(1-EN)  (eq. 4, via Einstein relation).
+  [[nodiscard]] double dnb(double t_kelvin) const;
+
+  /// Gummel number NG(T) = NG(T0) (T/T0)^Erho  (eq. 5).
+  [[nodiscard]] double gummel_number(double t_kelvin) const;
+};
+
+}  // namespace icvbe::physics

@@ -1,0 +1,162 @@
+#pragma once
+// Temperature models of the silicon energy band gap EG(T).
+//
+// The paper's Fig. 1 compares five models (eqs. 7-9):
+//   eq. (7)  linear:            EG(T) = EG(Tref) - a (T - Tref)
+//   eq. (8)  Varshni [Varshni67, ref 8]: EG(T) = EG(0) - alpha T^2 / (T + beta)
+//   eq. (9)  Thurmond-log [Thurmond75 / Gambetta-Celi, refs 6-7]:
+//            EG(T) = EG(0) + a T + b T ln T
+// The log-form (9) is the one compatible with the SPICE IS(T) expression
+// (eq. 1) -- that compatibility is established in identify_spice_params().
+
+#include <memory>
+#include <string>
+
+namespace icvbe::physics {
+
+/// Interface: band gap [eV] as a function of absolute temperature [K].
+class EgModel {
+ public:
+  virtual ~EgModel() = default;
+
+  /// EG at absolute temperature T [K], in eV.
+  [[nodiscard]] virtual double eg(double t_kelvin) const = 0;
+
+  /// dEG/dT at T [eV/K] (analytic in every concrete model).
+  [[nodiscard]] virtual double deg_dt(double t_kelvin) const = 0;
+
+  /// Extrapolated band gap at 0 K implied by the tangent at T:
+  /// EG0(T) = EG(T) - T dEG/dT. For the log model this is the effective
+  /// "EG0" a bandgap-reference designer sees; the paper calls the EG5
+  /// tangent extrapolation "EG0" in Fig. 1.
+  [[nodiscard]] double tangent_intercept_at_zero(double t_kelvin) const {
+    return eg(t_kelvin) - t_kelvin * deg_dt(t_kelvin);
+  }
+
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual std::unique_ptr<EgModel> clone() const = 0;
+};
+
+/// eq. (7): EG(T) = eg_ref - a (T - t_ref). The paper's EG1 is the
+/// linearisation of EG5 around the chosen reference temperature.
+class LinearEgModel final : public EgModel {
+ public:
+  LinearEgModel(double eg_ref, double slope_a, double t_ref,
+                std::string name = "EG linear");
+
+  [[nodiscard]] double eg(double t_kelvin) const override;
+  [[nodiscard]] double deg_dt(double t_kelvin) const override;
+  [[nodiscard]] std::string name() const override { return name_; }
+  [[nodiscard]] std::unique_ptr<EgModel> clone() const override;
+
+  [[nodiscard]] double slope() const noexcept { return a_; }
+
+ private:
+  double eg_ref_;
+  double a_;
+  double t_ref_;
+  std::string name_;
+};
+
+/// eq. (8): EG(T) = EG(0) - alpha T^2 / (T + beta)   (Varshni form).
+class VarshniEgModel final : public EgModel {
+ public:
+  VarshniEgModel(double eg0, double alpha, double beta,
+                 std::string name = "EG Varshni");
+
+  [[nodiscard]] double eg(double t_kelvin) const override;
+  [[nodiscard]] double deg_dt(double t_kelvin) const override;
+  [[nodiscard]] std::string name() const override { return name_; }
+  [[nodiscard]] std::unique_ptr<EgModel> clone() const override;
+
+  [[nodiscard]] double eg0() const noexcept { return eg0_; }
+  [[nodiscard]] double alpha() const noexcept { return alpha_; }
+  [[nodiscard]] double beta() const noexcept { return beta_; }
+
+ private:
+  double eg0_;
+  double alpha_;
+  double beta_;
+  std::string name_;
+};
+
+/// eq. (9): EG(T) = EG(0) + a T + b T ln(T)   (Thurmond / Gambetta-Celi).
+/// This is the only form for which the Boltzmann ni(T) expression (eq. 6)
+/// collapses back to the SPICE IS(T) power law (eq. 1).
+class LogEgModel final : public EgModel {
+ public:
+  LogEgModel(double eg0, double a, double b, std::string name = "EG log");
+
+  [[nodiscard]] double eg(double t_kelvin) const override;
+  [[nodiscard]] double deg_dt(double t_kelvin) const override;
+  [[nodiscard]] std::string name() const override { return name_; }
+  [[nodiscard]] std::unique_ptr<EgModel> clone() const override;
+
+  [[nodiscard]] double eg0() const noexcept { return eg0_; }
+  [[nodiscard]] double a() const noexcept { return a_; }
+  [[nodiscard]] double b() const noexcept { return b_; }
+
+ private:
+  double eg0_;
+  double a_;
+  double b_;
+  std::string name_;
+};
+
+/// Passler's analytic model (Phys. Rev. B 66, 085201 (2002)):
+///   EG(T) = EG(0) - (alpha Theta / 2) [ (1 + (2T/Theta)^p)^(1/p) - 1 ].
+/// Contemporary with the paper and free of the Varshni low-T artefacts;
+/// included as the modern comparison point in the Fig.-1 bench.
+class PasslerEgModel final : public EgModel {
+ public:
+  PasslerEgModel(double eg0, double alpha, double theta, double p,
+                 std::string name = "EG Passler");
+
+  [[nodiscard]] double eg(double t_kelvin) const override;
+  [[nodiscard]] double deg_dt(double t_kelvin) const override;
+  [[nodiscard]] std::string name() const override { return name_; }
+  [[nodiscard]] std::unique_ptr<EgModel> clone() const override;
+
+ private:
+  double eg0_;
+  double alpha_;
+  double theta_;
+  double p_;
+  std::string name_;
+};
+
+// ---------------------------------------------------------------------------
+// The five curves of the paper's Fig. 1, with the exact published constants.
+// ---------------------------------------------------------------------------
+
+/// EG2(T): Varshni with alpha=7.021e-4 V/K, beta=1108 K, EG(0)=1.1557 eV
+/// (Varshni's own silicon fit, paper ref [8]).
+[[nodiscard]] VarshniEgModel make_eg2();
+
+/// EG3(T): Varshni with alpha=4.73e-4 V/K, beta=636 K, EG(0)=1.170 eV
+/// (Thurmond's recommended Varshni constants, paper ref [7]).
+[[nodiscard]] VarshniEgModel make_eg3();
+
+/// EG4(T): log model with EG(0)=1.1663 eV, a=6.141e-4 V/K, b=-1.307e-4
+/// (Gambetta-Celi, paper ref [6]).
+[[nodiscard]] LogEgModel make_eg4();
+
+/// EG5(T): log model with EG(0)=1.1774 eV, a=3.042e-4 V/K, b=-8.459e-5
+/// (Gambetta-Celi, paper ref [6]; the paper's preferred curve).
+[[nodiscard]] LogEgModel make_eg5();
+
+/// EG1(T): the linearisation (eq. 7) of EG5 at the reference temperature
+/// t_ref (the paper draws it tangent from the chosen reference; default
+/// 300 K).
+[[nodiscard]] LinearEgModel make_eg1(double t_ref = 300.0);
+
+/// Passler's silicon parameters: EG(0) = 1.1701 eV, alpha = 3.23e-4 eV/K,
+/// Theta = 446 K, p = 2.33.
+[[nodiscard]] PasslerEgModel make_passler_si();
+
+/// The tangent-extrapolated "EG0" of EG5 at t_ref -- the uppermost marker in
+/// Fig. 1 (about 1.2 eV), showing how far the linear extrapolation overshoots
+/// the true 0 K gap.
+[[nodiscard]] double eg0_extrapolated(double t_ref = 300.0);
+
+}  // namespace icvbe::physics

@@ -1,0 +1,82 @@
+#pragma once
+// Saturation-current temperature models.
+//
+// Two routes to IS(T):
+//  * the SPICE compact form (eq. 1) parameterised by (EG, XTI) -- what the
+//    simulator and the extraction methods use;
+//  * the Gummel-Poon physical form (eqs. 2-11) built from doping, mobility
+//    and band-structure quantities -- the "ground truth" physics.
+// eq. (12) identifies the two:  EG = EG(0) - dEGbgn,
+//                               XTI = 4 - EN - Erho - b/k.
+
+#include "icvbe/physics/carrier.hpp"
+#include "icvbe/physics/eg_model.hpp"
+
+namespace icvbe::physics {
+
+/// SPICE saturation-current temperature law, eq. (1):
+/// IS(T) = IS(T0) (T/T0)^XTI exp( (q EG / k) (1/T0 - 1/T) ).
+/// `eg_ev` in eV; `t0` in K.
+[[nodiscard]] double spice_is(double is_t0, double eg_ev, double xti,
+                              double t_kelvin, double t0);
+
+/// Natural log of eq. (1) (numerically safe for tiny IS).
+[[nodiscard]] double spice_log_is(double log_is_t0, double eg_ev, double xti,
+                                  double t_kelvin, double t0);
+
+/// The (EG, XTI) pair that makes eq. (1) reproduce the physical model, per
+/// eq. (12).
+struct SpiceIsParams {
+  double eg = 1.17;   ///< effective gap [eV], EG(0) - dEGbgn
+  double xti = 3.0;   ///< temperature exponent
+};
+
+/// eq. (12): identify SPICE (EG, XTI) from the physical constants.
+/// `b_ev_per_k` is the log-model coefficient b of eq. (9) in eV/K (the
+/// published values are given in V = eV for carrier energy), EN and Erho the
+/// exponents of eqs. (4)-(5), dEGbgn the bandgap narrowing in eV.
+[[nodiscard]] SpiceIsParams identify_spice_params(double eg0_ev,
+                                                  double delta_eg_bgn_ev,
+                                                  double en, double erho,
+                                                  double b_ev_per_k);
+
+/// Gummel-Poon physical saturation current (eqs. 2, 11):
+/// IS(T) = q Ae nie^2(T) Dnb(T) / NG(T).
+/// Built from an EG(T) log model, bandgap narrowing and BaseTransport; also
+/// exposes the exact power-law + activation decomposition of eq. (11).
+class GummelPoonIsModel {
+ public:
+  GummelPoonIsModel(LogEgModel eg_model, double delta_eg_bgn_ev,
+                    BaseTransport transport, double emitter_area_cm2);
+
+  /// IS at temperature T [A], eq. (2) evaluated with eqs. (3)-(6).
+  [[nodiscard]] double is(double t_kelvin) const;
+
+  /// IS(T)/IS(T0) computed *directly from eq. (11)* -- the closed form the
+  /// paper derives. Tests verify is(T)/is(T0) matches this to rounding.
+  [[nodiscard]] double is_ratio_closed_form(double t_kelvin) const;
+
+  /// The equivalent SPICE parameters per eq. (12).
+  [[nodiscard]] SpiceIsParams spice_params() const;
+
+  [[nodiscard]] double t0() const noexcept { return transport_.t0; }
+  [[nodiscard]] const LogEgModel& eg_model() const noexcept {
+    return eg_model_;
+  }
+  [[nodiscard]] double delta_eg_bgn() const noexcept {
+    return delta_eg_bgn_ev_;
+  }
+
+  /// Relative sensitivity of IS to temperature, (1/IS) dIS/dT [1/K].
+  /// The paper (ref [12]) quotes ~20 %/K near room temperature -- which is
+  /// why extracting from IS(T) regressions is hopeless compared to VBE(T).
+  [[nodiscard]] double relative_sensitivity(double t_kelvin) const;
+
+ private:
+  LogEgModel eg_model_;
+  double delta_eg_bgn_ev_;
+  BaseTransport transport_;
+  double area_cm2_;
+};
+
+}  // namespace icvbe::physics

@@ -1,0 +1,66 @@
+#pragma once
+// Closed-form VBE(T) temperature model -- the working equation of the
+// classical extraction (paper eq. 13) and of the Meijer equations (14)-(15).
+//
+// Development from eq. (1) with IC = IS(T) exp(VBE / VT):
+//
+//   VBE(T) = EG (1 - T/T0) + (T/T0) VBE(T0)
+//            - XTI (kT/q) ln(T/T0) + (kT/q) ln(IC(T)/IC(T0))
+//
+// which is *linear in (EG, XTI)* -- "EG and XTI can be determined directly
+// from VBE(T) using least square fit without iteration" (paper section 3).
+// The optional reverse-Early (VAR) factors of the printed eq. (13) are
+// available via `early_correction`.
+
+#include "icvbe/common/constants.hpp"
+
+namespace icvbe::physics {
+
+/// Parameters of the closed-form VBE(T) law.
+struct VbeModelParams {
+  double eg = 1.17;        ///< effective bandgap voltage [V]
+  double xti = 3.0;        ///< saturation-current temperature exponent
+  double t0 = 298.15;      ///< reference temperature [K]
+  double vbe_t0 = 0.65;    ///< VBE at the reference temperature [V]
+};
+
+/// VBE at temperature T for collector-current ratio ic_ratio = IC(T)/IC(T0).
+/// ic_ratio = 1 reproduces the constant-current case used by the fits.
+[[nodiscard]] double vbe_of_t(const VbeModelParams& p, double t_kelvin,
+                              double ic_ratio = 1.0);
+
+/// d VBE / dT at T, constant collector current [V/K]. Used for the
+/// CTAT-slope analyses and the self-heating error model.
+[[nodiscard]] double dvbe_dt(const VbeModelParams& p, double t_kelvin);
+
+/// PTAT difference of two matched BJTs running at equal collector current
+/// with emitter-area ratio `area_ratio` (paper Fig. 2):
+/// dVBE(T) = (kT/q) ln(area_ratio).
+[[nodiscard]] double delta_vbe_ptat(double t_kelvin, double area_ratio);
+
+/// PTAT difference with unequal collector currents (the eq. 17-18
+/// situation): dVBE = (kT/q) ln(area_ratio * icA/icB).
+[[nodiscard]] double delta_vbe_general(double t_kelvin, double area_ratio,
+                                       double ic_a, double ic_b);
+
+/// Reverse-Early correction factor (VAR - VBE(T0)) / (VAR - VBE(T)) of the
+/// printed eq. (13). Multiplies the T/T0 * VBE(T0) term; returns 1 when
+/// var_volts is +infinity (no correction).
+[[nodiscard]] double early_correction(double var_volts, double vbe_t0,
+                                      double vbe_t);
+
+/// Left-hand side of the Meijer identity, eq. (14):
+///   T2 VBE(T1) - T1 VBE(T2)  ==  EG (T2 - T1) + XTI (k T1 T2 / q) ln(T2/T1)
+/// Helpers to build each side; used by both the extractor and the tests.
+struct MeijerEquation {
+  double lhs = 0.0;       ///< T_b * VBE(T_a) - T_a * VBE(T_b)
+  double coeff_eg = 0.0;  ///< (T_b - T_a)
+  double coeff_xti = 0.0; ///< (k T_a T_b / q) ln(T_b / T_a)
+};
+
+/// Assemble eq. (14) for the temperature pair (t_a, t_b) and the measured
+/// VBE values at those temperatures.
+[[nodiscard]] MeijerEquation meijer_equation(double t_a, double vbe_a,
+                                             double t_b, double vbe_b);
+
+}  // namespace icvbe::physics

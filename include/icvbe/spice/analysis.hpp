@@ -1,0 +1,53 @@
+#pragma once
+// Sweep analyses on top of the DC solver: DC source sweeps (Fig. 5's
+// IC(VBE) families) and temperature sweeps (VBE(T), VREF(T)).
+
+#include <functional>
+#include <vector>
+
+#include "icvbe/common/series.hpp"
+#include "icvbe/spice/dc_solver.hpp"
+
+namespace icvbe::spice {
+
+/// Probe: maps a solved operating point to the scalar being recorded.
+using Probe = std::function<double(const Circuit&, const Unknowns&)>;
+
+/// Sweep a voltage source and record probe(x) at each point. Points are
+/// warm-started from their predecessor; `initial` seeds the first point
+/// (e.g. from .NODESET hints).
+[[nodiscard]] Series dc_sweep_vsource(Circuit& circuit,
+                                      const std::string& source_name,
+                                      const std::vector<double>& values,
+                                      const Probe& probe,
+                                      const NewtonOptions& options = {},
+                                      const Unknowns* initial = nullptr);
+
+/// Sweep a current source similarly.
+[[nodiscard]] Series dc_sweep_isource(Circuit& circuit,
+                                      const std::string& source_name,
+                                      const std::vector<double>& values,
+                                      const Probe& probe,
+                                      const NewtonOptions& options = {},
+                                      const Unknowns* initial = nullptr);
+
+/// Sweep the global circuit temperature [K] and record probe(x).
+[[nodiscard]] Series temperature_sweep(Circuit& circuit,
+                                       const std::vector<double>& t_kelvin,
+                                       const Probe& probe,
+                                       const NewtonOptions& options = {},
+                                       const Unknowns* initial = nullptr);
+
+/// Convenience probe factories.
+[[nodiscard]] Probe probe_node_voltage(Circuit& circuit,
+                                       const std::string& node_name);
+[[nodiscard]] Probe probe_vsource_current(const std::string& device_name);
+
+/// Evenly spaced grid helper [first, last] with n points (n >= 2).
+[[nodiscard]] std::vector<double> linspace(double first, double last, int n);
+
+/// Logarithmically spaced grid helper (first, last > 0).
+[[nodiscard]] std::vector<double> logspace_decades(double first, double last,
+                                                   int per_decade);
+
+}  // namespace icvbe::spice

@@ -1,0 +1,100 @@
+#pragma once
+// Circuit: owns devices and the node table; assigns unknown indices.
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "icvbe/common/error.hpp"
+#include "icvbe/spice/bjt.hpp"
+#include "icvbe/spice/device.hpp"
+#include "icvbe/spice/diode.hpp"
+#include "icvbe/spice/linear_devices.hpp"
+#include "icvbe/spice/mosfet.hpp"
+
+namespace icvbe::spice {
+
+class Circuit {
+ public:
+  Circuit() = default;
+
+  /// Get-or-create a named node. "0" and "gnd" map to ground.
+  [[nodiscard]] NodeId node(std::string_view name);
+
+  /// Number of nodes including ground.
+  [[nodiscard]] int node_count() const noexcept {
+    return static_cast<int>(node_names_.size());
+  }
+
+  /// Name of a node id (for diagnostics).
+  [[nodiscard]] const std::string& node_name(NodeId n) const;
+
+  // --- typed device factories (return references owned by the circuit) ---
+  Resistor& add_resistor(std::string name, NodeId a, NodeId b, double ohms,
+                         double tc1 = 0.0, double tc2 = 0.0);
+  VoltageSource& add_vsource(std::string name, NodeId p, NodeId m,
+                             double volts);
+  CurrentSource& add_isource(std::string name, NodeId p, NodeId m,
+                             double amps);
+  Vcvs& add_vcvs(std::string name, NodeId p, NodeId m, NodeId cp, NodeId cm,
+                 double gain);
+  OpAmp& add_opamp(std::string name, NodeId out, NodeId inp, NodeId inn,
+                   double gain = 1.0e6, double offset = 0.0);
+  Diode& add_diode(std::string name, NodeId anode, NodeId cathode,
+                   DiodeModel model, double area = 1.0);
+  Bjt& add_bjt(std::string name, NodeId collector, NodeId base, NodeId emitter,
+               BjtModel model, double area = 1.0, NodeId substrate = kGround);
+  Mosfet& add_mosfet(std::string name, NodeId drain, NodeId gate,
+                     NodeId source, MosfetModel model, double w_over_l = 1.0);
+
+  /// Look up a device by name; throws CircuitError if absent or of the
+  /// wrong type.
+  template <typename T>
+  [[nodiscard]] T& get(std::string_view name) {
+    Device* d = find(name);
+    if (d == nullptr) {
+      throw CircuitError("no device named '" + std::string(name) + "'");
+    }
+    T* t = dynamic_cast<T*>(d);
+    if (t == nullptr) {
+      throw CircuitError("device '" + std::string(name) +
+                         "' has unexpected type");
+    }
+    return *t;
+  }
+
+  [[nodiscard]] Device* find(std::string_view name);
+
+  [[nodiscard]] const std::vector<std::unique_ptr<Device>>& devices() const {
+    return devices_;
+  }
+
+  /// Total unknown count (non-ground nodes + aux); assigns aux indices.
+  [[nodiscard]] int assign_unknowns();
+
+  /// Broadcast a new device temperature and clear iteration state.
+  void set_temperature(double t_kelvin);
+
+  /// Per-device temperature override on top of set_temperature (used by the
+  /// electro-thermal loop to give each BJT its own junction temperature).
+  void set_device_temperature(std::string_view name, double t_kelvin);
+
+  /// Sum of device power at a solution [W].
+  [[nodiscard]] double total_power(const Unknowns& x) const;
+
+ private:
+  template <typename T, typename... Args>
+  T& emplace(Args&&... args);
+
+  void require_unique_name(const std::string& name) const;
+
+  std::vector<std::unique_ptr<Device>> devices_;
+  std::map<std::string, std::size_t, std::less<>> device_index_;
+  std::vector<std::string> node_names_{"0"};
+  std::map<std::string, NodeId, std::less<>> node_ids_{{"0", kGround},
+                                                       {"gnd", kGround}};
+};
+
+}  // namespace icvbe::spice

@@ -1,0 +1,42 @@
+#pragma once
+// Newton-Raphson DC operating-point solver over the MNA system, with the
+// two classic globalisation aids: gmin stepping and source stepping.
+
+#include <string>
+
+#include "icvbe/spice/circuit.hpp"
+
+namespace icvbe::spice {
+
+struct NewtonOptions {
+  int max_iterations = 200;      ///< per Newton attempt
+  double v_abstol = 1e-9;        ///< node voltage absolute tolerance [V]
+  double i_abstol = 1e-12;       ///< aux current absolute tolerance [A]
+  double reltol = 1e-6;          ///< relative tolerance on all unknowns
+  double max_step_volts = 2.0;   ///< damping: max node-voltage change/iter
+  double gmin_floor = 1e-12;     ///< final gmin left in the matrix
+  int gmin_steps = 8;            ///< decades of gmin ramp when needed
+  int source_steps = 10;         ///< source-stepping ramp points when needed
+};
+
+struct DcResult {
+  Unknowns solution;
+  bool converged = false;
+  int iterations = 0;        ///< total Newton iterations spent
+  std::string strategy;      ///< "newton", "gmin", or "source"
+};
+
+/// Solve the DC operating point of the circuit at its current temperature.
+/// `initial` may carry a warm start (previous sweep point); pass nullptr
+/// for a cold start.
+[[nodiscard]] DcResult solve_dc(Circuit& circuit,
+                                const NewtonOptions& options = {},
+                                const Unknowns* initial = nullptr);
+
+/// Throwing convenience wrapper: returns the solution or raises
+/// NumericalError with diagnostics.
+[[nodiscard]] Unknowns solve_dc_or_throw(Circuit& circuit,
+                                         const NewtonOptions& options = {},
+                                         const Unknowns* initial = nullptr);
+
+}  // namespace icvbe::spice

@@ -1,0 +1,58 @@
+#pragma once
+// Device: base class of every circuit element.
+//
+// Lifecycle per DC solve:
+//   1. set_temperature(T)   -- update temperature-dependent parameters
+//   2. reset_state()        -- clear junction-limiting memory
+//   3. stamp(stamper, prev) -- once per Newton iteration, linearised at prev
+//   4. power(solution)      -- dissipation for the electro-thermal loop
+
+#include <string>
+
+#include "icvbe/spice/stamper.hpp"
+#include "icvbe/spice/unknowns.hpp"
+
+namespace icvbe::spice {
+
+class Device {
+ public:
+  explicit Device(std::string name) : name_(std::move(name)) {}
+  virtual ~Device() = default;
+
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  /// Update temperature-dependent parameters (default: none).
+  virtual void set_temperature(double /*t_kelvin*/) {}
+
+  /// Number of auxiliary (branch-current) unknowns this device needs.
+  [[nodiscard]] virtual int aux_count() const { return 0; }
+
+  /// Called by the circuit when unknown indices are assigned.
+  void set_first_aux(int index) { first_aux_ = index; }
+  [[nodiscard]] int first_aux() const noexcept { return first_aux_; }
+
+  /// Stamp the linearised model around the previous iterate. Non-const so
+  /// nonlinear devices can keep junction-limiting state between iterations.
+  virtual void stamp(Stamper& stamper, const Unknowns& prev) = 0;
+
+  /// True if the device is nonlinear (forces Newton iteration).
+  [[nodiscard]] virtual bool is_nonlinear() const { return false; }
+
+  /// Clear iteration state before a fresh solve.
+  virtual void reset_state() {}
+
+  /// Dissipated power at the given solution [W] (default 0; used by the
+  /// electro-thermal self-heating loop).
+  [[nodiscard]] virtual double power(const Unknowns& /*x*/) const {
+    return 0.0;
+  }
+
+ private:
+  std::string name_;
+  int first_aux_ = -1;
+};
+
+}  // namespace icvbe::spice

@@ -1,0 +1,21 @@
+#pragma once
+// Shared junction numerics: overflow-safe exponential and the classic
+// SPICE3 pnjlim junction-voltage limiter that keeps Newton from exploding
+// through the exponential.
+
+namespace icvbe::spice {
+
+/// exp(x) linearised above `cap` so companion conductances stay finite
+/// during wild Newton excursions.
+[[nodiscard]] double safe_exp(double x, double cap = 200.0);
+
+/// SPICE3 pnjlim: limit the new junction voltage `vnew` given the previous
+/// accepted `vold`, thermal voltage `vt` and critical voltage `vcrit`.
+[[nodiscard]] double pnjlim(double vnew, double vold, double vt,
+                            double vcrit);
+
+/// Critical voltage for a junction with saturation current is_amps at
+/// thermal voltage vt: vcrit = vt ln(vt / (sqrt(2) is)).
+[[nodiscard]] double junction_vcrit(double vt, double is_amps);
+
+}  // namespace icvbe::spice

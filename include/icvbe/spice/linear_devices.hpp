@@ -1,0 +1,126 @@
+#pragma once
+// Linear circuit elements: resistor (with temperature coefficients),
+// independent voltage/current sources, VCVS, and the op-amp (a VCVS with
+// very high gain -- adequate for the bandgap loop which operates the
+// amplifier in its linear region).
+
+#include "icvbe/spice/device.hpp"
+
+namespace icvbe::spice {
+
+/// Resistor with optional first/second-order temperature coefficients:
+/// R(T) = R0 (1 + tc1 dT + tc2 dT^2), dT = T - tnom.
+class Resistor final : public Device {
+ public:
+  Resistor(std::string name, NodeId a, NodeId b, double ohms, double tc1 = 0.0,
+           double tc2 = 0.0, double tnom_kelvin = 300.15);
+
+  void set_temperature(double t_kelvin) override;
+  void stamp(Stamper& stamper, const Unknowns& prev) override;
+  [[nodiscard]] double power(const Unknowns& x) const override;
+
+  /// Current flowing a -> b at the given solution.
+  [[nodiscard]] double current(const Unknowns& x) const;
+
+  [[nodiscard]] double resistance() const noexcept { return r_now_; }
+  [[nodiscard]] double nominal_resistance() const noexcept { return r0_; }
+
+  /// Re-program the nominal value (used for the RadjA trim sweeps).
+  void set_nominal_resistance(double ohms);
+
+ private:
+  NodeId a_;
+  NodeId b_;
+  double r0_;
+  double tc1_;
+  double tc2_;
+  double tnom_;
+  double r_now_;
+};
+
+/// Independent DC voltage source; positive terminal p. Uses one aux
+/// unknown (the branch current flowing p -> m through the source).
+class VoltageSource final : public Device {
+ public:
+  VoltageSource(std::string name, NodeId p, NodeId m, double volts);
+
+  [[nodiscard]] int aux_count() const override { return 1; }
+  void stamp(Stamper& stamper, const Unknowns& prev) override;
+
+  /// Always 0: sources deliver power, they do not heat the die.
+  [[nodiscard]] double power(const Unknowns& x) const override;
+
+  /// Branch current p -> m (positive = conventional current out of the +
+  /// terminal through the external circuit is -current()).
+  [[nodiscard]] double current(const Unknowns& x) const;
+
+  void set_voltage(double volts) { volts_ = volts; }
+  [[nodiscard]] double voltage() const noexcept { return volts_; }
+
+ private:
+  NodeId p_;
+  NodeId m_;
+  double volts_;
+};
+
+/// Independent DC current source driving current `amps` from node p to
+/// node m through the source (i.e. injecting into m, extracting from p).
+class CurrentSource final : public Device {
+ public:
+  CurrentSource(std::string name, NodeId p, NodeId m, double amps);
+
+  void stamp(Stamper& stamper, const Unknowns& prev) override;
+
+  void set_current(double amps) { amps_ = amps; }
+  [[nodiscard]] double current() const noexcept { return amps_; }
+
+ private:
+  NodeId p_;
+  NodeId m_;
+  double amps_;
+};
+
+/// Voltage-controlled voltage source: V(p) - V(m) = gain (V(cp) - V(cm)).
+class Vcvs final : public Device {
+ public:
+  Vcvs(std::string name, NodeId p, NodeId m, NodeId cp, NodeId cm,
+       double gain);
+
+  [[nodiscard]] int aux_count() const override { return 1; }
+  void stamp(Stamper& stamper, const Unknowns& prev) override;
+
+  [[nodiscard]] double current(const Unknowns& x) const;
+  void set_gain(double gain) { gain_ = gain; }
+  [[nodiscard]] double gain() const noexcept { return gain_; }
+
+ private:
+  NodeId p_;
+  NodeId m_;
+  NodeId cp_;
+  NodeId cm_;
+  double gain_;
+};
+
+/// Operational amplifier: out = gain (V(inp) - V(inn)) + offset, referenced
+/// to ground, with finite open-loop gain (default 1e6) and an input offset
+/// voltage -- the paper's "offset of the op amp stage" second-order effect.
+class OpAmp final : public Device {
+ public:
+  OpAmp(std::string name, NodeId out, NodeId inp, NodeId inn,
+        double gain = 1.0e6, double offset_volts = 0.0);
+
+  [[nodiscard]] int aux_count() const override { return 1; }
+  void stamp(Stamper& stamper, const Unknowns& prev) override;
+
+  void set_offset(double volts) { offset_ = volts; }
+  [[nodiscard]] double offset() const noexcept { return offset_; }
+
+ private:
+  NodeId out_;
+  NodeId inp_;
+  NodeId inn_;
+  double gain_;
+  double offset_;
+};
+
+}  // namespace icvbe::spice

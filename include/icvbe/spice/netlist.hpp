@@ -1,0 +1,73 @@
+#pragma once
+// SPICE-like netlist text format: parser (text -> Circuit) and writer
+// (Circuit construction script -> text), so test cells and experiments can
+// be described in decks instead of C++.
+//
+// Grammar (case-insensitive keywords, one statement per line, '*' or ';'
+// comments, '+' continuation as in SPICE):
+//
+//   R<name> <n+> <n-> <value> [TC1=x] [TC2=x]
+//   V<name> <n+> <n-> <value>
+//   I<name> <n+> <n-> <value>
+//   E<name> <n+> <n-> <nc+> <nc-> <gain>               (VCVS)
+//   U<name> <out> <in+> <in-> [GAIN=x] [OFFSET=x]      (op-amp)
+//   D<name> <anode> <cathode> <model> [AREA=x]
+//   Q<name> <collector> <base> <emitter> <model> [AREA=x] [SUBSTRATE=node]
+//   .MODEL <name> D   (IS=... N=... EG=... XTI=... TNOM=...)
+//   .MODEL <name> PNP|NPN (IS=... BF=... BR=... NF=... NR=... ISE=... NE=...
+//                          ISC=... NC=... VAF=... VAR=... EG=... XTI=...
+//                          TNOM=... ISS=... NS=... EGS=... XTIS=...
+//                          ISSE=... NSE=... EGSE=... XTISE=... BFS=...)
+//   .TEMP <celsius>
+//   .NODESET V(<node>)=<value> [V(<node>)=<value> ...]  (initial guess)
+//   .END                                                (optional)
+//
+// Numbers accept SPICE engineering suffixes: f p n u m k meg g t (and are
+// otherwise strtod). Node "0" or "gnd" is ground.
+
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "icvbe/spice/circuit.hpp"
+
+namespace icvbe::spice {
+
+/// Raised on malformed netlist text; message carries the line number.
+class NetlistError : public CircuitError {
+ public:
+  explicit NetlistError(const std::string& what) : CircuitError(what) {}
+};
+
+/// Result of parsing: the circuit plus deck-level directives.
+struct ParsedNetlist {
+  std::unique_ptr<Circuit> circuit;
+  double temperature_celsius = 27.0;  ///< .TEMP, default SPICE 27 C
+  bool has_temp_directive = false;
+  std::map<std::string, BjtModel> bjt_models;
+  std::map<std::string, DiodeModel> diode_models;
+  /// .NODESET hints: node name -> initial voltage guess.
+  std::map<std::string, double> nodesets;
+};
+
+/// Parse a netlist from text. Throws NetlistError with line context.
+[[nodiscard]] ParsedNetlist parse_netlist(std::string_view text);
+
+/// Parse from a stream (reads to EOF).
+[[nodiscard]] ParsedNetlist parse_netlist(std::istream& in);
+
+/// Parse a single SPICE-format number ("2.5k", "1e-15", "10MEG", "47u").
+/// Throws NetlistError if the text is not a number.
+[[nodiscard]] double parse_spice_number(std::string_view token);
+
+/// Serialise a BJT model card in the dialect above.
+[[nodiscard]] std::string format_bjt_model(const std::string& name,
+                                           const BjtModel& model);
+
+/// Serialise a diode model card.
+[[nodiscard]] std::string format_diode_model(const std::string& name,
+                                             const DiodeModel& model);
+
+}  // namespace icvbe::spice

@@ -1,0 +1,57 @@
+#pragma once
+// Stamper: the device-facing interface for assembling the MNA system
+// G x = b during one Newton iteration.
+//
+// Conventions (classic MNA):
+//  * KCL rows: sum of currents *leaving* a node through devices equals the
+//    current *injected* into the node on the RHS.
+//  * A conductance g between nodes a and b stamps +g on the diagonals and
+//    -g off-diagonal.
+//  * A nonlinear branch I(v) linearised at v* stamps its small-signal g and
+//    the companion current Ieq = I(v*) - g v* as an RHS extraction.
+//  * Aux rows (branch-current unknowns) are stamped with raw add_entry /
+//    add_rhs.
+
+#include "icvbe/linalg/matrix.hpp"
+#include "icvbe/spice/unknowns.hpp"
+
+namespace icvbe::spice {
+
+class Stamper {
+ public:
+  /// `node_unknowns` = number of non-ground nodes; aux rows follow.
+  Stamper(linalg::Matrix& a, linalg::Vector& b, int node_unknowns);
+
+  /// Linear conductance between nodes a and b.
+  void add_conductance(NodeId a, NodeId b, double g);
+
+  /// Independent current J injected into node n (flows from ground into n).
+  void add_current_into(NodeId n, double j);
+
+  /// Companion model of a nonlinear branch from p to m: current I = g v +
+  /// ieq flows p -> m. Stamps the conductance and moves ieq to the RHS.
+  void stamp_companion(NodeId p, NodeId m, double g, double ieq);
+
+  /// Transconductance: current leaving node `out_p` (entering `out_m`)
+  /// controlled by V(in_p) - V(in_m) with gain gm.
+  void add_transconductance(NodeId out_p, NodeId out_m, NodeId in_p,
+                            NodeId in_m, double gm);
+
+  /// Raw matrix access for aux rows/columns. Row/col indices are unknown
+  /// indices: nodes occupy [0, node_unknowns), aux rows follow. Negative
+  /// index (ground) contributions are dropped.
+  void add_entry(int row, int col, double v);
+  void add_rhs(int row, double v);
+
+  /// Unknown index of a node (-1 for ground).
+  [[nodiscard]] int node_index(NodeId n) const { return n - 1; }
+
+  [[nodiscard]] int node_unknowns() const noexcept { return node_unknowns_; }
+
+ private:
+  linalg::Matrix& a_;
+  linalg::Vector& b_;
+  int node_unknowns_;
+};
+
+}  // namespace icvbe::spice

@@ -1,0 +1,36 @@
+#pragma once
+// Solution vector of the MNA system: node voltages (ground excluded) plus
+// auxiliary branch currents (voltage-source-like devices).
+
+#include <vector>
+
+namespace icvbe::spice {
+
+/// Node identifier. 0 is always ground.
+using NodeId = int;
+inline constexpr NodeId kGround = 0;
+
+/// MNA unknown vector with node-voltage accessors. Unknown i corresponds to
+/// node (i+1) for i < node_count-1; aux unknowns follow.
+class Unknowns {
+ public:
+  Unknowns() = default;
+  explicit Unknowns(std::size_t size) : x_(size, 0.0) {}
+
+  [[nodiscard]] double node_voltage(NodeId n) const {
+    return n == kGround ? 0.0 : x_[static_cast<std::size_t>(n - 1)];
+  }
+
+  [[nodiscard]] double aux(int index) const {
+    return x_[static_cast<std::size_t>(index)];
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return x_.size(); }
+  [[nodiscard]] std::vector<double>& raw() noexcept { return x_; }
+  [[nodiscard]] const std::vector<double>& raw() const noexcept { return x_; }
+
+ private:
+  std::vector<double> x_;
+};
+
+}  // namespace icvbe::spice

@@ -1,0 +1,100 @@
+#include "icvbe/common/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <ostream>
+
+#include "icvbe/common/error.hpp"
+#include "icvbe/common/table.hpp"
+
+namespace icvbe {
+
+namespace {
+constexpr char kPalette[] = {'*', '+', 'o', 'x', '#', '@', '%', '&', '~', '='};
+}
+
+AsciiPlot::AsciiPlot(AsciiPlotOptions options) : options_(std::move(options)) {
+  ICVBE_REQUIRE(options_.width >= 16 && options_.height >= 4,
+                "AsciiPlot: chart area too small");
+}
+
+void AsciiPlot::add(const Series& series, char glyph) {
+  if (glyph == '\0') {
+    glyph = kPalette[series_.size() % (sizeof kPalette)];
+  }
+  series_.push_back(series);
+  glyphs_.push_back(glyph);
+}
+
+void AsciiPlot::print(std::ostream& os) const {
+  if (series_.empty()) {
+    os << "(empty plot)\n";
+    return;
+  }
+  double xmin = std::numeric_limits<double>::infinity();
+  double xmax = -xmin, ymin = xmin, ymax = -xmin;
+  auto y_of = [&](double y) {
+    return options_.log_y ? std::log10(std::max(y, 1e-300)) : y;
+  };
+  for (const auto& s : series_) {
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      xmin = std::min(xmin, s.x(i));
+      xmax = std::max(xmax, s.x(i));
+      const double yv = y_of(s.y(i));
+      ymin = std::min(ymin, yv);
+      ymax = std::max(ymax, yv);
+    }
+  }
+  if (xmax <= xmin) xmax = xmin + 1.0;
+  if (ymax <= ymin) ymax = ymin + 1.0;
+
+  const int W = options_.width;
+  const int H = options_.height;
+  std::vector<std::string> grid(static_cast<std::size_t>(H),
+                                std::string(static_cast<std::size_t>(W), ' '));
+  for (std::size_t k = 0; k < series_.size(); ++k) {
+    const auto& s = series_[k];
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      const int cx = static_cast<int>(
+          std::lround((s.x(i) - xmin) / (xmax - xmin) * (W - 1)));
+      const int cy = static_cast<int>(
+          std::lround((y_of(s.y(i)) - ymin) / (ymax - ymin) * (H - 1)));
+      if (cx >= 0 && cx < W && cy >= 0 && cy < H) {
+        grid[static_cast<std::size_t>(H - 1 - cy)]
+            [static_cast<std::size_t>(cx)] = glyphs_[k];
+      }
+    }
+  }
+
+  if (!options_.title.empty()) os << options_.title << '\n';
+  if (!options_.y_label.empty()) {
+    os << (options_.log_y ? "log10(" + options_.y_label + ")"
+                          : options_.y_label)
+       << '\n';
+  }
+  for (int r = 0; r < H; ++r) {
+    const double yv = ymax - (ymax - ymin) * r / (H - 1);
+    os << format_sig(yv, 4);
+    for (std::size_t p = format_sig(yv, 4).size(); p < 11; ++p) os << ' ';
+    os << '|' << grid[static_cast<std::size_t>(r)] << '\n';
+  }
+  os << std::string(11, ' ') << '+' << std::string(static_cast<std::size_t>(W), '-')
+     << '\n';
+  os << std::string(12, ' ') << format_sig(xmin, 4);
+  const std::string right = format_sig(xmax, 4);
+  const int pad = W - static_cast<int>(format_sig(xmin, 4).size()) -
+                  static_cast<int>(right.size());
+  for (int p = 0; p < pad; ++p) os << ' ';
+  os << right << '\n';
+  if (!options_.x_label.empty()) {
+    os << std::string(12, ' ') << options_.x_label << '\n';
+  }
+  os << "legend:";
+  for (std::size_t k = 0; k < series_.size(); ++k) {
+    os << "  [" << glyphs_[k] << "] " << series_[k].name();
+  }
+  os << '\n';
+}
+
+}  // namespace icvbe

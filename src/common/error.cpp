@@ -1,0 +1,15 @@
+#include "icvbe/common/error.hpp"
+
+#include <sstream>
+
+namespace icvbe::detail {
+
+void throw_requirement_failed(const char* expr, const char* file, int line,
+                              const std::string& msg) {
+  std::ostringstream os;
+  os << "requirement failed: " << msg << " [" << expr << " at " << file << ':'
+     << line << ']';
+  throw Error(os.str());
+}
+
+}  // namespace icvbe::detail

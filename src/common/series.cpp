@@ -1,0 +1,108 @@
+#include "icvbe/common/series.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "icvbe/common/error.hpp"
+
+namespace icvbe {
+
+Series::Series(std::string name, std::vector<double> x, std::vector<double> y)
+    : name_(std::move(name)), x_(std::move(x)), y_(std::move(y)) {
+  ICVBE_REQUIRE(x_.size() == y_.size(),
+                "Series: x and y must have equal length");
+}
+
+void Series::push_back(double x, double y) {
+  x_.push_back(x);
+  y_.push_back(y);
+}
+
+void Series::reserve(std::size_t n) {
+  x_.reserve(n);
+  y_.reserve(n);
+}
+
+void Series::clear() {
+  x_.clear();
+  y_.clear();
+}
+
+bool Series::x_strictly_increasing() const noexcept {
+  for (std::size_t i = 1; i < x_.size(); ++i) {
+    if (x_[i] <= x_[i - 1]) return false;
+  }
+  return true;
+}
+
+double Series::interpolate(double at_x) const {
+  ICVBE_REQUIRE(x_.size() >= 2, "Series::interpolate needs >= 2 samples");
+  ICVBE_REQUIRE(x_strictly_increasing(),
+                "Series::interpolate needs strictly increasing x");
+  // Find the first knot >= at_x; clamp to the interior for extrapolation.
+  auto it = std::lower_bound(x_.begin(), x_.end(), at_x);
+  std::size_t hi = static_cast<std::size_t>(it - x_.begin());
+  if (hi == 0) hi = 1;
+  if (hi >= x_.size()) hi = x_.size() - 1;
+  const std::size_t lo = hi - 1;
+  const double t = (at_x - x_[lo]) / (x_[hi] - x_[lo]);
+  return y_[lo] + t * (y_[hi] - y_[lo]);
+}
+
+std::size_t Series::nearest_index(double at_x) const {
+  ICVBE_REQUIRE(!x_.empty(), "Series::nearest_index on empty series");
+  std::size_t best = 0;
+  double best_d = std::abs(x_[0] - at_x);
+  for (std::size_t i = 1; i < x_.size(); ++i) {
+    const double d = std::abs(x_[i] - at_x);
+    if (d < best_d) {
+      best_d = d;
+      best = i;
+    }
+  }
+  return best;
+}
+
+double Series::min_y() const {
+  ICVBE_REQUIRE(!y_.empty(), "Series::min_y on empty series");
+  return *std::min_element(y_.begin(), y_.end());
+}
+
+double Series::max_y() const {
+  ICVBE_REQUIRE(!y_.empty(), "Series::max_y on empty series");
+  return *std::max_element(y_.begin(), y_.end());
+}
+
+double Series::min_x() const {
+  ICVBE_REQUIRE(!x_.empty(), "Series::min_x on empty series");
+  return *std::min_element(x_.begin(), x_.end());
+}
+
+double Series::max_x() const {
+  ICVBE_REQUIRE(!x_.empty(), "Series::max_x on empty series");
+  return *std::max_element(x_.begin(), x_.end());
+}
+
+Series Series::log_y() const {
+  Series out(name_ + " (log)");
+  out.reserve(size());
+  for (std::size_t i = 0; i < size(); ++i) {
+    ICVBE_REQUIRE(y_[i] > 0.0, "Series::log_y requires positive y");
+    out.push_back(x_[i], std::log(y_[i]));
+  }
+  return out;
+}
+
+Series Series::sorted_by_x() const {
+  std::vector<std::size_t> idx(size());
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  std::stable_sort(idx.begin(), idx.end(),
+                   [this](std::size_t a, std::size_t b) { return x_[a] < x_[b]; });
+  Series out(name_);
+  out.reserve(size());
+  for (std::size_t i : idx) out.push_back(x_[i], y_[i]);
+  return out;
+}
+
+}  // namespace icvbe

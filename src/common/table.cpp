@@ -1,0 +1,101 @@
+#include "icvbe/common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+#include "icvbe/common/error.hpp"
+
+namespace icvbe {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  ICVBE_REQUIRE(!header_.empty(), "Table header must not be empty");
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  ICVBE_REQUIRE(row.size() == header_.size(),
+                "Table row width must match header");
+  rows_.push_back(std::move(row));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << '|';
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << ' ' << row[c];
+      for (std::size_t p = row[c].size(); p < width[c]; ++p) os << ' ';
+      os << " |";
+    }
+    os << '\n';
+  };
+  print_row(header_);
+  os << '|';
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    for (std::size_t p = 0; p < width[c] + 2; ++p) os << '-';
+    os << '|';
+  }
+  os << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+namespace {
+void print_csv_cell(std::ostream& os, const std::string& cell) {
+  if (cell.find(',') != std::string::npos ||
+      cell.find('"') != std::string::npos) {
+    os << '"';
+    for (char ch : cell) {
+      if (ch == '"') os << '"';
+      os << ch;
+    }
+    os << '"';
+  } else {
+    os << cell;
+  }
+}
+}  // namespace
+
+void Table::print_csv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      print_csv_cell(os, row[c]);
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+}
+
+void Table::write_csv(const std::string& path) const {
+  std::ofstream f(path);
+  ICVBE_REQUIRE(f.good(), "Table::write_csv: cannot open " + path);
+  print_csv(f);
+}
+
+std::string format_fixed(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
+  return buf;
+}
+
+std::string format_sig(double v, int significant) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*g", significant, v);
+  return buf;
+}
+
+std::string format_sci(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*e", decimals, v);
+  return buf;
+}
+
+}  // namespace icvbe

@@ -1,0 +1,141 @@
+#include "icvbe/extract/meijer.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "icvbe/common/constants.hpp"
+#include "icvbe/common/error.hpp"
+#include "icvbe/linalg/solve.hpp"
+#include "icvbe/physics/vbe_model.hpp"
+
+namespace icvbe::extract {
+
+double computed_temperature(double dvbe_t, double dvbe_ref,
+                            double t_ref_kelvin) {
+  ICVBE_REQUIRE(dvbe_ref > 0.0 && dvbe_t > 0.0,
+                "computed_temperature: dVBE must be positive");
+  ICVBE_REQUIRE(t_ref_kelvin > 0.0,
+                "computed_temperature: reference T must be > 0");
+  return t_ref_kelvin * dvbe_t / dvbe_ref;  // eq. (16)
+}
+
+double current_ratio_x(double ic_a_t, double ic_b_t, double ic_a_ref,
+                       double ic_b_ref) {
+  ICVBE_REQUIRE(ic_a_t > 0.0 && ic_b_t > 0.0 && ic_a_ref > 0.0 &&
+                    ic_b_ref > 0.0,
+                "current_ratio_x: currents must be positive");
+  return (ic_a_t * ic_b_ref) / (ic_a_ref * ic_b_t);  // eq. (20)
+}
+
+double current_correction_coefficient(double t_ref_kelvin, double x_ratio) {
+  ICVBE_REQUIRE(x_ratio > 0.0,
+                "current_correction_coefficient: X must be positive");
+  return thermal_voltage(t_ref_kelvin) * std::log(x_ratio);
+}
+
+double computed_temperature_corrected(double dvbe_t, double dvbe_ref,
+                                      double t_ref_kelvin, double x_ratio) {
+  // dVBE(T) = (kT/q) ln(p r(T));  ln(p r(T)) = ln(p r(Tref)) + ln X
+  //   => T = Tref dVBE(T) / (dVBE(Tref) + (k Tref/q) ln X).      (eq. 19)
+  const double a = current_correction_coefficient(t_ref_kelvin, x_ratio);
+  const double denom = dvbe_ref + a;
+  ICVBE_REQUIRE(denom > 0.0,
+                "computed_temperature_corrected: corrected dVBE(Tref) <= 0");
+  return t_ref_kelvin * dvbe_t / denom;
+}
+
+Series meijer_line(double t_a, double vbe_a, double t_b, double vbe_b,
+                   const std::vector<double>& xti_grid) {
+  ICVBE_REQUIRE(xti_grid.size() >= 2, "meijer_line: need >= 2 XTI values");
+  const auto eq = physics::meijer_equation(t_a, vbe_a, t_b, vbe_b);
+  Series line("Meijer EG(XTI)");
+  line.reserve(xti_grid.size());
+  for (double xti : xti_grid) {
+    line.push_back(xti, (eq.lhs - xti * eq.coeff_xti) / eq.coeff_eg);
+  }
+  return line;
+}
+
+EgXtiResult meijer_extract(double t1, double vbe1, double t2, double vbe2,
+                           double t3, double vbe3) {
+  ICVBE_REQUIRE(t1 > 0.0 && t2 > t1 && t3 > t2,
+                "meijer_extract: need 0 < T1 < T2 < T3");
+  const auto eq12 = physics::meijer_equation(t1, vbe1, t2, vbe2);
+  const auto eq23 = physics::meijer_equation(t2, vbe2, t3, vbe3);
+  const auto [eg, xti] =
+      linalg::solve2x2(eq12.coeff_eg, eq12.coeff_xti, eq23.coeff_eg,
+                       eq23.coeff_xti, eq12.lhs, eq23.lhs);
+  EgXtiResult out;
+  out.eg = eg;
+  out.xti = xti;
+  // Exactly determined 2x2 system: no residual statistics.
+  out.rmse = 0.0;
+  out.correlation = -1.0;  // the couple still lies on the characteristic line
+  out.condition = std::numeric_limits<double>::quiet_NaN();
+  return out;
+}
+
+namespace {
+const lab::CellPoint& nearest_point(const std::vector<lab::CellPoint>& sweep,
+                                    double t_celsius) {
+  ICVBE_REQUIRE(!sweep.empty(), "meijer_from_cell: empty sweep");
+  const double target = to_kelvin(t_celsius);
+  std::size_t best = 0;
+  double best_d = std::abs(sweep[0].t_sensor - target);
+  for (std::size_t i = 1; i < sweep.size(); ++i) {
+    const double d = std::abs(sweep[i].t_sensor - target);
+    if (d < best_d) {
+      best_d = d;
+      best = i;
+    }
+  }
+  return sweep[best];
+}
+}  // namespace
+
+MeijerCampaignResult meijer_from_cell(const std::vector<lab::CellPoint>& sweep,
+                                      double t1_celsius, double t2_celsius,
+                                      double t3_celsius) {
+  MeijerCampaignResult r;
+  r.p1 = nearest_point(sweep, t1_celsius);
+  r.p2 = nearest_point(sweep, t2_celsius);
+  r.p3 = nearest_point(sweep, t3_celsius);
+
+  // eq. (16) raw computed temperatures.
+  r.t1_computed_uncorrected =
+      computed_temperature(r.p1.delta_vbe, r.p2.delta_vbe, r.p2.t_sensor);
+  r.t3_computed_uncorrected =
+      computed_temperature(r.p3.delta_vbe, r.p2.delta_vbe, r.p2.t_sensor);
+
+  // eqs. (19)-(20) current-ratio correction (weak by design of the cell).
+  r.x_ratio_t1 =
+      current_ratio_x(r.p1.ic_qa, r.p1.ic_qb, r.p2.ic_qa, r.p2.ic_qb);
+  r.x_ratio_t3 =
+      current_ratio_x(r.p3.ic_qa, r.p3.ic_qb, r.p2.ic_qa, r.p2.ic_qb);
+  r.t1_computed = computed_temperature_corrected(
+      r.p1.delta_vbe, r.p2.delta_vbe, r.p2.t_sensor, r.x_ratio_t1);
+  r.t3_computed = computed_temperature_corrected(
+      r.p3.delta_vbe, r.p2.delta_vbe, r.p2.t_sensor, r.x_ratio_t3);
+
+  // (C2): sensor temperatures everywhere.
+  r.with_measured_t =
+      meijer_extract(r.p1.t_sensor, r.p1.vbe_qa, r.p2.t_sensor, r.p2.vbe_qa,
+                     r.p3.t_sensor, r.p3.vbe_qa);
+  // (C3): computed temperatures at T1/T3, measured reference at T2.
+  r.with_computed_t =
+      meijer_extract(r.t1_computed, r.p1.vbe_qa, r.p2.t_sensor, r.p2.vbe_qa,
+                     r.t3_computed, r.p3.vbe_qa);
+  return r;
+}
+
+TemperatureComparison compare_temperatures(const MeijerCampaignResult& r) {
+  TemperatureComparison c;
+  c.t1_measured = r.p1.t_sensor;
+  c.t2_measured = r.p2.t_sensor;
+  c.t3_measured = r.p3.t_sensor;
+  c.t1_computed = r.t1_computed;
+  c.t3_computed = r.t3_computed;
+  return c;
+}
+
+}  // namespace icvbe::extract

@@ -1,0 +1,141 @@
+#include "icvbe/extract/nonlinear.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "icvbe/common/constants.hpp"
+#include "icvbe/common/error.hpp"
+#include "icvbe/fit/least_squares.hpp"
+#include "icvbe/fit/levenberg_marquardt.hpp"
+#include "icvbe/physics/vbe_model.hpp"
+
+namespace icvbe::extract {
+
+NonlinearFitResult nonlinear_fit_eg_xti(const std::vector<VbeSample>& data,
+                                        const NonlinearFitOptions& options) {
+  ICVBE_REQUIRE(data.size() >= 4,
+                "nonlinear_fit_eg_xti: need >= 4 samples for 3 parameters");
+  const double t0 = options.t0;
+  ICVBE_REQUIRE(t0 > 0.0, "nonlinear_fit_eg_xti: t0 must be > 0");
+  const bool use_var =
+      options.var_volts > 0.0 && std::isfinite(options.var_volts);
+
+  // Starting VBE(T0): interpolate from the data.
+  Series s("vbe");
+  for (const auto& p : data) s.push_back(p.t_kelvin, p.vbe);
+  const double vbe0_start = s.sorted_by_x().interpolate(t0);
+
+  fit::ResidualFn residuals = [&](const linalg::Vector& p,
+                                  linalg::Vector& r) {
+    const double eg = p[0];
+    const double xti = p[1];
+    const double vbe0 = p[2];
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      const double t = data[i].t_kelvin;
+      double ref_term = (t / t0) * vbe0;
+      if (use_var) {
+        ref_term *= physics::early_correction(options.var_volts, vbe0,
+                                              data[i].vbe);
+      }
+      const double model = eg * (1.0 - t / t0) + ref_term -
+                           xti * thermal_voltage(t) * std::log(t / t0);
+      r[i] = model - data[i].vbe;
+    }
+  };
+
+  fit::LmOptions lm;
+  lm.max_iterations = 500;
+  const fit::LmResult out = fit::levenberg_marquardt(
+      residuals, data.size(),
+      {options.eg_start, options.xti_start, vbe0_start}, lm);
+
+  NonlinearFitResult res;
+  res.eg = out.parameters[0];
+  res.xti = out.parameters[1];
+  res.vbe_t0 = out.parameters[2];
+  res.rmse = std::sqrt(2.0 * out.cost /
+                       static_cast<double>(data.size() > 3 ? data.size() - 3
+                                                           : 1));
+  res.converged = out.converged;
+  res.iterations = out.iterations;
+  return res;
+}
+
+EgXtiResult robust_fit_eg_xti(const std::vector<VbeSample>& data,
+                              const BestFitOptions& options, double huber_k,
+                              std::vector<bool>* outlier_mask) {
+  ICVBE_REQUIRE(huber_k > 0.0, "robust_fit_eg_xti: huber_k must be > 0");
+  ICVBE_REQUIRE(data.size() >= 4,
+                "robust_fit_eg_xti: need >= 4 samples to detect outliers");
+
+  // Start from the plain fit, then IRLS with Huber weights.
+  EgXtiResult result = best_fit_eg_xti(data, options);
+  std::vector<double> weights(data.size(), 1.0);
+
+  const double t0 = options.t0;
+  // Resolve VBE(T0) once, exactly as best_fit does.
+  Series s("vbe");
+  for (const auto& p : data) s.push_back(p.t_kelvin, p.vbe);
+  const double vbe0 = options.vbe_t0 != 0.0
+                          ? options.vbe_t0
+                          : s.sorted_by_x().interpolate(t0);
+
+  for (int iter = 0; iter < 30; ++iter) {
+    // Residuals of the current couple.
+    std::vector<double> res(data.size());
+    std::vector<double> abs_res(data.size());
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      const double t = data[i].t_kelvin;
+      const double model = result.eg * (1.0 - t / t0) + (t / t0) * vbe0 -
+                           result.xti * thermal_voltage(t) * std::log(t / t0);
+      res[i] = data[i].vbe - model;
+      abs_res[i] = std::abs(res[i]);
+    }
+    // Robust scale: 1.4826 * MAD.
+    std::vector<double> sorted = abs_res;
+    std::nth_element(sorted.begin(), sorted.begin() + sorted.size() / 2,
+                     sorted.end());
+    const double mad = sorted[sorted.size() / 2];
+    const double scale = std::max(1.4826 * mad, 1e-9);
+
+    bool changed = false;
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      const double u = abs_res[i] / (huber_k * scale);
+      const double w = (u <= 1.0) ? 1.0 : 1.0 / u;
+      if (std::abs(w - weights[i]) > 1e-6) changed = true;
+      weights[i] = w;
+    }
+
+    // Weighted linear fit with the frozen VBE(T0).
+    linalg::Matrix a(data.size(), 2);
+    linalg::Vector y(data.size());
+    linalg::Vector w(data.size());
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      const double t = data[i].t_kelvin;
+      a(i, 0) = 1.0 - t / t0;
+      a(i, 1) = -thermal_voltage(t) * std::log(t / t0);
+      y[i] = data[i].vbe - (t / t0) * vbe0;
+      w[i] = std::max(weights[i], 1e-6);
+    }
+    const fit::LinearFitResult lsq =
+        fit::weighted_linear_least_squares(a, y, w);
+    result.eg = lsq.parameters[0];
+    result.xti = lsq.parameters[1];
+    result.rmse = lsq.rmse;
+    result.correlation = lsq.param_correlation(0, 1);
+    result.condition = lsq.condition_number;
+    result.sigma_eg = lsq.param_sigma(0);
+    result.sigma_xti = lsq.param_sigma(1);
+    if (!changed && iter > 0) break;
+  }
+
+  if (outlier_mask != nullptr) {
+    outlier_mask->assign(data.size(), false);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      (*outlier_mask)[i] = weights[i] < 0.67;
+    }
+  }
+  return result;
+}
+
+}  // namespace icvbe::extract

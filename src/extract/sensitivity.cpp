@@ -1,0 +1,84 @@
+#include "icvbe/extract/sensitivity.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "icvbe/common/error.hpp"
+#include "icvbe/common/rng.hpp"
+#include "icvbe/extract/meijer.hpp"
+
+namespace icvbe::extract {
+
+VbeErrorPropagation propagate_vbe_error(const std::vector<VbeSample>& clean,
+                                        double true_eg, double rel_error,
+                                        int trials,
+                                        const BestFitOptions& options,
+                                        std::uint64_t seed) {
+  ICVBE_REQUIRE(trials >= 1, "propagate_vbe_error: need >= 1 trial");
+  ICVBE_REQUIRE(true_eg > 0.0, "propagate_vbe_error: true EG must be > 0");
+
+  const EgXtiResult base = best_fit_eg_xti(clean, options);
+  VbeErrorPropagation out;
+  out.vbe_rel_error = rel_error;
+
+  double eg_sq = 0.0, xti_sq = 0.0;
+  Rng rng(seed);
+  std::vector<VbeSample> noisy = clean;
+  for (int t = 0; t < trials; ++t) {
+    for (std::size_t i = 0; i < clean.size(); ++i) {
+      noisy[i].vbe =
+          clean[i].vbe + rng.gaussian(0.0, rel_error * std::abs(clean[i].vbe));
+    }
+    const EgXtiResult r = best_fit_eg_xti(noisy, options);
+    const double eg_rel = std::abs(r.eg - base.eg) / true_eg;
+    const double xti_abs = std::abs(r.xti - base.xti);
+    eg_sq += eg_rel * eg_rel;
+    xti_sq += xti_abs * xti_abs;
+    out.eg_rel_max = std::max(out.eg_rel_max, eg_rel);
+    out.xti_abs_max = std::max(out.xti_abs_max, xti_abs);
+  }
+  out.eg_rel_rms = std::sqrt(eg_sq / trials);
+  out.xti_abs_rms = std::sqrt(xti_sq / trials);
+  return out;
+}
+
+std::vector<T2Sensitivity> meijer_t2_sensitivity(
+    double t1, double vbe1, double t2, double vbe2, double t3, double vbe3,
+    const std::vector<double>& t2_deltas) {
+  std::vector<T2Sensitivity> out;
+  out.reserve(t2_deltas.size());
+  for (double dt : t2_deltas) {
+    // An error on the single measured temperature T2 rescales the computed
+    // T1 and T3 proportionally (eq. 16 multiplies by T2), which is exactly
+    // why the method tolerates it: the Meijer system is nearly invariant
+    // under a common temperature scale.
+    const double scale = (t2 + dt) / t2;
+    T2Sensitivity s;
+    s.delta_t2 = dt;
+    const EgXtiResult r = meijer_extract(t1 * scale, vbe1, t2 + dt, vbe2,
+                                         t3 * scale, vbe3);
+    s.eg = r.eg;
+    s.xti = r.xti;
+    out.push_back(s);
+  }
+  return out;
+}
+
+double worst_case_eg_error(const std::vector<VbeSample>& clean, double true_eg,
+                           double rel_error, const BestFitOptions& options) {
+  ICVBE_REQUIRE(true_eg > 0.0, "worst_case_eg_error: true EG must be > 0");
+  const EgXtiResult base = best_fit_eg_xti(clean, options);
+  double worst = 0.0;
+  std::vector<VbeSample> bumped = clean;
+  for (std::size_t i = 0; i < clean.size(); ++i) {
+    for (double sign : {-1.0, 1.0}) {
+      bumped = clean;
+      bumped[i].vbe = clean[i].vbe * (1.0 + sign * rel_error);
+      const EgXtiResult r = best_fit_eg_xti(bumped, options);
+      worst = std::max(worst, std::abs(r.eg - base.eg) / true_eg);
+    }
+  }
+  return worst;
+}
+
+}  // namespace icvbe::extract

@@ -1,0 +1,141 @@
+#include "icvbe/fit/least_squares.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "icvbe/common/error.hpp"
+#include "icvbe/linalg/solve.hpp"
+
+namespace icvbe::fit {
+
+double LinearFitResult::param_sigma(std::size_t i) const {
+  return std::sqrt(std::max(covariance(i, i), 0.0));
+}
+
+namespace {
+
+LinearFitResult finish_fit(const linalg::Matrix& a, const linalg::Vector& y,
+                           linalg::Vector x) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  LinearFitResult out;
+  out.parameters = std::move(x);
+  out.residuals = linalg::subtract(y, a.multiply(out.parameters));
+  out.rss = linalg::dot(out.residuals, out.residuals);
+  const double dof = static_cast<double>(m > n ? m - n : 1);
+  out.rmse = std::sqrt(out.rss / dof);
+
+  double mean = 0.0;
+  for (double v : y) mean += v;
+  mean /= static_cast<double>(m);
+  double tss = 0.0;
+  for (double v : y) tss += (v - mean) * (v - mean);
+  out.r_squared = (tss > 0.0) ? 1.0 - out.rss / tss : 1.0;
+
+  // Covariance sigma^2 (A^T A)^-1 via LU on the normal matrix (n is tiny).
+  linalg::Matrix ata = a.transposed().multiply(a);
+  const double sigma2 = out.rss / dof;
+  try {
+    linalg::LuFactorization lu(ata);
+    out.covariance.resize(n, n);
+    linalg::Vector e(n, 0.0);
+    for (std::size_t j = 0; j < n; ++j) {
+      std::fill(e.begin(), e.end(), 0.0);
+      e[j] = 1.0;
+      linalg::Vector col = lu.solve(e);
+      for (std::size_t i = 0; i < n; ++i) out.covariance(i, j) = sigma2 * col[i];
+    }
+    out.condition_number = lu.condition_estimate();
+  } catch (const NumericalError&) {
+    // Nearly singular normal matrix: report infinite conditioning; the
+    // covariance stays zero-sized which param_sigma callers must expect.
+    out.condition_number = std::numeric_limits<double>::infinity();
+    out.covariance.resize(n, n, 0.0);
+  }
+
+  out.correlation.resize(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const double d = std::sqrt(std::max(out.covariance(i, i), 0.0) *
+                                 std::max(out.covariance(j, j), 0.0));
+      out.correlation(i, j) = (d > 0.0) ? out.covariance(i, j) / d
+                                        : (i == j ? 1.0 : 0.0);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+LinearFitResult linear_least_squares(const linalg::Matrix& a,
+                                     const linalg::Vector& y) {
+  ICVBE_REQUIRE(a.rows() == y.size(),
+                "linear_least_squares: row/observation mismatch");
+  ICVBE_REQUIRE(a.rows() >= a.cols(),
+                "linear_least_squares: underdetermined system");
+  linalg::QrFactorization qr(a);
+  return finish_fit(a, y, qr.solve_least_squares(y));
+}
+
+LinearFitResult weighted_linear_least_squares(const linalg::Matrix& a,
+                                              const linalg::Vector& y,
+                                              const linalg::Vector& weights) {
+  ICVBE_REQUIRE(a.rows() == y.size() && y.size() == weights.size(),
+                "weighted_linear_least_squares: size mismatch");
+  linalg::Matrix aw(a.rows(), a.cols());
+  linalg::Vector yw(y.size());
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    ICVBE_REQUIRE(weights[i] > 0.0, "weights must be positive");
+    const double s = std::sqrt(weights[i]);
+    for (std::size_t j = 0; j < a.cols(); ++j) aw(i, j) = s * a(i, j);
+    yw[i] = s * y[i];
+  }
+  linalg::QrFactorization qr(aw);
+  return finish_fit(aw, yw, qr.solve_least_squares(yw));
+}
+
+linalg::Matrix design_matrix(
+    const std::vector<double>& x,
+    const std::vector<std::function<double(double)>>& basis) {
+  ICVBE_REQUIRE(!basis.empty(), "design_matrix: no basis functions");
+  linalg::Matrix a(x.size(), basis.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    for (std::size_t j = 0; j < basis.size(); ++j) a(i, j) = basis[j](x[i]);
+  }
+  return a;
+}
+
+LinearFitResult polynomial_fit(const std::vector<double>& x,
+                               const std::vector<double>& y, int degree) {
+  ICVBE_REQUIRE(degree >= 0, "polynomial_fit: negative degree");
+  ICVBE_REQUIRE(x.size() == y.size(), "polynomial_fit: size mismatch");
+  linalg::Matrix a(x.size(), static_cast<std::size_t>(degree) + 1);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    double p = 1.0;
+    for (int j = 0; j <= degree; ++j) {
+      a(i, static_cast<std::size_t>(j)) = p;
+      p *= x[i];
+    }
+  }
+  return linear_least_squares(a, y);
+}
+
+double polyval(const linalg::Vector& coeffs, double x) {
+  double acc = 0.0;
+  for (std::size_t i = coeffs.size(); i-- > 0;) acc = acc * x + coeffs[i];
+  return acc;
+}
+
+LineFit fit_line(const std::vector<double>& x, const std::vector<double>& y) {
+  LinearFitResult r = polynomial_fit(x, y, 1);
+  LineFit out;
+  out.intercept = r.parameters[0];
+  out.slope = r.parameters[1];
+  out.r_squared = r.r_squared;
+  out.sigma_intercept = r.param_sigma(0);
+  out.sigma_slope = r.param_sigma(1);
+  return out;
+}
+
+}  // namespace icvbe::fit

@@ -1,0 +1,168 @@
+#include "icvbe/fit/levenberg_marquardt.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "icvbe/common/error.hpp"
+#include "icvbe/linalg/solve.hpp"
+
+namespace icvbe::fit {
+
+namespace {
+
+void numeric_jacobian(const ResidualFn& residuals, const linalg::Vector& p,
+                      const linalg::Vector& r0, double fd_step,
+                      linalg::Matrix& jac) {
+  const std::size_t m = r0.size();
+  const std::size_t n = p.size();
+  linalg::Vector pp = p;
+  linalg::Vector r1(m);
+  for (std::size_t j = 0; j < n; ++j) {
+    const double h = fd_step * std::max(std::abs(p[j]), 1.0);
+    pp[j] = p[j] + h;
+    residuals(pp, r1);
+    pp[j] = p[j];
+    for (std::size_t i = 0; i < m; ++i) jac(i, j) = (r1[i] - r0[i]) / h;
+  }
+}
+
+double half_sq_norm(const linalg::Vector& r) {
+  double acc = 0.0;
+  for (double v : r) acc += v * v;
+  return 0.5 * acc;
+}
+
+}  // namespace
+
+LmResult levenberg_marquardt(const ResidualFn& residuals,
+                             std::size_t residual_count, linalg::Vector p0,
+                             const LmOptions& options,
+                             const JacobianFn& jacobian) {
+  const std::size_t n = p0.size();
+  const std::size_t m = residual_count;
+  ICVBE_REQUIRE(n > 0, "LM: no parameters");
+  ICVBE_REQUIRE(m >= n, "LM: fewer residuals than parameters");
+
+  LmResult out;
+  out.parameters = std::move(p0);
+
+  linalg::Vector r(m);
+  residuals(out.parameters, r);
+  double cost = half_sq_norm(r);
+
+  linalg::Matrix jac(m, n);
+  double lambda = options.initial_lambda;
+
+  for (out.iterations = 0; out.iterations < options.max_iterations;
+       ++out.iterations) {
+    if (jacobian) {
+      jacobian(out.parameters, jac);
+    } else {
+      numeric_jacobian(residuals, out.parameters, r, options.fd_step, jac);
+    }
+
+    // Normal equations pieces: g = J^T r, H = J^T J.
+    linalg::Vector g(n, 0.0);
+    linalg::Matrix h(n, n, 0.0);
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t a = 0; a < n; ++a) {
+        g[a] += jac(i, a) * r[i];
+        for (std::size_t b = a; b < n; ++b) h(a, b) += jac(i, a) * jac(i, b);
+      }
+    }
+    for (std::size_t a = 0; a < n; ++a) {
+      for (std::size_t b = 0; b < a; ++b) h(a, b) = h(b, a);
+    }
+
+    if (linalg::norm_inf(g) < options.gradient_tol) {
+      out.converged = true;
+      out.stop_reason = "gradient below tolerance";
+      break;
+    }
+
+    bool stepped = false;
+    while (lambda <= options.max_lambda) {
+      // Marquardt scaling: damp with lambda * diag(H).
+      linalg::Matrix hd = h;
+      for (std::size_t a = 0; a < n; ++a) {
+        hd(a, a) += lambda * std::max(h(a, a), 1e-30);
+      }
+      linalg::Vector step;
+      try {
+        linalg::Vector neg_g(n);
+        for (std::size_t a = 0; a < n; ++a) neg_g[a] = -g[a];
+        step = linalg::lu_solve(hd, neg_g);
+      } catch (const NumericalError&) {
+        lambda *= options.lambda_up;
+        continue;
+      }
+      linalg::Vector p_try = linalg::axpy(out.parameters, 1.0, step);
+      linalg::Vector r_try(m);
+      residuals(p_try, r_try);
+      const double cost_try = half_sq_norm(r_try);
+      if (std::isfinite(cost_try) && cost_try < cost) {
+        const double rel_step =
+            linalg::norm2(step) /
+            std::max(linalg::norm2(out.parameters), 1e-30);
+        const double rel_improve = (cost - cost_try) / std::max(cost, 1e-300);
+        out.parameters = std::move(p_try);
+        r = std::move(r_try);
+        cost = cost_try;
+        lambda = std::max(lambda * options.lambda_down, 1e-15);
+        stepped = true;
+        if (rel_step < options.step_tol) {
+          out.converged = true;
+          out.stop_reason = "step below tolerance";
+        } else if (rel_improve < options.cost_tol) {
+          out.converged = true;
+          out.stop_reason = "cost improvement below tolerance";
+        }
+        break;
+      }
+      lambda *= options.lambda_up;
+    }
+    if (!stepped) {
+      out.converged = linalg::norm_inf(g) < 1e-6;
+      out.stop_reason = out.converged ? "stalled at small gradient"
+                                      : "lambda exceeded maximum";
+      break;
+    }
+    if (out.converged) break;
+  }
+  if (out.stop_reason.empty()) {
+    out.stop_reason = "max iterations reached";
+  }
+  out.cost = cost;
+
+  // Covariance at the solution: sigma^2 (J^T J)^-1.
+  if (jacobian) {
+    jacobian(out.parameters, jac);
+  } else {
+    residuals(out.parameters, r);
+    numeric_jacobian(residuals, out.parameters, r, options.fd_step, jac);
+  }
+  linalg::Matrix h(n, n, 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t a = 0; a < n; ++a) {
+      for (std::size_t b = 0; b < n; ++b) h(a, b) += jac(i, a) * jac(i, b);
+    }
+  }
+  const double dof = static_cast<double>(m > n ? m - n : 1);
+  const double sigma2 = 2.0 * cost / dof;
+  out.covariance.resize(n, n, 0.0);
+  try {
+    linalg::LuFactorization lu(h);
+    linalg::Vector e(n, 0.0);
+    for (std::size_t j = 0; j < n; ++j) {
+      std::fill(e.begin(), e.end(), 0.0);
+      e[j] = 1.0;
+      linalg::Vector col = lu.solve(e);
+      for (std::size_t i = 0; i < n; ++i) out.covariance(i, j) = sigma2 * col[i];
+    }
+  } catch (const NumericalError&) {
+    // leave zero covariance; caller sees it as "unavailable"
+  }
+  return out;
+}
+
+}  // namespace icvbe::fit

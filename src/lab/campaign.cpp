@@ -1,0 +1,195 @@
+#include "icvbe/lab/campaign.hpp"
+
+#include <cmath>
+
+#include "icvbe/common/constants.hpp"
+#include "icvbe/common/error.hpp"
+#include "icvbe/common/table.hpp"
+#include "icvbe/spice/analysis.hpp"
+#include "icvbe/spice/dc_solver.hpp"
+#include "icvbe/thermal/electrothermal.hpp"
+
+namespace icvbe::lab {
+
+Laboratory::Laboratory(DieSample sample, CampaignConfig config)
+    : sample_(std::move(sample)),
+      config_(std::move(config)),
+      sensor_(Rng::child(config_.seed, 1), config_.sensor_spec),
+      smu_vbe_(Rng::child(config_.seed, 2), config_.smu_spec),
+      smu_pad_(Rng::child(config_.seed, 3), config_.smu_spec),
+      smu_aux_(Rng::child(config_.seed, 4), config_.smu_spec) {}
+
+double Laboratory::die_temperature(double chamber_kelvin,
+                                   double power_watts) const {
+  if (config_.ideal_thermal) return chamber_kelvin;
+  return sample_.fixture.die_temperature(chamber_kelvin, power_watts);
+}
+
+std::vector<Series> Laboratory::icvbe_family(
+    const std::vector<double>& chamber_celsius, double vbe_min,
+    double vbe_max, int points) {
+  ICVBE_REQUIRE(points >= 2, "icvbe_family: need >= 2 sweep points");
+  std::vector<Series> out;
+  out.reserve(chamber_celsius.size());
+
+  for (double tc : chamber_celsius) {
+    // The DUT dissipates microwatts at the currents of interest, so the
+    // die temperature is the fixture value at zero chip power (the rest of
+    // the chip is unpowered during single-device characterisation).
+    const double t_die = die_temperature(to_kelvin(tc), 0.0);
+
+    // Common-base bias with VCB = 0: emitter driven, base and collector
+    // grounded -- the same junction configuration as the diode-connected
+    // cell devices.
+    spice::Circuit c;
+    const spice::NodeId e = c.node("e");
+    auto& ve = c.add_vsource("VE", e, spice::kGround, 0.6);
+    c.add_bjt("DUT", spice::kGround, spice::kGround, e, sample_.qin, 1.0,
+              spice::kGround);
+    c.set_temperature(t_die);
+
+    Series family("IC(VBE) at " + format_fixed(tc, 1) + " C");
+    family.reserve(static_cast<std::size_t>(points));
+    spice::Unknowns warm;
+    bool have_warm = false;
+    for (int i = 0; i < points; ++i) {
+      const double setpoint =
+          vbe_min + (vbe_max - vbe_min) * static_cast<double>(i) /
+                        static_cast<double>(points - 1);
+      const double forced = config_.ideal_instruments
+                                ? setpoint
+                                : smu_vbe_.force_voltage(setpoint);
+      ve.set_voltage(forced);
+      spice::DcResult r = spice::solve_dc(c, {}, have_warm ? &warm : nullptr);
+      if (!r.converged) {
+        throw MeasurementError("icvbe_family: bias point failed to solve");
+      }
+      warm = r.solution;
+      have_warm = true;
+      auto& dut = c.get<spice::Bjt>("DUT");
+      const double ic_true = std::abs(dut.currents(r.solution).ic);
+      const double ic_meas = config_.ideal_instruments
+                                 ? ic_true
+                                 : smu_aux_.measure_current(ic_true);
+      // Record the *programmed* VBE on x (that is how a real analyser
+      // reports a forced sweep) and the measured current on y.
+      family.push_back(setpoint, std::max(ic_meas, 1e-16));
+    }
+    out.push_back(std::move(family));
+  }
+  return out;
+}
+
+std::vector<VbePoint> Laboratory::vbe_vs_temperature(
+    double ic_amps, const std::vector<double>& chamber_celsius) {
+  ICVBE_REQUIRE(ic_amps > 0.0, "vbe_vs_temperature: current must be > 0");
+  std::vector<VbePoint> out;
+  out.reserve(chamber_celsius.size());
+
+  for (double tc : chamber_celsius) {
+    const double t_die = die_temperature(to_kelvin(tc), 0.0);
+
+    // Forced emitter current into the diode-connected DUT; VBE read at the
+    // emitter (VCB = 0).
+    spice::Circuit c;
+    const spice::NodeId e = c.node("e");
+    const double forced = config_.ideal_instruments
+                              ? ic_amps
+                              : smu_aux_.force_current(ic_amps);
+    c.add_isource("IE", spice::kGround, e, forced);
+    c.add_bjt("DUT", spice::kGround, spice::kGround, e, sample_.qin, 1.0,
+              spice::kGround);
+    c.set_temperature(t_die);
+    const spice::Unknowns x = spice::solve_dc_or_throw(c);
+
+    auto& dut = c.get<spice::Bjt>("DUT");
+    VbePoint p;
+    p.t_die_true = t_die;
+    p.t_sensor = config_.ideal_instruments ? to_kelvin(tc)
+                                           : sensor_.read(to_kelvin(tc));
+    const double vbe_true = x.node_voltage(e);
+    p.vbe = config_.ideal_instruments ? vbe_true
+                                      : smu_vbe_.measure_voltage(vbe_true);
+    const double ic_true = std::abs(dut.currents(x).ic);
+    p.ic = config_.ideal_instruments ? ic_true
+                                     : smu_aux_.measure_current(ic_true);
+    out.push_back(p);
+  }
+  return out;
+}
+
+bandgap::TestCellHandles Laboratory::build_cell(spice::Circuit& circuit,
+                                                double radja_ohms) const {
+  bandgap::TestCellParams p = config_.cell;
+  p.qa_model = sample_.qa;
+  p.qb_model = sample_.qb;
+  p.opamp_offset = sample_.opamp_offset;
+  p.radja = radja_ohms;
+  p.rx1 *= sample_.resistor_scale;
+  p.rx2 *= sample_.resistor_scale;
+  p.rb *= sample_.resistor_scale;
+  return bandgap::build_test_cell(circuit, p);
+}
+
+std::vector<CellPoint> Laboratory::test_cell_sweep(
+    const std::vector<double>& chamber_celsius, double radja_ohms) {
+  std::vector<CellPoint> out;
+  out.reserve(chamber_celsius.size());
+
+  for (double tc : chamber_celsius) {
+    spice::Circuit c;
+    const bandgap::TestCellHandles h = build_cell(c, radja_ohms);
+
+    // Electro-thermal: the cell's own power plus the chip's auxiliary
+    // circuitry heat the die above the fixture-leak-adjusted ambient.
+    const double chamber_k = to_kelvin(tc);
+    double t_die = die_temperature(chamber_k, 0.0);
+    bandgap::CellObservation obs{};
+    for (int pass = 0; pass < 8; ++pass) {
+      obs = bandgap::solve_cell_at(c, h, t_die);
+      const double t_new =
+          config_.ideal_thermal
+              ? chamber_k
+              : die_temperature(chamber_k, obs.power);
+      if (std::abs(t_new - t_die) < 1e-4) {
+        t_die = t_new;
+        break;
+      }
+      t_die = t_new;
+    }
+    obs = bandgap::solve_cell_at(c, h, t_die);
+
+    CellPoint p;
+    p.t_die_true = t_die;
+    p.t_sensor = config_.ideal_instruments ? chamber_k
+                                           : sensor_.read(chamber_k);
+    if (config_.ideal_instruments) {
+      p.vbe_qa = obs.vbe_qa;
+      p.vbe_qb = obs.vbe_qb;
+      p.vref = obs.vref;
+      p.ic_qa = obs.ic_qa;
+      p.ic_qb = obs.ic_qb;
+    } else {
+      p.vbe_qa = smu_vbe_.measure_voltage(obs.vbe_qa);
+      p.vbe_qb = smu_pad_.measure_voltage(obs.vbe_qb);
+      p.vref = smu_aux_.measure_voltage(obs.vref);
+      p.ic_qa = smu_aux_.measure_current(obs.ic_qa);
+      p.ic_qb = smu_aux_.measure_current(obs.ic_qb);
+    }
+    p.delta_vbe = p.vbe_qa - p.vbe_qb;
+    out.push_back(p);
+  }
+  return out;
+}
+
+Series Laboratory::vref_curve(const std::vector<double>& chamber_celsius,
+                              double radja_ohms) {
+  Series s("VREF(T), RadjA=" + format_fixed(radja_ohms / 1e3, 2) + "k");
+  const auto points = test_cell_sweep(chamber_celsius, radja_ohms);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    s.push_back(chamber_celsius[i], points[i].vref);
+  }
+  return s;
+}
+
+}  // namespace icvbe::lab

@@ -1,0 +1,193 @@
+#include "icvbe/linalg/solve.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "icvbe/common/error.hpp"
+
+namespace icvbe::linalg {
+
+LuFactorization::LuFactorization(Matrix a, double pivot_tol)
+    : lu_(std::move(a)), piv_(lu_.rows()) {
+  ICVBE_REQUIRE(lu_.rows() == lu_.cols(), "LU: matrix must be square");
+  const std::size_t n = lu_.rows();
+  ICVBE_REQUIRE(n > 0, "LU: empty matrix");
+
+  // 1-norm of A, kept for the condition estimate.
+  for (std::size_t c = 0; c < n; ++c) {
+    double col = 0.0;
+    for (std::size_t r = 0; r < n; ++r) col += std::abs(lu_(r, c));
+    a_norm1_ = std::max(a_norm1_, col);
+  }
+
+  const double scale = lu_.max_abs();
+  ICVBE_REQUIRE(scale > 0.0, "LU: zero matrix");
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivot: largest |value| in column k at/below the diagonal.
+    std::size_t p = k;
+    double best = std::abs(lu_(k, k));
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double v = std::abs(lu_(r, k));
+      if (v > best) {
+        best = v;
+        p = r;
+      }
+    }
+    if (best < pivot_tol * scale) {
+      throw NumericalError("LU: matrix is singular to working precision");
+    }
+    piv_[k] = p;
+    if (p != k) {
+      pivot_sign_ = -pivot_sign_;
+      for (std::size_t c = 0; c < n; ++c) std::swap(lu_(k, c), lu_(p, c));
+    }
+    const double pivot = lu_(k, k);
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double m = lu_(r, k) / pivot;
+      lu_(r, k) = m;
+      if (m == 0.0) continue;
+      for (std::size_t c = k + 1; c < n; ++c) lu_(r, c) -= m * lu_(k, c);
+    }
+  }
+}
+
+Vector LuFactorization::solve(const Vector& b) const {
+  const std::size_t n = lu_.rows();
+  ICVBE_REQUIRE(b.size() == n, "LU::solve: rhs size mismatch");
+  Vector x = b;
+  for (std::size_t k = 0; k < n; ++k) {
+    if (piv_[k] != k) std::swap(x[k], x[piv_[k]]);
+  }
+  // Forward substitution with unit-lower L.
+  for (std::size_t r = 1; r < n; ++r) {
+    double acc = x[r];
+    for (std::size_t c = 0; c < r; ++c) acc -= lu_(r, c) * x[c];
+    x[r] = acc;
+  }
+  // Back substitution with U.
+  for (std::size_t ri = n; ri-- > 0;) {
+    double acc = x[ri];
+    for (std::size_t c = ri + 1; c < n; ++c) acc -= lu_(ri, c) * x[c];
+    x[ri] = acc / lu_(ri, ri);
+  }
+  return x;
+}
+
+double LuFactorization::determinant() const {
+  double det = pivot_sign_;
+  for (std::size_t i = 0; i < lu_.rows(); ++i) det *= lu_(i, i);
+  return det;
+}
+
+double LuFactorization::condition_estimate() const {
+  // Probe |A^-1| by solving against a handful of +/-1 vectors and taking
+  // the largest column-sum growth. Cheap and adequate for diagnostics.
+  const std::size_t n = lu_.rows();
+  double inv_norm = 0.0;
+  Vector e(n, 1.0);
+  for (int probe = 0; probe < 2; ++probe) {
+    for (std::size_t i = 0; i < n; ++i) e[i] = (probe == 0) ? 1.0 : ((i % 2) ? -1.0 : 1.0);
+    Vector x = solve(e);
+    double s = 0.0;
+    for (double v : x) s += std::abs(v);
+    inv_norm = std::max(inv_norm, s / static_cast<double>(n));
+  }
+  return a_norm1_ * inv_norm;
+}
+
+Vector lu_solve(Matrix a, const Vector& b) {
+  return LuFactorization(std::move(a)).solve(b);
+}
+
+QrFactorization::QrFactorization(Matrix a) : qr_(std::move(a)) {
+  const std::size_t m = qr_.rows();
+  const std::size_t n = qr_.cols();
+  ICVBE_REQUIRE(m >= n && n > 0, "QR: need m >= n >= 1");
+  beta_.assign(n, 0.0);
+  for (std::size_t k = 0; k < n; ++k) {
+    // Householder vector for column k.
+    double norm = 0.0;
+    for (std::size_t r = k; r < m; ++r) norm += qr_(r, k) * qr_(r, k);
+    norm = std::sqrt(norm);
+    if (norm == 0.0) {
+      beta_[k] = 0.0;  // column already zero below (and at) the diagonal
+      continue;
+    }
+    const double alpha = (qr_(k, k) >= 0.0) ? -norm : norm;
+    double v0 = qr_(k, k) - alpha;
+    // Normalise the Householder vector so its k-th entry is 1.
+    beta_[k] = -v0 / alpha;  // = 2 / (v^T v) * v0^2 ... classic LAPACK form
+    for (std::size_t r = k + 1; r < m; ++r) qr_(r, k) /= v0;
+    qr_(k, k) = alpha;
+    // Apply H_k = I - beta v v^T to the trailing columns.
+    for (std::size_t c = k + 1; c < n; ++c) {
+      double s = qr_(k, c);
+      for (std::size_t r = k + 1; r < m; ++r) s += qr_(r, k) * qr_(r, c);
+      s *= beta_[k];
+      qr_(k, c) -= s;
+      for (std::size_t r = k + 1; r < m; ++r) qr_(r, c) -= s * qr_(r, k);
+    }
+  }
+}
+
+Vector QrFactorization::apply_qt(const Vector& b) const {
+  const std::size_t m = qr_.rows();
+  const std::size_t n = qr_.cols();
+  ICVBE_REQUIRE(b.size() == m, "QR::apply_qt: size mismatch");
+  Vector y = b;
+  for (std::size_t k = 0; k < n; ++k) {
+    if (beta_[k] == 0.0) continue;
+    double s = y[k];
+    for (std::size_t r = k + 1; r < m; ++r) s += qr_(r, k) * y[r];
+    s *= beta_[k];
+    y[k] -= s;
+    for (std::size_t r = k + 1; r < m; ++r) y[r] -= s * qr_(r, k);
+  }
+  return y;
+}
+
+Vector QrFactorization::solve_r(const Vector& y, double rank_tol) const {
+  const std::size_t n = qr_.cols();
+  ICVBE_REQUIRE(y.size() >= n, "QR::solve_r: rhs too short");
+  const double r00 = std::abs(qr_(0, 0));
+  Vector x(n, 0.0);
+  for (std::size_t ki = n; ki-- > 0;) {
+    if (std::abs(qr_(ki, ki)) < rank_tol * std::max(r00, 1e-300)) {
+      throw NumericalError("QR: rank-deficient system (|R(k,k)| ~ 0)");
+    }
+    double acc = y[ki];
+    for (std::size_t c = ki + 1; c < n; ++c) acc -= qr_(ki, c) * x[c];
+    x[ki] = acc / qr_(ki, ki);
+  }
+  return x;
+}
+
+Vector QrFactorization::solve_least_squares(const Vector& b,
+                                            double rank_tol) const {
+  return solve_r(apply_qt(b), rank_tol);
+}
+
+Vector QrFactorization::r_diagonal() const {
+  const std::size_t n = qr_.cols();
+  Vector d(n);
+  for (std::size_t i = 0; i < n; ++i) d[i] = qr_(i, i);
+  return d;
+}
+
+Vector qr_least_squares(Matrix a, const Vector& b) {
+  return QrFactorization(std::move(a)).solve_least_squares(b);
+}
+
+std::pair<double, double> solve2x2(double a11, double a12, double a21,
+                                   double a22, double b1, double b2) {
+  const double det = a11 * a22 - a12 * a21;
+  const double scale = std::max({std::abs(a11), std::abs(a12), std::abs(a21),
+                                 std::abs(a22)});
+  if (scale == 0.0 || std::abs(det) < 1e-14 * scale * scale) {
+    throw NumericalError("solve2x2: singular system");
+  }
+  return {(b1 * a22 - b2 * a12) / det, (a11 * b2 - a21 * b1) / det};
+}
+
+}  // namespace icvbe::linalg

@@ -1,0 +1,53 @@
+#include "icvbe/physics/carrier.hpp"
+
+#include <cmath>
+
+#include "icvbe/common/constants.hpp"
+#include "icvbe/common/error.hpp"
+
+namespace icvbe::physics {
+
+double ni_squared(const EgModel& eg, double t_kelvin) {
+  ICVBE_REQUIRE(t_kelvin > 0.0, "ni_squared: T must be > 0");
+  const double t0 = 300.0;
+  const double kt = kBoltzmannEv * t_kelvin;   // kT/q in eV
+  const double kt0 = kBoltzmannEv * t0;
+  // eq. (6) anchored at T0 = 300 K.
+  const double exponent = -(eg.eg(t_kelvin) / kt - eg.eg(t0) / kt0);
+  const double ratio3 = std::pow(t_kelvin / t0, 3.0);
+  return kNi300 * kNi300 * ratio3 * std::exp(exponent);
+}
+
+double nie_squared(const EgModel& eg, double t_kelvin,
+                   double delta_eg_bgn_ev) {
+  ICVBE_REQUIRE(delta_eg_bgn_ev >= 0.0,
+                "nie_squared: narrowing must be >= 0");
+  const double kt = kBoltzmannEv * t_kelvin;
+  // eq. (3): narrowing raises the effective intrinsic concentration.
+  return ni_squared(eg, t_kelvin) * std::exp(delta_eg_bgn_ev / kt);
+}
+
+double slotboom_bandgap_narrowing(double na_cm3) {
+  ICVBE_REQUIRE(na_cm3 > 0.0, "slotboom: doping must be > 0");
+  constexpr double kV1 = 9.0e-3;   // eV
+  constexpr double kN0 = 1.0e17;   // cm^-3
+  if (na_cm3 <= kN0) return 0.0;
+  const double l = std::log(na_cm3 / kN0);
+  return kV1 * (l + std::sqrt(l * l + 0.5));
+}
+
+double BaseTransport::dnb(double t_kelvin) const {
+  ICVBE_REQUIRE(t_kelvin > 0.0, "BaseTransport::dnb: T must be > 0");
+  // eq. (4): D = (kT/q) mu, mu ~ T^-EN  =>  D ~ T^(1-EN).
+  return dnb_t0 * std::pow(t_kelvin / t0, 1.0 - en);
+}
+
+double BaseTransport::gummel_number(double t_kelvin) const {
+  ICVBE_REQUIRE(t_kelvin > 0.0,
+                "BaseTransport::gummel_number: T must be > 0");
+  // eq. (5): neutral-base impurity integral varies as T^Erho (bias-dependent
+  // base-width modulation folded into the exponent).
+  return gummel_t0 * std::pow(t_kelvin / t0, erho);
+}
+
+}  // namespace icvbe::physics

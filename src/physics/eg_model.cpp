@@ -1,0 +1,128 @@
+#include "icvbe/physics/eg_model.hpp"
+
+#include <cmath>
+
+#include "icvbe/common/error.hpp"
+
+namespace icvbe::physics {
+
+LinearEgModel::LinearEgModel(double eg_ref, double slope_a, double t_ref,
+                             std::string name)
+    : eg_ref_(eg_ref), a_(slope_a), t_ref_(t_ref), name_(std::move(name)) {
+  ICVBE_REQUIRE(eg_ref > 0.0, "LinearEgModel: non-positive EG(ref)");
+  ICVBE_REQUIRE(t_ref > 0.0, "LinearEgModel: non-positive reference T");
+}
+
+double LinearEgModel::eg(double t_kelvin) const {
+  return eg_ref_ - a_ * (t_kelvin - t_ref_);
+}
+
+double LinearEgModel::deg_dt(double /*t_kelvin*/) const { return -a_; }
+
+std::unique_ptr<EgModel> LinearEgModel::clone() const {
+  return std::make_unique<LinearEgModel>(*this);
+}
+
+VarshniEgModel::VarshniEgModel(double eg0, double alpha, double beta,
+                               std::string name)
+    : eg0_(eg0), alpha_(alpha), beta_(beta), name_(std::move(name)) {
+  ICVBE_REQUIRE(eg0 > 0.0, "VarshniEgModel: non-positive EG(0)");
+  ICVBE_REQUIRE(beta > 0.0, "VarshniEgModel: non-positive beta");
+}
+
+double VarshniEgModel::eg(double t_kelvin) const {
+  ICVBE_REQUIRE(t_kelvin >= 0.0, "VarshniEgModel: negative temperature");
+  return eg0_ - alpha_ * t_kelvin * t_kelvin / (t_kelvin + beta_);
+}
+
+double VarshniEgModel::deg_dt(double t_kelvin) const {
+  const double d = t_kelvin + beta_;
+  return -alpha_ * t_kelvin * (t_kelvin + 2.0 * beta_) / (d * d);
+}
+
+std::unique_ptr<EgModel> VarshniEgModel::clone() const {
+  return std::make_unique<VarshniEgModel>(*this);
+}
+
+LogEgModel::LogEgModel(double eg0, double a, double b, std::string name)
+    : eg0_(eg0), a_(a), b_(b), name_(std::move(name)) {
+  ICVBE_REQUIRE(eg0 > 0.0, "LogEgModel: non-positive EG(0)");
+}
+
+double LogEgModel::eg(double t_kelvin) const {
+  ICVBE_REQUIRE(t_kelvin >= 0.0, "LogEgModel: negative temperature");
+  if (t_kelvin == 0.0) return eg0_;  // T ln T -> 0 as T -> 0
+  return eg0_ + a_ * t_kelvin + b_ * t_kelvin * std::log(t_kelvin);
+}
+
+double LogEgModel::deg_dt(double t_kelvin) const {
+  ICVBE_REQUIRE(t_kelvin > 0.0, "LogEgModel::deg_dt: T must be > 0");
+  return a_ + b_ * (std::log(t_kelvin) + 1.0);
+}
+
+std::unique_ptr<EgModel> LogEgModel::clone() const {
+  return std::make_unique<LogEgModel>(*this);
+}
+
+PasslerEgModel::PasslerEgModel(double eg0, double alpha, double theta,
+                               double p, std::string name)
+    : eg0_(eg0), alpha_(alpha), theta_(theta), p_(p), name_(std::move(name)) {
+  ICVBE_REQUIRE(eg0 > 0.0, "PasslerEgModel: non-positive EG(0)");
+  ICVBE_REQUIRE(theta > 0.0, "PasslerEgModel: non-positive Theta");
+  ICVBE_REQUIRE(p > 1.0, "PasslerEgModel: exponent p must exceed 1");
+}
+
+double PasslerEgModel::eg(double t_kelvin) const {
+  ICVBE_REQUIRE(t_kelvin >= 0.0, "PasslerEgModel: negative temperature");
+  const double x = 2.0 * t_kelvin / theta_;
+  const double root = std::pow(1.0 + std::pow(x, p_), 1.0 / p_);
+  return eg0_ - 0.5 * alpha_ * theta_ * (root - 1.0);
+}
+
+double PasslerEgModel::deg_dt(double t_kelvin) const {
+  ICVBE_REQUIRE(t_kelvin > 0.0, "PasslerEgModel::deg_dt: T must be > 0");
+  const double x = 2.0 * t_kelvin / theta_;
+  const double xp = std::pow(x, p_);
+  const double root = std::pow(1.0 + xp, 1.0 / p_ - 1.0);
+  // d/dT [ (1 + x^p)^(1/p) ] = (1 + x^p)^(1/p - 1) x^(p-1) (2/Theta).
+  return -0.5 * alpha_ * theta_ * root * std::pow(x, p_ - 1.0) *
+         (2.0 / theta_);
+}
+
+std::unique_ptr<EgModel> PasslerEgModel::clone() const {
+  return std::make_unique<PasslerEgModel>(*this);
+}
+
+PasslerEgModel make_passler_si() {
+  return PasslerEgModel(1.1701, 3.23e-4, 446.0, 2.33, "EG Passler (2002)");
+}
+
+VarshniEgModel make_eg2() {
+  return VarshniEgModel(1.1557, 7.021e-4, 1108.0, "EG2 Varshni [8]");
+}
+
+VarshniEgModel make_eg3() {
+  return VarshniEgModel(1.170, 4.73e-4, 636.0, "EG3 Varshni [7]");
+}
+
+LogEgModel make_eg4() {
+  return LogEgModel(1.1663, 6.141e-4, -1.307e-4, "EG4 log [6]");
+}
+
+LogEgModel make_eg5() {
+  return LogEgModel(1.1774, 3.042e-4, -8.459e-5, "EG5 log [6]");
+}
+
+LinearEgModel make_eg1(double t_ref) {
+  const LogEgModel eg5 = make_eg5();
+  // Tangent to EG5 at t_ref: slope a = -dEG5/dT(t_ref) in the eq. (7) sign
+  // convention EG(T) = EG(Tref) - a (T - Tref).
+  return LinearEgModel(eg5.eg(t_ref), -eg5.deg_dt(t_ref), t_ref,
+                       "EG1 linearised");
+}
+
+double eg0_extrapolated(double t_ref) {
+  return make_eg5().tangent_intercept_at_zero(t_ref);
+}
+
+}  // namespace icvbe::physics

@@ -1,0 +1,77 @@
+#include "icvbe/physics/saturation_current.hpp"
+
+#include <cmath>
+
+#include "icvbe/common/constants.hpp"
+#include "icvbe/common/error.hpp"
+
+namespace icvbe::physics {
+
+double spice_is(double is_t0, double eg_ev, double xti, double t_kelvin,
+                double t0) {
+  return is_t0 * std::exp(spice_log_is(0.0, eg_ev, xti, t_kelvin, t0));
+}
+
+double spice_log_is(double log_is_t0, double eg_ev, double xti,
+                    double t_kelvin, double t0) {
+  ICVBE_REQUIRE(t_kelvin > 0.0 && t0 > 0.0, "spice_is: T, T0 must be > 0");
+  // ln IS(T) = ln IS(T0) + XTI ln(T/T0) + (EG/k)(1/T0 - 1/T), EG in eV,
+  // k in eV/K  -- exactly eq. (1).
+  return log_is_t0 + xti * std::log(t_kelvin / t0) +
+         (eg_ev / kBoltzmannEv) * (1.0 / t0 - 1.0 / t_kelvin);
+}
+
+SpiceIsParams identify_spice_params(double eg0_ev, double delta_eg_bgn_ev,
+                                    double en, double erho,
+                                    double b_ev_per_k) {
+  SpiceIsParams p;
+  p.eg = eg0_ev - delta_eg_bgn_ev;              // eq. (12), first line
+  p.xti = 4.0 - en - erho - b_ev_per_k / kBoltzmannEv;  // eq. (12), second
+  return p;
+}
+
+GummelPoonIsModel::GummelPoonIsModel(LogEgModel eg_model,
+                                     double delta_eg_bgn_ev,
+                                     BaseTransport transport,
+                                     double emitter_area_cm2)
+    : eg_model_(std::move(eg_model)),
+      delta_eg_bgn_ev_(delta_eg_bgn_ev),
+      transport_(transport),
+      area_cm2_(emitter_area_cm2) {
+  ICVBE_REQUIRE(emitter_area_cm2 > 0.0,
+                "GummelPoonIsModel: emitter area must be > 0");
+  ICVBE_REQUIRE(delta_eg_bgn_ev >= 0.0,
+                "GummelPoonIsModel: narrowing must be >= 0");
+}
+
+double GummelPoonIsModel::is(double t_kelvin) const {
+  // eq. (2): IS = q Ae nie^2 Dnb / NG.
+  const double nie2 = nie_squared(eg_model_, t_kelvin, delta_eg_bgn_ev_);
+  return kElementaryCharge * area_cm2_ * nie2 * transport_.dnb(t_kelvin) /
+         transport_.gummel_number(t_kelvin);
+}
+
+double GummelPoonIsModel::is_ratio_closed_form(double t_kelvin) const {
+  // eq. (11): IS(T)/IS(T0) = (T/T0)^(4 - EN - Erho - b/k)
+  //                          exp( -((EG(0)-dEGbgn)/k)(1/T - 1/T0) ).
+  const double t0 = transport_.t0;
+  const double xti =
+      4.0 - transport_.en - transport_.erho - eg_model_.b() / kBoltzmannEv;
+  const double eg_eff = eg_model_.eg0() - delta_eg_bgn_ev_;
+  return std::pow(t_kelvin / t0, xti) *
+         std::exp(-(eg_eff / kBoltzmannEv) * (1.0 / t_kelvin - 1.0 / t0));
+}
+
+SpiceIsParams GummelPoonIsModel::spice_params() const {
+  return identify_spice_params(eg_model_.eg0(), delta_eg_bgn_ev_,
+                               transport_.en, transport_.erho,
+                               eg_model_.b());
+}
+
+double GummelPoonIsModel::relative_sensitivity(double t_kelvin) const {
+  // d ln IS / dT = XTI / T + EG_eff / (k T^2)  (from eq. 11).
+  const SpiceIsParams p = spice_params();
+  return p.xti / t_kelvin + p.eg / (kBoltzmannEv * t_kelvin * t_kelvin);
+}
+
+}  // namespace icvbe::physics

@@ -1,0 +1,59 @@
+#include "icvbe/physics/vbe_model.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "icvbe/common/error.hpp"
+
+namespace icvbe::physics {
+
+double vbe_of_t(const VbeModelParams& p, double t_kelvin, double ic_ratio) {
+  ICVBE_REQUIRE(t_kelvin > 0.0 && p.t0 > 0.0, "vbe_of_t: T, T0 must be > 0");
+  ICVBE_REQUIRE(ic_ratio > 0.0, "vbe_of_t: current ratio must be > 0");
+  const double r = t_kelvin / p.t0;
+  const double vt = thermal_voltage(t_kelvin);
+  return p.eg * (1.0 - r) + r * p.vbe_t0 - p.xti * vt * std::log(r) +
+         vt * std::log(ic_ratio);
+}
+
+double dvbe_dt(const VbeModelParams& p, double t_kelvin) {
+  // Analytic derivative of vbe_of_t at constant current (ic_ratio == 1):
+  // d/dT [ EG(1-T/T0) + (T/T0)VBE0 - XTI (kT/q) ln(T/T0) ]
+  //   = -EG/T0 + VBE0/T0 - XTI (k/q)(ln(T/T0) + 1).
+  ICVBE_REQUIRE(t_kelvin > 0.0, "dvbe_dt: T must be > 0");
+  const double k_over_q = kBoltzmannEv;
+  return (p.vbe_t0 - p.eg) / p.t0 -
+         p.xti * k_over_q * (std::log(t_kelvin / p.t0) + 1.0);
+}
+
+double delta_vbe_ptat(double t_kelvin, double area_ratio) {
+  ICVBE_REQUIRE(area_ratio > 0.0, "delta_vbe_ptat: area ratio must be > 0");
+  return thermal_voltage(t_kelvin) * std::log(area_ratio);
+}
+
+double delta_vbe_general(double t_kelvin, double area_ratio, double ic_a,
+                         double ic_b) {
+  ICVBE_REQUIRE(ic_a > 0.0 && ic_b > 0.0,
+                "delta_vbe_general: currents must be > 0");
+  return thermal_voltage(t_kelvin) * std::log(area_ratio * ic_a / ic_b);
+}
+
+double early_correction(double var_volts, double vbe_t0, double vbe_t) {
+  if (!std::isfinite(var_volts)) return 1.0;
+  ICVBE_REQUIRE(var_volts > vbe_t0 && var_volts > vbe_t,
+                "early_correction: VAR must exceed VBE");
+  return (var_volts - vbe_t0) / (var_volts - vbe_t);
+}
+
+MeijerEquation meijer_equation(double t_a, double vbe_a, double t_b,
+                               double vbe_b) {
+  ICVBE_REQUIRE(t_a > 0.0 && t_b > 0.0, "meijer_equation: T must be > 0");
+  ICVBE_REQUIRE(t_a != t_b, "meijer_equation: temperatures must differ");
+  MeijerEquation eq;
+  eq.lhs = t_b * vbe_a - t_a * vbe_b;
+  eq.coeff_eg = t_b - t_a;
+  eq.coeff_xti = kBoltzmannEv * t_a * t_b * std::log(t_b / t_a);
+  return eq;
+}
+
+}  // namespace icvbe::physics

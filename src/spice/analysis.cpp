@@ -1,0 +1,109 @@
+#include "icvbe/spice/analysis.hpp"
+
+#include <cmath>
+
+#include "icvbe/common/error.hpp"
+
+namespace icvbe::spice {
+
+namespace {
+
+template <typename SetValue>
+Series sweep_impl(Circuit& circuit, const std::vector<double>& values,
+                  const Probe& probe, const NewtonOptions& options,
+                  const SetValue& set_value, const char* what,
+                  const Unknowns* initial) {
+  Series out(what);
+  out.reserve(values.size());
+  Unknowns warm;
+  bool have_warm = false;
+  if (initial != nullptr) {
+    warm = *initial;
+    have_warm = true;
+  }
+  for (double v : values) {
+    set_value(v);
+    DcResult r = solve_dc(circuit, options, have_warm ? &warm : nullptr);
+    if (!r.converged) {
+      throw NumericalError(std::string(what) + ": DC solve failed at sweep value " +
+                           std::to_string(v));
+    }
+    warm = r.solution;
+    have_warm = true;
+    out.push_back(v, probe(circuit, r.solution));
+  }
+  return out;
+}
+
+}  // namespace
+
+Series dc_sweep_vsource(Circuit& circuit, const std::string& source_name,
+                        const std::vector<double>& values, const Probe& probe,
+                        const NewtonOptions& options, const Unknowns* initial) {
+  auto& src = circuit.get<VoltageSource>(source_name);
+  return sweep_impl(
+      circuit, values, probe, options,
+      [&src](double v) { src.set_voltage(v); }, "dc_sweep_vsource", initial);
+}
+
+Series dc_sweep_isource(Circuit& circuit, const std::string& source_name,
+                        const std::vector<double>& values, const Probe& probe,
+                        const NewtonOptions& options, const Unknowns* initial) {
+  auto& src = circuit.get<CurrentSource>(source_name);
+  return sweep_impl(
+      circuit, values, probe, options,
+      [&src](double v) { src.set_current(v); }, "dc_sweep_isource", initial);
+}
+
+Series temperature_sweep(Circuit& circuit, const std::vector<double>& t_kelvin,
+                         const Probe& probe, const NewtonOptions& options,
+                         const Unknowns* initial) {
+  return sweep_impl(
+      circuit, t_kelvin, probe, options,
+      [&circuit](double t) { circuit.set_temperature(t); },
+      "temperature_sweep", initial);
+}
+
+Probe probe_node_voltage(Circuit& circuit, const std::string& node_name) {
+  const NodeId n = circuit.node(node_name);
+  return [n](const Circuit&, const Unknowns& x) { return x.node_voltage(n); };
+}
+
+Probe probe_vsource_current(const std::string& device_name) {
+  return [device_name](const Circuit& c, const Unknowns& x) {
+    // find() is non-const; circuits in this library are always mutable
+    // during analysis, so the const_cast is contained here.
+    auto& circuit = const_cast<Circuit&>(c);
+    return circuit.get<VoltageSource>(device_name).current(x);
+  };
+}
+
+std::vector<double> linspace(double first, double last, int n) {
+  ICVBE_REQUIRE(n >= 2, "linspace: need at least two points");
+  std::vector<double> out(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    out[static_cast<std::size_t>(i)] =
+        first + (last - first) * static_cast<double>(i) /
+                    static_cast<double>(n - 1);
+  }
+  return out;
+}
+
+std::vector<double> logspace_decades(double first, double last,
+                                     int per_decade) {
+  ICVBE_REQUIRE(first > 0.0 && last > first,
+                "logspace_decades: need 0 < first < last");
+  ICVBE_REQUIRE(per_decade >= 1, "logspace_decades: need >= 1 per decade");
+  std::vector<double> out;
+  const double lf = std::log10(first);
+  const double ll = std::log10(last);
+  const int steps = static_cast<int>(std::ceil((ll - lf) * per_decade));
+  out.reserve(static_cast<std::size_t>(steps + 1));
+  for (int i = 0; i <= steps; ++i) {
+    out.push_back(std::pow(10.0, lf + (ll - lf) * static_cast<double>(i) /
+                                           static_cast<double>(steps)));
+  }
+  return out;
+}
+
+}  // namespace icvbe::spice

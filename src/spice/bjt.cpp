@@ -1,0 +1,241 @@
+#include "icvbe/spice/bjt.hpp"
+
+#include <cmath>
+
+#include "icvbe/common/constants.hpp"
+#include "icvbe/common/error.hpp"
+#include "icvbe/spice/junction.hpp"
+
+namespace icvbe::spice {
+
+namespace {
+
+/// eq. (1) with emission coefficient n folded in (SPICE3 convention).
+double is_temperature(double is_tnom, double eg, double xti, double n,
+                      double t, double tnom) {
+  const double ratio_term = (xti / n) * std::log(t / tnom);
+  const double act_term =
+      (eg / (n * kBoltzmannEv)) * (1.0 / tnom - 1.0 / t);
+  return is_tnom * std::exp(ratio_term + act_term);
+}
+
+}  // namespace
+
+Bjt::Bjt(std::string name, NodeId collector, NodeId base, NodeId emitter,
+         BjtModel model, double area, NodeId substrate)
+    : Device(std::move(name)),
+      c_(collector),
+      b_(base),
+      e_(emitter),
+      s_node_(substrate),
+      model_(model),
+      area_(area),
+      sign_(model.type == BjtModel::Type::kNpn ? 1.0 : -1.0),
+      temp_(model.tnom),
+      vt_(thermal_voltage(model.tnom)),
+      is_t_(0.0),
+      ise_t_(0.0),
+      isc_t_(0.0),
+      iss_t_(0.0),
+      iss_e_t_(0.0),
+      vcrit_be_(0.0),
+      vcrit_bc_(0.0),
+      v1_state_(0.0),
+      v2_state_(0.0) {
+  ICVBE_REQUIRE(area > 0.0, "Bjt: area must be > 0");
+  ICVBE_REQUIRE(model.is > 0.0, "Bjt: IS must be > 0");
+  ICVBE_REQUIRE(model.bf > 0.0 && model.br > 0.0, "Bjt: BF, BR must be > 0");
+  ICVBE_REQUIRE(model.nf > 0.0 && model.nr > 0.0, "Bjt: NF, NR must be > 0");
+  set_temperature(model.tnom);
+}
+
+void Bjt::set_temperature(double t_kelvin) {
+  ICVBE_REQUIRE(t_kelvin > 0.0, "Bjt: temperature must be > 0 K");
+  temp_ = t_kelvin;
+  vt_ = thermal_voltage(t_kelvin);
+  const double tn = model_.tnom;
+  is_t_ = area_ * is_temperature(model_.is, model_.eg, model_.xti, model_.nf,
+                                 t_kelvin, tn);
+  ise_t_ = area_ * is_temperature(model_.ise, model_.eg, model_.xti,
+                                  model_.ne, t_kelvin, tn);
+  isc_t_ = area_ * is_temperature(model_.isc, model_.eg, model_.xti,
+                                  model_.nc, t_kelvin, tn);
+  iss_t_ = area_ * is_temperature(model_.iss, model_.eg_sub, model_.xti_sub,
+                                  model_.ns, t_kelvin, tn);
+  iss_e_t_ = area_ * is_temperature(model_.iss_e, model_.eg_sub_e,
+                                    model_.xti_sub_e, model_.ns_e, t_kelvin,
+                                    tn);
+  vcrit_be_ = junction_vcrit(model_.nf * vt_, std::max(is_t_, 1e-30));
+  vcrit_bc_ = junction_vcrit(model_.nr * vt_, std::max(is_t_, 1e-30));
+}
+
+void Bjt::reset_state() {
+  v1_state_ = 0.0;
+  v2_state_ = 0.0;
+}
+
+Bjt::Eval Bjt::evaluate(double v1, double v2) const {
+  Eval ev{};
+  const double nf_vt = model_.nf * vt_;
+  const double nr_vt = model_.nr * vt_;
+  const double ne_vt = model_.ne * vt_;
+  const double nc_vt = model_.nc * vt_;
+  const double ns_vt = model_.ns * vt_;
+
+  const double e1 = safe_exp(v1 / nf_vt);
+  const double e2 = safe_exp(v2 / nr_vt);
+
+  // Base-width modulation: 1/qb ~ (1 - v1/VAR - v2/VAF), clamped away from
+  // zero so wild iterates cannot flip the sign of the transport current.
+  double kqb = 1.0;
+  double dkqb_dv1 = 0.0;
+  double dkqb_dv2 = 0.0;
+  if (std::isfinite(model_.var)) {
+    kqb -= v1 / model_.var;
+    dkqb_dv1 = -1.0 / model_.var;
+  }
+  if (std::isfinite(model_.vaf)) {
+    kqb -= v2 / model_.vaf;
+    dkqb_dv2 = -1.0 / model_.vaf;
+  }
+  if (kqb < 0.05) {
+    kqb = 0.05;
+    dkqb_dv1 = dkqb_dv2 = 0.0;
+  }
+
+  const double itf = is_t_ * (e1 - 1.0);
+  const double itr = is_t_ * (e2 - 1.0);
+  ev.it = (itf - itr) * kqb;
+  ev.git1 = (is_t_ * e1 / nf_vt) * kqb + (itf - itr) * dkqb_dv1;
+  ev.git2 = -(is_t_ * e2 / nr_vt) * kqb + (itf - itr) * dkqb_dv2;
+
+  const double ebe_l = (ise_t_ > 0.0) ? safe_exp(v1 / ne_vt) : 0.0;
+  const double ebc_l = (isc_t_ > 0.0) ? safe_exp(v2 / nc_vt) : 0.0;
+  ev.ibe = itf / model_.bf + ise_t_ * (ebe_l - 1.0);
+  ev.gbe = is_t_ * e1 / (nf_vt * model_.bf) +
+           (ise_t_ > 0.0 ? ise_t_ * ebe_l / ne_vt : 0.0) + 1e-15;
+  ev.ibc = itr / model_.br + isc_t_ * (ebc_l - 1.0);
+  ev.gbc = is_t_ * e2 / (nr_vt * model_.br) +
+           (isc_t_ > 0.0 ? isc_t_ * ebc_l / nc_vt : 0.0) + 1e-15;
+
+  if (iss_t_ > 0.0) {
+    const double es = safe_exp(v2 / ns_vt);
+    ev.isub = iss_t_ * (es - 1.0);
+    ev.gsub = iss_t_ * es / ns_vt;
+  } else {
+    ev.isub = 0.0;
+    ev.gsub = 0.0;
+  }
+  if (iss_e_t_ > 0.0) {
+    const double nse_vt = model_.ns_e * vt_;
+    const double es = safe_exp(v1 / nse_vt);
+    ev.isub_e = iss_e_t_ * (es - 1.0);
+    ev.gsub_e = iss_e_t_ * es / nse_vt;
+  } else {
+    ev.isub_e = 0.0;
+    ev.gsub_e = 0.0;
+  }
+  return ev;
+}
+
+void Bjt::stamp(Stamper& stamper, const Unknowns& prev) {
+  const double s = sign_;
+  double v1 = s * (prev.node_voltage(b_) - prev.node_voltage(e_));
+  double v2 = s * (prev.node_voltage(b_) - prev.node_voltage(c_));
+  v1 = pnjlim(v1, v1_state_, model_.nf * vt_, vcrit_be_);
+  v2 = pnjlim(v2, v2_state_, model_.nr * vt_, vcrit_bc_);
+  v1_state_ = v1;
+  v2_state_ = v2;
+
+  const Eval ev = evaluate(v1, v2);
+
+  // Currents leaving each node (type frame handled by s; s^2 = 1 cancels
+  // in all Jacobian entries). The vertical parasitic collects isub_e into
+  // the substrate and returns isub_e/bf_sub through the base (its base is
+  // the main device's n-well base):
+  //   Jc = s (it - ibc + isub)
+  //   Jb = s (ibe + ibc + isub_e / bf_sub)
+  //   Je = -s (it + ibe + isub_e (1 + 1/bf_sub))
+  //   Js = s (isub_e - isub)
+  const double inv_bf_sub =
+      std::isfinite(model_.bf_sub) ? 1.0 / model_.bf_sub : 0.0;
+  const double jc = s * (ev.it - ev.ibc + ev.isub);
+  const double jb = s * (ev.ibe + ev.ibc + ev.isub_e * inv_bf_sub);
+  const double je =
+      -s * (ev.it + ev.ibe + ev.isub_e * (1.0 + inv_bf_sub));
+  const double js = s * (ev.isub_e - ev.isub);
+
+  // Partials in the junction frame.
+  const double djc_dv1 = ev.git1;
+  const double djc_dv2 = ev.git2 - ev.gbc + ev.gsub;
+  const double djb_dv1 = ev.gbe + ev.gsub_e * inv_bf_sub;
+  const double djb_dv2 = ev.gbc;
+  const double dje_dv1 = -(ev.git1 + ev.gbe + ev.gsub_e * (1.0 + inv_bf_sub));
+  const double dje_dv2 = -ev.git2;
+  const double djs_dv1 = ev.gsub_e;
+  const double djs_dv2 = -ev.gsub;
+
+  const int ic = stamper.node_index(c_);
+  const int ib = stamper.node_index(b_);
+  const int ie = stamper.node_index(e_);
+  const int is_i = stamper.node_index(s_node_);
+
+  // v1 = s(Vb - Ve), v2 = s(Vb - Vc): dv1/dVb = s, dv1/dVe = -s, etc.
+  // Row entries for current J leaving node X: dJ/dVnode. J carries a factor
+  // s and the chain rule another, so entries are sign-free.
+  struct RowStamp {
+    int row;
+    double dv1, dv2, j;
+  };
+  const RowStamp rows[] = {
+      {ic, djc_dv1, djc_dv2, jc},
+      {ib, djb_dv1, djb_dv2, jb},
+      {ie, dje_dv1, dje_dv2, je},
+      {is_i, djs_dv1, djs_dv2, js},
+  };
+  for (const auto& r : rows) {
+    stamper.add_entry(r.row, ib, r.dv1 + r.dv2);
+    stamper.add_entry(r.row, ie, -r.dv1);
+    stamper.add_entry(r.row, ic, -r.dv2);
+    // Companion RHS. The linearisation point is the *limited* (v1, v2):
+    //   J(V') = J* + s dv1 (v1' - v1) + s dv2 (v2' - v2),  v1' = s(Vb'-Ve'),
+    // so after the matrix terms above the constant left over is
+    //   ieq = J* - s (dv1 v1 + dv2 v2),
+    // extracted from the node's RHS injection.
+    const double ieq = r.j - s * (r.dv1 * v1 + r.dv2 * v2);
+    stamper.add_rhs(r.row, -ieq);
+  }
+}
+
+Bjt::TerminalCurrents Bjt::currents(const Unknowns& x) const {
+  const double s = sign_;
+  const double v1 = s * (x.node_voltage(b_) - x.node_voltage(e_));
+  const double v2 = s * (x.node_voltage(b_) - x.node_voltage(c_));
+  const Eval ev = evaluate(v1, v2);
+  const double inv_bf_sub =
+      std::isfinite(model_.bf_sub) ? 1.0 / model_.bf_sub : 0.0;
+  TerminalCurrents tc;
+  tc.ic = s * (ev.it - ev.ibc + ev.isub);
+  tc.ib = s * (ev.ibe + ev.ibc + ev.isub_e * inv_bf_sub);
+  tc.ie = -s * (ev.it + ev.ibe + ev.isub_e * (1.0 + inv_bf_sub));
+  tc.isub = s * (ev.isub_e - ev.isub);
+  return tc;
+}
+
+double Bjt::vbe(const Unknowns& x) const {
+  return sign_ * (x.node_voltage(b_) - x.node_voltage(e_));
+}
+
+double Bjt::vbc(const Unknowns& x) const {
+  return sign_ * (x.node_voltage(b_) - x.node_voltage(c_));
+}
+
+double Bjt::power(const Unknowns& x) const {
+  const TerminalCurrents tc = currents(x);
+  // P = sum over terminals of V * I_into_terminal (ground reference).
+  return std::abs(x.node_voltage(c_) * tc.ic + x.node_voltage(b_) * tc.ib +
+                  x.node_voltage(e_) * tc.ie +
+                  x.node_voltage(s_node_) * tc.isub);
+}
+
+}  // namespace icvbe::spice

@@ -1,0 +1,120 @@
+#include "icvbe/spice/circuit.hpp"
+
+#include "icvbe/common/error.hpp"
+
+namespace icvbe::spice {
+
+NodeId Circuit::node(std::string_view name) {
+  auto it = node_ids_.find(name);
+  if (it != node_ids_.end()) return it->second;
+  const NodeId id = static_cast<NodeId>(node_names_.size());
+  node_names_.emplace_back(name);
+  node_ids_.emplace(std::string(name), id);
+  return id;
+}
+
+const std::string& Circuit::node_name(NodeId n) const {
+  ICVBE_REQUIRE(n >= 0 && n < node_count(), "Circuit::node_name: bad node id");
+  return node_names_[static_cast<std::size_t>(n)];
+}
+
+void Circuit::require_unique_name(const std::string& name) const {
+  if (device_index_.contains(name)) {
+    throw CircuitError("duplicate device name '" + name + "'");
+  }
+}
+
+template <typename T, typename... Args>
+T& Circuit::emplace(Args&&... args) {
+  auto dev = std::make_unique<T>(std::forward<Args>(args)...);
+  require_unique_name(dev->name());
+  T& ref = *dev;
+  device_index_.emplace(dev->name(), devices_.size());
+  devices_.push_back(std::move(dev));
+  return ref;
+}
+
+Resistor& Circuit::add_resistor(std::string name, NodeId a, NodeId b,
+                                double ohms, double tc1, double tc2) {
+  return emplace<Resistor>(std::move(name), a, b, ohms, tc1, tc2);
+}
+
+VoltageSource& Circuit::add_vsource(std::string name, NodeId p, NodeId m,
+                                    double volts) {
+  return emplace<VoltageSource>(std::move(name), p, m, volts);
+}
+
+CurrentSource& Circuit::add_isource(std::string name, NodeId p, NodeId m,
+                                    double amps) {
+  return emplace<CurrentSource>(std::move(name), p, m, amps);
+}
+
+Vcvs& Circuit::add_vcvs(std::string name, NodeId p, NodeId m, NodeId cp,
+                        NodeId cm, double gain) {
+  return emplace<Vcvs>(std::move(name), p, m, cp, cm, gain);
+}
+
+OpAmp& Circuit::add_opamp(std::string name, NodeId out, NodeId inp,
+                          NodeId inn, double gain, double offset) {
+  return emplace<OpAmp>(std::move(name), out, inp, inn, gain, offset);
+}
+
+Diode& Circuit::add_diode(std::string name, NodeId anode, NodeId cathode,
+                          DiodeModel model, double area) {
+  return emplace<Diode>(std::move(name), anode, cathode, model, area);
+}
+
+Bjt& Circuit::add_bjt(std::string name, NodeId collector, NodeId base,
+                      NodeId emitter, BjtModel model, double area,
+                      NodeId substrate) {
+  return emplace<Bjt>(std::move(name), collector, base, emitter, model, area,
+                      substrate);
+}
+
+Mosfet& Circuit::add_mosfet(std::string name, NodeId drain, NodeId gate,
+                            NodeId source, MosfetModel model,
+                            double w_over_l) {
+  return emplace<Mosfet>(std::move(name), drain, gate, source, model,
+                         w_over_l);
+}
+
+Device* Circuit::find(std::string_view name) {
+  auto it = device_index_.find(name);
+  return it == device_index_.end() ? nullptr : devices_[it->second].get();
+}
+
+int Circuit::assign_unknowns() {
+  int next = node_count() - 1;  // node unknowns first (ground excluded)
+  for (auto& dev : devices_) {
+    if (dev->aux_count() > 0) {
+      dev->set_first_aux(next);
+      next += dev->aux_count();
+    }
+  }
+  return next;
+}
+
+void Circuit::set_temperature(double t_kelvin) {
+  for (auto& dev : devices_) {
+    dev->set_temperature(t_kelvin);
+    dev->reset_state();
+  }
+}
+
+void Circuit::set_device_temperature(std::string_view name, double t_kelvin) {
+  Device* d = find(name);
+  if (d == nullptr) {
+    throw CircuitError("set_device_temperature: no device named '" +
+                       std::string(name) + "'");
+  }
+  d->set_temperature(t_kelvin);
+  d->reset_state();
+}
+
+double Circuit::total_power(const Unknowns& x) const {
+  double p = 0.0;
+  for (const auto& dev : devices_) p += dev->power(x);
+  return p;
+}
+
+}  // namespace icvbe::spice

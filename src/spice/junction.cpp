@@ -1,0 +1,32 @@
+#include "icvbe/spice/junction.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace icvbe::spice {
+
+double safe_exp(double x, double cap) {
+  if (x > cap) {
+    // First-order continuation keeps the derivative continuous at the cap.
+    return std::exp(cap) * (1.0 + (x - cap));
+  }
+  return std::exp(x);
+}
+
+double pnjlim(double vnew, double vold, double vt, double vcrit) {
+  if (vnew > vcrit && std::abs(vnew - vold) > 2.0 * vt) {
+    if (vold > 0.0) {
+      const double arg = 1.0 + (vnew - vold) / vt;
+      vnew = (arg > 0.0) ? vold + vt * std::log(arg) : vcrit;
+    } else {
+      vnew = vt * std::log(std::max(vnew / vt, 1e-30));
+    }
+  }
+  return vnew;
+}
+
+double junction_vcrit(double vt, double is_amps) {
+  return vt * std::log(vt / (1.4142135623730951 * std::max(is_amps, 1e-300)));
+}
+
+}  // namespace icvbe::spice

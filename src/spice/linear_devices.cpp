@@ -1,0 +1,137 @@
+#include "icvbe/spice/linear_devices.hpp"
+
+#include <cmath>
+
+#include "icvbe/common/error.hpp"
+
+namespace icvbe::spice {
+
+Resistor::Resistor(std::string name, NodeId a, NodeId b, double ohms,
+                   double tc1, double tc2, double tnom_kelvin)
+    : Device(std::move(name)),
+      a_(a),
+      b_(b),
+      r0_(ohms),
+      tc1_(tc1),
+      tc2_(tc2),
+      tnom_(tnom_kelvin),
+      r_now_(ohms) {
+  ICVBE_REQUIRE(ohms > 0.0, "Resistor: resistance must be > 0");
+  ICVBE_REQUIRE(a != b, "Resistor: terminals must differ");
+}
+
+void Resistor::set_temperature(double t_kelvin) {
+  const double dt = t_kelvin - tnom_;
+  const double factor = 1.0 + tc1_ * dt + tc2_ * dt * dt;
+  ICVBE_REQUIRE(factor > 0.0, "Resistor: temperature model gives R <= 0");
+  r_now_ = r0_ * factor;
+}
+
+void Resistor::set_nominal_resistance(double ohms) {
+  ICVBE_REQUIRE(ohms > 0.0, "Resistor: resistance must be > 0");
+  r0_ = ohms;
+  r_now_ = ohms;  // callers re-run set_temperature before solving
+}
+
+void Resistor::stamp(Stamper& stamper, const Unknowns& /*prev*/) {
+  stamper.add_conductance(a_, b_, 1.0 / r_now_);
+}
+
+double Resistor::current(const Unknowns& x) const {
+  return (x.node_voltage(a_) - x.node_voltage(b_)) / r_now_;
+}
+
+double Resistor::power(const Unknowns& x) const {
+  const double v = x.node_voltage(a_) - x.node_voltage(b_);
+  return v * v / r_now_;
+}
+
+VoltageSource::VoltageSource(std::string name, NodeId p, NodeId m,
+                             double volts)
+    : Device(std::move(name)), p_(p), m_(m), volts_(volts) {
+  ICVBE_REQUIRE(p != m, "VoltageSource: terminals must differ");
+}
+
+void VoltageSource::stamp(Stamper& stamper, const Unknowns& /*prev*/) {
+  const int k = first_aux();
+  ICVBE_ASSERT(k >= 0, "VoltageSource: aux index not assigned");
+  const int ip = stamper.node_index(p_);
+  const int im = stamper.node_index(m_);
+  stamper.add_entry(ip, k, 1.0);
+  stamper.add_entry(im, k, -1.0);
+  stamper.add_entry(k, ip, 1.0);
+  stamper.add_entry(k, im, -1.0);
+  stamper.add_rhs(k, volts_);
+}
+
+double VoltageSource::current(const Unknowns& x) const {
+  return x.aux(first_aux());
+}
+
+double VoltageSource::power(const Unknowns& /*x*/) const {
+  // Sources deliver power into the circuit; they do not dissipate it on
+  // the die, so they contribute nothing to the self-heating budget.
+  return 0.0;
+}
+
+CurrentSource::CurrentSource(std::string name, NodeId p, NodeId m,
+                             double amps)
+    : Device(std::move(name)), p_(p), m_(m), amps_(amps) {
+  ICVBE_REQUIRE(p != m, "CurrentSource: terminals must differ");
+}
+
+void CurrentSource::stamp(Stamper& stamper, const Unknowns& /*prev*/) {
+  // amps_ flows p -> m inside the source: extracted from p, injected at m.
+  stamper.add_current_into(p_, -amps_);
+  stamper.add_current_into(m_, amps_);
+}
+
+Vcvs::Vcvs(std::string name, NodeId p, NodeId m, NodeId cp, NodeId cm,
+           double gain)
+    : Device(std::move(name)), p_(p), m_(m), cp_(cp), cm_(cm), gain_(gain) {
+  ICVBE_REQUIRE(p != m, "Vcvs: output terminals must differ");
+}
+
+void Vcvs::stamp(Stamper& stamper, const Unknowns& /*prev*/) {
+  const int k = first_aux();
+  ICVBE_ASSERT(k >= 0, "Vcvs: aux index not assigned");
+  const int ip = stamper.node_index(p_);
+  const int im = stamper.node_index(m_);
+  stamper.add_entry(ip, k, 1.0);
+  stamper.add_entry(im, k, -1.0);
+  // Row: V(p) - V(m) - gain (V(cp) - V(cm)) = 0.
+  stamper.add_entry(k, ip, 1.0);
+  stamper.add_entry(k, im, -1.0);
+  stamper.add_entry(k, stamper.node_index(cp_), -gain_);
+  stamper.add_entry(k, stamper.node_index(cm_), gain_);
+}
+
+double Vcvs::current(const Unknowns& x) const { return x.aux(first_aux()); }
+
+OpAmp::OpAmp(std::string name, NodeId out, NodeId inp, NodeId inn,
+             double gain, double offset_volts)
+    : Device(std::move(name)),
+      out_(out),
+      inp_(inp),
+      inn_(inn),
+      gain_(gain),
+      offset_(offset_volts) {
+  ICVBE_REQUIRE(gain > 0.0, "OpAmp: gain must be > 0");
+}
+
+void OpAmp::stamp(Stamper& stamper, const Unknowns& /*prev*/) {
+  const int k = first_aux();
+  ICVBE_ASSERT(k >= 0, "OpAmp: aux index not assigned");
+  const int io = stamper.node_index(out_);
+  stamper.add_entry(io, k, 1.0);
+  // Row: V(out)/gain - (V(inp) + offset - V(inn)) = 0, i.e. the ideal
+  // V(out) = gain (V(inp) + offset - V(inn)) normalised by the gain so the
+  // matrix entries stay O(1) (a raw 1e6 entry next to gmin-sized
+  // conductances fails the LU pivot threshold).
+  stamper.add_entry(k, io, 1.0 / gain_);
+  stamper.add_entry(k, stamper.node_index(inp_), -1.0);
+  stamper.add_entry(k, stamper.node_index(inn_), 1.0);
+  stamper.add_rhs(k, offset_);
+}
+
+}  // namespace icvbe::spice

@@ -1,0 +1,411 @@
+#include "icvbe/spice/netlist.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <istream>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+#include "icvbe/common/error.hpp"
+#include "icvbe/common/table.hpp"
+
+namespace icvbe::spice {
+
+namespace {
+
+std::string to_upper(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::toupper(c)); });
+  return out;
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return out;
+}
+
+[[noreturn]] void fail(int line, const std::string& msg) {
+  throw NetlistError("netlist line " + std::to_string(line) + ": " + msg);
+}
+
+/// Split a logical line into whitespace-separated tokens; '(' ')' ',' '='
+/// become separators but '=' is preserved as its own token so parameter
+/// assignments keep their structure.
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::string cur;
+  auto flush = [&] {
+    if (!cur.empty()) {
+      tokens.push_back(cur);
+      cur.clear();
+    }
+  };
+  for (char c : line) {
+    if (std::isspace(static_cast<unsigned char>(c)) || c == '(' || c == ')' ||
+        c == ',') {
+      flush();
+    } else if (c == '=') {
+      flush();
+      tokens.emplace_back("=");
+    } else {
+      cur.push_back(c);
+    }
+  }
+  flush();
+  return tokens;
+}
+
+/// Parameter assignments "KEY = value" from a token stream starting at i.
+std::map<std::string, double> parse_params(
+    const std::vector<std::string>& tokens, std::size_t i, int line) {
+  std::map<std::string, double> params;
+  while (i < tokens.size()) {
+    const std::string key = to_upper(tokens[i]);
+    if (i + 2 >= tokens.size() + 1 || i + 1 >= tokens.size() ||
+        tokens[i + 1] != "=") {
+      fail(line, "expected KEY=value, got '" + tokens[i] + "'");
+    }
+    if (i + 2 >= tokens.size()) fail(line, "missing value for " + key);
+    params[key] = parse_spice_number(tokens[i + 2]);
+    i += 3;
+  }
+  return params;
+}
+
+double param_or(const std::map<std::string, double>& p, const std::string& k,
+                double fallback) {
+  auto it = p.find(k);
+  return it == p.end() ? fallback : it->second;
+}
+
+/// Physical lines -> logical lines ('+' continuation), stripped of
+/// comments; returns (text, first physical line number) pairs.
+std::vector<std::pair<std::string, int>> logical_lines(std::string_view text) {
+  std::vector<std::pair<std::string, int>> out;
+  std::istringstream in{std::string(text)};
+  std::string raw;
+  int lineno = 0;
+  while (std::getline(in, raw)) {
+    ++lineno;
+    // Strip comments: leading '*' kills the line; ';' kills the tail.
+    std::string s = raw;
+    if (auto pos = s.find(';'); pos != std::string::npos) s.erase(pos);
+    auto first = s.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    if (s[first] == '*') continue;
+    if (s[first] == '+') {
+      if (out.empty()) {
+        throw NetlistError("netlist line " + std::to_string(lineno) +
+                           ": continuation with no previous line");
+      }
+      out.back().first += ' ' + s.substr(first + 1);
+    } else {
+      out.emplace_back(s.substr(first), lineno);
+    }
+  }
+  return out;
+}
+
+BjtModel parse_bjt_model(const std::map<std::string, double>& p,
+                         BjtModel::Type type) {
+  BjtModel m;
+  m.type = type;
+  m.is = param_or(p, "IS", m.is);
+  m.bf = param_or(p, "BF", m.bf);
+  m.br = param_or(p, "BR", m.br);
+  m.nf = param_or(p, "NF", m.nf);
+  m.nr = param_or(p, "NR", m.nr);
+  m.ise = param_or(p, "ISE", m.ise);
+  m.ne = param_or(p, "NE", m.ne);
+  m.isc = param_or(p, "ISC", m.isc);
+  m.nc = param_or(p, "NC", m.nc);
+  m.vaf = param_or(p, "VAF", m.vaf);
+  m.var = param_or(p, "VAR", m.var);
+  m.eg = param_or(p, "EG", m.eg);
+  m.xti = param_or(p, "XTI", m.xti);
+  m.tnom = param_or(p, "TNOM", m.tnom);
+  m.iss = param_or(p, "ISS", m.iss);
+  m.ns = param_or(p, "NS", m.ns);
+  m.eg_sub = param_or(p, "EGS", m.eg_sub);
+  m.xti_sub = param_or(p, "XTIS", m.xti_sub);
+  m.iss_e = param_or(p, "ISSE", m.iss_e);
+  m.ns_e = param_or(p, "NSE", m.ns_e);
+  m.eg_sub_e = param_or(p, "EGSE", m.eg_sub_e);
+  m.xti_sub_e = param_or(p, "XTISE", m.xti_sub_e);
+  m.bf_sub = param_or(p, "BFS", m.bf_sub);
+  return m;
+}
+
+DiodeModel parse_diode_model(const std::map<std::string, double>& p) {
+  DiodeModel m;
+  m.is = param_or(p, "IS", m.is);
+  m.n = param_or(p, "N", m.n);
+  m.eg = param_or(p, "EG", m.eg);
+  m.xti = param_or(p, "XTI", m.xti);
+  m.tnom = param_or(p, "TNOM", m.tnom);
+  return m;
+}
+
+}  // namespace
+
+double parse_spice_number(std::string_view token) {
+  const std::string t = to_lower(token);
+  char* end = nullptr;
+  const double base = std::strtod(t.c_str(), &end);
+  if (end == t.c_str()) {
+    throw NetlistError("not a number: '" + std::string(token) + "'");
+  }
+  std::string suffix(end);
+  // Strip trailing unit letters after a recognised scale (e.g. "2.5kohm").
+  double scale = 1.0;
+  if (!suffix.empty()) {
+    if (suffix.rfind("meg", 0) == 0) {
+      scale = 1e6;
+    } else {
+      switch (suffix[0]) {
+        case 'f': scale = 1e-15; break;
+        case 'p': scale = 1e-12; break;
+        case 'n': scale = 1e-9; break;
+        case 'u': scale = 1e-6; break;
+        case 'm': scale = 1e-3; break;
+        case 'k': scale = 1e3; break;
+        case 'g': scale = 1e9; break;
+        case 't': scale = 1e12; break;
+        default:
+          // Unit annotations like "v", "a", "ohm" scale by 1.
+          scale = 1.0;
+          break;
+      }
+    }
+  }
+  return base * scale;
+}
+
+ParsedNetlist parse_netlist(std::string_view text) {
+  ParsedNetlist out;
+  out.circuit = std::make_unique<Circuit>();
+  Circuit& c = *out.circuit;
+
+  struct PendingBjt {
+    std::string name, collector, base, emitter, model, substrate;
+    double area;
+    int line;
+  };
+  struct PendingDiode {
+    std::string name, anode, cathode, model;
+    double area;
+    int line;
+  };
+  std::vector<PendingBjt> bjts;
+  std::vector<PendingDiode> diodes;
+
+  for (const auto& [line_text, lineno] : logical_lines(text)) {
+    const auto tokens = tokenize(line_text);
+    if (tokens.empty()) continue;
+    const std::string head = to_upper(tokens[0]);
+
+    if (head == ".END") break;
+    if (head == ".TEMP") {
+      if (tokens.size() < 2) fail(lineno, ".TEMP needs a value");
+      out.temperature_celsius = parse_spice_number(tokens[1]);
+      out.has_temp_directive = true;
+      continue;
+    }
+    if (head == ".NODESET") {
+      // Accept "V node = value" groups (the tokenizer splits 'V(n)=x' into
+      // 'V', 'n', '=', 'x') and bare "node = value" pairs.
+      std::size_t i = 1;
+      while (i < tokens.size()) {
+        if (to_upper(tokens[i]) == "V") ++i;
+        if (i + 2 >= tokens.size() || tokens[i + 1] != "=") {
+          fail(lineno, ".NODESET expects V(node)=value groups");
+        }
+        out.nodesets[tokens[i]] = parse_spice_number(tokens[i + 2]);
+        i += 3;
+      }
+      continue;
+    }
+    if (head == ".MODEL") {
+      if (tokens.size() < 3) fail(lineno, ".MODEL needs a name and a type");
+      const std::string name = to_upper(tokens[1]);
+      const std::string type = to_upper(tokens[2]);
+      const auto params = parse_params(tokens, 3, lineno);
+      if (type == "NPN") {
+        out.bjt_models[name] = parse_bjt_model(params, BjtModel::Type::kNpn);
+      } else if (type == "PNP") {
+        out.bjt_models[name] = parse_bjt_model(params, BjtModel::Type::kPnp);
+      } else if (type == "D") {
+        out.diode_models[name] = parse_diode_model(params);
+      } else {
+        fail(lineno, "unknown model type '" + type + "'");
+      }
+      continue;
+    }
+    if (head[0] == '.') fail(lineno, "unknown directive '" + head + "'");
+
+    const char kind = head[0];
+    switch (kind) {
+      case 'R': {
+        if (tokens.size() < 4) fail(lineno, "R: need name, 2 nodes, value");
+        const auto params = parse_params(
+            tokens, std::min<std::size_t>(4, tokens.size()), lineno);
+        c.add_resistor(tokens[0], c.node(tokens[1]), c.node(tokens[2]),
+                       parse_spice_number(tokens[3]),
+                       param_or(params, "TC1", 0.0),
+                       param_or(params, "TC2", 0.0));
+        break;
+      }
+      case 'V': {
+        if (tokens.size() < 4) fail(lineno, "V: need name, 2 nodes, value");
+        c.add_vsource(tokens[0], c.node(tokens[1]), c.node(tokens[2]),
+                      parse_spice_number(tokens[3]));
+        break;
+      }
+      case 'I': {
+        if (tokens.size() < 4) fail(lineno, "I: need name, 2 nodes, value");
+        c.add_isource(tokens[0], c.node(tokens[1]), c.node(tokens[2]),
+                      parse_spice_number(tokens[3]));
+        break;
+      }
+      case 'E': {
+        if (tokens.size() < 6) {
+          fail(lineno, "E: need name, 4 nodes, gain");
+        }
+        c.add_vcvs(tokens[0], c.node(tokens[1]), c.node(tokens[2]),
+                   c.node(tokens[3]), c.node(tokens[4]),
+                   parse_spice_number(tokens[5]));
+        break;
+      }
+      case 'U': {
+        if (tokens.size() < 4) fail(lineno, "U: need name and 3 nodes");
+        const auto params = parse_params(tokens, 4, lineno);
+        c.add_opamp(tokens[0], c.node(tokens[1]), c.node(tokens[2]),
+                    c.node(tokens[3]), param_or(params, "GAIN", 1e6),
+                    param_or(params, "OFFSET", 0.0));
+        break;
+      }
+      case 'D': {
+        if (tokens.size() < 4) fail(lineno, "D: need name, 2 nodes, model");
+        std::map<std::string, double> params;
+        if (tokens.size() > 4) params = parse_params(tokens, 4, lineno);
+        diodes.push_back({tokens[0], tokens[1], tokens[2],
+                          to_upper(tokens[3]), param_or(params, "AREA", 1.0),
+                          lineno});
+        break;
+      }
+      case 'Q': {
+        if (tokens.size() < 5) fail(lineno, "Q: need name, 3 nodes, model");
+        std::map<std::string, double> params;
+        std::string substrate = "0";
+        // Optional SUBSTRATE=<node> must be handled before numeric params.
+        std::vector<std::string> rest(tokens.begin() + 5, tokens.end());
+        std::vector<std::string> numeric;
+        for (std::size_t i = 0; i < rest.size();) {
+          if (to_upper(rest[i]) == "SUBSTRATE" && i + 2 < rest.size() + 1 &&
+              i + 1 < rest.size() && rest[i + 1] == "=") {
+            if (i + 2 >= rest.size()) fail(lineno, "SUBSTRATE needs a node");
+            substrate = rest[i + 2];
+            i += 3;
+          } else {
+            numeric.push_back(rest[i]);
+            ++i;
+          }
+        }
+        if (!numeric.empty()) params = parse_params(numeric, 0, lineno);
+        bjts.push_back({tokens[0], tokens[1], tokens[2], tokens[3],
+                        to_upper(tokens[4]), substrate,
+                        param_or(params, "AREA", 1.0), lineno});
+        break;
+      }
+      default:
+        fail(lineno, "unknown element '" + tokens[0] + "'");
+    }
+  }
+
+  // Instantiate semiconductor devices now that all .MODEL cards are known
+  // (SPICE decks put models anywhere).
+  for (const auto& d : diodes) {
+    auto it = out.diode_models.find(d.model);
+    if (it == out.diode_models.end()) {
+      fail(d.line, "diode model '" + d.model + "' not defined");
+    }
+    c.add_diode(d.name, c.node(d.anode), c.node(d.cathode), it->second,
+                d.area);
+  }
+  for (const auto& q : bjts) {
+    auto it = out.bjt_models.find(q.model);
+    if (it == out.bjt_models.end()) {
+      fail(q.line, "BJT model '" + q.model + "' not defined");
+    }
+    c.add_bjt(q.name, c.node(q.collector), c.node(q.base), c.node(q.emitter),
+              it->second, q.area, c.node(q.substrate));
+  }
+  return out;
+}
+
+ParsedNetlist parse_netlist(std::istream& in) {
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_netlist(buf.str());
+}
+
+namespace {
+void emit_param(std::ostringstream& os, const char* key, double value,
+                double default_value) {
+  if (value != default_value && std::isfinite(value)) {
+    os << ' ' << key << '=' << format_sig(value, 9);
+  }
+}
+}  // namespace
+
+std::string format_bjt_model(const std::string& name, const BjtModel& m) {
+  const BjtModel d;  // defaults
+  std::ostringstream os;
+  os << ".MODEL " << name << ' '
+     << (m.type == BjtModel::Type::kNpn ? "NPN" : "PNP") << " (";
+  os << "IS=" << format_sig(m.is, 9);
+  emit_param(os, "BF", m.bf, d.bf);
+  emit_param(os, "BR", m.br, d.br);
+  emit_param(os, "NF", m.nf, d.nf);
+  emit_param(os, "NR", m.nr, d.nr);
+  emit_param(os, "ISE", m.ise, d.ise);
+  emit_param(os, "NE", m.ne, d.ne);
+  emit_param(os, "ISC", m.isc, d.isc);
+  emit_param(os, "NC", m.nc, d.nc);
+  emit_param(os, "VAF", m.vaf, d.vaf);
+  emit_param(os, "VAR", m.var, d.var);
+  emit_param(os, "EG", m.eg, d.eg);
+  emit_param(os, "XTI", m.xti, d.xti);
+  emit_param(os, "TNOM", m.tnom, d.tnom);
+  emit_param(os, "ISS", m.iss, d.iss);
+  emit_param(os, "NS", m.ns, d.ns);
+  emit_param(os, "EGS", m.eg_sub, d.eg_sub);
+  emit_param(os, "XTIS", m.xti_sub, d.xti_sub);
+  emit_param(os, "ISSE", m.iss_e, d.iss_e);
+  emit_param(os, "NSE", m.ns_e, d.ns_e);
+  emit_param(os, "EGSE", m.eg_sub_e, d.eg_sub_e);
+  emit_param(os, "XTISE", m.xti_sub_e, d.xti_sub_e);
+  emit_param(os, "BFS", m.bf_sub, d.bf_sub);
+  os << ')';
+  return os.str();
+}
+
+std::string format_diode_model(const std::string& name, const DiodeModel& m) {
+  const DiodeModel d;
+  std::ostringstream os;
+  os << ".MODEL " << name << " D (IS=" << format_sig(m.is, 9);
+  emit_param(os, "N", m.n, d.n);
+  emit_param(os, "EG", m.eg, d.eg);
+  emit_param(os, "XTI", m.xti, d.xti);
+  emit_param(os, "TNOM", m.tnom, d.tnom);
+  os << ')';
+  return os.str();
+}
+
+}  // namespace icvbe::spice

@@ -1,0 +1,58 @@
+#include "icvbe/spice/stamper.hpp"
+
+#include "icvbe/common/error.hpp"
+
+namespace icvbe::spice {
+
+Stamper::Stamper(linalg::Matrix& a, linalg::Vector& b, int node_unknowns)
+    : a_(a), b_(b), node_unknowns_(node_unknowns) {
+  ICVBE_REQUIRE(a.rows() == a.cols() && a.rows() == b.size(),
+                "Stamper: inconsistent system dimensions");
+  ICVBE_REQUIRE(node_unknowns >= 0 &&
+                    static_cast<std::size_t>(node_unknowns) <= b.size(),
+                "Stamper: bad node unknown count");
+}
+
+void Stamper::add_entry(int row, int col, double v) {
+  if (row < 0 || col < 0) return;  // ground row/column is eliminated
+  a_(static_cast<std::size_t>(row), static_cast<std::size_t>(col)) += v;
+}
+
+void Stamper::add_rhs(int row, double v) {
+  if (row < 0) return;
+  b_[static_cast<std::size_t>(row)] += v;
+}
+
+void Stamper::add_conductance(NodeId a, NodeId b, double g) {
+  const int ia = node_index(a);
+  const int ib = node_index(b);
+  add_entry(ia, ia, g);
+  add_entry(ib, ib, g);
+  add_entry(ia, ib, -g);
+  add_entry(ib, ia, -g);
+}
+
+void Stamper::add_current_into(NodeId n, double j) {
+  add_rhs(node_index(n), j);
+}
+
+void Stamper::stamp_companion(NodeId p, NodeId m, double g, double ieq) {
+  add_conductance(p, m, g);
+  // ieq flows p -> m: extract it from p's injection, add to m's.
+  add_rhs(node_index(p), -ieq);
+  add_rhs(node_index(m), ieq);
+}
+
+void Stamper::add_transconductance(NodeId out_p, NodeId out_m, NodeId in_p,
+                                   NodeId in_m, double gm) {
+  const int op = node_index(out_p);
+  const int om = node_index(out_m);
+  const int ip = node_index(in_p);
+  const int im = node_index(in_m);
+  add_entry(op, ip, gm);
+  add_entry(op, im, -gm);
+  add_entry(om, ip, -gm);
+  add_entry(om, im, gm);
+}
+
+}  // namespace icvbe::spice

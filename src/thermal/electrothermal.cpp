@@ -1,0 +1,74 @@
+#include "icvbe/thermal/electrothermal.hpp"
+
+#include <cmath>
+
+#include "icvbe/common/error.hpp"
+
+namespace icvbe::thermal {
+
+ElectroThermalResult solve_electrothermal(spice::Circuit& circuit,
+                                          const ChipThermal& chip,
+                                          double t_ambient_kelvin,
+                                          const ElectroThermalOptions& options) {
+  ICVBE_REQUIRE(t_ambient_kelvin > 0.0,
+                "solve_electrothermal: ambient must be > 0 K");
+  ICVBE_REQUIRE(chip.rth_die >= 0.0 && chip.aux_power >= 0.0,
+                "solve_electrothermal: thermal parameters must be >= 0");
+
+  ElectroThermalResult out;
+  out.die_temperature = t_ambient_kelvin;
+  for (const auto& d : chip.devices) {
+    out.device_temperature[d.device] = t_ambient_kelvin;
+  }
+
+  spice::Unknowns warm;
+  bool have_warm = false;
+
+  for (out.iterations = 1; out.iterations <= options.max_iterations;
+       ++out.iterations) {
+    // Electrical solve at the current temperature assignment.
+    circuit.set_temperature(out.die_temperature);
+    for (const auto& [name, temp] : out.device_temperature) {
+      circuit.set_device_temperature(name, temp);
+    }
+    spice::DcResult dc =
+        spice::solve_dc(circuit, options.newton, have_warm ? &warm : nullptr);
+    if (!dc.converged) {
+      out.converged = false;
+      return out;
+    }
+    warm = dc.solution;
+    have_warm = true;
+
+    // Thermal update.
+    out.total_power = circuit.total_power(dc.solution) + chip.aux_power;
+    const double t_die_new =
+        t_ambient_kelvin + chip.rth_die * out.total_power;
+    double max_change = std::abs(t_die_new - out.die_temperature);
+    out.die_temperature += options.damping * (t_die_new - out.die_temperature);
+
+    for (const auto& d : chip.devices) {
+      spice::Device* dev = circuit.find(d.device);
+      if (dev == nullptr) {
+        throw CircuitError(
+            "solve_electrothermal: thermal spec names unknown device '" +
+            d.device + "'");
+      }
+      const double p_dev = dev->power(dc.solution);
+      const double t_new = t_die_new + d.rth_self * p_dev;
+      double& t_cur = out.device_temperature[d.device];
+      max_change = std::max(max_change, std::abs(t_new - t_cur));
+      t_cur += options.damping * (t_new - t_cur);
+    }
+
+    out.solution = std::move(dc.solution);
+    if (max_change < options.temp_tol) {
+      out.converged = true;
+      return out;
+    }
+  }
+  out.converged = false;
+  return out;
+}
+
+}  // namespace icvbe::thermal

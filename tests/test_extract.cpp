@@ -1,0 +1,295 @@
+// Tests for icvbe/extract: the paper's two extraction methods, dataset
+// slicing, and error propagation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "icvbe/common/constants.hpp"
+#include "icvbe/common/error.hpp"
+#include "icvbe/extract/best_fit.hpp"
+#include "icvbe/extract/dataset.hpp"
+#include "icvbe/extract/meijer.hpp"
+#include "icvbe/extract/sensitivity.hpp"
+#include "icvbe/physics/saturation_current.hpp"
+#include "icvbe/physics/vbe_model.hpp"
+
+namespace icvbe::extract {
+namespace {
+
+/// Synthesize an exact eq.-(13) dataset.
+std::vector<VbeSample> synth(double eg, double xti, double t0, double vbe_t0,
+                             std::initializer_list<double> temps) {
+  physics::VbeModelParams p{eg, xti, t0, vbe_t0};
+  std::vector<VbeSample> out;
+  for (double t : temps) out.push_back({t, physics::vbe_of_t(p, t)});
+  return out;
+}
+
+const std::initializer_list<double> kTemps = {222.3, 247.7, 273.1, 300.5,
+                                              323.9, 349.3, 374.8, 400.1};
+
+TEST(BestFit, RecoversExactParameters) {
+  const auto data = synth(1.17, 3.42, 298.15, 0.62, kTemps);
+  BestFitOptions opt;
+  opt.t0 = 298.15;
+  opt.vbe_t0 = 0.0;  // interpolated
+  const EgXtiResult r = best_fit_eg_xti(data, opt);
+  EXPECT_NEAR(r.eg, 1.17, 2e-3);
+  EXPECT_NEAR(r.xti, 3.42, 0.1);
+  EXPECT_LT(r.rmse, 1e-4);
+}
+
+TEST(BestFit, ExactWithKnownVbeT0) {
+  const auto data = synth(1.12, 2.8, 298.15, 0.655, kTemps);
+  BestFitOptions opt;
+  opt.t0 = 298.15;
+  opt.vbe_t0 = 0.655;
+  const EgXtiResult r = best_fit_eg_xti(data, opt);
+  EXPECT_NEAR(r.eg, 1.12, 1e-9);
+  EXPECT_NEAR(r.xti, 2.8, 1e-6);
+}
+
+TEST(BestFit, ParametersAreStronglyAnticorrelated) {
+  // The heart of the paper: EG and XTI cannot be extracted separately.
+  const auto data = synth(1.17, 3.0, 298.15, 0.62, kTemps);
+  BestFitOptions opt;
+  opt.t0 = 298.15;
+  const EgXtiResult r = best_fit_eg_xti(data, opt);
+  EXPECT_LT(r.correlation, -0.98);
+  EXPECT_GT(r.condition, 1e3);
+}
+
+TEST(BestFit, ValidationErrors) {
+  BestFitOptions opt;
+  std::vector<VbeSample> two = {{250.0, 0.7}, {300.0, 0.65}};
+  EXPECT_THROW((void)best_fit_eg_xti(two, opt), Error);
+  std::vector<VbeSample> flat = {{300.0, 0.7}, {300.2, 0.7}, {300.4, 0.7}};
+  EXPECT_THROW((void)best_fit_eg_xti(flat, opt), Error);
+}
+
+TEST(BestFit, EgGivenXtiIsExactOnSyntheticData) {
+  const auto data = synth(1.155, 3.7, 298.15, 0.60, kTemps);
+  BestFitOptions opt;
+  opt.t0 = 298.15;
+  opt.vbe_t0 = 0.60;
+  EXPECT_NEAR(best_fit_eg_given_xti(data, 3.7, opt), 1.155, 1e-9);
+}
+
+TEST(CharacteristicStraightTest, IsStraightWithTheorySlope) {
+  const auto data = synth(1.17, 3.0, 298.15, 0.62, kTemps);
+  BestFitOptions opt;
+  opt.t0 = 298.15;
+  opt.vbe_t0 = 0.62;
+  std::vector<double> grid;
+  for (double x = 0.5; x <= 6.5; x += 0.5) grid.push_back(x);
+  const CharacteristicStraight cs = characteristic_straight(data, grid, opt);
+  EXPECT_GT(cs.r_squared, 0.99999);
+  // Slope close to the pairwise theory value over the data span.
+  const double theory = characteristic_slope_theory(222.3, 400.1);
+  EXPECT_NEAR(cs.slope, theory, 0.15 * std::abs(theory));
+  // And the true couple lies on the line.
+  const double eg_at_true_xti = cs.intercept + cs.slope * 3.0;
+  EXPECT_NEAR(eg_at_true_xti, 1.17, 2e-4);
+}
+
+TEST(CharacteristicStraightTest, SlopeTheoryValue) {
+  // Around (247, 348) K the slope is about -21 mV per XTI unit.
+  const double s = characteristic_slope_theory(247.0, 348.0);
+  EXPECT_NEAR(s, -0.0254, 3e-3);
+  EXPECT_THROW((void)characteristic_slope_theory(300.0, 250.0), Error);
+}
+
+TEST(MeijerExtract, ExactOnSyntheticData) {
+  physics::VbeModelParams p{1.132, 3.6, 297.0, 0.64};
+  const double t1 = 247.0, t2 = 297.0, t3 = 348.0;
+  const EgXtiResult r =
+      meijer_extract(t1, physics::vbe_of_t(p, t1), t2,
+                     physics::vbe_of_t(p, t2), t3, physics::vbe_of_t(p, t3));
+  EXPECT_NEAR(r.eg, 1.132, 1e-9);
+  EXPECT_NEAR(r.xti, 3.6, 1e-6);
+}
+
+TEST(MeijerExtract, OrderingValidated) {
+  EXPECT_THROW((void)meijer_extract(300.0, 0.6, 250.0, 0.7, 350.0, 0.5),
+               Error);
+}
+
+TEST(ComputedTemperature, ExactForPtatDeltaVbe) {
+  const double t2 = 297.0;
+  const double d2 = physics::delta_vbe_ptat(t2, 8.0);
+  for (double t : {247.0, 273.0, 348.0, 398.0}) {
+    const double d = physics::delta_vbe_ptat(t, 8.0);
+    EXPECT_NEAR(computed_temperature(d, d2, t2), t, 1e-9) << t;
+  }
+}
+
+TEST(ComputedTemperature, OffsetCompressesBothEnds) {
+  // A constant additive error on dVBE pulls computed temperatures toward
+  // the reference -- the Table-1 signature direction.
+  const double t2 = 297.0;
+  const double c = 1e-3;
+  const double d2 = physics::delta_vbe_ptat(t2, 8.0) + c;
+  const double d1 = physics::delta_vbe_ptat(247.0, 8.0) + c;
+  const double d3 = physics::delta_vbe_ptat(348.0, 8.0) + c;
+  EXPECT_GT(computed_temperature(d1, d2, t2), 247.0);
+  EXPECT_LT(computed_temperature(d3, d2, t2), 348.0);
+}
+
+TEST(CurrentCorrection, XEqualsOneMeansNoCorrection) {
+  EXPECT_DOUBLE_EQ(current_ratio_x(1e-5, 1e-5, 2e-5, 2e-5), 1.0);
+  EXPECT_DOUBLE_EQ(current_correction_coefficient(297.0, 1.0), 0.0);
+  const double d2 = physics::delta_vbe_ptat(297.0, 8.0);
+  const double d1 = physics::delta_vbe_ptat(247.0, 8.0);
+  EXPECT_DOUBLE_EQ(computed_temperature_corrected(d1, d2, 297.0, 1.0),
+                   computed_temperature(d1, d2, 297.0));
+}
+
+TEST(CurrentCorrection, PaperSectionFourMagnitude) {
+  // The paper evaluates A = (k T2/q) ln X for T1 = 0 C, T2 = 100 C and
+  // finds ~0.3 mV, i.e. 0.45 % of a 70 mV dVBE(T2) -- negligible.
+  const double t2 = to_kelvin(100.0);
+  // An X of ~1.01 (1 % collector-current ratio drift over 100 K):
+  const double a = current_correction_coefficient(t2, 1.0094);
+  EXPECT_NEAR(a, 0.3e-3, 0.05e-3);
+  EXPECT_NEAR(a / 70e-3, 0.0045, 1e-3);
+}
+
+TEST(CurrentCorrection, RecoversExactTemperatureWithDriftingRatio) {
+  // dVBE built with a temperature-dependent current ratio; eq. (19) with
+  // the eq.-(20) X must undo it exactly.
+  const double t2 = 297.0, t1 = 247.0;
+  const double ica_t1 = 1.00e-5, icb_t1 = 1.02e-5;  // ratio drifted at T1
+  const double ica_t2 = 1.00e-5, icb_t2 = 1.00e-5;
+  const double d1 = physics::delta_vbe_general(t1, 8.0, ica_t1, icb_t1);
+  const double d2 = physics::delta_vbe_general(t2, 8.0, ica_t2, icb_t2);
+  const double x = current_ratio_x(ica_t1, icb_t1, ica_t2, icb_t2);
+  // Raw eq. (16) is biased; corrected eq. (19) is exact.
+  EXPECT_GT(std::abs(computed_temperature(d1, d2, t2) - t1), 0.2);
+  EXPECT_NEAR(computed_temperature_corrected(d1, d2, t2, x), t1, 1e-9);
+}
+
+TEST(MeijerLine, PassesThroughTrueCouple) {
+  physics::VbeModelParams p{1.17, 3.0, 297.0, 0.64};
+  std::vector<double> grid{0.5, 3.0, 6.5};
+  const Series line =
+      meijer_line(247.0, physics::vbe_of_t(p, 247.0), 297.0,
+                  physics::vbe_of_t(p, 297.0), grid);
+  EXPECT_NEAR(line.y(1), 1.17, 1e-9);  // EG at XTI = 3
+  // Slope equals the characteristic-straight theory for this pair.
+  const double slope = (line.y(2) - line.y(0)) / (line.x(2) - line.x(0));
+  EXPECT_NEAR(slope, characteristic_slope_theory(247.0, 297.0), 1e-9);
+}
+
+TEST(Dataset, VbeAtCurrentInvertsIdealDiode) {
+  // Build an exact exponential IC(VBE) curve and invert it.
+  Series curve("icvbe");
+  const double is = 1e-15, vt = thermal_voltage(300.0);
+  for (double v = 0.3; v <= 0.8; v += 0.05) {
+    curve.push_back(v, is * std::exp(v / vt));
+  }
+  const double target = 1e-6;
+  const double vbe = vbe_at_current(curve, target);
+  EXPECT_NEAR(vbe, vt * std::log(target / is), 1e-9);
+  EXPECT_THROW((void)vbe_at_current(curve, 1.0), Error);  // out of range
+}
+
+TEST(Dataset, SliceFamilyProducesVbeVsT) {
+  // Three synthetic exponential curves at different temperatures.
+  std::vector<Series> family;
+  std::vector<double> temps{250.0, 300.0, 350.0};
+  const double eg = 1.15, xti = 3.0, is0 = 1e-15;
+  for (double t : temps) {
+    Series s("T");
+    const double is = physics::spice_is(is0, eg, xti, t, 300.0);
+    const double vt = thermal_voltage(t);
+    for (double v = 0.2; v <= 0.9; v += 0.025) {
+      s.push_back(v, is * std::exp(v / vt));
+    }
+    family.push_back(std::move(s));
+  }
+  const auto samples = vbe_vs_t_at_constant_ic(family, temps, 1e-7);
+  ASSERT_EQ(samples.size(), 3u);
+  // VBE decreases with temperature at constant current.
+  EXPECT_GT(samples[0].vbe, samples[1].vbe);
+  EXPECT_GT(samples[1].vbe, samples[2].vbe);
+  // And the sliced dataset is consistent with the generating law.
+  BestFitOptions opt;
+  opt.t0 = 300.0;
+  const EgXtiResult r = best_fit_eg_xti(samples, opt);
+  EXPECT_NEAR(r.eg, eg, 5e-3);
+  EXPECT_NEAR(r.xti, xti, 0.3);
+}
+
+TEST(Sensitivity, OnePercentVbeGivesUpToEightPercentEg) {
+  // The section-3 claim. Independent 1 % errors through the
+  // ill-conditioned fit blow up to several percent of EG; the worst case
+  // reaches the claimed "up to 8 %".
+  const auto data = synth(1.17, 3.0, 298.15, 0.62,
+                          {223.15, 248.15, 273.15, 298.15, 323.15, 348.15,
+                           373.15, 398.15});
+  BestFitOptions opt;
+  opt.t0 = 298.15;
+  const VbeErrorPropagation prop =
+      propagate_vbe_error(data, 1.17, 0.01, 200, opt);
+  EXPECT_GT(prop.eg_rel_rms, 0.005);   // far more than the naive 1 %
+  EXPECT_GT(prop.eg_rel_max, 0.02);
+  EXPECT_LT(prop.eg_rel_max, 0.80);
+  const double worst = worst_case_eg_error(data, 1.17, 0.01, opt);
+  EXPECT_GT(worst, 0.02);
+  EXPECT_LT(worst, 0.25);
+}
+
+TEST(Sensitivity, ErrorScalesRoughlyLinearly) {
+  const auto data = synth(1.17, 3.0, 298.15, 0.62, kTemps);
+  BestFitOptions opt;
+  opt.t0 = 298.15;
+  const auto p1 = propagate_vbe_error(data, 1.17, 0.001, 100, opt);
+  const auto p10 = propagate_vbe_error(data, 1.17, 0.01, 100, opt);
+  EXPECT_NEAR(p10.eg_rel_rms / p1.eg_rel_rms, 10.0, 3.0);
+}
+
+TEST(Sensitivity, T2ErrorBelowFiveKelvinIsBenign) {
+  // Meijer's robustness claim: dT2 < 5 K has no significant influence.
+  physics::VbeModelParams p{1.132, 3.6, 297.0, 0.64};
+  const auto rows = meijer_t2_sensitivity(
+      247.0, physics::vbe_of_t(p, 247.0), 297.0, physics::vbe_of_t(p, 297.0),
+      348.0, physics::vbe_of_t(p, 348.0), {-5.0, -2.0, 0.0, 2.0, 5.0});
+  ASSERT_EQ(rows.size(), 5u);
+  for (const auto& r : rows) {
+    EXPECT_NEAR(r.eg, 1.132, 0.02) << "dT2=" << r.delta_t2;
+    EXPECT_NEAR(r.xti, 3.6, 1.2) << "dT2=" << r.delta_t2;
+  }
+}
+
+// Property sweep: best fit recovers any couple exactly when VBE(T0) is
+// known -- over the whole Fig.-6 plotting window.
+struct Couple {
+  double eg, xti;
+};
+class BestFitRecoveryTest : public ::testing::TestWithParam<Couple> {};
+
+TEST_P(BestFitRecoveryTest, ExactRecovery) {
+  const auto [eg, xti] = GetParam();
+  const auto data = synth(eg, xti, 298.15, 0.63, kTemps);
+  BestFitOptions opt;
+  opt.t0 = 298.15;
+  opt.vbe_t0 = 0.63;
+  const EgXtiResult r = best_fit_eg_xti(data, opt);
+  EXPECT_NEAR(r.eg, eg, 1e-8);
+  EXPECT_NEAR(r.xti, xti, 1e-5);
+  // Meijer agrees using three of the same points.
+  const EgXtiResult m = meijer_extract(
+      data[1].t_kelvin, data[1].vbe, data[3].t_kelvin, data[3].vbe,
+      data[6].t_kelvin, data[6].vbe);
+  EXPECT_NEAR(m.eg, eg, 1e-8);
+  EXPECT_NEAR(m.xti, xti, 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fig6Window, BestFitRecoveryTest,
+    ::testing::Values(Couple{1.05, 0.5}, Couple{1.10, 2.0}, Couple{1.17, 3.0},
+                      Couple{1.20, 4.5}, Couple{1.28, 6.5}));
+
+}  // namespace
+}  // namespace icvbe::extract

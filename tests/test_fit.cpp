@@ -1,0 +1,215 @@
+// Tests for icvbe/fit: linear least squares, polynomial fit, LM.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "icvbe/common/error.hpp"
+#include "icvbe/fit/least_squares.hpp"
+#include "icvbe/fit/levenberg_marquardt.hpp"
+
+namespace icvbe::fit {
+namespace {
+
+TEST(LinearLeastSquares, ExactLineRecovered) {
+  std::vector<double> x{0.0, 1.0, 2.0, 3.0, 4.0};
+  std::vector<double> y;
+  for (double xi : x) y.push_back(3.0 - 2.0 * xi);
+  LineFit f = fit_line(x, y);
+  EXPECT_NEAR(f.intercept, 3.0, 1e-12);
+  EXPECT_NEAR(f.slope, -2.0, 1e-12);
+  EXPECT_NEAR(f.r_squared, 1.0, 1e-12);
+}
+
+TEST(LinearLeastSquares, NoisyLineWithinSigma) {
+  std::mt19937 gen(99);
+  std::normal_distribution<double> noise(0.0, 0.01);
+  std::vector<double> x, y;
+  for (int i = 0; i < 200; ++i) {
+    const double xi = i * 0.05;
+    x.push_back(xi);
+    y.push_back(1.5 + 0.7 * xi + noise(gen));
+  }
+  LineFit f = fit_line(x, y);
+  EXPECT_NEAR(f.intercept, 1.5, 5.0 * f.sigma_intercept);
+  EXPECT_NEAR(f.slope, 0.7, 5.0 * f.sigma_slope);
+  EXPECT_GT(f.r_squared, 0.99);
+}
+
+TEST(LinearLeastSquares, ResidualStatsConsistent) {
+  linalg::Matrix a{{1.0, 0.0}, {1.0, 1.0}, {1.0, 2.0}};
+  linalg::Vector y{0.0, 1.1, 1.9};
+  LinearFitResult r = linear_least_squares(a, y);
+  double rss = 0.0;
+  for (double e : r.residuals) rss += e * e;
+  EXPECT_NEAR(r.rss, rss, 1e-15);
+  EXPECT_GT(r.r_squared, 0.9);
+}
+
+TEST(LinearLeastSquares, CorrelationDetectsCollinearBasis) {
+  // Two nearly identical basis columns: parameter correlation -> -1.
+  std::vector<double> x;
+  for (int i = 0; i < 50; ++i) x.push_back(1.0 + i * 0.01);
+  linalg::Matrix a(x.size(), 2);
+  linalg::Vector y(x.size());
+  std::mt19937 gen(7);
+  std::normal_distribution<double> noise(0.0, 1e-4);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    a(i, 0) = x[i];
+    a(i, 1) = x[i] * (1.0 + 1e-3 * std::log(x[i]));
+    y[i] = a(i, 0) + a(i, 1) + noise(gen);
+  }
+  LinearFitResult r = linear_least_squares(a, y);
+  EXPECT_LT(r.param_correlation(0, 1), -0.99);
+  EXPECT_GT(r.condition_number, 1e4);
+}
+
+TEST(WeightedLeastSquares, DownweightsOutlier) {
+  std::vector<double> x{0.0, 1.0, 2.0, 3.0};
+  linalg::Matrix a(4, 1);
+  for (std::size_t i = 0; i < 4; ++i) a(i, 0) = 1.0;
+  linalg::Vector y{1.0, 1.0, 1.0, 100.0};
+  linalg::Vector w{1.0, 1.0, 1.0, 1e-9};
+  LinearFitResult r = weighted_linear_least_squares(a, y, w);
+  EXPECT_NEAR(r.parameters[0], 1.0, 1e-3);
+  EXPECT_THROW(
+      (void)weighted_linear_least_squares(a, y, linalg::Vector{1, 1, 1, 0}),
+      Error);
+}
+
+TEST(PolynomialFit, RecoversCubicExactly) {
+  std::vector<double> x, y;
+  for (int i = -5; i <= 5; ++i) {
+    const double xi = i * 0.3;
+    x.push_back(xi);
+    y.push_back(1.0 - 2.0 * xi + 0.5 * xi * xi + 0.25 * xi * xi * xi);
+  }
+  LinearFitResult r = polynomial_fit(x, y, 3);
+  EXPECT_NEAR(r.parameters[0], 1.0, 1e-10);
+  EXPECT_NEAR(r.parameters[1], -2.0, 1e-10);
+  EXPECT_NEAR(r.parameters[2], 0.5, 1e-10);
+  EXPECT_NEAR(r.parameters[3], 0.25, 1e-10);
+}
+
+TEST(PolynomialFit, PolyvalHorner) {
+  linalg::Vector c{1.0, 0.0, 2.0};  // 1 + 2x^2
+  EXPECT_DOUBLE_EQ(polyval(c, 3.0), 19.0);
+}
+
+TEST(DesignMatrix, BuildsFromBasisFunctions) {
+  std::vector<double> x{1.0, 2.0};
+  auto a = design_matrix(
+      x, {[](double v) { return 1.0; }, [](double v) { return v * v; }});
+  EXPECT_DOUBLE_EQ(a(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(a(1, 1), 4.0);
+}
+
+TEST(LevenbergMarquardt, ExponentialDecayFit) {
+  // y = A exp(-k x) with A = 2, k = 1.3.
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 40; ++i) {
+    const double x = i * 0.1;
+    xs.push_back(x);
+    ys.push_back(2.0 * std::exp(-1.3 * x));
+  }
+  ResidualFn res = [&](const linalg::Vector& p, linalg::Vector& r) {
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      r[i] = p[0] * std::exp(-p[1] * xs[i]) - ys[i];
+    }
+  };
+  LmResult out = levenberg_marquardt(res, xs.size(), {1.0, 0.5});
+  EXPECT_TRUE(out.converged) << out.stop_reason;
+  EXPECT_NEAR(out.parameters[0], 2.0, 1e-6);
+  EXPECT_NEAR(out.parameters[1], 1.3, 1e-6);
+  EXPECT_LT(out.cost, 1e-12);
+}
+
+TEST(LevenbergMarquardt, RosenbrockConverges) {
+  // Classic banana valley as residuals: r1 = 10(y - x^2), r2 = 1 - x.
+  ResidualFn res = [](const linalg::Vector& p, linalg::Vector& r) {
+    r[0] = 10.0 * (p[1] - p[0] * p[0]);
+    r[1] = 1.0 - p[0];
+  };
+  LmResult out = levenberg_marquardt(res, 2, {-1.2, 1.0});
+  EXPECT_TRUE(out.converged) << out.stop_reason;
+  EXPECT_NEAR(out.parameters[0], 1.0, 1e-5);
+  EXPECT_NEAR(out.parameters[1], 1.0, 1e-5);
+}
+
+TEST(LevenbergMarquardt, AnalyticJacobianMatchesNumeric) {
+  std::vector<double> xs{0.0, 0.5, 1.0, 1.5, 2.0};
+  std::vector<double> ys;
+  for (double x : xs) ys.push_back(3.0 * x + 1.0);
+  ResidualFn res = [&](const linalg::Vector& p, linalg::Vector& r) {
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      r[i] = p[0] + p[1] * xs[i] - ys[i];
+    }
+  };
+  JacobianFn jac = [&](const linalg::Vector&, linalg::Matrix& j) {
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      j(i, 0) = 1.0;
+      j(i, 1) = xs[i];
+    }
+  };
+  LmResult with_jac = levenberg_marquardt(res, xs.size(), {0.0, 0.0}, {}, jac);
+  LmResult without = levenberg_marquardt(res, xs.size(), {0.0, 0.0});
+  EXPECT_TRUE(with_jac.converged);
+  EXPECT_NEAR(with_jac.parameters[0], without.parameters[0], 1e-8);
+  EXPECT_NEAR(with_jac.parameters[1], without.parameters[1], 1e-8);
+}
+
+TEST(LevenbergMarquardt, RejectsUnderdetermined) {
+  ResidualFn res = [](const linalg::Vector&, linalg::Vector& r) {
+    r[0] = 0.0;
+  };
+  EXPECT_THROW((void)levenberg_marquardt(res, 1, {1.0, 2.0}), Error);
+}
+
+TEST(LevenbergMarquardt, CovarianceScalesWithNoise) {
+  std::mt19937 gen(3);
+  std::normal_distribution<double> noise(0.0, 0.05);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 100; ++i) {
+    xs.push_back(i * 0.1);
+    ys.push_back(2.0 * xs.back() + noise(gen));
+  }
+  ResidualFn res = [&](const linalg::Vector& p, linalg::Vector& r) {
+    for (std::size_t i = 0; i < xs.size(); ++i) r[i] = p[0] * xs[i] - ys[i];
+  };
+  LmResult out = levenberg_marquardt(res, xs.size(), {1.0});
+  EXPECT_TRUE(out.converged);
+  // Parameter sigma should be small but nonzero, consistent with the noise.
+  const double sigma = std::sqrt(out.covariance(0, 0));
+  EXPECT_GT(sigma, 1e-4);
+  EXPECT_LT(sigma, 1e-1);
+  EXPECT_NEAR(out.parameters[0], 2.0, 5.0 * sigma);
+}
+
+// Parameterised property: polynomial_fit of degree d reproduces any
+// polynomial of that degree from exact samples.
+class PolyDegreeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PolyDegreeTest, ExactRecovery) {
+  const int degree = GetParam();
+  std::mt19937 gen(static_cast<unsigned>(100 + degree));
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  linalg::Vector coeffs(static_cast<std::size_t>(degree) + 1);
+  for (auto& c : coeffs) c = dist(gen);
+  std::vector<double> x, y;
+  for (int i = 0; i <= 2 * degree + 4; ++i) {
+    const double xi = -1.0 + 2.0 * i / (2.0 * degree + 4.0);
+    x.push_back(xi);
+    y.push_back(polyval(coeffs, xi));
+  }
+  LinearFitResult r = polynomial_fit(x, y, degree);
+  for (std::size_t j = 0; j < coeffs.size(); ++j) {
+    EXPECT_NEAR(r.parameters[j], coeffs[j], 1e-8) << "degree " << degree;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, PolyDegreeTest,
+                         ::testing::Values(0, 1, 2, 3, 4, 5, 6));
+
+}  // namespace
+}  // namespace icvbe::fit

@@ -1,0 +1,193 @@
+// Tests for icvbe/linalg: Matrix, LU, QR, solve2x2.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "icvbe/common/error.hpp"
+#include "icvbe/linalg/matrix.hpp"
+#include "icvbe/linalg/solve.hpp"
+
+namespace icvbe::linalg {
+namespace {
+
+TEST(MatrixTest, InitializerListAndAccess) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+  EXPECT_THROW((void)m.at(2, 0), Error);
+}
+
+TEST(MatrixTest, RaggedInitializerRejected) {
+  EXPECT_THROW((Matrix{{1.0, 2.0}, {3.0}}), Error);
+}
+
+TEST(MatrixTest, MultiplyMatrixAndVector) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  Matrix b{{0.0, 1.0}, {1.0, 0.0}};
+  Matrix c = a.multiply(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 4.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 3.0);
+
+  Vector v = a.multiply(Vector{1.0, 1.0});
+  EXPECT_DOUBLE_EQ(v[0], 3.0);
+  EXPECT_DOUBLE_EQ(v[1], 7.0);
+}
+
+TEST(MatrixTest, TransposeIdentityMaxAbs) {
+  Matrix a{{1.0, -5.0}, {2.0, 3.0}};
+  Matrix t = a.transposed();
+  EXPECT_DOUBLE_EQ(t(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(a.max_abs(), 5.0);
+  Matrix i = Matrix::identity(3);
+  EXPECT_DOUBLE_EQ(i(2, 2), 1.0);
+  EXPECT_DOUBLE_EQ(i(0, 2), 0.0);
+}
+
+TEST(VectorOps, NormsDotAxpy) {
+  Vector a{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(norm2(a), 5.0);
+  EXPECT_DOUBLE_EQ(norm_inf(a), 4.0);
+  EXPECT_DOUBLE_EQ(dot(a, a), 25.0);
+  Vector c = axpy(a, 2.0, Vector{1.0, 1.0});
+  EXPECT_DOUBLE_EQ(c[0], 5.0);
+  EXPECT_DOUBLE_EQ(c[1], 6.0);
+  EXPECT_THROW((void)dot(a, Vector{1.0}), Error);
+}
+
+TEST(LuTest, SolvesKnownSystem) {
+  Matrix a{{2.0, 1.0}, {1.0, 3.0}};
+  Vector x = lu_solve(a, Vector{3.0, 5.0});
+  EXPECT_NEAR(x[0], 0.8, 1e-12);
+  EXPECT_NEAR(x[1], 1.4, 1e-12);
+}
+
+TEST(LuTest, PivotingHandlesZeroDiagonal) {
+  // Leading zero forces a row swap; solution is x = (1, 1).
+  Matrix a{{0.0, 1.0}, {1.0, 0.0}};
+  Vector x = lu_solve(a, Vector{1.0, 1.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-14);
+  EXPECT_NEAR(x[1], 1.0, 1e-14);
+}
+
+TEST(LuTest, SingularMatrixThrows) {
+  Matrix a{{1.0, 2.0}, {2.0, 4.0}};
+  EXPECT_THROW(LuFactorization{a}, NumericalError);
+}
+
+TEST(LuTest, DeterminantWithPermutationSign) {
+  Matrix a{{0.0, 1.0}, {1.0, 0.0}};
+  LuFactorization lu(a);
+  EXPECT_NEAR(lu.determinant(), -1.0, 1e-14);
+}
+
+TEST(LuTest, SolveManyRhsAfterOneFactor) {
+  Matrix a{{4.0, 1.0, 0.0}, {1.0, 4.0, 1.0}, {0.0, 1.0, 4.0}};
+  LuFactorization lu(a);
+  for (int k = 0; k < 3; ++k) {
+    Vector e(3, 0.0);
+    e[static_cast<std::size_t>(k)] = 1.0;
+    Vector x = lu.solve(e);
+    Vector ax = a.multiply(x);
+    for (int i = 0; i < 3; ++i) {
+      EXPECT_NEAR(ax[static_cast<std::size_t>(i)],
+                  e[static_cast<std::size_t>(i)], 1e-12);
+    }
+  }
+}
+
+TEST(LuTest, ConditionEstimateLargeForNearSingular) {
+  Matrix good{{1.0, 0.0}, {0.0, 1.0}};
+  Matrix bad{{1.0, 1.0}, {1.0, 1.0 + 1e-9}};
+  EXPECT_LT(LuFactorization(good).condition_estimate(), 10.0);
+  EXPECT_GT(LuFactorization(bad).condition_estimate(), 1e6);
+}
+
+TEST(QrTest, ExactSolveSquare) {
+  Matrix a{{2.0, 1.0}, {1.0, 3.0}};
+  Vector x = qr_least_squares(a, Vector{3.0, 5.0});
+  EXPECT_NEAR(x[0], 0.8, 1e-12);
+  EXPECT_NEAR(x[1], 1.4, 1e-12);
+}
+
+TEST(QrTest, OverdeterminedLeastSquares) {
+  // y = 2x + 1 with exact data: residual must vanish.
+  Matrix a{{1.0, 0.0}, {1.0, 1.0}, {1.0, 2.0}, {1.0, 3.0}};
+  Vector y{1.0, 3.0, 5.0, 7.0};
+  Vector x = qr_least_squares(a, y);
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(QrTest, LeastSquaresMinimisesResidual) {
+  // Inconsistent system: projection of b onto col(A).
+  Matrix a{{1.0, 0.0}, {1.0, 0.0}, {0.0, 1.0}};
+  Vector y{1.0, 3.0, 5.0};
+  Vector x = qr_least_squares(a, y);
+  EXPECT_NEAR(x[0], 2.0, 1e-12);  // mean of 1 and 3
+  EXPECT_NEAR(x[1], 5.0, 1e-12);
+}
+
+TEST(QrTest, RankDeficientThrows) {
+  Matrix a{{1.0, 1.0}, {2.0, 2.0}, {3.0, 3.0}};
+  QrFactorization qr(a);
+  EXPECT_THROW((void)qr.solve_least_squares(Vector{1.0, 2.0, 3.0}),
+               NumericalError);
+}
+
+TEST(QrTest, RDiagonalReflectsConditioning) {
+  // Nearly collinear columns give a tiny trailing R diagonal -- exactly the
+  // mechanism behind the paper's EG/XTI correlation.
+  Matrix a{{1.0, 1.0}, {1.0, 1.0 + 1e-8}, {1.0, 1.0 + 2e-8}};
+  QrFactorization qr(a);
+  Vector d = qr.r_diagonal();
+  EXPECT_GT(std::abs(d[0]), 1.0);
+  EXPECT_LT(std::abs(d[1]) / std::abs(d[0]), 1e-7);
+}
+
+TEST(Solve2x2Test, SolvesAndValidates) {
+  auto [x, y] = solve2x2(2.0, 1.0, 1.0, 3.0, 3.0, 5.0);
+  EXPECT_NEAR(x, 0.8, 1e-12);
+  EXPECT_NEAR(y, 1.4, 1e-12);
+  EXPECT_THROW((void)solve2x2(1.0, 2.0, 2.0, 4.0, 1.0, 2.0), NumericalError);
+}
+
+// Property-style sweep: random well-conditioned systems solve to machine
+// precision through both LU and QR.
+class RandomSystemTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomSystemTest, LuAndQrAgree) {
+  const int n = 5;
+  std::mt19937 gen(static_cast<unsigned>(GetParam()));
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  Matrix a(n, n);
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < n; ++c) {
+      a(static_cast<std::size_t>(r), static_cast<std::size_t>(c)) = dist(gen);
+    }
+    a(static_cast<std::size_t>(r), static_cast<std::size_t>(r)) += 4.0;
+  }
+  Vector b(n);
+  for (int i = 0; i < n; ++i) b[static_cast<std::size_t>(i)] = dist(gen);
+  Vector xl = lu_solve(a, b);
+  Vector xq = qr_least_squares(a, b);
+  for (int i = 0; i < n; ++i) {
+    EXPECT_NEAR(xl[static_cast<std::size_t>(i)],
+                xq[static_cast<std::size_t>(i)], 1e-10);
+  }
+  Vector ax = a.multiply(xl);
+  for (int i = 0; i < n; ++i) {
+    EXPECT_NEAR(ax[static_cast<std::size_t>(i)],
+                b[static_cast<std::size_t>(i)], 1e-10);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomSystemTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace icvbe::linalg

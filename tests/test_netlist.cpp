@@ -1,0 +1,236 @@
+// Tests for the SPICE netlist parser and model-card writer.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "icvbe/common/constants.hpp"
+#include "icvbe/spice/dc_solver.hpp"
+#include "icvbe/spice/netlist.hpp"
+
+namespace icvbe::spice {
+namespace {
+
+TEST(SpiceNumber, PlainAndScientific) {
+  EXPECT_DOUBLE_EQ(parse_spice_number("2.5"), 2.5);
+  EXPECT_DOUBLE_EQ(parse_spice_number("1e-15"), 1e-15);
+  EXPECT_DOUBLE_EQ(parse_spice_number("-3.3E2"), -330.0);
+}
+
+TEST(SpiceNumber, EngineeringSuffixes) {
+  EXPECT_DOUBLE_EQ(parse_spice_number("2.5k"), 2500.0);
+  EXPECT_DOUBLE_EQ(parse_spice_number("10MEG"), 1e7);
+  EXPECT_DOUBLE_EQ(parse_spice_number("47u"), 47e-6);
+  EXPECT_DOUBLE_EQ(parse_spice_number("3m"), 3e-3);
+  EXPECT_DOUBLE_EQ(parse_spice_number("1p"), 1e-12);
+  EXPECT_DOUBLE_EQ(parse_spice_number("2f"), 2e-15);
+  EXPECT_DOUBLE_EQ(parse_spice_number("1n"), 1e-9);
+  EXPECT_DOUBLE_EQ(parse_spice_number("4g"), 4e9);
+  EXPECT_DOUBLE_EQ(parse_spice_number("1t"), 1e12);
+}
+
+TEST(SpiceNumber, UnitAnnotationsIgnored) {
+  EXPECT_DOUBLE_EQ(parse_spice_number("5v"), 5.0);
+  EXPECT_DOUBLE_EQ(parse_spice_number("2.5kohm"), 2500.0);
+}
+
+TEST(SpiceNumber, RejectsGarbage) {
+  EXPECT_THROW((void)parse_spice_number("abc"), NetlistError);
+  EXPECT_THROW((void)parse_spice_number(""), NetlistError);
+}
+
+TEST(NetlistParser, ResistorDividerSolves) {
+  const char* deck = R"(
+* simple divider
+V1 in 0 10
+R1 in mid 1k
+R2 mid 0 3k
+.TEMP 27
+.END
+)";
+  auto parsed = parse_netlist(deck);
+  EXPECT_TRUE(parsed.has_temp_directive);
+  EXPECT_DOUBLE_EQ(parsed.temperature_celsius, 27.0);
+  auto& c = *parsed.circuit;
+  c.set_temperature(to_kelvin(parsed.temperature_celsius));
+  const Unknowns x = solve_dc_or_throw(c);
+  EXPECT_NEAR(x.node_voltage(c.node("mid")), 7.5, 1e-6);
+}
+
+TEST(NetlistParser, CommentsAndContinuations) {
+  const char* deck =
+      "* header comment\n"
+      "V1 a 0 1 ; trailing comment\n"
+      "R1 a\n"
+      "+ 0 2k\n";
+  auto parsed = parse_netlist(deck);
+  auto& c = *parsed.circuit;
+  const Unknowns x = solve_dc_or_throw(c);
+  EXPECT_NEAR(c.get<VoltageSource>("V1").current(x), -0.5e-3, 1e-9);
+}
+
+TEST(NetlistParser, ModelCardAndBjt) {
+  const char* deck = R"(
+.MODEL PNP8 PNP (IS=2e-16 BF=45 VAF=60 VAR=8 EG=1.132 XTI=3.6 TNOM=298.15)
+IE 0 e 10u
+Q1 0 0 e PNP8 AREA=1
+)";
+  auto parsed = parse_netlist(deck);
+  ASSERT_TRUE(parsed.bjt_models.contains("PNP8"));
+  EXPECT_EQ(parsed.bjt_models.at("PNP8").type, BjtModel::Type::kPnp);
+  EXPECT_DOUBLE_EQ(parsed.bjt_models.at("PNP8").eg, 1.132);
+  auto& c = *parsed.circuit;
+  c.set_temperature(298.15);
+  const Unknowns x = solve_dc_or_throw(c);
+  // Diode-connected PNP at 10 uA: VEB ~ 0.62-0.68 V.
+  EXPECT_GT(x.node_voltage(c.node("e")), 0.55);
+  EXPECT_LT(x.node_voltage(c.node("e")), 0.75);
+}
+
+TEST(NetlistParser, ModelDefinedAfterUse) {
+  const char* deck = R"(
+D1 a 0 DX
+I1 0 a 1m
+.MODEL DX D (IS=1e-14)
+)";
+  auto parsed = parse_netlist(deck);
+  auto& c = *parsed.circuit;
+  const Unknowns x = solve_dc_or_throw(c);
+  EXPECT_NEAR(x.node_voltage(c.node("a")),
+              thermal_voltage(300.15) * std::log(1e-3 / 1e-14), 1e-5);
+}
+
+TEST(NetlistParser, OpAmpAndVcvs) {
+  const char* deck = R"(
+V1 in 0 0.1
+E1 e_out 0 in 0 20
+U1 u_out in u_out GAIN=1e7 OFFSET=1m
+RL1 e_out 0 10k
+RL2 u_out 0 10k
+)";
+  auto parsed = parse_netlist(deck);
+  auto& c = *parsed.circuit;
+  const Unknowns x = solve_dc_or_throw(c);
+  EXPECT_NEAR(x.node_voltage(c.node("e_out")), 2.0, 1e-6);
+  EXPECT_NEAR(x.node_voltage(c.node("u_out")), 0.101, 1e-5);
+}
+
+TEST(NetlistParser, ErrorsCarryLineNumbers) {
+  try {
+    (void)parse_netlist("V1 a 0 1\nR1 a 0\n");
+    FAIL() << "should have thrown";
+  } catch (const NetlistError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(NetlistParser, UnknownModelRejectedWithLine) {
+  try {
+    (void)parse_netlist("Q1 c b e NOPE\n");
+    FAIL() << "should have thrown";
+  } catch (const NetlistError& e) {
+    EXPECT_NE(std::string(e.what()).find("NOPE"), std::string::npos);
+  }
+}
+
+TEST(NetlistParser, UnknownElementRejected) {
+  EXPECT_THROW((void)parse_netlist("Xsub a b c\n"), NetlistError);
+  EXPECT_THROW((void)parse_netlist(".WEIRD 1\n"), NetlistError);
+}
+
+TEST(NetlistParser, SubstrateNodeOption) {
+  const char* deck = R"(
+.MODEL N1 NPN (IS=1e-16 ISS=1e-15)
+VB b 0 0.65
+VC c 0 0.05
+VS s 0 0
+Q1 c b 0 N1 SUBSTRATE=s AREA=2
+)";
+  auto parsed = parse_netlist(deck);
+  auto& c = *parsed.circuit;
+  const Unknowns x = solve_dc_or_throw(c);
+  auto& q = c.get<Bjt>("Q1");
+  EXPECT_DOUBLE_EQ(q.area(), 2.0);
+  // Saturated (VBC = +0.6): the BC-driven parasitic pushes current into
+  // the substrate rail.
+  EXPECT_GT(std::abs(q.currents(x).isub), 1e-10);
+}
+
+TEST(NetlistParser, ResistorTempcoFromDeck) {
+  const char* deck = R"(
+I1 0 n 1m
+R1 n 0 1k TC1=2m
+.TEMP 127
+)";
+  auto parsed = parse_netlist(deck);
+  auto& c = *parsed.circuit;
+  c.set_temperature(to_kelvin(parsed.temperature_celsius));
+  const Unknowns x = solve_dc_or_throw(c);
+  EXPECT_NEAR(x.node_voltage(c.node("n")), 1.2, 1e-4);
+}
+
+TEST(NetlistParser, NodesetDirective) {
+  const char* deck = R"(
+V1 a 0 1
+R1 a b 1k
+R2 b 0 1k
+.NODESET V(b)=0.5 V(a)=1.0
+)";
+  auto parsed = parse_netlist(deck);
+  ASSERT_EQ(parsed.nodesets.size(), 2u);
+  EXPECT_DOUBLE_EQ(parsed.nodesets.at("b"), 0.5);
+  EXPECT_DOUBLE_EQ(parsed.nodesets.at("a"), 1.0);
+  EXPECT_THROW((void)parse_netlist(".NODESET V(b)\n"), NetlistError);
+}
+
+TEST(ModelWriter, RoundTripsBjtCard) {
+  BjtModel m;
+  m.type = BjtModel::Type::kPnp;
+  m.is = 2e-16;
+  m.bf = 45.0;
+  m.vaf = 60.0;
+  m.var = 8.0;
+  m.eg = 1.132;
+  m.xti = 3.6;
+  m.tnom = 298.15;
+  m.iss_e = 1.4e-13;
+  m.ns_e = 2.0;
+  m.eg_sub_e = 1.632;
+  m.bf_sub = 2.5;
+  const std::string card = format_bjt_model("TRUTH", m);
+  auto parsed = parse_netlist(card + "\n");
+  ASSERT_TRUE(parsed.bjt_models.contains("TRUTH"));
+  const BjtModel& r = parsed.bjt_models.at("TRUTH");
+  EXPECT_DOUBLE_EQ(r.is, m.is);
+  EXPECT_DOUBLE_EQ(r.bf, m.bf);
+  EXPECT_DOUBLE_EQ(r.vaf, m.vaf);
+  EXPECT_DOUBLE_EQ(r.eg, m.eg);
+  EXPECT_DOUBLE_EQ(r.xti, m.xti);
+  EXPECT_DOUBLE_EQ(r.iss_e, m.iss_e);
+  EXPECT_DOUBLE_EQ(r.eg_sub_e, m.eg_sub_e);
+  EXPECT_DOUBLE_EQ(r.bf_sub, m.bf_sub);
+  EXPECT_EQ(r.type, BjtModel::Type::kPnp);
+}
+
+TEST(ModelWriter, InfinityDefaultsOmitted) {
+  BjtModel m;  // vaf/var infinite
+  const std::string card = format_bjt_model("M", m);
+  EXPECT_EQ(card.find("VAF"), std::string::npos);
+  EXPECT_EQ(card.find("VAR"), std::string::npos);
+}
+
+TEST(ModelWriter, DiodeCardRoundTrip) {
+  DiodeModel m;
+  m.is = 3e-15;
+  m.n = 1.05;
+  m.eg = 1.12;
+  const std::string card = format_diode_model("DD", m);
+  auto parsed = parse_netlist(card + "\n");
+  ASSERT_TRUE(parsed.diode_models.contains("DD"));
+  EXPECT_DOUBLE_EQ(parsed.diode_models.at("DD").is, 3e-15);
+  EXPECT_DOUBLE_EQ(parsed.diode_models.at("DD").n, 1.05);
+}
+
+}  // namespace
+}  // namespace icvbe::spice

@@ -1,0 +1,133 @@
+// Tests for the nonlinear and robust extraction extensions.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "icvbe/common/error.hpp"
+#include "icvbe/common/rng.hpp"
+#include "icvbe/extract/nonlinear.hpp"
+#include "icvbe/physics/vbe_model.hpp"
+
+namespace icvbe::extract {
+namespace {
+
+std::vector<VbeSample> synth(double eg, double xti, double t0, double vbe_t0) {
+  physics::VbeModelParams p{eg, xti, t0, vbe_t0};
+  std::vector<VbeSample> out;
+  for (double t = 223.15; t <= 398.16; t += 17.5) {
+    out.push_back({t, physics::vbe_of_t(p, t)});
+  }
+  return out;
+}
+
+TEST(NonlinearFit, RecoversAllThreeParameters) {
+  const auto data = synth(1.17, 3.3, 298.15, 0.625);
+  NonlinearFitOptions opt;
+  opt.t0 = 298.15;
+  const auto r = nonlinear_fit_eg_xti(data, opt);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.eg, 1.17, 1e-6);
+  EXPECT_NEAR(r.xti, 3.3, 1e-4);
+  EXPECT_NEAR(r.vbe_t0, 0.625, 1e-7);
+  EXPECT_LT(r.rmse, 1e-9);
+}
+
+TEST(NonlinearFit, AgreesWithLinearFitOnCleanData) {
+  const auto data = synth(1.14, 2.7, 298.15, 0.64);
+  BestFitOptions lopt;
+  lopt.t0 = 298.15;
+  const auto lin = best_fit_eg_xti(data, lopt);
+  NonlinearFitOptions nopt;
+  nopt.t0 = 298.15;
+  const auto nl = nonlinear_fit_eg_xti(data, nopt);
+  EXPECT_NEAR(nl.eg, lin.eg, 5e-3);
+  EXPECT_NEAR(nl.xti, lin.xti, 0.3);
+}
+
+TEST(NonlinearFit, HandlesEarlyCorrectedData) {
+  // Generate data with the VAR correction applied, then fit with and
+  // without it: the matched model must fit better.
+  const double t0 = 298.15, vbe0 = 0.63, var = 8.0;
+  physics::VbeModelParams p{1.15, 3.1, t0, vbe0};
+  std::vector<VbeSample> data;
+  for (double t = 223.15; t <= 398.16; t += 17.5) {
+    const double base = physics::vbe_of_t(p, t);
+    const double corr = physics::early_correction(var, vbe0, base);
+    // eq. (13) printed form: the transfer term carries the correction.
+    const double v = base + (corr - 1.0) * (t / t0) * vbe0;
+    data.push_back({t, v});
+  }
+  NonlinearFitOptions with_var;
+  with_var.t0 = t0;
+  with_var.var_volts = var;
+  NonlinearFitOptions without;
+  without.t0 = t0;
+  const auto r_with = nonlinear_fit_eg_xti(data, with_var);
+  const auto r_without = nonlinear_fit_eg_xti(data, without);
+  EXPECT_LT(r_with.rmse, 0.5 * r_without.rmse);
+  // The correction factor is evaluated at the measured VBE rather than the
+  // ideal one, so recovery is close but not exact on the correlated pair.
+  EXPECT_NEAR(r_with.eg, 1.15, 2e-2);
+}
+
+TEST(NonlinearFit, RequiresFourSamples) {
+  std::vector<VbeSample> three = {{250.0, 0.72}, {300.0, 0.65},
+                                  {350.0, 0.56}};
+  EXPECT_THROW((void)nonlinear_fit_eg_xti(three), Error);
+}
+
+TEST(RobustFit, MatchesPlainFitOnCleanData) {
+  const auto data = synth(1.16, 3.0, 298.15, 0.62);
+  BestFitOptions opt;
+  opt.t0 = 298.15;
+  const auto plain = best_fit_eg_xti(data, opt);
+  const auto robust = robust_fit_eg_xti(data, opt);
+  EXPECT_NEAR(robust.eg, plain.eg, 2e-3);
+  EXPECT_NEAR(robust.xti, plain.xti, 0.15);
+}
+
+TEST(RobustFit, SurvivesSingleOutlier) {
+  auto data = synth(1.16, 3.0, 298.15, 0.62);
+  // Corrupt one mid-range point by +10 mV (bad thermal contact).
+  data[4].vbe += 10e-3;
+  BestFitOptions opt;
+  opt.t0 = 298.15;
+  opt.vbe_t0 = 0.62;
+  const auto plain = best_fit_eg_xti(data, opt);
+  std::vector<bool> mask;
+  const auto robust = robust_fit_eg_xti(data, opt, 1.5, &mask);
+  // Plain fit is dragged far along the characteristic straight; the
+  // robust fit stays close to the truth.
+  EXPECT_GT(std::abs(plain.eg - 1.16), 3.0 * std::abs(robust.eg - 1.16));
+  EXPECT_NEAR(robust.eg, 1.16, 0.01);
+  EXPECT_TRUE(mask[4]);
+  int flagged = 0;
+  for (bool b : mask) flagged += b ? 1 : 0;
+  EXPECT_LE(flagged, 2);
+}
+
+TEST(RobustFit, SurvivesTwoOutliers) {
+  auto data = synth(1.13, 3.5, 298.15, 0.65);
+  data[1].vbe -= 8e-3;
+  data[8].vbe += 6e-3;
+  BestFitOptions opt;
+  opt.t0 = 298.15;
+  opt.vbe_t0 = 0.65;
+  const auto robust = robust_fit_eg_xti(data, opt);
+  EXPECT_NEAR(robust.eg, 1.13, 0.02);
+}
+
+TEST(RobustFit, NoisyDataUnbiased) {
+  Rng rng(404);
+  auto data = synth(1.17, 3.0, 298.15, 0.63);
+  for (auto& p : data) p.vbe += rng.gaussian(0.0, 50e-6);
+  BestFitOptions opt;
+  opt.t0 = 298.15;
+  opt.vbe_t0 = 0.63;
+  const auto robust = robust_fit_eg_xti(data, opt);
+  EXPECT_NEAR(robust.eg, 1.17, 0.02);
+}
+
+}  // namespace
+}  // namespace icvbe::extract

@@ -1,0 +1,362 @@
+// Tests for icvbe/physics: EG(T) models, carrier statistics, IS(T) laws and
+// the eq. (12) identification, the VBE(T) closed form and Meijer identities.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "icvbe/common/constants.hpp"
+#include "icvbe/common/error.hpp"
+#include "icvbe/physics/carrier.hpp"
+#include "icvbe/physics/eg_model.hpp"
+#include "icvbe/physics/saturation_current.hpp"
+#include "icvbe/physics/vbe_model.hpp"
+
+namespace icvbe::physics {
+namespace {
+
+TEST(EgModels, PublishedZeroKelvinValues) {
+  EXPECT_NEAR(make_eg2().eg(0.0), 1.1557, 1e-12);
+  EXPECT_NEAR(make_eg3().eg(0.0), 1.170, 1e-12);
+  EXPECT_NEAR(make_eg4().eg(0.0), 1.1663, 1e-12);
+  EXPECT_NEAR(make_eg5().eg(0.0), 1.1774, 1e-12);
+}
+
+TEST(EgModels, ZeroKelvinSpreadIsPaperTwentyTwoMilliVolts) {
+  // "The discrepancy between the EG5(0) and EG2(0) is about 22 mV."
+  const double spread = make_eg5().eg(0.0) - make_eg2().eg(0.0);
+  EXPECT_NEAR(spread, 0.0217, 5e-4);
+}
+
+TEST(EgModels, RoomTemperatureGapNear1p12) {
+  // All credible Si models give ~1.11-1.13 eV at 300 K.
+  const auto eg2 = make_eg2();
+  const auto eg3 = make_eg3();
+  const auto eg4 = make_eg4();
+  const auto eg5 = make_eg5();
+  for (const EgModel* m : {static_cast<const EgModel*>(&eg2),
+                           static_cast<const EgModel*>(&eg3),
+                           static_cast<const EgModel*>(&eg4),
+                           static_cast<const EgModel*>(&eg5)}) {
+    EXPECT_NEAR(m->eg(300.0), 1.12, 0.02) << m->name();
+  }
+}
+
+TEST(EgModels, GapDecreasesWithTemperature) {
+  const auto eg5 = make_eg5();
+  double prev = eg5.eg(50.0);
+  for (double t = 100.0; t <= 450.0; t += 50.0) {
+    const double now = eg5.eg(t);
+    EXPECT_LT(now, prev) << "at T=" << t;
+    prev = now;
+  }
+}
+
+TEST(EgModels, AnalyticDerivativeMatchesFiniteDifference) {
+  const auto eg2 = make_eg2();
+  const auto eg4 = make_eg4();
+  const auto eg1 = make_eg1();
+  for (const EgModel* m : {static_cast<const EgModel*>(&eg2),
+                           static_cast<const EgModel*>(&eg4),
+                           static_cast<const EgModel*>(&eg1)}) {
+    for (double t : {100.0, 250.0, 400.0}) {
+      const double h = 1e-3;
+      const double fd = (m->eg(t + h) - m->eg(t - h)) / (2.0 * h);
+      EXPECT_NEAR(m->deg_dt(t), fd, 1e-8) << m->name() << " at " << t;
+    }
+  }
+}
+
+TEST(EgModels, LinearisationIsTangentAtReference) {
+  const double t_ref = 300.0;
+  const auto eg1 = make_eg1(t_ref);
+  const auto eg5 = make_eg5();
+  EXPECT_NEAR(eg1.eg(t_ref), eg5.eg(t_ref), 1e-12);
+  EXPECT_NEAR(eg1.deg_dt(t_ref), eg5.deg_dt(t_ref), 1e-12);
+  // Away from the reference the tangent overestimates the gap at 0 K.
+  EXPECT_GT(eg1.eg(0.0), eg5.eg(0.0));
+}
+
+TEST(EgModels, ExtrapolatedEg0ExceedsAllModelGaps) {
+  // The Fig.-1 "EG0" marker sits above every model's true EG(0); with
+  // bandgap narrowing the error reaches ~90 mV (paper section 2).
+  const double eg0 = eg0_extrapolated(300.0);
+  EXPECT_GT(eg0, make_eg5().eg(0.0));
+  EXPECT_NEAR(eg0, 1.2, 0.02);  // classic 1.2 V extrapolation
+  const double with_bgn = eg0 - (make_eg5().eg(0.0) - 0.045);
+  EXPECT_NEAR(with_bgn, 0.09, 0.03);
+}
+
+TEST(EgModels, ClonePreservesBehaviour) {
+  const auto eg4 = make_eg4();
+  auto c = eg4.clone();
+  EXPECT_DOUBLE_EQ(c->eg(321.0), eg4.eg(321.0));
+  EXPECT_EQ(c->name(), eg4.name());
+}
+
+TEST(EgModels, InvalidConstructionRejected) {
+  EXPECT_THROW(VarshniEgModel(-1.0, 1e-4, 600.0), Error);
+  EXPECT_THROW(VarshniEgModel(1.1, 1e-4, -600.0), Error);
+  EXPECT_THROW(LogEgModel(0.0, 1e-4, -1e-4), Error);
+}
+
+TEST(EgModels, PasslerMatchesThurmondInOperatingRange) {
+  // Passler and the paper's preferred EG5 log model agree within a few
+  // meV over the military range (they fit the same silicon data).
+  const auto pass = make_passler_si();
+  const auto eg5 = make_eg5();
+  for (double t = 220.0; t <= 400.0; t += 20.0) {
+    EXPECT_NEAR(pass.eg(t), eg5.eg(t), 6e-3) << "T=" << t;
+  }
+}
+
+TEST(EgModels, PasslerDerivativeMatchesFiniteDifference) {
+  const auto pass = make_passler_si();
+  for (double t : {50.0, 150.0, 300.0, 420.0}) {
+    const double h = 1e-3;
+    const double fd = (pass.eg(t + h) - pass.eg(t - h)) / (2.0 * h);
+    EXPECT_NEAR(pass.deg_dt(t), fd, 1e-8) << "T=" << t;
+  }
+}
+
+TEST(EgModels, PasslerLowTemperatureFlatness) {
+  // Unlike Varshni, Passler approaches 0 K with a vanishing slope.
+  const auto pass = make_passler_si();
+  EXPECT_NEAR(pass.eg(1.0), 1.1701, 1e-5);
+  EXPECT_LT(std::abs(pass.deg_dt(5.0)), 1e-5);
+}
+
+TEST(Carrier, NiSquaredAnchoredAt300K) {
+  const auto eg5 = make_eg5();
+  EXPECT_NEAR(ni_squared(eg5, 300.0), kNi300 * kNi300,
+              1e-6 * kNi300 * kNi300);
+}
+
+TEST(Carrier, NiSquaredIncreasesSteeplyWithT) {
+  const auto eg5 = make_eg5();
+  const double r = ni_squared(eg5, 400.0) / ni_squared(eg5, 300.0);
+  // ni^2 grows by many decades over 100 K.
+  EXPECT_GT(r, 1e4);
+}
+
+TEST(Carrier, NarrowingRaisesNie) {
+  const auto eg5 = make_eg5();
+  const double plain = nie_squared(eg5, 300.0, 0.0);
+  const double narrowed = nie_squared(eg5, 300.0, 0.045);
+  // exp(45 meV / 25.85 meV) ~ 5.7.
+  EXPECT_NEAR(narrowed / plain, std::exp(0.045 / thermal_voltage(300.0)),
+              1e-9);
+}
+
+TEST(Carrier, SlotboomMonotoneAboveOnset) {
+  EXPECT_DOUBLE_EQ(slotboom_bandgap_narrowing(1e16), 0.0);
+  const double d18 = slotboom_bandgap_narrowing(1e18);
+  const double d19 = slotboom_bandgap_narrowing(1e19);
+  EXPECT_GT(d18, 0.0);
+  EXPECT_GT(d19, d18);
+  // Heavy base/emitter doping around 1e18 gives the paper's ~45 meV scale.
+  EXPECT_NEAR(d18, 0.045, 0.01);
+}
+
+TEST(Carrier, BaseTransportExponents) {
+  BaseTransport bt;
+  bt.dnb_t0 = 10.0;
+  bt.en = 0.5;
+  bt.erho = 0.2;
+  bt.t0 = 300.0;
+  EXPECT_NEAR(bt.dnb(600.0), 10.0 * std::pow(2.0, 0.5), 1e-12);
+  EXPECT_NEAR(bt.gummel_number(600.0) / bt.gummel_t0, std::pow(2.0, 0.2),
+              1e-12);
+}
+
+TEST(SpiceIs, ReferenceTemperatureIdentity) {
+  EXPECT_DOUBLE_EQ(spice_is(1e-16, 1.17, 3.0, 300.0, 300.0), 1e-16);
+}
+
+TEST(SpiceIs, TwentyPercentPerKelvinSensitivity) {
+  // Paper ref [12]: IS sensitivity ~20 %/K near room temperature.
+  const double t = 300.0;
+  const double is0 = spice_is(1e-16, 1.12, 3.0, t, 300.0);
+  const double is1 = spice_is(1e-16, 1.12, 3.0, t + 1.0, 300.0);
+  const double rel = (is1 - is0) / is0;
+  EXPECT_GT(rel, 0.12);
+  EXPECT_LT(rel, 0.25);
+}
+
+TEST(SpiceIs, LogFormMatchesLinearForm) {
+  const double is = spice_is(2e-15, 1.15, 2.5, 350.0, 300.0);
+  const double log_is = spice_log_is(std::log(2e-15), 1.15, 2.5, 350.0, 300.0);
+  EXPECT_NEAR(std::log(is), log_is, 1e-12);
+}
+
+TEST(Identification, Eq12MatchesManualAlgebra) {
+  // XTI = 4 - EN - Erho - b/k with b in eV/K.
+  const auto p = identify_spice_params(1.1774, 0.045, 0.42, 0.11, -8.459e-5);
+  EXPECT_NEAR(p.eg, 1.1324, 1e-10);
+  EXPECT_NEAR(p.xti, 4.0 - 0.42 - 0.11 + 8.459e-5 / kBoltzmannEv, 1e-9);
+}
+
+TEST(GummelPoon, ClosedFormMatchesPhysicalEvaluation) {
+  // The eq. (11) closed form must equal the eq. (2) evaluation built from
+  // eqs. (3)-(6) -- that is the paper's whole derivation chain.
+  BaseTransport bt;
+  bt.en = 0.42;
+  bt.erho = 0.11;
+  bt.t0 = 300.0;
+  GummelPoonIsModel model(make_eg5(), 0.045, bt, 48e-8);
+  for (double t : {220.0, 260.0, 300.0, 340.0, 380.0, 420.0}) {
+    const double direct = model.is(t) / model.is(300.0);
+    const double closed = model.is_ratio_closed_form(t);
+    EXPECT_NEAR(direct / closed, 1.0, 1e-9) << "T=" << t;
+  }
+}
+
+TEST(GummelPoon, SpiceParamsRoundTripThroughEq1) {
+  BaseTransport bt;
+  bt.en = 0.42;
+  bt.erho = 0.11;
+  bt.t0 = 300.0;
+  GummelPoonIsModel model(make_eg5(), 0.045, bt, 6e-8);
+  const auto p = model.spice_params();
+  for (double t : {250.0, 300.0, 350.0, 400.0}) {
+    const double physical = model.is(t) / model.is(bt.t0);
+    const double spice = spice_is(1.0, p.eg, p.xti, t, bt.t0);
+    EXPECT_NEAR(physical / spice, 1.0, 1e-9) << "T=" << t;
+  }
+}
+
+TEST(GummelPoon, RelativeSensitivityNearTwentyPercent) {
+  BaseTransport bt;
+  GummelPoonIsModel model(make_eg5(), 0.045, bt, 6e-8);
+  const double s = model.relative_sensitivity(300.0);
+  EXPECT_GT(s, 0.12);
+  EXPECT_LT(s, 0.22);
+}
+
+TEST(VbeModel, ReferencePointIdentity) {
+  VbeModelParams p;
+  p.t0 = 298.15;
+  p.vbe_t0 = 0.62;
+  EXPECT_DOUBLE_EQ(vbe_of_t(p, p.t0), p.vbe_t0);
+}
+
+TEST(VbeModel, CtatSlopeAboutMinus1p8mVPerK) {
+  VbeModelParams p;
+  p.eg = 1.12;
+  p.xti = 3.0;
+  p.t0 = 300.0;
+  p.vbe_t0 = 0.65;
+  const double slope = dvbe_dt(p, 300.0);
+  EXPECT_GT(slope, -2.4e-3);
+  EXPECT_LT(slope, -1.4e-3);
+}
+
+TEST(VbeModel, AnalyticSlopeMatchesFiniteDifference) {
+  VbeModelParams p;
+  p.eg = 1.16;
+  p.xti = 3.5;
+  p.t0 = 298.15;
+  p.vbe_t0 = 0.6;
+  for (double t : {230.0, 298.15, 390.0}) {
+    const double h = 1e-3;
+    const double fd = (vbe_of_t(p, t + h) - vbe_of_t(p, t - h)) / (2.0 * h);
+    EXPECT_NEAR(dvbe_dt(p, t), fd, 1e-9) << "T=" << t;
+  }
+}
+
+TEST(VbeModel, ConsistentWithSpiceIsLaw) {
+  // VBE(T) from the closed form must equal VT ln(IC/IS(T)) with IS(T) from
+  // eq. (1) -- they are the same equation rearranged.
+  const double eg = 1.14, xti = 3.2, t0 = 300.0;
+  const double ic = 1e-6;
+  const double is_t0 = 1e-16;
+  const double vbe_t0 = thermal_voltage(t0) * std::log(ic / is_t0);
+  VbeModelParams p{eg, xti, t0, vbe_t0};
+  for (double t : {250.0, 275.0, 325.0, 375.0}) {
+    const double is_t = spice_is(is_t0, eg, xti, t, t0);
+    const double direct = thermal_voltage(t) * std::log(ic / is_t);
+    EXPECT_NEAR(vbe_of_t(p, t), direct, 1e-12) << "T=" << t;
+  }
+}
+
+TEST(VbeModel, CurrentRatioTermIsVtLog) {
+  VbeModelParams p;
+  const double t = 320.0;
+  const double diff = vbe_of_t(p, t, 10.0) - vbe_of_t(p, t, 1.0);
+  EXPECT_NEAR(diff, thermal_voltage(t) * std::log(10.0), 1e-12);
+}
+
+TEST(VbeModel, DeltaVbePtatExactness) {
+  // dVBE for area ratio 8 at 297 K: (kT/q) ln 8 ~ 53.2 mV.
+  EXPECT_NEAR(delta_vbe_ptat(297.0, 8.0), 0.0532, 5e-4);
+  // PTAT: doubles with absolute temperature.
+  EXPECT_NEAR(delta_vbe_ptat(600.0, 8.0), 2.0 * delta_vbe_ptat(300.0, 8.0),
+              1e-15);
+}
+
+TEST(VbeModel, DeltaVbeGeneralReducesToPtat) {
+  EXPECT_DOUBLE_EQ(delta_vbe_general(300.0, 8.0, 1e-6, 1e-6),
+                   delta_vbe_ptat(300.0, 8.0));
+  // Unequal currents shift by (kT/q) ln(icA/icB).
+  const double d = delta_vbe_general(300.0, 8.0, 2e-6, 1e-6) -
+                   delta_vbe_ptat(300.0, 8.0);
+  EXPECT_NEAR(d, thermal_voltage(300.0) * std::log(2.0), 1e-12);
+}
+
+TEST(VbeModel, EarlyCorrectionSane) {
+  EXPECT_DOUBLE_EQ(
+      early_correction(std::numeric_limits<double>::infinity(), 0.6, 0.7),
+      1.0);
+  EXPECT_GT(early_correction(5.0, 0.6, 0.7), 1.0);
+  EXPECT_LT(early_correction(5.0, 0.7, 0.6), 1.0);
+  EXPECT_THROW((void)early_correction(0.5, 0.6, 0.7), Error);
+}
+
+TEST(MeijerIdentity, ExactOnSyntheticVbe) {
+  // Build VBE(T) from known (EG, XTI); eq. (14) must hold exactly.
+  VbeModelParams p;
+  p.eg = 1.15;
+  p.xti = 3.4;
+  p.t0 = 297.0;
+  p.vbe_t0 = 0.61;
+  const double t1 = 247.0, t2 = 297.0;
+  const auto eq = meijer_equation(t1, vbe_of_t(p, t1), t2, vbe_of_t(p, t2));
+  EXPECT_NEAR(eq.lhs, p.eg * eq.coeff_eg + p.xti * eq.coeff_xti, 1e-10);
+}
+
+TEST(MeijerIdentity, RejectsDegeneratePair) {
+  EXPECT_THROW((void)meijer_equation(300.0, 0.6, 300.0, 0.6), Error);
+}
+
+// Property sweep: the Meijer identity holds for every (EG, XTI) couple on a
+// grid -- the algebra behind eqs. (14)-(15) has no approximation.
+struct MeijerCase {
+  double eg, xti;
+};
+class MeijerPropertyTest : public ::testing::TestWithParam<MeijerCase> {};
+
+TEST_P(MeijerPropertyTest, IdentityHolds) {
+  const auto [eg, xti] = GetParam();
+  VbeModelParams p;
+  p.eg = eg;
+  p.xti = xti;
+  p.t0 = 297.0;
+  p.vbe_t0 = 0.6;
+  for (double ta : {223.0, 247.0, 273.0}) {
+    for (double tb : {297.0, 323.0, 348.0}) {
+      const auto eq = meijer_equation(ta, vbe_of_t(p, ta), tb, vbe_of_t(p, tb));
+      EXPECT_NEAR(eq.lhs, eg * eq.coeff_eg + xti * eq.coeff_xti, 1e-9)
+          << "EG=" << eg << " XTI=" << xti << " (" << ta << "," << tb << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, MeijerPropertyTest,
+    ::testing::Values(MeijerCase{1.08, 1.0}, MeijerCase{1.12, 2.0},
+                      MeijerCase{1.17, 3.0}, MeijerCase{1.21, 4.5},
+                      MeijerCase{1.25, 6.0}));
+
+}  // namespace
+}  // namespace icvbe::physics

@@ -1,0 +1,110 @@
+// Tests for icvbe/thermal: electro-thermal fixed point.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "icvbe/common/constants.hpp"
+#include "icvbe/common/error.hpp"
+#include "icvbe/thermal/electrothermal.hpp"
+
+namespace icvbe::thermal {
+namespace {
+
+using spice::Circuit;
+using spice::kGround;
+using spice::NodeId;
+
+TEST(ElectroThermal, NoPowerMeansAmbient) {
+  Circuit c;
+  const NodeId a = c.node("a");
+  c.add_isource("I1", kGround, a, 1e-9);
+  c.add_resistor("R1", a, kGround, 1.0);
+  ChipThermal chip;
+  chip.rth_die = 500.0;
+  auto r = solve_electrothermal(c, chip, 300.0);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.die_temperature, 300.0, 1e-3);
+}
+
+TEST(ElectroThermal, AuxPowerHeatsDie) {
+  Circuit c;
+  const NodeId a = c.node("a");
+  c.add_isource("I1", kGround, a, 1e-9);
+  c.add_resistor("R1", a, kGround, 1.0);
+  ChipThermal chip;
+  chip.rth_die = 400.0;
+  chip.aux_power = 5e-3;  // 2 K of heating
+  auto r = solve_electrothermal(c, chip, 300.0);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.die_temperature, 302.0, 1e-2);
+}
+
+TEST(ElectroThermal, ResistorPowerFeedsBack) {
+  // 10 V across 1 k: 100 mW; with 100 K/W the die sits ~10 K hot. The
+  // resistor has a positive tempco so the coupled answer is slightly less
+  // power than the cold value -- the fixed point must account for it.
+  Circuit c;
+  const NodeId a = c.node("a");
+  c.add_vsource("V1", a, kGround, 10.0);
+  c.add_resistor("R1", a, kGround, 1e3, 2e-3, 0.0);
+  ChipThermal chip;
+  chip.rth_die = 100.0;
+  chip.devices.push_back({"R1", 0.0});
+  ElectroThermalOptions opt;
+  auto r = solve_electrothermal(c, chip, to_kelvin(27.0), opt);
+  ASSERT_TRUE(r.converged);
+  EXPECT_GT(r.die_temperature, to_kelvin(27.0) + 5.0);
+  // Self-consistency: T = Tamb + Rth P(T).
+  EXPECT_NEAR(r.die_temperature,
+              to_kelvin(27.0) + chip.rth_die * r.total_power, 2e-3);
+  // Power must reflect the hot resistance (less than the cold 100 mW, and
+  // more than a crude double-counted estimate).
+  EXPECT_LT(r.total_power, 0.100);
+  EXPECT_GT(r.total_power, 0.090);
+}
+
+TEST(ElectroThermal, PerDeviceRthRaisesJunction) {
+  Circuit c;
+  const NodeId b = c.node("b");
+  const NodeId col = c.node("c");
+  c.add_vsource("VB", b, kGround, 0.65);
+  c.add_vsource("VC", col, kGround, 3.0);
+  spice::BjtModel m;
+  m.is = 1e-16;
+  m.bf = 100.0;
+  c.add_bjt("Q1", col, b, kGround, m);
+  ChipThermal chip;
+  chip.rth_die = 0.0;
+  chip.devices.push_back({"Q1", 2.0e4});  // poor junction-to-die path
+  auto r = solve_electrothermal(c, chip, 300.0);
+  ASSERT_TRUE(r.converged);
+  EXPECT_GT(r.device_temperature.at("Q1"), 300.0);
+  EXPECT_NEAR(r.die_temperature, 300.0, 1e-6);
+  // The hot junction conducts more at fixed VBE: a real electro-thermal
+  // runaway direction, bounded here by the fixed point.
+}
+
+TEST(ElectroThermal, UnknownDeviceNameThrows) {
+  Circuit c;
+  const NodeId a = c.node("a");
+  c.add_isource("I1", kGround, a, 1e-6);
+  c.add_resistor("R1", a, kGround, 1e3);
+  ChipThermal chip;
+  chip.devices.push_back({"NOPE", 10.0});
+  EXPECT_THROW((void)solve_electrothermal(c, chip, 300.0), CircuitError);
+}
+
+TEST(ElectroThermal, RejectsNonphysicalInputs) {
+  Circuit c;
+  const NodeId a = c.node("a");
+  c.add_isource("I1", kGround, a, 1e-6);
+  c.add_resistor("R1", a, kGround, 1e3);
+  ChipThermal chip;
+  EXPECT_THROW((void)solve_electrothermal(c, chip, -10.0), Error);
+  chip.rth_die = -1.0;
+  EXPECT_THROW((void)solve_electrothermal(c, chip, 300.0), Error);
+}
+
+}  // namespace
+}  // namespace icvbe::thermal

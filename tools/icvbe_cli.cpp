@@ -1,0 +1,220 @@
+// icvbe command-line tool: drive the library without writing C++.
+//
+//   icvbe simulate <deck.cir>            solve the DC operating point of a
+//                                        SPICE-like netlist at its .TEMP
+//   icvbe sweep <deck.cir> <vsrc> <from> <to> <n> <node>
+//                                        DC sweep a voltage source, CSV out
+//   icvbe tempsweep <deck.cir> <fromC> <toC> <n> <node>
+//                                        temperature sweep, CSV out
+//   icvbe extract [sample]               run the paper's analytical method
+//                                        on a virtual-lot sample and print
+//                                        the extracted .MODEL card
+//   icvbe table1                         reproduce the paper's Table 1
+//   icvbe truthcard                      print the hidden ground-truth card
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "icvbe/common/constants.hpp"
+#include "icvbe/common/table.hpp"
+#include "icvbe/extract/meijer.hpp"
+#include "icvbe/lab/campaign.hpp"
+#include "icvbe/spice/analysis.hpp"
+#include "icvbe/spice/dc_solver.hpp"
+#include "icvbe/spice/netlist.hpp"
+
+namespace {
+
+using namespace icvbe;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: icvbe <simulate|sweep|tempsweep|extract|table1|"
+               "truthcard> [args]\n"
+               "  simulate <deck.cir>\n"
+               "  sweep <deck.cir> <vsrc> <from> <to> <points> <node>\n"
+               "  tempsweep <deck.cir> <fromC> <toC> <points> <node>\n"
+               "  extract [sample-index]\n"
+               "  table1\n"
+               "  truthcard\n");
+  return 2;
+}
+
+spice::ParsedNetlist load_deck(const std::string& path) {
+  std::ifstream f(path);
+  if (!f.good()) {
+    throw Error("cannot open deck '" + path + "'");
+  }
+  return spice::parse_netlist(f);
+}
+
+/// Build an initial-guess vector from the deck's .NODESET hints.
+spice::Unknowns guess_from_nodesets(spice::Circuit& c,
+                                    const spice::ParsedNetlist& deck) {
+  const int n = c.assign_unknowns();
+  spice::Unknowns guess(static_cast<std::size_t>(n));
+  for (const auto& [node, value] : deck.nodesets) {
+    const spice::NodeId id = c.node(node);
+    if (id != spice::kGround) {
+      guess.raw()[static_cast<std::size_t>(id - 1)] = value;
+    }
+  }
+  return guess;
+}
+
+int cmd_simulate(const std::string& path) {
+  auto parsed = load_deck(path);
+  auto& c = *parsed.circuit;
+  c.set_temperature(to_kelvin(parsed.temperature_celsius));
+  const spice::Unknowns guess = guess_from_nodesets(c, parsed);
+  const spice::Unknowns x = spice::solve_dc_or_throw(c, {}, &guess);
+  std::printf("DC operating point at %.2f C (%d nodes, %zu devices)\n",
+              parsed.temperature_celsius, c.node_count() - 1,
+              c.devices().size());
+  Table t({"node", "voltage [V]"});
+  for (int n = 1; n < c.node_count(); ++n) {
+    t.add_row({c.node_name(n), format_sig(x.node_voltage(n), 6)});
+  }
+  t.print(std::cout);
+  for (const auto& dev : c.devices()) {
+    if (auto* v = dynamic_cast<spice::VoltageSource*>(dev.get())) {
+      std::printf("I(%s) = %s A\n", v->name().c_str(),
+                  format_sig(v->current(x), 5).c_str());
+    }
+  }
+  std::printf("total dissipation: %s W\n",
+              format_sig(c.total_power(x), 4).c_str());
+  return 0;
+}
+
+int cmd_sweep(const std::string& path, const std::string& src, double from,
+              double to, int points, const std::string& node) {
+  auto parsed = load_deck(path);
+  auto& c = *parsed.circuit;
+  c.set_temperature(to_kelvin(parsed.temperature_celsius));
+  const spice::Unknowns guess = guess_from_nodesets(c, parsed);
+  const auto series = spice::dc_sweep_vsource(
+      c, src, spice::linspace(from, to, points),
+      spice::probe_node_voltage(c, node), {}, &guess);
+  std::printf("%s,V(%s)\n", src.c_str(), node.c_str());
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    std::printf("%g,%g\n", series.x(i), series.y(i));
+  }
+  return 0;
+}
+
+int cmd_tempsweep(const std::string& path, double from_c, double to_c,
+                  int points, const std::string& node) {
+  auto parsed = load_deck(path);
+  auto& c = *parsed.circuit;
+  std::vector<double> temps;
+  for (double t : spice::linspace(from_c, to_c, points)) {
+    temps.push_back(to_kelvin(t));
+  }
+  // .NODESET hints are typically written for room temperature, so sweep
+  // outward from the grid point nearest 25 C in two warm-started segments
+  // and merge -- every point then inherits a close-by predecessor.
+  const spice::Unknowns guess = guess_from_nodesets(c, parsed);
+  std::size_t mid = 0;
+  for (std::size_t i = 1; i < temps.size(); ++i) {
+    if (std::abs(temps[i] - 298.15) < std::abs(temps[mid] - 298.15)) mid = i;
+  }
+  const std::vector<double> up(temps.begin() + static_cast<long>(mid),
+                               temps.end());
+  const std::vector<double> down(temps.rbegin() +
+                                     static_cast<long>(temps.size() - mid - 1),
+                                 temps.rend());
+  const auto probe = spice::probe_node_voltage(c, node);
+  const Series s_up = spice::temperature_sweep(c, up, probe, {}, &guess);
+  const Series s_down = spice::temperature_sweep(c, down, probe, {}, &guess);
+  Series merged("tempsweep");
+  for (std::size_t i = s_down.size(); i-- > 1;) {
+    merged.push_back(s_down.x(i), s_down.y(i));
+  }
+  for (std::size_t i = 0; i < s_up.size(); ++i) {
+    merged.push_back(s_up.x(i), s_up.y(i));
+  }
+  std::printf("T_celsius,V(%s)\n", node.c_str());
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    std::printf("%g,%g\n", to_celsius(merged.x(i)), merged.y(i));
+  }
+  return 0;
+}
+
+int cmd_extract(int sample_index) {
+  lab::SiliconLot lot;
+  lab::CampaignConfig cfg;
+  cfg.seed = 1000 + static_cast<std::uint64_t>(sample_index);
+  lab::Laboratory laboratory(lot.sample(sample_index), cfg);
+  const auto sweep = laboratory.test_cell_sweep({-25.0, 25.0, 75.0});
+  const auto m = extract::meijer_from_cell(sweep, -25.0, 25.0, 75.0);
+  std::printf("sample %d of the virtual lot\n", sample_index);
+  std::printf("  computed die temperatures: T1 = %.2f K, T3 = %.2f K "
+              "(sensor: %.2f / %.2f K)\n",
+              m.t1_computed, m.t3_computed, m.p1.t_sensor, m.p3.t_sensor);
+  std::printf("  extracted: EG = %.4f eV, XTI = %.3f\n",
+              m.with_computed_t.eg, m.with_computed_t.xti);
+  spice::BjtModel card = lot.sample(sample_index).qa;
+  card.eg = m.with_computed_t.eg;
+  card.xti = m.with_computed_t.xti;
+  std::printf("%s\n",
+              spice::format_bjt_model("PNP_EXTRACTED", card).c_str());
+  return 0;
+}
+
+int cmd_table1() {
+  lab::SiliconLot lot;
+  Table t({"sample", "dT1 [K]", "dT3 [K]"});
+  for (int i = 1; i <= 5; ++i) {
+    lab::CampaignConfig cfg;
+    cfg.seed = 100 + static_cast<std::uint64_t>(i);
+    lab::Laboratory laboratory(lot.sample(i), cfg);
+    const auto sweep = laboratory.test_cell_sweep({-26.15, 23.85, 74.85});
+    const auto m = extract::meijer_from_cell(sweep, -26.15, 23.85, 74.85);
+    const auto cmp = extract::compare_temperatures(m);
+    t.add_row({std::to_string(i), format_fixed(cmp.delta_t1(), 2),
+               format_fixed(cmp.delta_t3(), 2)});
+  }
+  t.print(std::cout);
+  std::printf("paper bands: dT1 in [-4.61, -1.82], dT3 in [+3.99, +7.28]\n");
+  return 0;
+}
+
+int cmd_truthcard() {
+  lab::SiliconLot lot;
+  std::printf("%s\n",
+              spice::format_bjt_model("PNP_TRUTH", lot.truth().pnp).c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  try {
+    if (args.empty()) return usage();
+    const std::string& cmd = args[0];
+    if (cmd == "simulate" && args.size() == 2) return cmd_simulate(args[1]);
+    if (cmd == "sweep" && args.size() == 7) {
+      return cmd_sweep(args[1], args[2], std::stod(args[3]),
+                       std::stod(args[4]), std::stoi(args[5]), args[6]);
+    }
+    if (cmd == "tempsweep" && args.size() == 6) {
+      return cmd_tempsweep(args[1], std::stod(args[2]), std::stod(args[3]),
+                           std::stoi(args[4]), args[5]);
+    }
+    if (cmd == "extract") {
+      return cmd_extract(args.size() > 1 ? std::stoi(args[1]) : 1);
+    }
+    if (cmd == "table1") return cmd_table1();
+    if (cmd == "truthcard") return cmd_truthcard();
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "icvbe: %s\n", e.what());
+    return 1;
+  }
+}
