@@ -13,10 +13,8 @@
 #include "bench_util.hpp"
 #include "icvbe/common/ascii_plot.hpp"
 #include "icvbe/common/constants.hpp"
-#include "icvbe/extract/best_fit.hpp"
-#include "icvbe/extract/dataset.hpp"
 #include "icvbe/extract/meijer.hpp"
-#include "icvbe/lab/campaign.hpp"
+#include "icvbe/lab/lot_campaign.hpp"
 
 namespace {
 
@@ -24,72 +22,46 @@ using namespace icvbe;
 
 constexpr int kSamples = 25;
 
-struct Quantiles {
-  double q10 = 0.0, q50 = 0.0, q90 = 0.0;
-};
-
-Quantiles quantiles(std::vector<double> v) {
-  std::sort(v.begin(), v.end());
-  auto at = [&](double q) {
-    const double idx = q * static_cast<double>(v.size() - 1);
-    const std::size_t lo = static_cast<std::size_t>(idx);
-    const double frac = idx - static_cast<double>(lo);
-    return v[lo] + frac * (v[std::min(lo + 1, v.size() - 1)] - v[lo]);
-  };
-  return {at(0.10), at(0.50), at(0.90)};
-}
-
 void run_lot_study() {
-  bench::banner("Monte-Carlo lot study: 25 samples, both methods");
+  bench::banner(
+      "Monte-Carlo lot study: 25 samples, both methods (parallel "
+      "LotCampaign)");
   lab::SiliconLot lot;
 
-  std::vector<double> eg_c1, eg_c3, xti_c3, d1s, d3s;
+  lab::LotCampaignConfig cfg;
+  cfg.samples = kSamples;
+  cfg.seed_base = 9000;
+  const lab::LotCampaign campaign(lot, cfg);
+  const auto dies = campaign.run();
+  const lab::LotSummary s = lab::LotCampaign::summarise(dies);
+
   Series c3_couples("(C3) couples");
   Series c2_couples("(C2) couples");
-
-  for (int i = 1; i <= kSamples; ++i) {
-    lab::CampaignConfig cfg;
-    cfg.seed = 9000 + static_cast<std::uint64_t>(i);
-    lab::Laboratory laboratory(lot.sample(i), cfg);
-
-    const auto pts = laboratory.vbe_vs_temperature(
-        1e-6, {-50.0, -25.0, 0.0, 25.0, 50.0, 75.0, 100.0, 125.0});
-    extract::BestFitOptions opt;
-    opt.t0 = to_kelvin(25.0);
-    const auto c1 =
-        extract::best_fit_eg_xti(extract::samples_from_lab(pts), opt);
-    eg_c1.push_back(c1.eg);
-
-    const auto sweep = laboratory.test_cell_sweep({-25.0, 25.0, 75.0});
-    const auto m = extract::meijer_from_cell(sweep, -25.0, 25.0, 75.0);
-    eg_c3.push_back(m.with_computed_t.eg);
-    xti_c3.push_back(m.with_computed_t.xti);
-    c3_couples.push_back(m.with_computed_t.xti, m.with_computed_t.eg);
-    c2_couples.push_back(m.with_measured_t.xti, m.with_measured_t.eg);
-    const auto cmp = extract::compare_temperatures(m);
-    d1s.push_back(cmp.delta_t1());
-    d3s.push_back(cmp.delta_t3());
+  for (const auto& d : dies) {
+    if (!d.ok) continue;
+    c3_couples.push_back(d.xti_meijer, d.eg_meijer);
+    c2_couples.push_back(d.xti_measured_t, d.eg_measured_t);
   }
 
   Table t({"quantity", "q10", "median", "q90", "truth"});
-  const auto q_eg_c1 = quantiles(eg_c1);
-  const auto q_eg_c3 = quantiles(eg_c3);
-  const auto q_xti_c3 = quantiles(xti_c3);
-  const auto q_d1 = quantiles(d1s);
-  const auto q_d3 = quantiles(d3s);
-  t.add_row({"classical EG [eV]", format_fixed(q_eg_c1.q10, 4),
-             format_fixed(q_eg_c1.q50, 4), format_fixed(q_eg_c1.q90, 4),
+  t.add_row({"classical EG [eV]", format_fixed(s.eg_classical.q10, 4),
+             format_fixed(s.eg_classical.q50, 4),
+             format_fixed(s.eg_classical.q90, 4),
              format_fixed(lot.true_eg(), 4)});
-  t.add_row({"analytical EG [eV]", format_fixed(q_eg_c3.q10, 4),
-             format_fixed(q_eg_c3.q50, 4), format_fixed(q_eg_c3.q90, 4),
+  t.add_row({"analytical EG [eV]", format_fixed(s.eg_meijer.q10, 4),
+             format_fixed(s.eg_meijer.q50, 4),
+             format_fixed(s.eg_meijer.q90, 4),
              format_fixed(lot.true_eg(), 4)});
-  t.add_row({"analytical XTI", format_fixed(q_xti_c3.q10, 2),
-             format_fixed(q_xti_c3.q50, 2), format_fixed(q_xti_c3.q90, 2),
+  t.add_row({"analytical XTI", format_fixed(s.xti_meijer.q10, 2),
+             format_fixed(s.xti_meijer.q50, 2),
+             format_fixed(s.xti_meijer.q90, 2),
              format_fixed(lot.true_xti(), 2)});
-  t.add_row({"dT1 [K]", format_fixed(q_d1.q10, 2), format_fixed(q_d1.q50, 2),
-             format_fixed(q_d1.q90, 2), "paper: -4.6..-1.8"});
-  t.add_row({"dT3 [K]", format_fixed(q_d3.q10, 2), format_fixed(q_d3.q50, 2),
-             format_fixed(q_d3.q90, 2), "paper: +4.0..+7.3"});
+  t.add_row({"dT1 [K]", format_fixed(s.delta_t1.q10, 2),
+             format_fixed(s.delta_t1.q50, 2),
+             format_fixed(s.delta_t1.q90, 2), "paper: -4.6..-1.8"});
+  t.add_row({"dT3 [K]", format_fixed(s.delta_t3.q10, 2),
+             format_fixed(s.delta_t3.q50, 2),
+             format_fixed(s.delta_t3.q90, 2), "paper: +4.0..+7.3"});
   bench::emit(t, "lot_statistics.csv");
 
   // Couples cloud: every couple sits near the characteristic straight.

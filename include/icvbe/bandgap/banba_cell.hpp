@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "icvbe/spice/circuit.hpp"
+#include "icvbe/spice/sim_session.hpp"
 
 namespace icvbe::bandgap {
 
@@ -66,6 +67,21 @@ struct BanbaObservation {
                                               const BanbaHandles& handles,
                                               const BanbaCellParams& params,
                                               double t_die_kelvin);
+
+/// Session variant for repeated solves: warm-starts from the previous
+/// operating point, falling back to the analytic guess on failure. Callers
+/// should give the session NewtonOptions with max_iterations >= 400 (the
+/// sub-1-V loop is stiffer than the classic cell).
+[[nodiscard]] BanbaObservation solve_banba_at(spice::SimSession& session,
+                                              const BanbaHandles& handles,
+                                              const BanbaCellParams& params,
+                                              double t_die_kelvin);
+
+/// The analytic startup guess used by solve_banba_at.
+[[nodiscard]] spice::Unknowns banba_initial_guess(spice::Circuit& circuit,
+                                                  const BanbaHandles& handles,
+                                                  const BanbaCellParams& params,
+                                                  double t_die_kelvin);
 
 /// First-order prediction VREF = (R2/R1)(VBE + (R1/R0) dVBE).
 [[nodiscard]] double banba_ideal_vref(const BanbaCellParams& params,

@@ -88,6 +88,22 @@ struct CellObservation {
                                             const TestCellHandles& handles,
                                             double t_die_kelvin);
 
+/// Session variant for repeated solves (sweeps, trim searches, thermal
+/// fixed-point loops): reuses the session workspace and warm-starts from
+/// the previous operating point, falling back to the analytic startup
+/// guess if the continuation fails. The session must be bound to the
+/// circuit the handles refer to.
+[[nodiscard]] CellObservation solve_cell_at(spice::SimSession& session,
+                                            const TestCellHandles& handles,
+                                            double t_die_kelvin);
+
+/// The analytic startup guess used by solve_cell_at (the simulation
+/// equivalent of a bandgap startup circuit). Exposed for callers driving a
+/// SimSession directly.
+[[nodiscard]] spice::Unknowns cell_initial_guess(spice::Circuit& circuit,
+                                                 const TestCellHandles& handles,
+                                                 double t_die_kelvin);
+
 /// First-order ideal model of the same cell (no parasitics, ideal op-amp):
 /// VREF(T) = VEB(T) + (rx2/rb) (kT/q) ln(area_ratio). Used as an analytic
 /// cross-check of the netlist.
@@ -103,6 +119,13 @@ struct TrimResult {
   double vref_mean = 0.0;
 };
 [[nodiscard]] TrimResult trim_radja(spice::Circuit& circuit,
+                                    const TestCellHandles& handles,
+                                    const std::vector<double>& t_kelvin,
+                                    double radja_max, int steps);
+
+/// Session variant: the whole steps x |t_kelvin| grid of solves reuses one
+/// workspace with warm-start continuation.
+[[nodiscard]] TrimResult trim_radja(spice::SimSession& session,
                                     const TestCellHandles& handles,
                                     const std::vector<double>& t_kelvin,
                                     double radja_max, int steps);

@@ -6,12 +6,15 @@
 // extraction code.
 
 #include <cstdint>
+#include <memory>
+#include <optional>
 #include <vector>
 
 #include "icvbe/bandgap/test_cell.hpp"
 #include "icvbe/common/series.hpp"
 #include "icvbe/lab/instruments.hpp"
 #include "icvbe/lab/silicon.hpp"
+#include "icvbe/spice/sim_session.hpp"
 
 namespace icvbe::lab {
 
@@ -87,12 +90,38 @@ class Laboratory {
   [[nodiscard]] bandgap::TestCellHandles build_cell(spice::Circuit& circuit,
                                                     double radja_ohms) const;
 
+  // Persistent measurement rigs. Each circuit is built once per laboratory
+  // session and re-biased between measurements; the SimSession keeps the
+  // solver workspace and warm-start continuation alive across the whole
+  // campaign. unique_ptr keeps the circuit address stable (the session
+  // holds a reference into it).
+  struct CellRig {
+    spice::Circuit circuit;
+    bandgap::TestCellHandles handles;
+    std::optional<spice::SimSession> session;
+  };
+  struct DutRig {
+    spice::Circuit circuit;
+    spice::NodeId emitter = spice::kGround;
+    std::optional<spice::SimSession> session;
+  };
+
+  /// Test cell with RADJA programmed to `radja_ohms` (built on first use).
+  [[nodiscard]] CellRig& cell_rig(double radja_ohms);
+  /// Voltage-driven DUT (IC(VBE) families; built on first use).
+  [[nodiscard]] DutRig& vbias_rig();
+  /// Current-driven diode-connected DUT (VBE(T); built on first use).
+  [[nodiscard]] DutRig& ibias_rig();
+
   DieSample sample_;
   CampaignConfig config_;
   Pt100Sensor sensor_;
   SmuChannel smu_vbe_;   ///< channel on the DUT / pad P4
   SmuChannel smu_pad_;   ///< channel on pad P5
   SmuChannel smu_aux_;   ///< channel for VREF and currents
+  std::unique_ptr<CellRig> cell_;
+  std::unique_ptr<DutRig> vbias_;
+  std::unique_ptr<DutRig> ibias_;
 };
 
 }  // namespace icvbe::lab

@@ -1,0 +1,119 @@
+#pragma once
+// LotCampaign: lot-level Monte-Carlo characterisation fanned across a
+// thread pool.
+//
+// Each die of the lot gets its own Laboratory (own circuits, solver
+// sessions, and instrument streams) seeded deterministically from
+// (campaign seed, die index), so the per-die computation is a pure
+// function of the configuration. Workers pull die indices from a shared
+// counter and write into a preallocated, index-ordered result vector --
+// the output is therefore bit-identical regardless of thread count
+// (asserted by test_lot_campaign).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "icvbe/lab/campaign.hpp"
+#include "icvbe/lab/silicon.hpp"
+
+namespace icvbe::lab {
+
+struct LotCampaignConfig {
+  int samples = 25;          ///< number of dies characterised
+  int first_index = 1;       ///< lot index of the first die
+  unsigned threads = 0;      ///< worker threads; 0 = hardware_concurrency
+
+  /// Per-die instrument master seed is `seed_base + die index` (the same
+  /// convention the serial lot studies used).
+  std::uint64_t seed_base = 9000;
+
+  /// Chamber settings for the classical method (VBE(T) of the single DUT).
+  std::vector<double> classical_celsius{-50.0, -25.0, 0.0,  25.0,
+                                        50.0,  75.0,  100.0, 125.0};
+  double classical_ic = 1e-6;  ///< forced collector current [A]
+
+  /// Chamber settings for the analytical (Meijer) method; exactly three.
+  std::vector<double> cell_celsius{-25.0, 25.0, 75.0};
+
+  bool run_classical = true;  ///< classical best-fit EG
+  bool run_meijer = true;     ///< analytical EG/XTI + temperature check
+
+  CampaignConfig lab;  ///< base lab config (its seed is overridden per die)
+};
+
+/// Everything recorded for one die. `ok == false` carries the error text
+/// instead of results (a die whose campaign failed does not poison the
+/// lot; it is excluded from the summary).
+struct DieCharacterisation {
+  int index = 0;               ///< lot index of this die
+  bool ok = false;
+  std::string error;
+  bool has_classical = false;  ///< classical fields below are populated
+  bool has_meijer = false;     ///< analytical fields below are populated
+
+  // Classical method (run_classical).
+  double eg_classical = 0.0;
+
+  // Analytical method (run_meijer), with computed (C3) and sensor-measured
+  // (C2) temperatures.
+  double eg_meijer = 0.0;      ///< C3
+  double xti_meijer = 0.0;     ///< C3
+  double eg_measured_t = 0.0;  ///< C2
+  double xti_measured_t = 0.0; ///< C2
+  double delta_t1 = 0.0;       ///< T_measured - T_computed at the cold point
+  double delta_t3 = 0.0;       ///< ... at the hot point
+  std::vector<CellPoint> cell; ///< raw test-cell observations
+};
+
+/// Order statistics of one extracted quantity across the lot.
+struct LotStatistic {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< population standard deviation
+  double min = 0.0;
+  double max = 0.0;
+  double q10 = 0.0;
+  double q50 = 0.0;
+  double q90 = 0.0;
+
+  [[nodiscard]] static LotStatistic of(std::vector<double> values);
+};
+
+struct LotSummary {
+  int dies_ok = 0;
+  int dies_failed = 0;
+  LotStatistic eg_classical;
+  LotStatistic eg_meijer;
+  LotStatistic xti_meijer;
+  LotStatistic delta_t1;
+  LotStatistic delta_t3;
+};
+
+class LotCampaign {
+ public:
+  explicit LotCampaign(SiliconLot lot, LotCampaignConfig config = {});
+
+  /// Characterise every die, fanning across the configured thread pool.
+  /// Results are ordered by die index and independent of thread count.
+  [[nodiscard]] std::vector<DieCharacterisation> run() const;
+
+  /// Characterise a single die (what each worker runs). Deterministic in
+  /// (lot, config, die_offset).
+  [[nodiscard]] DieCharacterisation run_die(int die_offset) const;
+
+  /// Aggregate statistics over the ok dies.
+  [[nodiscard]] static LotSummary summarise(
+      const std::vector<DieCharacterisation>& dies);
+
+  [[nodiscard]] const SiliconLot& lot() const noexcept { return lot_; }
+  [[nodiscard]] const LotCampaignConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  SiliconLot lot_;
+  LotCampaignConfig config_;
+};
+
+}  // namespace icvbe::lab

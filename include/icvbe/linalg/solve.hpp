@@ -8,14 +8,33 @@ namespace icvbe::linalg {
 
 /// LU factorisation with partial pivoting of a square matrix. Factor once,
 /// solve for many right-hand sides.
+///
+/// Two usage modes:
+///  * one-shot: construct from a Matrix and call solve();
+///  * workspace reuse: default-construct (or keep an instance around) and
+///    call refactor() with each new matrix of the same size -- after the
+///    first call all storage is reused and refactor()/solve_in_place()
+///    perform no heap allocation. This is what SimSession's Newton loop
+///    relies on.
 class LuFactorization {
  public:
+  /// Empty workspace; call refactor() before solving.
+  LuFactorization() = default;
+
   /// Factor A (square). Throws NumericalError if A is singular to working
   /// precision (pivot below `pivot_tol` * max|A|).
   explicit LuFactorization(Matrix a, double pivot_tol = 1e-14);
 
+  /// Re-factor a new matrix, reusing the internal storage. Allocation-free
+  /// when `a` has the same dimensions as the previous factorisation.
+  /// Throws NumericalError if A is singular to working precision.
+  void refactor(const Matrix& a, double pivot_tol = 1e-14);
+
   /// Solve A x = b.
   [[nodiscard]] Vector solve(const Vector& b) const;
+
+  /// Solve A x = rhs with the solution overwriting `rhs`; allocation-free.
+  void solve_in_place(Vector& rhs) const;
 
   /// Determinant (from U diagonal and pivot sign).
   [[nodiscard]] double determinant() const;
@@ -26,6 +45,9 @@ class LuFactorization {
   [[nodiscard]] std::size_t size() const noexcept { return lu_.rows(); }
 
  private:
+  /// Shared factorisation core: factors lu_ in place (piv_ already sized).
+  void factor_in_place(double pivot_tol);
+
   Matrix lu_;                     // packed L (unit diag) and U
   std::vector<std::size_t> piv_;  // row permutation
   int pivot_sign_ = 1;

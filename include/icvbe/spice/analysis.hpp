@@ -7,11 +7,14 @@
 
 #include "icvbe/common/series.hpp"
 #include "icvbe/spice/dc_solver.hpp"
+#include "icvbe/spice/sim_session.hpp"
 
 namespace icvbe::spice {
 
 /// Probe: maps a solved operating point to the scalar being recorded.
-using Probe = std::function<double(const Circuit&, const Unknowns&)>;
+/// (Alias of SweepProbe -- the sweeps below are SimSession::sweep behind a
+/// temporary session.)
+using Probe = SweepProbe;
 
 /// Sweep a voltage source and record probe(x) at each point. Points are
 /// warm-started from their predecessor; `initial` seeds the first point

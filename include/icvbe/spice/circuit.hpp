@@ -65,7 +65,23 @@ class Circuit {
     return *t;
   }
 
+  /// Const lookup, for probes and read-only inspection of a solved circuit.
+  template <typename T>
+  [[nodiscard]] const T& get(std::string_view name) const {
+    const Device* d = find(name);
+    if (d == nullptr) {
+      throw CircuitError("no device named '" + std::string(name) + "'");
+    }
+    const T* t = dynamic_cast<const T*>(d);
+    if (t == nullptr) {
+      throw CircuitError("device '" + std::string(name) +
+                         "' has unexpected type");
+    }
+    return *t;
+  }
+
   [[nodiscard]] Device* find(std::string_view name);
+  [[nodiscard]] const Device* find(std::string_view name) const;
 
   [[nodiscard]] const std::vector<std::unique_ptr<Device>>& devices() const {
     return devices_;

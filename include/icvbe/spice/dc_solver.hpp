@@ -1,30 +1,17 @@
 #pragma once
 // Newton-Raphson DC operating-point solver over the MNA system, with the
 // two classic globalisation aids: gmin stepping and source stepping.
-
-#include <string>
+//
+// The engine lives in spice::SimSession (sim_session.hpp), which owns the
+// preallocated workspace and warm-start continuation; NewtonOptions and
+// DcResult are defined there. The free functions below remain as thin
+// wrappers over a temporary session for one-shot callers -- repeated
+// solves of the same circuit should hold a SimSession instead.
 
 #include "icvbe/spice/circuit.hpp"
+#include "icvbe/spice/sim_session.hpp"
 
 namespace icvbe::spice {
-
-struct NewtonOptions {
-  int max_iterations = 200;      ///< per Newton attempt
-  double v_abstol = 1e-9;        ///< node voltage absolute tolerance [V]
-  double i_abstol = 1e-12;       ///< aux current absolute tolerance [A]
-  double reltol = 1e-6;          ///< relative tolerance on all unknowns
-  double max_step_volts = 2.0;   ///< damping: max node-voltage change/iter
-  double gmin_floor = 1e-12;     ///< final gmin left in the matrix
-  int gmin_steps = 8;            ///< decades of gmin ramp when needed
-  int source_steps = 10;         ///< source-stepping ramp points when needed
-};
-
-struct DcResult {
-  Unknowns solution;
-  bool converged = false;
-  int iterations = 0;        ///< total Newton iterations spent
-  std::string strategy;      ///< "newton", "gmin", or "source"
-};
 
 /// Solve the DC operating point of the circuit at its current temperature.
 /// `initial` may carry a warm start (previous sweep point); pass nullptr

@@ -1,0 +1,159 @@
+#pragma once
+// SimSession: a persistent solver session bound to one Circuit.
+//
+// The repository's workloads -- IC(VBE) families, VBE(T)/VREF(T) sweeps,
+// trim searches, lot-level Monte Carlo -- are thousands of repeated DC
+// solves of the *same* topology. A session assigns unknowns once, owns the
+// preallocated MNA matrix / RHS / LU workspace, caches the independent
+// sources (no dynamic_cast scans per solve), and carries warm-start
+// continuation from solve to solve. After the first solve, the Newton
+// inner loop performs zero heap allocations (asserted by the alloc-hook
+// test and the throughput bench).
+//
+// The legacy free functions in dc_solver.hpp / analysis.hpp remain as thin
+// wrappers over a temporary session.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "icvbe/common/series.hpp"
+#include "icvbe/linalg/solve.hpp"
+#include "icvbe/spice/circuit.hpp"
+
+namespace icvbe::spice {
+
+struct NewtonOptions {
+  int max_iterations = 200;      ///< per Newton attempt
+  double v_abstol = 1e-9;        ///< node voltage absolute tolerance [V]
+  double i_abstol = 1e-12;       ///< aux current absolute tolerance [A]
+  double reltol = 1e-6;          ///< relative tolerance on all unknowns
+  double max_step_volts = 2.0;   ///< damping: max node-voltage change/iter
+  double gmin_floor = 1e-12;     ///< final gmin left in the matrix
+  int gmin_steps = 8;            ///< decades of gmin ramp when needed
+  int source_steps = 10;         ///< source-stepping ramp points when needed
+};
+
+struct DcResult {
+  Unknowns solution;
+  bool converged = false;
+  int iterations = 0;        ///< total Newton iterations spent
+  std::string strategy;      ///< "newton", "gmin", or "source"
+};
+
+/// Probe: maps a solved operating point to the scalar being recorded.
+using SweepProbe = std::function<double(const Circuit&, const Unknowns&)>;
+
+/// Setter: applies one sweep value to the circuit (source value,
+/// temperature, trim resistance, ...).
+using SweepSetter = std::function<void(double)>;
+
+class SimSession {
+ public:
+  /// Bind to `circuit`, assign unknowns, and preallocate every buffer the
+  /// Newton loop needs. The circuit must outlive the session; adding
+  /// devices or nodes afterwards requires rebind().
+  explicit SimSession(Circuit& circuit, NewtonOptions options = {});
+
+  SimSession(const SimSession&) = delete;
+  SimSession& operator=(const SimSession&) = delete;
+
+  /// Re-assign unknowns and re-size the workspace after a topology change.
+  void rebind();
+
+  [[nodiscard]] Circuit& circuit() noexcept { return *circuit_; }
+  [[nodiscard]] const Circuit& circuit() const noexcept { return *circuit_; }
+  [[nodiscard]] int unknown_count() const noexcept { return n_unknowns_; }
+  [[nodiscard]] NewtonOptions& options() noexcept { return options_; }
+  [[nodiscard]] const NewtonOptions& options() const noexcept {
+    return options_;
+  }
+
+  /// Solve the DC operating point at the current circuit state. The result
+  /// references session-owned storage and is valid until the next solve.
+  /// Start point priority: `initial` if given, else the previous solution
+  /// (warm-start continuation, on by default), else a cold start.
+  /// Falls back to gmin stepping, then source stepping, like the legacy
+  /// solver.
+  const DcResult& solve(const Unknowns* initial = nullptr);
+
+  /// Like solve() but throws NumericalError if not converged.
+  const Unknowns& solve_or_throw(const Unknowns* initial = nullptr);
+
+  /// Warm-continuation solve with an analytic fallback -- the pattern the
+  /// bandgap cells use. If no warm start is available, seed from
+  /// make_guess(); if the continuation then fails to converge (e.g. it
+  /// slid into a degenerate basin), retry once from a fresh make_guess()
+  /// and throw NumericalError if that also fails.
+  template <typename GuessFactory>
+  const Unknowns& solve_warm_or(GuessFactory&& make_guess) {
+    if (!has_warm_start()) seed_warm_start(make_guess());
+    const DcResult& r = solve();
+    if (r.converged) return r.solution;
+    const Unknowns guess = make_guess();
+    return solve_or_throw(&guess);
+  }
+
+  /// Warm-start continuation across solves (default on).
+  void set_warm_start_enabled(bool on) noexcept { warm_start_enabled_ = on; }
+  /// True if a previous (or seeded) solution is available to warm-start.
+  [[nodiscard]] bool has_warm_start() const noexcept { return have_last_; }
+  /// Forget the previous solution (next solve is cold unless seeded).
+  void invalidate_warm_start() noexcept { have_last_ = false; }
+  /// Seed the continuation explicitly (e.g. from .NODESET hints or an
+  /// analytic guess). Ignored if the size does not match.
+  void seed_warm_start(const Unknowns& x);
+
+  /// Batched sweep: for each value call setter(value), solve, and record
+  /// probe(circuit, solution). Points warm-start from their predecessor.
+  /// Throws NumericalError if any point fails to converge.
+  [[nodiscard]] Series sweep(const std::vector<double>& values,
+                             const SweepSetter& setter,
+                             const SweepProbe& probe,
+                             const std::string& name = "sweep");
+
+  /// Cached independent sources (discovered once at bind time).
+  [[nodiscard]] const std::vector<VoltageSource*>& voltage_sources()
+      const noexcept {
+    return vsources_;
+  }
+  [[nodiscard]] const std::vector<CurrentSource*>& current_sources()
+      const noexcept {
+    return isources_;
+  }
+
+ private:
+  /// One Newton attempt at fixed gmin; allocation-free. Returns true on
+  /// convergence; x holds the final iterate either way.
+  bool newton_attempt(double gmin, Unknowns& x, int& iterations);
+
+  /// Scale every cached independent source by lambda (source stepping).
+  void scale_sources(double lambda);
+  /// Snapshot / restore the nominal source values around source stepping.
+  void snapshot_sources();
+
+  Circuit* circuit_;
+  NewtonOptions options_;
+  int n_unknowns_ = 0;
+  int node_unknowns_ = 0;
+  std::size_t bound_device_count_ = 0;
+
+  linalg::Matrix a_;
+  linalg::Vector b_;
+  linalg::Vector x_new_;
+  linalg::LuFactorization lu_;
+
+  Unknowns x_;        ///< working iterate
+  Unknowns x_stage_;  ///< gmin / source stepping iterate
+  DcResult result_;
+
+  std::vector<VoltageSource*> vsources_;
+  std::vector<CurrentSource*> isources_;
+  std::vector<double> vsource_base_;
+  std::vector<double> isource_base_;
+
+  bool warm_start_enabled_ = true;
+  bool have_last_ = false;
+};
+
+}  // namespace icvbe::spice

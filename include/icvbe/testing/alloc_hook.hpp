@@ -1,0 +1,17 @@
+#pragma once
+// Allocation-counting test hook. A binary that links the icvbe_alloc_hook
+// library gets counting replacements of the global allocation functions;
+// allocation_count() then reports the number of operator-new calls since
+// process start. Used to verify the SimSession Newton loop allocates
+// nothing after setup. Binaries that do not link the hook must not call
+// allocation_count() (the symbol is only defined in the hook library).
+
+#include <cstdint>
+
+namespace icvbe::testing {
+
+/// Total operator-new calls since process start (monotonic; never reset --
+/// take differences around the region of interest).
+[[nodiscard]] std::uint64_t allocation_count() noexcept;
+
+}  // namespace icvbe::testing

@@ -70,10 +70,9 @@ BanbaHandles build_banba_cell(spice::Circuit& c, const BanbaCellParams& p,
   return h;
 }
 
-BanbaObservation solve_banba_at(spice::Circuit& c, const BanbaHandles& h,
-                                const BanbaCellParams& p,
-                                double t_die_kelvin) {
-  c.set_temperature(t_die_kelvin);
+spice::Unknowns banba_initial_guess(spice::Circuit& c, const BanbaHandles& h,
+                                    const BanbaCellParams& p,
+                                    double t_die_kelvin) {
   // Analytic warm start (same philosophy as the classic cell): estimate
   // VBE from Q1's IS(T) at the expected branch current, then place every
   // node of the live solution.
@@ -104,17 +103,42 @@ BanbaObservation solve_banba_at(spice::Circuit& c, const BanbaHandles& h,
   const double vov =
       std::sqrt(std::max(2.0 * i_est / (25e-6 * 120.0), 1e-4));
   set(h.gate, p.vdd - 0.45 - vov);
+  return guess;
+}
 
-  spice::NewtonOptions opt;
-  opt.max_iterations = 400;
-  const spice::Unknowns x = spice::solve_dc_or_throw(c, opt, &guess);
+namespace {
 
+BanbaObservation observe_banba(const spice::Circuit& c, const BanbaHandles& h,
+                               const spice::Unknowns& x,
+                               double t_die_kelvin) {
   BanbaObservation obs;
   obs.t_die = t_die_kelvin;
   obs.vref = x.node_voltage(h.vref);
   obs.v_branch = x.node_voltage(h.n1);
   obs.i_mirror = obs.vref / c.get<spice::Resistor>("bgb.R2").resistance();
   return obs;
+}
+
+}  // namespace
+
+BanbaObservation solve_banba_at(spice::Circuit& c, const BanbaHandles& h,
+                                const BanbaCellParams& p,
+                                double t_die_kelvin) {
+  spice::NewtonOptions opt;
+  opt.max_iterations = 400;
+  spice::SimSession session(c, opt);
+  return solve_banba_at(session, h, p, t_die_kelvin);
+}
+
+BanbaObservation solve_banba_at(spice::SimSession& session,
+                                const BanbaHandles& h,
+                                const BanbaCellParams& p,
+                                double t_die_kelvin) {
+  spice::Circuit& c = session.circuit();
+  c.set_temperature(t_die_kelvin);
+  const spice::Unknowns& x = session.solve_warm_or(
+      [&] { return banba_initial_guess(c, h, p, t_die_kelvin); });
+  return observe_banba(c, h, x, t_die_kelvin);
 }
 
 double banba_ideal_vref(const BanbaCellParams& p, double vbe,

@@ -62,10 +62,9 @@ TestCellHandles build_test_cell(spice::Circuit& circuit,
   return h;
 }
 
-CellObservation solve_cell_at(spice::Circuit& circuit,
-                              const TestCellHandles& handles,
-                              double t_die_kelvin) {
-  circuit.set_temperature(t_die_kelvin);
+spice::Unknowns cell_initial_guess(spice::Circuit& circuit,
+                                   const TestCellHandles& handles,
+                                   double t_die_kelvin) {
   // The cell -- like every real bandgap -- has a degenerate all-off DC
   // solution, and plain Newton can slide into its basin (where the matrix
   // finally goes singular). A real chip carries a startup circuit; the
@@ -73,10 +72,10 @@ CellObservation solve_cell_at(spice::Circuit& circuit,
   // equations at this temperature, which lands within millivolts of the
   // operating point for any temperature in the military range.
   const int n = circuit.assign_unknowns();
-  auto& qa_dev = circuit.get<spice::Bjt>(handles.qa);
-  auto& qb_dev = circuit.get<spice::Bjt>(handles.qb);
-  auto& rb = circuit.get<spice::Resistor>("RB");
-  auto& rx1 = circuit.get<spice::Resistor>("RX1");
+  const auto& qa_dev = circuit.get<spice::Bjt>(handles.qa);
+  const auto& qb_dev = circuit.get<spice::Bjt>(handles.qb);
+  const auto& rb = circuit.get<spice::Resistor>("RB");
+  const auto& rx1 = circuit.get<spice::Resistor>("RX1");
   const double vt = thermal_voltage(t_die_kelvin);
   const double ratio = qb_dev.area() / qa_dev.area();
   const double i_ptat = vt * std::log(ratio) / rb.resistance();
@@ -93,19 +92,45 @@ CellObservation solve_cell_at(spice::Circuit& circuit,
   set_node(handles.btop, vbe_a);
   set_node(handles.be, vbe_a - vt * std::log(ratio));
   set_node(handles.vref, vbe_a + i_ptat * rx1.resistance());
-  const spice::Unknowns x = spice::solve_dc_or_throw(circuit, {}, &guess);
+  return guess;
+}
+
+namespace {
+
+CellObservation observe_cell(const spice::Circuit& circuit,
+                             const TestCellHandles& handles,
+                             const spice::Unknowns& x, double t_die_kelvin) {
   CellObservation obs;
   obs.t_die = t_die_kelvin;
   obs.vref = x.node_voltage(handles.vref);
   obs.vbe_qa = x.node_voltage(handles.a);
   obs.vbe_qb = x.node_voltage(handles.be);
   obs.delta_vbe = obs.vbe_qa - obs.vbe_qb;
-  auto& qa = circuit.get<spice::Bjt>(handles.qa);
-  auto& qb = circuit.get<spice::Bjt>(handles.qb);
+  const auto& qa = circuit.get<spice::Bjt>(handles.qa);
+  const auto& qb = circuit.get<spice::Bjt>(handles.qb);
   obs.ic_qa = std::abs(qa.currents(x).ic);
   obs.ic_qb = std::abs(qb.currents(x).ic);
   obs.power = circuit.total_power(x);
   return obs;
+}
+
+}  // namespace
+
+CellObservation solve_cell_at(spice::Circuit& circuit,
+                              const TestCellHandles& handles,
+                              double t_die_kelvin) {
+  spice::SimSession session(circuit);
+  return solve_cell_at(session, handles, t_die_kelvin);
+}
+
+CellObservation solve_cell_at(spice::SimSession& session,
+                              const TestCellHandles& handles,
+                              double t_die_kelvin) {
+  spice::Circuit& circuit = session.circuit();
+  circuit.set_temperature(t_die_kelvin);
+  const spice::Unknowns& x = session.solve_warm_or(
+      [&] { return cell_initial_guess(circuit, handles, t_die_kelvin); });
+  return observe_cell(circuit, handles, x, t_die_kelvin);
 }
 
 double ideal_vref(const TestCellParams& params, double t_kelvin,
@@ -124,9 +149,17 @@ double ideal_vref(const TestCellParams& params, double t_kelvin,
 TrimResult trim_radja(spice::Circuit& circuit, const TestCellHandles& handles,
                       const std::vector<double>& t_kelvin, double radja_max,
                       int steps) {
+  spice::SimSession session(circuit);
+  return trim_radja(session, handles, t_kelvin, radja_max, steps);
+}
+
+TrimResult trim_radja(spice::SimSession& session,
+                      const TestCellHandles& handles,
+                      const std::vector<double>& t_kelvin, double radja_max,
+                      int steps) {
   ICVBE_REQUIRE(steps >= 2, "trim_radja: need >= 2 steps");
   ICVBE_REQUIRE(!t_kelvin.empty(), "trim_radja: empty temperature grid");
-  auto& radja = circuit.get<spice::Resistor>(handles.radja);
+  auto& radja = session.circuit().get<spice::Resistor>(handles.radja);
 
   TrimResult best;
   best.vref_spread = std::numeric_limits<double>::infinity();
@@ -139,7 +172,7 @@ TrimResult trim_radja(spice::Circuit& circuit, const TestCellHandles& handles,
     double vmax = -vmin;
     double sum = 0.0;
     for (double t : t_kelvin) {
-      const CellObservation obs = solve_cell_at(circuit, handles, t);
+      const CellObservation obs = solve_cell_at(session, handles, t);
       vmin = std::min(vmin, obs.vref);
       vmax = std::max(vmax, obs.vref);
       sum += obs.vref;

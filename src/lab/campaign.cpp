@@ -25,6 +25,45 @@ double Laboratory::die_temperature(double chamber_kelvin,
   return sample_.fixture.die_temperature(chamber_kelvin, power_watts);
 }
 
+Laboratory::CellRig& Laboratory::cell_rig(double radja_ohms) {
+  constexpr double kMinTrim = 1e-6;  // matches the build_test_cell clamp
+  if (!cell_) {
+    cell_ = std::make_unique<CellRig>();
+    cell_->handles = build_cell(cell_->circuit, radja_ohms);
+    cell_->session.emplace(cell_->circuit);
+  } else {
+    cell_->circuit.get<spice::Resistor>(cell_->handles.radja)
+        .set_nominal_resistance(std::max(radja_ohms, kMinTrim));
+  }
+  return *cell_;
+}
+
+Laboratory::DutRig& Laboratory::vbias_rig() {
+  if (!vbias_) {
+    vbias_ = std::make_unique<DutRig>();
+    spice::Circuit& c = vbias_->circuit;
+    vbias_->emitter = c.node("e");
+    c.add_vsource("VE", vbias_->emitter, spice::kGround, 0.6);
+    c.add_bjt("DUT", spice::kGround, spice::kGround, vbias_->emitter,
+              sample_.qin, 1.0, spice::kGround);
+    vbias_->session.emplace(c);
+  }
+  return *vbias_;
+}
+
+Laboratory::DutRig& Laboratory::ibias_rig() {
+  if (!ibias_) {
+    ibias_ = std::make_unique<DutRig>();
+    spice::Circuit& c = ibias_->circuit;
+    ibias_->emitter = c.node("e");
+    c.add_isource("IE", spice::kGround, ibias_->emitter, 1e-6);
+    c.add_bjt("DUT", spice::kGround, spice::kGround, ibias_->emitter,
+              sample_.qin, 1.0, spice::kGround);
+    ibias_->session.emplace(c);
+  }
+  return *ibias_;
+}
+
 std::vector<Series> Laboratory::icvbe_family(
     const std::vector<double>& chamber_celsius, double vbe_min,
     double vbe_max, int points) {
@@ -32,26 +71,23 @@ std::vector<Series> Laboratory::icvbe_family(
   std::vector<Series> out;
   out.reserve(chamber_celsius.size());
 
+  // Common-base bias with VCB = 0: emitter driven, base and collector
+  // grounded -- the same junction configuration as the diode-connected
+  // cell devices. The rig (circuit + solver session) is built once per
+  // laboratory session and re-biased point to point.
+  DutRig& rig = vbias_rig();
+  auto& ve = rig.circuit.get<spice::VoltageSource>("VE");
+  const auto& dut = rig.circuit.get<spice::Bjt>("DUT");
+
   for (double tc : chamber_celsius) {
     // The DUT dissipates microwatts at the currents of interest, so the
     // die temperature is the fixture value at zero chip power (the rest of
     // the chip is unpowered during single-device characterisation).
     const double t_die = die_temperature(to_kelvin(tc), 0.0);
-
-    // Common-base bias with VCB = 0: emitter driven, base and collector
-    // grounded -- the same junction configuration as the diode-connected
-    // cell devices.
-    spice::Circuit c;
-    const spice::NodeId e = c.node("e");
-    auto& ve = c.add_vsource("VE", e, spice::kGround, 0.6);
-    c.add_bjt("DUT", spice::kGround, spice::kGround, e, sample_.qin, 1.0,
-              spice::kGround);
-    c.set_temperature(t_die);
+    rig.circuit.set_temperature(t_die);
 
     Series family("IC(VBE) at " + format_fixed(tc, 1) + " C");
     family.reserve(static_cast<std::size_t>(points));
-    spice::Unknowns warm;
-    bool have_warm = false;
     for (int i = 0; i < points; ++i) {
       const double setpoint =
           vbe_min + (vbe_max - vbe_min) * static_cast<double>(i) /
@@ -60,13 +96,10 @@ std::vector<Series> Laboratory::icvbe_family(
                                 ? setpoint
                                 : smu_vbe_.force_voltage(setpoint);
       ve.set_voltage(forced);
-      spice::DcResult r = spice::solve_dc(c, {}, have_warm ? &warm : nullptr);
+      const spice::DcResult& r = rig.session->solve();
       if (!r.converged) {
         throw MeasurementError("icvbe_family: bias point failed to solve");
       }
-      warm = r.solution;
-      have_warm = true;
-      auto& dut = c.get<spice::Bjt>("DUT");
       const double ic_true = std::abs(dut.currents(r.solution).ic);
       const double ic_meas = config_.ideal_instruments
                                  ? ic_true
@@ -86,28 +119,27 @@ std::vector<VbePoint> Laboratory::vbe_vs_temperature(
   std::vector<VbePoint> out;
   out.reserve(chamber_celsius.size());
 
+  // Forced emitter current into the diode-connected DUT; VBE read at the
+  // emitter (VCB = 0). One rig for the whole temperature list.
+  DutRig& rig = ibias_rig();
+  auto& ie = rig.circuit.get<spice::CurrentSource>("IE");
+  const auto& dut = rig.circuit.get<spice::Bjt>("DUT");
+
   for (double tc : chamber_celsius) {
     const double t_die = die_temperature(to_kelvin(tc), 0.0);
 
-    // Forced emitter current into the diode-connected DUT; VBE read at the
-    // emitter (VCB = 0).
-    spice::Circuit c;
-    const spice::NodeId e = c.node("e");
     const double forced = config_.ideal_instruments
                               ? ic_amps
                               : smu_aux_.force_current(ic_amps);
-    c.add_isource("IE", spice::kGround, e, forced);
-    c.add_bjt("DUT", spice::kGround, spice::kGround, e, sample_.qin, 1.0,
-              spice::kGround);
-    c.set_temperature(t_die);
-    const spice::Unknowns x = spice::solve_dc_or_throw(c);
+    ie.set_current(forced);
+    rig.circuit.set_temperature(t_die);
+    const spice::Unknowns& x = rig.session->solve_or_throw();
 
-    auto& dut = c.get<spice::Bjt>("DUT");
     VbePoint p;
     p.t_die_true = t_die;
     p.t_sensor = config_.ideal_instruments ? to_kelvin(tc)
                                            : sensor_.read(to_kelvin(tc));
-    const double vbe_true = x.node_voltage(e);
+    const double vbe_true = x.node_voltage(rig.emitter);
     p.vbe = config_.ideal_instruments ? vbe_true
                                       : smu_vbe_.measure_voltage(vbe_true);
     const double ic_true = std::abs(dut.currents(x).ic);
@@ -136,17 +168,18 @@ std::vector<CellPoint> Laboratory::test_cell_sweep(
   std::vector<CellPoint> out;
   out.reserve(chamber_celsius.size());
 
-  for (double tc : chamber_celsius) {
-    spice::Circuit c;
-    const bandgap::TestCellHandles h = build_cell(c, radja_ohms);
+  // One persistent cell rig: circuit assembled once, RADJA re-programmed,
+  // every solve of the electro-thermal loop warm-started in the session.
+  CellRig& rig = cell_rig(radja_ohms);
 
+  for (double tc : chamber_celsius) {
     // Electro-thermal: the cell's own power plus the chip's auxiliary
     // circuitry heat the die above the fixture-leak-adjusted ambient.
     const double chamber_k = to_kelvin(tc);
     double t_die = die_temperature(chamber_k, 0.0);
     bandgap::CellObservation obs{};
     for (int pass = 0; pass < 8; ++pass) {
-      obs = bandgap::solve_cell_at(c, h, t_die);
+      obs = bandgap::solve_cell_at(*rig.session, rig.handles, t_die);
       const double t_new =
           config_.ideal_thermal
               ? chamber_k
@@ -157,7 +190,7 @@ std::vector<CellPoint> Laboratory::test_cell_sweep(
       }
       t_die = t_new;
     }
-    obs = bandgap::solve_cell_at(c, h, t_die);
+    obs = bandgap::solve_cell_at(*rig.session, rig.handles, t_die);
 
     CellPoint p;
     p.t_die_true = t_die;

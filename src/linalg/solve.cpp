@@ -9,6 +9,18 @@ namespace icvbe::linalg {
 
 LuFactorization::LuFactorization(Matrix a, double pivot_tol)
     : lu_(std::move(a)), piv_(lu_.rows()) {
+  factor_in_place(pivot_tol);
+}
+
+void LuFactorization::refactor(const Matrix& a, double pivot_tol) {
+  lu_ = a;              // same-size assignment reuses the existing storage
+  piv_.resize(lu_.rows());
+  a_norm1_ = 0.0;
+  pivot_sign_ = 1;
+  factor_in_place(pivot_tol);
+}
+
+void LuFactorization::factor_in_place(double pivot_tol) {
   ICVBE_REQUIRE(lu_.rows() == lu_.cols(), "LU: matrix must be square");
   const std::size_t n = lu_.rows();
   ICVBE_REQUIRE(n > 0, "LU: empty matrix");
@@ -53,9 +65,15 @@ LuFactorization::LuFactorization(Matrix a, double pivot_tol)
 }
 
 Vector LuFactorization::solve(const Vector& b) const {
-  const std::size_t n = lu_.rows();
-  ICVBE_REQUIRE(b.size() == n, "LU::solve: rhs size mismatch");
   Vector x = b;
+  solve_in_place(x);
+  return x;
+}
+
+void LuFactorization::solve_in_place(Vector& rhs) const {
+  const std::size_t n = lu_.rows();
+  ICVBE_REQUIRE(rhs.size() == n, "LU::solve: rhs size mismatch");
+  Vector& x = rhs;
   for (std::size_t k = 0; k < n; ++k) {
     if (piv_[k] != k) std::swap(x[k], x[piv_[k]]);
   }
@@ -71,7 +89,6 @@ Vector LuFactorization::solve(const Vector& b) const {
     for (std::size_t c = ri + 1; c < n; ++c) acc -= lu_(ri, c) * x[c];
     x[ri] = acc / lu_(ri, ri);
   }
-  return x;
 }
 
 double LuFactorization::determinant() const {

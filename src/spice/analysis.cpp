@@ -13,26 +13,9 @@ Series sweep_impl(Circuit& circuit, const std::vector<double>& values,
                   const Probe& probe, const NewtonOptions& options,
                   const SetValue& set_value, const char* what,
                   const Unknowns* initial) {
-  Series out(what);
-  out.reserve(values.size());
-  Unknowns warm;
-  bool have_warm = false;
-  if (initial != nullptr) {
-    warm = *initial;
-    have_warm = true;
-  }
-  for (double v : values) {
-    set_value(v);
-    DcResult r = solve_dc(circuit, options, have_warm ? &warm : nullptr);
-    if (!r.converged) {
-      throw NumericalError(std::string(what) + ": DC solve failed at sweep value " +
-                           std::to_string(v));
-    }
-    warm = r.solution;
-    have_warm = true;
-    out.push_back(v, probe(circuit, r.solution));
-  }
-  return out;
+  SimSession session(circuit, options);
+  if (initial != nullptr) session.seed_warm_start(*initial);
+  return session.sweep(values, set_value, probe, what);
 }
 
 }  // namespace
@@ -71,10 +54,7 @@ Probe probe_node_voltage(Circuit& circuit, const std::string& node_name) {
 
 Probe probe_vsource_current(const std::string& device_name) {
   return [device_name](const Circuit& c, const Unknowns& x) {
-    // find() is non-const; circuits in this library are always mutable
-    // during analysis, so the const_cast is contained here.
-    auto& circuit = const_cast<Circuit&>(c);
-    return circuit.get<VoltageSource>(device_name).current(x);
+    return c.get<VoltageSource>(device_name).current(x);
   };
 }
 

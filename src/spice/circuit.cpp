@@ -83,6 +83,11 @@ Device* Circuit::find(std::string_view name) {
   return it == device_index_.end() ? nullptr : devices_[it->second].get();
 }
 
+const Device* Circuit::find(std::string_view name) const {
+  auto it = device_index_.find(name);
+  return it == device_index_.end() ? nullptr : devices_[it->second].get();
+}
+
 int Circuit::assign_unknowns() {
   int next = node_count() - 1;  // node unknowns first (ground excluded)
   for (auto& dev : devices_) {

@@ -1,181 +1,19 @@
 #include "icvbe/spice/dc_solver.hpp"
 
-#include <algorithm>
-#include <cmath>
-#include <vector>
-
 #include "icvbe/common/error.hpp"
-#include "icvbe/linalg/solve.hpp"
 
 namespace icvbe::spice {
 
-namespace {
-
-/// One Newton attempt at fixed gmin. Returns true on convergence; x holds
-/// the final iterate either way. `iterations` accumulates.
-bool newton_attempt(Circuit& circuit, int n_unknowns, int node_unknowns,
-                    double gmin, const NewtonOptions& opt, Unknowns& x,
-                    int& iterations) {
-  linalg::Matrix a(static_cast<std::size_t>(n_unknowns),
-                   static_cast<std::size_t>(n_unknowns));
-  linalg::Vector b(static_cast<std::size_t>(n_unknowns), 0.0);
-
-  for (int iter = 0; iter < opt.max_iterations; ++iter) {
-    ++iterations;
-    a.fill(0.0);
-    std::fill(b.begin(), b.end(), 0.0);
-    Stamper st(a, b, node_unknowns);
-    for (const auto& dev : circuit.devices()) dev->stamp(st, x);
-    for (int i = 0; i < node_unknowns; ++i) {
-      a(static_cast<std::size_t>(i), static_cast<std::size_t>(i)) += gmin;
-    }
-
-    linalg::Vector x_new;
-    try {
-      x_new = linalg::lu_solve(a, b);
-    } catch (const NumericalError&) {
-      return false;
-    }
-
-    // Global damping: scale the step so no node voltage moves more than
-    // max_step_volts in one iteration (junction limiting inside the
-    // devices already handles the exponentials).
-    double max_node_dx = 0.0;
-    for (int i = 0; i < node_unknowns; ++i) {
-      max_node_dx = std::max(max_node_dx,
-                             std::abs(x_new[static_cast<std::size_t>(i)] -
-                                      x.raw()[static_cast<std::size_t>(i)]));
-    }
-    double scale = 1.0;
-    if (max_node_dx > opt.max_step_volts) {
-      scale = opt.max_step_volts / max_node_dx;
-    }
-
-    bool converged = (iter > 0);  // require at least two iterations
-    for (int i = 0; i < n_unknowns; ++i) {
-      const double xi = x.raw()[static_cast<std::size_t>(i)];
-      const double xn = xi + scale * (x_new[static_cast<std::size_t>(i)] - xi);
-      const double dx = std::abs(xn - xi);
-      const double abstol = (i < node_unknowns) ? opt.v_abstol : opt.i_abstol;
-      const double tol =
-          abstol + opt.reltol * std::max(std::abs(xi), std::abs(xn));
-      if (dx > tol) converged = false;
-      x.raw()[static_cast<std::size_t>(i)] = xn;
-    }
-    if (!std::isfinite(linalg::norm_inf(x.raw()))) return false;
-    if (converged && scale == 1.0) return true;
-  }
-  return false;
-}
-
-/// Scale every independent source by `lambda`, run an attempt, restore.
-class SourceScaler {
- public:
-  explicit SourceScaler(Circuit& circuit) {
-    for (const auto& dev : circuit.devices()) {
-      if (auto* v = dynamic_cast<VoltageSource*>(dev.get())) {
-        vsrc_.emplace_back(v, v->voltage());
-      } else if (auto* i = dynamic_cast<CurrentSource*>(dev.get())) {
-        isrc_.emplace_back(i, i->current());
-      }
-    }
-  }
-  ~SourceScaler() { apply(1.0); }
-
-  void apply(double lambda) {
-    for (auto& [v, v0] : vsrc_) v->set_voltage(lambda * v0);
-    for (auto& [i, i0] : isrc_) i->set_current(lambda * i0);
-  }
-
- private:
-  std::vector<std::pair<VoltageSource*, double>> vsrc_;
-  std::vector<std::pair<CurrentSource*, double>> isrc_;
-};
-
-}  // namespace
-
 DcResult solve_dc(Circuit& circuit, const NewtonOptions& options,
                   const Unknowns* initial) {
-  const int n_unknowns = circuit.assign_unknowns();
-  const int node_unknowns = circuit.node_count() - 1;
-  ICVBE_REQUIRE(n_unknowns > 0, "solve_dc: circuit has no unknowns");
-
-  DcResult result;
-  result.solution = Unknowns(static_cast<std::size_t>(n_unknowns));
-  if (initial != nullptr && initial->size() ==
-                                static_cast<std::size_t>(n_unknowns)) {
-    result.solution = *initial;
-  }
-
-  // Strategy 1: plain Newton at the floor gmin.
-  Unknowns x = result.solution;
-  if (newton_attempt(circuit, n_unknowns, node_unknowns, options.gmin_floor,
-                     options, x, result.iterations)) {
-    result.solution = std::move(x);
-    result.converged = true;
-    result.strategy = "newton";
-    return result;
-  }
-
-  // Strategy 2: gmin stepping, warm-starting each stage.
-  {
-    Unknowns xg(static_cast<std::size_t>(n_unknowns));
-    bool ok = true;
-    double gmin = 1e-2;
-    for (int step = 0; step <= options.gmin_steps; ++step) {
-      for (const auto& dev : circuit.devices()) dev->reset_state();
-      if (!newton_attempt(circuit, n_unknowns, node_unknowns, gmin, options,
-                          xg, result.iterations)) {
-        ok = false;
-        break;
-      }
-      if (gmin <= options.gmin_floor) break;
-      gmin = std::max(gmin * 0.04, options.gmin_floor);
-    }
-    if (ok) {
-      result.solution = std::move(xg);
-      result.converged = true;
-      result.strategy = "gmin";
-      return result;
-    }
-  }
-
-  // Strategy 3: source stepping at floor gmin.
-  {
-    SourceScaler scaler(circuit);
-    Unknowns xs(static_cast<std::size_t>(n_unknowns));
-    bool ok = true;
-    for (int step = 1; step <= options.source_steps; ++step) {
-      const double lambda =
-          static_cast<double>(step) / static_cast<double>(options.source_steps);
-      scaler.apply(lambda);
-      for (const auto& dev : circuit.devices()) dev->reset_state();
-      if (!newton_attempt(circuit, n_unknowns, node_unknowns,
-                          options.gmin_floor, options, xs,
-                          result.iterations)) {
-        ok = false;
-        break;
-      }
-    }
-    if (ok) {
-      result.solution = std::move(xs);
-      result.converged = true;
-      result.strategy = "source";
-      return result;
-    }
-  }
-
-  return result;  // converged == false
+  SimSession session(circuit, options);
+  return session.solve(initial);  // copies out of the session storage
 }
 
 Unknowns solve_dc_or_throw(Circuit& circuit, const NewtonOptions& options,
                            const Unknowns* initial) {
-  DcResult r = solve_dc(circuit, options, initial);
-  if (!r.converged) {
-    throw NumericalError("DC operating point failed to converge after " +
-                         std::to_string(r.iterations) + " iterations");
-  }
-  return std::move(r.solution);
+  SimSession session(circuit, options);
+  return session.solve_or_throw(initial);
 }
 
 }  // namespace icvbe::spice

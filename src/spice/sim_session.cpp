@@ -1,0 +1,239 @@
+#include "icvbe/spice/sim_session.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "icvbe/common/error.hpp"
+#include "icvbe/spice/stamper.hpp"
+
+namespace icvbe::spice {
+
+SimSession::SimSession(Circuit& circuit, NewtonOptions options)
+    : circuit_(&circuit), options_(options) {
+  rebind();
+}
+
+void SimSession::rebind() {
+  n_unknowns_ = circuit_->assign_unknowns();
+  node_unknowns_ = circuit_->node_count() - 1;
+  ICVBE_REQUIRE(n_unknowns_ > 0, "SimSession: circuit has no unknowns");
+  bound_device_count_ = circuit_->devices().size();
+
+  const auto n = static_cast<std::size_t>(n_unknowns_);
+  a_.resize(n, n);
+  b_.assign(n, 0.0);
+  x_new_.assign(n, 0.0);
+  x_ = Unknowns(n);
+  x_stage_ = Unknowns(n);
+  result_.solution = Unknowns(n);
+  have_last_ = false;
+
+  vsources_.clear();
+  isources_.clear();
+  for (const auto& dev : circuit_->devices()) {
+    if (auto* v = dynamic_cast<VoltageSource*>(dev.get())) {
+      vsources_.push_back(v);
+    } else if (auto* i = dynamic_cast<CurrentSource*>(dev.get())) {
+      isources_.push_back(i);
+    }
+  }
+  vsource_base_.assign(vsources_.size(), 0.0);
+  isource_base_.assign(isources_.size(), 0.0);
+}
+
+void SimSession::seed_warm_start(const Unknowns& x) {
+  if (x.size() == static_cast<std::size_t>(n_unknowns_)) {
+    x_ = x;  // same-size copy, no reallocation
+    result_.solution = x;
+    have_last_ = true;
+  }
+}
+
+bool SimSession::newton_attempt(double gmin, Unknowns& x, int& iterations) {
+  const int n_unknowns = n_unknowns_;
+  const int node_unknowns = node_unknowns_;
+  const NewtonOptions& opt = options_;
+
+  for (int iter = 0; iter < opt.max_iterations; ++iter) {
+    ++iterations;
+    a_.fill(0.0);
+    std::fill(b_.begin(), b_.end(), 0.0);
+    Stamper st(a_, b_, node_unknowns);
+    for (const auto& dev : circuit_->devices()) dev->stamp(st, x);
+    for (int i = 0; i < node_unknowns; ++i) {
+      a_(static_cast<std::size_t>(i), static_cast<std::size_t>(i)) += gmin;
+    }
+
+    try {
+      lu_.refactor(a_);
+    } catch (const NumericalError&) {
+      return false;
+    }
+    x_new_ = b_;  // same-size copy into the preallocated solve buffer
+    lu_.solve_in_place(x_new_);
+
+    // Global damping: scale the step so no node voltage moves more than
+    // max_step_volts in one iteration (junction limiting inside the
+    // devices already handles the exponentials).
+    double max_node_dx = 0.0;
+    for (int i = 0; i < node_unknowns; ++i) {
+      max_node_dx = std::max(max_node_dx,
+                             std::abs(x_new_[static_cast<std::size_t>(i)] -
+                                      x.raw()[static_cast<std::size_t>(i)]));
+    }
+    double scale = 1.0;
+    if (max_node_dx > opt.max_step_volts) {
+      scale = opt.max_step_volts / max_node_dx;
+    }
+
+    bool converged = (iter > 0);  // require at least two iterations
+    for (int i = 0; i < n_unknowns; ++i) {
+      const double xi = x.raw()[static_cast<std::size_t>(i)];
+      const double xn =
+          xi + scale * (x_new_[static_cast<std::size_t>(i)] - xi);
+      const double dx = std::abs(xn - xi);
+      const double abstol = (i < node_unknowns) ? opt.v_abstol : opt.i_abstol;
+      const double tol =
+          abstol + opt.reltol * std::max(std::abs(xi), std::abs(xn));
+      if (dx > tol) converged = false;
+      x.raw()[static_cast<std::size_t>(i)] = xn;
+    }
+    if (!std::isfinite(linalg::norm_inf(x.raw()))) return false;
+    if (converged && scale == 1.0) return true;
+  }
+  return false;
+}
+
+void SimSession::snapshot_sources() {
+  for (std::size_t i = 0; i < vsources_.size(); ++i) {
+    vsource_base_[i] = vsources_[i]->voltage();
+  }
+  for (std::size_t i = 0; i < isources_.size(); ++i) {
+    isource_base_[i] = isources_[i]->current();
+  }
+}
+
+void SimSession::scale_sources(double lambda) {
+  for (std::size_t i = 0; i < vsources_.size(); ++i) {
+    vsources_[i]->set_voltage(lambda * vsource_base_[i]);
+  }
+  for (std::size_t i = 0; i < isources_.size(); ++i) {
+    isources_[i]->set_current(lambda * isource_base_[i]);
+  }
+}
+
+const DcResult& SimSession::solve(const Unknowns* initial) {
+  if (circuit_->devices().size() != bound_device_count_) {
+    throw CircuitError("SimSession: circuit topology changed; call rebind()");
+  }
+
+  result_.converged = false;
+  result_.iterations = 0;
+  result_.strategy.clear();
+
+  // Choose the start point: explicit initial > warm-start continuation >
+  // cold (all zeros).
+  if (initial != nullptr &&
+      initial->size() == static_cast<std::size_t>(n_unknowns_)) {
+    x_ = *initial;
+  } else if (warm_start_enabled_ && have_last_) {
+    x_ = result_.solution;
+  } else {
+    std::fill(x_.raw().begin(), x_.raw().end(), 0.0);
+  }
+
+  // Strategy 1: plain Newton at the floor gmin.
+  if (newton_attempt(options_.gmin_floor, x_, result_.iterations)) {
+    result_.solution = x_;
+    result_.converged = true;
+    result_.strategy = "newton";
+    have_last_ = true;
+    return result_;
+  }
+
+  // Strategy 2: gmin stepping, warm-starting each stage.
+  {
+    std::fill(x_stage_.raw().begin(), x_stage_.raw().end(), 0.0);
+    bool ok = true;
+    double gmin = 1e-2;
+    for (int step = 0; step <= options_.gmin_steps; ++step) {
+      for (const auto& dev : circuit_->devices()) dev->reset_state();
+      if (!newton_attempt(gmin, x_stage_, result_.iterations)) {
+        ok = false;
+        break;
+      }
+      if (gmin <= options_.gmin_floor) break;
+      gmin = std::max(gmin * 0.04, options_.gmin_floor);
+    }
+    if (ok) {
+      result_.solution = x_stage_;
+      result_.converged = true;
+      result_.strategy = "gmin";
+      have_last_ = true;
+      return result_;
+    }
+  }
+
+  // Strategy 3: source stepping at floor gmin.
+  {
+    snapshot_sources();
+    // Restore the nominal source values on every exit path, including an
+    // exception escaping the loop (the guarantee the legacy RAII
+    // SourceScaler gave): a long-lived session must never leak a scaled
+    // circuit into subsequent solves.
+    struct RestoreSources {
+      SimSession* session;
+      ~RestoreSources() { session->scale_sources(1.0); }
+    } restore{this};
+    std::fill(x_stage_.raw().begin(), x_stage_.raw().end(), 0.0);
+    bool ok = true;
+    for (int step = 1; step <= options_.source_steps; ++step) {
+      const double lambda = static_cast<double>(step) /
+                            static_cast<double>(options_.source_steps);
+      scale_sources(lambda);
+      for (const auto& dev : circuit_->devices()) dev->reset_state();
+      if (!newton_attempt(options_.gmin_floor, x_stage_,
+                          result_.iterations)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      result_.solution = x_stage_;
+      result_.converged = true;
+      result_.strategy = "source";
+      have_last_ = true;
+      return result_;
+    }
+  }
+
+  return result_;  // converged == false
+}
+
+const Unknowns& SimSession::solve_or_throw(const Unknowns* initial) {
+  const DcResult& r = solve(initial);
+  if (!r.converged) {
+    throw NumericalError("DC operating point failed to converge after " +
+                         std::to_string(r.iterations) + " iterations");
+  }
+  return r.solution;
+}
+
+Series SimSession::sweep(const std::vector<double>& values,
+                         const SweepSetter& setter, const SweepProbe& probe,
+                         const std::string& name) {
+  Series out(name);
+  out.reserve(values.size());
+  for (double v : values) {
+    setter(v);
+    const DcResult& r = solve();
+    if (!r.converged) {
+      throw NumericalError(name + ": DC solve failed at sweep value " +
+                           std::to_string(v));
+    }
+    out.push_back(v, probe(*circuit_, r.solution));
+  }
+  return out;
+}
+
+}  // namespace icvbe::spice

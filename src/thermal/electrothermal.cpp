@@ -21,8 +21,9 @@ ElectroThermalResult solve_electrothermal(spice::Circuit& circuit,
     out.device_temperature[d.device] = t_ambient_kelvin;
   }
 
-  spice::Unknowns warm;
-  bool have_warm = false;
+  // One session for the whole fixed-point loop: the workspace is assembled
+  // once and every electrical solve warm-starts from the previous pass.
+  spice::SimSession session(circuit, options.newton);
 
   for (out.iterations = 1; out.iterations <= options.max_iterations;
        ++out.iterations) {
@@ -31,14 +32,11 @@ ElectroThermalResult solve_electrothermal(spice::Circuit& circuit,
     for (const auto& [name, temp] : out.device_temperature) {
       circuit.set_device_temperature(name, temp);
     }
-    spice::DcResult dc =
-        spice::solve_dc(circuit, options.newton, have_warm ? &warm : nullptr);
+    const spice::DcResult& dc = session.solve();
     if (!dc.converged) {
       out.converged = false;
       return out;
     }
-    warm = dc.solution;
-    have_warm = true;
 
     // Thermal update.
     out.total_power = circuit.total_power(dc.solution) + chip.aux_power;
@@ -61,7 +59,7 @@ ElectroThermalResult solve_electrothermal(spice::Circuit& circuit,
       t_cur += options.damping * (t_new - t_cur);
     }
 
-    out.solution = std::move(dc.solution);
+    out.solution = dc.solution;
     if (max_change < options.temp_tol) {
       out.converged = true;
       return out;

@@ -100,7 +100,7 @@ TEST(PolynomialFit, PolyvalHorner) {
 TEST(DesignMatrix, BuildsFromBasisFunctions) {
   std::vector<double> x{1.0, 2.0};
   auto a = design_matrix(
-      x, {[](double v) { return 1.0; }, [](double v) { return v * v; }});
+      x, {[](double) { return 1.0; }, [](double v) { return v * v; }});
   EXPECT_DOUBLE_EQ(a(0, 0), 1.0);
   EXPECT_DOUBLE_EQ(a(1, 1), 4.0);
 }

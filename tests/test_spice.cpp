@@ -54,9 +54,9 @@ TEST(CircuitTest, GetByNameTypeChecked) {
   Circuit c;
   const NodeId a = c.node("a");
   c.add_resistor("R1", a, kGround, 1e3);
-  EXPECT_NO_THROW(c.get<Resistor>("R1"));
-  EXPECT_THROW(c.get<VoltageSource>("R1"), CircuitError);
-  EXPECT_THROW(c.get<Resistor>("nope"), CircuitError);
+  EXPECT_NO_THROW((void)c.get<Resistor>("R1"));
+  EXPECT_THROW((void)c.get<VoltageSource>("R1"), CircuitError);
+  EXPECT_THROW((void)c.get<Resistor>("nope"), CircuitError);
 }
 
 TEST(DcSolver, ResistorDivider) {

@@ -9,6 +9,8 @@
 //   icvbe extract [sample]               run the paper's analytical method
 //                                        on a virtual-lot sample and print
 //                                        the extracted .MODEL card
+//   icvbe lot [samples] [threads]        characterise a Monte-Carlo lot in
+//                                        parallel and print the statistics
 //   icvbe table1                         reproduce the paper's Table 1
 //   icvbe truthcard                      print the hidden ground-truth card
 
@@ -23,6 +25,7 @@
 #include "icvbe/common/table.hpp"
 #include "icvbe/extract/meijer.hpp"
 #include "icvbe/lab/campaign.hpp"
+#include "icvbe/lab/lot_campaign.hpp"
 #include "icvbe/spice/analysis.hpp"
 #include "icvbe/spice/dc_solver.hpp"
 #include "icvbe/spice/netlist.hpp"
@@ -33,12 +36,13 @@ using namespace icvbe;
 
 int usage() {
   std::fprintf(stderr,
-               "usage: icvbe <simulate|sweep|tempsweep|extract|table1|"
+               "usage: icvbe <simulate|sweep|tempsweep|extract|lot|table1|"
                "truthcard> [args]\n"
                "  simulate <deck.cir>\n"
                "  sweep <deck.cir> <vsrc> <from> <to> <points> <node>\n"
                "  tempsweep <deck.cir> <fromC> <toC> <points> <node>\n"
                "  extract [sample-index]\n"
+               "  lot [samples] [threads]\n"
                "  table1\n"
                "  truthcard\n");
   return 2;
@@ -166,6 +170,32 @@ int cmd_extract(int sample_index) {
   return 0;
 }
 
+int cmd_lot(int samples, unsigned threads) {
+  lab::SiliconLot lot;
+  lab::LotCampaignConfig cfg;
+  cfg.samples = samples;
+  cfg.threads = threads;
+  const lab::LotCampaign campaign(lot, cfg);
+  const auto dies = campaign.run();
+  const lab::LotSummary s = lab::LotCampaign::summarise(dies);
+
+  Table t({"quantity", "mean", "sigma", "q10", "median", "q90"});
+  auto row = [&](const char* name, const lab::LotStatistic& st, int digits) {
+    t.add_row({name, format_fixed(st.mean, digits),
+               format_fixed(st.stddev, digits), format_fixed(st.q10, digits),
+               format_fixed(st.q50, digits), format_fixed(st.q90, digits)});
+  };
+  row("classical EG [eV]", s.eg_classical, 4);
+  row("analytical EG [eV]", s.eg_meijer, 4);
+  row("analytical XTI", s.xti_meijer, 2);
+  row("dT1 [K]", s.delta_t1, 2);
+  row("dT3 [K]", s.delta_t3, 2);
+  std::printf("%d dies ok, %d failed (truth: EG = %.4f eV, XTI = %.2f)\n",
+              s.dies_ok, s.dies_failed, lot.true_eg(), lot.true_xti());
+  t.print(std::cout);
+  return s.dies_failed == 0 ? 0 : 1;
+}
+
 int cmd_table1() {
   lab::SiliconLot lot;
   Table t({"sample", "dT1 [K]", "dT3 [K]"});
@@ -209,6 +239,12 @@ int main(int argc, char** argv) {
     }
     if (cmd == "extract") {
       return cmd_extract(args.size() > 1 ? std::stoi(args[1]) : 1);
+    }
+    if (cmd == "lot") {
+      const int samples = args.size() > 1 ? std::stoi(args[1]) : 25;
+      const unsigned threads =
+          args.size() > 2 ? static_cast<unsigned>(std::stoul(args[2])) : 0;
+      return cmd_lot(samples, threads);
     }
     if (cmd == "table1") return cmd_table1();
     if (cmd == "truthcard") return cmd_truthcard();
