@@ -160,6 +160,42 @@ void bm_legacy_solve(benchmark::State& state) {
 }
 BENCHMARK(bm_legacy_solve)->Unit(benchmark::kMicrosecond);
 
+void bm_plan_run_sweep(benchmark::State& state) {
+  // Declarative path: the same 100-point temperature sweep expressed as an
+  // AnalysisPlan and executed via SimSession::run (typed axis, compiled
+  // probe, allocation-free per point). Apples-to-apples with
+  // bm_session_solve x 100.
+  const auto p = nominal_banba();
+  spice::Circuit c;
+  const bandgap::BanbaHandles h = bandgap::build_banba_cell(c, p);
+  spice::NewtonOptions opt;
+  opt.max_iterations = 400;
+  spice::SimSession session(c, opt);
+  const auto temps = sweep_grid();
+  (void)bandgap::solve_banba_at(session, h, p, temps.front());  // warm-up
+
+  // Alternate sweep direction per repetition (boustrophedon, like
+  // run_session): every point -- including the first of each run --
+  // warm-starts from an adjacent temperature.
+  spice::AnalysisPlan up;
+  up.name = "banba_vref_sweep";
+  up.options = opt;
+  up.axes = {spice::SweepAxis::temperature_kelvin(spice::SweepGrid::list(
+      temps))};
+  up.probes = {spice::Probe::node_voltage(c.node_name(h.vref))};
+  spice::AnalysisPlan down = up;
+  down.axes = {spice::SweepAxis::temperature_kelvin(spice::SweepGrid::list(
+      {temps.rbegin(), temps.rend()}))};
+
+  bool reverse = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(session.run(reverse ? down : up));
+    reverse = !reverse;
+  }
+  state.SetItemsProcessed(state.iterations() * kPoints);
+}
+BENCHMARK(bm_plan_run_sweep)->Unit(benchmark::kMillisecond);
+
 void bm_session_solve(benchmark::State& state) {
   const auto p = nominal_banba();
   spice::Circuit c;

@@ -1,0 +1,24 @@
+#pragma once
+// Shared CSV writing for sweep outputs: one place for the header + row
+// formatting that the CLI, benches, and SweepResult all need, instead of
+// per-call-site hand-rolled printf loops.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "icvbe/common/series.hpp"
+
+namespace icvbe::csv {
+
+/// Write `header,..` then one row per index across the columns. All
+/// columns must have equal length. Values are written with %g-style
+/// shortest formatting at 6 significant digits.
+void write_columns(std::ostream& os, const std::vector<std::string>& header,
+                   const std::vector<const std::vector<double>*>& columns);
+
+/// Write a Series as a two-column CSV with the given header labels.
+void write_series(std::ostream& os, const Series& series,
+                  const std::string& x_label, const std::string& y_label);
+
+}  // namespace icvbe::csv

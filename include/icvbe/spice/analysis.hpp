@@ -1,20 +1,21 @@
 #pragma once
 // Sweep analyses on top of the DC solver: DC source sweeps (Fig. 5's
 // IC(VBE) families) and temperature sweeps (VBE(T), VREF(T)).
+//
+// These free functions are thin plan-builders: each one assembles a typed
+// SweepAxis (plan.hpp) and executes it on a temporary SimSession. They
+// remain for one-shot callers and for legacy std::function probes; new
+// code should build an AnalysisPlan and call SimSession::run directly.
 
-#include <functional>
+#include <string>
 #include <vector>
 
 #include "icvbe/common/series.hpp"
 #include "icvbe/spice/dc_solver.hpp"
+#include "icvbe/spice/plan.hpp"
 #include "icvbe/spice/sim_session.hpp"
 
 namespace icvbe::spice {
-
-/// Probe: maps a solved operating point to the scalar being recorded.
-/// (Alias of SweepProbe -- the sweeps below are SimSession::sweep behind a
-/// temporary session.)
-using Probe = SweepProbe;
 
 /// Sweep a voltage source and record probe(x) at each point. Points are
 /// warm-started from their predecessor; `initial` seeds the first point
@@ -22,7 +23,7 @@ using Probe = SweepProbe;
 [[nodiscard]] Series dc_sweep_vsource(Circuit& circuit,
                                       const std::string& source_name,
                                       const std::vector<double>& values,
-                                      const Probe& probe,
+                                      const SweepProbe& probe,
                                       const NewtonOptions& options = {},
                                       const Unknowns* initial = nullptr);
 
@@ -30,19 +31,21 @@ using Probe = SweepProbe;
 [[nodiscard]] Series dc_sweep_isource(Circuit& circuit,
                                       const std::string& source_name,
                                       const std::vector<double>& values,
-                                      const Probe& probe,
+                                      const SweepProbe& probe,
                                       const NewtonOptions& options = {},
                                       const Unknowns* initial = nullptr);
 
 /// Sweep the global circuit temperature [K] and record probe(x).
 [[nodiscard]] Series temperature_sweep(Circuit& circuit,
                                        const std::vector<double>& t_kelvin,
-                                       const Probe& probe,
+                                       const SweepProbe& probe,
                                        const NewtonOptions& options = {},
                                        const Unknowns* initial = nullptr);
 
-/// Convenience probe factories.
-[[nodiscard]] Probe probe_node_voltage(Circuit& circuit,
+/// Convenience probe factories. Both return typed spice::Probe values
+/// (usable directly as SweepProbe); the circuit argument is used for eager
+/// name validation only.
+[[nodiscard]] Probe probe_node_voltage(const Circuit& circuit,
                                        const std::string& node_name);
 [[nodiscard]] Probe probe_vsource_current(const std::string& device_name);
 

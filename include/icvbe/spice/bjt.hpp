@@ -72,6 +72,7 @@ class Bjt final : public Device {
       BjtModel model, double area = 1.0, NodeId substrate = kGround);
 
   void set_temperature(double t_kelvin) override;
+  [[nodiscard]] std::unique_ptr<Device> clone() const override;
   void stamp(Stamper& stamper, const Unknowns& prev) override;
   [[nodiscard]] bool is_nonlinear() const override { return true; }
   void reset_state() override;

@@ -31,6 +31,10 @@ class Circuit {
   /// Name of a node id (for diagnostics).
   [[nodiscard]] const std::string& node_name(NodeId n) const;
 
+  /// Look up an existing node without creating it. Returns kGround for
+  /// ground aliases and -1 if the name is unknown.
+  [[nodiscard]] NodeId find_node(std::string_view name) const;
+
   // --- typed device factories (return references owned by the circuit) ---
   Resistor& add_resistor(std::string name, NodeId a, NodeId b, double ohms,
                          double tc1 = 0.0, double tc2 = 0.0);
@@ -87,11 +91,24 @@ class Circuit {
     return devices_;
   }
 
+  /// Deep copy of the whole circuit: node table plus per-device clone()
+  /// (full state, including temperature-derived values). Used for
+  /// per-thread clones in parallel plan execution; the copy's unknown
+  /// indices are re-assigned by its own SimSession.
+  [[nodiscard]] Circuit clone() const;
+
   /// Total unknown count (non-ground nodes + aux); assigns aux indices.
   [[nodiscard]] int assign_unknowns();
 
   /// Broadcast a new device temperature and clear iteration state.
   void set_temperature(double t_kelvin);
+
+  /// Last set_temperature value, if any (devices added later, or
+  /// re-programmed resistors, need it re-applied to honour tempco).
+  [[nodiscard]] bool has_temperature() const noexcept {
+    return has_temperature_;
+  }
+  [[nodiscard]] double temperature() const noexcept { return temperature_; }
 
   /// Per-device temperature override on top of set_temperature (used by the
   /// electro-thermal loop to give each BJT its own junction temperature).
@@ -108,6 +125,8 @@ class Circuit {
 
   std::vector<std::unique_ptr<Device>> devices_;
   std::map<std::string, std::size_t, std::less<>> device_index_;
+  double temperature_ = 0.0;
+  bool has_temperature_ = false;
   std::vector<std::string> node_names_{"0"};
   std::map<std::string, NodeId, std::less<>> node_ids_{{"0", kGround},
                                                        {"gnd", kGround}};

@@ -7,6 +7,7 @@
 //   3. stamp(stamper, prev) -- once per Newton iteration, linearised at prev
 //   4. power(solution)      -- dissipation for the electro-thermal loop
 
+#include <memory>
 #include <string>
 
 #include "icvbe/spice/stamper.hpp"
@@ -33,6 +34,12 @@ class Device {
   /// Called by the circuit when unknown indices are assigned.
   void set_first_aux(int index) { first_aux_ = index; }
   [[nodiscard]] int first_aux() const noexcept { return first_aux_; }
+
+  /// Deep copy carrying the full device state (parameters, temperature-
+  /// derived values, iteration memory). Aux indices are NOT copied -- the
+  /// clone's circuit re-assigns them. Enables per-thread circuit clones
+  /// for parallel plan execution (SimSession::run).
+  [[nodiscard]] virtual std::unique_ptr<Device> clone() const = 0;
 
   /// Stamp the linearised model around the previous iterate. Non-const so
   /// nonlinear devices can keep junction-limiting state between iterations.

@@ -22,6 +22,7 @@ class Diode final : public Device {
         double area = 1.0);
 
   void set_temperature(double t_kelvin) override;
+  [[nodiscard]] std::unique_ptr<Device> clone() const override;
   void stamp(Stamper& stamper, const Unknowns& prev) override;
   [[nodiscard]] bool is_nonlinear() const override { return true; }
   void reset_state() override;

@@ -16,6 +16,7 @@ class Resistor final : public Device {
            double tc2 = 0.0, double tnom_kelvin = 300.15);
 
   void set_temperature(double t_kelvin) override;
+  [[nodiscard]] std::unique_ptr<Device> clone() const override;
   void stamp(Stamper& stamper, const Unknowns& prev) override;
   [[nodiscard]] double power(const Unknowns& x) const override;
 
@@ -45,6 +46,7 @@ class VoltageSource final : public Device {
   VoltageSource(std::string name, NodeId p, NodeId m, double volts);
 
   [[nodiscard]] int aux_count() const override { return 1; }
+  [[nodiscard]] std::unique_ptr<Device> clone() const override;
   void stamp(Stamper& stamper, const Unknowns& prev) override;
 
   /// Always 0: sources deliver power, they do not heat the die.
@@ -69,6 +71,7 @@ class CurrentSource final : public Device {
  public:
   CurrentSource(std::string name, NodeId p, NodeId m, double amps);
 
+  [[nodiscard]] std::unique_ptr<Device> clone() const override;
   void stamp(Stamper& stamper, const Unknowns& prev) override;
 
   void set_current(double amps) { amps_ = amps; }
@@ -87,6 +90,7 @@ class Vcvs final : public Device {
        double gain);
 
   [[nodiscard]] int aux_count() const override { return 1; }
+  [[nodiscard]] std::unique_ptr<Device> clone() const override;
   void stamp(Stamper& stamper, const Unknowns& prev) override;
 
   [[nodiscard]] double current(const Unknowns& x) const;
@@ -110,6 +114,7 @@ class OpAmp final : public Device {
         double gain = 1.0e6, double offset_volts = 0.0);
 
   [[nodiscard]] int aux_count() const override { return 1; }
+  [[nodiscard]] std::unique_ptr<Device> clone() const override;
   void stamp(Stamper& stamper, const Unknowns& prev) override;
 
   void set_offset(double volts) { offset_ = volts; }

@@ -31,6 +31,7 @@ class Mosfet final : public Device {
          MosfetModel model, double w_over_l = 1.0);
 
   void set_temperature(double t_kelvin) override;
+  [[nodiscard]] std::unique_ptr<Device> clone() const override;
   void stamp(Stamper& stamper, const Unknowns& prev) override;
   [[nodiscard]] bool is_nonlinear() const override { return true; }
   [[nodiscard]] double power(const Unknowns& x) const override;

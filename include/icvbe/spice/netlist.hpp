@@ -22,16 +22,32 @@
 //   .NODESET V(<node>)=<value> [V(<node>)=<value> ...]  (initial guess)
 //   .END                                                (optional)
 //
+// Analysis directives parse straight into a declarative AnalysisPlan
+// (plan.hpp) so a deck fully describes a sweep study:
+//
+//   .DC <src> <start> <stop> <incr> [<src2> <start2> <stop2> <incr2>]
+//       sweep a V/I source, a resistor (R...) or TEMP (Celsius); the first
+//       spec is the innermost axis, the optional second the outer one
+//   .STEP <what> <start> <stop> <incr>       outer axis, linear steps
+//   .STEP <what> DEC <start> <stop> <n>      log grid, n points/decade
+//   .STEP <what> LIST <v1> <v2> ...          explicit point list
+//   .PROBE <expr> [<expr> ...]               probed quantities, e.g.
+//       V(out)  V(a,b)  I(V1)  IC(Q1)  V(a)-V(b)  (no spaces inside one
+//       expression; see parse_probe)
+//
 // Numbers accept SPICE engineering suffixes: f p n u m k meg g t (and are
 // otherwise strtod). Node "0" or "gnd" is ground.
 
 #include <iosfwd>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "icvbe/spice/circuit.hpp"
+#include "icvbe/spice/plan.hpp"
 
 namespace icvbe::spice {
 
@@ -50,6 +66,11 @@ struct ParsedNetlist {
   std::map<std::string, DiodeModel> diode_models;
   /// .NODESET hints: node name -> initial voltage guess.
   std::map<std::string, double> nodesets;
+  /// .PROBE expressions in deck order.
+  std::vector<Probe> probes;
+  /// Deck-described analysis, present iff the deck has .DC and/or .STEP
+  /// (which then also requires .PROBE). Execute with SimSession::run.
+  std::optional<AnalysisPlan> plan;
 };
 
 /// Parse a netlist from text. Throws NetlistError with line context.

@@ -1,0 +1,265 @@
+#pragma once
+// Declarative analysis plans: typed, serialisable descriptions of the one
+// shape of work every figure and table of the paper is made of -- a grid of
+// DC operating points over one or two swept parameters with a handful of
+// probed quantities.
+//
+//   Probe        what is recorded: V(node), I(dev), IC/IB/IE/ISUB(bjt),
+//                constants, and arithmetic expressions of those
+//   SweepGrid    the point set of one axis: linear, log-decade, or list
+//   SweepAxis    what is swept: source value, temperature, resistance
+//   AnalysisPlan 1-2 nested axes + N probes + NewtonOptions
+//   SweepResult  the filled grid: axis values + one column per probe
+//
+// Because an analysis is a value rather than a set of capture-by-reference
+// callbacks, it can be named, printed, parsed back (`parse_probe` /
+// `to_string` round-trip), written into a netlist deck (.DC / .STEP /
+// .PROBE), and sharded across threads. Execution lives on the session:
+// `SimSession::run(plan)` warm-starts along the innermost axis and, for
+// 2-axis plans, can fan outer-axis rows across a thread pool using
+// per-thread circuit clones (same deterministic-fanout discipline as
+// lab::LotCampaign -- results are bit-identical for any thread count).
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "icvbe/common/error.hpp"
+#include "icvbe/common/series.hpp"
+#include "icvbe/common/table.hpp"
+#include "icvbe/spice/sim_session.hpp"
+
+namespace icvbe::spice {
+
+/// Raised on malformed plans (no axes, too many axes, empty probe list,
+/// degenerate grids). Name-resolution failures raise CircuitError instead.
+class PlanError : public Error {
+ public:
+  explicit PlanError(const std::string& what) : Error(what) {}
+};
+
+// --------------------------------------------------------------- Probe ---
+
+/// A typed, serialisable measurement: maps a solved operating point to one
+/// scalar. Replaces the old capture-by-reference std::function probes --
+/// a Probe can be printed, parsed, stored in a deck, and compiled once per
+/// run into an allocation-free evaluator.
+///
+/// Grammar (parse_probe):
+///   V(node)              node voltage
+///   V(a,b)               differential voltage V(a) - V(b)
+///   I(dev)               branch current of a V-source, resistor, diode,
+///                        VCVS, MOSFET (drain) or I-source
+///   IC(q) IB(q) IE(q)    BJT terminal currents (ISUB(q) for substrate)
+///   1.25e-3, 2.5k        numeric literal (SPICE suffixes accepted)
+///   expr + expr, -, *, / arithmetic, usual precedence, parentheses ok
+class Probe {
+ public:
+  enum class Kind {
+    kConstant,       ///< numeric literal
+    kNodeVoltage,    ///< V(node)
+    kBranchCurrent,  ///< I(dev)
+    kBjtCurrent,     ///< IC/IB/IE/ISUB(dev)
+    kExpression,     ///< lhs op rhs
+  };
+  enum class Op { kAdd, kSub, kMul, kDiv };
+
+  /// BJT terminal selector for kBjtCurrent.
+  enum class BjtTerminal { kCollector, kBase, kEmitter, kSubstrate };
+
+  Probe() = default;  ///< constant 0
+
+  [[nodiscard]] static Probe constant(double value);
+  [[nodiscard]] static Probe node_voltage(std::string node);
+  [[nodiscard]] static Probe branch_current(std::string device);
+  [[nodiscard]] static Probe bjt_current(std::string device,
+                                         BjtTerminal terminal);
+  [[nodiscard]] static Probe expression(Op op, Probe lhs, Probe rhs);
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] Op op() const noexcept { return op_; }
+  [[nodiscard]] double value() const noexcept { return value_; }
+  /// Node or device name (kNodeVoltage / kBranchCurrent / kBjtCurrent).
+  [[nodiscard]] const std::string& target() const noexcept { return target_; }
+  [[nodiscard]] BjtTerminal terminal() const noexcept { return terminal_; }
+  [[nodiscard]] const Probe& lhs() const { return children_.at(0); }
+  [[nodiscard]] const Probe& rhs() const { return children_.at(1); }
+
+  /// Evaluate against a solved operating point. Resolves names on every
+  /// call -- convenient for one-off use and as a drop-in SweepProbe
+  /// (operator() below); SimSession::run compiles plans instead so the
+  /// steady-state path does no lookups.
+  [[nodiscard]] double eval(const Circuit& circuit, const Unknowns& x) const;
+
+  /// A Probe is directly usable wherever a SweepProbe std::function is
+  /// expected.
+  double operator()(const Circuit& circuit, const Unknowns& x) const {
+    return eval(circuit, x);
+  }
+
+  /// Serialise in the parse_probe grammar; parse_probe(to_string()) yields
+  /// a structurally identical probe.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  Kind kind_ = Kind::kConstant;
+  Op op_ = Op::kAdd;
+  double value_ = 0.0;
+  std::string target_;
+  BjtTerminal terminal_ = BjtTerminal::kCollector;
+  std::vector<Probe> children_;  ///< two entries for kExpression
+};
+
+/// Parse a probe expression ("V(out)", "IC(Q1)/IC(Q2)", "V(a)-V(b)").
+/// Throws PlanError on malformed text.
+[[nodiscard]] Probe parse_probe(std::string_view text);
+
+// ----------------------------------------------------------- SweepGrid ---
+
+/// The point set of one sweep axis.
+class SweepGrid {
+ public:
+  enum class Spacing { kLinear, kLogDecades, kList };
+
+  /// n evenly spaced points over [first, last], n >= 2.
+  [[nodiscard]] static SweepGrid linear(double first, double last, int n);
+  /// Logarithmic grid (0 < first < last), >= 1 points per decade.
+  [[nodiscard]] static SweepGrid log_decades(double first, double last,
+                                             int per_decade);
+  /// Explicit point list (>= 1 point).
+  [[nodiscard]] static SweepGrid list(std::vector<double> values);
+
+  [[nodiscard]] Spacing spacing() const noexcept { return spacing_; }
+  [[nodiscard]] std::size_t size() const;
+  /// Materialise the grid points in sweep order.
+  [[nodiscard]] std::vector<double> points() const;
+
+ private:
+  SweepGrid() = default;
+  Spacing spacing_ = Spacing::kList;
+  double first_ = 0.0;
+  double last_ = 0.0;
+  int n_ = 0;  ///< points (linear) or points per decade (log)
+  std::vector<double> values_;
+};
+
+// ----------------------------------------------------------- SweepAxis ---
+
+/// What one axis sweeps. Temperature axes carry their unit so deck-level
+/// Celsius directives and engine-level Kelvin sweeps both round-trip; the
+/// *recorded* axis value is always the grid value as given.
+class SweepAxis {
+ public:
+  enum class Kind { kVsource, kIsource, kTemperature, kResistor };
+
+  [[nodiscard]] static SweepAxis vsource(std::string device, SweepGrid grid);
+  [[nodiscard]] static SweepAxis isource(std::string device, SweepGrid grid);
+  [[nodiscard]] static SweepAxis temperature_kelvin(SweepGrid grid);
+  [[nodiscard]] static SweepAxis temperature_celsius(SweepGrid grid);
+  /// Sweep a resistor's nominal value (trim curves). Values in ohms.
+  [[nodiscard]] static SweepAxis resistor(std::string device, SweepGrid grid);
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  /// Swept device name; empty for temperature axes.
+  [[nodiscard]] const std::string& device() const noexcept { return device_; }
+  /// True if a temperature axis is in Celsius.
+  [[nodiscard]] bool celsius() const noexcept { return celsius_; }
+  [[nodiscard]] const SweepGrid& grid() const noexcept { return grid_; }
+
+  /// Column label: device name, "TEMP" (Celsius) or "TEMP_K" (Kelvin).
+  [[nodiscard]] std::string label() const;
+
+ private:
+  SweepAxis(Kind kind, std::string device, SweepGrid grid, bool celsius)
+      : kind_(kind),
+        device_(std::move(device)),
+        grid_(std::move(grid)),
+        celsius_(celsius) {}
+
+  Kind kind_ = Kind::kTemperature;
+  std::string device_;
+  SweepGrid grid_ = SweepGrid::list({0.0});
+  bool celsius_ = false;
+};
+
+// -------------------------------------------------------- AnalysisPlan ---
+
+/// A complete declarative analysis: 1-2 nested sweep axes (axes.front() is
+/// the outer loop), at least one probe, and the solver options to run
+/// under. Plans are plain values: build them in C++, parse them from deck
+/// directives, or generate them programmatically.
+struct AnalysisPlan {
+  std::string name = "analysis";
+  std::vector<SweepAxis> axes;
+  std::vector<Probe> probes;
+  NewtonOptions options{};
+  /// Worker threads for 2-axis plans: 1 = serial in-place (default),
+  /// 0 = hardware_concurrency, N = N workers over per-thread circuit
+  /// clones. Results are bit-identical for any value.
+  unsigned threads = 1;
+};
+
+// --------------------------------------------------------- SweepResult ---
+
+/// The executed grid. Point p of a 2-axis plan maps to
+/// (outer index = p / inner_size, inner index = p % inner_size); 1-axis
+/// plans have rows() == inner grid size.
+class SweepResult {
+ public:
+  SweepResult() = default;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t probe_count() const noexcept {
+    return columns_.size();
+  }
+  [[nodiscard]] std::size_t axis_count() const noexcept {
+    return outer_.empty() ? 1 : 2;
+  }
+
+  /// Grid values of the outer / inner axis (outer empty for 1-axis plans).
+  [[nodiscard]] const std::vector<double>& outer_values() const noexcept {
+    return outer_;
+  }
+  [[nodiscard]] const std::vector<double>& inner_values() const noexcept {
+    return inner_;
+  }
+
+  [[nodiscard]] const std::vector<std::string>& axis_labels() const noexcept {
+    return axis_labels_;
+  }
+  [[nodiscard]] const std::vector<std::string>& probe_labels() const noexcept {
+    return probe_labels_;
+  }
+
+  /// Axis value at a row: axis 0 = outer (or the only axis), axis 1 = inner.
+  [[nodiscard]] double axis_value(std::size_t axis, std::size_t row) const;
+  /// Probe column value at a row.
+  [[nodiscard]] double value(std::size_t probe, std::size_t row) const {
+    return columns_.at(probe).at(row);
+  }
+  [[nodiscard]] const std::vector<double>& column(std::size_t probe) const {
+    return columns_.at(probe);
+  }
+
+  /// 1-axis plans: Series of one probe over the axis.
+  [[nodiscard]] Series series(std::size_t probe = 0) const;
+  /// 2-axis plans: one Series per outer point (inner value on x).
+  [[nodiscard]] std::vector<Series> series_family(std::size_t probe = 0) const;
+  /// Full grid as a Table (axis columns then probe columns).
+  [[nodiscard]] Table table() const;
+  /// CSV via the shared common/csv writer.
+  void write_csv(std::ostream& os) const;
+
+ private:
+  friend class SimSession;
+  std::size_t rows_ = 0;
+  std::vector<double> outer_;  ///< empty for 1-axis plans
+  std::vector<double> inner_;
+  std::vector<std::string> axis_labels_;
+  std::vector<std::string> probe_labels_;
+  std::vector<std::vector<double>> columns_;  ///< [probe][row]
+};
+
+}  // namespace icvbe::spice

@@ -41,12 +41,19 @@ struct DcResult {
   std::string strategy;      ///< "newton", "gmin", or "source"
 };
 
-/// Probe: maps a solved operating point to the scalar being recorded.
+/// Legacy function probe: maps a solved operating point to the scalar
+/// being recorded. New code should prefer the typed, serialisable
+/// spice::Probe (plan.hpp), which converts implicitly to a SweepProbe.
 using SweepProbe = std::function<double(const Circuit&, const Unknowns&)>;
 
 /// Setter: applies one sweep value to the circuit (source value,
 /// temperature, trim resistance, ...).
 using SweepSetter = std::function<void(double)>;
+
+// Declarative analysis values (plan.hpp); execution lives on the session.
+struct AnalysisPlan;
+class SweepAxis;
+class SweepResult;
 
 class SimSession {
  public:
@@ -111,6 +118,29 @@ class SimSession {
                              const SweepSetter& setter,
                              const SweepProbe& probe,
                              const std::string& name = "sweep");
+
+  /// Typed-axis sweep: bind `axis` to this circuit and sweep it, recording
+  /// `probe` at every point (legacy function-probe compatibility channel;
+  /// run() below is the fully typed path).
+  [[nodiscard]] Series sweep(const SweepAxis& axis, const SweepProbe& probe,
+                             const std::string& name = "sweep");
+
+  /// Execute a declarative AnalysisPlan (defined in plan.hpp).
+  ///
+  /// Points along the innermost axis warm-start from their predecessor.
+  /// 1-axis plans run in place and inherit the session's current
+  /// continuation state (exactly like sweep()). For 2-axis plans every
+  /// outer row starts from a deterministic state -- devices reset, warm
+  /// start re-seeded from whatever seed was live when run() was called
+  /// (e.g. .NODESET hints), or cold -- so rows are independent of
+  /// execution order; with plan.threads != 1 the outer rows are fanned
+  /// across a thread pool over per-thread circuit clones and the result is
+  /// bit-identical for any thread count (the LotCampaign discipline).
+  /// Probes are compiled once per run: the steady-state per-point path
+  /// performs no heap allocations and no name lookups.
+  /// Throws PlanError on malformed plans, NumericalError if a point fails
+  /// to converge.
+  [[nodiscard]] SweepResult run(const AnalysisPlan& plan);
 
   /// Cached independent sources (discovered once at bind time).
   [[nodiscard]] const std::vector<VoltageSource*>& voltage_sources()

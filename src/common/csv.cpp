@@ -1,0 +1,37 @@
+#include "icvbe/common/csv.hpp"
+
+#include <ostream>
+
+#include "icvbe/common/error.hpp"
+#include "icvbe/common/table.hpp"
+
+namespace icvbe::csv {
+
+void write_columns(std::ostream& os, const std::vector<std::string>& header,
+                   const std::vector<const std::vector<double>*>& columns) {
+  ICVBE_REQUIRE(header.size() == columns.size(),
+                "csv::write_columns: header/column count mismatch");
+  ICVBE_REQUIRE(!columns.empty(), "csv::write_columns: no columns");
+  const std::size_t rows = columns.front()->size();
+  for (const auto* col : columns) {
+    ICVBE_REQUIRE(col != nullptr && col->size() == rows,
+                  "csv::write_columns: ragged columns");
+  }
+  for (std::size_t c = 0; c < header.size(); ++c) {
+    os << (c == 0 ? "" : ",") << header[c];
+  }
+  os << '\n';
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < columns.size(); ++c) {
+      os << (c == 0 ? "" : ",") << format_sig((*columns[c])[r], 6);
+    }
+    os << '\n';
+  }
+}
+
+void write_series(std::ostream& os, const Series& series,
+                  const std::string& x_label, const std::string& y_label) {
+  write_columns(os, {x_label, y_label}, {&series.xs(), &series.ys()});
+}
+
+}  // namespace icvbe::csv

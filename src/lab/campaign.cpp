@@ -7,6 +7,7 @@
 #include "icvbe/common/table.hpp"
 #include "icvbe/spice/analysis.hpp"
 #include "icvbe/spice/dc_solver.hpp"
+#include "icvbe/spice/plan.hpp"
 #include "icvbe/thermal/electrothermal.hpp"
 
 namespace icvbe::lab {
@@ -76,8 +77,18 @@ std::vector<Series> Laboratory::icvbe_family(
   // cell devices. The rig (circuit + solver session) is built once per
   // laboratory session and re-biased point to point.
   DutRig& rig = vbias_rig();
-  auto& ve = rig.circuit.get<spice::VoltageSource>("VE");
-  const auto& dut = rig.circuit.get<spice::Bjt>("DUT");
+
+  // Each chamber setting is one declarative 1-axis plan: sweep VE over the
+  // *forced* voltages (the SMU applies its systematic source error to the
+  // programmed setpoints; forcing draws no per-reading noise) and probe
+  // the DUT collector current. The rig session carries warm-start
+  // continuation across points and chambers exactly as before.
+  const std::vector<double> setpoints =
+      spice::linspace(vbe_min, vbe_max, points);
+  spice::AnalysisPlan plan;
+  plan.name = "icvbe_family";
+  plan.probes = {spice::Probe::bjt_current(
+      "DUT", spice::Probe::BjtTerminal::kCollector)};
 
   for (double tc : chamber_celsius) {
     // The DUT dissipates microwatts at the currents of interest, so the
@@ -86,27 +97,30 @@ std::vector<Series> Laboratory::icvbe_family(
     const double t_die = die_temperature(to_kelvin(tc), 0.0);
     rig.circuit.set_temperature(t_die);
 
+    std::vector<double> forced = setpoints;
+    if (!config_.ideal_instruments) {
+      for (double& v : forced) v = smu_vbe_.force_voltage(v);
+    }
+    plan.axes = {spice::SweepAxis::vsource(
+        "VE", spice::SweepGrid::list(std::move(forced)))};
+
+    spice::SweepResult biased;
+    try {
+      biased = rig.session->run(plan);
+    } catch (const NumericalError&) {
+      throw MeasurementError("icvbe_family: bias point failed to solve");
+    }
+
     Series family("IC(VBE) at " + format_fixed(tc, 1) + " C");
     family.reserve(static_cast<std::size_t>(points));
-    for (int i = 0; i < points; ++i) {
-      const double setpoint =
-          vbe_min + (vbe_max - vbe_min) * static_cast<double>(i) /
-                        static_cast<double>(points - 1);
-      const double forced = config_.ideal_instruments
-                                ? setpoint
-                                : smu_vbe_.force_voltage(setpoint);
-      ve.set_voltage(forced);
-      const spice::DcResult& r = rig.session->solve();
-      if (!r.converged) {
-        throw MeasurementError("icvbe_family: bias point failed to solve");
-      }
-      const double ic_true = std::abs(dut.currents(r.solution).ic);
+    for (std::size_t i = 0; i < setpoints.size(); ++i) {
+      const double ic_true = std::abs(biased.value(0, i));
       const double ic_meas = config_.ideal_instruments
                                  ? ic_true
                                  : smu_aux_.measure_current(ic_true);
       // Record the *programmed* VBE on x (that is how a real analyser
       // reports a forced sweep) and the measured current on y.
-      family.push_back(setpoint, std::max(ic_meas, 1e-16));
+      family.push_back(setpoints[i], std::max(ic_meas, 1e-16));
     }
     out.push_back(std::move(family));
   }
@@ -217,10 +231,77 @@ std::vector<CellPoint> Laboratory::test_cell_sweep(
 
 Series Laboratory::vref_curve(const std::vector<double>& chamber_celsius,
                               double radja_ohms) {
+  if (chamber_celsius.empty()) {
+    return Series("VREF(T), RadjA=" + format_fixed(radja_ohms / 1e3, 2) +
+                  "k");
+  }
+
+  // One persistent cell rig; RADJA re-programmed between calls.
+  CellRig& rig = cell_rig(radja_ohms);
+
+  // Resolve the electro-thermal operating temperature of every chamber
+  // point first -- the fixed point needs intermediate solves and the cell
+  // power, so it cannot be a sweep axis...
+  std::vector<double> die_temps;
+  die_temps.reserve(chamber_celsius.size());
+  for (double tc : chamber_celsius) {
+    const double chamber_k = to_kelvin(tc);
+    double t_die = die_temperature(chamber_k, 0.0);
+    for (int pass = 0; pass < 8; ++pass) {
+      const bandgap::CellObservation obs =
+          bandgap::solve_cell_at(*rig.session, rig.handles, t_die);
+      const double t_new = config_.ideal_thermal
+                               ? chamber_k
+                               : die_temperature(chamber_k, obs.power);
+      if (std::abs(t_new - t_die) < 1e-4) {
+        t_die = t_new;
+        break;
+      }
+      t_die = t_new;
+    }
+    die_temps.push_back(t_die);
+  }
+
+  // ...the curve itself then is a declarative plan: sweep the resolved die
+  // temperatures, probe V(vref). Seed the first point with the cell's
+  // analytic startup guess at its own temperature (the last fixed-point
+  // iterate may sit at the far end of the grid).
+  spice::AnalysisPlan plan;
+  plan.name = "vref_curve";
+  plan.axes = {spice::SweepAxis::temperature_kelvin(
+      spice::SweepGrid::list(die_temps))};
+  plan.probes = {spice::Probe::node_voltage(
+      rig.circuit.node_name(rig.handles.vref))};
+  rig.circuit.set_temperature(die_temps.front());  // the guess reads
+                                                   // temperature state
+  rig.session->seed_warm_start(bandgap::cell_initial_guess(
+      rig.circuit, rig.handles, die_temps.front()));
+
+  std::vector<double> vrefs(chamber_celsius.size());
+  try {
+    const spice::SweepResult curve = rig.session->run(plan);
+    for (std::size_t i = 0; i < vrefs.size(); ++i) {
+      vrefs[i] = curve.value(0, i);
+    }
+  } catch (const NumericalError&) {
+    // Sparse grids can put adjacent points hundreds of kelvin apart,
+    // where one shared seed cannot rescue the continuation. Fall back to
+    // the per-point path, which re-seeds every solve from the cell's
+    // analytic startup guess at its own temperature.
+    for (std::size_t i = 0; i < vrefs.size(); ++i) {
+      vrefs[i] =
+          bandgap::solve_cell_at(*rig.session, rig.handles, die_temps[i])
+              .vref;
+    }
+  }
+
   Series s("VREF(T), RadjA=" + format_fixed(radja_ohms / 1e3, 2) + "k");
-  const auto points = test_cell_sweep(chamber_celsius, radja_ohms);
-  for (std::size_t i = 0; i < points.size(); ++i) {
-    s.push_back(chamber_celsius[i], points[i].vref);
+  s.reserve(chamber_celsius.size());
+  for (std::size_t i = 0; i < chamber_celsius.size(); ++i) {
+    const double vref = config_.ideal_instruments
+                            ? vrefs[i]
+                            : smu_aux_.measure_voltage(vrefs[i]);
+    s.push_back(chamber_celsius[i], vref);
   }
   return s;
 }

@@ -8,54 +8,55 @@ namespace icvbe::spice {
 
 namespace {
 
-template <typename SetValue>
-Series sweep_impl(Circuit& circuit, const std::vector<double>& values,
-                  const Probe& probe, const NewtonOptions& options,
-                  const SetValue& set_value, const char* what,
+/// All three legacy sweeps are the same plan-builder: typed axis, temporary
+/// session, optional warm-start seed.
+Series axis_sweep(Circuit& circuit, SweepAxis axis, const SweepProbe& probe,
+                  const NewtonOptions& options, const char* what,
                   const Unknowns* initial) {
   SimSession session(circuit, options);
   if (initial != nullptr) session.seed_warm_start(*initial);
-  return session.sweep(values, set_value, probe, what);
+  return session.sweep(axis, probe, what);
 }
 
 }  // namespace
 
 Series dc_sweep_vsource(Circuit& circuit, const std::string& source_name,
-                        const std::vector<double>& values, const Probe& probe,
-                        const NewtonOptions& options, const Unknowns* initial) {
-  auto& src = circuit.get<VoltageSource>(source_name);
-  return sweep_impl(
-      circuit, values, probe, options,
-      [&src](double v) { src.set_voltage(v); }, "dc_sweep_vsource", initial);
+                        const std::vector<double>& values,
+                        const SweepProbe& probe, const NewtonOptions& options,
+                        const Unknowns* initial) {
+  return axis_sweep(circuit,
+                    SweepAxis::vsource(source_name, SweepGrid::list(values)),
+                    probe, options, "dc_sweep_vsource", initial);
 }
 
 Series dc_sweep_isource(Circuit& circuit, const std::string& source_name,
-                        const std::vector<double>& values, const Probe& probe,
-                        const NewtonOptions& options, const Unknowns* initial) {
-  auto& src = circuit.get<CurrentSource>(source_name);
-  return sweep_impl(
-      circuit, values, probe, options,
-      [&src](double v) { src.set_current(v); }, "dc_sweep_isource", initial);
+                        const std::vector<double>& values,
+                        const SweepProbe& probe, const NewtonOptions& options,
+                        const Unknowns* initial) {
+  return axis_sweep(circuit,
+                    SweepAxis::isource(source_name, SweepGrid::list(values)),
+                    probe, options, "dc_sweep_isource", initial);
 }
 
 Series temperature_sweep(Circuit& circuit, const std::vector<double>& t_kelvin,
-                         const Probe& probe, const NewtonOptions& options,
+                         const SweepProbe& probe, const NewtonOptions& options,
                          const Unknowns* initial) {
-  return sweep_impl(
-      circuit, t_kelvin, probe, options,
-      [&circuit](double t) { circuit.set_temperature(t); },
-      "temperature_sweep", initial);
+  return axis_sweep(circuit,
+                    SweepAxis::temperature_kelvin(SweepGrid::list(t_kelvin)),
+                    probe, options, "temperature_sweep", initial);
 }
 
-Probe probe_node_voltage(Circuit& circuit, const std::string& node_name) {
-  const NodeId n = circuit.node(node_name);
-  return [n](const Circuit&, const Unknowns& x) { return x.node_voltage(n); };
+Probe probe_node_voltage(const Circuit& circuit,
+                         const std::string& node_name) {
+  if (circuit.find_node(node_name) < 0) {
+    throw CircuitError("probe_node_voltage: no node named '" + node_name +
+                       "'");
+  }
+  return Probe::node_voltage(node_name);
 }
 
 Probe probe_vsource_current(const std::string& device_name) {
-  return [device_name](const Circuit& c, const Unknowns& x) {
-    return c.get<VoltageSource>(device_name).current(x);
-  };
+  return Probe::branch_current(device_name);
 }
 
 std::vector<double> linspace(double first, double last, int n) {

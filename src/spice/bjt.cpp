@@ -49,6 +49,22 @@ Bjt::Bjt(std::string name, NodeId collector, NodeId base, NodeId emitter,
   set_temperature(model.tnom);
 }
 
+std::unique_ptr<Device> Bjt::clone() const {
+  auto d = std::make_unique<Bjt>(name(), c_, b_, e_, model_, area_, s_node_);
+  d->temp_ = temp_;
+  d->vt_ = vt_;
+  d->is_t_ = is_t_;
+  d->ise_t_ = ise_t_;
+  d->isc_t_ = isc_t_;
+  d->iss_t_ = iss_t_;
+  d->iss_e_t_ = iss_e_t_;
+  d->vcrit_be_ = vcrit_be_;
+  d->vcrit_bc_ = vcrit_bc_;
+  d->v1_state_ = v1_state_;
+  d->v2_state_ = v2_state_;
+  return d;
+}
+
 void Bjt::set_temperature(double t_kelvin) {
   ICVBE_REQUIRE(t_kelvin > 0.0, "Bjt: temperature must be > 0 K");
   temp_ = t_kelvin;

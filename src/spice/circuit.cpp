@@ -18,6 +18,23 @@ const std::string& Circuit::node_name(NodeId n) const {
   return node_names_[static_cast<std::size_t>(n)];
 }
 
+NodeId Circuit::find_node(std::string_view name) const {
+  auto it = node_ids_.find(name);
+  return it == node_ids_.end() ? NodeId{-1} : it->second;
+}
+
+Circuit Circuit::clone() const {
+  Circuit copy;
+  copy.node_names_ = node_names_;
+  copy.node_ids_ = node_ids_;
+  copy.device_index_ = device_index_;
+  copy.temperature_ = temperature_;
+  copy.has_temperature_ = has_temperature_;
+  copy.devices_.reserve(devices_.size());
+  for (const auto& dev : devices_) copy.devices_.push_back(dev->clone());
+  return copy;
+}
+
 void Circuit::require_unique_name(const std::string& name) const {
   if (device_index_.contains(name)) {
     throw CircuitError("duplicate device name '" + name + "'");
@@ -100,6 +117,8 @@ int Circuit::assign_unknowns() {
 }
 
 void Circuit::set_temperature(double t_kelvin) {
+  temperature_ = t_kelvin;
+  has_temperature_ = true;
   for (auto& dev : devices_) {
     dev->set_temperature(t_kelvin);
     dev->reset_state();

@@ -25,6 +25,15 @@ Diode::Diode(std::string name, NodeId anode, NodeId cathode, DiodeModel model,
   ICVBE_REQUIRE(model.n > 0.0, "Diode: N must be > 0");
 }
 
+std::unique_ptr<Device> Diode::clone() const {
+  auto d = std::make_unique<Diode>(name(), anode_, cathode_, model_, area_);
+  d->is_t_ = is_t_;
+  d->vt_ = vt_;
+  d->vcrit_ = vcrit_;
+  d->v_state_ = v_state_;
+  return d;
+}
+
 void Diode::set_temperature(double t_kelvin) {
   // eq. (1) with the emission coefficient folded in as in SPICE3:
   // IS(T) = IS (T/tnom)^(XTI/N) exp( (EG/(N k)) (1/tnom - 1/T) ).

@@ -33,6 +33,12 @@ void Resistor::set_nominal_resistance(double ohms) {
   r_now_ = ohms;  // callers re-run set_temperature before solving
 }
 
+std::unique_ptr<Device> Resistor::clone() const {
+  auto d = std::make_unique<Resistor>(name(), a_, b_, r0_, tc1_, tc2_, tnom_);
+  d->r_now_ = r_now_;
+  return d;
+}
+
 void Resistor::stamp(Stamper& stamper, const Unknowns& /*prev*/) {
   stamper.add_conductance(a_, b_, 1.0 / r_now_);
 }
@@ -74,6 +80,10 @@ double VoltageSource::power(const Unknowns& /*x*/) const {
   return 0.0;
 }
 
+std::unique_ptr<Device> VoltageSource::clone() const {
+  return std::make_unique<VoltageSource>(name(), p_, m_, volts_);
+}
+
 CurrentSource::CurrentSource(std::string name, NodeId p, NodeId m,
                              double amps)
     : Device(std::move(name)), p_(p), m_(m), amps_(amps) {
@@ -84,6 +94,10 @@ void CurrentSource::stamp(Stamper& stamper, const Unknowns& /*prev*/) {
   // amps_ flows p -> m inside the source: extracted from p, injected at m.
   stamper.add_current_into(p_, -amps_);
   stamper.add_current_into(m_, amps_);
+}
+
+std::unique_ptr<Device> CurrentSource::clone() const {
+  return std::make_unique<CurrentSource>(name(), p_, m_, amps_);
 }
 
 Vcvs::Vcvs(std::string name, NodeId p, NodeId m, NodeId cp, NodeId cm,
@@ -107,6 +121,10 @@ void Vcvs::stamp(Stamper& stamper, const Unknowns& /*prev*/) {
 }
 
 double Vcvs::current(const Unknowns& x) const { return x.aux(first_aux()); }
+
+std::unique_ptr<Device> Vcvs::clone() const {
+  return std::make_unique<Vcvs>(name(), p_, m_, cp_, cm_, gain_);
+}
 
 OpAmp::OpAmp(std::string name, NodeId out, NodeId inp, NodeId inn,
              double gain, double offset_volts)
@@ -132,6 +150,10 @@ void OpAmp::stamp(Stamper& stamper, const Unknowns& /*prev*/) {
   stamper.add_entry(k, stamper.node_index(inp_), -1.0);
   stamper.add_entry(k, stamper.node_index(inn_), 1.0);
   stamper.add_rhs(k, offset_);
+}
+
+std::unique_ptr<Device> OpAmp::clone() const {
+  return std::make_unique<OpAmp>(name(), out_, inp_, inn_, gain_, offset_);
 }
 
 }  // namespace icvbe::spice

@@ -24,6 +24,13 @@ Mosfet::Mosfet(std::string name, NodeId drain, NodeId gate, NodeId source,
   set_temperature(model.tnom);
 }
 
+std::unique_ptr<Device> Mosfet::clone() const {
+  auto d = std::make_unique<Mosfet>(name(), d_, g_, s_, model_, w_over_l_);
+  d->vth_now_ = vth_now_;
+  d->beta_now_ = beta_now_;
+  return d;
+}
+
 void Mosfet::set_temperature(double t_kelvin) {
   ICVBE_REQUIRE(t_kelvin > 0.0, "Mosfet: temperature must be > 0 K");
   const double dt = t_kelvin - model_.tnom;

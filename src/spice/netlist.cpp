@@ -152,6 +152,43 @@ DiodeModel parse_diode_model(const std::map<std::string, double>& p) {
   return m;
 }
 
+/// start, start+incr, ... up to stop (inclusive within a tolerance), the
+/// SPICE .DC / .STEP stepping rule.
+std::vector<double> stepped_values(double start, double stop, double incr,
+                                   int line) {
+  if (incr == 0.0 || (stop - start) * incr < 0.0) {
+    fail(line, "sweep increment must step from start towards stop");
+  }
+  const double eps = 1e-9 * std::abs(incr);
+  std::vector<double> values;
+  values.reserve(
+      static_cast<std::size_t>(std::abs((stop - start) / incr)) + 1);
+  for (int i = 0;; ++i) {
+    const double v = start + incr * static_cast<double>(i);
+    if (incr > 0.0 ? v > stop + eps : v < stop - eps) break;
+    values.push_back(v);
+  }
+  return values;
+}
+
+/// Map a .DC/.STEP target token to an axis: TEMP (Celsius), V.../I...
+/// sources, R... resistors. Device names are used verbatim (the element
+/// cards preserve case too).
+SweepAxis axis_for_target(const std::string& target, SweepGrid grid,
+                          int line) {
+  const std::string upper = to_upper(target);
+  if (upper == "TEMP") return SweepAxis::temperature_celsius(std::move(grid));
+  if (upper.empty()) fail(line, "missing sweep target");
+  switch (upper[0]) {
+    case 'V': return SweepAxis::vsource(target, std::move(grid));
+    case 'I': return SweepAxis::isource(target, std::move(grid));
+    case 'R': return SweepAxis::resistor(target, std::move(grid));
+    default:
+      fail(line, "cannot sweep '" + target +
+                     "' (V/I sources, R resistors, or TEMP)");
+  }
+}
+
 }  // namespace
 
 double parse_spice_number(std::string_view token) {
@@ -205,12 +242,99 @@ ParsedNetlist parse_netlist(std::string_view text) {
   std::vector<PendingBjt> bjts;
   std::vector<PendingDiode> diodes;
 
+  // Analysis directives: .DC specs in deck order (first spec = innermost
+  // axis), at most one .STEP (always the outermost axis), .PROBE exprs.
+  std::vector<SweepAxis> dc_axes;
+  std::optional<SweepAxis> step_axis;
+  int analysis_line = 0;
+
   for (const auto& [line_text, lineno] : logical_lines(text)) {
     const auto tokens = tokenize(line_text);
     if (tokens.empty()) continue;
     const std::string head = to_upper(tokens[0]);
 
     if (head == ".END") break;
+    if (head == ".DC") {
+      if (!dc_axes.empty()) fail(lineno, "only one .DC directive per deck");
+      if (tokens.size() != 5 && tokens.size() != 9) {
+        fail(lineno, ".DC needs <target> <start> <stop> <incr> (optionally "
+                     "a second spec)");
+      }
+      for (std::size_t i = 1; i + 3 < tokens.size(); i += 4) {
+        dc_axes.push_back(axis_for_target(
+            tokens[i],
+            SweepGrid::list(stepped_values(parse_spice_number(tokens[i + 1]),
+                                           parse_spice_number(tokens[i + 2]),
+                                           parse_spice_number(tokens[i + 3]),
+                                           lineno)),
+            lineno));
+      }
+      analysis_line = lineno;
+      continue;
+    }
+    if (head == ".STEP") {
+      if (step_axis.has_value()) {
+        fail(lineno, "only one .STEP directive per deck");
+      }
+      if (tokens.size() < 3) fail(lineno, ".STEP needs a target and points");
+      const std::string& target = tokens[1];
+      const std::string form = to_upper(tokens[2]);
+      if (form == "LIST") {
+        std::vector<double> values;
+        for (std::size_t i = 3; i < tokens.size(); ++i) {
+          values.push_back(parse_spice_number(tokens[i]));
+        }
+        if (values.empty()) fail(lineno, ".STEP LIST needs >= 1 value");
+        step_axis = axis_for_target(target, SweepGrid::list(std::move(values)),
+                                    lineno);
+      } else if (form == "DEC") {
+        if (tokens.size() != 6) {
+          fail(lineno, ".STEP DEC needs <start> <stop> <points-per-decade>");
+        }
+        try {
+          step_axis = axis_for_target(
+              target,
+              SweepGrid::log_decades(
+                  parse_spice_number(tokens[3]), parse_spice_number(tokens[4]),
+                  static_cast<int>(parse_spice_number(tokens[5]))),
+              lineno);
+        } catch (const PlanError& e) {
+          fail(lineno, e.what());
+        }
+      } else {
+        if (tokens.size() != 5) {
+          fail(lineno, ".STEP needs <target> <start> <stop> <incr>");
+        }
+        step_axis = axis_for_target(
+            target,
+            SweepGrid::list(stepped_values(parse_spice_number(tokens[2]),
+                                           parse_spice_number(tokens[3]),
+                                           parse_spice_number(tokens[4]),
+                                           lineno)),
+            lineno);
+      }
+      analysis_line = lineno;
+      continue;
+    }
+    if (head == ".PROBE") {
+      // The standard tokenizer eats '(' ')' ',', so split the raw logical
+      // line on whitespace instead; one whitespace-free token per probe
+      // expression.
+      std::istringstream in(line_text);
+      std::string word;
+      in >> word;  // the .PROBE keyword itself
+      int parsed = 0;
+      while (in >> word) {
+        try {
+          out.probes.push_back(parse_probe(word));
+        } catch (const PlanError& e) {
+          fail(lineno, e.what());
+        }
+        ++parsed;
+      }
+      if (parsed == 0) fail(lineno, ".PROBE needs at least one expression");
+      continue;
+    }
     if (head == ".TEMP") {
       if (tokens.size() < 2) fail(lineno, ".TEMP needs a value");
       out.temperature_celsius = parse_spice_number(tokens[1]);
@@ -250,7 +374,8 @@ ParsedNetlist parse_netlist(std::string_view text) {
     if (head[0] == '.') fail(lineno, "unknown directive '" + head + "'");
 
     const char kind = head[0];
-    switch (kind) {
+    try {
+      switch (kind) {
       case 'R': {
         if (tokens.size() < 4) fail(lineno, "R: need name, 2 nodes, value");
         const auto params = parse_params(
@@ -325,6 +450,12 @@ ParsedNetlist parse_netlist(std::string_view text) {
       }
       default:
         fail(lineno, "unknown element '" + tokens[0] + "'");
+      }
+    } catch (const NetlistError&) {
+      throw;  // already carries line context
+    } catch (const CircuitError& e) {
+      // Duplicate device names, bad element values, ... -> add the line.
+      fail(lineno, e.what());
     }
   }
 
@@ -335,16 +466,44 @@ ParsedNetlist parse_netlist(std::string_view text) {
     if (it == out.diode_models.end()) {
       fail(d.line, "diode model '" + d.model + "' not defined");
     }
-    c.add_diode(d.name, c.node(d.anode), c.node(d.cathode), it->second,
-                d.area);
+    try {
+      c.add_diode(d.name, c.node(d.anode), c.node(d.cathode), it->second,
+                  d.area);
+    } catch (const CircuitError& e) {
+      fail(d.line, e.what());
+    }
   }
   for (const auto& q : bjts) {
     auto it = out.bjt_models.find(q.model);
     if (it == out.bjt_models.end()) {
       fail(q.line, "BJT model '" + q.model + "' not defined");
     }
-    c.add_bjt(q.name, c.node(q.collector), c.node(q.base), c.node(q.emitter),
-              it->second, q.area, c.node(q.substrate));
+    try {
+      c.add_bjt(q.name, c.node(q.collector), c.node(q.base),
+                c.node(q.emitter), it->second, q.area, c.node(q.substrate));
+    } catch (const CircuitError& e) {
+      fail(q.line, e.what());
+    }
+  }
+
+  // Assemble the deck-described analysis: .STEP is always the outermost
+  // axis; within .DC the first spec is the innermost.
+  if (step_axis.has_value() || !dc_axes.empty()) {
+    if (dc_axes.size() + (step_axis.has_value() ? 1u : 0u) > 2u) {
+      fail(analysis_line,
+           "at most two nested sweep axes (.STEP plus .DC specs)");
+    }
+    if (out.probes.empty()) {
+      fail(analysis_line, "deck has .DC/.STEP but no .PROBE");
+    }
+    AnalysisPlan plan;
+    plan.name = "deck";
+    if (step_axis.has_value()) plan.axes.push_back(std::move(*step_axis));
+    for (auto it = dc_axes.rbegin(); it != dc_axes.rend(); ++it) {
+      plan.axes.push_back(std::move(*it));
+    }
+    plan.probes = out.probes;
+    out.plan = std::move(plan);
   }
   return out;
 }

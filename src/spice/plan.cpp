@@ -1,0 +1,957 @@
+#include "icvbe/spice/plan.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cctype>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <optional>
+#include <ostream>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "icvbe/common/constants.hpp"
+#include "icvbe/common/csv.hpp"
+#include "icvbe/spice/analysis.hpp"
+#include "icvbe/spice/netlist.hpp"
+
+namespace icvbe::spice {
+
+// --------------------------------------------------------------- Probe ---
+
+Probe Probe::constant(double value) {
+  Probe p;
+  p.kind_ = Kind::kConstant;
+  p.value_ = value;
+  return p;
+}
+
+Probe Probe::node_voltage(std::string node) {
+  Probe p;
+  p.kind_ = Kind::kNodeVoltage;
+  p.target_ = std::move(node);
+  return p;
+}
+
+Probe Probe::branch_current(std::string device) {
+  Probe p;
+  p.kind_ = Kind::kBranchCurrent;
+  p.target_ = std::move(device);
+  return p;
+}
+
+Probe Probe::bjt_current(std::string device, BjtTerminal terminal) {
+  Probe p;
+  p.kind_ = Kind::kBjtCurrent;
+  p.target_ = std::move(device);
+  p.terminal_ = terminal;
+  return p;
+}
+
+Probe Probe::expression(Op op, Probe lhs, Probe rhs) {
+  Probe p;
+  p.kind_ = Kind::kExpression;
+  p.op_ = op;
+  p.children_.reserve(2);
+  p.children_.push_back(std::move(lhs));
+  p.children_.push_back(std::move(rhs));
+  return p;
+}
+
+namespace {
+
+/// Device classification for I(dev): resolved once (by eval or at probe
+/// compile time), then dispatched without RTTI.
+enum class BranchKind { kVsource, kResistor, kDiode, kVcvs, kMosfet,
+                        kIsource };
+
+std::optional<BranchKind> classify_branch(const Device& dev) {
+  if (dynamic_cast<const VoltageSource*>(&dev)) return BranchKind::kVsource;
+  if (dynamic_cast<const Resistor*>(&dev)) return BranchKind::kResistor;
+  if (dynamic_cast<const Diode*>(&dev)) return BranchKind::kDiode;
+  if (dynamic_cast<const Vcvs*>(&dev)) return BranchKind::kVcvs;
+  if (dynamic_cast<const Mosfet*>(&dev)) return BranchKind::kMosfet;
+  if (dynamic_cast<const CurrentSource*>(&dev)) return BranchKind::kIsource;
+  return std::nullopt;
+}
+
+double branch_current_of(BranchKind kind, const Device& dev,
+                         const Unknowns& x) {
+  switch (kind) {
+    case BranchKind::kVsource:
+      return static_cast<const VoltageSource&>(dev).current(x);
+    case BranchKind::kResistor:
+      return static_cast<const Resistor&>(dev).current(x);
+    case BranchKind::kDiode:
+      return static_cast<const Diode&>(dev).current(x);
+    case BranchKind::kVcvs:
+      return static_cast<const Vcvs&>(dev).current(x);
+    case BranchKind::kMosfet:
+      return static_cast<const Mosfet&>(dev).drain_current(x);
+    case BranchKind::kIsource:
+      return static_cast<const CurrentSource&>(dev).current();
+  }
+  return 0.0;  // unreachable
+}
+
+/// Branch current of any two-terminal-ish device for I(dev).
+double device_branch_current(const Device& dev, const Unknowns& x) {
+  const std::optional<BranchKind> kind = classify_branch(dev);
+  if (!kind.has_value()) {
+    throw CircuitError("I(" + dev.name() +
+                       "): device has no branch current (use IC/IB/IE for "
+                       "BJTs)");
+  }
+  return branch_current_of(*kind, dev, x);
+}
+
+double bjt_terminal_current(const Bjt& q, Probe::BjtTerminal t,
+                            const Unknowns& x) {
+  const Bjt::TerminalCurrents i = q.currents(x);
+  switch (t) {
+    case Probe::BjtTerminal::kCollector: return i.ic;
+    case Probe::BjtTerminal::kBase: return i.ib;
+    case Probe::BjtTerminal::kEmitter: return i.ie;
+    case Probe::BjtTerminal::kSubstrate: return i.isub;
+  }
+  return 0.0;  // unreachable
+}
+
+const char* bjt_terminal_name(Probe::BjtTerminal t) {
+  switch (t) {
+    case Probe::BjtTerminal::kCollector: return "IC";
+    case Probe::BjtTerminal::kBase: return "IB";
+    case Probe::BjtTerminal::kEmitter: return "IE";
+    case Probe::BjtTerminal::kSubstrate: return "ISUB";
+  }
+  return "IC";  // unreachable
+}
+
+char op_char(Probe::Op op) {
+  switch (op) {
+    case Probe::Op::kAdd: return '+';
+    case Probe::Op::kSub: return '-';
+    case Probe::Op::kMul: return '*';
+    case Probe::Op::kDiv: return '/';
+  }
+  return '+';  // unreachable
+}
+
+/// Shortest decimal text that strtod parses back to exactly `v`.
+std::string format_double_roundtrip(double v) {
+  for (int precision = 6; precision <= 17; ++precision) {
+    std::ostringstream os;
+    os.precision(precision);
+    os << v;
+    const std::string s = os.str();
+    if (std::strtod(s.c_str(), nullptr) == v) return s;
+  }
+  return std::to_string(v);
+}
+
+}  // namespace
+
+double Probe::eval(const Circuit& circuit, const Unknowns& x) const {
+  switch (kind_) {
+    case Kind::kConstant:
+      return value_;
+    case Kind::kNodeVoltage: {
+      const NodeId n = circuit.find_node(target_);
+      if (n < 0) {
+        throw CircuitError("V(" + target_ + "): no node with that name");
+      }
+      return x.node_voltage(n);
+    }
+    case Kind::kBranchCurrent: {
+      const Device* d = circuit.find(target_);
+      if (d == nullptr) {
+        throw CircuitError("I(" + target_ + "): no device with that name");
+      }
+      return device_branch_current(*d, x);
+    }
+    case Kind::kBjtCurrent:
+      return bjt_terminal_current(circuit.get<Bjt>(target_), terminal_, x);
+    case Kind::kExpression: {
+      const double a = lhs().eval(circuit, x);
+      const double b = rhs().eval(circuit, x);
+      switch (op_) {
+        case Op::kAdd: return a + b;
+        case Op::kSub: return a - b;
+        case Op::kMul: return a * b;
+        case Op::kDiv: return a / b;
+      }
+      return 0.0;  // unreachable
+    }
+  }
+  return 0.0;  // unreachable
+}
+
+std::string Probe::to_string() const {
+  switch (kind_) {
+    case Kind::kConstant:
+      return format_double_roundtrip(value_);
+    case Kind::kNodeVoltage:
+      return "V(" + target_ + ")";
+    case Kind::kBranchCurrent:
+      return "I(" + target_ + ")";
+    case Kind::kBjtCurrent:
+      return std::string(bjt_terminal_name(terminal_)) + "(" + target_ + ")";
+    case Kind::kExpression:
+      return "(" + lhs().to_string() + op_char(op_) + rhs().to_string() + ")";
+  }
+  return "0";  // unreachable
+}
+
+// -------------------------------------------------------- probe parser ---
+
+namespace {
+
+/// Recursive-descent parser over the probe grammar.
+class ProbeParser {
+ public:
+  explicit ProbeParser(std::string_view text) : text_(text) {}
+
+  Probe parse() {
+    Probe p = expr();
+    skip_ws();
+    if (pos_ != text_.size()) {
+      fail("unexpected trailing text '" + std::string(text_.substr(pos_)) +
+           "'");
+    }
+    return p;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw PlanError("parse_probe: " + msg + " in '" + std::string(text_) +
+                    "'");
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] char peek() {
+    skip_ws();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  bool consume(char c) {
+    if (peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Probe expr() {
+    Probe p = term();
+    for (;;) {
+      if (consume('+')) {
+        p = Probe::expression(Probe::Op::kAdd, std::move(p), term());
+      } else if (consume('-')) {
+        p = Probe::expression(Probe::Op::kSub, std::move(p), term());
+      } else {
+        return p;
+      }
+    }
+  }
+
+  Probe term() {
+    Probe p = factor();
+    for (;;) {
+      if (consume('*')) {
+        p = Probe::expression(Probe::Op::kMul, std::move(p), factor());
+      } else if (consume('/')) {
+        p = Probe::expression(Probe::Op::kDiv, std::move(p), factor());
+      } else {
+        return p;
+      }
+    }
+  }
+
+  Probe factor() {
+    const char c = peek();
+    if (c == '-') {
+      ++pos_;
+      Probe f = factor();
+      if (f.kind() == Probe::Kind::kConstant) {
+        return Probe::constant(-f.value());
+      }
+      return Probe::expression(Probe::Op::kSub, Probe::constant(0.0),
+                               std::move(f));
+    }
+    if (c == '(') {
+      ++pos_;
+      Probe p = expr();
+      if (!consume(')')) fail("expected ')'");
+      return p;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '.') {
+      return number();
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      return probe_atom();
+    }
+    fail("unexpected character");
+  }
+
+  Probe number() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      const bool exp_sign =
+          (c == '+' || c == '-') && pos_ > start &&
+          (text_[pos_ - 1] == 'e' || text_[pos_ - 1] == 'E');
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '.' ||
+          exp_sign) {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    try {
+      return Probe::constant(
+          parse_spice_number(text_.substr(start, pos_ - start)));
+    } catch (const NetlistError& e) {
+      fail(e.what());
+    }
+  }
+
+  Probe probe_atom() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_')) {
+      ++pos_;
+    }
+    std::string ident(text_.substr(start, pos_ - start));
+    for (char& ch : ident) {
+      ch = static_cast<char>(std::toupper(static_cast<unsigned char>(ch)));
+    }
+    if (!consume('(')) fail("expected '(' after '" + ident + "'");
+    std::string name = atom_name();
+    if (ident == "V") {
+      if (consume(',')) {
+        // V(a,b): differential voltage.
+        std::string second = atom_name();
+        if (!consume(')')) fail("expected ')'");
+        return Probe::expression(Probe::Op::kSub,
+                                 Probe::node_voltage(std::move(name)),
+                                 Probe::node_voltage(std::move(second)));
+      }
+      if (!consume(')')) fail("expected ')'");
+      return Probe::node_voltage(std::move(name));
+    }
+    if (!consume(')')) fail("expected ')'");
+    if (ident == "I") return Probe::branch_current(std::move(name));
+    if (ident == "IC") {
+      return Probe::bjt_current(std::move(name),
+                                Probe::BjtTerminal::kCollector);
+    }
+    if (ident == "IB") {
+      return Probe::bjt_current(std::move(name), Probe::BjtTerminal::kBase);
+    }
+    if (ident == "IE") {
+      return Probe::bjt_current(std::move(name),
+                                Probe::BjtTerminal::kEmitter);
+    }
+    if (ident == "ISUB") {
+      return Probe::bjt_current(std::move(name),
+                                Probe::BjtTerminal::kSubstrate);
+    }
+    fail("unknown probe function '" + ident + "'");
+  }
+
+  std::string atom_name() {
+    skip_ws();
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() && text_[pos_] != ')' && text_[pos_] != ',' &&
+           !std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a node or device name");
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Probe parse_probe(std::string_view text) { return ProbeParser(text).parse(); }
+
+// ----------------------------------------------------------- SweepGrid ---
+
+SweepGrid SweepGrid::linear(double first, double last, int n) {
+  if (n < 2) throw PlanError("SweepGrid::linear: need at least two points");
+  SweepGrid g;
+  g.spacing_ = Spacing::kLinear;
+  g.first_ = first;
+  g.last_ = last;
+  g.n_ = n;
+  return g;
+}
+
+SweepGrid SweepGrid::log_decades(double first, double last, int per_decade) {
+  if (!(first > 0.0 && last > first)) {
+    throw PlanError("SweepGrid::log_decades: need 0 < first < last");
+  }
+  if (per_decade < 1) {
+    throw PlanError("SweepGrid::log_decades: need >= 1 point per decade");
+  }
+  SweepGrid g;
+  g.spacing_ = Spacing::kLogDecades;
+  g.first_ = first;
+  g.last_ = last;
+  g.n_ = per_decade;
+  return g;
+}
+
+SweepGrid SweepGrid::list(std::vector<double> values) {
+  if (values.empty()) throw PlanError("SweepGrid::list: need >= 1 point");
+  SweepGrid g;
+  g.spacing_ = Spacing::kList;
+  g.values_ = std::move(values);
+  return g;
+}
+
+std::size_t SweepGrid::size() const {
+  switch (spacing_) {
+    case Spacing::kLinear:
+      return static_cast<std::size_t>(n_);
+    case Spacing::kLogDecades:
+      return points().size();
+    case Spacing::kList:
+      return values_.size();
+  }
+  return 0;  // unreachable
+}
+
+std::vector<double> SweepGrid::points() const {
+  switch (spacing_) {
+    case Spacing::kLinear:
+      return linspace(first_, last_, n_);
+    case Spacing::kLogDecades:
+      return logspace_decades(first_, last_, n_);
+    case Spacing::kList:
+      return values_;
+  }
+  return {};  // unreachable
+}
+
+// ----------------------------------------------------------- SweepAxis ---
+
+SweepAxis SweepAxis::vsource(std::string device, SweepGrid grid) {
+  return SweepAxis(Kind::kVsource, std::move(device), std::move(grid), false);
+}
+
+SweepAxis SweepAxis::isource(std::string device, SweepGrid grid) {
+  return SweepAxis(Kind::kIsource, std::move(device), std::move(grid), false);
+}
+
+SweepAxis SweepAxis::temperature_kelvin(SweepGrid grid) {
+  return SweepAxis(Kind::kTemperature, {}, std::move(grid), false);
+}
+
+SweepAxis SweepAxis::temperature_celsius(SweepGrid grid) {
+  return SweepAxis(Kind::kTemperature, {}, std::move(grid), true);
+}
+
+SweepAxis SweepAxis::resistor(std::string device, SweepGrid grid) {
+  return SweepAxis(Kind::kResistor, std::move(device), std::move(grid),
+                   false);
+}
+
+std::string SweepAxis::label() const {
+  if (kind_ == Kind::kTemperature) return celsius_ ? "TEMP" : "TEMP_K";
+  return device_;
+}
+
+// --------------------------------------------------------- SweepResult ---
+
+double SweepResult::axis_value(std::size_t axis, std::size_t row) const {
+  ICVBE_REQUIRE(row < rows_, "SweepResult::axis_value: row out of range");
+  if (outer_.empty()) {
+    ICVBE_REQUIRE(axis == 0, "SweepResult::axis_value: 1-axis result");
+    return inner_[row];
+  }
+  ICVBE_REQUIRE(axis < 2, "SweepResult::axis_value: axis out of range");
+  const std::size_t inner_n = inner_.size();
+  return axis == 0 ? outer_[row / inner_n] : inner_[row % inner_n];
+}
+
+Series SweepResult::series(std::size_t probe) const {
+  ICVBE_REQUIRE(outer_.empty(),
+                "SweepResult::series: 2-axis result, use series_family()");
+  Series s(probe_labels_.at(probe));
+  s.reserve(rows_);
+  const std::vector<double>& col = columns_.at(probe);
+  for (std::size_t i = 0; i < rows_; ++i) s.push_back(inner_[i], col[i]);
+  return s;
+}
+
+std::vector<Series> SweepResult::series_family(std::size_t probe) const {
+  ICVBE_REQUIRE(!outer_.empty(),
+                "SweepResult::series_family: 1-axis result, use series()");
+  const std::vector<double>& col = columns_.at(probe);
+  std::vector<Series> out;
+  out.reserve(outer_.size());
+  const std::size_t inner_n = inner_.size();
+  for (std::size_t o = 0; o < outer_.size(); ++o) {
+    Series s(probe_labels_.at(probe) + " @ " + axis_labels_.at(0) + "=" +
+             format_sig(outer_[o], 6));
+    s.reserve(inner_n);
+    for (std::size_t i = 0; i < inner_n; ++i) {
+      s.push_back(inner_[i], col[o * inner_n + i]);
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+Table SweepResult::table() const {
+  std::vector<std::string> header = axis_labels_;
+  header.insert(header.end(), probe_labels_.begin(), probe_labels_.end());
+  Table t(header);
+  const std::size_t n_axes = axis_count();
+  for (std::size_t r = 0; r < rows_; ++r) {
+    std::vector<std::string> row;
+    row.reserve(header.size());
+    for (std::size_t a = 0; a < n_axes; ++a) {
+      row.push_back(format_sig(axis_value(a, r), 6));
+    }
+    for (std::size_t p = 0; p < columns_.size(); ++p) {
+      row.push_back(format_sig(columns_[p][r], 6));
+    }
+    t.add_row(std::move(row));
+  }
+  return t;
+}
+
+void SweepResult::write_csv(std::ostream& os) const {
+  std::vector<std::string> header = axis_labels_;
+  header.insert(header.end(), probe_labels_.begin(), probe_labels_.end());
+  // Expand the axis grids into per-row columns, then defer to the shared
+  // writer.
+  std::vector<std::vector<double>> axis_cols(axis_count());
+  for (std::size_t a = 0; a < axis_cols.size(); ++a) {
+    axis_cols[a].resize(rows_);
+    for (std::size_t r = 0; r < rows_; ++r) {
+      axis_cols[a][r] = axis_value(a, r);
+    }
+  }
+  std::vector<const std::vector<double>*> cols;
+  cols.reserve(axis_cols.size() + columns_.size());
+  for (const auto& c : axis_cols) cols.push_back(&c);
+  for (const auto& c : columns_) cols.push_back(&c);
+  csv::write_columns(os, header, cols);
+}
+
+// ----------------------------------------------------- plan execution ---
+
+namespace {
+
+/// A sweep axis resolved against one concrete circuit: applying a value is
+/// a pointer call, no lookups.
+struct BoundAxis {
+  SweepAxis::Kind kind = SweepAxis::Kind::kTemperature;
+  bool celsius = false;
+  Circuit* circuit = nullptr;
+  VoltageSource* vsource = nullptr;
+  CurrentSource* isource = nullptr;
+  Resistor* resistor = nullptr;
+
+  void apply(double value) const {
+    switch (kind) {
+      case SweepAxis::Kind::kVsource:
+        vsource->set_voltage(value);
+        break;
+      case SweepAxis::Kind::kIsource:
+        isource->set_current(value);
+        break;
+      case SweepAxis::Kind::kTemperature:
+        circuit->set_temperature(celsius ? to_kelvin(value) : value);
+        break;
+      case SweepAxis::Kind::kResistor:
+        resistor->set_nominal_resistance(value);
+        // set_nominal_resistance resets R to the raw nominal; re-apply the
+        // circuit temperature so the tempco scaling survives the sweep.
+        if (circuit->has_temperature()) {
+          resistor->set_temperature(circuit->temperature());
+        }
+        break;
+    }
+  }
+};
+
+BoundAxis bind_axis(const SweepAxis& axis, Circuit& circuit) {
+  BoundAxis b;
+  b.kind = axis.kind();
+  b.celsius = axis.celsius();
+  b.circuit = &circuit;
+  switch (axis.kind()) {
+    case SweepAxis::Kind::kVsource:
+      b.vsource = &circuit.get<VoltageSource>(axis.device());
+      break;
+    case SweepAxis::Kind::kIsource:
+      b.isource = &circuit.get<CurrentSource>(axis.device());
+      break;
+    case SweepAxis::Kind::kTemperature:
+      break;
+    case SweepAxis::Kind::kResistor:
+      b.resistor = &circuit.get<Resistor>(axis.device());
+      break;
+  }
+  return b;
+}
+
+/// One postfix instruction of a compiled probe.
+struct ProbeInstr {
+  enum class Code {
+    kConst,
+    kNode,
+    kBranch,  ///< dispatch resolved at compile time via `sub`
+    kBjt,
+    kAdd,
+    kSub,
+    kMul,
+    kDiv,
+  };
+
+  Code code = Code::kConst;
+  double value = 0.0;
+  NodeId node = kGround;
+  const Device* dev = nullptr;
+  BranchKind sub = BranchKind::kVsource;
+  Probe::BjtTerminal terminal = Probe::BjtTerminal::kCollector;
+};
+
+/// A probe compiled against one circuit: a postfix program plus the stack
+/// depth it needs. Evaluation is allocation- and lookup-free.
+struct CompiledProbe {
+  std::vector<ProbeInstr> program;
+  std::size_t max_depth = 0;
+};
+
+void compile_into(const Probe& p, const Circuit& circuit,
+                  std::vector<ProbeInstr>& out, std::size_t& depth,
+                  std::size_t& max_depth) {
+  switch (p.kind()) {
+    case Probe::Kind::kConstant: {
+      ProbeInstr i;
+      i.code = ProbeInstr::Code::kConst;
+      i.value = p.value();
+      out.push_back(i);
+      max_depth = std::max(max_depth, ++depth);
+      return;
+    }
+    case Probe::Kind::kNodeVoltage: {
+      const NodeId n = circuit.find_node(p.target());
+      if (n < 0) {
+        throw CircuitError("V(" + p.target() + "): no node with that name");
+      }
+      ProbeInstr i;
+      i.code = ProbeInstr::Code::kNode;
+      i.node = n;
+      out.push_back(i);
+      max_depth = std::max(max_depth, ++depth);
+      return;
+    }
+    case Probe::Kind::kBranchCurrent: {
+      const Device* d = circuit.find(p.target());
+      if (d == nullptr) {
+        throw CircuitError("I(" + p.target() + "): no device with that name");
+      }
+      const std::optional<BranchKind> kind = classify_branch(*d);
+      if (!kind.has_value()) {
+        throw CircuitError("I(" + p.target() +
+                           "): device has no branch current (use IC/IB/IE "
+                           "for BJTs)");
+      }
+      ProbeInstr i;
+      i.code = ProbeInstr::Code::kBranch;
+      i.dev = d;
+      i.sub = *kind;
+      out.push_back(i);
+      max_depth = std::max(max_depth, ++depth);
+      return;
+    }
+    case Probe::Kind::kBjtCurrent: {
+      ProbeInstr i;
+      i.code = ProbeInstr::Code::kBjt;
+      i.dev = &circuit.get<Bjt>(p.target());
+      i.terminal = p.terminal();
+      out.push_back(i);
+      max_depth = std::max(max_depth, ++depth);
+      return;
+    }
+    case Probe::Kind::kExpression: {
+      compile_into(p.lhs(), circuit, out, depth, max_depth);
+      compile_into(p.rhs(), circuit, out, depth, max_depth);
+      ProbeInstr i;
+      switch (p.op()) {
+        case Probe::Op::kAdd: i.code = ProbeInstr::Code::kAdd; break;
+        case Probe::Op::kSub: i.code = ProbeInstr::Code::kSub; break;
+        case Probe::Op::kMul: i.code = ProbeInstr::Code::kMul; break;
+        case Probe::Op::kDiv: i.code = ProbeInstr::Code::kDiv; break;
+      }
+      out.push_back(i);
+      --depth;
+      return;
+    }
+  }
+}
+
+CompiledProbe compile_probe(const Probe& p, const Circuit& circuit) {
+  CompiledProbe c;
+  std::size_t depth = 0;
+  compile_into(p, circuit, c.program, depth, c.max_depth);
+  return c;
+}
+
+double eval_compiled(const CompiledProbe& probe, const Unknowns& x,
+                     std::vector<double>& stack) {
+  std::size_t sp = 0;
+  for (const ProbeInstr& i : probe.program) {
+    switch (i.code) {
+      case ProbeInstr::Code::kConst:
+        stack[sp++] = i.value;
+        break;
+      case ProbeInstr::Code::kNode:
+        stack[sp++] = x.node_voltage(i.node);
+        break;
+      case ProbeInstr::Code::kBranch:
+        stack[sp++] = branch_current_of(i.sub, *i.dev, x);
+        break;
+      case ProbeInstr::Code::kBjt:
+        stack[sp++] = bjt_terminal_current(*static_cast<const Bjt*>(i.dev),
+                                           i.terminal, x);
+        break;
+      case ProbeInstr::Code::kAdd:
+        --sp;
+        stack[sp - 1] += stack[sp];
+        break;
+      case ProbeInstr::Code::kSub:
+        --sp;
+        stack[sp - 1] -= stack[sp];
+        break;
+      case ProbeInstr::Code::kMul:
+        --sp;
+        stack[sp - 1] *= stack[sp];
+        break;
+      case ProbeInstr::Code::kDiv:
+        --sp;
+        stack[sp - 1] /= stack[sp];
+        break;
+    }
+  }
+  return stack[0];
+}
+
+/// Everything one executor (the session itself or a per-thread clone)
+/// needs to run rows of a plan.
+struct BoundPlan {
+  BoundAxis outer;  ///< unused for 1-axis plans
+  BoundAxis inner;
+  std::vector<CompiledProbe> probes;
+  std::vector<double> stack;
+
+  BoundPlan(const AnalysisPlan& plan, Circuit& circuit) {
+    if (plan.axes.size() == 2) outer = bind_axis(plan.axes.front(), circuit);
+    inner = bind_axis(plan.axes.back(), circuit);
+    probes.reserve(plan.probes.size());
+    std::size_t max_depth = 1;
+    for (const Probe& p : plan.probes) {
+      probes.push_back(compile_probe(p, circuit));
+      max_depth = std::max(max_depth, probes.back().max_depth);
+    }
+    stack.assign(max_depth, 0.0);
+  }
+};
+
+/// Sweep the inner axis once, filling rows [row_base, row_base + n) of the
+/// result columns. Allocation-free per point on the happy path.
+///
+/// If a point fails to converge and the run carries a seed (the warm
+/// start live when run() was called, e.g. .NODESET hints or an analytic
+/// startup guess), the point is retried once from that seed with device
+/// state reset -- the plan-level equivalent of solve_warm_or's fallback.
+/// Sparse grids can put adjacent points hundreds of kelvin apart, where
+/// pure continuation slides into the wrong basin; the retry is
+/// deterministic, so thread-count invariance is preserved.
+void run_inner_sweep(SimSession& session, BoundPlan& bound,
+                     const AnalysisPlan& plan,
+                     const std::vector<double>& inner_values,
+                     std::size_t row_base, const Unknowns* seed,
+                     std::vector<std::vector<double>>& columns) {
+  for (std::size_t j = 0; j < inner_values.size(); ++j) {
+    bound.inner.apply(inner_values[j]);
+    const DcResult* r = &session.solve();
+    if (!r->converged && seed != nullptr) {
+      for (const auto& dev : session.circuit().devices()) dev->reset_state();
+      session.invalidate_warm_start();
+      session.seed_warm_start(*seed);
+      bound.inner.apply(inner_values[j]);
+      r = &session.solve();
+    }
+    if (!r->converged) {
+      throw NumericalError(plan.name + ": DC solve failed at " +
+                           plan.axes.back().label() + "=" +
+                           format_sig(inner_values[j], 6));
+    }
+    for (std::size_t p = 0; p < bound.probes.size(); ++p) {
+      columns[p][row_base + j] =
+          eval_compiled(bound.probes[p], r->solution, bound.stack);
+    }
+  }
+}
+
+/// One outer row from its deterministic start state: devices reset, warm
+/// start re-seeded from `seed` (or cold). Row results therefore depend
+/// only on (circuit, plan, outer index), never on which executor computed
+/// the previous row -- the property that makes any thread count
+/// bit-identical.
+void run_outer_row(SimSession& session, BoundPlan& bound,
+                   const AnalysisPlan& plan,
+                   const std::vector<double>& inner_values,
+                   std::size_t outer_idx, double outer_value,
+                   const Unknowns* seed,
+                   std::vector<std::vector<double>>& columns) {
+  for (const auto& dev : session.circuit().devices()) dev->reset_state();
+  session.invalidate_warm_start();
+  if (seed != nullptr) session.seed_warm_start(*seed);
+  bound.outer.apply(outer_value);
+  run_inner_sweep(session, bound, plan, inner_values,
+                  outer_idx * inner_values.size(), seed, columns);
+}
+
+}  // namespace
+
+Series SimSession::sweep(const SweepAxis& axis, const SweepProbe& probe,
+                         const std::string& name) {
+  const BoundAxis bound = bind_axis(axis, *circuit_);
+  return sweep(axis.grid().points(),
+               [&bound](double v) { bound.apply(v); }, probe, name);
+}
+
+SweepResult SimSession::run(const AnalysisPlan& plan) {
+  if (plan.axes.empty()) {
+    throw PlanError(plan.name + ": plan needs at least one sweep axis");
+  }
+  if (plan.axes.size() > 2) {
+    throw PlanError(plan.name + ": at most two nested sweep axes");
+  }
+  if (plan.probes.empty()) {
+    throw PlanError(plan.name + ": plan needs at least one probe");
+  }
+  if (plan.axes.size() == 2) {
+    const SweepAxis& outer = plan.axes.front();
+    const SweepAxis& inner = plan.axes.back();
+    const bool both_temperature =
+        outer.kind() == SweepAxis::Kind::kTemperature &&
+        inner.kind() == SweepAxis::Kind::kTemperature;
+    if (both_temperature ||
+        (!outer.device().empty() && outer.device() == inner.device())) {
+      throw PlanError(plan.name + ": both axes sweep '" + outer.label() +
+                      "' -- the inner axis would silently override the "
+                      "outer one");
+    }
+  }
+
+  SweepResult out;
+  const bool two_axis = plan.axes.size() == 2;
+  out.inner_ = plan.axes.back().grid().points();
+  if (two_axis) out.outer_ = plan.axes.front().grid().points();
+  for (const SweepAxis& axis : plan.axes) {
+    out.axis_labels_.push_back(axis.label());
+  }
+  for (const Probe& p : plan.probes) {
+    out.probe_labels_.push_back(p.to_string());
+  }
+  const std::size_t inner_n = out.inner_.size();
+  const std::size_t outer_n = two_axis ? out.outer_.size() : 1;
+  out.rows_ = inner_n * outer_n;
+  out.columns_.resize(plan.probes.size());
+  for (auto& col : out.columns_) col.resize(out.rows_);
+
+  // Run under the plan's solver options; restore the session's own on all
+  // exit paths.
+  struct OptionsGuard {
+    SimSession* session;
+    NewtonOptions saved;
+    ~OptionsGuard() { session->options() = saved; }
+  } guard{this, options_};
+  options_ = plan.options;
+
+  std::vector<std::vector<double>>& columns = out.columns_;
+
+  // The warm start live at run() entry (e.g. .NODESET hints or an
+  // analytic startup guess) doubles as the deterministic seed: 2-axis
+  // rows start from it, and failed points retry from it.
+  const bool seeded = have_last_;
+  const Unknowns row_seed = seeded ? result_.solution : Unknowns{};
+  const Unknowns* seed = seeded ? &row_seed : nullptr;
+
+  if (!two_axis) {
+    // Single axis: run in place, inheriting the session's continuation
+    // state -- identical semantics to sweep().
+    BoundPlan bound(plan, *circuit_);
+    run_inner_sweep(*this, bound, plan, out.inner_, 0, seed, columns);
+    return out;
+  }
+
+  unsigned threads = plan.threads;
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  threads = std::min<unsigned>(threads, static_cast<unsigned>(outer_n));
+
+  if (threads <= 1) {
+    BoundPlan bound(plan, *circuit_);
+    for (std::size_t o = 0; o < outer_n; ++o) {
+      run_outer_row(*this, bound, plan, out.inner_, o, out.outer_[o], seed,
+                    columns);
+    }
+    return out;
+  }
+
+  // Parallel outer fanout over per-thread circuit clones: workers pull row
+  // indices from a shared counter and write only their own preallocated
+  // slots (the LotCampaign discipline) -- scheduling decides who computes
+  // a row, never what it yields.
+  std::atomic<std::size_t> next{0};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  auto worker = [&]() {
+    try {
+      Circuit clone = circuit_->clone();
+      SimSession session(clone, plan.options);
+      BoundPlan bound(plan, clone);
+      for (;;) {
+        const std::size_t o = next.fetch_add(1, std::memory_order_relaxed);
+        if (o >= outer_n) break;
+        run_outer_row(session, bound, plan, out.inner_, o, out.outer_[o],
+                      seed, columns);
+      }
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(error_mutex);
+      if (!first_error) first_error = std::current_exception();
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+  return out;
+}
+
+}  // namespace icvbe::spice

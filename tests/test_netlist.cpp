@@ -184,6 +184,125 @@ R2 b 0 1k
   EXPECT_THROW((void)parse_netlist(".NODESET V(b)\n"), NetlistError);
 }
 
+TEST(NetlistParser, DuplicateDeviceNameRejectedWithLine) {
+  try {
+    (void)parse_netlist("V1 a 0 1\nR1 a 0 1k\nR1 a 0 2k\n");
+    FAIL() << "should have thrown";
+  } catch (const NetlistError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("duplicate"), std::string::npos) << what;
+  }
+  // Semiconductor devices are instantiated after the .MODEL pass but must
+  // still carry their own line in the error.
+  try {
+    (void)parse_netlist(
+        ".MODEL DX D (IS=1e-14)\nD1 a 0 DX\nD1 a 0 DX\nI1 0 a 1m\n");
+    FAIL() << "should have thrown";
+  } catch (const NetlistError& e) {
+    EXPECT_NE(std::string(e.what()).find("duplicate"), std::string::npos);
+  }
+}
+
+TEST(NetlistParser, MalformedNodesetVariantsRejected) {
+  EXPECT_THROW((void)parse_netlist(".NODESET V(b)\n"), NetlistError);
+  EXPECT_THROW((void)parse_netlist(".NODESET V(b)=\n"), NetlistError);
+  EXPECT_THROW((void)parse_netlist(".NODESET V(b)=abc\n"), NetlistError);
+}
+
+TEST(NetlistParser, DcDirectiveBuildsPlan) {
+  const char* deck = R"(
+V1 in 0 5
+R1 in out 1k
+R2 out 0 3k
+.DC V1 0 2 0.5
+.PROBE V(out) I(V1)
+)";
+  auto parsed = parse_netlist(deck);
+  ASSERT_TRUE(parsed.plan.has_value());
+  const AnalysisPlan& plan = *parsed.plan;
+  ASSERT_EQ(plan.axes.size(), 1u);
+  EXPECT_EQ(plan.axes[0].kind(), SweepAxis::Kind::kVsource);
+  EXPECT_EQ(plan.axes[0].device(), "V1");
+  const auto pts = plan.axes[0].grid().points();
+  ASSERT_EQ(pts.size(), 5u);
+  EXPECT_DOUBLE_EQ(pts[1], 0.5);
+  ASSERT_EQ(plan.probes.size(), 2u);
+  EXPECT_EQ(plan.probes[0].to_string(), "V(out)");
+  EXPECT_EQ(plan.probes[1].to_string(), "I(V1)");
+}
+
+TEST(NetlistParser, DcTempAndTwoSpecNesting) {
+  const char* deck = R"(
+I1 0 n 1m
+R1 n 0 1k TC1=2m
+.DC TEMP 27 127 50 I1 1m 2m 1m
+.PROBE V(n)
+)";
+  auto parsed = parse_netlist(deck);
+  ASSERT_TRUE(parsed.plan.has_value());
+  const AnalysisPlan& plan = *parsed.plan;
+  // Second .DC spec is the outer axis; TEMP (first spec) is innermost.
+  ASSERT_EQ(plan.axes.size(), 2u);
+  EXPECT_EQ(plan.axes[0].kind(), SweepAxis::Kind::kIsource);
+  EXPECT_EQ(plan.axes[1].kind(), SweepAxis::Kind::kTemperature);
+  EXPECT_TRUE(plan.axes[1].celsius());
+  EXPECT_EQ(plan.axes[1].label(), "TEMP");
+  EXPECT_EQ(plan.axes[1].grid().points().size(), 3u);
+}
+
+TEST(NetlistParser, StepDirectiveForms) {
+  auto lst = parse_netlist(
+      "V1 a 0 1\nR1 a 0 1k\n.STEP R1 LIST 1k 2k 4k\n.DC V1 0 1 1\n"
+      ".PROBE V(a)\n");
+  ASSERT_TRUE(lst.plan.has_value());
+  ASSERT_EQ(lst.plan->axes.size(), 2u);
+  EXPECT_EQ(lst.plan->axes[0].kind(), SweepAxis::Kind::kResistor);
+  EXPECT_EQ(lst.plan->axes[0].grid().points().size(), 3u);
+  EXPECT_DOUBLE_EQ(lst.plan->axes[0].grid().points()[2], 4000.0);
+
+  auto dec = parse_netlist(
+      "I1 0 a 1m\nR1 a 0 1k\n.STEP I1 DEC 1u 1m 3\n.PROBE V(a)\n");
+  ASSERT_TRUE(dec.plan.has_value());
+  EXPECT_EQ(dec.plan->axes[0].grid().spacing(),
+            SweepGrid::Spacing::kLogDecades);
+
+  auto lin = parse_netlist(
+      "V1 a 0 1\nR1 a 0 1k\n.STEP TEMP -50 125 25\n.PROBE V(a)\n");
+  ASSERT_TRUE(lin.plan.has_value());
+  EXPECT_EQ(lin.plan->axes[0].grid().points().size(), 8u);
+}
+
+TEST(NetlistParser, AnalysisDirectiveErrors) {
+  // .DC/.STEP without .PROBE.
+  EXPECT_THROW((void)parse_netlist("V1 a 0 1\nR1 a 0 1k\n.DC V1 0 1 1\n"),
+               NetlistError);
+  // Too many axes: .STEP + two .DC specs.
+  EXPECT_THROW(
+      (void)parse_netlist("V1 a 0 1\nV2 b 0 1\nR1 a b 1k\nR2 b 0 1k\n"
+                          ".STEP TEMP 0 100 50\n.DC V1 0 1 1 V2 0 1 1\n"
+                          ".PROBE V(b)\n"),
+      NetlistError);
+  // Unsweepable target.
+  EXPECT_THROW((void)parse_netlist("V1 a 0 1\nR1 a 0 1k\n.DC Q1 0 1 1\n"
+                                   ".PROBE V(a)\n"),
+               NetlistError);
+  // Increment pointing away from stop.
+  EXPECT_THROW((void)parse_netlist("V1 a 0 1\nR1 a 0 1k\n.DC V1 0 1 -1\n"
+                                   ".PROBE V(a)\n"),
+               NetlistError);
+  // Malformed probe expression carries the line.
+  try {
+    (void)parse_netlist("V1 a 0 1\nR1 a 0 1k\n.DC V1 0 1 1\n.PROBE V(a\n");
+    FAIL() << "should have thrown";
+  } catch (const NetlistError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 4"), std::string::npos)
+        << e.what();
+  }
+  // .PROBE with nothing to probe.
+  EXPECT_THROW((void)parse_netlist(".PROBE\n"), NetlistError);
+}
+
 TEST(ModelWriter, RoundTripsBjtCard) {
   BjtModel m;
   m.type = BjtModel::Type::kPnp;

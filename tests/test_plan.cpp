@@ -1,0 +1,474 @@
+// Tests for the declarative analysis-plan API (spice/plan.hpp): probe
+// parse/print round-trips, grids, SimSession::run golden equivalence
+// against the legacy sweep paths, deterministic parallel 2-axis execution,
+// and the zero-allocation-per-point guarantee (this binary links the
+// icvbe_alloc_hook counting operator new/delete).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "icvbe/bandgap/test_cell.hpp"
+#include "icvbe/common/constants.hpp"
+#include "icvbe/common/error.hpp"
+#include "icvbe/lab/campaign.hpp"
+#include "icvbe/lab/silicon.hpp"
+#include "icvbe/spice/analysis.hpp"
+#include "icvbe/spice/netlist.hpp"
+#include "icvbe/spice/plan.hpp"
+#include "icvbe/testing/alloc_hook.hpp"
+
+namespace icvbe::spice {
+namespace {
+
+void build_diode_rig(Circuit& c) {
+  DiodeModel dm;
+  dm.is = 1e-14;
+  const NodeId in = c.node("in");
+  const NodeId a = c.node("a");
+  c.add_vsource("V1", in, kGround, 0.0);
+  c.add_resistor("R1", in, a, 1e3);
+  c.add_diode("D1", a, kGround, dm);
+}
+
+bandgap::TestCellParams nominal_cell_params() {
+  const lab::SiliconLot lot;
+  bandgap::TestCellParams p;
+  p.qa_model = lot.truth().pnp;
+  p.qb_model = lot.truth().pnp;
+  return p;
+}
+
+// ------------------------------------------------------------- probes ---
+
+TEST(ProbeTest, ParseToStringRoundTrip) {
+  const char* exprs[] = {
+      "V(out)",
+      "I(V1)",
+      "IC(Q1)",
+      "IB(Q1)",
+      "IE(Q1)",
+      "ISUB(Q1)",
+      "(V(a)-V(b))",
+      "((V(a)-V(b))*1000)",
+      "(IC(QA)/IC(QB))",
+      "0.00125",
+  };
+  for (const char* text : exprs) {
+    const Probe p = parse_probe(text);
+    EXPECT_EQ(p.to_string(), text) << "first print of " << text;
+    EXPECT_EQ(parse_probe(p.to_string()).to_string(), p.to_string())
+        << "round trip of " << text;
+  }
+}
+
+TEST(ProbeTest, ParsePrecedenceAndSugar) {
+  // * binds tighter than +.
+  EXPECT_EQ(parse_probe("V(a)+V(b)*2").to_string(), "(V(a)+(V(b)*2))");
+  // V(a,b) is differential-voltage sugar.
+  EXPECT_EQ(parse_probe("V(a,b)").to_string(), "(V(a)-V(b))");
+  // SPICE number suffixes work inside expressions.
+  EXPECT_EQ(parse_probe("2.5k").value(), 2500.0);
+  // Unary minus folds into constants.
+  EXPECT_EQ(parse_probe("-3").value(), -3.0);
+}
+
+TEST(ProbeTest, ParseRejectsGarbage) {
+  EXPECT_THROW((void)parse_probe(""), PlanError);
+  EXPECT_THROW((void)parse_probe("V(out"), PlanError);
+  EXPECT_THROW((void)parse_probe("W(out)"), PlanError);
+  EXPECT_THROW((void)parse_probe("V(a))"), PlanError);
+  EXPECT_THROW((void)parse_probe("V()"), PlanError);
+  EXPECT_THROW((void)parse_probe("1 + "), PlanError);
+}
+
+TEST(ProbeTest, EvalAgainstSolvedCircuit) {
+  Circuit c;
+  build_diode_rig(c);
+  c.get<VoltageSource>("V1").set_voltage(1.0);
+  SimSession session(c);
+  const Unknowns& x = session.solve_or_throw();
+
+  const double v_a = x.node_voltage(c.find_node("a"));
+  const double v_in = x.node_voltage(c.find_node("in"));
+  EXPECT_DOUBLE_EQ(parse_probe("V(a)").eval(c, x), v_a);
+  EXPECT_DOUBLE_EQ(parse_probe("V(in,a)").eval(c, x), v_in - v_a);
+  EXPECT_DOUBLE_EQ(parse_probe("I(R1)").eval(c, x),
+                   c.get<Resistor>("R1").current(x));
+  EXPECT_DOUBLE_EQ(parse_probe("I(V1)").eval(c, x),
+                   c.get<VoltageSource>("V1").current(x));
+  EXPECT_DOUBLE_EQ(parse_probe("V(a)*2+1").eval(c, x), v_a * 2.0 + 1.0);
+  EXPECT_THROW((void)parse_probe("V(nope)").eval(c, x), CircuitError);
+  EXPECT_THROW((void)parse_probe("I(nope)").eval(c, x), CircuitError);
+  EXPECT_THROW((void)parse_probe("IC(R1)").eval(c, x), CircuitError);
+}
+
+// -------------------------------------------------------------- grids ---
+
+TEST(SweepGridTest, MaterialiseAndValidate) {
+  const auto lin = SweepGrid::linear(0.0, 1.0, 5).points();
+  ASSERT_EQ(lin.size(), 5u);
+  EXPECT_DOUBLE_EQ(lin[0], 0.0);
+  EXPECT_DOUBLE_EQ(lin[2], 0.5);
+  EXPECT_DOUBLE_EQ(lin[4], 1.0);
+
+  const auto lst = SweepGrid::list({3.0, 1.0, 2.0}).points();
+  ASSERT_EQ(lst.size(), 3u);
+  EXPECT_DOUBLE_EQ(lst[0], 3.0);
+
+  const auto log = SweepGrid::log_decades(1.0, 100.0, 2).points();
+  EXPECT_DOUBLE_EQ(log.front(), 1.0);
+  EXPECT_NEAR(log.back(), 100.0, 1e-9);
+
+  EXPECT_THROW((void)SweepGrid::linear(0.0, 1.0, 1), PlanError);
+  EXPECT_THROW((void)SweepGrid::list({}), PlanError);
+  EXPECT_THROW((void)SweepGrid::log_decades(-1.0, 1.0, 3), PlanError);
+}
+
+// ----------------------------------------------------- run(): golden ---
+
+TEST(AnalysisPlanTest, RunMatchesLegacyVsourceSweep) {
+  const auto values = linspace(0.0, 2.0, 41);
+
+  Circuit legacy;
+  build_diode_rig(legacy);
+  const Series golden = dc_sweep_vsource(legacy, "V1", values,
+                                         probe_node_voltage(legacy, "a"));
+
+  Circuit c;
+  build_diode_rig(c);
+  SimSession session(c);
+  AnalysisPlan plan;
+  plan.name = "diode_sweep";
+  plan.axes = {SweepAxis::vsource("V1", SweepGrid::list(values))};
+  plan.probes = {Probe::node_voltage("a")};
+  const SweepResult got = session.run(plan);
+
+  ASSERT_EQ(got.rows(), golden.size());
+  for (std::size_t i = 0; i < golden.size(); ++i) {
+    EXPECT_NEAR(got.value(0, i), golden.y(i), 1e-12) << "point " << i;
+  }
+}
+
+TEST(AnalysisPlanTest, RunMatchesLegacyTemperatureSweepOnTestCell) {
+  // The full bandgap test cell over temperature: the declarative plan path
+  // must reproduce the legacy temperature_sweep free function to <= 1e-12.
+  const auto params = nominal_cell_params();
+  const auto temps = linspace(to_kelvin(-40.0), to_kelvin(120.0), 9);
+
+  Circuit legacy;
+  const auto hl = bandgap::build_test_cell(legacy, params);
+  legacy.set_temperature(temps[0]);  // the guess reads temperature state
+  const Unknowns seed = bandgap::cell_initial_guess(legacy, hl, temps[0]);
+  const Series golden =
+      temperature_sweep(legacy, temps,
+                        probe_node_voltage(legacy, legacy.node_name(hl.vref)),
+                        {}, &seed);
+
+  Circuit c;
+  const auto h = bandgap::build_test_cell(c, params);
+  SimSession session(c);
+  c.set_temperature(temps[0]);
+  session.seed_warm_start(bandgap::cell_initial_guess(c, h, temps[0]));
+  AnalysisPlan plan;
+  plan.name = "vref_sweep";
+  plan.axes = {SweepAxis::temperature_kelvin(SweepGrid::list(temps))};
+  plan.probes = {Probe::node_voltage(c.node_name(h.vref))};
+  const SweepResult got = session.run(plan);
+
+  ASSERT_EQ(got.rows(), golden.size());
+  for (std::size_t i = 0; i < golden.size(); ++i) {
+    EXPECT_NEAR(got.value(0, i), golden.y(i), 1e-12) << "T=" << temps[i];
+  }
+}
+
+TEST(AnalysisPlanTest, LabIcvbeFamilyMatchesHandRolledLoop) {
+  // Fig. 5 golden: the plan-based Laboratory::icvbe_family must reproduce
+  // the legacy hand-rolled bias loop exactly (ideal instruments/thermal
+  // isolate the solver path).
+  lab::SiliconLot lot;
+  lab::CampaignConfig cfg;
+  cfg.ideal_instruments = true;
+  cfg.ideal_thermal = true;
+  lab::Laboratory laboratory(lot.sample(0), cfg);
+  const std::vector<double> chambers{-50.0, 25.0, 125.0};
+  const double vbe_min = 0.3, vbe_max = 0.75;
+  const int points = 21;
+  const auto family = laboratory.icvbe_family(chambers, vbe_min, vbe_max,
+                                              points);
+
+  // Legacy reference: fresh rig, explicit per-point set/solve/probe loop
+  // (the pre-plan implementation).
+  Circuit c;
+  const NodeId e = c.node("e");
+  c.add_vsource("VE", e, kGround, 0.6);
+  c.add_bjt("DUT", kGround, kGround, e, lot.sample(0).qin, 1.0, kGround);
+  SimSession session(c);
+  auto& ve = c.get<VoltageSource>("VE");
+  const auto& dut = c.get<Bjt>("DUT");
+
+  ASSERT_EQ(family.size(), chambers.size());
+  for (std::size_t f = 0; f < chambers.size(); ++f) {
+    c.set_temperature(to_kelvin(chambers[f]));
+    for (int i = 0; i < points; ++i) {
+      const double setpoint =
+          vbe_min + (vbe_max - vbe_min) * static_cast<double>(i) /
+                        static_cast<double>(points - 1);
+      ve.set_voltage(setpoint);
+      const DcResult& r = session.solve();
+      ASSERT_TRUE(r.converged);
+      const double ic =
+          std::max(std::abs(dut.currents(r.solution).ic), 1e-16);
+      EXPECT_NEAR(family[f].y(static_cast<std::size_t>(i)), ic,
+                  1e-12 * std::max(1.0, ic))
+          << "chamber " << chambers[f] << " point " << i;
+      EXPECT_DOUBLE_EQ(family[f].x(static_cast<std::size_t>(i)), setpoint);
+    }
+  }
+}
+
+// ------------------------------------------- 2-axis + parallelism ---
+
+TEST(AnalysisPlanTest, TwoAxisParallelIsBitIdenticalForAnyThreadCount) {
+  AnalysisPlan plan;
+  plan.name = "grid";
+  plan.axes = {SweepAxis::temperature_kelvin(SweepGrid::linear(250.0, 400.0,
+                                                               6)),
+               SweepAxis::vsource("V1", SweepGrid::linear(0.0, 2.0, 17))};
+  plan.probes = {Probe::node_voltage("a"), Probe::branch_current("V1")};
+
+  SweepResult results[3];
+  const unsigned thread_counts[] = {1, 2, 5};
+  for (int k = 0; k < 3; ++k) {
+    Circuit c;
+    build_diode_rig(c);
+    SimSession session(c);
+    plan.threads = thread_counts[k];
+    results[k] = session.run(plan);
+  }
+
+  ASSERT_EQ(results[0].rows(), 6u * 17u);
+  for (int k = 1; k < 3; ++k) {
+    ASSERT_EQ(results[k].rows(), results[0].rows());
+    for (std::size_t p = 0; p < results[0].probe_count(); ++p) {
+      for (std::size_t r = 0; r < results[0].rows(); ++r) {
+        EXPECT_DOUBLE_EQ(results[k].value(p, r), results[0].value(p, r))
+            << "threads=" << thread_counts[k] << " probe=" << p
+            << " row=" << r;
+      }
+    }
+  }
+}
+
+TEST(AnalysisPlanTest, TwoAxisResistorStepMatchesManualReprogramming) {
+  // Outer axis re-programs a resistor (the trim-curve shape); compare one
+  // row against a manually re-programmed 1-axis run.
+  AnalysisPlan plan;
+  plan.name = "load_step";
+  plan.axes = {SweepAxis::resistor("R1", SweepGrid::list({500.0, 2e3})),
+               SweepAxis::vsource("V1", SweepGrid::linear(0.5, 1.5, 5))};
+  plan.probes = {Probe::node_voltage("a")};
+
+  Circuit c;
+  build_diode_rig(c);
+  SimSession session(c);
+  const SweepResult grid = session.run(plan);
+
+  Circuit c2;
+  build_diode_rig(c2);
+  c2.get<Resistor>("R1").set_nominal_resistance(2e3);
+  SimSession s2(c2);
+  AnalysisPlan row;
+  row.axes = {SweepAxis::vsource("V1", SweepGrid::linear(0.5, 1.5, 5))};
+  row.probes = {Probe::node_voltage("a")};
+  const SweepResult second_row = s2.run(row);
+
+  for (std::size_t i = 0; i < 5u; ++i) {
+    EXPECT_NEAR(grid.value(0, 5u + i), second_row.value(0, i), 1e-12);
+  }
+}
+
+TEST(AnalysisPlanTest, ResistorAxisHonoursTemperatureCoefficient) {
+  // set_nominal_resistance resets R to the raw nominal; the axis must
+  // re-apply the circuit temperature or every point silently loses the
+  // tempco scaling (1k TC1=2m at 127 C is 1.2k, not 1k).
+  const char* deck = R"(
+I1 0 n 1m
+R1 n 0 1k TC1=2m
+.TEMP 127
+.DC R1 1k 2k 1k
+.PROBE V(n)
+)";
+  auto parsed = parse_netlist(deck);
+  auto& c = *parsed.circuit;
+  c.set_temperature(to_kelvin(parsed.temperature_celsius));
+  SimSession session(c);
+  const SweepResult r = session.run(*parsed.plan);
+  ASSERT_EQ(r.rows(), 2u);
+  EXPECT_NEAR(r.value(0, 0), 1.2, 1e-4);   // 1k * 1.2 * 1mA
+  EXPECT_NEAR(r.value(0, 1), 2.4, 1e-4);   // 2k * 1.2 * 1mA
+}
+
+TEST(AnalysisPlanTest, RejectsSameTargetOnBothAxes) {
+  Circuit c;
+  build_diode_rig(c);
+  SimSession session(c);
+
+  AnalysisPlan twice;
+  twice.axes = {SweepAxis::vsource("V1", SweepGrid::list({1.0, 2.0})),
+                SweepAxis::vsource("V1", SweepGrid::linear(0.0, 1.0, 3))};
+  twice.probes = {Probe::node_voltage("a")};
+  EXPECT_THROW((void)session.run(twice), PlanError);
+
+  AnalysisPlan two_temps;
+  two_temps.axes = {SweepAxis::temperature_celsius(SweepGrid::list({25.0})),
+                    SweepAxis::temperature_kelvin(
+                        SweepGrid::list({300.0, 310.0}))};
+  two_temps.probes = {Probe::node_voltage("a")};
+  EXPECT_THROW((void)session.run(two_temps), PlanError);
+}
+
+// --------------------------------------------------- result shaping ---
+
+TEST(SweepResultTest, ConversionsAndCsv) {
+  Circuit c;
+  build_diode_rig(c);
+  SimSession session(c);
+
+  AnalysisPlan plan;
+  plan.name = "shapes";
+  plan.axes = {SweepAxis::vsource("V1", SweepGrid::linear(0.0, 1.0, 3))};
+  plan.probes = {Probe::node_voltage("a"), Probe::branch_current("V1")};
+  const SweepResult r = session.run(plan);
+
+  EXPECT_EQ(r.axis_count(), 1u);
+  EXPECT_EQ(r.probe_count(), 2u);
+  EXPECT_EQ(r.axis_labels()[0], "V1");
+  EXPECT_EQ(r.probe_labels()[0], "V(a)");
+  const Series s = r.series(0);
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_DOUBLE_EQ(s.x(1), 0.5);
+  EXPECT_DOUBLE_EQ(s.y(1), r.value(0, 1));
+  EXPECT_THROW((void)r.series_family(0), Error);
+
+  const Table t = r.table();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 3u);
+
+  std::ostringstream os;
+  r.write_csv(os);
+  EXPECT_EQ(os.str().substr(0, 10), "V1,V(a),I(");
+
+  // 2-axis: family conversion.
+  AnalysisPlan plan2 = plan;
+  plan2.axes = {SweepAxis::temperature_kelvin(SweepGrid::list({300.0,
+                                                               350.0})),
+                SweepAxis::vsource("V1", SweepGrid::linear(0.0, 1.0, 3))};
+  const SweepResult r2 = session.run(plan2);
+  EXPECT_EQ(r2.axis_count(), 2u);
+  EXPECT_DOUBLE_EQ(r2.axis_value(0, 4), 350.0);
+  EXPECT_DOUBLE_EQ(r2.axis_value(1, 4), 0.5);
+  const auto fam = r2.series_family(0);
+  ASSERT_EQ(fam.size(), 2u);
+  EXPECT_EQ(fam[0].size(), 3u);
+  EXPECT_THROW((void)r2.series(0), Error);
+}
+
+TEST(AnalysisPlanTest, ValidatesShape) {
+  Circuit c;
+  build_diode_rig(c);
+  SimSession session(c);
+
+  AnalysisPlan no_axes;
+  no_axes.probes = {Probe::node_voltage("a")};
+  EXPECT_THROW((void)session.run(no_axes), PlanError);
+
+  AnalysisPlan no_probes;
+  no_probes.axes = {SweepAxis::vsource("V1", SweepGrid::list({1.0}))};
+  EXPECT_THROW((void)session.run(no_probes), PlanError);
+
+  AnalysisPlan three_axes;
+  three_axes.axes = {SweepAxis::vsource("V1", SweepGrid::list({1.0})),
+                     SweepAxis::vsource("V1", SweepGrid::list({1.0})),
+                     SweepAxis::vsource("V1", SweepGrid::list({1.0}))};
+  three_axes.probes = {Probe::node_voltage("a")};
+  EXPECT_THROW((void)session.run(three_axes), PlanError);
+
+  AnalysisPlan bad_device;
+  bad_device.axes = {SweepAxis::vsource("NOPE", SweepGrid::list({1.0}))};
+  bad_device.probes = {Probe::node_voltage("a")};
+  EXPECT_THROW((void)session.run(bad_device), CircuitError);
+}
+
+// -------------------------------------------------- deck end-to-end ---
+
+TEST(AnalysisPlanTest, DeckDescribedAnalysisExecutes) {
+  const char* deck = R"(
+V1 in 0 5
+R1 in out 1k
+R2 out 0 3k
+.STEP R2 LIST 1k 3k
+.DC V1 0 4 1
+.PROBE V(out) I(V1) V(in,out)
+)";
+  auto parsed = parse_netlist(deck);
+  ASSERT_TRUE(parsed.plan.has_value());
+  auto& c = *parsed.circuit;
+  c.set_temperature(to_kelvin(parsed.temperature_celsius));
+  SimSession session(c);
+  const SweepResult r = session.run(*parsed.plan);
+
+  ASSERT_EQ(r.rows(), 2u * 5u);
+  for (std::size_t o = 0; o < 2; ++o) {
+    const double r2 = o == 0 ? 1e3 : 3e3;
+    for (std::size_t i = 0; i < 5; ++i) {
+      const double v = static_cast<double>(i);
+      const double expect_out = v * r2 / (1e3 + r2);
+      // Tolerances sit above the solver's gmin floor (1e-12 S to ground).
+      EXPECT_NEAR(r.value(0, o * 5 + i), expect_out, 1e-7);
+      EXPECT_NEAR(r.value(1, o * 5 + i), -v / (1e3 + r2), 1e-10);
+      EXPECT_NEAR(r.value(2, o * 5 + i), v - expect_out, 1e-7);
+    }
+  }
+}
+
+// ------------------------------------------------- zero allocations ---
+
+TEST(AnalysisPlanTest, SteadyStateAllocationsIndependentOfPointCount) {
+  // The per-point path of run() must not touch the heap: executing 10x the
+  // points performs exactly the same number of allocations (result storage
+  // is sized upfront; probes are compiled once).
+  const auto params = nominal_cell_params();
+  Circuit c;
+  const auto h = bandgap::build_test_cell(c, params);
+  SimSession session(c);
+  session.seed_warm_start(
+      bandgap::cell_initial_guess(c, h, to_kelvin(25.0)));
+
+  AnalysisPlan small;
+  small.name = "alloc";
+  small.axes = {SweepAxis::temperature_kelvin(
+      SweepGrid::linear(to_kelvin(20.0), to_kelvin(45.0), 50))};
+  small.probes = {Probe::node_voltage(c.node_name(h.vref))};
+  AnalysisPlan large = small;
+  large.axes = {SweepAxis::temperature_kelvin(
+      SweepGrid::linear(to_kelvin(20.0), to_kelvin(45.0), 500))};
+
+  (void)session.run(small);  // warm-up: lazily sized solver buffers
+
+  const std::uint64_t a0 = icvbe::testing::allocation_count();
+  const SweepResult rs = session.run(small);
+  const std::uint64_t a1 = icvbe::testing::allocation_count();
+  const SweepResult rl = session.run(large);
+  const std::uint64_t a2 = icvbe::testing::allocation_count();
+
+  EXPECT_EQ(rs.rows(), 50u);
+  EXPECT_EQ(rl.rows(), 500u);
+  EXPECT_EQ(a1 - a0, a2 - a1)
+      << "run() allocation count scales with point count -- the per-point "
+         "path touched the heap";
+}
+
+}  // namespace
+}  // namespace icvbe::spice

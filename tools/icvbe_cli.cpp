@@ -2,6 +2,8 @@
 //
 //   icvbe simulate <deck.cir>            solve the DC operating point of a
 //                                        SPICE-like netlist at its .TEMP
+//   icvbe run <deck.cir> [threads]       execute the deck's .DC/.STEP/.PROBE
+//                                        analysis plan, CSV out
 //   icvbe sweep <deck.cir> <vsrc> <from> <to> <n> <node>
 //                                        DC sweep a voltage source, CSV out
 //   icvbe tempsweep <deck.cir> <fromC> <toC> <n> <node>
@@ -22,6 +24,7 @@
 #include <vector>
 
 #include "icvbe/common/constants.hpp"
+#include "icvbe/common/csv.hpp"
 #include "icvbe/common/table.hpp"
 #include "icvbe/extract/meijer.hpp"
 #include "icvbe/lab/campaign.hpp"
@@ -29,6 +32,7 @@
 #include "icvbe/spice/analysis.hpp"
 #include "icvbe/spice/dc_solver.hpp"
 #include "icvbe/spice/netlist.hpp"
+#include "icvbe/spice/plan.hpp"
 
 namespace {
 
@@ -36,9 +40,10 @@ using namespace icvbe;
 
 int usage() {
   std::fprintf(stderr,
-               "usage: icvbe <simulate|sweep|tempsweep|extract|lot|table1|"
-               "truthcard> [args]\n"
+               "usage: icvbe <simulate|run|sweep|tempsweep|extract|lot|"
+               "table1|truthcard> [args]\n"
                "  simulate <deck.cir>\n"
+               "  run <deck.cir> [threads]\n"
                "  sweep <deck.cir> <vsrc> <from> <to> <points> <node>\n"
                "  tempsweep <deck.cir> <fromC> <toC> <points> <node>\n"
                "  extract [sample-index]\n"
@@ -46,6 +51,45 @@ int usage() {
                "  table1\n"
                "  truthcard\n");
   return 2;
+}
+
+/// Checked numeric argument parsing: std::stod's bare "stod" exception
+/// text is useless at the terminal, so name the argument and show the
+/// offending value instead.
+double parse_double_arg(const char* what, const std::string& text) {
+  std::size_t used = 0;
+  double v = 0.0;
+  try {
+    v = std::stod(text, &used);
+  } catch (const std::exception&) {
+    throw Error(std::string(what) + ": '" + text + "' is not a number");
+  }
+  if (used != text.size()) {
+    throw Error(std::string(what) + ": '" + text + "' is not a number");
+  }
+  return v;
+}
+
+int parse_int_arg(const char* what, const std::string& text) {
+  std::size_t used = 0;
+  int v = 0;
+  try {
+    v = std::stoi(text, &used);
+  } catch (const std::exception&) {
+    throw Error(std::string(what) + ": '" + text + "' is not an integer");
+  }
+  if (used != text.size()) {
+    throw Error(std::string(what) + ": '" + text + "' is not an integer");
+  }
+  return v;
+}
+
+int parse_points_arg(const std::string& text) {
+  const int points = parse_int_arg("points", text);
+  if (points < 2) {
+    throw Error("points: need at least 2 sweep points, got " + text);
+  }
+  return points;
 }
 
 spice::ParsedNetlist load_deck(const std::string& path) {
@@ -95,6 +139,27 @@ int cmd_simulate(const std::string& path) {
   return 0;
 }
 
+int cmd_run(const std::string& path, unsigned threads) {
+  auto parsed = load_deck(path);
+  if (!parsed.plan.has_value()) {
+    throw Error("deck '" + path +
+                "' describes no analysis (needs .DC or .STEP plus .PROBE)");
+  }
+  auto& c = *parsed.circuit;
+  c.set_temperature(to_kelvin(parsed.temperature_celsius));
+  spice::AnalysisPlan plan = *parsed.plan;
+  plan.threads = threads;
+  spice::SimSession session(c);
+  // .NODESET hints seed the first point -- and, for 2-axis plans, the
+  // deterministic start of every outer row.
+  if (!parsed.nodesets.empty()) {
+    session.seed_warm_start(guess_from_nodesets(c, parsed));
+  }
+  const spice::SweepResult result = session.run(plan);
+  result.write_csv(std::cout);
+  return 0;
+}
+
 int cmd_sweep(const std::string& path, const std::string& src, double from,
               double to, int points, const std::string& node) {
   auto parsed = load_deck(path);
@@ -104,10 +169,7 @@ int cmd_sweep(const std::string& path, const std::string& src, double from,
   const auto series = spice::dc_sweep_vsource(
       c, src, spice::linspace(from, to, points),
       spice::probe_node_voltage(c, node), {}, &guess);
-  std::printf("%s,V(%s)\n", src.c_str(), node.c_str());
-  for (std::size_t i = 0; i < series.size(); ++i) {
-    std::printf("%g,%g\n", series.x(i), series.y(i));
-  }
+  csv::write_series(std::cout, series, src, "V(" + node + ")");
   return 0;
 }
 
@@ -142,10 +204,12 @@ int cmd_tempsweep(const std::string& path, double from_c, double to_c,
   for (std::size_t i = 0; i < s_up.size(); ++i) {
     merged.push_back(s_up.x(i), s_up.y(i));
   }
-  std::printf("T_celsius,V(%s)\n", node.c_str());
+  Series celsius("tempsweep");
+  celsius.reserve(merged.size());
   for (std::size_t i = 0; i < merged.size(); ++i) {
-    std::printf("%g,%g\n", to_celsius(merged.x(i)), merged.y(i));
+    celsius.push_back(to_celsius(merged.x(i)), merged.y(i));
   }
+  csv::write_series(std::cout, celsius, "T_celsius", "V(" + node + ")");
   return 0;
 }
 
@@ -229,22 +293,35 @@ int main(int argc, char** argv) {
     if (args.empty()) return usage();
     const std::string& cmd = args[0];
     if (cmd == "simulate" && args.size() == 2) return cmd_simulate(args[1]);
+    if (cmd == "run" && (args.size() == 2 || args.size() == 3)) {
+      const int threads =
+          args.size() > 2 ? parse_int_arg("threads", args[2]) : 1;
+      if (threads < 0) throw Error("threads: must be >= 0");
+      return cmd_run(args[1], static_cast<unsigned>(threads));
+    }
     if (cmd == "sweep" && args.size() == 7) {
-      return cmd_sweep(args[1], args[2], std::stod(args[3]),
-                       std::stod(args[4]), std::stoi(args[5]), args[6]);
+      return cmd_sweep(args[1], args[2], parse_double_arg("from", args[3]),
+                       parse_double_arg("to", args[4]),
+                       parse_points_arg(args[5]), args[6]);
     }
     if (cmd == "tempsweep" && args.size() == 6) {
-      return cmd_tempsweep(args[1], std::stod(args[2]), std::stod(args[3]),
-                           std::stoi(args[4]), args[5]);
+      return cmd_tempsweep(args[1], parse_double_arg("fromC", args[2]),
+                           parse_double_arg("toC", args[3]),
+                           parse_points_arg(args[4]), args[5]);
     }
     if (cmd == "extract") {
-      return cmd_extract(args.size() > 1 ? std::stoi(args[1]) : 1);
+      return cmd_extract(args.size() > 1
+                             ? parse_int_arg("sample-index", args[1])
+                             : 1);
     }
     if (cmd == "lot") {
-      const int samples = args.size() > 1 ? std::stoi(args[1]) : 25;
-      const unsigned threads =
-          args.size() > 2 ? static_cast<unsigned>(std::stoul(args[2])) : 0;
-      return cmd_lot(samples, threads);
+      const int samples =
+          args.size() > 1 ? parse_int_arg("samples", args[1]) : 25;
+      if (samples < 1) throw Error("samples: must be >= 1");
+      const int threads =
+          args.size() > 2 ? parse_int_arg("threads", args[2]) : 0;
+      if (threads < 0) throw Error("threads: must be >= 0");
+      return cmd_lot(samples, static_cast<unsigned>(threads));
     }
     if (cmd == "table1") return cmd_table1();
     if (cmd == "truthcard") return cmd_truthcard();
