@@ -1,0 +1,53 @@
+#pragma once
+// MatrixView: a non-owning accumulate-only view over either a dense Matrix
+// or a (frozen or building) SparseMatrix.
+//
+// This is the stamping contract: devices write their MNA entries through a
+// Stamper that holds a MatrixView, so the same stamp() code serves the
+// dense small-circuit fast path and the sparse large-netlist engine with
+// zero duplication. The only operation a stamp needs is `add` (+=), which
+// keeps the view trivially cheap: one branch per entry, inlined.
+
+#include "icvbe/linalg/matrix.hpp"
+#include "icvbe/linalg/sparse.hpp"
+
+namespace icvbe::linalg {
+
+class MatrixView {
+ public:
+  /*implicit*/ MatrixView(Matrix& dense) : dense_(&dense) {}          // NOLINT
+  /*implicit*/ MatrixView(SparseMatrix& sparse) : sparse_(&sparse) {} // NOLINT
+
+  [[nodiscard]] std::size_t rows() const noexcept {
+    return dense_ != nullptr ? dense_->rows() : sparse_->rows();
+  }
+  [[nodiscard]] std::size_t cols() const noexcept {
+    return dense_ != nullptr ? dense_->cols() : sparse_->cols();
+  }
+  [[nodiscard]] bool is_sparse() const noexcept { return sparse_ != nullptr; }
+
+  /// Accumulate v at (r, c). On a frozen sparse target the slot must be
+  /// inside the pattern (see SparseMatrix::add).
+  void add(std::size_t r, std::size_t c, double v) {
+    if (dense_ != nullptr) {
+      (*dense_)(r, c) += v;
+    } else {
+      sparse_->add(r, c, v);
+    }
+  }
+
+  /// Reset every stored entry (dense: all elements; sparse: the pattern).
+  void fill(double value) {
+    if (dense_ != nullptr) {
+      dense_->fill(value);
+    } else {
+      sparse_->fill(value);
+    }
+  }
+
+ private:
+  Matrix* dense_ = nullptr;
+  SparseMatrix* sparse_ = nullptr;
+};
+
+}  // namespace icvbe::linalg

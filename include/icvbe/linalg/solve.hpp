@@ -27,7 +27,10 @@ class LuFactorization {
 
   /// Re-factor a new matrix, reusing the internal storage. Allocation-free
   /// when `a` has the same dimensions as the previous factorisation.
-  /// Throws NumericalError if A is singular to working precision.
+  /// Throws NumericalError if A is singular to working precision -- the
+  /// detection is deterministic at refactor time (exact zero pivots in the
+  /// denormal range and non-finite entries included; nothing survives to
+  /// fail at the first solve). The workspace stays reusable after a throw.
   void refactor(const Matrix& a, double pivot_tol = 1e-14);
 
   /// Solve A x = b.

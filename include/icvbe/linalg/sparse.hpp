@@ -1,0 +1,207 @@
+#pragma once
+// Sparse linear algebra for large MNA systems: a CSR matrix with a
+// build-once / restamp-many lifecycle and an LU factorisation with a
+// reusable symbolic analysis.
+//
+// The dense workspace solver (matrix.hpp / solve.hpp) is ideal for the
+// paper's tens-of-node bandgap cells but stores O(n^2) and refactors in
+// O(n^3). The netlist parser happily ingests thousands of nodes, where an
+// MNA matrix has a handful of entries per row; this header provides the
+// engine SimSession switches to above NewtonOptions::sparse_threshold.
+//
+// Lifecycle, mirroring the dense workspace-reuse discipline:
+//  1. building: SparseMatrix::add(r, c, v) records coordinates (one
+//     pattern-discovery stamp of the circuit);
+//  2. freeze_pattern(): coordinates are compiled to CSR, duplicates merged;
+//  3. steady state: fill(0) + add() re-stamp values into the frozen
+//     pattern (binary search over a short sorted row -- allocation-free),
+//     and SparseLuFactorization::refactor() re-factors numerically along a
+//     cached pivot order and fill pattern, also allocation-free.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "icvbe/linalg/matrix.hpp"
+
+namespace icvbe::linalg {
+
+/// Compressed-sparse-row matrix with a two-phase lifecycle (see header
+/// comment). All coordinate registrations happen while building -- value
+/// zero still registers a pattern entry, so a stamp pass at an arbitrary
+/// operating point discovers the full structural pattern.
+class SparseMatrix {
+ public:
+  SparseMatrix() = default;
+  SparseMatrix(std::size_t rows, std::size_t cols) { resize(rows, cols); }
+
+  /// Reset to an empty building-phase matrix of the given dimensions.
+  void resize(std::size_t rows, std::size_t cols);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] bool frozen() const noexcept { return frozen_; }
+  /// Number of stored entries (post-freeze: duplicates merged).
+  [[nodiscard]] std::size_t nonzeros() const noexcept {
+    return frozen_ ? values_.size() : coo_values_.size();
+  }
+
+  /// Accumulate v at (r, c). Building phase: registers the coordinate
+  /// (allocates). Frozen phase: allocation-free accumulation into the
+  /// stored slot; throws Error if (r, c) is outside the frozen pattern.
+  void add(std::size_t r, std::size_t c, double v) {
+    if (frozen_) {
+      values_[slot(r, c)] += v;
+    } else {
+      add_building(r, c, v);
+    }
+  }
+
+  /// Compile the recorded coordinates into CSR (sorted columns per row,
+  /// duplicates merged by summation). No-op if already frozen.
+  void freeze_pattern();
+
+  /// Thaw back to the building phase, keeping the current entries as
+  /// coordinates (topology changed: new devices stamp new positions).
+  void unfreeze();
+
+  /// Set every stored value (frozen only); the pattern is untouched.
+  /// fill(0.0) is the per-Newton-iteration re-stamp reset.
+  void fill(double value);
+
+  /// Value at (r, c); 0.0 outside the pattern (frozen only).
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const;
+
+  /// Process-unique pattern identity assigned by freeze_pattern(). The
+  /// factorisation compares it to detect that its cached symbolic
+  /// analysis still applies (copies share the stamp -- and the CSR).
+  [[nodiscard]] std::uint64_t pattern_stamp() const noexcept {
+    return pattern_stamp_;
+  }
+
+  // Raw CSR access (frozen only).
+  [[nodiscard]] const std::vector<int>& row_ptr() const noexcept {
+    return row_ptr_;
+  }
+  [[nodiscard]] const std::vector<int>& col_index() const noexcept {
+    return col_index_;
+  }
+  [[nodiscard]] const std::vector<double>& values() const noexcept {
+    return values_;
+  }
+
+  /// Dense copy (tests and diagnostics; O(rows * cols)).
+  [[nodiscard]] Matrix to_dense() const;
+
+  /// this * v (frozen only; dimension-checked).
+  [[nodiscard]] Vector multiply(const Vector& v) const;
+
+  /// Max absolute stored value (frozen only; 0.0 for an empty pattern).
+  [[nodiscard]] double max_abs() const;
+
+ private:
+  void add_building(std::size_t r, std::size_t c, double v);
+  /// CSR slot of (r, c); throws Error if outside the pattern.
+  [[nodiscard]] std::size_t slot(std::size_t r, std::size_t c) const;
+
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  bool frozen_ = false;
+  std::uint64_t pattern_stamp_ = 0;
+
+  // Building phase: COO triplets in registration order.
+  std::vector<std::pair<int, int>> coo_coords_;
+  std::vector<double> coo_values_;
+
+  // Frozen phase: CSR.
+  std::vector<int> row_ptr_;
+  std::vector<int> col_index_;
+  std::vector<double> values_;
+};
+
+/// Sparse LU with a reusable symbolic analysis, the SPICE-family engine
+/// shape (Nagel's SPICE2 reordering, KLU-style refactorisation):
+///
+///  * analyse once: a fill-reducing minimum-degree row pre-ordering over
+///    the symmetrised pattern, then an up-looking row factorisation with
+///    threshold column pivoting (Markowitz-flavoured: among numerically
+///    acceptable pivots the sparsest column wins). The pivot order and the
+///    complete fill-in pattern of L and U are cached.
+///  * refactor() per Newton iteration: if the matrix pattern matches the
+///    cached analysis, a purely numeric re-factorisation runs along the
+///    frozen pivot order and pattern -- no allocation, no searching. If a
+///    frozen pivot collapses numerically the analysis is redone once with
+///    fresh pivoting (allocates; rare), and NumericalError is thrown only
+///    if the matrix is genuinely singular to working precision.
+///
+/// API mirrors the dense LuFactorization so SimSession can hold either.
+class SparseLuFactorization {
+ public:
+  SparseLuFactorization() = default;
+
+  /// Factor a frozen SparseMatrix. First call (or pattern change) runs the
+  /// symbolic analysis; later calls with the same pattern are
+  /// allocation-free. Throws NumericalError if A is singular to working
+  /// precision (best available pivot below pivot_tol * max|A|).
+  void refactor(const SparseMatrix& a, double pivot_tol = 1e-14);
+
+  /// Solve A x = rhs with the solution overwriting rhs; allocation-free.
+  void solve_in_place(Vector& rhs) const;
+
+  /// Solve A x = b.
+  [[nodiscard]] Vector solve(const Vector& b) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+
+  /// Entries stored in L + U (including fill-in; diagnostic).
+  [[nodiscard]] std::size_t factor_nonzeros() const noexcept {
+    return l_step_.size() + u_step_.size() + n_;
+  }
+
+  /// How many times the symbolic analysis has run (diagnostic; a steady
+  /// Newton loop should see exactly 1).
+  [[nodiscard]] int analysis_count() const noexcept {
+    return analysis_count_;
+  }
+
+ private:
+  /// Full factorisation with pivot search; caches order + pattern.
+  /// `tol_abs` = pivot_tol * max|A|, computed once by refactor().
+  void analyze(const SparseMatrix& a, double tol_abs);
+  /// Numeric-only pass along the cached order/pattern. Returns false on
+  /// pivot breakdown (caller re-analyses).
+  [[nodiscard]] bool refactor_frozen(const SparseMatrix& a, double tol_abs);
+  [[nodiscard]] bool pattern_matches(const SparseMatrix& a) const;
+
+  std::size_t n_ = 0;
+  bool analyzed_ = false;
+  int analysis_count_ = 0;
+
+  // Identity of the analysed pattern (SparseMatrix::pattern_stamp is
+  // process-unique per freeze, so equality means the same frozen CSR).
+  std::uint64_t pattern_stamp_ = 0;
+
+  // Permutations: step k processes row rperm_[k]; the pivot of step k is
+  // column cperm_[k] (cstep_ is its inverse).
+  std::vector<int> rperm_;
+  std::vector<int> cperm_;
+  std::vector<int> cstep_;
+
+  // Scatter map: A's CSR entry i lands in working slot astep_[i].
+  std::vector<int> astep_;
+
+  // Frozen factor, indexed in pivot-step space. L has unit diagonal; U's
+  // diagonal lives in udiag_.
+  std::vector<int> l_ptr_;
+  std::vector<int> l_step_;
+  std::vector<double> l_val_;
+  std::vector<int> u_ptr_;
+  std::vector<int> u_step_;
+  std::vector<double> u_val_;
+  std::vector<double> udiag_;
+
+  std::vector<double> work_;          ///< dense scatter row (step space)
+  mutable std::vector<double> perm_;  ///< solve permutation buffer
+};
+
+}  // namespace icvbe::linalg

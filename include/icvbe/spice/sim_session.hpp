@@ -19,9 +19,20 @@
 
 #include "icvbe/common/series.hpp"
 #include "icvbe/linalg/solve.hpp"
+#include "icvbe/linalg/sparse.hpp"
 #include "icvbe/spice/circuit.hpp"
 
 namespace icvbe::spice {
+
+/// Linear-engine selection for a session. kAuto compares the unknown count
+/// against NewtonOptions::sparse_threshold at bind time; the choice is
+/// fixed until rebind() (and inherited by the per-thread clones of a
+/// parallel plan run, so results stay bit-identical for any thread count).
+enum class SparseMode {
+  kAuto,    ///< sparse iff unknowns >= sparse_threshold (default)
+  kDense,   ///< always the dense workspace LU
+  kSparse,  ///< always the CSR engine with cached symbolic analysis
+};
 
 struct NewtonOptions {
   int max_iterations = 200;      ///< per Newton attempt
@@ -32,6 +43,11 @@ struct NewtonOptions {
   double gmin_floor = 1e-12;     ///< final gmin left in the matrix
   int gmin_steps = 8;            ///< decades of gmin ramp when needed
   int source_steps = 10;         ///< source-stepping ramp points when needed
+  SparseMode sparse = SparseMode::kAuto;  ///< linear engine selection
+  /// Unknown count at/above which kAuto picks the sparse engine. The
+  /// default tracks the measured dense/sparse crossover on generated
+  /// netlists (bench_sparse_solve; see results/BENCH_sparse.json).
+  int sparse_threshold = 64;
 };
 
 struct DcResult {
@@ -71,6 +87,11 @@ class SimSession {
   [[nodiscard]] Circuit& circuit() noexcept { return *circuit_; }
   [[nodiscard]] const Circuit& circuit() const noexcept { return *circuit_; }
   [[nodiscard]] int unknown_count() const noexcept { return n_unknowns_; }
+  /// True if this session bound the sparse CSR engine (decided at
+  /// construction / rebind() from options().sparse and sparse_threshold).
+  [[nodiscard]] bool uses_sparse_engine() const noexcept {
+    return use_sparse_;
+  }
   [[nodiscard]] NewtonOptions& options() noexcept { return options_; }
   [[nodiscard]] const NewtonOptions& options() const noexcept {
     return options_;
@@ -168,10 +189,17 @@ class SimSession {
   int node_unknowns_ = 0;
   std::size_t bound_device_count_ = 0;
 
+  // Exactly one linear engine is live per bind: the dense workspace pair
+  // (a_, lu_) below threshold, the CSR pair (sa_, slu_) above it. The idle
+  // engine's storage is released at rebind() -- a 5000-unknown session
+  // must not carry a 200 MB dense matrix it never factors.
+  bool use_sparse_ = false;
   linalg::Matrix a_;
   linalg::Vector b_;
   linalg::Vector x_new_;
   linalg::LuFactorization lu_;
+  linalg::SparseMatrix sa_;
+  linalg::SparseLuFactorization slu_;
 
   Unknowns x_;        ///< working iterate
   Unknowns x_stage_;  ///< gmin / source stepping iterate

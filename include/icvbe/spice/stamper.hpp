@@ -12,7 +12,7 @@
 //  * Aux rows (branch-current unknowns) are stamped with raw add_entry /
 //    add_rhs.
 
-#include "icvbe/linalg/matrix.hpp"
+#include "icvbe/linalg/matrix_view.hpp"
 #include "icvbe/spice/unknowns.hpp"
 
 namespace icvbe::spice {
@@ -20,7 +20,11 @@ namespace icvbe::spice {
 class Stamper {
  public:
   /// `node_unknowns` = number of non-ground nodes; aux rows follow.
-  Stamper(linalg::Matrix& a, linalg::Vector& b, int node_unknowns);
+  /// `a` views either the dense workspace matrix or the sparse CSR one
+  /// (implicitly constructible from Matrix& or SparseMatrix&): devices
+  /// stamp through the same MatrixView contract either way, so the engine
+  /// choice never duplicates a device model.
+  Stamper(linalg::MatrixView a, linalg::Vector& b, int node_unknowns);
 
   /// Linear conductance between nodes a and b.
   void add_conductance(NodeId a, NodeId b, double g);
@@ -49,7 +53,7 @@ class Stamper {
   [[nodiscard]] int node_unknowns() const noexcept { return node_unknowns_; }
 
  private:
-  linalg::Matrix& a_;
+  linalg::MatrixView a_;
   linalg::Vector& b_;
   int node_unknowns_;
 };

@@ -25,15 +25,26 @@ void LuFactorization::factor_in_place(double pivot_tol) {
   const std::size_t n = lu_.rows();
   ICVBE_REQUIRE(n > 0, "LU: empty matrix");
 
-  // 1-norm of A, kept for the condition estimate.
+  // 1-norm of A, kept for the condition estimate. The column sums double
+  // as a deterministic non-finite screen: a NaN loses every pivot
+  // comparison and an Inf wins them all, so either would otherwise factor
+  // "successfully" and only surface at the first solve.
   for (std::size_t c = 0; c < n; ++c) {
     double col = 0.0;
     for (std::size_t r = 0; r < n; ++r) col += std::abs(lu_(r, c));
+    if (!std::isfinite(col)) {
+      throw NumericalError("LU: matrix has non-finite entries");
+    }
     a_norm1_ = std::max(a_norm1_, col);
   }
 
   const double scale = lu_.max_abs();
-  ICVBE_REQUIRE(scale > 0.0, "LU: zero matrix");
+  if (scale == 0.0) {
+    // A numerically zero matrix is a (maximally) singular system, not an
+    // API misuse: NumericalError keeps it inside the Newton fallback
+    // machinery, same as any other singular Jacobian.
+    throw NumericalError("LU: zero matrix");
+  }
 
   for (std::size_t k = 0; k < n; ++k) {
     // Partial pivot: largest |value| in column k at/below the diagonal.
@@ -46,7 +57,13 @@ void LuFactorization::factor_in_place(double pivot_tol) {
         p = r;
       }
     }
-    if (best < pivot_tol * scale) {
+    // Deterministic singularity detection at factor time. The inverted
+    // comparison (!(best > tol)) rejects a NaN pivot and, because
+    // 0 > 0 is false, also closes the denormal-range hole where
+    // pivot_tol * scale underflows to 0.0 and an exactly zero pivot
+    // would previously sail through (old test: best < tol) until the
+    // first solve divided by it.
+    if (!(best > pivot_tol * scale)) {
       throw NumericalError("LU: matrix is singular to working precision");
     }
     piv_[k] = p;

@@ -1,0 +1,500 @@
+#include "icvbe/linalg/sparse.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <queue>
+#include <set>
+
+#include "icvbe/common/error.hpp"
+
+namespace icvbe::linalg {
+
+// ------------------------------------------------------- SparseMatrix ---
+
+void SparseMatrix::resize(std::size_t rows, std::size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  frozen_ = false;
+  coo_coords_.clear();
+  coo_values_.clear();
+  row_ptr_.clear();
+  col_index_.clear();
+  values_.clear();
+}
+
+void SparseMatrix::add_building(std::size_t r, std::size_t c, double v) {
+  ICVBE_REQUIRE(r < rows_ && c < cols_, "SparseMatrix::add: out of range");
+  coo_coords_.emplace_back(static_cast<int>(r), static_cast<int>(c));
+  coo_values_.push_back(v);
+}
+
+std::size_t SparseMatrix::slot(std::size_t r, std::size_t c) const {
+  ICVBE_REQUIRE(r < rows_ && c < cols_, "SparseMatrix::add: out of range");
+  const int* first = col_index_.data() + row_ptr_[r];
+  const int* last = col_index_.data() + row_ptr_[r + 1];
+  const int* it = std::lower_bound(first, last, static_cast<int>(c));
+  if (it == last || *it != static_cast<int>(c)) {
+    throw Error("SparseMatrix::add: entry outside the frozen pattern");
+  }
+  return static_cast<std::size_t>(it - col_index_.data());
+}
+
+void SparseMatrix::freeze_pattern() {
+  if (frozen_) return;
+  static std::atomic<std::uint64_t> next_stamp{1};
+
+  // Sort the registrations (row, col) and merge duplicates by summation.
+  std::vector<std::size_t> order(coo_coords_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [this](std::size_t a, std::size_t b) {
+              return coo_coords_[a] < coo_coords_[b];
+            });
+
+  row_ptr_.assign(rows_ + 1, 0);
+  col_index_.clear();
+  values_.clear();
+  col_index_.reserve(order.size());
+  values_.reserve(order.size());
+  int last_r = -1;
+  int last_c = -1;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const auto [r, c] = coo_coords_[order[i]];
+    const double v = coo_values_[order[i]];
+    if (r == last_r && c == last_c) {
+      values_.back() += v;  // repeated registration of the same slot
+      continue;
+    }
+    col_index_.push_back(c);
+    values_.push_back(v);
+    ++row_ptr_[static_cast<std::size_t>(r) + 1];  // per-row count for now
+    last_r = r;
+    last_c = c;
+  }
+  for (std::size_t r = 0; r < rows_; ++r) {  // counts -> offsets
+    row_ptr_[r + 1] += row_ptr_[r];
+  }
+
+  coo_coords_.clear();
+  coo_coords_.shrink_to_fit();
+  coo_values_.clear();
+  coo_values_.shrink_to_fit();
+  frozen_ = true;
+  pattern_stamp_ = next_stamp.fetch_add(1, std::memory_order_relaxed);
+}
+
+void SparseMatrix::unfreeze() {
+  if (!frozen_) return;
+  coo_coords_.clear();
+  coo_values_.clear();
+  coo_coords_.reserve(values_.size());
+  coo_values_.reserve(values_.size());
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (int i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i) {
+      coo_coords_.emplace_back(static_cast<int>(r),
+                               col_index_[static_cast<std::size_t>(i)]);
+      coo_values_.push_back(values_[static_cast<std::size_t>(i)]);
+    }
+  }
+  row_ptr_.clear();
+  col_index_.clear();
+  values_.clear();
+  frozen_ = false;
+}
+
+void SparseMatrix::fill(double value) {
+  ICVBE_REQUIRE(frozen_, "SparseMatrix::fill: freeze_pattern() first");
+  std::fill(values_.begin(), values_.end(), value);
+}
+
+double SparseMatrix::at(std::size_t r, std::size_t c) const {
+  ICVBE_REQUIRE(frozen_, "SparseMatrix::at: freeze_pattern() first");
+  ICVBE_REQUIRE(r < rows_ && c < cols_, "SparseMatrix::at: out of range");
+  const int* first = col_index_.data() + row_ptr_[r];
+  const int* last = col_index_.data() + row_ptr_[r + 1];
+  const int* it = std::lower_bound(first, last, static_cast<int>(c));
+  if (it == last || *it != static_cast<int>(c)) return 0.0;
+  return values_[static_cast<std::size_t>(it - col_index_.data())];
+}
+
+Matrix SparseMatrix::to_dense() const {
+  ICVBE_REQUIRE(frozen_, "SparseMatrix::to_dense: freeze_pattern() first");
+  Matrix m(rows_, cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (int i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i) {
+      m(r, static_cast<std::size_t>(col_index_[static_cast<std::size_t>(i)])) =
+          values_[static_cast<std::size_t>(i)];
+    }
+  }
+  return m;
+}
+
+Vector SparseMatrix::multiply(const Vector& v) const {
+  ICVBE_REQUIRE(frozen_, "SparseMatrix::multiply: freeze_pattern() first");
+  ICVBE_REQUIRE(v.size() == cols_, "SparseMatrix::multiply: size mismatch");
+  Vector out(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (int i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i) {
+      acc += values_[static_cast<std::size_t>(i)] *
+             v[static_cast<std::size_t>(col_index_[static_cast<std::size_t>(i)])];
+    }
+    out[r] = acc;
+  }
+  return out;
+}
+
+double SparseMatrix::max_abs() const {
+  ICVBE_REQUIRE(frozen_, "SparseMatrix::max_abs: freeze_pattern() first");
+  double m = 0.0;
+  for (double v : values_) m = std::max(m, std::abs(v));
+  return m;
+}
+
+// --------------------------------------------- SparseLuFactorization ---
+
+namespace {
+
+/// Relative numeric threshold for the Markowitz-flavoured pivot choice:
+/// among candidates within this factor of the largest available pivot the
+/// structurally sparsest column wins. SPICE tradition uses 0.1; 0.5 buys
+/// roughly two digits of factor accuracy on 1000-node meshes (measured
+/// dense-vs-sparse agreement 1e-14 vs 1e-10) for a modest fill increase,
+/// which the tight-tolerance equivalence suite relies on.
+constexpr double kPivotRelThreshold = 0.5;
+
+/// Fill-reducing minimum-degree ordering over the symmetrised pattern of
+/// A (the textbook algorithm with explicit fill edges -- one-time cost,
+/// so clarity beats the quotient-graph refinements). Ties break on the
+/// smallest node index, keeping the order fully deterministic.
+std::vector<int> minimum_degree_order(const SparseMatrix& a) {
+  const std::size_t n = a.rows();
+  std::vector<std::set<int>> adj(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (int i = a.row_ptr()[r]; i < a.row_ptr()[r + 1]; ++i) {
+      const int c = a.col_index()[static_cast<std::size_t>(i)];
+      if (static_cast<std::size_t>(c) != r) {
+        adj[r].insert(c);
+        adj[static_cast<std::size_t>(c)].insert(static_cast<int>(r));
+      }
+    }
+  }
+
+  std::vector<char> eliminated(n, 0);
+  std::vector<int> order;
+  order.reserve(n);
+  std::vector<int> clique;
+  for (std::size_t step = 0; step < n; ++step) {
+    int best = -1;
+    std::size_t best_deg = n + 1;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (!eliminated[v] && adj[v].size() < best_deg) {
+        best = static_cast<int>(v);
+        best_deg = adj[v].size();
+      }
+    }
+    eliminated[static_cast<std::size_t>(best)] = 1;
+    order.push_back(best);
+
+    // Eliminating `best` couples its remaining neighbours into a clique.
+    clique.assign(adj[static_cast<std::size_t>(best)].begin(),
+                  adj[static_cast<std::size_t>(best)].end());
+    for (int u : clique) adj[static_cast<std::size_t>(u)].erase(best);
+    for (std::size_t i = 0; i < clique.size(); ++i) {
+      for (std::size_t j = i + 1; j < clique.size(); ++j) {
+        adj[static_cast<std::size_t>(clique[i])].insert(clique[j]);
+        adj[static_cast<std::size_t>(clique[j])].insert(clique[i]);
+      }
+    }
+    adj[static_cast<std::size_t>(best)].clear();
+  }
+  return order;
+}
+
+}  // namespace
+
+bool SparseLuFactorization::pattern_matches(const SparseMatrix& a) const {
+  return analyzed_ && n_ == a.rows() && pattern_stamp_ == a.pattern_stamp();
+}
+
+void SparseLuFactorization::refactor(const SparseMatrix& a,
+                                     double pivot_tol) {
+  ICVBE_REQUIRE(a.frozen(),
+                "sparse LU: freeze_pattern() before factoring");
+  ICVBE_REQUIRE(a.rows() == a.cols(), "sparse LU: matrix must be square");
+  ICVBE_REQUIRE(a.rows() > 0, "sparse LU: empty matrix");
+
+  // Deterministic input screening: a NaN would otherwise win or lose every
+  // pivot comparison silently and only surface at the first solve.
+  double amax = 0.0;
+  bool finite = true;
+  for (double v : a.values()) {
+    if (!std::isfinite(v)) finite = false;
+    amax = std::max(amax, std::abs(v));
+  }
+  if (!finite) {
+    throw NumericalError("sparse LU: matrix has non-finite entries");
+  }
+  if (amax == 0.0) {
+    // Maximally singular, not API misuse: stay inside the Newton fallback
+    // machinery like any other singular Jacobian (dense engine agrees).
+    throw NumericalError("sparse LU: zero matrix");
+  }
+
+  if (pattern_matches(a) && refactor_frozen(a, pivot_tol * amax)) return;
+  // First factorisation, new pattern, or a frozen pivot collapsed: run the
+  // full analysis with fresh pivoting.
+  analyze(a, pivot_tol * amax);
+}
+
+void SparseLuFactorization::analyze(const SparseMatrix& a, double tol_abs) {
+  const std::size_t n = a.rows();
+  const std::vector<int>& row_ptr = a.row_ptr();
+  const std::vector<int>& col_index = a.col_index();
+  const std::vector<double>& values = a.values();
+
+  analyzed_ = false;
+  n_ = n;
+
+  rperm_ = minimum_degree_order(a);
+  cstep_.assign(n, -1);
+  cperm_.assign(n, -1);
+  udiag_.assign(n, 0.0);
+
+  // Static column degrees of A: the sparsity half of the Markowitz cost.
+  std::vector<int> coldeg(n, 0);
+  for (int c : col_index) ++coldeg[static_cast<std::size_t>(c)];
+
+  // Growing factor rows; frozen into flat arrays afterwards.
+  std::vector<std::vector<std::pair<int, double>>> lrows(n);  // (step, mult)
+  std::vector<std::vector<std::pair<int, double>>> urows(n);  // (col, val)
+
+  std::vector<double> w(n, 0.0);       // dense scatter row, by column id
+  std::vector<char> inpat(n, 0);
+  std::vector<int> pattern;
+  std::vector<char> step_seen(n, 0);
+  std::vector<int> steps_touched;
+  std::priority_queue<int, std::vector<int>, std::greater<int>> heap;
+
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t r = static_cast<std::size_t>(rperm_[k]);
+    // Scatter row r of A.
+    for (int i = row_ptr[r]; i < row_ptr[r + 1]; ++i) {
+      const int c = col_index[static_cast<std::size_t>(i)];
+      inpat[static_cast<std::size_t>(c)] = 1;
+      pattern.push_back(c);
+      w[static_cast<std::size_t>(c)] = values[static_cast<std::size_t>(i)];
+      const int js = cstep_[static_cast<std::size_t>(c)];
+      if (js >= 0 && !step_seen[static_cast<std::size_t>(js)]) {
+        step_seen[static_cast<std::size_t>(js)] = 1;
+        steps_touched.push_back(js);
+        heap.push(js);
+      }
+    }
+
+    // Eliminate against earlier pivot rows in ascending step order. An
+    // update from step j only reaches steps > j, so the heap pops each
+    // dependency exactly when its value is final.
+    while (!heap.empty()) {
+      const int j = heap.top();
+      heap.pop();
+      const std::size_t cj = static_cast<std::size_t>(cperm_[j]);
+      const double lv = w[cj] / udiag_[static_cast<std::size_t>(j)];
+      w[cj] = lv;  // L multiplier, kept in place for the gather below
+      lrows[k].emplace_back(j, lv);
+      for (const auto& [uc, uv] : urows[static_cast<std::size_t>(j)]) {
+        const std::size_t u = static_cast<std::size_t>(uc);
+        if (!inpat[u]) {
+          inpat[u] = 1;
+          pattern.push_back(uc);
+          w[u] = 0.0;
+          const int us = cstep_[u];
+          if (us >= 0 && !step_seen[static_cast<std::size_t>(us)]) {
+            step_seen[static_cast<std::size_t>(us)] = 1;
+            steps_touched.push_back(us);
+            heap.push(us);
+          }
+        }
+        w[u] -= lv * uv;
+      }
+    }
+
+    // Pivot choice among the not-yet-pivoted columns: numerically
+    // acceptable (threshold partial pivoting), then structurally sparsest.
+    double umax = 0.0;
+    for (int c : pattern) {
+      if (cstep_[static_cast<std::size_t>(c)] < 0) {
+        umax = std::max(umax, std::abs(w[static_cast<std::size_t>(c)]));
+      }
+    }
+    // Inverted comparison: rejects NaN, and 0 > 0 being false keeps an
+    // exactly zero pivot out even when tol_abs underflows to 0.
+    if (!(umax > tol_abs)) {
+      throw NumericalError(
+          "sparse LU: matrix is singular to working precision at "
+          "elimination step " +
+          std::to_string(k) + " of " + std::to_string(n));
+    }
+    int best_col = -1;
+    for (int c : pattern) {
+      const std::size_t ci = static_cast<std::size_t>(c);
+      if (cstep_[ci] >= 0) continue;
+      if (std::abs(w[ci]) < kPivotRelThreshold * umax) continue;
+      if (best_col < 0 ||
+          coldeg[ci] < coldeg[static_cast<std::size_t>(best_col)] ||
+          (coldeg[ci] == coldeg[static_cast<std::size_t>(best_col)] &&
+           c < best_col)) {
+        best_col = c;
+      }
+    }
+    cstep_[static_cast<std::size_t>(best_col)] = static_cast<int>(k);
+    cperm_[k] = best_col;
+    udiag_[k] = w[static_cast<std::size_t>(best_col)];
+
+    // Record this row's U part -- every pattern position, including exact
+    // numeric zeros: the fill pattern must not depend on the operating
+    // point the analysis happened to run at.
+    for (int c : pattern) {
+      if (cstep_[static_cast<std::size_t>(c)] < 0) {
+        urows[k].emplace_back(c, w[static_cast<std::size_t>(c)]);
+      }
+    }
+
+    // Reset scratch state for the next row.
+    for (int c : pattern) {
+      inpat[static_cast<std::size_t>(c)] = 0;
+      w[static_cast<std::size_t>(c)] = 0.0;
+    }
+    pattern.clear();
+    for (int s : steps_touched) step_seen[static_cast<std::size_t>(s)] = 0;
+    steps_touched.clear();
+  }
+
+  // Freeze into flat step-space arrays for the allocation-free refactor.
+  l_ptr_.assign(n + 1, 0);
+  u_ptr_.assign(n + 1, 0);
+  std::size_t l_nnz = 0;
+  std::size_t u_nnz = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    l_nnz += lrows[k].size();
+    u_nnz += urows[k].size();
+    l_ptr_[k + 1] = static_cast<int>(l_nnz);
+    u_ptr_[k + 1] = static_cast<int>(u_nnz);
+  }
+  l_step_.resize(l_nnz);
+  l_val_.resize(l_nnz);
+  u_step_.resize(u_nnz);
+  u_val_.resize(u_nnz);
+  std::vector<std::pair<int, double>> urow_steps;
+  for (std::size_t k = 0; k < n; ++k) {
+    // L rows were emitted in ascending step order already.
+    for (std::size_t i = 0; i < lrows[k].size(); ++i) {
+      l_step_[static_cast<std::size_t>(l_ptr_[k]) + i] = lrows[k][i].first;
+      l_val_[static_cast<std::size_t>(l_ptr_[k]) + i] = lrows[k][i].second;
+    }
+    // U rows were recorded by column id; remap to the (now complete) pivot
+    // steps and sort ascending.
+    urow_steps.clear();
+    for (const auto& [c, v] : urows[k]) {
+      urow_steps.emplace_back(cstep_[static_cast<std::size_t>(c)], v);
+    }
+    std::sort(urow_steps.begin(), urow_steps.end());
+    for (std::size_t i = 0; i < urow_steps.size(); ++i) {
+      u_step_[static_cast<std::size_t>(u_ptr_[k]) + i] = urow_steps[i].first;
+      u_val_[static_cast<std::size_t>(u_ptr_[k]) + i] = urow_steps[i].second;
+    }
+  }
+
+  // Scatter map: A entry i lands in step-space slot astep_[i].
+  astep_.resize(col_index.size());
+  for (std::size_t i = 0; i < col_index.size(); ++i) {
+    astep_[i] = cstep_[static_cast<std::size_t>(col_index[i])];
+  }
+
+  work_.assign(n, 0.0);
+  perm_.assign(n, 0.0);
+  pattern_stamp_ = a.pattern_stamp();
+  analyzed_ = true;
+  ++analysis_count_;
+}
+
+bool SparseLuFactorization::refactor_frozen(const SparseMatrix& a,
+                                            double tol_abs) {
+  const std::size_t n = n_;
+  const std::vector<int>& row_ptr = a.row_ptr();
+  const std::vector<double>& values = a.values();
+
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t r = static_cast<std::size_t>(rperm_[k]);
+    for (int i = row_ptr[r]; i < row_ptr[r + 1]; ++i) {
+      work_[static_cast<std::size_t>(astep_[static_cast<std::size_t>(i)])] +=
+          values[static_cast<std::size_t>(i)];
+    }
+    for (int li = l_ptr_[k]; li < l_ptr_[k + 1]; ++li) {
+      const std::size_t j =
+          static_cast<std::size_t>(l_step_[static_cast<std::size_t>(li)]);
+      const double lv = work_[j] / udiag_[j];
+      l_val_[static_cast<std::size_t>(li)] = lv;
+      work_[j] = 0.0;
+      for (int ui = u_ptr_[j]; ui < u_ptr_[j + 1]; ++ui) {
+        work_[static_cast<std::size_t>(u_step_[static_cast<std::size_t>(ui)])] -=
+            lv * u_val_[static_cast<std::size_t>(ui)];
+      }
+    }
+    const double d = work_[k];
+    work_[k] = 0.0;
+    for (int ui = u_ptr_[k]; ui < u_ptr_[k + 1]; ++ui) {
+      const std::size_t us =
+          static_cast<std::size_t>(u_step_[static_cast<std::size_t>(ui)]);
+      u_val_[static_cast<std::size_t>(ui)] = work_[us];
+      work_[us] = 0.0;
+    }
+    if (!(std::abs(d) > tol_abs)) {
+      // Frozen pivot collapsed (the matrix may still be fine under a
+      // different order); work_ is already clean for the re-analysis.
+      return false;
+    }
+    udiag_[k] = d;
+  }
+  return true;
+}
+
+void SparseLuFactorization::solve_in_place(Vector& rhs) const {
+  ICVBE_REQUIRE(analyzed_, "sparse LU: refactor() before solving");
+  ICVBE_REQUIRE(rhs.size() == n_, "sparse LU solve: rhs size mismatch");
+  // z = P b (step space).
+  for (std::size_t k = 0; k < n_; ++k) {
+    perm_[k] = rhs[static_cast<std::size_t>(rperm_[k])];
+  }
+  // Forward substitution with unit-lower L.
+  for (std::size_t k = 0; k < n_; ++k) {
+    double acc = perm_[k];
+    for (int li = l_ptr_[k]; li < l_ptr_[k + 1]; ++li) {
+      acc -= l_val_[static_cast<std::size_t>(li)] *
+             perm_[static_cast<std::size_t>(l_step_[static_cast<std::size_t>(li)])];
+    }
+    perm_[k] = acc;
+  }
+  // Back substitution with U.
+  for (std::size_t ki = n_; ki-- > 0;) {
+    double acc = perm_[ki];
+    for (int ui = u_ptr_[ki]; ui < u_ptr_[ki + 1]; ++ui) {
+      acc -= u_val_[static_cast<std::size_t>(ui)] *
+             perm_[static_cast<std::size_t>(u_step_[static_cast<std::size_t>(ui)])];
+    }
+    perm_[ki] = acc / udiag_[ki];
+  }
+  // x = Q w (undo the column permutation).
+  for (std::size_t k = 0; k < n_; ++k) {
+    rhs[static_cast<std::size_t>(cperm_[k])] = perm_[k];
+  }
+}
+
+Vector SparseLuFactorization::solve(const Vector& b) const {
+  Vector x = b;
+  solve_in_place(x);
+  return x;
+}
+
+}  // namespace icvbe::linalg

@@ -1,0 +1,144 @@
+#include "icvbe/spice/netlist_gen.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "icvbe/common/error.hpp"
+#include "icvbe/common/rng.hpp"
+
+namespace icvbe::spice {
+
+namespace {
+
+/// Ladders hang a diode on every 4th node, a BJT on every 5th, a mesh a
+/// diode on every 7th: dense enough to make the Jacobian genuinely
+/// nonlinear, sparse enough that generated decks converge from cold at
+/// any size.
+constexpr int kDiodeEvery = 4;
+constexpr int kBjtEvery = 5;
+constexpr int kMeshDiodeEvery = 7;
+
+std::string fmt(double v) {
+  std::ostringstream os;
+  os.precision(8);
+  os << v;
+  return os.str();
+}
+
+void emit_header(std::ostringstream& os, const SyntheticNetlistSpec& spec) {
+  os << "* generated synthetic netlist: " << topology_name(spec.topology)
+     << ", " << spec.nodes << " nodes, seed " << spec.seed << "\n";
+}
+
+void emit_ladder(std::ostringstream& os, const SyntheticNetlistSpec& spec,
+                 Rng& rng) {
+  const int n = spec.nodes;
+  os << "V1 n1 0 5\n";
+  for (int i = 1; i < n; ++i) {
+    os << "RS" << i << " n" << i << " n" << (i + 1) << " "
+       << fmt(rng.uniform(500.0, 2000.0)) << "\n";
+  }
+  for (int i = 2; i <= n; ++i) {
+    os << "RG" << i << " n" << i << " 0 "
+       << fmt(rng.uniform(5000.0, 20000.0)) << "\n";
+  }
+  if (spec.topology == SyntheticTopology::kDiodeLadder) {
+    os << ".MODEL DGEN D (IS=1e-14 N=1.0 EG=1.11 XTI=3 TNOM=300.15)\n";
+    for (int i = kDiodeEvery; i <= n; i += kDiodeEvery) {
+      os << "D" << i << " n" << i << " 0 DGEN\n";
+    }
+  } else if (spec.topology == SyntheticTopology::kBjtLadder) {
+    os << ".MODEL PNPGEN PNP (IS=2e-16 BF=45 NF=1.0 EG=1.17 XTI=3.5 "
+          "TNOM=300.15)\n";
+    // Diode-connected vertical PNP to ground, emitter at the ladder node
+    // (the paper's test-cell configuration, scaled out).
+    for (int i = kBjtEvery; i <= n; i += kBjtEvery) {
+      os << "Q" << i << " 0 0 n" << i << " PNPGEN\n";
+    }
+  }
+}
+
+void emit_mesh(std::ostringstream& os, const SyntheticNetlistSpec& spec,
+               Rng& rng) {
+  const int g = std::max(2, static_cast<int>(std::lround(
+                                std::sqrt(static_cast<double>(spec.nodes)))));
+  auto node = [g](int r, int c) { return r * g + c + 1; };
+  os << "V1 drv 0 5\n";
+  os << "RDRV drv n1 " << fmt(rng.uniform(100.0, 300.0)) << "\n";
+  for (int r = 0; r < g; ++r) {
+    for (int c = 0; c < g; ++c) {
+      if (c + 1 < g) {
+        os << "RH" << node(r, c) << " n" << node(r, c) << " n" << node(r, c + 1)
+           << " " << fmt(rng.uniform(500.0, 2000.0)) << "\n";
+      }
+      if (r + 1 < g) {
+        os << "RV" << node(r, c) << " n" << node(r, c) << " n" << node(r + 1, c)
+           << " " << fmt(rng.uniform(500.0, 2000.0)) << "\n";
+      }
+    }
+  }
+  // Load corner to ground, plus a few shunts so the DC point is well set.
+  os << "RLOAD n" << node(g - 1, g - 1) << " 0 "
+     << fmt(rng.uniform(2000.0, 8000.0)) << "\n";
+  os << ".MODEL DGEN D (IS=1e-14 N=1.0 EG=1.11 XTI=3 TNOM=300.15)\n";
+  for (int k = kMeshDiodeEvery; k <= g * g; k += kMeshDiodeEvery) {
+    os << "D" << k << " n" << k << " 0 DGEN\n";
+  }
+}
+
+int mesh_last_node(const SyntheticNetlistSpec& spec) {
+  const int g = std::max(2, static_cast<int>(std::lround(
+                                std::sqrt(static_cast<double>(spec.nodes)))));
+  return g * g;
+}
+
+}  // namespace
+
+std::string generated_probe_node(const SyntheticNetlistSpec& spec) {
+  const int last = spec.topology == SyntheticTopology::kMesh
+                       ? mesh_last_node(spec)
+                       : spec.nodes;
+  std::string name = "n";
+  name += std::to_string(last);
+  return name;
+}
+
+std::string generate_netlist(const SyntheticNetlistSpec& spec) {
+  ICVBE_REQUIRE(spec.nodes >= 4,
+                "generate_netlist: need at least 4 nodes");
+  std::ostringstream os;
+  emit_header(os, spec);
+  Rng rng(spec.seed);
+  if (spec.topology == SyntheticTopology::kMesh) {
+    emit_mesh(os, spec, rng);
+  } else {
+    emit_ladder(os, spec, rng);
+  }
+  if (spec.with_analysis) {
+    os << ".DC V1 3 6 0.5\n";
+    os << ".PROBE V(" << generated_probe_node(spec) << ") I(V1)\n";
+  }
+  os << ".END\n";
+  return os.str();
+}
+
+const char* topology_name(SyntheticTopology t) {
+  switch (t) {
+    case SyntheticTopology::kResistorLadder: return "ladder";
+    case SyntheticTopology::kDiodeLadder: return "diode-ladder";
+    case SyntheticTopology::kBjtLadder: return "bjt-ladder";
+    case SyntheticTopology::kMesh: return "mesh";
+  }
+  return "ladder";  // unreachable
+}
+
+SyntheticTopology topology_from_name(std::string_view name) {
+  if (name == "ladder") return SyntheticTopology::kResistorLadder;
+  if (name == "diode-ladder") return SyntheticTopology::kDiodeLadder;
+  if (name == "bjt-ladder") return SyntheticTopology::kBjtLadder;
+  if (name == "mesh") return SyntheticTopology::kMesh;
+  throw Error("unknown netlist topology '" + std::string(name) +
+              "' (want ladder, diode-ladder, bjt-ladder, or mesh)");
+}
+
+}  // namespace icvbe::spice

@@ -926,14 +926,20 @@ SweepResult SimSession::run(const AnalysisPlan& plan) {
   // Parallel outer fanout over per-thread circuit clones: workers pull row
   // indices from a shared counter and write only their own preallocated
   // slots (the LotCampaign discipline) -- scheduling decides who computes
-  // a row, never what it yields.
+  // a row, never what it yields. Workers are pinned to this session's
+  // bind-time linear engine: dense and sparse LU round differently, so a
+  // thread-count-dependent engine choice would break bit-identity with
+  // the serial path.
+  NewtonOptions worker_options = plan.options;
+  worker_options.sparse =
+      use_sparse_ ? SparseMode::kSparse : SparseMode::kDense;
   std::atomic<std::size_t> next{0};
   std::mutex error_mutex;
   std::exception_ptr first_error;
   auto worker = [&]() {
     try {
       Circuit clone = circuit_->clone();
-      SimSession session(clone, plan.options);
+      SimSession session(clone, worker_options);
       BoundPlan bound(plan, clone);
       for (;;) {
         const std::size_t o = next.fetch_add(1, std::memory_order_relaxed);

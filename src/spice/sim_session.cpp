@@ -20,13 +20,42 @@ void SimSession::rebind() {
   bound_device_count_ = circuit_->devices().size();
 
   const auto n = static_cast<std::size_t>(n_unknowns_);
-  a_.resize(n, n);
   b_.assign(n, 0.0);
   x_new_.assign(n, 0.0);
   x_ = Unknowns(n);
   x_stage_ = Unknowns(n);
   result_.solution = Unknowns(n);
   have_last_ = false;
+
+  // Linear-engine choice, fixed until the next rebind. Only the chosen
+  // engine's storage is materialised.
+  use_sparse_ =
+      options_.sparse == SparseMode::kSparse ||
+      (options_.sparse == SparseMode::kAuto &&
+       n_unknowns_ >= options_.sparse_threshold);
+  if (use_sparse_) {
+    a_ = linalg::Matrix();
+    lu_ = linalg::LuFactorization();
+    slu_ = linalg::SparseLuFactorization();
+    // Pattern discovery: one stamp pass registers every (row, col) a
+    // device can touch -- stamped values are irrelevant (a zero value
+    // still registers its slot), so the zero iterate works. The gmin
+    // diagonal slots are part of the pattern too.
+    sa_.resize(n, n);
+    Stamper st(sa_, b_, node_unknowns_);
+    for (const auto& dev : circuit_->devices()) dev->stamp(st, x_);
+    for (int i = 0; i < node_unknowns_; ++i) st.add_entry(i, i, 0.0);
+    sa_.freeze_pattern();
+    // The discovery pass ran device limiting at the zero iterate; wipe
+    // that memory and the scratch RHS so the first real solve starts
+    // clean.
+    for (const auto& dev : circuit_->devices()) dev->reset_state();
+    std::fill(b_.begin(), b_.end(), 0.0);
+  } else {
+    sa_ = linalg::SparseMatrix();
+    slu_ = linalg::SparseLuFactorization();
+    a_.resize(n, n);
+  }
 
   vsources_.clear();
   isources_.clear();
@@ -56,21 +85,29 @@ bool SimSession::newton_attempt(double gmin, Unknowns& x, int& iterations) {
 
   for (int iter = 0; iter < opt.max_iterations; ++iter) {
     ++iterations;
-    a_.fill(0.0);
+    linalg::MatrixView a = use_sparse_ ? linalg::MatrixView(sa_)
+                                       : linalg::MatrixView(a_);
+    a.fill(0.0);
     std::fill(b_.begin(), b_.end(), 0.0);
-    Stamper st(a_, b_, node_unknowns);
+    Stamper st(a, b_, node_unknowns);
     for (const auto& dev : circuit_->devices()) dev->stamp(st, x);
-    for (int i = 0; i < node_unknowns; ++i) {
-      a_(static_cast<std::size_t>(i), static_cast<std::size_t>(i)) += gmin;
-    }
+    for (int i = 0; i < node_unknowns; ++i) st.add_entry(i, i, gmin);
 
     try {
-      lu_.refactor(a_);
+      if (use_sparse_) {
+        slu_.refactor(sa_);
+      } else {
+        lu_.refactor(a_);
+      }
     } catch (const NumericalError&) {
       return false;
     }
     x_new_ = b_;  // same-size copy into the preallocated solve buffer
-    lu_.solve_in_place(x_new_);
+    if (use_sparse_) {
+      slu_.solve_in_place(x_new_);
+    } else {
+      lu_.solve_in_place(x_new_);
+    }
 
     // Global damping: scale the step so no node voltage moves more than
     // max_step_volts in one iteration (junction limiting inside the

@@ -4,9 +4,9 @@
 
 namespace icvbe::spice {
 
-Stamper::Stamper(linalg::Matrix& a, linalg::Vector& b, int node_unknowns)
+Stamper::Stamper(linalg::MatrixView a, linalg::Vector& b, int node_unknowns)
     : a_(a), b_(b), node_unknowns_(node_unknowns) {
-  ICVBE_REQUIRE(a.rows() == a.cols() && a.rows() == b.size(),
+  ICVBE_REQUIRE(a_.rows() == a_.cols() && a_.rows() == b.size(),
                 "Stamper: inconsistent system dimensions");
   ICVBE_REQUIRE(node_unknowns >= 0 &&
                     static_cast<std::size_t>(node_unknowns) <= b.size(),
@@ -15,7 +15,7 @@ Stamper::Stamper(linalg::Matrix& a, linalg::Vector& b, int node_unknowns)
 
 void Stamper::add_entry(int row, int col, double v) {
   if (row < 0 || col < 0) return;  // ground row/column is eliminated
-  a_(static_cast<std::size_t>(row), static_cast<std::size_t>(col)) += v;
+  a_.add(static_cast<std::size_t>(row), static_cast<std::size_t>(col), v);
 }
 
 void Stamper::add_rhs(int row, double v) {

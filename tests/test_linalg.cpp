@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <random>
 
 #include "icvbe/common/error.hpp"
@@ -98,6 +99,54 @@ TEST(LuTest, SolveManyRhsAfterOneFactor) {
                   e[static_cast<std::size_t>(i)], 1e-12);
     }
   }
+}
+
+TEST(LuTest, RefactorDetectsExactZeroPivotAtDenormalScale) {
+  // Regression: with every entry ~1e-310, pivot_tol * max|A| underflows
+  // to exactly 0.0, so the old `best < tol` test accepted the exactly
+  // singular matrix and the first solve quietly divided 0/0. Detection
+  // must be deterministic at refactor time.
+  Matrix good{{2.0, 1.0}, {1.0, 3.0}};
+  Matrix denormal_singular{{1e-310, 1e-310}, {1e-310, 1e-310}};
+  LuFactorization lu(good);
+  EXPECT_THROW(lu.refactor(denormal_singular), NumericalError);
+}
+
+TEST(LuTest, RefactorRejectsNonFiniteEntries) {
+  // A NaN loses every pivot comparison (and max_abs skips it), so it used
+  // to factor "successfully" and only surface as NaN in the first solve.
+  const double nan = std::nan("");
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(LuFactorization(Matrix{{nan, 1.0}, {1.0, 1.0}}),
+               NumericalError);
+  EXPECT_THROW(LuFactorization(Matrix{{1.0, inf}, {1.0, 1.0}}),
+               NumericalError);
+  // Off-pivot NaN: the pivots themselves stay clean, the solution would
+  // not have.
+  EXPECT_THROW(LuFactorization(Matrix{{2.0, nan}, {0.0, 1.0}}),
+               NumericalError);
+}
+
+TEST(LuTest, ZeroMatrixIsANumericalError) {
+  // A numerically zero Jacobian must surface as NumericalError so the
+  // Newton fallback machinery (which catches exactly that) handles it as
+  // a convergence failure rather than aborting the run.
+  EXPECT_THROW(LuFactorization(Matrix(2, 2, 0.0)), NumericalError);
+}
+
+TEST(LuTest, WorkspaceSurvivesASingularRefactor) {
+  // A refactor() that throws must leave the workspace reusable: the
+  // SimSession Newton loop catches the error, falls back (gmin/source
+  // stepping), and refactors the same instance again.
+  Matrix good{{2.0, 1.0}, {1.0, 3.0}};
+  Matrix singular{{1.0, 2.0}, {2.0, 4.0}};
+  LuFactorization lu;
+  lu.refactor(good);
+  EXPECT_THROW(lu.refactor(singular), NumericalError);
+  lu.refactor(good);
+  Vector x = lu.solve(Vector{3.0, 5.0});
+  EXPECT_NEAR(x[0], 0.8, 1e-12);
+  EXPECT_NEAR(x[1], 1.4, 1e-12);
 }
 
 TEST(LuTest, ConditionEstimateLargeForNearSingular) {

@@ -1,0 +1,275 @@
+// Unit tests for icvbe/linalg/sparse: the CSR SparseMatrix lifecycle and
+// the SparseLuFactorization symbolic-reuse engine, checked against the
+// dense LU on the same systems.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "icvbe/common/error.hpp"
+#include "icvbe/linalg/matrix.hpp"
+#include "icvbe/linalg/solve.hpp"
+#include "icvbe/linalg/sparse.hpp"
+
+namespace icvbe::linalg {
+namespace {
+
+TEST(SparseMatrixTest, BuildFreezeAccess) {
+  SparseMatrix m(3, 3);
+  EXPECT_FALSE(m.frozen());
+  m.add(0, 0, 2.0);
+  m.add(0, 2, 1.0);
+  m.add(1, 1, 3.0);
+  m.add(2, 0, -1.0);
+  m.add(2, 2, 4.0);
+  m.add(0, 0, 0.5);  // duplicate registration merges at freeze
+  m.freeze_pattern();
+  EXPECT_TRUE(m.frozen());
+  EXPECT_EQ(m.nonzeros(), 5u);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 2.5);
+  EXPECT_DOUBLE_EQ(m.at(0, 2), 1.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 0.0);  // outside pattern reads as zero
+  EXPECT_DOUBLE_EQ(m.at(2, 0), -1.0);
+}
+
+TEST(SparseMatrixTest, FrozenAddAccumulatesAndRejectsOutsidePattern) {
+  SparseMatrix m(2, 2);
+  m.add(0, 0, 1.0);
+  m.add(1, 1, 1.0);
+  m.freeze_pattern();
+  m.add(0, 0, 2.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 3.0);
+  EXPECT_THROW(m.add(0, 1, 1.0), Error);
+  m.fill(0.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 0.0);
+  m.add(0, 0, 7.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 7.0);
+}
+
+TEST(SparseMatrixTest, ZeroValueRegistersPatternEntry) {
+  SparseMatrix m(2, 2);
+  m.add(0, 0, 0.0);  // structural registration, value happens to be zero
+  m.add(0, 1, 0.0);
+  m.add(1, 0, 1.0);
+  m.add(1, 1, 1.0);
+  m.freeze_pattern();
+  EXPECT_EQ(m.nonzeros(), 4u);
+  m.add(0, 1, 5.0);  // must be inside the pattern
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 5.0);
+}
+
+TEST(SparseMatrixTest, UnfreezeReopensPattern) {
+  SparseMatrix m(2, 2);
+  m.add(0, 0, 1.0);
+  m.add(1, 1, 2.0);
+  m.freeze_pattern();
+  const auto stamp = m.pattern_stamp();
+  m.unfreeze();
+  m.add(0, 1, 3.0);
+  m.freeze_pattern();
+  EXPECT_EQ(m.nonzeros(), 3u);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 3.0);
+  EXPECT_NE(m.pattern_stamp(), stamp);
+}
+
+TEST(SparseMatrixTest, MultiplyMatchesDense) {
+  SparseMatrix m(3, 3);
+  m.add(0, 0, 2.0);
+  m.add(0, 1, -1.0);
+  m.add(1, 0, -1.0);
+  m.add(1, 1, 2.0);
+  m.add(1, 2, -1.0);
+  m.add(2, 1, -1.0);
+  m.add(2, 2, 2.0);
+  m.freeze_pattern();
+  const Vector x{1.0, 2.0, 3.0};
+  const Vector y = m.multiply(x);
+  const Vector yd = m.to_dense().multiply(x);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(y[i], yd[i]);
+}
+
+TEST(SparseLuTest, SolvesTridiagonalSystem) {
+  const std::size_t n = 50;
+  SparseMatrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    m.add(i, i, 4.0);
+    if (i + 1 < n) {
+      m.add(i, i + 1, -1.0);
+      m.add(i + 1, i, -1.0);
+    }
+  }
+  m.freeze_pattern();
+  Vector b(n, 1.0);
+  SparseLuFactorization lu;
+  lu.refactor(m);
+  const Vector x = lu.solve(b);
+  const Vector ax = m.multiply(x);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(ax[i], b[i], 1e-12);
+}
+
+TEST(SparseLuTest, HandlesZeroDiagonalMnaShape) {
+  // Voltage-source-style MNA block: node conductances plus an aux row/col
+  // pair with a structurally zero diagonal -- no-pivoting LU dies here.
+  //   [ g  0  1 ] [v1]   [0]
+  //   [ 0  g -1 ] [v2] = [0]
+  //   [ 1 -1  0 ] [i ]   [E]
+  SparseMatrix m(3, 3);
+  m.add(0, 0, 1e-3);
+  m.add(0, 2, 1.0);
+  m.add(1, 1, 1e-3);
+  m.add(1, 2, -1.0);
+  m.add(2, 0, 1.0);
+  m.add(2, 1, -1.0);
+  m.freeze_pattern();
+  SparseLuFactorization lu;
+  lu.refactor(m);
+  Vector b{0.0, 0.0, 5.0};
+  lu.solve_in_place(b);
+  const Vector ax = m.multiply(b);
+  EXPECT_NEAR(ax[0], 0.0, 1e-12);
+  EXPECT_NEAR(ax[1], 0.0, 1e-12);
+  EXPECT_NEAR(ax[2], 5.0, 1e-12);
+}
+
+TEST(SparseLuTest, SingularMatrixThrows) {
+  SparseMatrix m(2, 2);
+  m.add(0, 0, 1.0);
+  m.add(0, 1, 2.0);
+  m.add(1, 0, 2.0);
+  m.add(1, 1, 4.0);
+  m.freeze_pattern();
+  SparseLuFactorization lu;
+  EXPECT_THROW(lu.refactor(m), NumericalError);
+}
+
+TEST(SparseLuTest, ZeroMatrixIsANumericalError) {
+  // Same contract as the dense engine: a numerically zero matrix stays
+  // inside the Newton fallback machinery (NumericalError), it does not
+  // abort as API misuse.
+  SparseMatrix m(2, 2);
+  m.add(0, 0, 0.0);
+  m.add(1, 1, 0.0);
+  m.freeze_pattern();
+  SparseLuFactorization lu;
+  EXPECT_THROW(lu.refactor(m), NumericalError);
+}
+
+TEST(SparseLuTest, StructurallySingularThrows) {
+  SparseMatrix m(2, 2);
+  m.add(0, 0, 1.0);  // row 1 has no entries at all
+  m.freeze_pattern();
+  SparseLuFactorization lu;
+  EXPECT_THROW(lu.refactor(m), NumericalError);
+}
+
+TEST(SparseLuTest, NonFiniteEntriesThrowAtRefactor) {
+  SparseMatrix m(2, 2);
+  m.add(0, 0, std::nan(""));
+  m.add(0, 1, 1.0);
+  m.add(1, 0, 1.0);
+  m.add(1, 1, 1.0);
+  m.freeze_pattern();
+  SparseLuFactorization lu;
+  EXPECT_THROW(lu.refactor(m), NumericalError);
+}
+
+TEST(SparseLuTest, SymbolicAnalysisIsReused) {
+  const std::size_t n = 30;
+  SparseMatrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    m.add(i, i, 3.0);
+    if (i + 1 < n) {
+      m.add(i, i + 1, -1.0);
+      m.add(i + 1, i, -1.0);
+    }
+  }
+  m.freeze_pattern();
+  SparseLuFactorization lu;
+  lu.refactor(m);
+  EXPECT_EQ(lu.analysis_count(), 1);
+  for (int pass = 0; pass < 5; ++pass) {
+    m.fill(0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      m.add(i, i, 3.0 + 0.1 * pass);
+      if (i + 1 < n) {
+        m.add(i, i + 1, -1.0);
+        m.add(i + 1, i, -1.0);
+      }
+    }
+    lu.refactor(m);
+    Vector b(n, 1.0);
+    lu.solve_in_place(b);
+    const Vector ax = m.multiply(b);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(ax[i], 1.0, 1e-12);
+  }
+  EXPECT_EQ(lu.analysis_count(), 1) << "numeric refactor re-ran the analysis";
+}
+
+TEST(SparseLuTest, ReanalyzesOnPivotCollapse) {
+  // First factor with a dominant (0,0); then shrink it to ~0 so the frozen
+  // pivot collapses and the engine must re-pivot instead of failing.
+  SparseMatrix m(2, 2);
+  m.add(0, 0, 10.0);
+  m.add(0, 1, 1.0);
+  m.add(1, 0, 1.0);
+  m.add(1, 1, 1e-12);
+  m.freeze_pattern();
+  SparseLuFactorization lu;
+  lu.refactor(m);
+  const int analyses_before = lu.analysis_count();
+
+  m.fill(0.0);
+  m.add(0, 0, 0.0);
+  m.add(0, 1, 1.0);
+  m.add(1, 0, 1.0);
+  m.add(1, 1, 1.0);
+  lu.refactor(m);
+  EXPECT_GT(lu.analysis_count(), analyses_before);
+  Vector b{1.0, 3.0};
+  lu.solve_in_place(b);
+  // x solves [0 1; 1 1] x = [1, 3] -> x = (2, 1).
+  EXPECT_NEAR(b[0], 2.0, 1e-12);
+  EXPECT_NEAR(b[1], 1.0, 1e-12);
+}
+
+// Property sweep: random sparse diagonally-dominant systems agree with the
+// dense LU to near machine precision, across repeated refactors.
+class RandomSparseTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomSparseTest, AgreesWithDenseLu) {
+  const std::size_t n = 60;
+  std::mt19937 gen(static_cast<unsigned>(GetParam()));
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  std::uniform_int_distribution<std::size_t> pick(0, n - 1);
+
+  SparseMatrix s(n, n);
+  Matrix d(n, n, 0.0);
+  auto put = [&](std::size_t r, std::size_t c, double v) {
+    s.add(r, c, v);
+    d(r, c) += v;
+  };
+  for (std::size_t i = 0; i < n; ++i) put(i, i, 5.0 + dist(gen));
+  for (int e = 0; e < 240; ++e) {
+    const std::size_t r = pick(gen);
+    const std::size_t c = pick(gen);
+    if (r != c) put(r, c, dist(gen));
+  }
+  s.freeze_pattern();
+
+  SparseLuFactorization slu;
+  slu.refactor(s);
+  LuFactorization dlu(d);
+  Vector b(n);
+  for (std::size_t i = 0; i < n; ++i) b[i] = dist(gen);
+  const Vector xs = slu.solve(b);
+  const Vector xd = dlu.solve(b);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(xs[i], xd[i], 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomSparseTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace icvbe::linalg

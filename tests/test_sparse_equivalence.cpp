@@ -1,0 +1,255 @@
+// Dense-vs-sparse equivalence and stress harness over generated synthetic
+// netlists (spice/netlist_gen.hpp): the sparse CSR engine must reproduce
+// the dense workspace engine's solutions to <= 1e-10 across DC solves and
+// full analysis plans, stay allocation-free per point (this binary links
+// icvbe_alloc_hook), and keep the plan contract's bit-identical parallel
+// fanout.
+//
+// Default sizes keep the suite inside the ordinary ctest budget; set
+// ICVBE_SPARSE_STRESS=1 (the Release CI job does) to add the large
+// configurations.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "icvbe/spice/netlist.hpp"
+#include "icvbe/spice/netlist_gen.hpp"
+#include "icvbe/spice/plan.hpp"
+#include "icvbe/spice/sim_session.hpp"
+#include "icvbe/testing/alloc_hook.hpp"
+
+namespace icvbe::spice {
+namespace {
+
+constexpr double kAgreeTol = 1e-10;
+
+bool stress_enabled() {
+  const char* env = std::getenv("ICVBE_SPARSE_STRESS");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+/// Newton tolerances tight enough that both engines converge to within
+/// ~1e-12 of the true operating point: at the default reltol=1e-6 each
+/// engine would legitimately stop microvolts from the root (and from each
+/// other), drowning the 1e-10 comparison in solver slack. The absolute
+/// floors stay above the ~3e-12 iterate noise of a 500-unknown solve, or
+/// convergence would be unreachable.
+NewtonOptions tight_options(SparseMode mode) {
+  NewtonOptions opt;
+  opt.v_abstol = 1e-11;
+  opt.i_abstol = 1e-14;
+  opt.reltol = 1e-12;
+  opt.sparse = mode;
+  return opt;
+}
+
+struct EquivalenceCase {
+  SyntheticTopology topology;
+  int nodes;
+};
+
+std::vector<EquivalenceCase> equivalence_cases() {
+  std::vector<EquivalenceCase> cases = {
+      {SyntheticTopology::kResistorLadder, 50},
+      {SyntheticTopology::kResistorLadder, 500},
+      {SyntheticTopology::kDiodeLadder, 50},
+      {SyntheticTopology::kDiodeLadder, 200},
+      {SyntheticTopology::kBjtLadder, 50},
+      {SyntheticTopology::kBjtLadder, 200},
+      {SyntheticTopology::kMesh, 100},
+      {SyntheticTopology::kMesh, 500},
+  };
+  if (stress_enabled()) {
+    cases.push_back({SyntheticTopology::kResistorLadder, 2000});
+    cases.push_back({SyntheticTopology::kDiodeLadder, 1000});
+    cases.push_back({SyntheticTopology::kMesh, 1000});
+  }
+  return cases;
+}
+
+std::string case_name(const EquivalenceCase& c) {
+  return std::string(topology_name(c.topology)) + "/" +
+         std::to_string(c.nodes);
+}
+
+ParsedNetlist parse_case(const EquivalenceCase& c, std::uint64_t seed = 42) {
+  SyntheticNetlistSpec spec;
+  spec.topology = c.topology;
+  spec.nodes = c.nodes;
+  spec.seed = seed;
+  return parse_netlist(generate_netlist(spec));
+}
+
+TEST(SparseEquivalence, DcOperatingPointMatchesDense) {
+  for (const EquivalenceCase& c : equivalence_cases()) {
+    SCOPED_TRACE(case_name(c));
+    auto dense_deck = parse_case(c);
+    auto sparse_deck = parse_case(c);
+
+    SimSession dense(*dense_deck.circuit, tight_options(SparseMode::kDense));
+    SimSession sparse(*sparse_deck.circuit,
+                      tight_options(SparseMode::kSparse));
+    EXPECT_FALSE(dense.uses_sparse_engine());
+    EXPECT_TRUE(sparse.uses_sparse_engine());
+    ASSERT_EQ(dense.unknown_count(), sparse.unknown_count());
+
+    const Unknowns& xd = dense.solve_or_throw();
+    const Unknowns& xs = sparse.solve_or_throw();
+    for (std::size_t i = 0; i < xd.size(); ++i) {
+      EXPECT_NEAR(xd.raw()[i], xs.raw()[i], kAgreeTol)
+          << "unknown " << i << " of " << xd.size();
+    }
+  }
+}
+
+TEST(SparseEquivalence, DeckPlanColumnsMatchDense) {
+  for (const EquivalenceCase& c : equivalence_cases()) {
+    SCOPED_TRACE(case_name(c));
+    auto dense_deck = parse_case(c);
+    auto sparse_deck = parse_case(c);
+    ASSERT_TRUE(dense_deck.plan.has_value());
+
+    AnalysisPlan plan = *dense_deck.plan;
+    plan.options = tight_options(SparseMode::kDense);
+    SimSession dense(*dense_deck.circuit, plan.options);
+    const SweepResult rd = dense.run(plan);
+
+    plan.options = tight_options(SparseMode::kSparse);
+    SimSession sparse(*sparse_deck.circuit, plan.options);
+    const SweepResult rs = sparse.run(plan);
+
+    ASSERT_EQ(rd.rows(), rs.rows());
+    ASSERT_EQ(rd.probe_count(), rs.probe_count());
+    for (std::size_t p = 0; p < rd.probe_count(); ++p) {
+      for (std::size_t r = 0; r < rd.rows(); ++r) {
+        EXPECT_NEAR(rd.value(p, r), rs.value(p, r), kAgreeTol)
+            << "probe " << p << " row " << r;
+      }
+    }
+  }
+}
+
+TEST(SparseEquivalence, AutoModePicksEngineByThreshold) {
+  // Default auto threshold: a 500-node deck binds sparse ...
+  auto big = parse_case({SyntheticTopology::kResistorLadder, 500});
+  SimSession big_session(*big.circuit);
+  EXPECT_TRUE(big_session.uses_sparse_engine());
+
+  // ... a deck below the threshold stays dense ...
+  auto small = parse_case({SyntheticTopology::kResistorLadder, 10});
+  SimSession small_session(*small.circuit);
+  EXPECT_FALSE(small_session.uses_sparse_engine());
+
+  // ... and a custom threshold moves the crossover.
+  NewtonOptions opt;
+  opt.sparse_threshold = 8;
+  auto small2 = parse_case({SyntheticTopology::kResistorLadder, 10});
+  SimSession forced(*small2.circuit, opt);
+  EXPECT_TRUE(forced.uses_sparse_engine());
+}
+
+TEST(SparseEquivalence, TwoAxisPlanBitIdenticalAcrossThreadCounts) {
+  // The plan contract (test_plan) on the sparse path: outer rows fanned
+  // across per-thread clones must produce bit-identical columns for any
+  // thread count -- workers are pinned to the parent session's engine.
+  const EquivalenceCase c{SyntheticTopology::kDiodeLadder, 200};
+  AnalysisPlan plan;
+  plan.name = "sparse-fanout";
+  plan.axes.push_back(
+      SweepAxis::temperature_celsius(SweepGrid::list({0.0, 27.0, 75.0})));
+  plan.axes.push_back(
+      SweepAxis::vsource("V1", SweepGrid::linear(3.0, 6.0, 11)));
+  plan.probes.push_back(parse_probe("V(n200)"));
+  plan.probes.push_back(parse_probe("I(V1)"));
+
+  std::vector<SweepResult> results;
+  for (unsigned threads : {1u, 2u, 4u}) {
+    auto deck = parse_case(c);
+    deck.circuit->set_temperature(300.15);
+    plan.threads = threads;
+    SimSession session(*deck.circuit, tight_options(SparseMode::kSparse));
+    ASSERT_TRUE(session.uses_sparse_engine());
+    results.push_back(session.run(plan));
+  }
+  for (std::size_t v = 1; v < results.size(); ++v) {
+    for (std::size_t p = 0; p < results[0].probe_count(); ++p) {
+      for (std::size_t r = 0; r < results[0].rows(); ++r) {
+        EXPECT_EQ(results[0].value(p, r), results[v].value(p, r))
+            << "thread variant " << v << " probe " << p << " row " << r;
+      }
+    }
+  }
+}
+
+TEST(SparseEquivalence, SparseSolveIsAllocationFreeAfterSetup) {
+  auto deck = parse_case({SyntheticTopology::kMesh, 500});
+  SimSession session(*deck.circuit, tight_options(SparseMode::kSparse));
+  ASSERT_TRUE(session.uses_sparse_engine());
+
+  // First solve performs the one-time symbolic analysis.
+  (void)session.solve_or_throw();
+  // Steady-state warm solves must not touch the heap at all.
+  auto& v1 = deck.circuit->get<VoltageSource>("V1");
+  const std::uint64_t a0 = testing::allocation_count();
+  for (int i = 0; i < 5; ++i) {
+    v1.set_voltage(5.0 + 0.05 * i);
+    (void)session.solve_or_throw();
+  }
+  const std::uint64_t a1 = testing::allocation_count();
+  EXPECT_EQ(a1 - a0, 0u)
+      << "sparse Newton steady state allocated on the heap";
+}
+
+TEST(SparseEquivalence, SparsePlanAllocationsIndependentOfPointCount) {
+  // The test_plan discipline on the sparse path: a run over 10x the
+  // points must allocate exactly as much as the small run (per-run setup
+  // only, nothing per point).
+  auto deck = parse_case({SyntheticTopology::kMesh, 200});
+  SimSession session(*deck.circuit, tight_options(SparseMode::kSparse));
+  ASSERT_TRUE(session.uses_sparse_engine());
+
+  AnalysisPlan small;
+  small.name = "alloc-small";
+  small.axes.push_back(
+      SweepAxis::vsource("V1", SweepGrid::linear(3.0, 6.0, 10)));
+  small.probes.push_back(parse_probe("V(" +
+                                     generated_probe_node(
+                                         {SyntheticTopology::kMesh, 200, 42,
+                                          true}) +
+                                     ")"));
+  AnalysisPlan large = small;
+  large.name = "alloc-large";
+  large.axes[0] = SweepAxis::vsource("V1", SweepGrid::linear(3.0, 6.0, 100));
+
+  // Warm-up run: symbolic analysis plus any lazy result-shape setup.
+  (void)session.run(small);
+
+  const std::uint64_t a0 = testing::allocation_count();
+  const SweepResult rs = session.run(small);
+  const std::uint64_t a1 = testing::allocation_count();
+  const SweepResult rl = session.run(large);
+  const std::uint64_t a2 = testing::allocation_count();
+  EXPECT_EQ(rs.rows(), 10u);
+  EXPECT_EQ(rl.rows(), 100u);
+  EXPECT_EQ(a1 - a0, a2 - a1)
+      << "sparse run() allocation count scales with point count";
+}
+
+TEST(SparseEquivalence, SymbolicAnalysisSurvivesAWholePlanRun) {
+  // Engine-level counterpart of the zero-alloc assertion: the whole sweep
+  // must reuse one symbolic analysis (pattern and pivot order are
+  // operating-point independent).
+  auto deck = parse_case({SyntheticTopology::kDiodeLadder, 200});
+  SimSession session(*deck.circuit, tight_options(SparseMode::kSparse));
+  ASSERT_TRUE(deck.plan.has_value());
+  AnalysisPlan plan = *deck.plan;
+  plan.options = tight_options(SparseMode::kSparse);
+  const SweepResult r = session.run(plan);
+  EXPECT_GT(r.rows(), 0u);
+}
+
+}  // namespace
+}  // namespace icvbe::spice

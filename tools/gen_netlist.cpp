@@ -1,0 +1,35 @@
+// gen_netlist: emit a synthetic stress deck on stdout.
+//
+//   gen_netlist <ladder|diode-ladder|bjt-ladder|mesh> <nodes> [seed]
+//
+// The decks are the sparse-engine stress workloads (see
+// spice/netlist_gen.hpp); pipe one into `icvbe run /dev/stdin` or save it
+// for an external SPICE to chew on. Same topology+nodes+seed, same text.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "icvbe/common/error.hpp"
+#include "icvbe/spice/netlist_gen.hpp"
+
+int main(int argc, char** argv) {
+  using namespace icvbe;
+  try {
+    if (argc < 3 || argc > 4) {
+      std::fprintf(stderr,
+                   "usage: gen_netlist <ladder|diode-ladder|bjt-ladder|mesh> "
+                   "<nodes> [seed]\n");
+      return 2;
+    }
+    spice::SyntheticNetlistSpec spec;
+    spec.topology = spice::topology_from_name(argv[1]);
+    spec.nodes = std::stoi(argv[2]);
+    if (argc == 4) spec.seed = std::stoull(argv[3]);
+    std::cout << spice::generate_netlist(spec);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "gen_netlist: %s\n", e.what());
+    return 1;
+  }
+}

@@ -2,8 +2,13 @@
 //
 //   icvbe simulate <deck.cir>            solve the DC operating point of a
 //                                        SPICE-like netlist at its .TEMP
-//   icvbe run <deck.cir> [threads]       execute the deck's .DC/.STEP/.PROBE
-//                                        analysis plan, CSV out
+//   icvbe run <deck.cir> [threads] [--sparse[=auto|on|off]]
+//                                        execute the deck's .DC/.STEP/.PROBE
+//                                        analysis plan, CSV out. --sparse
+//                                        picks the linear engine: auto
+//                                        (default, by MNA unknown count:
+//                                        nodes + source branch currents),
+//                                        on (force CSR), off (force dense)
 //   icvbe sweep <deck.cir> <vsrc> <from> <to> <n> <node>
 //                                        DC sweep a voltage source, CSV out
 //   icvbe tempsweep <deck.cir> <fromC> <toC> <n> <node>
@@ -43,7 +48,13 @@ int usage() {
                "usage: icvbe <simulate|run|sweep|tempsweep|extract|lot|"
                "table1|truthcard> [args]\n"
                "  simulate <deck.cir>\n"
-               "  run <deck.cir> [threads]\n"
+               "  run <deck.cir> [threads] [--sparse[=auto|on|off]]\n"
+               "      --sparse picks the linear engine: auto (default) "
+               "switches to the\n"
+               "      CSR solver above an MNA-unknown-count threshold "
+               "(nodes + source\n"
+               "      branch currents), on forces it, off forces the dense "
+               "workspace solver\n"
                "  sweep <deck.cir> <vsrc> <from> <to> <points> <node>\n"
                "  tempsweep <deck.cir> <fromC> <toC> <points> <node>\n"
                "  extract [sample-index]\n"
@@ -139,7 +150,17 @@ int cmd_simulate(const std::string& path) {
   return 0;
 }
 
-int cmd_run(const std::string& path, unsigned threads) {
+/// Parse a `--sparse` / `--sparse=<mode>` flag value.
+spice::SparseMode parse_sparse_mode(const std::string& text) {
+  if (text.empty() || text == "auto") return spice::SparseMode::kAuto;
+  if (text == "on" || text == "sparse") return spice::SparseMode::kSparse;
+  if (text == "off" || text == "dense") return spice::SparseMode::kDense;
+  throw Error("--sparse: unknown mode '" + text +
+              "' (want auto, on, or off)");
+}
+
+int cmd_run(const std::string& path, unsigned threads,
+            spice::SparseMode sparse_mode) {
   auto parsed = load_deck(path);
   if (!parsed.plan.has_value()) {
     throw Error("deck '" + path +
@@ -149,7 +170,10 @@ int cmd_run(const std::string& path, unsigned threads) {
   c.set_temperature(to_kelvin(parsed.temperature_celsius));
   spice::AnalysisPlan plan = *parsed.plan;
   plan.threads = threads;
-  spice::SimSession session(c);
+  spice::NewtonOptions session_options;
+  session_options.sparse = sparse_mode;
+  plan.options.sparse = sparse_mode;
+  spice::SimSession session(c, session_options);
   // .NODESET hints seed the first point -- and, for 2-axis plans, the
   // deterministic start of every outer row.
   if (!parsed.nodesets.empty()) {
@@ -293,11 +317,28 @@ int main(int argc, char** argv) {
     if (args.empty()) return usage();
     const std::string& cmd = args[0];
     if (cmd == "simulate" && args.size() == 2) return cmd_simulate(args[1]);
-    if (cmd == "run" && (args.size() == 2 || args.size() == 3)) {
+    if (cmd == "run") {
+      // Accept --sparse[=mode] anywhere after the subcommand.
+      spice::SparseMode sparse_mode = spice::SparseMode::kAuto;
+      std::vector<std::string> positional;
+      for (std::size_t i = 1; i < args.size(); ++i) {
+        if (args[i] == "--sparse") {
+          sparse_mode = spice::SparseMode::kAuto;
+        } else if (args[i].rfind("--sparse=", 0) == 0) {
+          sparse_mode = parse_sparse_mode(
+              args[i].substr(std::string("--sparse=").size()));
+        } else if (args[i].rfind("--", 0) == 0) {
+          throw Error("unknown option '" + args[i] + "'");
+        } else {
+          positional.push_back(args[i]);
+        }
+      }
+      if (positional.size() != 1 && positional.size() != 2) return usage();
       const int threads =
-          args.size() > 2 ? parse_int_arg("threads", args[2]) : 1;
+          positional.size() > 1 ? parse_int_arg("threads", positional[1]) : 1;
       if (threads < 0) throw Error("threads: must be >= 0");
-      return cmd_run(args[1], static_cast<unsigned>(threads));
+      return cmd_run(positional[0], static_cast<unsigned>(threads),
+                     sparse_mode);
     }
     if (cmd == "sweep" && args.size() == 7) {
       return cmd_sweep(args[1], args[2], parse_double_arg("from", args[3]),
