@@ -1,0 +1,155 @@
+// Transient startup-settling throughput on generated RC-ladder decks.
+//
+// Stage 1 (report): for each ladder size, run the deck's full .TRAN
+// startup settling (PULSE supply step into an n-stage RC line) with the
+// adaptive trapezoidal controller on both linear engines, and record
+// wall time, accepted/rejected steps, Newton iterations, and timestep
+// throughput into results/BENCH_tran.json (plus the usual CSV).
+//
+// Stage 2: google-benchmark timings of the bare TransientSolver::advance()
+// stepping kernel (the allocation-free inner loop) for both integration
+// methods.
+
+#include <chrono>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "icvbe/spice/netlist.hpp"
+#include "icvbe/spice/netlist_gen.hpp"
+#include "icvbe/spice/sim_session.hpp"
+#include "icvbe/spice/transient.hpp"
+
+namespace {
+
+using namespace icvbe;
+using Clock = std::chrono::steady_clock;
+
+spice::ParsedNetlist make_ladder(int nodes, std::uint64_t seed = 42) {
+  spice::SyntheticNetlistSpec spec;
+  spec.topology = spice::SyntheticTopology::kRcLadder;
+  spec.nodes = nodes;
+  spec.seed = seed;
+  return spice::parse_netlist(spice::generate_netlist(spec));
+}
+
+struct SettleRow {
+  int nodes = 0;
+  int unknowns = 0;
+  bool sparse = false;
+  double wall_ms = 0.0;
+  long accepted = 0;
+  long rejected = 0;
+  long newton_iterations = 0;
+  [[nodiscard]] double steps_per_second() const {
+    return wall_ms > 0.0 ? 1e3 * static_cast<double>(accepted) / wall_ms
+                         : 0.0;
+  }
+};
+
+SettleRow run_settling(int nodes, spice::SparseMode mode) {
+  auto parsed = make_ladder(nodes);
+  spice::NewtonOptions options;
+  options.sparse = mode;
+  spice::SimSession session(*parsed.circuit, options);
+  spice::TransientSolver solver(session, *parsed.plan->transient);
+  solver.begin();
+  const auto t0 = Clock::now();
+  while (solver.advance()) {
+  }
+  const auto t1 = Clock::now();
+  SettleRow row;
+  row.nodes = nodes;
+  row.unknowns = session.unknown_count();
+  row.sparse = session.uses_sparse_engine();
+  row.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  row.accepted = solver.steps_accepted();
+  row.rejected = solver.steps_rejected();
+  row.newton_iterations = solver.newton_iterations();
+  return row;
+}
+
+void write_json(const std::vector<SettleRow>& rows, const std::string& path) {
+  std::ofstream os(path);
+  os << "{\n"
+     << "  \"bench\": \"bench_tran\",\n"
+     << "  \"kernel\": \"adaptive trapezoidal .TRAN startup settling on "
+        "generated RC-ladder decks\",\n"
+     << "  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const SettleRow& r = rows[i];
+    os << "    {\"nodes\": " << r.nodes << ", \"unknowns\": " << r.unknowns
+       << ", \"engine\": \"" << (r.sparse ? "sparse" : "dense") << "\""
+       << ", \"wall_ms\": " << r.wall_ms << ", \"steps\": " << r.accepted
+       << ", \"rejected\": " << r.rejected
+       << ", \"newton_iterations\": " << r.newton_iterations
+       << ", \"steps_per_s\": " << r.steps_per_second() << "}"
+       << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+}
+
+void report() {
+  bench::banner(
+      "Transient startup settling on generated RC ladders (.TRAN, "
+      "adaptive trapezoidal)");
+  std::vector<SettleRow> rows;
+  const int sizes[] = {20, 50, 100, 200};
+  for (int nodes : sizes) {
+    rows.push_back(run_settling(nodes, spice::SparseMode::kDense));
+    rows.push_back(run_settling(nodes, spice::SparseMode::kSparse));
+  }
+
+  Table t({"nodes", "unknowns", "engine", "wall [ms]", "steps", "rejected",
+           "newton iters", "steps/s"});
+  for (const SettleRow& r : rows) {
+    t.add_row({std::to_string(r.nodes), std::to_string(r.unknowns),
+               r.sparse ? "sparse" : "dense", format_sig(r.wall_ms, 4),
+               std::to_string(r.accepted), std::to_string(r.rejected),
+               std::to_string(r.newton_iterations),
+               format_sig(r.steps_per_second(), 4)});
+  }
+  bench::emit(t, "tran_settling.csv");
+
+  const std::string json_path = bench::results_dir() + "/BENCH_tran.json";
+  write_json(rows, json_path);
+  std::printf("[json] %s\n", json_path.c_str());
+}
+
+// ------------------------------------------- registered microbenchmarks --
+
+void bm_advance(benchmark::State& state, spice::IntegrationMethod method) {
+  auto parsed = make_ladder(static_cast<int>(state.range(0)));
+  spice::SimSession session(*parsed.circuit);
+  spice::TransientSpec spec = *parsed.plan->transient;
+  spec.method = method;
+  spec.tstop *= 1e3;  // effectively unbounded: the loop below sets the pace
+  spice::TransientSolver solver(session, spec);
+  solver.begin();
+  for (int i = 0; i < 20; ++i) {
+    if (!solver.advance()) break;  // warm-up past breakpoints/analysis
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.advance());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_TransientAdvanceBE(benchmark::State& state) {
+  bm_advance(state, spice::IntegrationMethod::kBackwardEuler);
+}
+BENCHMARK(BM_TransientAdvanceBE)->Arg(50);
+
+void BM_TransientAdvanceTrap(benchmark::State& state) {
+  bm_advance(state, spice::IntegrationMethod::kTrapezoidal);
+}
+BENCHMARK(BM_TransientAdvanceTrap)->Arg(50)->Arg(200);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  report();
+  return icvbe::bench::run_benchmarks(argc, argv);
+}

@@ -30,6 +30,10 @@ namespace icvbe::linalg {
 /// comment). All coordinate registrations happen while building -- value
 /// zero still registers a pattern entry, so a stamp pass at an arbitrary
 /// operating point discovers the full structural pattern.
+///
+/// Thread-safety: no internal synchronisation; one writer at a time.
+/// Distinct instances are fully independent (parallel plan workers each
+/// restamp their own copy).
 class SparseMatrix {
  public:
   SparseMatrix() = default;
@@ -49,6 +53,7 @@ class SparseMatrix {
   /// Accumulate v at (r, c). Building phase: registers the coordinate
   /// (allocates). Frozen phase: allocation-free accumulation into the
   /// stored slot; throws Error if (r, c) is outside the frozen pattern.
+  /// \pre r < rows(), c < cols().
   void add(std::size_t r, std::size_t c, double v) {
     if (frozen_) {
       values_[slot(r, c)] += v;
@@ -135,6 +140,11 @@ class SparseMatrix {
 ///    if the matrix is genuinely singular to working precision.
 ///
 /// API mirrors the dense LuFactorization so SimSession can hold either.
+///
+/// Thread-safety: refactor() mutates the cached factors; solve_in_place()
+/// is const but uses an internal permutation buffer, so concurrent solves
+/// on ONE instance are racy. One instance per thread (the plan-worker
+/// discipline) is safe.
 class SparseLuFactorization {
  public:
   SparseLuFactorization() = default;
@@ -143,9 +153,16 @@ class SparseLuFactorization {
   /// symbolic analysis; later calls with the same pattern are
   /// allocation-free. Throws NumericalError if A is singular to working
   /// precision (best available pivot below pivot_tol * max|A|).
+  /// \pre a.frozen(), a square and non-empty, all values finite (checked:
+  ///      non-finite input throws NumericalError deterministically here,
+  ///      never surfacing at the first solve).
+  /// \post the factors match this matrix's values; a frozen-pivot
+  ///       collapse or runaway element growth re-ran the analysis with
+  ///       fresh pivoting (allocates; analysis_count() increments).
   void refactor(const SparseMatrix& a, double pivot_tol = 1e-14);
 
   /// Solve A x = rhs with the solution overwriting rhs; allocation-free.
+  /// \pre refactor() has succeeded; rhs.size() == size().
   void solve_in_place(Vector& rhs) const;
 
   /// Solve A x = b.
@@ -164,18 +181,30 @@ class SparseLuFactorization {
     return analysis_count_;
   }
 
+  /// Rough 1-norm condition estimate via |A|_1 * |A^-1 e|_1 probing --
+  /// the same +/-1-vector probe the dense LuFactorization uses, so the
+  /// two engines report comparable numbers on the same system (held to
+  /// within 10x by test_sparse).
+  /// \pre refactor() has succeeded. Allocates two temporary vectors.
+  [[nodiscard]] double condition_estimate() const;
+
  private:
   /// Full factorisation with pivot search; caches order + pattern.
   /// `tol_abs` = pivot_tol * max|A|, computed once by refactor().
   void analyze(const SparseMatrix& a, double tol_abs);
   /// Numeric-only pass along the cached order/pattern. Returns false on
-  /// pivot breakdown (caller re-analyses).
-  [[nodiscard]] bool refactor_frozen(const SparseMatrix& a, double tol_abs);
+  /// pivot breakdown or runaway element growth -- the frozen pivots were
+  /// chosen for different numerics, e.g. a transient restamp whose
+  /// companion conductances dwarf the values the analysis saw (caller
+  /// re-analyses). `amax` = max|A| of the current matrix.
+  [[nodiscard]] bool refactor_frozen(const SparseMatrix& a, double tol_abs,
+                                     double amax);
   [[nodiscard]] bool pattern_matches(const SparseMatrix& a) const;
 
   std::size_t n_ = 0;
   bool analyzed_ = false;
   int analysis_count_ = 0;
+  double a_norm1_ = 0.0;  ///< 1-norm of the last refactored A
 
   // Identity of the analysed pattern (SparseMatrix::pattern_stamp is
   // process-unique per freeze, so equality means the same frozen CSR).

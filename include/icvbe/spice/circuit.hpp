@@ -1,6 +1,7 @@
 #pragma once
 // Circuit: owns devices and the node table; assigns unknown indices.
 
+#include <cmath>
 #include <map>
 #include <memory>
 #include <string>
@@ -11,6 +12,7 @@
 #include "icvbe/spice/bjt.hpp"
 #include "icvbe/spice/device.hpp"
 #include "icvbe/spice/diode.hpp"
+#include "icvbe/spice/dynamic_devices.hpp"
 #include "icvbe/spice/linear_devices.hpp"
 #include "icvbe/spice/mosfet.hpp"
 
@@ -52,6 +54,10 @@ class Circuit {
                BjtModel model, double area = 1.0, NodeId substrate = kGround);
   Mosfet& add_mosfet(std::string name, NodeId drain, NodeId gate,
                      NodeId source, MosfetModel model, double w_over_l = 1.0);
+  Capacitor& add_capacitor(std::string name, NodeId a, NodeId b,
+                           double farads, double ic_volts = std::nan(""));
+  Inductor& add_inductor(std::string name, NodeId p, NodeId m,
+                         double henries, double ic_amps = std::nan(""));
 
   /// Look up a device by name; throws CircuitError if absent or of the
   /// wrong type.

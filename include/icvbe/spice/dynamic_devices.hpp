@@ -1,0 +1,160 @@
+#pragma once
+// Dynamic (energy-storage) devices: capacitor and inductor.
+//
+// Both stamp classic SPICE companion models through the same
+// Stamper/MatrixView contract every static device uses, so the dense and
+// sparse linear engines serve them unchanged. A dynamic device is in one
+// of two modes:
+//
+//  * DC mode (default): the device contributes its steady-state behaviour
+//    -- a capacitor is an open circuit, an inductor a short (a 0 V branch
+//    via its aux current). Crucially, DC-mode stamps still *register every
+//    matrix slot the transient companion will later write* (zero-valued
+//    entries register pattern slots, see SparseMatrix), so a sparse
+//    session's frozen pattern discovered at bind time is valid for both
+//    analyses.
+//  * transient mode (TransientSolver only): begin_step(method, h) selects
+//    the integration scheme for the next timestep and stamp() writes the
+//    companion conductance/current linearised around the committed state
+//    of the previous accepted timepoint; commit(x) advances that state.
+//
+// Companion models (current i flows a -> b / p -> m):
+//   C, backward Euler:  i = (C/h)  v - (C/h) v_prev
+//   C, trapezoidal:     i = (2C/h) v - (2C/h) v_prev - i_prev
+//   L, backward Euler:  v = (L/h)  i - (L/h) i_prev      (aux row)
+//   L, trapezoidal:     v = (2L/h) i - (2L/h) i_prev - v_prev
+
+#include <cmath>
+
+#include "icvbe/spice/device.hpp"
+
+namespace icvbe::spice {
+
+/// Integration scheme of one transient timestep.
+enum class IntegrationMethod {
+  kBackwardEuler,  ///< A-stable, first order, damps ringing
+  kTrapezoidal,    ///< A-stable, second order, energy-preserving
+};
+
+/// Base class of the energy-storage devices. TransientSolver discovers
+/// dynamic devices once per run, flips them into transient mode, drives
+/// begin_step()/commit() around each timestep, and restores DC mode when
+/// it is destroyed. All methods are allocation-free.
+class DynamicDevice : public Device {
+ public:
+  using Device::Device;
+
+  /// Leave transient mode; stamps revert to the DC steady-state model.
+  void set_dc_mode() noexcept { transient_ = false; }
+
+  /// Select the integration scheme and timestep for the next stamp.
+  /// \pre h > 0.
+  void begin_step(IntegrationMethod method, double h) noexcept {
+    transient_ = true;
+    method_ = method;
+    h_ = h;
+  }
+
+  [[nodiscard]] bool transient_mode() const noexcept { return transient_; }
+
+  /// Advance the companion state to the accepted solution `x` (called once
+  /// per *accepted* timestep; rejected Newton solves never commit).
+  virtual void commit(const Unknowns& x) = 0;
+
+  /// Initialise the companion state from the transient start point
+  /// (operating point or UIC vector). A device-level IC (the card's IC=
+  /// parameter) overrides the corresponding quantity.
+  virtual void init_state(const Unknowns& x) = 0;
+
+  /// Write the device-level IC (if any) into the start vector so t = 0
+  /// probes read it (inductor current lives in an aux slot; capacitor
+  /// branch voltage has no single slot, so C implements this as a no-op).
+  virtual void imprint_ic(Unknowns& /*x*/) const {}
+
+  /// Device-level initial condition from the card's IC= parameter
+  /// (volts across a capacitor, amps through an inductor); NaN if absent.
+  [[nodiscard]] double initial_condition() const noexcept { return ic_; }
+  [[nodiscard]] bool has_initial_condition() const noexcept {
+    return !std::isnan(ic_);
+  }
+
+ protected:
+  bool transient_ = false;
+  IntegrationMethod method_ = IntegrationMethod::kBackwardEuler;
+  double h_ = 0.0;
+  double ic_ = std::nan("");
+};
+
+/// Linear capacitor between nodes a and b.
+class Capacitor final : public DynamicDevice {
+ public:
+  /// \pre farads > 0, a != b. `ic_volts` is the optional initial branch
+  /// voltage V(a) - V(b) (NaN = derive from the start point).
+  Capacitor(std::string name, NodeId a, NodeId b, double farads,
+            double ic_volts = std::nan(""));
+
+  [[nodiscard]] std::unique_ptr<Device> clone() const override;
+  void stamp(Stamper& stamper, const Unknowns& prev) override;
+  void commit(const Unknowns& x) override;
+  void init_state(const Unknowns& x) override;
+
+  /// Current flowing a -> b: the committed companion current of the last
+  /// accepted timepoint in transient mode (probes are evaluated at
+  /// accepted points, after commit), 0 in DC mode (a capacitor blocks DC).
+  [[nodiscard]] double current(const Unknowns& x) const;
+
+  [[nodiscard]] double capacitance() const noexcept { return farads_; }
+  /// Committed branch voltage of the previous accepted timepoint.
+  [[nodiscard]] double state_voltage() const noexcept { return v_prev_; }
+
+ private:
+  /// Companion coefficients for the current method/step.
+  [[nodiscard]] double geq() const noexcept {
+    return (method_ == IntegrationMethod::kTrapezoidal ? 2.0 : 1.0) *
+           farads_ / h_;
+  }
+  [[nodiscard]] double ieq() const noexcept {
+    return method_ == IntegrationMethod::kTrapezoidal
+               ? -geq() * v_prev_ - i_prev_
+               : -geq() * v_prev_;
+  }
+
+  NodeId a_;
+  NodeId b_;
+  double farads_;
+  double v_prev_ = 0.0;  ///< committed V(a) - V(b)
+  double i_prev_ = 0.0;  ///< committed current a -> b (trapezoidal memory)
+};
+
+/// Linear inductor between nodes p and m; its branch current is an aux
+/// unknown (flowing p -> m), like a voltage source's.
+class Inductor final : public DynamicDevice {
+ public:
+  /// \pre henries > 0, p != m. `ic_amps` is the optional initial branch
+  /// current (NaN = derive from the start point).
+  Inductor(std::string name, NodeId p, NodeId m, double henries,
+           double ic_amps = std::nan(""));
+
+  [[nodiscard]] int aux_count() const override { return 1; }
+  [[nodiscard]] std::unique_ptr<Device> clone() const override;
+  void stamp(Stamper& stamper, const Unknowns& prev) override;
+  void commit(const Unknowns& x) override;
+  void init_state(const Unknowns& x) override;
+  void imprint_ic(Unknowns& x) const override;
+
+  /// Branch current p -> m (the aux unknown).
+  [[nodiscard]] double current(const Unknowns& x) const;
+
+  [[nodiscard]] double inductance() const noexcept { return henries_; }
+  /// Committed branch current of the previous accepted timepoint.
+  [[nodiscard]] double state_current() const noexcept { return i_prev_; }
+
+ private:
+  NodeId p_;
+  NodeId m_;
+  double henries_;
+  double i_prev_ = 0.0;  ///< committed branch current p -> m
+  double v_prev_ = 0.0;  ///< committed V(p) - V(m) (trapezoidal memory)
+};
+
+}  // namespace icvbe::spice

@@ -4,7 +4,10 @@
 // very high gain -- adequate for the bandgap loop which operates the
 // amplifier in its linear region).
 
+#include <optional>
+
 #include "icvbe/spice/device.hpp"
+#include "icvbe/spice/waveform.hpp"
 
 namespace icvbe::spice {
 
@@ -59,10 +62,20 @@ class VoltageSource final : public Device {
   void set_voltage(double volts) { volts_ = volts; }
   [[nodiscard]] double voltage() const noexcept { return volts_; }
 
+  /// Optional time-domain stimulus. DC analyses ignore it (the DC value
+  /// stays whatever set_voltage programmed -- parsers use the waveform's
+  /// value_at(0)); TransientSolver re-applies value_at(t) while stepping.
+  void set_waveform(Waveform w) { waveform_ = std::move(w); }
+  [[nodiscard]] bool has_waveform() const noexcept {
+    return waveform_.has_value();
+  }
+  [[nodiscard]] const Waveform& waveform() const { return *waveform_; }
+
  private:
   NodeId p_;
   NodeId m_;
   double volts_;
+  std::optional<Waveform> waveform_;
 };
 
 /// Independent DC current source driving current `amps` from node p to
@@ -77,10 +90,18 @@ class CurrentSource final : public Device {
   void set_current(double amps) { amps_ = amps; }
   [[nodiscard]] double current() const noexcept { return amps_; }
 
+  /// Optional time-domain stimulus (see VoltageSource::set_waveform).
+  void set_waveform(Waveform w) { waveform_ = std::move(w); }
+  [[nodiscard]] bool has_waveform() const noexcept {
+    return waveform_.has_value();
+  }
+  [[nodiscard]] const Waveform& waveform() const { return *waveform_; }
+
  private:
   NodeId p_;
   NodeId m_;
   double amps_;
+  std::optional<Waveform> waveform_;
 };
 
 /// Voltage-controlled voltage source: V(p) - V(m) = gain (V(cp) - V(cm)).

@@ -7,8 +7,13 @@
 // comments, '+' continuation as in SPICE):
 //
 //   R<name> <n+> <n-> <value> [TC1=x] [TC2=x]
-//   V<name> <n+> <n-> <value>
-//   I<name> <n+> <n-> <value>
+//   V<name> <n+> <n-> <value | waveform>
+//   I<name> <n+> <n-> <value | waveform>
+//       waveform = DC <v> | PULSE(v1 v2 [td tr tf pw per])
+//                | SIN(vo va freq [td theta]) | PWL(t1 v1 t2 v2 ...)
+//       (a waveform source's DC value is its value at t = 0)
+//   C<name> <n+> <n-> <farads> [IC=volts]
+//   L<name> <n+> <n-> <henries> [IC=amps]
 //   E<name> <n+> <n-> <nc+> <nc-> <gain>               (VCVS)
 //   U<name> <out> <in+> <in-> [GAIN=x] [OFFSET=x]      (op-amp)
 //   D<name> <anode> <cathode> <model> [AREA=x]
@@ -20,6 +25,7 @@
 //                          ISSE=... NSE=... EGSE=... XTISE=... BFS=...)
 //   .TEMP <celsius>
 //   .NODESET V(<node>)=<value> [V(<node>)=<value> ...]  (initial guess)
+//   .IC V(<node>)=<value> [V(<node>)=<value> ...]       (transient ICs)
 //   .END                                                (optional)
 //
 // Analysis directives parse straight into a declarative AnalysisPlan
@@ -34,6 +40,10 @@
 //   .PROBE <expr> [<expr> ...]               probed quantities, e.g.
 //       V(out)  V(a,b)  I(V1)  IC(Q1)  V(a)-V(b)  (no spaces inside one
 //       expression; see parse_probe)
+//   .TRAN <tstep> <tstop> [<tstart> [<tmax>]] [UIC] [METHOD=BE|TRAP]
+//       time-domain analysis (cannot be combined with .DC/.STEP in one
+//       deck); with .PROBE it parses into an AnalysisPlan whose transient
+//       spec carries the deck's .IC directives
 //
 // Numbers accept SPICE engineering suffixes: f p n u m k meg g t (and are
 // otherwise strtod). Node "0" or "gnd" is ground.
@@ -66,9 +76,11 @@ struct ParsedNetlist {
   std::map<std::string, DiodeModel> diode_models;
   /// .NODESET hints: node name -> initial voltage guess.
   std::map<std::string, double> nodesets;
+  /// .IC directives: node name -> transient initial condition [V].
+  std::map<std::string, double> ics;
   /// .PROBE expressions in deck order.
   std::vector<Probe> probes;
-  /// Deck-described analysis, present iff the deck has .DC and/or .STEP
+  /// Deck-described analysis, present iff the deck has .DC/.STEP or .TRAN
   /// (which then also requires .PROBE). Execute with SimSession::run.
   std::optional<AnalysisPlan> plan;
 };

@@ -22,6 +22,9 @@ enum class SyntheticTopology {
   kDiodeLadder,     ///< ladder with diodes to ground every few nodes
   kBjtLadder,       ///< ladder with diode-connected PNPs to ground
   kMesh,            ///< 2-D resistor grid with sprinkled diodes
+  kRcLadder,        ///< series-R / shunt-C chain driven by a PULSE step
+                    ///< (transient startup-settling workload; the
+                    ///< analysis directive is .TRAN instead of .DC)
 };
 
 struct SyntheticNetlistSpec {
@@ -42,6 +45,11 @@ struct SyntheticNetlistSpec {
 
 /// Name of the node the generated .PROBE watches ("vout" equivalent).
 [[nodiscard]] std::string generated_probe_node(const SyntheticNetlistSpec& spec);
+
+/// Stop time [s] of the .TRAN analysis a kRcLadder deck embeds: roughly
+/// five of the chain's slowest time constants (~0.4 n^2 R C), so the deck
+/// simulates a complete startup settling at any size.
+[[nodiscard]] double rc_ladder_tstop(const SyntheticNetlistSpec& spec);
 
 /// CLI-facing topology names: "ladder", "diode-ladder", "bjt-ladder",
 /// "mesh".

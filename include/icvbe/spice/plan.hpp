@@ -22,8 +22,11 @@
 
 #include <cstddef>
 #include <iosfwd>
+#include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "icvbe/common/error.hpp"
@@ -91,6 +94,10 @@ class Probe {
   /// call -- convenient for one-off use and as a drop-in SweepProbe
   /// (operator() below); SimSession::run compiles plans instead so the
   /// steady-state path does no lookups.
+  /// \pre every referenced node/device name exists in `circuit` (throws
+  ///      CircuitError otherwise) and `x` is that circuit's solution.
+  /// Allocation-free on the happy path; const and safe to share across
+  /// threads (a Probe is an immutable value once built).
   [[nodiscard]] double eval(const Circuit& circuit, const Unknowns& x) const;
 
   /// A Probe is directly usable wherever a SweepProbe std::function is
@@ -115,6 +122,31 @@ class Probe {
 /// Parse a probe expression ("V(out)", "IC(Q1)/IC(Q2)", "V(a)-V(b)").
 /// Throws PlanError on malformed text.
 [[nodiscard]] Probe parse_probe(std::string_view text);
+
+/// Probes compiled once against one circuit: per-point evaluation is
+/// allocation- and lookup-free (the same machinery SimSession::run uses
+/// for its per-point path, exposed for other drivers -- TransientSolver
+/// records through one of these).
+/// \pre the circuit outlives the set and its topology does not change.
+/// Not thread-safe: eval() uses an internal evaluation stack; compile one
+/// set per thread (the parallel-plan-worker discipline).
+class CompiledProbeSet {
+ public:
+  /// Resolve and compile. Throws CircuitError if a probe references an
+  /// unknown node or device.
+  CompiledProbeSet(const std::vector<Probe>& probes, const Circuit& circuit);
+  ~CompiledProbeSet();
+  CompiledProbeSet(CompiledProbeSet&&) noexcept;
+  CompiledProbeSet& operator=(CompiledProbeSet&&) noexcept;
+
+  [[nodiscard]] std::size_t size() const noexcept;
+  /// Value of probe `i` at solution `x`; allocation-free.
+  [[nodiscard]] double eval(std::size_t i, const Unknowns& x) const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
 
 // ----------------------------------------------------------- SweepGrid ---
 
@@ -184,15 +216,48 @@ class SweepAxis {
   bool celsius_ = false;
 };
 
+// ------------------------------------------------------- TransientSpec ---
+
+/// Declarative description of one time-domain (.TRAN) analysis: the value
+/// counterpart of the sweep axes. Executed by TransientSolver
+/// (spice/transient.hpp) or, via AnalysisPlan::transient, by
+/// SimSession::run.
+struct TransientSpec {
+  /// Output/step ceiling [s]: the controller never takes an internal step
+  /// larger than tmax (default = tstep), so tstep doubles as the result's
+  /// approximate time resolution. Must be > 0.
+  double tstep = 0.0;
+  double tstop = 0.0;   ///< simulate [0, tstop]; must be > tstart
+  double tstart = 0.0;  ///< recording starts here (stepping starts at 0)
+  double tmax = 0.0;    ///< max internal step; 0 = use tstep
+  /// Skip the operating-point solve and start from all-zero node voltages
+  /// plus the initial conditions (SPICE UIC).
+  bool uic = false;
+  IntegrationMethod method = IntegrationMethod::kTrapezoidal;
+  /// Local-truncation-error step control. When false every step is
+  /// exactly tstep (uniform grid -- what the closed-form tests use).
+  bool adaptive = true;
+  double lte_reltol = 1e-3;  ///< per-node LTE: rel part of the tolerance
+  double lte_abstol = 1e-6;  ///< per-node LTE: abs part [V]
+  /// .IC directives: node name -> initial voltage. Without UIC these
+  /// override the solved operating point; with UIC they seed the start
+  /// vector directly.
+  std::vector<std::pair<std::string, double>> initial_conditions;
+};
+
 // -------------------------------------------------------- AnalysisPlan ---
 
-/// A complete declarative analysis: 1-2 nested sweep axes (axes.front() is
-/// the outer loop), at least one probe, and the solver options to run
-/// under. Plans are plain values: build them in C++, parse them from deck
-/// directives, or generate them programmatically.
+/// A complete declarative analysis: either 1-2 nested sweep axes
+/// (axes.front() is the outer loop) or a transient spec, at least one
+/// probe, and the solver options to run under. Plans are plain values:
+/// build them in C++, parse them from deck directives, or generate them
+/// programmatically.
 struct AnalysisPlan {
   std::string name = "analysis";
   std::vector<SweepAxis> axes;
+  /// Present = time-domain analysis (axes must then be empty; the result's
+  /// single axis is TIME at the accepted timepoints).
+  std::optional<TransientSpec> transient;
   std::vector<Probe> probes;
   NewtonOptions options{};
   /// Worker threads for 2-axis plans: 1 = serial in-place (default),
@@ -205,7 +270,11 @@ struct AnalysisPlan {
 
 /// The executed grid. Point p of a 2-axis plan maps to
 /// (outer index = p / inner_size, inner index = p % inner_size); 1-axis
-/// plans have rows() == inner grid size.
+/// plans have rows() == inner grid size. Transient results are 1-axis
+/// with TIME as the axis and one row per accepted timepoint.
+///
+/// A SweepResult is a plain value, detached from the session that filled
+/// it: copy, move, and read it from any thread.
 class SweepResult {
  public:
   SweepResult() = default;
@@ -254,6 +323,7 @@ class SweepResult {
 
  private:
   friend class SimSession;
+  friend class TransientSolver;
   std::size_t rows_ = 0;
   std::vector<double> outer_;  ///< empty for 1-axis plans
   std::vector<double> inner_;

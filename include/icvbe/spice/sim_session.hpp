@@ -71,17 +71,32 @@ struct AnalysisPlan;
 class SweepAxis;
 class SweepResult;
 
+/// Persistent solver session bound to one Circuit (see the header
+/// comment for the motivation).
+///
+/// Thread-safety: a session is single-threaded -- it mutates its bound
+/// circuit (device limiting state, source values) on every solve. The
+/// sanctioned parallelism is run() with plan.threads != 1, which fans
+/// outer rows over per-thread Circuit::clone()s each owning a private
+/// session; results are bit-identical for any thread count.
 class SimSession {
  public:
   /// Bind to `circuit`, assign unknowns, and preallocate every buffer the
-  /// Newton loop needs. The circuit must outlive the session; adding
-  /// devices or nodes afterwards requires rebind().
+  /// Newton loop needs (including the one-pass sparse pattern discovery
+  /// when the CSR engine is selected).
+  /// \pre `circuit` has at least one non-ground node or aux unknown, and
+  ///      outlives the session.
+  /// \post unknown indices are assigned; adding devices or nodes
+  ///       afterwards requires rebind().
   explicit SimSession(Circuit& circuit, NewtonOptions options = {});
 
   SimSession(const SimSession&) = delete;
   SimSession& operator=(const SimSession&) = delete;
 
   /// Re-assign unknowns and re-size the workspace after a topology change.
+  /// \post the warm start is invalidated; the linear engine is re-chosen
+  ///       from options() (auto threshold against the new unknown count)
+  ///       and the idle engine's storage is released.
   void rebind();
 
   [[nodiscard]] Circuit& circuit() noexcept { return *circuit_; }
@@ -103,6 +118,15 @@ class SimSession {
   /// (warm-start continuation, on by default), else a cold start.
   /// Falls back to gmin stepping, then source stepping, like the legacy
   /// solver.
+  /// \pre the circuit's device count is unchanged since bind/rebind()
+  ///      (violations throw CircuitError rather than stamping into a
+  ///      stale pattern).
+  /// \post on convergence the solution doubles as the next warm start;
+  ///       source values are restored on every exit path even when source
+  ///       stepping was used.
+  /// Allocation guarantee: after the first solve at a given size, the
+  /// Newton inner loop performs zero heap allocations (asserted by
+  /// test_session via the counting operator-new hook).
   const DcResult& solve(const Unknowns* initial = nullptr);
 
   /// Like solve() but throws NumericalError if not converged.
@@ -159,6 +183,13 @@ class SimSession {
   /// bit-identical for any thread count (the LotCampaign discipline).
   /// Probes are compiled once per run: the steady-state per-point path
   /// performs no heap allocations and no name lookups.
+  ///
+  /// Plans with `plan.transient` set run the time-domain path instead
+  /// (TransientSolver; axes must be empty, the result's single axis is
+  /// TIME at the accepted timepoints).
+  /// \pre every probe/axis name resolves against the bound circuit.
+  /// \post the session's NewtonOptions are restored on all exit paths
+  ///       (the run executes under plan.options).
   /// Throws PlanError on malformed plans, NumericalError if a point fails
   /// to converge.
   [[nodiscard]] SweepResult run(const AnalysisPlan& plan);

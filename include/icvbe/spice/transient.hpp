@@ -1,0 +1,133 @@
+#pragma once
+// TransientSolver: time-domain (.TRAN) analysis on top of a SimSession.
+//
+// The solver flips every DynamicDevice (capacitor, inductor) of the bound
+// circuit into transient mode, initialises their companion state from an
+// operating-point solve (or the UIC vector), and then advances time with
+// the session's allocation-free Newton inner loop: per timestep it applies
+// the source waveforms at the candidate time, programs the companion
+// models for (method, h), and calls SimSession::solve() warm-started from
+// the previous timepoint.
+//
+// Step control is local-truncation-error based: the LTE of the candidate
+// solution is estimated from divided differences of the accepted solution
+// history (order h^2 v'' for backward Euler, h^3 v''' for trapezoidal);
+// steps whose error ratio exceeds 1 are rejected and retried smaller, and
+// accepted steps grow up to 2x while the error stays low. Waveform corner
+// times (PULSE edges, PWL knots) are breakpoints: a step never integrates
+// across one, and stepping restarts small right after it. The whole
+// sequence is plain double arithmetic with no time-of-day or RNG input, so
+// the accepted-step sequence is deterministic (asserted by test_tran).
+//
+// Lifetime: the solver restores DC mode on the dynamic devices and the
+// t = 0 source values when destroyed, so a session can go back to DC
+// work afterwards.
+
+#include <vector>
+
+#include "icvbe/spice/plan.hpp"
+#include "icvbe/spice/sim_session.hpp"
+
+namespace icvbe::spice {
+
+class TransientSolver {
+ public:
+  /// Bind to a session. The spec is validated here (tstep > 0,
+  /// tstop > tstart >= 0, ...); begin() does the heavy setup.
+  /// \pre `session` outlives the solver; the circuit topology must not
+  /// change while the solver is alive.
+  TransientSolver(SimSession& session, TransientSpec spec);
+
+  /// Restores DC mode on the dynamic devices and the t = 0 source values
+  /// (only if begin() ran).
+  ~TransientSolver();
+
+  TransientSolver(const TransientSolver&) = delete;
+  TransientSolver& operator=(const TransientSolver&) = delete;
+
+  /// Set up the run: solve the operating point (or build the UIC start
+  /// vector), apply .IC overrides, initialise companion state, collect
+  /// waveform breakpoints, and preallocate the history buffers. All
+  /// allocations of the run happen here. Idempotent once begun.
+  /// Throws NumericalError if the operating point fails to converge.
+  void begin();
+
+  /// Advance one *accepted* timestep (internally retrying smaller steps on
+  /// Newton failure or LTE rejection). Returns false once t has reached
+  /// tstop. Allocation-free after begin().
+  /// Throws NumericalError if the controller cannot find a working step.
+  [[nodiscard]] bool advance();
+
+  /// Current time [s] (0 until the first accepted step).
+  [[nodiscard]] double time() const noexcept { return t_; }
+  /// Solution at the current time (valid after begin()).
+  [[nodiscard]] const Unknowns& solution() const noexcept { return x_now_; }
+  /// Size of the last accepted step [s].
+  [[nodiscard]] double last_step() const noexcept { return h_last_; }
+
+  [[nodiscard]] long steps_accepted() const noexcept { return accepted_; }
+  [[nodiscard]] long steps_rejected() const noexcept { return rejected_; }
+  [[nodiscard]] long newton_iterations() const noexcept {
+    return newton_iterations_;
+  }
+
+  [[nodiscard]] const TransientSpec& spec() const noexcept { return spec_; }
+
+  /// Drive the whole run and record `probes` at every accepted timepoint
+  /// with t >= tstart (plus the initial point when tstart == 0). The
+  /// result's single axis is TIME.
+  [[nodiscard]] SweepResult run(const std::vector<Probe>& probes);
+
+ private:
+  void apply_sources(double t);
+  /// Max over node voltages of |LTE| / (abstol + reltol max(|x|)) for the
+  /// candidate solution at t_ + h.
+  [[nodiscard]] double lte_ratio(const Unknowns& candidate, double h) const;
+  [[nodiscard]] int order() const noexcept {
+    return spec_.method == IntegrationMethod::kTrapezoidal ? 2 : 1;
+  }
+  /// Accepted history points the LTE estimate needs (excl. the candidate).
+  [[nodiscard]] std::size_t need_history() const noexcept {
+    return spec_.method == IntegrationMethod::kTrapezoidal ? 3u : 2u;
+  }
+  void push_history(double t, const Unknowns& x);
+
+  SimSession& session_;
+  TransientSpec spec_;
+  double tmax_ = 0.0;   ///< resolved max internal step
+  double teps_ = 0.0;   ///< time comparison tolerance
+  double h0_ = 0.0;     ///< (re)start step after init / breakpoints
+  double hmin_ = 0.0;   ///< controller floor before giving up
+  bool began_ = false;
+  bool restored_ = false;
+  /// Next step is the first after t = 0 or a breakpoint: adaptive runs
+  /// take it with backward Euler (the committed derivative is stale).
+  bool restart_ = true;
+
+  std::vector<DynamicDevice*> dynamic_;
+  std::vector<std::pair<VoltageSource*, const Waveform*>> vwaves_;
+  std::vector<std::pair<CurrentSource*, const Waveform*>> iwaves_;
+  std::vector<double> vsource_t0_;  ///< restore values (every V source)
+  std::vector<double> isource_t0_;
+
+  std::vector<double> breakpoints_;
+  std::size_t bp_index_ = 0;
+
+  double t_ = 0.0;
+  double h_next_ = 0.0;
+  double h_last_ = 0.0;
+  Unknowns x_now_;
+
+  // Accepted-solution ring for the divided-difference LTE estimate:
+  // hist_x_[(hist_head_ + k) % 3] is the k-th newest accepted point.
+  Unknowns hist_x_[3];
+  double hist_t_[3] = {0.0, 0.0, 0.0};
+  std::size_t hist_head_ = 0;
+  std::size_t hist_count_ = 0;
+
+  long accepted_ = 0;
+  long rejected_ = 0;
+  long newton_iterations_ = 0;
+};
+
+}  // namespace icvbe::spice

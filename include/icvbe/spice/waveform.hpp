@@ -1,0 +1,78 @@
+#pragma once
+// Time-domain source waveforms: the value a transient analysis drives an
+// independent V/I source with at each timepoint.
+//
+// A Waveform is a plain value (copyable, serialisable in the netlist
+// dialect) so decks can describe stimuli and circuit clones carry them
+// along. DC analyses never look at a waveform: the parser programs the
+// source's DC value from value_at(0), and only TransientSolver re-applies
+// value_at(t) while stepping.
+//
+// Supported shapes (SPICE argument order):
+//   DC    v
+//   PULSE v1 v2 [td [tr [tf [pw [per]]]]]
+//   SIN   vo va freq [td [theta]]
+//   PWL   t1 v1 t2 v2 ...           (piecewise linear, t non-decreasing)
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace icvbe::spice {
+
+class Waveform {
+ public:
+  enum class Kind { kDc, kPulse, kSin, kPwl };
+
+  /// Constant value (what a bare numeric source card means).
+  [[nodiscard]] static Waveform dc(double value);
+
+  /// SPICE PULSE: v1 until td, rise to v2 over tr, hold pw, fall back over
+  /// tf, repeat with period `per` if per > 0. tr/tf of 0 are instantaneous
+  /// edges (the transient breakpoint machinery keeps them sharp); pw <= 0
+  /// means "hold v2 forever" (a step).
+  [[nodiscard]] static Waveform pulse(double v1, double v2, double td = 0.0,
+                                      double tr = 0.0, double tf = 0.0,
+                                      double pw = -1.0, double per = 0.0);
+
+  /// SPICE SIN: vo for t < td, then vo + va e^{-(t-td) theta}
+  /// sin(2 pi freq (t-td)).
+  [[nodiscard]] static Waveform sin(double vo, double va, double freq,
+                                    double td = 0.0, double theta = 0.0);
+
+  /// Piecewise-linear through (t, v) knots; clamps to the first/last value
+  /// outside the knot span. Throws Error unless times are finite and
+  /// non-decreasing (>= 1 knot).
+  [[nodiscard]] static Waveform pwl(std::vector<std::pair<double, double>> points);
+
+  Waveform() = default;  ///< DC 0 (the member defaults)
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+
+  /// Source value at time t (t < 0 is treated as 0). Allocation-free.
+  [[nodiscard]] double value_at(double t) const;
+
+  /// The operating-point value a DC analysis uses: value_at(0).
+  [[nodiscard]] double dc_value() const { return value_at(0.0); }
+
+  /// Append every time in (0, tstop] where this waveform has a slope
+  /// discontinuity (pulse corners, PWL knots, SIN start). The transient
+  /// step controller lands a timestep on each so sharp edges are never
+  /// integrated across. Each waveform contributes at most
+  /// kMaxBreakpoints corners per call, so one dense periodic pulse
+  /// cannot starve other sources of their edges.
+  void append_breakpoints(double tstop, std::vector<double>& out) const;
+
+  /// Serialise in the netlist card dialect ("PULSE(0 1.8 0 1u ...)").
+  [[nodiscard]] std::string to_string() const;
+
+  static constexpr std::size_t kMaxBreakpoints = 65536;
+
+ private:
+  Kind kind_ = Kind::kDc;
+  // PULSE: v1 v2 td tr tf pw per / SIN: vo va freq td theta / DC: value.
+  double p_[7] = {0, 0, 0, 0, 0, 0, 0};
+  std::vector<std::pair<double, double>> points_;  ///< PWL knots
+};
+
+}  // namespace icvbe::spice

@@ -242,10 +242,23 @@ void SparseLuFactorization::refactor(const SparseMatrix& a,
     throw NumericalError("sparse LU: zero matrix");
   }
 
-  if (pattern_matches(a) && refactor_frozen(a, pivot_tol * amax)) return;
-  // First factorisation, new pattern, or a frozen pivot collapsed: run the
-  // full analysis with fresh pivoting.
-  analyze(a, pivot_tol * amax);
+  if (!(pattern_matches(a) && refactor_frozen(a, pivot_tol * amax, amax))) {
+    // First factorisation, new pattern, or a frozen pivot collapsed: run
+    // the full analysis with fresh pivoting.
+    analyze(a, pivot_tol * amax);
+  }
+
+  // 1-norm of A for condition_estimate(). perm_ (sized by the analysis
+  // above) is free between solves -- solve_in_place overwrites it fully --
+  // so borrowing it keeps refactor() allocation-free.
+  std::fill(perm_.begin(), perm_.end(), 0.0);
+  const std::vector<int>& cols = a.col_index();
+  const std::vector<double>& vals = a.values();
+  for (std::size_t i = 0; i < cols.size(); ++i) {
+    perm_[static_cast<std::size_t>(cols[i])] += std::abs(vals[i]);
+  }
+  a_norm1_ = 0.0;
+  for (double s : perm_) a_norm1_ = std::max(a_norm1_, s);
 }
 
 void SparseLuFactorization::analyze(const SparseMatrix& a, double tol_abs) {
@@ -420,10 +433,21 @@ void SparseLuFactorization::analyze(const SparseMatrix& a, double tol_abs) {
 }
 
 bool SparseLuFactorization::refactor_frozen(const SparseMatrix& a,
-                                            double tol_abs) {
+                                            double tol_abs, double amax) {
   const std::size_t n = n_;
   const std::vector<int>& row_ptr = a.row_ptr();
   const std::vector<double>& values = a.values();
+
+  // Element-growth guard: with the pivot order frozen there is no
+  // numerical pivoting left, so a restamp whose value distribution differs
+  // wildly from the analysed one (a transient step's huge companion
+  // conductances, say) can blow the factors up and yield a finite but
+  // garbage solution. Growth beyond this factor over max|A| aborts the
+  // frozen pass; the caller re-analyses with fresh pivoting (partial
+  // pivoting keeps growth within ~2^n theory, single digits in practice).
+  constexpr double kGrowthLimit = 1e8;
+  const double growth_cap = kGrowthLimit * amax;
+  double gmax = 0.0;
 
   for (std::size_t k = 0; k < n; ++k) {
     const std::size_t r = static_cast<std::size_t>(rperm_[k]);
@@ -444,15 +468,19 @@ bool SparseLuFactorization::refactor_frozen(const SparseMatrix& a,
     }
     const double d = work_[k];
     work_[k] = 0.0;
+    gmax = std::max(gmax, std::abs(d));
     for (int ui = u_ptr_[k]; ui < u_ptr_[k + 1]; ++ui) {
       const std::size_t us =
           static_cast<std::size_t>(u_step_[static_cast<std::size_t>(ui)]);
-      u_val_[static_cast<std::size_t>(ui)] = work_[us];
+      const double uv = work_[us];
+      u_val_[static_cast<std::size_t>(ui)] = uv;
+      gmax = std::max(gmax, std::abs(uv));
       work_[us] = 0.0;
     }
-    if (!(std::abs(d) > tol_abs)) {
-      // Frozen pivot collapsed (the matrix may still be fine under a
-      // different order); work_ is already clean for the re-analysis.
+    if (!(std::abs(d) > tol_abs) || gmax > growth_cap) {
+      // Frozen pivot collapsed or the factors are blowing up (the matrix
+      // may still be fine under a different order); work_ is already clean
+      // for the re-analysis -- both checks run after this row's gather.
       return false;
     }
     udiag_[k] = d;
@@ -495,6 +523,25 @@ Vector SparseLuFactorization::solve(const Vector& b) const {
   Vector x = b;
   solve_in_place(x);
   return x;
+}
+
+double SparseLuFactorization::condition_estimate() const {
+  ICVBE_REQUIRE(analyzed_, "sparse LU: refactor() before condition_estimate");
+  // Probe |A^-1| by solving against the same +/-1 vectors the dense
+  // LuFactorization uses and taking the largest column-sum growth; cheap
+  // and adequate for diagnostics, and directly comparable across engines.
+  double inv_norm = 0.0;
+  Vector e(n_, 1.0);
+  for (int probe = 0; probe < 2; ++probe) {
+    for (std::size_t i = 0; i < n_; ++i) {
+      e[i] = (probe == 0) ? 1.0 : ((i % 2) ? -1.0 : 1.0);
+    }
+    const Vector x = solve(e);
+    double s = 0.0;
+    for (double v : x) s += std::abs(v);
+    inv_norm = std::max(inv_norm, s / static_cast<double>(n_));
+  }
+  return a_norm1_ * inv_norm;
 }
 
 }  // namespace icvbe::linalg

@@ -95,6 +95,16 @@ Mosfet& Circuit::add_mosfet(std::string name, NodeId drain, NodeId gate,
                          w_over_l);
 }
 
+Capacitor& Circuit::add_capacitor(std::string name, NodeId a, NodeId b,
+                                  double farads, double ic_volts) {
+  return emplace<Capacitor>(std::move(name), a, b, farads, ic_volts);
+}
+
+Inductor& Circuit::add_inductor(std::string name, NodeId p, NodeId m,
+                                double henries, double ic_amps) {
+  return emplace<Inductor>(std::move(name), p, m, henries, ic_amps);
+}
+
 Device* Circuit::find(std::string_view name) {
   auto it = device_index_.find(name);
   return it == device_index_.end() ? nullptr : devices_[it->second].get();

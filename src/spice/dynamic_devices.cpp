@@ -1,0 +1,123 @@
+#include "icvbe/spice/dynamic_devices.hpp"
+
+#include "icvbe/common/error.hpp"
+
+namespace icvbe::spice {
+
+Capacitor::Capacitor(std::string name, NodeId a, NodeId b, double farads,
+                     double ic_volts)
+    : DynamicDevice(std::move(name)), a_(a), b_(b), farads_(farads) {
+  ICVBE_REQUIRE(farads > 0.0, "Capacitor: capacitance must be > 0");
+  ICVBE_REQUIRE(a != b, "Capacitor: terminals must differ");
+  ic_ = ic_volts;
+}
+
+std::unique_ptr<Device> Capacitor::clone() const {
+  auto d = std::make_unique<Capacitor>(name(), a_, b_, farads_, ic_);
+  d->transient_ = transient_;
+  d->method_ = method_;
+  d->h_ = h_;
+  d->v_prev_ = v_prev_;
+  d->i_prev_ = i_prev_;
+  return d;
+}
+
+void Capacitor::stamp(Stamper& stamper, const Unknowns& /*prev*/) {
+  if (!transient_) {
+    // DC: open circuit -- but register the companion's pattern slots so a
+    // sparse session bound in DC mode can run transients on the same
+    // frozen pattern (zero values still register, see SparseMatrix::add).
+    stamper.stamp_companion(a_, b_, 0.0, 0.0);
+    return;
+  }
+  ICVBE_ASSERT(h_ > 0.0, "Capacitor: begin_step not called");
+  stamper.stamp_companion(a_, b_, geq(), ieq());
+}
+
+double Capacitor::current(const Unknowns& /*x*/) const {
+  // The committed companion current of the last accepted timepoint --
+  // what a probe evaluated at that point should read. DC blocks.
+  return transient_ ? i_prev_ : 0.0;
+}
+
+void Capacitor::commit(const Unknowns& x) {
+  const double v = x.node_voltage(a_) - x.node_voltage(b_);
+  i_prev_ = geq() * v + ieq();  // companion current, pre-update state
+  v_prev_ = v;
+}
+
+void Capacitor::init_state(const Unknowns& x) {
+  v_prev_ = has_initial_condition()
+                ? initial_condition()
+                : x.node_voltage(a_) - x.node_voltage(b_);
+  i_prev_ = 0.0;  // steady state / t = 0-: no displacement current
+}
+
+Inductor::Inductor(std::string name, NodeId p, NodeId m, double henries,
+                   double ic_amps)
+    : DynamicDevice(std::move(name)), p_(p), m_(m), henries_(henries) {
+  ICVBE_REQUIRE(henries > 0.0, "Inductor: inductance must be > 0");
+  ICVBE_REQUIRE(p != m, "Inductor: terminals must differ");
+  ic_ = ic_amps;
+}
+
+std::unique_ptr<Device> Inductor::clone() const {
+  auto d = std::make_unique<Inductor>(name(), p_, m_, henries_, ic_);
+  d->transient_ = transient_;
+  d->method_ = method_;
+  d->h_ = h_;
+  d->i_prev_ = i_prev_;
+  d->v_prev_ = v_prev_;
+  return d;
+}
+
+void Inductor::stamp(Stamper& stamper, const Unknowns& /*prev*/) {
+  const int k = first_aux();
+  ICVBE_ASSERT(k >= 0, "Inductor: aux index not assigned");
+  const int ip = stamper.node_index(p_);
+  const int im = stamper.node_index(m_);
+  // KCL: the branch current leaves p and enters m.
+  stamper.add_entry(ip, k, 1.0);
+  stamper.add_entry(im, k, -1.0);
+  // Branch row: V(p) - V(m) - req i = veq.
+  stamper.add_entry(k, ip, 1.0);
+  stamper.add_entry(k, im, -1.0);
+  if (!transient_) {
+    // DC: a short (0 V branch). The zero-valued (k, k) entry registers the
+    // slot the transient -req coefficient will use.
+    stamper.add_entry(k, k, 0.0);
+    return;
+  }
+  ICVBE_ASSERT(h_ > 0.0, "Inductor: begin_step not called");
+  const double req =
+      (method_ == IntegrationMethod::kTrapezoidal ? 2.0 : 1.0) * henries_ /
+      h_;
+  const double veq = method_ == IntegrationMethod::kTrapezoidal
+                         ? -req * i_prev_ - v_prev_
+                         : -req * i_prev_;
+  stamper.add_entry(k, k, -req);
+  stamper.add_rhs(k, veq);
+}
+
+double Inductor::current(const Unknowns& x) const {
+  return x.aux(first_aux());
+}
+
+void Inductor::commit(const Unknowns& x) {
+  i_prev_ = x.aux(first_aux());
+  v_prev_ = x.node_voltage(p_) - x.node_voltage(m_);
+}
+
+void Inductor::init_state(const Unknowns& x) {
+  i_prev_ =
+      has_initial_condition() ? initial_condition() : x.aux(first_aux());
+  v_prev_ = x.node_voltage(p_) - x.node_voltage(m_);
+}
+
+void Inductor::imprint_ic(Unknowns& x) const {
+  if (has_initial_condition() && first_aux() >= 0) {
+    x.raw()[static_cast<std::size_t>(first_aux())] = initial_condition();
+  }
+}
+
+}  // namespace icvbe::spice

@@ -81,7 +81,9 @@ double VoltageSource::power(const Unknowns& /*x*/) const {
 }
 
 std::unique_ptr<Device> VoltageSource::clone() const {
-  return std::make_unique<VoltageSource>(name(), p_, m_, volts_);
+  auto d = std::make_unique<VoltageSource>(name(), p_, m_, volts_);
+  d->waveform_ = waveform_;
+  return d;
 }
 
 CurrentSource::CurrentSource(std::string name, NodeId p, NodeId m,
@@ -97,7 +99,9 @@ void CurrentSource::stamp(Stamper& stamper, const Unknowns& /*prev*/) {
 }
 
 std::unique_ptr<Device> CurrentSource::clone() const {
-  return std::make_unique<CurrentSource>(name(), p_, m_, amps_);
+  auto d = std::make_unique<CurrentSource>(name(), p_, m_, amps_);
+  d->waveform_ = waveform_;
+  return d;
 }
 
 Vcvs::Vcvs(std::string name, NodeId p, NodeId m, NodeId cp, NodeId cm,

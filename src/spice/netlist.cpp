@@ -171,6 +171,86 @@ std::vector<double> stepped_values(double start, double stop, double incr,
   return values;
 }
 
+/// Parse the value part of a V/I source card starting at tokens[i]: either
+/// a bare number, "DC <value>", or a PULSE/SIN/PWL waveform (the tokenizer
+/// already stripped the parentheses). Returns the waveform; bare numbers
+/// come back as Waveform::dc. The source's DC value is value_at(0).
+Waveform parse_source_waveform(const std::vector<std::string>& tokens,
+                               std::size_t i, int line) {
+  if (i >= tokens.size()) fail(line, "source needs a value or waveform");
+  const std::string head = to_upper(tokens[i]);
+  const auto numbers = [&](std::size_t from) {
+    std::vector<double> out;
+    for (std::size_t k = from; k < tokens.size(); ++k) {
+      out.push_back(parse_spice_number(tokens[k]));
+    }
+    return out;
+  };
+  try {
+    if (head == "DC") {
+      if (i + 1 >= tokens.size()) fail(line, "DC needs a value");
+      if (tokens.size() != i + 2) {
+        fail(line, "unexpected trailing tokens after DC value");
+      }
+      return Waveform::dc(parse_spice_number(tokens[i + 1]));
+    }
+    if (head == "PULSE") {
+      const auto v = numbers(i + 1);
+      if (v.size() < 2) fail(line, "PULSE needs at least v1 v2");
+      if (v.size() > 7) fail(line, "PULSE takes at most 7 arguments");
+      return Waveform::pulse(v[0], v[1], v.size() > 2 ? v[2] : 0.0,
+                             v.size() > 3 ? v[3] : 0.0,
+                             v.size() > 4 ? v[4] : 0.0,
+                             v.size() > 5 ? v[5] : -1.0,
+                             v.size() > 6 ? v[6] : 0.0);
+    }
+    if (head == "SIN") {
+      const auto v = numbers(i + 1);
+      if (v.size() < 3) fail(line, "SIN needs at least vo va freq");
+      if (v.size() > 5) fail(line, "SIN takes at most 5 arguments");
+      return Waveform::sin(v[0], v[1], v[2], v.size() > 3 ? v[3] : 0.0,
+                           v.size() > 4 ? v[4] : 0.0);
+    }
+    if (head == "PWL") {
+      const auto v = numbers(i + 1);
+      if (v.size() < 2 || v.size() % 2 != 0) {
+        fail(line, "PWL needs an even number of t/v values (>= 1 pair)");
+      }
+      std::vector<std::pair<double, double>> knots;
+      knots.reserve(v.size() / 2);
+      for (std::size_t k = 0; k < v.size(); k += 2) {
+        knots.emplace_back(v[k], v[k + 1]);
+      }
+      return Waveform::pwl(std::move(knots));
+    }
+    if (tokens.size() != i + 1) {
+      fail(line, "unexpected trailing tokens after source value");
+    }
+    return Waveform::dc(parse_spice_number(tokens[i]));
+  } catch (const NetlistError&) {
+    throw;
+  } catch (const Error& e) {
+    // Waveform constructor contract failures -> add line context.
+    fail(line, e.what());
+  }
+}
+
+/// Shared body of .NODESET and .IC: "V node = value" groups (the tokenizer
+/// splits 'V(n)=x' into 'V', 'n', '=', 'x') or bare "node = value" pairs.
+void parse_node_value_pairs(const std::vector<std::string>& tokens, int line,
+                            const char* directive,
+                            std::map<std::string, double>& out) {
+  std::size_t i = 1;
+  while (i < tokens.size()) {
+    if (to_upper(tokens[i]) == "V") ++i;
+    if (i + 2 >= tokens.size() || tokens[i + 1] != "=") {
+      fail(line, std::string(directive) + " expects V(node)=value groups");
+    }
+    out[tokens[i]] = parse_spice_number(tokens[i + 2]);
+    i += 3;
+  }
+}
+
 /// Map a .DC/.STEP target token to an axis: TEMP (Celsius), V.../I...
 /// sources, R... resistors. Device names are used verbatim (the element
 /// cards preserve case too).
@@ -246,6 +326,7 @@ ParsedNetlist parse_netlist(std::string_view text) {
   // axis), at most one .STEP (always the outermost axis), .PROBE exprs.
   std::vector<SweepAxis> dc_axes;
   std::optional<SweepAxis> step_axis;
+  std::optional<TransientSpec> tran;
   int analysis_line = 0;
 
   for (const auto& [line_text, lineno] : logical_lines(text)) {
@@ -335,6 +416,55 @@ ParsedNetlist parse_netlist(std::string_view text) {
       if (parsed == 0) fail(lineno, ".PROBE needs at least one expression");
       continue;
     }
+    if (head == ".TRAN") {
+      if (tran.has_value()) fail(lineno, "only one .TRAN directive per deck");
+      TransientSpec spec;
+      std::vector<double> positional;
+      std::size_t i = 1;
+      while (i < tokens.size()) {
+        const std::string upper = to_upper(tokens[i]);
+        if (upper == "UIC") {
+          spec.uic = true;
+          ++i;
+        } else if (upper == "METHOD") {
+          if (i + 2 >= tokens.size() || tokens[i + 1] != "=") {
+            fail(lineno, "METHOD needs =BE or =TRAP");
+          }
+          const std::string m = to_upper(tokens[i + 2]);
+          if (m == "BE" || m == "EULER") {
+            spec.method = IntegrationMethod::kBackwardEuler;
+          } else if (m == "TRAP" || m == "TRAPEZOIDAL") {
+            spec.method = IntegrationMethod::kTrapezoidal;
+          } else {
+            fail(lineno, "unknown integration method '" + m +
+                             "' (want BE or TRAP)");
+          }
+          i += 3;
+        } else {
+          positional.push_back(parse_spice_number(tokens[i]));
+          ++i;
+        }
+      }
+      if (positional.size() < 2 || positional.size() > 4) {
+        fail(lineno,
+             ".TRAN needs <tstep> <tstop> [<tstart> [<tmax>]] [UIC]");
+      }
+      spec.tstep = positional[0];
+      spec.tstop = positional[1];
+      if (positional.size() > 2) spec.tstart = positional[2];
+      if (positional.size() > 3) spec.tmax = positional[3];
+      if (!(spec.tstep > 0.0) || !(spec.tstop > spec.tstart) ||
+          spec.tstart < 0.0 || spec.tmax < 0.0) {
+        fail(lineno, ".TRAN needs tstep > 0 and tstop > tstart >= 0");
+      }
+      tran = std::move(spec);
+      analysis_line = lineno;
+      continue;
+    }
+    if (head == ".IC") {
+      parse_node_value_pairs(tokens, lineno, ".IC", out.ics);
+      continue;
+    }
     if (head == ".TEMP") {
       if (tokens.size() < 2) fail(lineno, ".TEMP needs a value");
       out.temperature_celsius = parse_spice_number(tokens[1]);
@@ -342,17 +472,7 @@ ParsedNetlist parse_netlist(std::string_view text) {
       continue;
     }
     if (head == ".NODESET") {
-      // Accept "V node = value" groups (the tokenizer splits 'V(n)=x' into
-      // 'V', 'n', '=', 'x') and bare "node = value" pairs.
-      std::size_t i = 1;
-      while (i < tokens.size()) {
-        if (to_upper(tokens[i]) == "V") ++i;
-        if (i + 2 >= tokens.size() || tokens[i + 1] != "=") {
-          fail(lineno, ".NODESET expects V(node)=value groups");
-        }
-        out.nodesets[tokens[i]] = parse_spice_number(tokens[i + 2]);
-        i += 3;
-      }
+      parse_node_value_pairs(tokens, lineno, ".NODESET", out.nodesets);
       continue;
     }
     if (head == ".MODEL") {
@@ -388,14 +508,34 @@ ParsedNetlist parse_netlist(std::string_view text) {
       }
       case 'V': {
         if (tokens.size() < 4) fail(lineno, "V: need name, 2 nodes, value");
-        c.add_vsource(tokens[0], c.node(tokens[1]), c.node(tokens[2]),
-                      parse_spice_number(tokens[3]));
+        const Waveform wf = parse_source_waveform(tokens, 3, lineno);
+        VoltageSource& v = c.add_vsource(tokens[0], c.node(tokens[1]),
+                                         c.node(tokens[2]), wf.dc_value());
+        if (wf.kind() != Waveform::Kind::kDc) v.set_waveform(wf);
         break;
       }
       case 'I': {
         if (tokens.size() < 4) fail(lineno, "I: need name, 2 nodes, value");
-        c.add_isource(tokens[0], c.node(tokens[1]), c.node(tokens[2]),
-                      parse_spice_number(tokens[3]));
+        const Waveform wf = parse_source_waveform(tokens, 3, lineno);
+        CurrentSource& src = c.add_isource(tokens[0], c.node(tokens[1]),
+                                           c.node(tokens[2]), wf.dc_value());
+        if (wf.kind() != Waveform::Kind::kDc) src.set_waveform(wf);
+        break;
+      }
+      case 'C': {
+        if (tokens.size() < 4) fail(lineno, "C: need name, 2 nodes, value");
+        const auto params = parse_params(tokens, 4, lineno);
+        c.add_capacitor(tokens[0], c.node(tokens[1]), c.node(tokens[2]),
+                        parse_spice_number(tokens[3]),
+                        param_or(params, "IC", std::nan("")));
+        break;
+      }
+      case 'L': {
+        if (tokens.size() < 4) fail(lineno, "L: need name, 2 nodes, value");
+        const auto params = parse_params(tokens, 4, lineno);
+        c.add_inductor(tokens[0], c.node(tokens[1]), c.node(tokens[2]),
+                       parse_spice_number(tokens[3]),
+                       param_or(params, "IC", std::nan("")));
         break;
       }
       case 'E': {
@@ -453,8 +593,9 @@ ParsedNetlist parse_netlist(std::string_view text) {
       }
     } catch (const NetlistError&) {
       throw;  // already carries line context
-    } catch (const CircuitError& e) {
-      // Duplicate device names, bad element values, ... -> add the line.
+    } catch (const Error& e) {
+      // Duplicate device names, bad element values, device-constructor
+      // contract failures (negative R/C/L, ...) -> add the line.
       fail(lineno, e.what());
     }
   }
@@ -486,9 +627,26 @@ ParsedNetlist parse_netlist(std::string_view text) {
     }
   }
 
-  // Assemble the deck-described analysis: .STEP is always the outermost
-  // axis; within .DC the first spec is the innermost.
-  if (step_axis.has_value() || !dc_axes.empty()) {
+  // Assemble the deck-described analysis: .TRAN stands alone; otherwise
+  // .STEP is always the outermost axis and within .DC the first spec is
+  // the innermost.
+  if (tran.has_value()) {
+    if (step_axis.has_value() || !dc_axes.empty()) {
+      fail(analysis_line,
+           "a deck cannot mix .TRAN with .DC/.STEP (one analysis per deck)");
+    }
+    if (out.probes.empty()) {
+      fail(analysis_line, "deck has .TRAN but no .PROBE");
+    }
+    for (const auto& [node, volts] : out.ics) {
+      tran->initial_conditions.emplace_back(node, volts);
+    }
+    AnalysisPlan plan;
+    plan.name = "deck";
+    plan.transient = std::move(*tran);
+    plan.probes = out.probes;
+    out.plan = std::move(plan);
+  } else if (step_axis.has_value() || !dc_axes.empty()) {
     if (dc_axes.size() + (step_axis.has_value() ? 1u : 0u) > 2u) {
       fail(analysis_line,
            "at most two nested sweep axes (.STEP plus .DC specs)");

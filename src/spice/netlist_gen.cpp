@@ -86,6 +86,24 @@ void emit_mesh(std::ostringstream& os, const SyntheticNetlistSpec& spec,
   }
 }
 
+/// Series-R / shunt-C chain driven by a PULSE supply step: the transient
+/// startup-settling workload. The slowest time constant of an n-stage RC
+/// line grows like n^2 R C, so the emitted .TRAN span scales with it.
+void emit_rc_ladder(std::ostringstream& os, const SyntheticNetlistSpec& spec,
+                    Rng& rng) {
+  const int n = spec.nodes;
+  os << "V1 n1 0 PULSE(0 1.8 0 " << fmt(rc_ladder_tstop(spec) * 1e-3)
+     << ")\n";
+  for (int i = 1; i < n; ++i) {
+    os << "RS" << i << " n" << i << " n" << (i + 1) << " "
+       << fmt(rng.uniform(800.0, 1200.0)) << "\n";
+  }
+  for (int i = 2; i <= n; ++i) {
+    os << "CG" << i << " n" << i << " 0 " << fmt(rng.uniform(0.8e-9, 1.2e-9))
+       << "\n";
+  }
+}
+
 int mesh_last_node(const SyntheticNetlistSpec& spec) {
   const int g = std::max(2, static_cast<int>(std::lround(
                                 std::sqrt(static_cast<double>(spec.nodes)))));
@@ -103,6 +121,13 @@ std::string generated_probe_node(const SyntheticNetlistSpec& spec) {
   return name;
 }
 
+double rc_ladder_tstop(const SyntheticNetlistSpec& spec) {
+  // Slowest mode of an n-stage RC line: tau ~ (4 / pi^2) n^2 R C with the
+  // nominal R = 1 kOhm, C = 1 nF; give the settling five of those.
+  const double n = static_cast<double>(spec.nodes);
+  return 5.0 * 0.4 * n * n * 1e-6;
+}
+
 std::string generate_netlist(const SyntheticNetlistSpec& spec) {
   ICVBE_REQUIRE(spec.nodes >= 4,
                 "generate_netlist: need at least 4 nodes");
@@ -111,11 +136,18 @@ std::string generate_netlist(const SyntheticNetlistSpec& spec) {
   Rng rng(spec.seed);
   if (spec.topology == SyntheticTopology::kMesh) {
     emit_mesh(os, spec, rng);
+  } else if (spec.topology == SyntheticTopology::kRcLadder) {
+    emit_rc_ladder(os, spec, rng);
   } else {
     emit_ladder(os, spec, rng);
   }
   if (spec.with_analysis) {
-    os << ".DC V1 3 6 0.5\n";
+    if (spec.topology == SyntheticTopology::kRcLadder) {
+      const double tstop = rc_ladder_tstop(spec);
+      os << ".TRAN " << fmt(tstop / 200.0) << ' ' << fmt(tstop) << "\n";
+    } else {
+      os << ".DC V1 3 6 0.5\n";
+    }
     os << ".PROBE V(" << generated_probe_node(spec) << ") I(V1)\n";
   }
   os << ".END\n";
@@ -128,6 +160,7 @@ const char* topology_name(SyntheticTopology t) {
     case SyntheticTopology::kDiodeLadder: return "diode-ladder";
     case SyntheticTopology::kBjtLadder: return "bjt-ladder";
     case SyntheticTopology::kMesh: return "mesh";
+    case SyntheticTopology::kRcLadder: return "rc-ladder";
   }
   return "ladder";  // unreachable
 }
@@ -137,8 +170,10 @@ SyntheticTopology topology_from_name(std::string_view name) {
   if (name == "diode-ladder") return SyntheticTopology::kDiodeLadder;
   if (name == "bjt-ladder") return SyntheticTopology::kBjtLadder;
   if (name == "mesh") return SyntheticTopology::kMesh;
+  if (name == "rc-ladder") return SyntheticTopology::kRcLadder;
   throw Error("unknown netlist topology '" + std::string(name) +
-              "' (want ladder, diode-ladder, bjt-ladder, or mesh)");
+              "' (want ladder, diode-ladder, bjt-ladder, mesh, or "
+              "rc-ladder)");
 }
 
 }  // namespace icvbe::spice

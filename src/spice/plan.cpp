@@ -17,6 +17,7 @@
 #include "icvbe/common/csv.hpp"
 #include "icvbe/spice/analysis.hpp"
 #include "icvbe/spice/netlist.hpp"
+#include "icvbe/spice/transient.hpp"
 
 namespace icvbe::spice {
 
@@ -66,7 +67,7 @@ namespace {
 /// Device classification for I(dev): resolved once (by eval or at probe
 /// compile time), then dispatched without RTTI.
 enum class BranchKind { kVsource, kResistor, kDiode, kVcvs, kMosfet,
-                        kIsource };
+                        kIsource, kCapacitor, kInductor };
 
 std::optional<BranchKind> classify_branch(const Device& dev) {
   if (dynamic_cast<const VoltageSource*>(&dev)) return BranchKind::kVsource;
@@ -75,6 +76,8 @@ std::optional<BranchKind> classify_branch(const Device& dev) {
   if (dynamic_cast<const Vcvs*>(&dev)) return BranchKind::kVcvs;
   if (dynamic_cast<const Mosfet*>(&dev)) return BranchKind::kMosfet;
   if (dynamic_cast<const CurrentSource*>(&dev)) return BranchKind::kIsource;
+  if (dynamic_cast<const Capacitor*>(&dev)) return BranchKind::kCapacitor;
+  if (dynamic_cast<const Inductor*>(&dev)) return BranchKind::kInductor;
   return std::nullopt;
 }
 
@@ -93,6 +96,10 @@ double branch_current_of(BranchKind kind, const Device& dev,
       return static_cast<const Mosfet&>(dev).drain_current(x);
     case BranchKind::kIsource:
       return static_cast<const CurrentSource&>(dev).current();
+    case BranchKind::kCapacitor:
+      return static_cast<const Capacitor&>(dev).current(x);
+    case BranchKind::kInductor:
+      return static_cast<const Inductor&>(dev).current(x);
   }
   return 0.0;  // unreachable
 }
@@ -835,6 +842,38 @@ void run_outer_row(SimSession& session, BoundPlan& bound,
 
 }  // namespace
 
+// ----------------------------------------------------- CompiledProbeSet ---
+
+struct CompiledProbeSet::Impl {
+  std::vector<CompiledProbe> probes;
+  mutable std::vector<double> stack;  ///< shared evaluation stack
+};
+
+CompiledProbeSet::CompiledProbeSet(const std::vector<Probe>& probes,
+                                   const Circuit& circuit)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->probes.reserve(probes.size());
+  std::size_t max_depth = 1;
+  for (const Probe& p : probes) {
+    impl_->probes.push_back(compile_probe(p, circuit));
+    max_depth = std::max(max_depth, impl_->probes.back().max_depth);
+  }
+  impl_->stack.assign(max_depth, 0.0);
+}
+
+CompiledProbeSet::~CompiledProbeSet() = default;
+CompiledProbeSet::CompiledProbeSet(CompiledProbeSet&&) noexcept = default;
+CompiledProbeSet& CompiledProbeSet::operator=(CompiledProbeSet&&) noexcept =
+    default;
+
+std::size_t CompiledProbeSet::size() const noexcept {
+  return impl_->probes.size();
+}
+
+double CompiledProbeSet::eval(std::size_t i, const Unknowns& x) const {
+  return eval_compiled(impl_->probes.at(i), x, impl_->stack);
+}
+
 Series SimSession::sweep(const SweepAxis& axis, const SweepProbe& probe,
                          const std::string& name) {
   const BoundAxis bound = bind_axis(axis, *circuit_);
@@ -843,6 +882,26 @@ Series SimSession::sweep(const SweepAxis& axis, const SweepProbe& probe,
 }
 
 SweepResult SimSession::run(const AnalysisPlan& plan) {
+  // Run under the plan's solver options; restore the session's own on all
+  // exit paths (shared by the transient and sweep branches).
+  struct OptionsGuard {
+    SimSession* session;
+    NewtonOptions saved;
+    ~OptionsGuard() { session->options() = saved; }
+  } guard{this, options_};
+  options_ = plan.options;
+
+  if (plan.transient.has_value()) {
+    if (!plan.axes.empty()) {
+      throw PlanError(plan.name +
+                      ": a transient plan cannot also carry sweep axes");
+    }
+    if (plan.probes.empty()) {
+      throw PlanError(plan.name + ": plan needs at least one probe");
+    }
+    TransientSolver solver(*this, *plan.transient);
+    return solver.run(plan.probes);
+  }
   if (plan.axes.empty()) {
     throw PlanError(plan.name + ": plan needs at least one sweep axis");
   }
@@ -881,15 +940,6 @@ SweepResult SimSession::run(const AnalysisPlan& plan) {
   out.rows_ = inner_n * outer_n;
   out.columns_.resize(plan.probes.size());
   for (auto& col : out.columns_) col.resize(out.rows_);
-
-  // Run under the plan's solver options; restore the session's own on all
-  // exit paths.
-  struct OptionsGuard {
-    SimSession* session;
-    NewtonOptions saved;
-    ~OptionsGuard() { session->options() = saved; }
-  } guard{this, options_};
-  options_ = plan.options;
 
   std::vector<std::vector<double>>& columns = out.columns_;
 

@@ -1,0 +1,285 @@
+#include "icvbe/spice/transient.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "icvbe/common/error.hpp"
+
+namespace icvbe::spice {
+
+TransientSolver::TransientSolver(SimSession& session, TransientSpec spec)
+    : session_(session), spec_(std::move(spec)) {
+  ICVBE_REQUIRE(spec_.tstep > 0.0, "TransientSolver: tstep must be > 0");
+  ICVBE_REQUIRE(spec_.tstart >= 0.0, "TransientSolver: tstart must be >= 0");
+  ICVBE_REQUIRE(spec_.tstop > spec_.tstart,
+                "TransientSolver: tstop must be > tstart");
+  ICVBE_REQUIRE(spec_.tmax >= 0.0, "TransientSolver: tmax must be >= 0");
+  ICVBE_REQUIRE(spec_.lte_reltol > 0.0 && spec_.lte_abstol > 0.0,
+                "TransientSolver: LTE tolerances must be > 0");
+  tmax_ = spec_.tmax > 0.0 ? spec_.tmax : spec_.tstep;
+  teps_ = 1e-9 * std::max(spec_.tstop, tmax_);
+  h0_ = spec_.adaptive ? std::min(spec_.tstep, tmax_) / 10.0 : spec_.tstep;
+  hmin_ = std::max(spec_.tstop * 1e-12, 1e-18);
+}
+
+TransientSolver::~TransientSolver() {
+  if (!began_ || restored_) return;
+  for (DynamicDevice* d : dynamic_) d->set_dc_mode();
+  const auto& vs = session_.voltage_sources();
+  for (std::size_t i = 0; i < vs.size(); ++i) {
+    vs[i]->set_voltage(vsource_t0_[i]);
+  }
+  const auto& is = session_.current_sources();
+  for (std::size_t i = 0; i < is.size(); ++i) {
+    is[i]->set_current(isource_t0_[i]);
+  }
+  restored_ = true;
+}
+
+void TransientSolver::apply_sources(double t) {
+  for (const auto& [src, wf] : vwaves_) src->set_voltage(wf->value_at(t));
+  for (const auto& [src, wf] : iwaves_) src->set_current(wf->value_at(t));
+}
+
+void TransientSolver::begin() {
+  if (began_) return;
+  Circuit& circuit = session_.circuit();
+
+  // Discover dynamic devices and waveform-driven sources once.
+  dynamic_.clear();
+  for (const auto& dev : circuit.devices()) {
+    if (auto* d = dynamic_cast<DynamicDevice*>(dev.get())) {
+      d->set_dc_mode();
+      dynamic_.push_back(d);
+    }
+  }
+  vwaves_.clear();
+  iwaves_.clear();
+  vsource_t0_.clear();
+  isource_t0_.clear();
+  for (VoltageSource* v : session_.voltage_sources()) {
+    vsource_t0_.push_back(v->voltage());
+    if (v->has_waveform()) vwaves_.emplace_back(v, &v->waveform());
+  }
+  for (CurrentSource* i : session_.current_sources()) {
+    isource_t0_.push_back(i->current());
+    if (i->has_waveform()) iwaves_.emplace_back(i, &i->waveform());
+  }
+  began_ = true;  // from here on the destructor restores
+
+  // Breakpoints: waveform corners, deduplicated within teps_.
+  breakpoints_.clear();
+  for (const auto& [src, wf] : vwaves_) {
+    wf->append_breakpoints(spec_.tstop, breakpoints_);
+  }
+  for (const auto& [src, wf] : iwaves_) {
+    wf->append_breakpoints(spec_.tstop, breakpoints_);
+  }
+  std::sort(breakpoints_.begin(), breakpoints_.end());
+  breakpoints_.erase(
+      std::unique(breakpoints_.begin(), breakpoints_.end(),
+                  [this](double a, double b) { return b - a <= teps_; }),
+      breakpoints_.end());
+  bp_index_ = 0;
+
+  // Start point: UIC vector or operating point, then .IC overrides.
+  apply_sources(0.0);
+  const auto n = static_cast<std::size_t>(session_.unknown_count());
+  if (spec_.uic) {
+    x_now_ = Unknowns(n);
+  } else {
+    x_now_ = session_.solve_or_throw();  // copy out of session storage
+  }
+  for (const auto& [node, volts] : spec_.initial_conditions) {
+    const NodeId id = circuit.find_node(node);
+    if (id <= kGround) {
+      throw CircuitError(".IC V(" + node + "): no node with that name");
+    }
+    x_now_.raw()[static_cast<std::size_t>(id - 1)] = volts;
+  }
+  for (DynamicDevice* d : dynamic_) d->imprint_ic(x_now_);
+  for (DynamicDevice* d : dynamic_) d->init_state(x_now_);
+  for (DynamicDevice* d : dynamic_) d->begin_step(spec_.method, h0_);
+  session_.seed_warm_start(x_now_);
+
+  t_ = 0.0;
+  h_next_ = h0_;
+  h_last_ = 0.0;
+  for (auto& h : hist_x_) h = Unknowns(n);
+  hist_head_ = 0;
+  hist_count_ = 0;
+  push_history(0.0, x_now_);
+}
+
+void TransientSolver::push_history(double t, const Unknowns& x) {
+  hist_head_ = (hist_head_ + 1) % 3;
+  hist_t_[hist_head_] = t;
+  hist_x_[hist_head_] = x;  // same-size copy, no allocation
+  if (hist_count_ < 3) ++hist_count_;
+}
+
+double TransientSolver::lte_ratio(const Unknowns& candidate, double h) const {
+  // k-th newest accepted point (k = 0 is the current time t_).
+  const auto at = [this](std::size_t k) -> std::size_t {
+    return (hist_head_ + 3 - k) % 3;
+  };
+  const std::size_t a0 = at(0);
+  const std::size_t a1 = at(1);
+  const bool third_order = spec_.method == IntegrationMethod::kTrapezoidal;
+  const std::size_t a2 = at(2);
+  const double tc = t_ + h;
+  const double t0 = hist_t_[a0];
+  const double t1 = hist_t_[a1];
+  const double t2 = third_order ? hist_t_[a2] : 0.0;
+
+  const int nodes = session_.circuit().node_count() - 1;
+  double worst = 0.0;
+  for (int i = 0; i < nodes; ++i) {
+    const auto ui = static_cast<std::size_t>(i);
+    const double xc = candidate.raw()[ui];
+    const double x0 = hist_x_[a0].raw()[ui];
+    const double x1 = hist_x_[a1].raw()[ui];
+    const double dd1 = (xc - x0) / (tc - t0);
+    const double dd0 = (x0 - x1) / (t0 - t1);
+    const double dd2 = (dd1 - dd0) / (tc - t1);
+    double err;
+    if (third_order) {
+      // Trapezoidal: LTE ~ (h^3 / 12) |x'''|, x''' ~ 6 * dd3.
+      const double x2 = hist_x_[a2].raw()[ui];
+      const double dd0b = (x1 - x2) / (t1 - t2);
+      const double dd2b = (dd0 - dd0b) / (t0 - t2);
+      const double dd3 = (dd2 - dd2b) / (tc - t2);
+      err = 0.5 * h * h * h * std::abs(dd3);
+    } else {
+      // Backward Euler: LTE ~ (h^2 / 2) |x''|, x'' ~ 2 * dd2.
+      err = h * h * std::abs(dd2);
+    }
+    const double tol = spec_.lte_abstol +
+                       spec_.lte_reltol * std::max(std::abs(xc), std::abs(x0));
+    worst = std::max(worst, err / tol);
+  }
+  return worst;
+}
+
+bool TransientSolver::advance() {
+  ICVBE_REQUIRE(began_, "TransientSolver::advance: call begin() first");
+  if (t_ >= spec_.tstop - teps_) return false;
+
+  const double exponent = -1.0 / static_cast<double>(order() + 1);
+  double h = h_next_;
+  for (int tries = 0; tries < 64; ++tries) {
+    h = std::min({h, tmax_, spec_.tstop - t_});
+    h = std::max(h, hmin_);
+    // Never integrate across a waveform corner: land the step on it.
+    bool hit_breakpoint = false;
+    if (spec_.adaptive && bp_index_ < breakpoints_.size()) {
+      const double bp = breakpoints_[bp_index_];
+      if (t_ + h >= bp - teps_) {
+        h = bp - t_;
+        hit_breakpoint = true;
+      }
+    }
+
+    const double t_candidate = t_ + h;
+    apply_sources(t_candidate);
+    // Right after t = 0 and after every breakpoint the committed state
+    // derivative is the pre-discontinuity one; trapezoidal would average
+    // it in and halve the response. Take that one step with backward
+    // Euler, which only uses the state itself (adaptive runs only --
+    // fixed-step runs are pure-method by contract, for the closed-form
+    // tests).
+    const IntegrationMethod step_method =
+        (spec_.adaptive && restart_) ? IntegrationMethod::kBackwardEuler
+                                     : spec_.method;
+    for (DynamicDevice* d : dynamic_) d->begin_step(step_method, h);
+    const DcResult& r = session_.solve();
+    newton_iterations_ += r.iterations;
+    if (!r.converged) {
+      if (h <= hmin_ * 1.0001) {
+        throw NumericalError(
+            "transient: Newton failed to converge at t = " +
+            std::to_string(t_candidate) + " s with the minimum step");
+      }
+      ++rejected_;
+      h *= 0.125;
+      continue;
+    }
+
+    // The divided-difference estimate needs need_history() accepted points
+    // besides the candidate: the initial point plus accepted_ steps.
+    double ratio = 0.0;
+    bool have_ratio = false;
+    if (spec_.adaptive &&
+        accepted_ + 1 >= static_cast<long>(need_history()) &&
+        hist_count_ >= need_history()) {
+      ratio = lte_ratio(r.solution, h);
+      have_ratio = true;
+      if (ratio > 1.0 && h > hmin_ * 1.0001) {
+        ++rejected_;
+        const double f =
+            std::clamp(0.9 * std::pow(ratio, exponent), 0.1, 0.9);
+        h = std::max(h * f, hmin_);
+        continue;
+      }
+    }
+
+    // Accept.
+    t_ = t_candidate;
+    x_now_ = r.solution;  // same-size copy
+    for (DynamicDevice* d : dynamic_) d->commit(x_now_);
+    push_history(t_, x_now_);
+    h_last_ = h;
+    ++accepted_;
+    restart_ = hit_breakpoint;
+    if (!spec_.adaptive) {
+      h_next_ = spec_.tstep;
+    } else if (hit_breakpoint) {
+      ++bp_index_;
+      h_next_ = h0_;  // restart small after a slope discontinuity
+    } else if (!have_ratio) {
+      h_next_ = h0_;  // not enough history to trust the estimate yet
+    } else {
+      const double f =
+          ratio > 0.0
+              ? std::clamp(0.9 * std::pow(ratio, exponent), 0.5, 2.0)
+              : 2.0;
+      h_next_ = std::clamp(h * f, hmin_, tmax_);
+    }
+    return true;
+  }
+  throw NumericalError("transient: step control failed to find an "
+                       "acceptable step at t = " +
+                       std::to_string(t_) + " s");
+}
+
+SweepResult TransientSolver::run(const std::vector<Probe>& probes) {
+  ICVBE_REQUIRE(!probes.empty(), "TransientSolver::run: need >= 1 probe");
+  begin();
+
+  SweepResult out;
+  out.axis_labels_ = {"TIME"};
+  out.columns_.resize(probes.size());
+  for (const Probe& p : probes) out.probe_labels_.push_back(p.to_string());
+  const auto estimate = static_cast<std::size_t>(
+      (spec_.tstop - spec_.tstart) / spec_.tstep * 4.0 + 16.0);
+  out.inner_.reserve(estimate);
+  for (auto& col : out.columns_) col.reserve(estimate);
+
+  // Compile once: per-timepoint recording then does no name lookups
+  // (same discipline as the DC plan path).
+  const CompiledProbeSet compiled(probes, session_.circuit());
+  const auto record = [&] {
+    out.inner_.push_back(t_);
+    for (std::size_t p = 0; p < probes.size(); ++p) {
+      out.columns_[p].push_back(compiled.eval(p, x_now_));
+    }
+  };
+  if (spec_.tstart <= teps_) record();
+  while (advance()) {
+    if (t_ >= spec_.tstart - teps_) record();
+  }
+  out.rows_ = out.inner_.size();
+  return out;
+}
+
+}  // namespace icvbe::spice

@@ -1,0 +1,187 @@
+#include "icvbe/spice/waveform.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "icvbe/common/error.hpp"
+#include "icvbe/common/table.hpp"
+
+namespace icvbe::spice {
+
+Waveform Waveform::dc(double value) {
+  Waveform w;
+  w.kind_ = Kind::kDc;
+  w.p_[0] = value;
+  return w;
+}
+
+Waveform Waveform::pulse(double v1, double v2, double td, double tr,
+                         double tf, double pw, double per) {
+  ICVBE_REQUIRE(td >= 0.0 && tr >= 0.0 && tf >= 0.0,
+                "Waveform::pulse: td/tr/tf must be >= 0");
+  if (per > 0.0) {
+    ICVBE_REQUIRE(pw >= 0.0, "Waveform::pulse: periodic pulse needs pw >= 0");
+    ICVBE_REQUIRE(per >= tr + pw + tf,
+                  "Waveform::pulse: period shorter than tr + pw + tf");
+  }
+  Waveform w;
+  w.kind_ = Kind::kPulse;
+  w.p_[0] = v1;
+  w.p_[1] = v2;
+  w.p_[2] = td;
+  w.p_[3] = tr;
+  w.p_[4] = tf;
+  w.p_[5] = pw;
+  w.p_[6] = per;
+  return w;
+}
+
+Waveform Waveform::sin(double vo, double va, double freq, double td,
+                       double theta) {
+  ICVBE_REQUIRE(freq > 0.0, "Waveform::sin: frequency must be > 0");
+  ICVBE_REQUIRE(td >= 0.0, "Waveform::sin: delay must be >= 0");
+  Waveform w;
+  w.kind_ = Kind::kSin;
+  w.p_[0] = vo;
+  w.p_[1] = va;
+  w.p_[2] = freq;
+  w.p_[3] = td;
+  w.p_[4] = theta;
+  return w;
+}
+
+Waveform Waveform::pwl(std::vector<std::pair<double, double>> points) {
+  ICVBE_REQUIRE(!points.empty(), "Waveform::pwl: need at least one knot");
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    ICVBE_REQUIRE(std::isfinite(points[i].first) &&
+                      std::isfinite(points[i].second),
+                  "Waveform::pwl: knots must be finite");
+    if (i > 0) {
+      ICVBE_REQUIRE(points[i].first >= points[i - 1].first,
+                    "Waveform::pwl: times must be non-decreasing");
+    }
+  }
+  Waveform w;
+  w.kind_ = Kind::kPwl;
+  w.points_ = std::move(points);
+  return w;
+}
+
+double Waveform::value_at(double t) const {
+  if (t < 0.0) t = 0.0;
+  switch (kind_) {
+    case Kind::kDc:
+      return p_[0];
+    case Kind::kPulse: {
+      const double v1 = p_[0], v2 = p_[1], td = p_[2], tr = p_[3],
+                   tf = p_[4], pw = p_[5], per = p_[6];
+      // Inclusive: the value at the exact edge start is still v1, so a
+      // td = tr = 0 step reads v1 at t = 0 (the SPICE DC convention) and
+      // v2 for any t > 0.
+      if (t <= td) return v1;
+      double tl = t - td;
+      if (per > 0.0) tl = std::fmod(tl, per);
+      if (tl < tr) return v1 + (v2 - v1) * (tl / tr);
+      tl -= tr;
+      if (pw < 0.0 || tl < pw) return v2;  // pw < 0: hold forever (step)
+      tl -= pw;
+      if (tl < tf) return v2 + (v1 - v2) * (tl / tf);
+      return v1;
+    }
+    case Kind::kSin: {
+      const double vo = p_[0], va = p_[1], freq = p_[2], td = p_[3],
+                   theta = p_[4];
+      if (t < td) return vo;
+      const double dt = t - td;
+      const double damp = theta != 0.0 ? std::exp(-dt * theta) : 1.0;
+      return vo + va * damp * std::sin(2.0 * M_PI * freq * dt);
+    }
+    case Kind::kPwl: {
+      if (t <= points_.front().first) return points_.front().second;
+      if (t >= points_.back().first) return points_.back().second;
+      // First knot strictly after t; its predecessor starts the segment.
+      const auto it = std::upper_bound(
+          points_.begin(), points_.end(), t,
+          [](double value, const std::pair<double, double>& knot) {
+            return value < knot.first;
+          });
+      const auto& hi = *it;
+      const auto& lo = *(it - 1);
+      if (hi.first == lo.first) return hi.second;  // vertical jump
+      const double f = (t - lo.first) / (hi.first - lo.first);
+      return lo.second + f * (hi.second - lo.second);
+    }
+  }
+  return 0.0;  // unreachable
+}
+
+void Waveform::append_breakpoints(double tstop, std::vector<double>& out)
+    const {
+  // The cap is per waveform (not against the shared output vector), so a
+  // dense periodic pulse cannot starve later sources of their corners.
+  std::size_t pushed = 0;
+  auto push = [&](double t) {
+    if (t > 0.0 && t <= tstop && pushed < kMaxBreakpoints) {
+      out.push_back(t);
+      ++pushed;
+    }
+  };
+  switch (kind_) {
+    case Kind::kDc:
+      return;
+    case Kind::kPulse: {
+      const double td = p_[2], tr = p_[3], tf = p_[4], pw = p_[5],
+                   per = p_[6];
+      const double hold = pw < 0.0 ? tstop : pw;
+      for (std::size_t k = 0;; ++k) {
+        const double base = td + static_cast<double>(k) * per;
+        if (base > tstop) break;
+        push(base);
+        push(base + tr);
+        push(base + tr + hold);
+        push(base + tr + hold + tf);
+        if (per <= 0.0 || pushed >= kMaxBreakpoints) break;
+      }
+      return;
+    }
+    case Kind::kSin:
+      push(p_[3]);  // damping/oscillation starts at td
+      return;
+    case Kind::kPwl:
+      for (const auto& [t, v] : points_) push(t);
+      return;
+  }
+}
+
+std::string Waveform::to_string() const {
+  std::ostringstream os;
+  switch (kind_) {
+    case Kind::kDc:
+      os << format_sig(p_[0], 9);
+      break;
+    case Kind::kPulse:
+      os << "PULSE(" << format_sig(p_[0], 9) << ' ' << format_sig(p_[1], 9)
+         << ' ' << format_sig(p_[2], 9) << ' ' << format_sig(p_[3], 9) << ' '
+         << format_sig(p_[4], 9) << ' ' << format_sig(p_[5], 9) << ' '
+         << format_sig(p_[6], 9) << ')';
+      break;
+    case Kind::kSin:
+      os << "SIN(" << format_sig(p_[0], 9) << ' ' << format_sig(p_[1], 9)
+         << ' ' << format_sig(p_[2], 9) << ' ' << format_sig(p_[3], 9) << ' '
+         << format_sig(p_[4], 9) << ')';
+      break;
+    case Kind::kPwl:
+      os << "PWL(";
+      for (std::size_t i = 0; i < points_.size(); ++i) {
+        if (i > 0) os << ' ';
+        os << format_sig(points_[i].first, 9) << ' '
+           << format_sig(points_[i].second, 9);
+      }
+      os << ')';
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace icvbe::spice

@@ -303,6 +303,121 @@ TEST(NetlistParser, AnalysisDirectiveErrors) {
   EXPECT_THROW((void)parse_netlist(".PROBE\n"), NetlistError);
 }
 
+TEST(NetlistParser, CapacitorAndInductorCards) {
+  auto parsed = parse_netlist(R"(
+V1 in 0 5
+R1 in out 1k
+C1 out 0 10n IC=2.5
+L1 out 0 4.7u
+L2 out tap 1m IC=1m
+.END
+)");
+  const auto& c1 = parsed.circuit->get<Capacitor>("C1");
+  EXPECT_DOUBLE_EQ(c1.capacitance(), 10e-9);
+  ASSERT_TRUE(c1.has_initial_condition());
+  EXPECT_DOUBLE_EQ(c1.initial_condition(), 2.5);
+  const auto& l1 = parsed.circuit->get<Inductor>("L1");
+  EXPECT_DOUBLE_EQ(l1.inductance(), 4.7e-6);
+  EXPECT_FALSE(l1.has_initial_condition());
+  const auto& l2 = parsed.circuit->get<Inductor>("L2");
+  EXPECT_DOUBLE_EQ(l2.initial_condition(), 1e-3);
+  EXPECT_THROW((void)parse_netlist("C1 a 0\n"), NetlistError);
+  EXPECT_THROW((void)parse_netlist("L1 a 0 -1u\n"), NetlistError);
+}
+
+TEST(NetlistParser, SourceWaveforms) {
+  auto parsed = parse_netlist(R"(
+V1 in 0 PULSE(0 1.8 1u 2u 2u 10u 20u)
+V2 b 0 DC 0.75
+I1 0 c SIN(1u 0.5u 1k)
+V3 d 0 PWL(0 0 1m 1 2m 0)
+R1 in 0 1k
+R2 b 0 1k
+R3 c 0 1k
+R4 d 0 1k
+.END
+)");
+  const auto& v1 = parsed.circuit->get<VoltageSource>("V1");
+  ASSERT_TRUE(v1.has_waveform());
+  EXPECT_DOUBLE_EQ(v1.voltage(), 0.0);  // DC value = waveform at t = 0
+  EXPECT_DOUBLE_EQ(v1.waveform().value_at(2e-6), 0.9);
+  const auto& v2 = parsed.circuit->get<VoltageSource>("V2");
+  EXPECT_FALSE(v2.has_waveform());
+  EXPECT_DOUBLE_EQ(v2.voltage(), 0.75);
+  const auto& i1 = parsed.circuit->get<CurrentSource>("I1");
+  ASSERT_TRUE(i1.has_waveform());
+  EXPECT_DOUBLE_EQ(i1.current(), 1e-6);
+  const auto& v3 = parsed.circuit->get<VoltageSource>("V3");
+  ASSERT_TRUE(v3.has_waveform());
+  EXPECT_DOUBLE_EQ(v3.waveform().value_at(0.5e-3), 0.5);
+
+  // Malformed waveforms fail with line context.
+  EXPECT_THROW((void)parse_netlist("V1 a 0 PULSE(1)\nR1 a 0 1k\n"),
+               NetlistError);
+  EXPECT_THROW((void)parse_netlist("V1 a 0 DC 5 3.3\nR1 a 0 1k\n"),
+               NetlistError);
+  EXPECT_THROW((void)parse_netlist("V1 a 0 5 3.3\nR1 a 0 1k\n"),
+               NetlistError);
+  EXPECT_THROW((void)parse_netlist("V1 a 0 SIN(0 1)\nR1 a 0 1k\n"),
+               NetlistError);
+  EXPECT_THROW((void)parse_netlist("V1 a 0 PWL(0 1 2)\nR1 a 0 1k\n"),
+               NetlistError);
+  EXPECT_THROW((void)parse_netlist("V1 a 0 PWL(1 0 0.5 1)\nR1 a 0 1k\n"),
+               NetlistError);
+}
+
+TEST(NetlistParser, TranDirectiveBuildsTransientPlan) {
+  auto parsed = parse_netlist(R"(
+V1 in 0 PULSE(0 1 0 1u)
+R1 in out 1k
+C1 out 0 1u
+.IC V(out)=0.25
+.TRAN 1u 2m 0.5m 5u UIC METHOD=BE
+.PROBE V(out) I(C1)
+.END
+)");
+  ASSERT_TRUE(parsed.plan.has_value());
+  ASSERT_TRUE(parsed.plan->transient.has_value());
+  const TransientSpec& spec = *parsed.plan->transient;
+  EXPECT_DOUBLE_EQ(spec.tstep, 1e-6);
+  EXPECT_DOUBLE_EQ(spec.tstop, 2e-3);
+  EXPECT_DOUBLE_EQ(spec.tstart, 0.5e-3);
+  EXPECT_DOUBLE_EQ(spec.tmax, 5e-6);
+  EXPECT_TRUE(spec.uic);
+  EXPECT_EQ(spec.method, IntegrationMethod::kBackwardEuler);
+  ASSERT_EQ(spec.initial_conditions.size(), 1u);
+  EXPECT_EQ(spec.initial_conditions[0].first, "out");
+  EXPECT_DOUBLE_EQ(spec.initial_conditions[0].second, 0.25);
+  EXPECT_TRUE(parsed.plan->axes.empty());
+  ASSERT_EQ(parsed.plan->probes.size(), 2u);
+  ASSERT_EQ(parsed.ics.size(), 1u);
+}
+
+TEST(NetlistParser, TranDirectiveErrors) {
+  const char* body = "V1 a 0 1\nR1 a 0 1k\nC1 a 0 1u\n";
+  auto deck = [&](const std::string& directives) {
+    return std::string(body) + directives;
+  };
+  // No .PROBE.
+  EXPECT_THROW((void)parse_netlist(deck(".TRAN 1u 1m\n")), NetlistError);
+  // Mixing analyses.
+  EXPECT_THROW((void)parse_netlist(
+                   deck(".TRAN 1u 1m\n.DC V1 0 1 0.1\n.PROBE V(a)\n")),
+               NetlistError);
+  // Bad numbers.
+  EXPECT_THROW((void)parse_netlist(deck(".TRAN 0 1m\n.PROBE V(a)\n")),
+               NetlistError);
+  EXPECT_THROW((void)parse_netlist(deck(".TRAN 1u\n.PROBE V(a)\n")),
+               NetlistError);
+  EXPECT_THROW((void)parse_netlist(
+                   deck(".TRAN 1u 1m METHOD=RK4\n.PROBE V(a)\n")),
+               NetlistError);
+  // Duplicate directive.
+  EXPECT_THROW((void)parse_netlist(
+                   deck(".TRAN 1u 1m\n.TRAN 2u 1m\n.PROBE V(a)\n")),
+               NetlistError);
+}
+
 TEST(ModelWriter, RoundTripsBjtCard) {
   BjtModel m;
   m.type = BjtModel::Type::kPnp;

@@ -271,5 +271,99 @@ TEST_P(RandomSparseTest, AgreesWithDenseLu) {
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomSparseTest,
                          ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
 
+// ROADMAP sparse follow-up (c): the dense engine's condition_estimate()
+// now has a sparse counterpart using the same +/-1 probe, so the two must
+// report comparable numbers on identical systems.
+TEST(SparseLuTest, ConditionEstimateMatchesDenseWithin10x) {
+  for (const unsigned seed : {11u, 22u, 33u, 44u}) {
+    const std::size_t n = 24;
+    std::mt19937 gen(seed);
+    std::uniform_real_distribution<double> dist(-1.0, 1.0);
+    std::uniform_int_distribution<std::size_t> pick(0, n - 1);
+    SparseMatrix s(n, n);
+    Matrix d(n, n, 0.0);
+    auto put = [&](std::size_t r, std::size_t c, double v) {
+      s.add(r, c, v);
+      d(r, c) += v;
+    };
+    for (std::size_t i = 0; i < n; ++i) put(i, i, 4.0 + dist(gen));
+    for (int e = 0; e < 80; ++e) {
+      const std::size_t r = pick(gen);
+      const std::size_t c = pick(gen);
+      if (r != c) put(r, c, dist(gen));
+    }
+    s.freeze_pattern();
+    SparseLuFactorization slu;
+    slu.refactor(s);
+    const LuFactorization dlu(d);
+    const double cs = slu.condition_estimate();
+    const double cd = dlu.condition_estimate();
+    ASSERT_GT(cd, 0.0);
+    EXPECT_GT(cs, cd / 10.0) << "seed " << seed;
+    EXPECT_LT(cs, cd * 10.0) << "seed " << seed;
+    // Both see a well-conditioned system as such.
+    EXPECT_LT(cs, 1e4);
+  }
+}
+
+TEST(SparseLuTest, ConditionEstimateGrowsOnIllConditionedSystem) {
+  const std::size_t n = 8;
+  SparseMatrix s(n, n);
+  Matrix d(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double v = i + 1 == n ? 1e-9 : 2.0;  // one nearly-dependent row
+    s.add(i, i, v);
+    d(i, i) = v;
+  }
+  s.freeze_pattern();
+  SparseLuFactorization slu;
+  slu.refactor(s);
+  const LuFactorization dlu(d);
+  EXPECT_GT(slu.condition_estimate(), 1e8);
+  EXPECT_GT(slu.condition_estimate(), dlu.condition_estimate() / 10.0);
+  EXPECT_LT(slu.condition_estimate(), dlu.condition_estimate() * 10.0);
+}
+
+// The transient engine restamps the same pattern with wildly different
+// values (companion conductances scale with 1/h): if the frozen pivot
+// order becomes numerically unstable for the new values, refactor() must
+// re-analyse instead of returning a garbage factorisation.
+TEST(SparseLuTest, ReanalyzesOnFrozenPivotGrowthBlowup) {
+  // Analysis values make (0,0) an attractive pivot; the restamp shrinks it
+  // to 1e-6 (still far above the singularity tolerance) while raising the
+  // couplings through it to 1e4, so the frozen elimination multiplier is
+  // 1e10 and the fill-in reaches ~1e14 -- past the 1e8 * max|A| growth cap.
+  SparseMatrix m(3, 3);
+  m.add(0, 0, 1.0);
+  m.add(0, 1, 1.0);
+  m.add(1, 0, 1.0);
+  m.add(1, 1, 1.0 + 1e-3);
+  m.add(1, 2, 1.0);
+  m.add(2, 1, 1.0);
+  m.add(2, 2, 1.0);
+  m.freeze_pattern();
+  SparseLuFactorization lu;
+  lu.refactor(m);
+  const int analyses_before = lu.analysis_count();
+
+  m.fill(0.0);
+  m.add(0, 0, 1e-6);
+  m.add(0, 1, 1e4);
+  m.add(1, 0, 1e4);
+  m.add(1, 1, 1.0);
+  m.add(1, 2, 1.0);
+  m.add(2, 1, 1.0);
+  m.add(2, 2, 1.0);
+  lu.refactor(m);
+  EXPECT_GT(lu.analysis_count(), analyses_before)
+      << "growth guard did not trigger a re-analysis";
+  Vector b{1.0, 2.0, 3.0};
+  lu.solve_in_place(b);
+  const Vector ax = m.multiply(b);
+  EXPECT_NEAR(ax[0], 1.0, 1e-2);  // residual scale ~ max|A| * eps-ish
+  EXPECT_NEAR(ax[1], 2.0, 1e-2);
+  EXPECT_NEAR(ax[2], 3.0, 1e-2);
+}
+
 }  // namespace
 }  // namespace icvbe::linalg

@@ -1,0 +1,158 @@
+#!/usr/bin/env python3
+"""Documentation link/deck checker.
+
+Keeps README.md and docs/ from rotting:
+
+1. Every relative markdown link in README.md, docs/*.md resolves to an
+   existing file or directory.
+2. Every deck under examples/decks/ is referenced by docs/DECKS.md, and
+   every fenced deck block that follows a deck link matches the deck file
+   on disk (comment lines aside) -- the docs show the real thing.
+3. With --run <icvbe-binary>: every deck is executed end-to-end through
+   the CLI (`tran` for .TRAN decks, `run` for .DC/.STEP decks, `simulate`
+   otherwise) and must exit 0 and produce output.
+
+Exit code 0 = all good; 1 = findings (printed one per line).
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)#\s]+)(?:#[^)]*)?\)")
+
+findings: list[str] = []
+
+
+def finding(msg: str) -> None:
+    findings.append(msg)
+    print(f"FAIL: {msg}")
+
+
+def md_files() -> list[Path]:
+    files = [REPO / "README.md"]
+    files += sorted((REPO / "docs").glob("*.md"))
+    return [f for f in files if f.exists()]
+
+
+def check_links() -> None:
+    for md in md_files():
+        text = md.read_text()
+        # Strip fenced code blocks: their contents are not hyperlinks.
+        text = re.sub(r"```.*?```", "", text, flags=re.S)
+        for match in LINK_RE.finditer(text):
+            target = match.group(1)
+            if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # http:, mailto:
+                continue
+            resolved = (md.parent / target).resolve()
+            if not resolved.exists():
+                finding(f"{md.relative_to(REPO)}: dead link '{target}'")
+
+
+def deck_lines(path: Path) -> list[str]:
+    """Deck content with comment/blank lines removed."""
+    out = []
+    for line in path.read_text().splitlines():
+        stripped = line.strip()
+        if not stripped or stripped.startswith("*"):
+            continue
+        out.append(stripped)
+    return out
+
+
+def check_decks_md() -> list[Path]:
+    """Check DECKS.md <-> examples/decks consistency; return all decks."""
+    decks_md = REPO / "docs" / "DECKS.md"
+    deck_dir = REPO / "examples" / "decks"
+    decks = sorted(deck_dir.glob("*.cir"))
+    if not decks:
+        finding("examples/decks/ holds no .cir decks")
+    text = decks_md.read_text() if decks_md.exists() else ""
+    if not text:
+        finding("docs/DECKS.md is missing")
+        return decks
+
+    for deck in decks:
+        if deck.name not in text:
+            finding(f"docs/DECKS.md does not reference {deck.name}")
+
+    # Every fenced block following a deck link must match the deck file.
+    section_re = re.compile(
+        r"\[`(?P<name>[^`]+\.cir)`\]\([^)]*\)\s*\n+```\n(?P<block>.*?)```",
+        re.S,
+    )
+    for match in section_re.finditer(text):
+        deck = deck_dir / match.group("name")
+        if not deck.exists():
+            finding(f"docs/DECKS.md embeds unknown deck {match.group('name')}")
+            continue
+        shown = [ln.strip() for ln in match.group("block").splitlines()
+                 if ln.strip()]
+        actual = deck_lines(deck)
+        if shown != actual:
+            finding(
+                f"docs/DECKS.md block for {deck.name} is out of date "
+                f"(shown {len(shown)} lines vs deck {len(actual)})"
+            )
+    return decks
+
+
+def deck_subcommand(deck: Path) -> str:
+    body = deck.read_text().upper()
+    if re.search(r"^\s*\.TRAN\b", body, re.M):
+        return "tran"
+    if re.search(r"^\s*\.(DC|STEP)\b", body, re.M):
+        return "run"
+    return "simulate"
+
+
+def run_decks(binary: str, decks: list[Path]) -> None:
+    for deck in decks:
+        cmd = [binary, deck_subcommand(deck), str(deck)]
+        try:
+            proc = subprocess.run(
+                cmd, capture_output=True, text=True, timeout=120
+            )
+        except (OSError, subprocess.TimeoutExpired) as e:
+            finding(f"{' '.join(cmd)}: {e}")
+            continue
+        if proc.returncode != 0:
+            finding(
+                f"{' '.join(cmd)}: exit {proc.returncode}: "
+                f"{proc.stderr.strip().splitlines()[-1] if proc.stderr else ''}"
+            )
+        elif not proc.stdout.strip():
+            finding(f"{' '.join(cmd)}: produced no output")
+        else:
+            print(f"ok: {deck.name} via '{deck_subcommand(deck)}' "
+                  f"({len(proc.stdout.splitlines())} lines)")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--run",
+        metavar="ICVBE",
+        help="icvbe CLI binary; when given, every deck is executed",
+    )
+    args = parser.parse_args()
+
+    check_links()
+    decks = check_decks_md()
+    if args.run:
+        run_decks(args.run, decks)
+
+    if findings:
+        print(f"\n{len(findings)} finding(s)")
+        return 1
+    print("\ndocs check: all good")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

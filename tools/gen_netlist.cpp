@@ -1,6 +1,6 @@
 // gen_netlist: emit a synthetic stress deck on stdout.
 //
-//   gen_netlist <ladder|diode-ladder|bjt-ladder|mesh> <nodes> [seed]
+//   gen_netlist <ladder|diode-ladder|bjt-ladder|mesh|rc-ladder> <nodes> [seed]
 //
 // The decks are the sparse-engine stress workloads (see
 // spice/netlist_gen.hpp); pipe one into `icvbe run /dev/stdin` or save it
@@ -18,7 +18,7 @@ int main(int argc, char** argv) {
   try {
     if (argc < 3 || argc > 4) {
       std::fprintf(stderr,
-                   "usage: gen_netlist <ladder|diode-ladder|bjt-ladder|mesh> "
+                   "usage: gen_netlist <ladder|diode-ladder|bjt-ladder|mesh|rc-ladder> "
                    "<nodes> [seed]\n");
       return 2;
     }

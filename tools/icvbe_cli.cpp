@@ -9,6 +9,11 @@
 //                                        (default, by MNA unknown count:
 //                                        nodes + source branch currents),
 //                                        on (force CSR), off (force dense)
+//   icvbe tran <deck.cir> [--method=be|trap] [--sparse[=auto|on|off]]
+//                                        execute the deck's .TRAN analysis
+//                                        (time-indexed .PROBE series), CSV
+//                                        out; --method overrides the deck's
+//                                        integration scheme
 //   icvbe sweep <deck.cir> <vsrc> <from> <to> <n> <node>
 //                                        DC sweep a voltage source, CSV out
 //   icvbe tempsweep <deck.cir> <fromC> <toC> <n> <node>
@@ -25,6 +30,7 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -45,9 +51,11 @@ using namespace icvbe;
 
 int usage() {
   std::fprintf(stderr,
-               "usage: icvbe <simulate|run|sweep|tempsweep|extract|lot|"
+               "usage: icvbe <simulate|run|tran|sweep|tempsweep|extract|lot|"
                "table1|truthcard> [args]\n"
                "  simulate <deck.cir>\n"
+               "  tran <deck.cir> [--method=be|trap] [--sparse[=auto|on|off]]\n"
+               "      executes the deck's .TRAN/.PROBE analysis, CSV out\n"
                "  run <deck.cir> [threads] [--sparse[=auto|on|off]]\n"
                "      --sparse picks the linear engine: auto (default) "
                "switches to the\n"
@@ -176,6 +184,31 @@ int cmd_run(const std::string& path, unsigned threads,
   spice::SimSession session(c, session_options);
   // .NODESET hints seed the first point -- and, for 2-axis plans, the
   // deterministic start of every outer row.
+  if (!parsed.nodesets.empty()) {
+    session.seed_warm_start(guess_from_nodesets(c, parsed));
+  }
+  const spice::SweepResult result = session.run(plan);
+  result.write_csv(std::cout);
+  return 0;
+}
+
+int cmd_tran(const std::string& path, spice::SparseMode sparse_mode,
+             std::optional<spice::IntegrationMethod> method) {
+  auto parsed = load_deck(path);
+  if (!parsed.plan.has_value() || !parsed.plan->transient.has_value()) {
+    throw Error("deck '" + path +
+                "' describes no transient analysis (needs .TRAN plus "
+                ".PROBE)");
+  }
+  auto& c = *parsed.circuit;
+  c.set_temperature(to_kelvin(parsed.temperature_celsius));
+  spice::AnalysisPlan plan = *parsed.plan;
+  if (method.has_value()) plan.transient->method = *method;
+  plan.options.sparse = sparse_mode;
+  spice::NewtonOptions session_options;
+  session_options.sparse = sparse_mode;
+  spice::SimSession session(c, session_options);
+  // .NODESET hints seed the operating-point solve of the transient start.
   if (!parsed.nodesets.empty()) {
     session.seed_warm_start(guess_from_nodesets(c, parsed));
   }
@@ -339,6 +372,36 @@ int main(int argc, char** argv) {
       if (threads < 0) throw Error("threads: must be >= 0");
       return cmd_run(positional[0], static_cast<unsigned>(threads),
                      sparse_mode);
+    }
+    if (cmd == "tran") {
+      spice::SparseMode sparse_mode = spice::SparseMode::kAuto;
+      std::optional<spice::IntegrationMethod> method;
+      std::vector<std::string> positional;
+      for (std::size_t i = 1; i < args.size(); ++i) {
+        if (args[i] == "--sparse") {
+          sparse_mode = spice::SparseMode::kAuto;
+        } else if (args[i].rfind("--sparse=", 0) == 0) {
+          sparse_mode = parse_sparse_mode(
+              args[i].substr(std::string("--sparse=").size()));
+        } else if (args[i].rfind("--method=", 0) == 0) {
+          const std::string m =
+              args[i].substr(std::string("--method=").size());
+          if (m == "be" || m == "euler") {
+            method = spice::IntegrationMethod::kBackwardEuler;
+          } else if (m == "trap" || m == "trapezoidal") {
+            method = spice::IntegrationMethod::kTrapezoidal;
+          } else {
+            throw Error("--method: unknown method '" + m +
+                        "' (want be or trap)");
+          }
+        } else if (args[i].rfind("--", 0) == 0) {
+          throw Error("unknown option '" + args[i] + "'");
+        } else {
+          positional.push_back(args[i]);
+        }
+      }
+      if (positional.size() != 1) return usage();
+      return cmd_tran(positional[0], sparse_mode, method);
     }
     if (cmd == "sweep" && args.size() == 7) {
       return cmd_sweep(args[1], args[2], parse_double_arg("from", args[3]),
