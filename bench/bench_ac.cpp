@@ -1,0 +1,206 @@
+// AC small-signal sweep throughput, dense vs sparse complex engines.
+//
+// Stage 1 (report): for generated rc-ladder decks of growing size, time
+// the per-frequency-point solve_ac() kernel -- complex restamp + LU
+// refactor + solve -- on both engines after their setup (the sparse
+// engine's one symbolic analysis included in setup, exactly like a
+// Newton loop's). Reports points/second, asserts the >= 3x sparse gate
+// at >= 200 nodes, and records the study in results/BENCH_ac.json plus
+// the usual CSV.
+//
+// Stage 2: google-benchmark timings of the same kernel plus a whole
+// .AC plan run through SimSession::run.
+
+#include <chrono>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "icvbe/spice/netlist.hpp"
+#include "icvbe/spice/netlist_gen.hpp"
+#include "icvbe/spice/plan.hpp"
+#include "icvbe/spice/sim_session.hpp"
+
+namespace {
+
+using namespace icvbe;
+using Clock = std::chrono::steady_clock;
+
+spice::ParsedNetlist make_ac_deck(int nodes, std::uint64_t seed = 42) {
+  spice::SyntheticNetlistSpec spec;
+  spec.topology = spice::SyntheticTopology::kRcLadder;
+  spec.nodes = nodes;
+  spec.seed = seed;
+  spec.ac_analysis = true;
+  return spice::parse_netlist(spice::generate_netlist(spec));
+}
+
+/// Mean microseconds per AC point over the deck's frequency grid,
+/// repeated until >= ~60 ms of work. The session is primed (OP solved,
+/// complex engine materialised, symbolic analysis cached) before timing.
+double time_ac_point_us(spice::SimSession& session,
+                        const std::vector<double>& freqs) {
+  (void)session.solve_or_throw();
+  (void)session.solve_ac(2.0 * M_PI * freqs.front());  // setup + analysis
+  int reps = 1;
+  for (;;) {
+    const auto t0 = Clock::now();
+    for (int r = 0; r < reps; ++r) {
+      for (double f : freqs) (void)session.solve_ac(2.0 * M_PI * f);
+    }
+    const double us =
+        std::chrono::duration<double, std::micro>(Clock::now() - t0).count();
+    if (us >= 60000.0 || reps >= 1 << 16) {
+      return us / (static_cast<double>(reps) *
+                   static_cast<double>(freqs.size()));
+    }
+    reps *= 4;
+  }
+}
+
+struct AcRow {
+  int nodes = 0;
+  int unknowns = 0;
+  std::size_t points = 0;
+  double dense_us = 0.0;
+  double sparse_us = 0.0;
+};
+
+std::vector<AcRow> run_study() {
+  std::vector<AcRow> rows;
+  for (int nodes : {50, 100, 200, 500}) {
+    AcRow row;
+    row.nodes = nodes;
+    {
+      auto parsed = make_ac_deck(nodes);
+      const std::vector<double> freqs = parsed.plan->ac->frequencies();
+      row.points = freqs.size();
+      spice::NewtonOptions opt;
+      opt.sparse = spice::SparseMode::kDense;
+      spice::SimSession session(*parsed.circuit, opt);
+      row.unknowns = session.unknown_count();
+      row.dense_us = time_ac_point_us(session, freqs);
+    }
+    {
+      auto parsed = make_ac_deck(nodes);
+      const std::vector<double> freqs = parsed.plan->ac->frequencies();
+      spice::NewtonOptions opt;
+      opt.sparse = spice::SparseMode::kSparse;
+      spice::SimSession session(*parsed.circuit, opt);
+      row.sparse_us = time_ac_point_us(session, freqs);
+    }
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+void write_json(const std::vector<AcRow>& rows, const std::string& path) {
+  std::ofstream os(path);
+  os << "{\n"
+     << "  \"bench\": \"bench_ac\",\n"
+     << "  \"kernel\": \"solve_ac per frequency point (restamp + complex "
+        "refactor + solve)\",\n"
+     << "  \"workload\": \"rc-ladder --ac, .AC DEC 10 10 100K\",\n"
+     << "  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const AcRow& r = rows[i];
+    os << "    {\"nodes\": " << r.nodes << ", \"unknowns\": " << r.unknowns
+       << ", \"points\": " << r.points
+       << ", \"dense_us_per_point\": " << r.dense_us
+       << ", \"sparse_us_per_point\": " << r.sparse_us
+       << ", \"dense_points_per_sec\": " << 1e6 / r.dense_us
+       << ", \"sparse_points_per_sec\": " << 1e6 / r.sparse_us
+       << ", \"speedup\": " << (r.dense_us / r.sparse_us) << "}"
+       << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+}
+
+/// Returns false if the acceptance gate (sparse >= 3x dense on a
+/// >= 200-node AC ladder sweep) is missed; the sparse-stress CI job runs
+/// this binary, so a complex-engine regression cannot slip through green.
+[[nodiscard]] bool report() {
+  bench::banner(
+      "AC sweep throughput: dense vs sparse complex engines (us/point)");
+  const std::vector<AcRow> rows = run_study();
+
+  Table t({"nodes", "unknowns", "points", "dense [us/pt]", "sparse [us/pt]",
+           "dense [pt/s]", "sparse [pt/s]", "speedup"});
+  for (const AcRow& r : rows) {
+    t.add_row({std::to_string(r.nodes), std::to_string(r.unknowns),
+               std::to_string(r.points), format_sig(r.dense_us, 4),
+               format_sig(r.sparse_us, 4), format_sig(1e6 / r.dense_us, 4),
+               format_sig(1e6 / r.sparse_us, 4),
+               format_sig(r.dense_us / r.sparse_us, 3)});
+  }
+  bench::emit(t, "ac_sweep.csv");
+
+  bool gate_ok = true;
+  for (const AcRow& r : rows) {
+    if (r.nodes >= 200 && r.dense_us < 3.0 * r.sparse_us) {
+      std::printf("GATE FAILED: %d-node AC ladder speedup %.2fx below the "
+                  "3x target\n",
+                  r.nodes, r.dense_us / r.sparse_us);
+      gate_ok = false;
+    }
+  }
+
+  const std::string json_path = bench::results_dir() + "/BENCH_ac.json";
+  write_json(rows, json_path);
+  std::printf("[json] %s\n", json_path.c_str());
+  return gate_ok;
+}
+
+// ------------------------------------------- registered microbenchmarks --
+
+void BM_AcPointDense(benchmark::State& state) {
+  auto parsed = make_ac_deck(static_cast<int>(state.range(0)));
+  spice::NewtonOptions opt;
+  opt.sparse = spice::SparseMode::kDense;
+  spice::SimSession session(*parsed.circuit, opt);
+  (void)session.solve_or_throw();
+  (void)session.solve_ac(2.0 * M_PI * 10.0);
+  double f = 10.0;
+  for (auto _ : state) {
+    f = f < 1e5 ? f * 1.2589254117941673 : 10.0;
+    const auto& x = session.solve_ac(2.0 * M_PI * f);
+    benchmark::DoNotOptimize(x.data());
+  }
+}
+BENCHMARK(BM_AcPointDense)->Arg(100)->Arg(200);
+
+void BM_AcPointSparse(benchmark::State& state) {
+  auto parsed = make_ac_deck(static_cast<int>(state.range(0)));
+  spice::NewtonOptions opt;
+  opt.sparse = spice::SparseMode::kSparse;
+  spice::SimSession session(*parsed.circuit, opt);
+  (void)session.solve_or_throw();
+  (void)session.solve_ac(2.0 * M_PI * 10.0);
+  double f = 10.0;
+  for (auto _ : state) {
+    f = f < 1e5 ? f * 1.2589254117941673 : 10.0;
+    const auto& x = session.solve_ac(2.0 * M_PI * f);
+    benchmark::DoNotOptimize(x.data());
+  }
+}
+BENCHMARK(BM_AcPointSparse)->Arg(100)->Arg(200)->Arg(500);
+
+void BM_AcPlanRun(benchmark::State& state) {
+  auto parsed = make_ac_deck(static_cast<int>(state.range(0)));
+  spice::SimSession session(*parsed.circuit);
+  for (auto _ : state) {
+    const spice::SweepResult r = session.run(*parsed.plan);
+    benchmark::DoNotOptimize(r.rows());
+  }
+}
+BENCHMARK(BM_AcPlanRun)->Arg(200);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool gate_ok = report();
+  const int rc = bench::run_benchmarks(argc, argv);
+  return gate_ok ? rc : 1;
+}

@@ -1,22 +1,28 @@
 #pragma once
-// MatrixView: a non-owning accumulate-only view over either a dense Matrix
-// or a (frozen or building) SparseMatrix.
+// MatrixViewT: a non-owning accumulate-only view over either a dense
+// MatrixT or a (frozen or building) SparseMatrixT of the same scalar.
 //
 // This is the stamping contract: devices write their MNA entries through a
-// Stamper that holds a MatrixView, so the same stamp() code serves the
+// Stamper that holds a MatrixViewT, so the same stamp() code serves the
 // dense small-circuit fast path and the sparse large-netlist engine with
 // zero duplication. The only operation a stamp needs is `add` (+=), which
-// keeps the view trivially cheap: one branch per entry, inlined.
+// keeps the view trivially cheap: one branch per entry, inlined. The view
+// is scalar-generic: MatrixView (double) carries DC/transient Jacobians,
+// ComplexMatrixView carries the AC small-signal admittance system -- one
+// frozen sparse pattern per engine, stamped through the identical path.
 
 #include "icvbe/linalg/matrix.hpp"
 #include "icvbe/linalg/sparse.hpp"
 
 namespace icvbe::linalg {
 
-class MatrixView {
+template <typename Scalar>
+class MatrixViewT {
  public:
-  /*implicit*/ MatrixView(Matrix& dense) : dense_(&dense) {}          // NOLINT
-  /*implicit*/ MatrixView(SparseMatrix& sparse) : sparse_(&sparse) {} // NOLINT
+  /*implicit*/ MatrixViewT(MatrixT<Scalar>& dense)          // NOLINT
+      : dense_(&dense) {}
+  /*implicit*/ MatrixViewT(SparseMatrixT<Scalar>& sparse)   // NOLINT
+      : sparse_(&sparse) {}
 
   [[nodiscard]] std::size_t rows() const noexcept {
     return dense_ != nullptr ? dense_->rows() : sparse_->rows();
@@ -27,8 +33,8 @@ class MatrixView {
   [[nodiscard]] bool is_sparse() const noexcept { return sparse_ != nullptr; }
 
   /// Accumulate v at (r, c). On a frozen sparse target the slot must be
-  /// inside the pattern (see SparseMatrix::add).
-  void add(std::size_t r, std::size_t c, double v) {
+  /// inside the pattern (see SparseMatrixT::add).
+  void add(std::size_t r, std::size_t c, Scalar v) {
     if (dense_ != nullptr) {
       (*dense_)(r, c) += v;
     } else {
@@ -37,7 +43,7 @@ class MatrixView {
   }
 
   /// Reset every stored entry (dense: all elements; sparse: the pattern).
-  void fill(double value) {
+  void fill(Scalar value) {
     if (dense_ != nullptr) {
       dense_->fill(value);
     } else {
@@ -46,8 +52,11 @@ class MatrixView {
   }
 
  private:
-  Matrix* dense_ = nullptr;
-  SparseMatrix* sparse_ = nullptr;
+  MatrixT<Scalar>* dense_ = nullptr;
+  SparseMatrixT<Scalar>* sparse_ = nullptr;
 };
+
+using MatrixView = MatrixViewT<double>;
+using ComplexMatrixView = MatrixViewT<Complex>;
 
 }  // namespace icvbe::linalg

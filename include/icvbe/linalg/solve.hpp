@@ -1,29 +1,41 @@
 #pragma once
-// Direct dense solvers: LU with partial pivoting (square systems, MNA) and
-// Householder QR (least squares, fitting).
+// Direct dense solvers: LU with partial pivoting (square systems, MNA --
+// scalar-generic, double for DC/transient and complex for AC) and
+// Householder QR (least squares, fitting -- real-only).
 
 #include "icvbe/linalg/matrix.hpp"
 
 namespace icvbe::linalg {
 
 /// LU factorisation with partial pivoting of a square matrix. Factor once,
-/// solve for many right-hand sides.
+/// solve for many right-hand sides. Generic over the scalar (double /
+/// Complex): pivot selection and singularity screening compare magnitudes,
+/// so the double instantiation's factorisation arithmetic is bit-for-bit
+/// the historical real solver. One deliberate screening change applies to
+/// both scalars: singularity is judged column-relatively (see the
+/// constructor comment), so a solve that previously threw on a widely
+/// column-scaled but nonsingular system now factors it -- the Newton
+/// fallback machinery sees strictly fewer NumericalErrors, never more.
 ///
 /// Two usage modes:
-///  * one-shot: construct from a Matrix and call solve();
+///  * one-shot: construct from a MatrixT and call solve();
 ///  * workspace reuse: default-construct (or keep an instance around) and
 ///    call refactor() with each new matrix of the same size -- after the
 ///    first call all storage is reused and refactor()/solve_in_place()
 ///    perform no heap allocation. This is what SimSession's Newton loop
-///    relies on.
-class LuFactorization {
+///    (and its AC frequency sweep) relies on.
+template <typename Scalar>
+class LuFactorizationT {
  public:
   /// Empty workspace; call refactor() before solving.
-  LuFactorization() = default;
+  LuFactorizationT() = default;
 
   /// Factor A (square). Throws NumericalError if A is singular to working
-  /// precision (pivot below `pivot_tol` * max|A|).
-  explicit LuFactorization(Matrix a, double pivot_tol = 1e-14);
+  /// precision: the best pivot magnitude of some column falls below
+  /// `pivot_tol` times that column's own max|A| (column-relative, so AC
+  /// systems whose columns legitimately span many decades -- j*omega*L
+  /// next to microsiemens conductances -- are not misdiagnosed).
+  explicit LuFactorizationT(MatrixT<Scalar> a, double pivot_tol = 1e-14);
 
   /// Re-factor a new matrix, reusing the internal storage. Allocation-free
   /// when `a` has the same dimensions as the previous factorisation.
@@ -31,16 +43,16 @@ class LuFactorization {
   /// detection is deterministic at refactor time (exact zero pivots in the
   /// denormal range and non-finite entries included; nothing survives to
   /// fail at the first solve). The workspace stays reusable after a throw.
-  void refactor(const Matrix& a, double pivot_tol = 1e-14);
+  void refactor(const MatrixT<Scalar>& a, double pivot_tol = 1e-14);
 
   /// Solve A x = b.
-  [[nodiscard]] Vector solve(const Vector& b) const;
+  [[nodiscard]] VectorT<Scalar> solve(const VectorT<Scalar>& b) const;
 
   /// Solve A x = rhs with the solution overwriting `rhs`; allocation-free.
-  void solve_in_place(Vector& rhs) const;
+  void solve_in_place(VectorT<Scalar>& rhs) const;
 
   /// Determinant (from U diagonal and pivot sign).
-  [[nodiscard]] double determinant() const;
+  [[nodiscard]] Scalar determinant() const;
 
   /// Rough 1-norm condition estimate via |A|_1 * |A^-1 e|_1 probing.
   [[nodiscard]] double condition_estimate() const;
@@ -51,14 +63,24 @@ class LuFactorization {
   /// Shared factorisation core: factors lu_ in place (piv_ already sized).
   void factor_in_place(double pivot_tol);
 
-  Matrix lu_;                     // packed L (unit diag) and U
+  MatrixT<Scalar> lu_;            // packed L (unit diag) and U
   std::vector<std::size_t> piv_;  // row permutation
+  std::vector<double> colmax_;    // per-column max|A| for the pivot test
   int pivot_sign_ = 1;
   double a_norm1_ = 0.0;          // 1-norm of original A for cond estimate
 };
 
+using LuFactorization = LuFactorizationT<double>;
+using ComplexLuFactorization = LuFactorizationT<Complex>;
+
+extern template class LuFactorizationT<double>;
+extern template class LuFactorizationT<Complex>;
+
 /// Convenience: solve A x = b once.
 [[nodiscard]] Vector lu_solve(Matrix a, const Vector& b);
+
+/// Complex convenience overload (AC systems).
+[[nodiscard]] ComplexVector lu_solve(ComplexMatrix a, const ComplexVector& b);
 
 /// Householder QR of an m x n matrix (m >= n), for least squares.
 class QrFactorization {

@@ -1,7 +1,8 @@
 #pragma once
 // Sparse linear algebra for large MNA systems: a CSR matrix with a
 // build-once / restamp-many lifecycle and an LU factorisation with a
-// reusable symbolic analysis.
+// reusable symbolic analysis. Generic over the scalar type (double for
+// DC/transient Newton systems, Complex for small-signal AC systems).
 //
 // The dense workspace solver (matrix.hpp / solve.hpp) is ideal for the
 // paper's tens-of-node bandgap cells but stores O(n^2) and refactors in
@@ -10,13 +11,22 @@
 // engine SimSession switches to above NewtonOptions::sparse_threshold.
 //
 // Lifecycle, mirroring the dense workspace-reuse discipline:
-//  1. building: SparseMatrix::add(r, c, v) records coordinates (one
+//  1. building: SparseMatrixT::add(r, c, v) records coordinates (one
 //     pattern-discovery stamp of the circuit);
 //  2. freeze_pattern(): coordinates are compiled to CSR, duplicates merged;
 //  3. steady state: fill(0) + add() re-stamp values into the frozen
 //     pattern (binary search over a short sorted row -- allocation-free),
-//     and SparseLuFactorization::refactor() re-factors numerically along a
+//     and SparseLuFactorizationT::refactor() re-factors numerically along a
 //     cached pivot order and fill pattern, also allocation-free.
+//
+// Scalar genericity: the pattern machinery (COO -> CSR compilation,
+// minimum-degree ordering, fill-pattern discovery) is purely structural
+// and identical for every scalar; pivot *selection* compares magnitudes
+// (scalar_abs -- a double either way), so the symbolic analysis is
+// real-valued for both instantiations and only the numeric refactor /
+// solve arithmetic is scalar-typed. An AC frequency sweep therefore runs
+// the analysis once at its first stamped frequency and re-factors
+// allocation-free at every further point, exactly like a Newton loop.
 
 #include <cstddef>
 #include <cstdint>
@@ -34,10 +44,11 @@ namespace icvbe::linalg {
 /// Thread-safety: no internal synchronisation; one writer at a time.
 /// Distinct instances are fully independent (parallel plan workers each
 /// restamp their own copy).
-class SparseMatrix {
+template <typename Scalar>
+class SparseMatrixT {
  public:
-  SparseMatrix() = default;
-  SparseMatrix(std::size_t rows, std::size_t cols) { resize(rows, cols); }
+  SparseMatrixT() = default;
+  SparseMatrixT(std::size_t rows, std::size_t cols) { resize(rows, cols); }
 
   /// Reset to an empty building-phase matrix of the given dimensions.
   void resize(std::size_t rows, std::size_t cols);
@@ -54,7 +65,7 @@ class SparseMatrix {
   /// (allocates). Frozen phase: allocation-free accumulation into the
   /// stored slot; throws Error if (r, c) is outside the frozen pattern.
   /// \pre r < rows(), c < cols().
-  void add(std::size_t r, std::size_t c, double v) {
+  void add(std::size_t r, std::size_t c, Scalar v) {
     if (frozen_) {
       values_[slot(r, c)] += v;
     } else {
@@ -71,11 +82,11 @@ class SparseMatrix {
   void unfreeze();
 
   /// Set every stored value (frozen only); the pattern is untouched.
-  /// fill(0.0) is the per-Newton-iteration re-stamp reset.
-  void fill(double value);
+  /// fill(0.0) is the per-Newton-iteration / per-frequency re-stamp reset.
+  void fill(Scalar value);
 
-  /// Value at (r, c); 0.0 outside the pattern (frozen only).
-  [[nodiscard]] double at(std::size_t r, std::size_t c) const;
+  /// Value at (r, c); zero outside the pattern (frozen only).
+  [[nodiscard]] Scalar at(std::size_t r, std::size_t c) const;
 
   /// Process-unique pattern identity assigned by freeze_pattern(). The
   /// factorisation compares it to detect that its cached symbolic
@@ -91,21 +102,21 @@ class SparseMatrix {
   [[nodiscard]] const std::vector<int>& col_index() const noexcept {
     return col_index_;
   }
-  [[nodiscard]] const std::vector<double>& values() const noexcept {
+  [[nodiscard]] const std::vector<Scalar>& values() const noexcept {
     return values_;
   }
 
   /// Dense copy (tests and diagnostics; O(rows * cols)).
-  [[nodiscard]] Matrix to_dense() const;
+  [[nodiscard]] MatrixT<Scalar> to_dense() const;
 
   /// this * v (frozen only; dimension-checked).
-  [[nodiscard]] Vector multiply(const Vector& v) const;
+  [[nodiscard]] VectorT<Scalar> multiply(const VectorT<Scalar>& v) const;
 
-  /// Max absolute stored value (frozen only; 0.0 for an empty pattern).
+  /// Max stored value magnitude (frozen only; 0.0 for an empty pattern).
   [[nodiscard]] double max_abs() const;
 
  private:
-  void add_building(std::size_t r, std::size_t c, double v);
+  void add_building(std::size_t r, std::size_t c, Scalar v);
   /// CSR slot of (r, c); throws Error if outside the pattern.
   [[nodiscard]] std::size_t slot(std::size_t r, std::size_t c) const;
 
@@ -116,13 +127,19 @@ class SparseMatrix {
 
   // Building phase: COO triplets in registration order.
   std::vector<std::pair<int, int>> coo_coords_;
-  std::vector<double> coo_values_;
+  std::vector<Scalar> coo_values_;
 
   // Frozen phase: CSR.
   std::vector<int> row_ptr_;
   std::vector<int> col_index_;
-  std::vector<double> values_;
+  std::vector<Scalar> values_;
 };
+
+using SparseMatrix = SparseMatrixT<double>;
+using ComplexSparseMatrix = SparseMatrixT<Complex>;
+
+extern template class SparseMatrixT<double>;
+extern template class SparseMatrixT<Complex>;
 
 /// Sparse LU with a reusable symbolic analysis, the SPICE-family engine
 /// shape (Nagel's SPICE2 reordering, KLU-style refactorisation):
@@ -131,42 +148,49 @@ class SparseMatrix {
 ///    the symmetrised pattern, then an up-looking row factorisation with
 ///    threshold column pivoting (Markowitz-flavoured: among numerically
 ///    acceptable pivots the sparsest column wins). The pivot order and the
-///    complete fill-in pattern of L and U are cached.
-///  * refactor() per Newton iteration: if the matrix pattern matches the
-///    cached analysis, a purely numeric re-factorisation runs along the
-///    frozen pivot order and pattern -- no allocation, no searching. If a
-///    frozen pivot collapses numerically the analysis is redone once with
-///    fresh pivoting (allocates; rare), and NumericalError is thrown only
-///    if the matrix is genuinely singular to working precision.
+///    complete fill-in pattern of L and U are cached. Pivot acceptability
+///    compares magnitudes, so the analysis decisions are real-valued for
+///    both scalar instantiations.
+///  * refactor() per Newton iteration / AC frequency point: if the matrix
+///    pattern matches the cached analysis, a purely numeric
+///    re-factorisation runs along the frozen pivot order and pattern -- no
+///    allocation, no searching. If a frozen pivot collapses numerically
+///    the analysis is redone once with fresh pivoting (allocates; rare),
+///    and NumericalError is thrown only if the matrix is genuinely
+///    singular to working precision.
 ///
-/// API mirrors the dense LuFactorization so SimSession can hold either.
+/// API mirrors the dense LuFactorizationT so SimSession can hold either.
 ///
 /// Thread-safety: refactor() mutates the cached factors; solve_in_place()
 /// is const but uses an internal permutation buffer, so concurrent solves
 /// on ONE instance are racy. One instance per thread (the plan-worker
 /// discipline) is safe.
-class SparseLuFactorization {
+template <typename Scalar>
+class SparseLuFactorizationT {
  public:
-  SparseLuFactorization() = default;
+  SparseLuFactorizationT() = default;
 
-  /// Factor a frozen SparseMatrix. First call (or pattern change) runs the
+  /// Factor a frozen SparseMatrixT. First call (or pattern change) runs the
   /// symbolic analysis; later calls with the same pattern are
   /// allocation-free. Throws NumericalError if A is singular to working
-  /// precision (best available pivot below pivot_tol * max|A|).
+  /// precision: no pivot candidate of some elimination step reaches
+  /// pivot_tol times its own column's original max|A| (column-relative,
+  /// like the dense engine, so AC systems whose columns legitimately span
+  /// many decades are not misdiagnosed).
   /// \pre a.frozen(), a square and non-empty, all values finite (checked:
   ///      non-finite input throws NumericalError deterministically here,
   ///      never surfacing at the first solve).
   /// \post the factors match this matrix's values; a frozen-pivot
   ///       collapse or runaway element growth re-ran the analysis with
   ///       fresh pivoting (allocates; analysis_count() increments).
-  void refactor(const SparseMatrix& a, double pivot_tol = 1e-14);
+  void refactor(const SparseMatrixT<Scalar>& a, double pivot_tol = 1e-14);
 
   /// Solve A x = rhs with the solution overwriting rhs; allocation-free.
   /// \pre refactor() has succeeded; rhs.size() == size().
-  void solve_in_place(Vector& rhs) const;
+  void solve_in_place(VectorT<Scalar>& rhs) const;
 
   /// Solve A x = b.
-  [[nodiscard]] Vector solve(const Vector& b) const;
+  [[nodiscard]] VectorT<Scalar> solve(const VectorT<Scalar>& b) const;
 
   [[nodiscard]] std::size_t size() const noexcept { return n_; }
 
@@ -176,37 +200,52 @@ class SparseLuFactorization {
   }
 
   /// How many times the symbolic analysis has run (diagnostic; a steady
-  /// Newton loop should see exactly 1).
+  /// Newton loop or AC sweep should see exactly 1).
   [[nodiscard]] int analysis_count() const noexcept {
     return analysis_count_;
   }
 
+  /// Drop the cached symbolic analysis: the next refactor() re-analyses
+  /// with fresh pivoting (allocates). Lets a driver re-pin the analysis
+  /// to a chosen reference matrix after a frozen-pivot collapse
+  /// re-ordered it mid-sweep -- the discipline SimSession::solve_ac uses
+  /// to keep every frequency point's factorisation a pure function of
+  /// (operating point, frequency, prime frequency), independent of which
+  /// sweep point (or parallel worker) tripped the collapse.
+  void invalidate_analysis() noexcept { analyzed_ = false; }
+
   /// Rough 1-norm condition estimate via |A|_1 * |A^-1 e|_1 probing --
-  /// the same +/-1-vector probe the dense LuFactorization uses, so the
+  /// the same +/-1-vector probe the dense LuFactorizationT uses, so the
   /// two engines report comparable numbers on the same system (held to
   /// within 10x by test_sparse).
   /// \pre refactor() has succeeded. Allocates two temporary vectors.
   [[nodiscard]] double condition_estimate() const;
 
  private:
-  /// Full factorisation with pivot search; caches order + pattern.
-  /// `tol_abs` = pivot_tol * max|A|, computed once by refactor().
-  void analyze(const SparseMatrix& a, double tol_abs);
+  /// Full factorisation with pivot search; caches order + pattern. Pivot
+  /// acceptability is column-relative: pivot_tol * colmax_ (filled by
+  /// refactor()).
+  void analyze(const SparseMatrixT<Scalar>& a, double pivot_tol);
   /// Numeric-only pass along the cached order/pattern. Returns false on
-  /// pivot breakdown or runaway element growth -- the frozen pivots were
-  /// chosen for different numerics, e.g. a transient restamp whose
-  /// companion conductances dwarf the values the analysis saw (caller
-  /// re-analyses). `amax` = max|A| of the current matrix.
-  [[nodiscard]] bool refactor_frozen(const SparseMatrix& a, double tol_abs,
-                                     double amax);
-  [[nodiscard]] bool pattern_matches(const SparseMatrix& a) const;
+  /// pivot breakdown (column-relative, via colmax_) or runaway element
+  /// growth -- the frozen pivots were chosen for different numerics, e.g.
+  /// a transient restamp whose companion conductances dwarf the values
+  /// the analysis saw (caller re-analyses). `amax` = max|A| of the
+  /// current matrix.
+  [[nodiscard]] bool refactor_frozen(const SparseMatrixT<Scalar>& a,
+                                     double pivot_tol, double amax);
+  [[nodiscard]] bool pattern_matches(const SparseMatrixT<Scalar>& a) const;
 
   std::size_t n_ = 0;
   bool analyzed_ = false;
   int analysis_count_ = 0;
   double a_norm1_ = 0.0;  ///< 1-norm of the last refactored A
+  /// Per-column max|A| of the matrix being refactored (the pivot test's
+  /// column-relative scale); refilled by every refactor(), allocation-free
+  /// once sized.
+  std::vector<double> colmax_;
 
-  // Identity of the analysed pattern (SparseMatrix::pattern_stamp is
+  // Identity of the analysed pattern (SparseMatrixT::pattern_stamp is
   // process-unique per freeze, so equality means the same frozen CSR).
   std::uint64_t pattern_stamp_ = 0;
 
@@ -223,14 +262,20 @@ class SparseLuFactorization {
   // diagonal lives in udiag_.
   std::vector<int> l_ptr_;
   std::vector<int> l_step_;
-  std::vector<double> l_val_;
+  std::vector<Scalar> l_val_;
   std::vector<int> u_ptr_;
   std::vector<int> u_step_;
-  std::vector<double> u_val_;
-  std::vector<double> udiag_;
+  std::vector<Scalar> u_val_;
+  std::vector<Scalar> udiag_;
 
-  std::vector<double> work_;          ///< dense scatter row (step space)
-  mutable std::vector<double> perm_;  ///< solve permutation buffer
+  std::vector<Scalar> work_;          ///< dense scatter row (step space)
+  mutable std::vector<Scalar> perm_;  ///< solve permutation buffer
 };
+
+using SparseLuFactorization = SparseLuFactorizationT<double>;
+using ComplexSparseLuFactorization = SparseLuFactorizationT<Complex>;
+
+extern template class SparseLuFactorizationT<double>;
+extern template class SparseLuFactorizationT<Complex>;
 
 }  // namespace icvbe::linalg

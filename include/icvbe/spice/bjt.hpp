@@ -74,6 +74,9 @@ class Bjt final : public Device {
   void set_temperature(double t_kelvin) override;
   [[nodiscard]] std::unique_ptr<Device> clone() const override;
   void stamp(Stamper& stamper, const Unknowns& prev) override;
+  /// AC: the full conductance/transconductance Jacobian at the committed
+  /// OP -- the matrix part of stamp() without the companion RHS.
+  void stamp_ac(AcStamper& ac, const Unknowns& op) const override;
   [[nodiscard]] bool is_nonlinear() const override { return true; }
   void reset_state() override;
   [[nodiscard]] double power(const Unknowns& x) const override;
@@ -108,6 +111,18 @@ class Bjt final : public Device {
     double gbe, gbc, gsub, gsub_e;       // diode conductances
   };
   [[nodiscard]] Eval evaluate(double v1, double v2) const;
+
+  /// The four terminal-current partials d J{c,b,e,s} / d {v1,v2} derived
+  /// from an Eval -- the ONE place the Jacobian structure lives, shared
+  /// by the large-signal stamp() and the small-signal stamp_ac() so the
+  /// two linearisations can never drift apart.
+  struct RowJacobian {
+    double djc_dv1, djc_dv2;
+    double djb_dv1, djb_dv2;
+    double dje_dv1, dje_dv2;
+    double djs_dv1, djs_dv2;
+  };
+  [[nodiscard]] RowJacobian row_jacobian(const Eval& ev) const;
 
   NodeId c_, b_, e_, s_node_;
   BjtModel model_;

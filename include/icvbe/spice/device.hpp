@@ -6,6 +6,16 @@
 //   2. reset_state()        -- clear junction-limiting memory
 //   3. stamp(stamper, prev) -- once per Newton iteration, linearised at prev
 //   4. power(solution)      -- dissipation for the electro-thermal loop
+//
+// Small-signal contract (AC analysis): after a DC operating point has been
+// committed, stamp_ac(ac, op) writes the device's *linearised* complex
+// admittance into the AC system at ac.omega() -- conductances and
+// transconductances evaluated at `op` for the static/nonlinear devices,
+// j*omega*C / 1/(j*omega*L) reactances for the dynamic ones, and AC
+// stimulus phasors on the RHS for independent sources carrying an AC spec.
+// stamp_ac is const and must not touch iteration state: one committed OP
+// serves a whole frequency sweep, and parallel sweep workers may share the
+// circuit read-only.
 
 #include <memory>
 #include <string>
@@ -44,6 +54,14 @@ class Device {
   /// Stamp the linearised model around the previous iterate. Non-const so
   /// nonlinear devices can keep junction-limiting state between iterations.
   virtual void stamp(Stamper& stamper, const Unknowns& prev) = 0;
+
+  /// Stamp the small-signal model linearised at the committed operating
+  /// point `op` into the complex AC system at ac.omega() (see the header
+  /// comment for the contract). Every device implements this: the matrix
+  /// part must agree with the Jacobian stamp() writes at a converged `op`
+  /// when omega -> 0 (asserted by test_ac), so the DC and AC views of a
+  /// device can never drift apart silently.
+  virtual void stamp_ac(AcStamper& ac, const Unknowns& op) const = 0;
 
   /// True if the device is nonlinear (forces Newton iteration).
   [[nodiscard]] virtual bool is_nonlinear() const { return false; }

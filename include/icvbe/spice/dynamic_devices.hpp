@@ -95,6 +95,9 @@ class Capacitor final : public DynamicDevice {
 
   [[nodiscard]] std::unique_ptr<Device> clone() const override;
   void stamp(Stamper& stamper, const Unknowns& prev) override;
+  /// AC: the admittance j*omega*C between a and b (the capacitor's actual
+  /// value, independent of the DC/transient companion mode).
+  void stamp_ac(AcStamper& ac, const Unknowns& op) const override;
   void commit(const Unknowns& x) override;
   void init_state(const Unknowns& x) override;
 
@@ -138,6 +141,9 @@ class Inductor final : public DynamicDevice {
   [[nodiscard]] int aux_count() const override { return 1; }
   [[nodiscard]] std::unique_ptr<Device> clone() const override;
   void stamp(Stamper& stamper, const Unknowns& prev) override;
+  /// AC: the branch relation V(p) - V(m) = j*omega*L * i on the aux row
+  /// (omega = 0 degenerates to the DC short).
+  void stamp_ac(AcStamper& ac, const Unknowns& op) const override;
   void commit(const Unknowns& x) override;
   void init_state(const Unknowns& x) override;
   void imprint_ic(Unknowns& x) const override;

@@ -21,6 +21,7 @@ class Resistor final : public Device {
   void set_temperature(double t_kelvin) override;
   [[nodiscard]] std::unique_ptr<Device> clone() const override;
   void stamp(Stamper& stamper, const Unknowns& prev) override;
+  void stamp_ac(AcStamper& ac, const Unknowns& op) const override;
   [[nodiscard]] double power(const Unknowns& x) const override;
 
   /// Current flowing a -> b at the given solution.
@@ -51,6 +52,9 @@ class VoltageSource final : public Device {
   [[nodiscard]] int aux_count() const override { return 1; }
   [[nodiscard]] std::unique_ptr<Device> clone() const override;
   void stamp(Stamper& stamper, const Unknowns& prev) override;
+  /// AC: the branch is a short for small signals (V = AC phasor, 0 without
+  /// an AC spec) -- the DC bias never appears in the small-signal system.
+  void stamp_ac(AcStamper& ac, const Unknowns& op) const override;
 
   /// Always 0: sources deliver power, they do not heat the die.
   [[nodiscard]] double power(const Unknowns& x) const override;
@@ -64,17 +68,30 @@ class VoltageSource final : public Device {
 
   /// Optional time-domain stimulus. DC analyses ignore it (the DC value
   /// stays whatever set_voltage programmed -- parsers use the waveform's
-  /// value_at(0)); TransientSolver re-applies value_at(t) while stepping.
+  /// dc_value(), its initial/offset value); TransientSolver re-applies
+  /// value_at(t) while stepping.
   void set_waveform(Waveform w) { waveform_ = std::move(w); }
   [[nodiscard]] bool has_waveform() const noexcept {
     return waveform_.has_value();
   }
   [[nodiscard]] const Waveform& waveform() const { return *waveform_; }
 
+  /// Small-signal stimulus ("AC <mag> [phase]" on the card): magnitude in
+  /// volts, phase in degrees. A magnitude of 0 (the default) makes the
+  /// source an AC short.
+  void set_ac(double magnitude, double phase_deg = 0.0) {
+    ac_magnitude_ = magnitude;
+    ac_phase_deg_ = phase_deg;
+  }
+  [[nodiscard]] double ac_magnitude() const noexcept { return ac_magnitude_; }
+  [[nodiscard]] double ac_phase_deg() const noexcept { return ac_phase_deg_; }
+
  private:
   NodeId p_;
   NodeId m_;
   double volts_;
+  double ac_magnitude_ = 0.0;
+  double ac_phase_deg_ = 0.0;
   std::optional<Waveform> waveform_;
 };
 
@@ -86,6 +103,9 @@ class CurrentSource final : public Device {
 
   [[nodiscard]] std::unique_ptr<Device> clone() const override;
   void stamp(Stamper& stamper, const Unknowns& prev) override;
+  /// AC: an open circuit for small signals; with an AC spec it injects the
+  /// stimulus phasor (p -> m through the source, like the DC convention).
+  void stamp_ac(AcStamper& ac, const Unknowns& op) const override;
 
   void set_current(double amps) { amps_ = amps; }
   [[nodiscard]] double current() const noexcept { return amps_; }
@@ -97,10 +117,20 @@ class CurrentSource final : public Device {
   }
   [[nodiscard]] const Waveform& waveform() const { return *waveform_; }
 
+  /// Small-signal stimulus ("AC <mag> [phase]"): amps / degrees.
+  void set_ac(double magnitude, double phase_deg = 0.0) {
+    ac_magnitude_ = magnitude;
+    ac_phase_deg_ = phase_deg;
+  }
+  [[nodiscard]] double ac_magnitude() const noexcept { return ac_magnitude_; }
+  [[nodiscard]] double ac_phase_deg() const noexcept { return ac_phase_deg_; }
+
  private:
   NodeId p_;
   NodeId m_;
   double amps_;
+  double ac_magnitude_ = 0.0;
+  double ac_phase_deg_ = 0.0;
   std::optional<Waveform> waveform_;
 };
 
@@ -113,6 +143,7 @@ class Vcvs final : public Device {
   [[nodiscard]] int aux_count() const override { return 1; }
   [[nodiscard]] std::unique_ptr<Device> clone() const override;
   void stamp(Stamper& stamper, const Unknowns& prev) override;
+  void stamp_ac(AcStamper& ac, const Unknowns& op) const override;
 
   [[nodiscard]] double current(const Unknowns& x) const;
   void set_gain(double gain) { gain_ = gain; }
@@ -137,6 +168,9 @@ class OpAmp final : public Device {
   [[nodiscard]] int aux_count() const override { return 1; }
   [[nodiscard]] std::unique_ptr<Device> clone() const override;
   void stamp(Stamper& stamper, const Unknowns& prev) override;
+  /// AC: the same gain-normalised constraint row without the offset (an
+  /// input offset is bias, not signal).
+  void stamp_ac(AcStamper& ac, const Unknowns& op) const override;
 
   void set_offset(double volts) { offset_ = volts; }
   [[nodiscard]] double offset() const noexcept { return offset_; }

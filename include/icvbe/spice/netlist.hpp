@@ -7,18 +7,24 @@
 // comments, '+' continuation as in SPICE):
 //
 //   R<name> <n+> <n-> <value> [TC1=x] [TC2=x]
-//   V<name> <n+> <n-> <value | waveform>
-//   I<name> <n+> <n-> <value | waveform>
+//   V<name> <n+> <n-> <value | waveform> [AC <mag> [phase-deg]]
+//   I<name> <n+> <n-> <value | waveform> [AC <mag> [phase-deg]]
 //       waveform = DC <v> | PULSE(v1 v2 [td tr tf pw per])
 //                | SIN(vo va freq [td theta]) | PWL(t1 v1 t2 v2 ...)
-//       (a waveform source's DC value is its value at t = 0)
+//       (a waveform source's DC value is the waveform's initial/offset
+//       value: PULSE v1, SIN vo, PWL first knot; the AC group is the
+//       small-signal stimulus, and may also stand alone for a DC-0 source)
 //   C<name> <n+> <n-> <farads> [IC=volts]
 //   L<name> <n+> <n-> <henries> [IC=amps]
 //   E<name> <n+> <n-> <nc+> <nc-> <gain>               (VCVS)
 //   U<name> <out> <in+> <in-> [GAIN=x] [OFFSET=x]      (op-amp)
 //   D<name> <anode> <cathode> <model> [AREA=x]
 //   Q<name> <collector> <base> <emitter> <model> [AREA=x] [SUBSTRATE=node]
+//   M<name> <drain> <gate> <source> <model> [WL=x]     (level-1 MOSFET,
+//       bulk tied to source; WL is the W/L ratio)
 //   .MODEL <name> D   (IS=... N=... EG=... XTI=... TNOM=...)
+//   .MODEL <name> NMOS|PMOS (VTO=... KP=... LAMBDA=... TNOM=... VTOTC=...
+//                            MOBEXP=...)
 //   .MODEL <name> PNP|NPN (IS=... BF=... BR=... NF=... NR=... ISE=... NE=...
 //                          ISC=... NC=... VAF=... VAR=... EG=... XTI=...
 //                          TNOM=... ISS=... NS=... EGS=... XTIS=...
@@ -41,12 +47,21 @@
 //       V(out)  V(a,b)  I(V1)  IC(Q1)  V(a)-V(b)  (no spaces inside one
 //       expression; see parse_probe)
 //   .TRAN <tstep> <tstop> [<tstart> [<tmax>]] [UIC] [METHOD=BE|TRAP]
-//       time-domain analysis (cannot be combined with .DC/.STEP in one
+//       time-domain analysis (cannot be combined with .DC/.STEP/.AC in one
 //       deck); with .PROBE it parses into an AnalysisPlan whose transient
 //       spec carries the deck's .IC directives
+//   .AC <DEC|OCT|LIN> <points> <fstart> <fstop>
+//       small-signal frequency sweep about the DC operating point (one
+//       analysis per deck, like .TRAN); .PROBE then takes AC quantities:
+//       VM(n) VDB(n) VP(n) VR(n) VI(n), node pairs allowed, bare V(n)
+//       reads the magnitude. Sources carrying an "AC <mag> [phase]" group
+//       provide the stimulus.
 //
-// Numbers accept SPICE engineering suffixes: f p n u m k meg g t (and are
-// otherwise strtod). Node "0" or "gnd" is ground.
+// Numbers accept SPICE engineering suffixes: f p n u m k meg g t,
+// case-insensitively (M is milli, MEG is mega -- by spelling, never case),
+// optionally followed by a unit annotation (ohm, v, a, f, h, hz, s, ...).
+// Anything else trailing a number ("10kk") is rejected as ambiguous.
+// Node "0" or "gnd" is ground.
 
 #include <iosfwd>
 #include <map>
@@ -74,6 +89,7 @@ struct ParsedNetlist {
   bool has_temp_directive = false;
   std::map<std::string, BjtModel> bjt_models;
   std::map<std::string, DiodeModel> diode_models;
+  std::map<std::string, MosfetModel> mosfet_models;
   /// .NODESET hints: node name -> initial voltage guess.
   std::map<std::string, double> nodesets;
   /// .IC directives: node name -> transient initial condition [V].

@@ -38,6 +38,13 @@ struct SyntheticNetlistSpec {
   /// Append a .DC sweep of the drive source plus .PROBE directives, so
   /// the deck is runnable through `icvbe run` / SimSession::run as-is.
   bool with_analysis = true;
+  /// Emit a small-signal study instead of the default analysis: the drive
+  /// source gains an "AC 1" stimulus and the analysis directive becomes
+  /// `.AC DEC ...` over the topology's interesting band with VDB/VP
+  /// probes of the far node (the `gen_netlist --ac` flag). The rc-ladder
+  /// becomes a many-pole low-pass; resistive ladders give flat dividers
+  /// -- both are valid dense-vs-sparse complex workloads.
+  bool ac_analysis = false;
 };
 
 /// Render the deck text for a spec. Deterministic: same spec, same text.

@@ -45,17 +45,27 @@ class PlanError : public Error {
 
 // --------------------------------------------------------------- Probe ---
 
-/// A typed, serialisable measurement: maps a solved operating point to one
-/// scalar. Replaces the old capture-by-reference std::function probes --
-/// a Probe can be printed, parsed, stored in a deck, and compiled once per
-/// run into an allocation-free evaluator.
+/// A typed, serialisable measurement: maps a solved operating point (or,
+/// for the AC kinds, one small-signal frequency point) to one scalar.
+/// Replaces the old capture-by-reference std::function probes -- a Probe
+/// can be printed, parsed, stored in a deck, and compiled once per run
+/// into an allocation-free evaluator.
 ///
 /// Grammar (parse_probe):
 ///   V(node)              node voltage
-///   V(a,b)               differential voltage V(a) - V(b)
+///   V(a,b)               differential voltage: V(a) - V(b) at a DC point,
+///                        the differential *phasor's* magnitude in an .AC
+///                        analysis (kept as one typed pair, not desugared
+///                        to real arithmetic, exactly so the AC reading is
+///                        |V(a)-V(b)| and not |V(a)|-|V(b)|)
 ///   I(dev)               branch current of a V-source, resistor, diode,
 ///                        VCVS, MOSFET (drain) or I-source
 ///   IC(q) IB(q) IE(q)    BJT terminal currents (ISUB(q) for substrate)
+///   VM(n) VDB(n) VP(n)   AC node phasor: magnitude, dB (20 log10 |V|),
+///   VR(n) VI(n)          phase [deg], real, imaginary part; all accept a
+///                        node pair (VDB(a,b) = of the differential
+///                        phasor). Only meaningful in an .AC analysis;
+///                        a bare V(node) there reads the magnitude.
 ///   1.25e-3, 2.5k        numeric literal (SPICE suffixes accepted)
 ///   expr + expr, -, *, / arithmetic, usual precedence, parentheses ok
 class Probe {
@@ -65,6 +75,7 @@ class Probe {
     kNodeVoltage,    ///< V(node)
     kBranchCurrent,  ///< I(dev)
     kBjtCurrent,     ///< IC/IB/IE/ISUB(dev)
+    kAcVoltage,      ///< VM/VDB/VP/VR/VI(node[,node2])
     kExpression,     ///< lhs op rhs
   };
   enum class Op { kAdd, kSub, kMul, kDiv };
@@ -72,28 +83,46 @@ class Probe {
   /// BJT terminal selector for kBjtCurrent.
   enum class BjtTerminal { kCollector, kBase, kEmitter, kSubstrate };
 
+  /// Scalarisation of a complex node phasor for kAcVoltage.
+  enum class AcQuantity { kMagnitude, kDb, kPhaseDeg, kReal, kImag };
+
   Probe() = default;  ///< constant 0
 
   [[nodiscard]] static Probe constant(double value);
-  [[nodiscard]] static Probe node_voltage(std::string node);
+  /// Node voltage; a non-empty `node2` makes it differential (see the
+  /// grammar comment for the DC vs AC semantics of the pair).
+  [[nodiscard]] static Probe node_voltage(std::string node,
+                                          std::string node2 = {});
   [[nodiscard]] static Probe branch_current(std::string device);
   [[nodiscard]] static Probe bjt_current(std::string device,
                                          BjtTerminal terminal);
+  /// AC phasor probe; an empty `node2` means single-ended (vs ground).
+  [[nodiscard]] static Probe ac_voltage(AcQuantity quantity, std::string node,
+                                        std::string node2 = {});
   [[nodiscard]] static Probe expression(Op op, Probe lhs, Probe rhs);
 
   [[nodiscard]] Kind kind() const noexcept { return kind_; }
   [[nodiscard]] Op op() const noexcept { return op_; }
   [[nodiscard]] double value() const noexcept { return value_; }
-  /// Node or device name (kNodeVoltage / kBranchCurrent / kBjtCurrent).
+  /// Node or device name (kNodeVoltage / kBranchCurrent / kBjtCurrent /
+  /// kAcVoltage).
   [[nodiscard]] const std::string& target() const noexcept { return target_; }
+  /// Second node of a differential kNodeVoltage / kAcVoltage ("" =
+  /// single-ended).
+  [[nodiscard]] const std::string& target2() const noexcept {
+    return target2_;
+  }
   [[nodiscard]] BjtTerminal terminal() const noexcept { return terminal_; }
+  [[nodiscard]] AcQuantity ac_quantity() const noexcept { return quantity_; }
   [[nodiscard]] const Probe& lhs() const { return children_.at(0); }
   [[nodiscard]] const Probe& rhs() const { return children_.at(1); }
 
   /// Evaluate against a solved operating point. Resolves names on every
   /// call -- convenient for one-off use and as a drop-in SweepProbe
   /// (operator() below); SimSession::run compiles plans instead so the
-  /// steady-state path does no lookups.
+  /// steady-state path does no lookups. AC probes (kAcVoltage) have no
+  /// meaning at a DC point and throw PlanError here; they evaluate through
+  /// the AC plan path instead.
   /// \pre every referenced node/device name exists in `circuit` (throws
   ///      CircuitError otherwise) and `x` is that circuit's solution.
   /// Allocation-free on the happy path; const and safe to share across
@@ -115,7 +144,10 @@ class Probe {
   Op op_ = Op::kAdd;
   double value_ = 0.0;
   std::string target_;
+  /// kNodeVoltage / kAcVoltage differential pair ("" = single-ended).
+  std::string target2_;
   BjtTerminal terminal_ = BjtTerminal::kCollector;
+  AcQuantity quantity_ = AcQuantity::kMagnitude;
   std::vector<Probe> children_;  ///< two entries for kExpression
 };
 
@@ -123,25 +155,41 @@ class Probe {
 /// Throws PlanError on malformed text.
 [[nodiscard]] Probe parse_probe(std::string_view text);
 
+/// Evaluation domain a probe set is compiled for: a DC/transient operating
+/// point (real Unknowns) or one AC frequency point (complex phasors).
+enum class ProbeDomain { kDc, kAc };
+
 /// Probes compiled once against one circuit: per-point evaluation is
 /// allocation- and lookup-free (the same machinery SimSession::run uses
 /// for its per-point path, exposed for other drivers -- TransientSolver
 /// records through one of these).
+///
+/// Compiled for a domain: kDc evaluates with eval() against an Unknowns
+/// vector (AC probes are rejected at compile time with PlanError); kAc
+/// evaluates with eval_ac() against the complex phasor vector a
+/// SimSession::solve_ac returned -- there, a bare V(node) reads the
+/// phasor magnitude and current/BJT probes are rejected (PlanError).
 /// \pre the circuit outlives the set and its topology does not change.
 /// Not thread-safe: eval() uses an internal evaluation stack; compile one
 /// set per thread (the parallel-plan-worker discipline).
 class CompiledProbeSet {
  public:
   /// Resolve and compile. Throws CircuitError if a probe references an
-  /// unknown node or device.
-  CompiledProbeSet(const std::vector<Probe>& probes, const Circuit& circuit);
+  /// unknown node or device, PlanError if a probe kind does not exist in
+  /// the requested domain.
+  CompiledProbeSet(const std::vector<Probe>& probes, const Circuit& circuit,
+                   ProbeDomain domain = ProbeDomain::kDc);
   ~CompiledProbeSet();
   CompiledProbeSet(CompiledProbeSet&&) noexcept;
   CompiledProbeSet& operator=(CompiledProbeSet&&) noexcept;
 
   [[nodiscard]] std::size_t size() const noexcept;
-  /// Value of probe `i` at solution `x`; allocation-free.
+  /// Value of probe `i` at solution `x`; allocation-free (kDc domain).
   [[nodiscard]] double eval(std::size_t i, const Unknowns& x) const;
+  /// Value of probe `i` at the AC phasor solution; allocation-free (kAc
+  /// domain).
+  [[nodiscard]] double eval_ac(std::size_t i,
+                               const linalg::ComplexVector& x) const;
 
  private:
   struct Impl;
@@ -245,24 +293,54 @@ struct TransientSpec {
   std::vector<std::pair<std::string, double>> initial_conditions;
 };
 
+// --------------------------------------------------------------- AcSpec ---
+
+/// Declarative description of one small-signal (.AC) analysis: a frequency
+/// grid swept about the committed DC operating point. The value
+/// counterpart of the sweep axes, executed by SimSession::run via
+/// solve_ac(2 pi f) per point.
+struct AcSpec {
+  /// Grid shape, mirroring the SPICE .AC forms.
+  enum class Spacing {
+    kDecade,  ///< `points` per decade, logarithmic
+    kOctave,  ///< `points` per octave, logarithmic
+    kLinear,  ///< `points` total, evenly spaced
+  };
+  Spacing spacing = Spacing::kDecade;
+  int points = 10;      ///< per decade/octave, or total for kLinear
+  double fstart = 1.0;  ///< first frequency [Hz]; > 0 for log grids
+  double fstop = 1.0;   ///< last frequency [Hz]; >= fstart
+
+  /// Materialise the frequency points [Hz] in sweep order. Throws
+  /// PlanError on a degenerate spec (points < 1, fstart <= 0 on a log
+  /// grid, fstop < fstart).
+  [[nodiscard]] std::vector<double> frequencies() const;
+};
+
 // -------------------------------------------------------- AnalysisPlan ---
 
 /// A complete declarative analysis: either 1-2 nested sweep axes
-/// (axes.front() is the outer loop) or a transient spec, at least one
-/// probe, and the solver options to run under. Plans are plain values:
-/// build them in C++, parse them from deck directives, or generate them
-/// programmatically.
+/// (axes.front() is the outer loop), a transient spec, or an AC spec, at
+/// least one probe, and the solver options to run under. Plans are plain
+/// values: build them in C++, parse them from deck directives, or
+/// generate them programmatically.
 struct AnalysisPlan {
   std::string name = "analysis";
   std::vector<SweepAxis> axes;
   /// Present = time-domain analysis (axes must then be empty; the result's
   /// single axis is TIME at the accepted timepoints).
   std::optional<TransientSpec> transient;
+  /// Present = small-signal analysis (axes/transient must be absent; the
+  /// result's single axis is FREQ in Hz). Probes are evaluated in the AC
+  /// domain: VM/VDB/VP/VR/VI (and bare V = magnitude) over the node
+  /// phasors, arithmetic and constants as usual.
+  std::optional<AcSpec> ac;
   std::vector<Probe> probes;
   NewtonOptions options{};
-  /// Worker threads for 2-axis plans: 1 = serial in-place (default),
-  /// 0 = hardware_concurrency, N = N workers over per-thread circuit
-  /// clones. Results are bit-identical for any value.
+  /// Worker threads for 2-axis plans (outer rows) and AC plans (frequency
+  /// points): 1 = serial in-place (default), 0 = hardware_concurrency,
+  /// N = N workers over per-thread circuit clones. Results are
+  /// bit-identical for any value.
   unsigned threads = 1;
 };
 

@@ -132,6 +132,27 @@ class SimSession {
   /// Like solve() but throws NumericalError if not converged.
   const Unknowns& solve_or_throw(const Unknowns* initial = nullptr);
 
+  /// Small-signal (.AC) solve at angular frequency `omega` [rad/s] about
+  /// the committed DC operating point -- the last converged solve() result
+  /// or an explicitly seeded warm start (seed_warm_start); if neither
+  /// exists, the operating point is solved first (solve_or_throw).
+  ///
+  /// Every device stamps its linearised complex admittance at the OP
+  /// through the engine the session bound at rebind time: the dense
+  /// complex workspace below the sparse threshold, or a complex CSR
+  /// matrix whose frozen pattern is discovered once and whose LU reuses
+  /// one cached symbolic analysis across the whole frequency sweep. The
+  /// gmin_floor diagonal is included, mirroring the DC system.
+  ///
+  /// Returns the complex unknown phasors (node voltages then aux branch
+  /// currents), session-owned and valid until the next solve_ac call.
+  /// Allocation guarantee: after the first solve_ac at a given size (which
+  /// materialises the complex engine and, for sparse, runs the symbolic
+  /// analysis), further calls perform zero heap allocations (asserted by
+  /// test_ac via the counting operator-new hook).
+  /// Throws NumericalError if the AC system is singular.
+  const linalg::ComplexVector& solve_ac(double omega);
+
   /// Warm-continuation solve with an analytic fallback -- the pattern the
   /// bandgap cells use. If no warm start is available, seed from
   /// make_guess(); if the continuation then fails to converge (e.g. it
@@ -209,6 +230,10 @@ class SimSession {
   /// convergence; x holds the final iterate either way.
   bool newton_attempt(double gmin, Unknowns& x, int& iterations);
 
+  /// AC-plan execution (defined with the rest of the plan machinery in
+  /// plan.cpp). \pre plan.ac is set and plan.axes is empty.
+  [[nodiscard]] SweepResult run_ac(const AnalysisPlan& plan);
+
   /// Scale every cached independent source by lambda (source stepping).
   void scale_sources(double lambda);
   /// Snapshot / restore the nominal source values around source stepping.
@@ -231,6 +256,25 @@ class SimSession {
   linalg::LuFactorization lu_;
   linalg::SparseMatrix sa_;
   linalg::SparseLuFactorization slu_;
+
+  // Complex twin of the bound engine for AC solves, materialised lazily by
+  // the first solve_ac() (a DC-only session never pays for it) and
+  // released at rebind(). The sparse pattern is discovered by one
+  // stamp_ac pass, then frozen -- the same build-once discipline as sa_.
+  bool ac_ready_ = false;
+  linalg::ComplexMatrix ca_;
+  linalg::ComplexVector cb_;
+  linalg::ComplexLuFactorization clu_;
+  linalg::ComplexSparseMatrix csa_;
+  linalg::ComplexSparseLuFactorization cslu_;
+  // The sparse symbolic analysis is pinned to the first frequency a
+  // session stamped (the sweep's "prime"): if a later point's refactor
+  // collapsed the frozen pivots and re-analysed, the next solve_ac
+  // re-pins at this omega first, so every point's factorisation is a
+  // pure function of (op, omega, prime omega) -- never of sweep order or
+  // worker scheduling (the bit-identity discipline; see run_ac).
+  double ac_prime_omega_ = 0.0;
+  int ac_pinned_analysis_ = 0;
 
   Unknowns x_;        ///< working iterate
   Unknowns x_stage_;  ///< gmin / source stepping iterate

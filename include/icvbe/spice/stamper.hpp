@@ -1,12 +1,13 @@
 #pragma once
 // Stamper: the device-facing interface for assembling the MNA system
-// G x = b during one Newton iteration.
+// G x = b during one Newton iteration (real scalar) or one AC frequency
+// point (complex scalar).
 //
 // Conventions (classic MNA):
 //  * KCL rows: sum of currents *leaving* a node through devices equals the
 //    current *injected* into the node on the RHS.
 //  * A conductance g between nodes a and b stamps +g on the diagonals and
-//    -g off-diagonal.
+//    -g off-diagonal (for AC, g generalises to a complex admittance y).
 //  * A nonlinear branch I(v) linearised at v* stamps its small-signal g and
 //    the companion current Ieq = I(v*) - g v* as an RHS extraction.
 //  * Aux rows (branch-current unknowns) are stamped with raw add_entry /
@@ -17,35 +18,37 @@
 
 namespace icvbe::spice {
 
-class Stamper {
+template <typename Scalar>
+class StamperT {
  public:
   /// `node_unknowns` = number of non-ground nodes; aux rows follow.
   /// `a` views either the dense workspace matrix or the sparse CSR one
-  /// (implicitly constructible from Matrix& or SparseMatrix&): devices
-  /// stamp through the same MatrixView contract either way, so the engine
+  /// (implicitly constructible from MatrixT& or SparseMatrixT&): devices
+  /// stamp through the same MatrixViewT contract either way, so the engine
   /// choice never duplicates a device model.
-  Stamper(linalg::MatrixView a, linalg::Vector& b, int node_unknowns);
+  StamperT(linalg::MatrixViewT<Scalar> a, linalg::VectorT<Scalar>& b,
+           int node_unknowns);
 
-  /// Linear conductance between nodes a and b.
-  void add_conductance(NodeId a, NodeId b, double g);
+  /// Linear conductance (complex: admittance) between nodes a and b.
+  void add_conductance(NodeId a, NodeId b, Scalar g);
 
   /// Independent current J injected into node n (flows from ground into n).
-  void add_current_into(NodeId n, double j);
+  void add_current_into(NodeId n, Scalar j);
 
   /// Companion model of a nonlinear branch from p to m: current I = g v +
   /// ieq flows p -> m. Stamps the conductance and moves ieq to the RHS.
-  void stamp_companion(NodeId p, NodeId m, double g, double ieq);
+  void stamp_companion(NodeId p, NodeId m, Scalar g, Scalar ieq);
 
   /// Transconductance: current leaving node `out_p` (entering `out_m`)
   /// controlled by V(in_p) - V(in_m) with gain gm.
   void add_transconductance(NodeId out_p, NodeId out_m, NodeId in_p,
-                            NodeId in_m, double gm);
+                            NodeId in_m, Scalar gm);
 
   /// Raw matrix access for aux rows/columns. Row/col indices are unknown
   /// indices: nodes occupy [0, node_unknowns), aux rows follow. Negative
   /// index (ground) contributions are dropped.
-  void add_entry(int row, int col, double v);
-  void add_rhs(int row, double v);
+  void add_entry(int row, int col, Scalar v);
+  void add_rhs(int row, Scalar v);
 
   /// Unknown index of a node (-1 for ground).
   [[nodiscard]] int node_index(NodeId n) const { return n - 1; }
@@ -53,9 +56,32 @@ class Stamper {
   [[nodiscard]] int node_unknowns() const noexcept { return node_unknowns_; }
 
  private:
-  linalg::MatrixView a_;
-  linalg::Vector& b_;
+  linalg::MatrixViewT<Scalar> a_;
+  linalg::VectorT<Scalar>& b_;
   int node_unknowns_;
+};
+
+using Stamper = StamperT<double>;
+
+extern template class StamperT<double>;
+extern template class StamperT<linalg::Complex>;
+
+/// The small-signal stamper one AC frequency point is assembled through:
+/// the complex-scalar StamperT plus the angular frequency, so a device's
+/// stamp_ac() can write its admittance (g + j*omega*C, 1/(j*omega*L), ...)
+/// without extra plumbing. Conventions are identical to the DC Stamper;
+/// only independent sources with an AC stimulus touch the RHS.
+class AcStamper : public StamperT<linalg::Complex> {
+ public:
+  AcStamper(linalg::ComplexMatrixView a, linalg::ComplexVector& b,
+            int node_unknowns, double omega)
+      : StamperT<linalg::Complex>(a, b, node_unknowns), omega_(omega) {}
+
+  /// Angular frequency of the point being stamped [rad/s].
+  [[nodiscard]] double omega() const noexcept { return omega_; }
+
+ private:
+  double omega_;
 };
 
 }  // namespace icvbe::spice

@@ -5,8 +5,13 @@
 // A Waveform is a plain value (copyable, serialisable in the netlist
 // dialect) so decks can describe stimuli and circuit clones carry them
 // along. DC analyses never look at a waveform: the parser programs the
-// source's DC value from value_at(0), and only TransientSolver re-applies
-// value_at(t) while stepping.
+// source's DC value from dc_value() -- the waveform's explicit
+// initial/offset value, NOT value_at(0) -- and only TransientSolver
+// re-applies value_at(t) while stepping. The distinction matters for
+// waveforms whose t = 0 sample already carries transient stimulus (a PWL
+// with knots before t = 0 interpolates at 0; a damped SIN's offset is vo
+// regardless of where its delay puts the first oscillation): the DC / AC
+// operating point must be biased by the quiescent value only.
 //
 // Supported shapes (SPICE argument order):
 //   DC    v
@@ -52,8 +57,13 @@ class Waveform {
   /// Source value at time t (t < 0 is treated as 0). Allocation-free.
   [[nodiscard]] double value_at(double t) const;
 
-  /// The operating-point value a DC analysis uses: value_at(0).
-  [[nodiscard]] double dc_value() const { return value_at(0.0); }
+  /// The operating-point value a DC or AC analysis biases the source with:
+  /// the waveform's explicit initial/offset value (PULSE -> v1, SIN -> vo,
+  /// PWL -> first knot value, DC -> the value). Deliberately NOT
+  /// value_at(0), which for stimuli that are already moving at t = 0
+  /// (e.g. PWL knots at negative times) would silently fold transient
+  /// signal into the operating point.
+  [[nodiscard]] double dc_value() const;
 
   /// Append every time in (0, tstop] where this waveform has a slope
   /// discontinuity (pulse corners, PWL knots, SIN start). The transient

@@ -7,10 +7,13 @@
 
 namespace icvbe::linalg {
 
-Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+template <typename Scalar>
+MatrixT<Scalar>::MatrixT(std::size_t rows, std::size_t cols, Scalar fill)
     : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
 
-Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+template <typename Scalar>
+MatrixT<Scalar>::MatrixT(
+    std::initializer_list<std::initializer_list<Scalar>> rows) {
   rows_ = rows.size();
   cols_ = rows_ ? rows.begin()->size() : 0;
   data_.reserve(rows_ * cols_);
@@ -20,41 +23,47 @@ Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
   }
 }
 
-double& Matrix::at(std::size_t r, std::size_t c) {
+template <typename Scalar>
+Scalar& MatrixT<Scalar>::at(std::size_t r, std::size_t c) {
   ICVBE_REQUIRE(r < rows_ && c < cols_, "Matrix::at out of range");
   return (*this)(r, c);
 }
 
-double Matrix::at(std::size_t r, std::size_t c) const {
+template <typename Scalar>
+Scalar MatrixT<Scalar>::at(std::size_t r, std::size_t c) const {
   ICVBE_REQUIRE(r < rows_ && c < cols_, "Matrix::at out of range");
   return (*this)(r, c);
 }
 
-void Matrix::fill(double value) {
+template <typename Scalar>
+void MatrixT<Scalar>::fill(Scalar value) {
   std::fill(data_.begin(), data_.end(), value);
 }
 
-void Matrix::resize(std::size_t rows, std::size_t cols, double fill) {
+template <typename Scalar>
+void MatrixT<Scalar>::resize(std::size_t rows, std::size_t cols, Scalar fill) {
   rows_ = rows;
   cols_ = cols;
   data_.assign(rows * cols, fill);
 }
 
-Matrix Matrix::transposed() const {
-  Matrix t(cols_, rows_);
+template <typename Scalar>
+MatrixT<Scalar> MatrixT<Scalar>::transposed() const {
+  MatrixT t(cols_, rows_);
   for (std::size_t r = 0; r < rows_; ++r) {
     for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
   }
   return t;
 }
 
-Matrix Matrix::multiply(const Matrix& other) const {
+template <typename Scalar>
+MatrixT<Scalar> MatrixT<Scalar>::multiply(const MatrixT& other) const {
   ICVBE_REQUIRE(cols_ == other.rows_, "Matrix::multiply dimension mismatch");
-  Matrix out(rows_, other.cols_);
+  MatrixT out(rows_, other.cols_);
   for (std::size_t r = 0; r < rows_; ++r) {
     for (std::size_t k = 0; k < cols_; ++k) {
-      const double a = (*this)(r, k);
-      if (a == 0.0) continue;
+      const Scalar a = (*this)(r, k);
+      if (a == Scalar{}) continue;
       for (std::size_t c = 0; c < other.cols_; ++c) {
         out(r, c) += a * other(k, c);
       }
@@ -63,28 +72,34 @@ Matrix Matrix::multiply(const Matrix& other) const {
   return out;
 }
 
-Vector Matrix::multiply(const Vector& v) const {
+template <typename Scalar>
+VectorT<Scalar> MatrixT<Scalar>::multiply(const VectorT<Scalar>& v) const {
   ICVBE_REQUIRE(cols_ == v.size(), "Matrix::multiply(Vector) size mismatch");
-  Vector out(rows_, 0.0);
+  VectorT<Scalar> out(rows_, Scalar{});
   for (std::size_t r = 0; r < rows_; ++r) {
-    double acc = 0.0;
+    Scalar acc{};
     for (std::size_t c = 0; c < cols_; ++c) acc += (*this)(r, c) * v[c];
     out[r] = acc;
   }
   return out;
 }
 
-Matrix Matrix::identity(std::size_t n) {
-  Matrix m(n, n);
-  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+template <typename Scalar>
+MatrixT<Scalar> MatrixT<Scalar>::identity(std::size_t n) {
+  MatrixT m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = Scalar(1.0);
   return m;
 }
 
-double Matrix::max_abs() const {
+template <typename Scalar>
+double MatrixT<Scalar>::max_abs() const {
   double m = 0.0;
-  for (double v : data_) m = std::max(m, std::abs(v));
+  for (const Scalar& v : data_) m = std::max(m, scalar_abs(v));
   return m;
 }
+
+template class MatrixT<double>;
+template class MatrixT<Complex>;
 
 double norm2(const Vector& v) {
   double acc = 0.0;
@@ -95,6 +110,12 @@ double norm2(const Vector& v) {
 double norm_inf(const Vector& v) {
   double m = 0.0;
   for (double x : v) m = std::max(m, std::abs(x));
+  return m;
+}
+
+double norm_inf(const ComplexVector& v) {
+  double m = 0.0;
+  for (const Complex& x : v) m = std::max(m, std::abs(x));
   return m;
 }
 

@@ -2,17 +2,22 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "icvbe/common/error.hpp"
 
 namespace icvbe::linalg {
 
-LuFactorization::LuFactorization(Matrix a, double pivot_tol)
+template <typename Scalar>
+LuFactorizationT<Scalar>::LuFactorizationT(MatrixT<Scalar> a,
+                                           double pivot_tol)
     : lu_(std::move(a)), piv_(lu_.rows()) {
   factor_in_place(pivot_tol);
 }
 
-void LuFactorization::refactor(const Matrix& a, double pivot_tol) {
+template <typename Scalar>
+void LuFactorizationT<Scalar>::refactor(const MatrixT<Scalar>& a,
+                                        double pivot_tol) {
   lu_ = a;              // same-size assignment reuses the existing storage
   piv_.resize(lu_.rows());
   a_norm1_ = 0.0;
@@ -20,7 +25,8 @@ void LuFactorization::refactor(const Matrix& a, double pivot_tol) {
   factor_in_place(pivot_tol);
 }
 
-void LuFactorization::factor_in_place(double pivot_tol) {
+template <typename Scalar>
+void LuFactorizationT<Scalar>::factor_in_place(double pivot_tol) {
   ICVBE_REQUIRE(lu_.rows() == lu_.cols(), "LU: matrix must be square");
   const std::size_t n = lu_.rows();
   ICVBE_REQUIRE(n > 0, "LU: empty matrix");
@@ -28,18 +34,31 @@ void LuFactorization::factor_in_place(double pivot_tol) {
   // 1-norm of A, kept for the condition estimate. The column sums double
   // as a deterministic non-finite screen: a NaN loses every pivot
   // comparison and an Inf wins them all, so either would otherwise factor
-  // "successfully" and only surface at the first solve.
+  // "successfully" and only surface at the first solve. (Complex scalars:
+  // scalar_abs of a non-finite component is NaN or Inf, so the same sum
+  // catches them.) The per-column maxima feed the singularity test below:
+  // AC systems legitimately span many decades across columns (a
+  // loop-break inductor's j*omega*L next to microsiemens conductances),
+  // so a pivot is judged against its own column's scale, never the global
+  // max|A|. colmax_ is a member so the pass stays allocation-free on
+  // workspace reuse.
+  colmax_.resize(n);
   for (std::size_t c = 0; c < n; ++c) {
     double col = 0.0;
-    for (std::size_t r = 0; r < n; ++r) col += std::abs(lu_(r, c));
+    double cmax = 0.0;
+    for (std::size_t r = 0; r < n; ++r) {
+      const double v = scalar_abs(lu_(r, c));
+      col += v;
+      cmax = std::max(cmax, v);
+    }
     if (!std::isfinite(col)) {
       throw NumericalError("LU: matrix has non-finite entries");
     }
     a_norm1_ = std::max(a_norm1_, col);
+    colmax_[c] = cmax;
   }
 
-  const double scale = lu_.max_abs();
-  if (scale == 0.0) {
+  if (lu_.max_abs() == 0.0) {
     // A numerically zero matrix is a (maximally) singular system, not an
     // API misuse: NumericalError keeps it inside the Newton fallback
     // machinery, same as any other singular Jacobian.
@@ -47,23 +66,25 @@ void LuFactorization::factor_in_place(double pivot_tol) {
   }
 
   for (std::size_t k = 0; k < n; ++k) {
-    // Partial pivot: largest |value| in column k at/below the diagonal.
+    // Partial pivot: largest magnitude in column k at/below the diagonal.
     std::size_t p = k;
-    double best = std::abs(lu_(k, k));
+    double best = scalar_abs(lu_(k, k));
     for (std::size_t r = k + 1; r < n; ++r) {
-      const double v = std::abs(lu_(r, k));
+      const double v = scalar_abs(lu_(r, k));
       if (v > best) {
         best = v;
         p = r;
       }
     }
-    // Deterministic singularity detection at factor time. The inverted
-    // comparison (!(best > tol)) rejects a NaN pivot and, because
-    // 0 > 0 is false, also closes the denormal-range hole where
-    // pivot_tol * scale underflows to 0.0 and an exactly zero pivot
+    // Deterministic singularity detection at factor time, relative to the
+    // pivot column's own original scale (see the colmax_ comment). The
+    // inverted comparison (!(best > tol)) rejects a NaN pivot and,
+    // because 0 > 0 is false, also closes the denormal-range hole where
+    // pivot_tol * colmax underflows to 0.0 and an exactly zero pivot
     // would previously sail through (old test: best < tol) until the
-    // first solve divided by it.
-    if (!(best > pivot_tol * scale)) {
+    // first solve divided by it. An all-zero column has colmax 0, so
+    // best = 0 still fails the test.
+    if (!(best > pivot_tol * colmax_[k])) {
       throw NumericalError("LU: matrix is singular to working precision");
     }
     piv_[k] = p;
@@ -71,67 +92,82 @@ void LuFactorization::factor_in_place(double pivot_tol) {
       pivot_sign_ = -pivot_sign_;
       for (std::size_t c = 0; c < n; ++c) std::swap(lu_(k, c), lu_(p, c));
     }
-    const double pivot = lu_(k, k);
+    const Scalar pivot = lu_(k, k);
     for (std::size_t r = k + 1; r < n; ++r) {
-      const double m = lu_(r, k) / pivot;
+      const Scalar m = lu_(r, k) / pivot;
       lu_(r, k) = m;
-      if (m == 0.0) continue;
+      if (m == Scalar{}) continue;
       for (std::size_t c = k + 1; c < n; ++c) lu_(r, c) -= m * lu_(k, c);
     }
   }
 }
 
-Vector LuFactorization::solve(const Vector& b) const {
-  Vector x = b;
+template <typename Scalar>
+VectorT<Scalar> LuFactorizationT<Scalar>::solve(
+    const VectorT<Scalar>& b) const {
+  VectorT<Scalar> x = b;
   solve_in_place(x);
   return x;
 }
 
-void LuFactorization::solve_in_place(Vector& rhs) const {
+template <typename Scalar>
+void LuFactorizationT<Scalar>::solve_in_place(VectorT<Scalar>& rhs) const {
   const std::size_t n = lu_.rows();
   ICVBE_REQUIRE(rhs.size() == n, "LU::solve: rhs size mismatch");
-  Vector& x = rhs;
+  VectorT<Scalar>& x = rhs;
   for (std::size_t k = 0; k < n; ++k) {
     if (piv_[k] != k) std::swap(x[k], x[piv_[k]]);
   }
   // Forward substitution with unit-lower L.
   for (std::size_t r = 1; r < n; ++r) {
-    double acc = x[r];
+    Scalar acc = x[r];
     for (std::size_t c = 0; c < r; ++c) acc -= lu_(r, c) * x[c];
     x[r] = acc;
   }
   // Back substitution with U.
   for (std::size_t ri = n; ri-- > 0;) {
-    double acc = x[ri];
+    Scalar acc = x[ri];
     for (std::size_t c = ri + 1; c < n; ++c) acc -= lu_(ri, c) * x[c];
     x[ri] = acc / lu_(ri, ri);
   }
 }
 
-double LuFactorization::determinant() const {
-  double det = pivot_sign_;
+template <typename Scalar>
+Scalar LuFactorizationT<Scalar>::determinant() const {
+  Scalar det = Scalar(static_cast<double>(pivot_sign_));
   for (std::size_t i = 0; i < lu_.rows(); ++i) det *= lu_(i, i);
   return det;
 }
 
-double LuFactorization::condition_estimate() const {
+template <typename Scalar>
+double LuFactorizationT<Scalar>::condition_estimate() const {
   // Probe |A^-1| by solving against a handful of +/-1 vectors and taking
   // the largest column-sum growth. Cheap and adequate for diagnostics.
   const std::size_t n = lu_.rows();
   double inv_norm = 0.0;
-  Vector e(n, 1.0);
+  VectorT<Scalar> e(n, Scalar(1.0));
   for (int probe = 0; probe < 2; ++probe) {
-    for (std::size_t i = 0; i < n; ++i) e[i] = (probe == 0) ? 1.0 : ((i % 2) ? -1.0 : 1.0);
-    Vector x = solve(e);
+    for (std::size_t i = 0; i < n; ++i) {
+      e[i] = (probe == 0) ? Scalar(1.0)
+                          : ((i % 2) ? Scalar(-1.0) : Scalar(1.0));
+    }
+    VectorT<Scalar> x = solve(e);
     double s = 0.0;
-    for (double v : x) s += std::abs(v);
+    for (const Scalar& v : x) s += scalar_abs(v);
     inv_norm = std::max(inv_norm, s / static_cast<double>(n));
   }
   return a_norm1_ * inv_norm;
 }
 
+template class LuFactorizationT<double>;
+template class LuFactorizationT<Complex>;
+
 Vector lu_solve(Matrix a, const Vector& b) {
   return LuFactorization(std::move(a)).solve(b);
+}
+
+ComplexVector lu_solve(ComplexMatrix a, const ComplexVector& b) {
+  return ComplexLuFactorization(std::move(a)).solve(b);
 }
 
 QrFactorization::QrFactorization(Matrix a) : qr_(std::move(a)) {

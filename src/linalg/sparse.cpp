@@ -5,14 +5,24 @@
 #include <cmath>
 #include <queue>
 #include <set>
+#include <string>
 
 #include "icvbe/common/error.hpp"
 
 namespace icvbe::linalg {
 
-// ------------------------------------------------------- SparseMatrix ---
+namespace {
 
-void SparseMatrix::resize(std::size_t rows, std::size_t cols) {
+/// Process-unique pattern stamps, shared across scalar instantiations so a
+/// stamp value identifies one frozen CSR no matter which engine holds it.
+std::atomic<std::uint64_t> g_next_pattern_stamp{1};
+
+}  // namespace
+
+// ------------------------------------------------------ SparseMatrixT ---
+
+template <typename Scalar>
+void SparseMatrixT<Scalar>::resize(std::size_t rows, std::size_t cols) {
   rows_ = rows;
   cols_ = cols;
   frozen_ = false;
@@ -23,13 +33,16 @@ void SparseMatrix::resize(std::size_t rows, std::size_t cols) {
   values_.clear();
 }
 
-void SparseMatrix::add_building(std::size_t r, std::size_t c, double v) {
+template <typename Scalar>
+void SparseMatrixT<Scalar>::add_building(std::size_t r, std::size_t c,
+                                         Scalar v) {
   ICVBE_REQUIRE(r < rows_ && c < cols_, "SparseMatrix::add: out of range");
   coo_coords_.emplace_back(static_cast<int>(r), static_cast<int>(c));
   coo_values_.push_back(v);
 }
 
-std::size_t SparseMatrix::slot(std::size_t r, std::size_t c) const {
+template <typename Scalar>
+std::size_t SparseMatrixT<Scalar>::slot(std::size_t r, std::size_t c) const {
   ICVBE_REQUIRE(r < rows_ && c < cols_, "SparseMatrix::add: out of range");
   const int* first = col_index_.data() + row_ptr_[r];
   const int* last = col_index_.data() + row_ptr_[r + 1];
@@ -40,9 +53,9 @@ std::size_t SparseMatrix::slot(std::size_t r, std::size_t c) const {
   return static_cast<std::size_t>(it - col_index_.data());
 }
 
-void SparseMatrix::freeze_pattern() {
+template <typename Scalar>
+void SparseMatrixT<Scalar>::freeze_pattern() {
   if (frozen_) return;
-  static std::atomic<std::uint64_t> next_stamp{1};
 
   // Sort the registrations (row, col) and merge duplicates by summation.
   std::vector<std::size_t> order(coo_coords_.size());
@@ -61,7 +74,7 @@ void SparseMatrix::freeze_pattern() {
   int last_c = -1;
   for (std::size_t i = 0; i < order.size(); ++i) {
     const auto [r, c] = coo_coords_[order[i]];
-    const double v = coo_values_[order[i]];
+    const Scalar v = coo_values_[order[i]];
     if (r == last_r && c == last_c) {
       values_.back() += v;  // repeated registration of the same slot
       continue;
@@ -81,10 +94,11 @@ void SparseMatrix::freeze_pattern() {
   coo_values_.clear();
   coo_values_.shrink_to_fit();
   frozen_ = true;
-  pattern_stamp_ = next_stamp.fetch_add(1, std::memory_order_relaxed);
+  pattern_stamp_ = g_next_pattern_stamp.fetch_add(1, std::memory_order_relaxed);
 }
 
-void SparseMatrix::unfreeze() {
+template <typename Scalar>
+void SparseMatrixT<Scalar>::unfreeze() {
   if (!frozen_) return;
   coo_coords_.clear();
   coo_values_.clear();
@@ -103,24 +117,27 @@ void SparseMatrix::unfreeze() {
   frozen_ = false;
 }
 
-void SparseMatrix::fill(double value) {
+template <typename Scalar>
+void SparseMatrixT<Scalar>::fill(Scalar value) {
   ICVBE_REQUIRE(frozen_, "SparseMatrix::fill: freeze_pattern() first");
   std::fill(values_.begin(), values_.end(), value);
 }
 
-double SparseMatrix::at(std::size_t r, std::size_t c) const {
+template <typename Scalar>
+Scalar SparseMatrixT<Scalar>::at(std::size_t r, std::size_t c) const {
   ICVBE_REQUIRE(frozen_, "SparseMatrix::at: freeze_pattern() first");
   ICVBE_REQUIRE(r < rows_ && c < cols_, "SparseMatrix::at: out of range");
   const int* first = col_index_.data() + row_ptr_[r];
   const int* last = col_index_.data() + row_ptr_[r + 1];
   const int* it = std::lower_bound(first, last, static_cast<int>(c));
-  if (it == last || *it != static_cast<int>(c)) return 0.0;
+  if (it == last || *it != static_cast<int>(c)) return Scalar{};
   return values_[static_cast<std::size_t>(it - col_index_.data())];
 }
 
-Matrix SparseMatrix::to_dense() const {
+template <typename Scalar>
+MatrixT<Scalar> SparseMatrixT<Scalar>::to_dense() const {
   ICVBE_REQUIRE(frozen_, "SparseMatrix::to_dense: freeze_pattern() first");
-  Matrix m(rows_, cols_, 0.0);
+  MatrixT<Scalar> m(rows_, cols_, Scalar{});
   for (std::size_t r = 0; r < rows_; ++r) {
     for (int i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i) {
       m(r, static_cast<std::size_t>(col_index_[static_cast<std::size_t>(i)])) =
@@ -130,12 +147,14 @@ Matrix SparseMatrix::to_dense() const {
   return m;
 }
 
-Vector SparseMatrix::multiply(const Vector& v) const {
+template <typename Scalar>
+VectorT<Scalar> SparseMatrixT<Scalar>::multiply(
+    const VectorT<Scalar>& v) const {
   ICVBE_REQUIRE(frozen_, "SparseMatrix::multiply: freeze_pattern() first");
   ICVBE_REQUIRE(v.size() == cols_, "SparseMatrix::multiply: size mismatch");
-  Vector out(rows_, 0.0);
+  VectorT<Scalar> out(rows_, Scalar{});
   for (std::size_t r = 0; r < rows_; ++r) {
-    double acc = 0.0;
+    Scalar acc{};
     for (int i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i) {
       acc += values_[static_cast<std::size_t>(i)] *
              v[static_cast<std::size_t>(col_index_[static_cast<std::size_t>(i)])];
@@ -145,14 +164,18 @@ Vector SparseMatrix::multiply(const Vector& v) const {
   return out;
 }
 
-double SparseMatrix::max_abs() const {
+template <typename Scalar>
+double SparseMatrixT<Scalar>::max_abs() const {
   ICVBE_REQUIRE(frozen_, "SparseMatrix::max_abs: freeze_pattern() first");
   double m = 0.0;
-  for (double v : values_) m = std::max(m, std::abs(v));
+  for (const Scalar& v : values_) m = std::max(m, scalar_abs(v));
   return m;
 }
 
-// --------------------------------------------- SparseLuFactorization ---
+template class SparseMatrixT<double>;
+template class SparseMatrixT<Complex>;
+
+// -------------------------------------------- SparseLuFactorizationT ---
 
 namespace {
 
@@ -164,16 +187,18 @@ namespace {
 /// which the tight-tolerance equivalence suite relies on.
 constexpr double kPivotRelThreshold = 0.5;
 
-/// Fill-reducing minimum-degree ordering over the symmetrised pattern of
-/// A (the textbook algorithm with explicit fill edges -- one-time cost,
-/// so clarity beats the quotient-graph refinements). Ties break on the
-/// smallest node index, keeping the order fully deterministic.
-std::vector<int> minimum_degree_order(const SparseMatrix& a) {
-  const std::size_t n = a.rows();
+/// Fill-reducing minimum-degree ordering over the symmetrised pattern
+/// (the textbook algorithm with explicit fill edges -- one-time cost, so
+/// clarity beats the quotient-graph refinements). Purely structural, so it
+/// is shared by both scalar instantiations. Ties break on the smallest
+/// node index, keeping the order fully deterministic.
+std::vector<int> minimum_degree_order(const std::vector<int>& row_ptr,
+                                      const std::vector<int>& col_index,
+                                      std::size_t n) {
   std::vector<std::set<int>> adj(n);
   for (std::size_t r = 0; r < n; ++r) {
-    for (int i = a.row_ptr()[r]; i < a.row_ptr()[r + 1]; ++i) {
-      const int c = a.col_index()[static_cast<std::size_t>(i)];
+    for (int i = row_ptr[r]; i < row_ptr[r + 1]; ++i) {
+      const int c = col_index[static_cast<std::size_t>(i)];
       if (static_cast<std::size_t>(c) != r) {
         adj[r].insert(c);
         adj[static_cast<std::size_t>(c)].insert(static_cast<int>(r));
@@ -214,24 +239,38 @@ std::vector<int> minimum_degree_order(const SparseMatrix& a) {
 
 }  // namespace
 
-bool SparseLuFactorization::pattern_matches(const SparseMatrix& a) const {
+template <typename Scalar>
+bool SparseLuFactorizationT<Scalar>::pattern_matches(
+    const SparseMatrixT<Scalar>& a) const {
   return analyzed_ && n_ == a.rows() && pattern_stamp_ == a.pattern_stamp();
 }
 
-void SparseLuFactorization::refactor(const SparseMatrix& a,
-                                     double pivot_tol) {
+template <typename Scalar>
+void SparseLuFactorizationT<Scalar>::refactor(const SparseMatrixT<Scalar>& a,
+                                              double pivot_tol) {
   ICVBE_REQUIRE(a.frozen(),
                 "sparse LU: freeze_pattern() before factoring");
   ICVBE_REQUIRE(a.rows() == a.cols(), "sparse LU: matrix must be square");
   ICVBE_REQUIRE(a.rows() > 0, "sparse LU: empty matrix");
 
   // Deterministic input screening: a NaN would otherwise win or lose every
-  // pivot comparison silently and only surface at the first solve.
+  // pivot comparison silently and only surface at the first solve. The
+  // same pass fills the per-column maxima the column-relative pivot test
+  // uses (AC systems legitimately span many decades across columns, so a
+  // global max|A| threshold would misdiagnose them as singular).
   double amax = 0.0;
   bool finite = true;
-  for (double v : a.values()) {
-    if (!std::isfinite(v)) finite = false;
-    amax = std::max(amax, std::abs(v));
+  colmax_.assign(a.cols(), 0.0);
+  {
+    const std::vector<int>& cols = a.col_index();
+    const std::vector<Scalar>& vals = a.values();
+    for (std::size_t i = 0; i < vals.size(); ++i) {
+      if (!scalar_is_finite(vals[i])) finite = false;
+      const double v = scalar_abs(vals[i]);
+      amax = std::max(amax, v);
+      double& cm = colmax_[static_cast<std::size_t>(cols[i])];
+      cm = std::max(cm, v);
+    }
   }
   if (!finite) {
     throw NumericalError("sparse LU: matrix has non-finite entries");
@@ -242,48 +281,51 @@ void SparseLuFactorization::refactor(const SparseMatrix& a,
     throw NumericalError("sparse LU: zero matrix");
   }
 
-  if (!(pattern_matches(a) && refactor_frozen(a, pivot_tol * amax, amax))) {
+  if (!(pattern_matches(a) && refactor_frozen(a, pivot_tol, amax))) {
     // First factorisation, new pattern, or a frozen pivot collapsed: run
     // the full analysis with fresh pivoting.
-    analyze(a, pivot_tol * amax);
+    analyze(a, pivot_tol);
   }
 
   // 1-norm of A for condition_estimate(). perm_ (sized by the analysis
   // above) is free between solves -- solve_in_place overwrites it fully --
-  // so borrowing it keeps refactor() allocation-free.
-  std::fill(perm_.begin(), perm_.end(), 0.0);
+  // so borrowing it keeps refactor() allocation-free. Magnitude sums are
+  // non-negative reals, so they live in the scalar's real part.
+  std::fill(perm_.begin(), perm_.end(), Scalar{});
   const std::vector<int>& cols = a.col_index();
-  const std::vector<double>& vals = a.values();
+  const std::vector<Scalar>& vals = a.values();
   for (std::size_t i = 0; i < cols.size(); ++i) {
-    perm_[static_cast<std::size_t>(cols[i])] += std::abs(vals[i]);
+    perm_[static_cast<std::size_t>(cols[i])] += Scalar(scalar_abs(vals[i]));
   }
   a_norm1_ = 0.0;
-  for (double s : perm_) a_norm1_ = std::max(a_norm1_, s);
+  for (const Scalar& s : perm_) a_norm1_ = std::max(a_norm1_, scalar_abs(s));
 }
 
-void SparseLuFactorization::analyze(const SparseMatrix& a, double tol_abs) {
+template <typename Scalar>
+void SparseLuFactorizationT<Scalar>::analyze(const SparseMatrixT<Scalar>& a,
+                                             double pivot_tol) {
   const std::size_t n = a.rows();
   const std::vector<int>& row_ptr = a.row_ptr();
   const std::vector<int>& col_index = a.col_index();
-  const std::vector<double>& values = a.values();
+  const std::vector<Scalar>& values = a.values();
 
   analyzed_ = false;
   n_ = n;
 
-  rperm_ = minimum_degree_order(a);
+  rperm_ = minimum_degree_order(row_ptr, col_index, n);
   cstep_.assign(n, -1);
   cperm_.assign(n, -1);
-  udiag_.assign(n, 0.0);
+  udiag_.assign(n, Scalar{});
 
   // Static column degrees of A: the sparsity half of the Markowitz cost.
   std::vector<int> coldeg(n, 0);
   for (int c : col_index) ++coldeg[static_cast<std::size_t>(c)];
 
   // Growing factor rows; frozen into flat arrays afterwards.
-  std::vector<std::vector<std::pair<int, double>>> lrows(n);  // (step, mult)
-  std::vector<std::vector<std::pair<int, double>>> urows(n);  // (col, val)
+  std::vector<std::vector<std::pair<int, Scalar>>> lrows(n);  // (step, mult)
+  std::vector<std::vector<std::pair<int, Scalar>>> urows(n);  // (col, val)
 
-  std::vector<double> w(n, 0.0);       // dense scatter row, by column id
+  std::vector<Scalar> w(n, Scalar{});  // dense scatter row, by column id
   std::vector<char> inpat(n, 0);
   std::vector<int> pattern;
   std::vector<char> step_seen(n, 0);
@@ -313,7 +355,7 @@ void SparseLuFactorization::analyze(const SparseMatrix& a, double tol_abs) {
       const int j = heap.top();
       heap.pop();
       const std::size_t cj = static_cast<std::size_t>(cperm_[j]);
-      const double lv = w[cj] / udiag_[static_cast<std::size_t>(j)];
+      const Scalar lv = w[cj] / udiag_[static_cast<std::size_t>(j)];
       w[cj] = lv;  // L multiplier, kept in place for the gather below
       lrows[k].emplace_back(j, lv);
       for (const auto& [uc, uv] : urows[static_cast<std::size_t>(j)]) {
@@ -321,7 +363,7 @@ void SparseLuFactorization::analyze(const SparseMatrix& a, double tol_abs) {
         if (!inpat[u]) {
           inpat[u] = 1;
           pattern.push_back(uc);
-          w[u] = 0.0;
+          w[u] = Scalar{};
           const int us = cstep_[u];
           if (us >= 0 && !step_seen[static_cast<std::size_t>(us)]) {
             step_seen[static_cast<std::size_t>(us)] = 1;
@@ -334,16 +376,19 @@ void SparseLuFactorization::analyze(const SparseMatrix& a, double tol_abs) {
     }
 
     // Pivot choice among the not-yet-pivoted columns: numerically
-    // acceptable (threshold partial pivoting), then structurally sparsest.
+    // acceptable (column-relative magnitude floor, then threshold partial
+    // pivoting against the largest acceptable candidate), then
+    // structurally sparsest. The inverted comparisons reject NaN, and
+    // 0 > 0 being false keeps an exactly zero pivot out even when the
+    // tolerance product underflows to 0.
     double umax = 0.0;
     for (int c : pattern) {
-      if (cstep_[static_cast<std::size_t>(c)] < 0) {
-        umax = std::max(umax, std::abs(w[static_cast<std::size_t>(c)]));
-      }
+      const std::size_t ci = static_cast<std::size_t>(c);
+      if (cstep_[ci] >= 0) continue;
+      if (!(scalar_abs(w[ci]) > pivot_tol * colmax_[ci])) continue;
+      umax = std::max(umax, scalar_abs(w[ci]));
     }
-    // Inverted comparison: rejects NaN, and 0 > 0 being false keeps an
-    // exactly zero pivot out even when tol_abs underflows to 0.
-    if (!(umax > tol_abs)) {
+    if (!(umax > 0.0)) {
       throw NumericalError(
           "sparse LU: matrix is singular to working precision at "
           "elimination step " +
@@ -353,7 +398,8 @@ void SparseLuFactorization::analyze(const SparseMatrix& a, double tol_abs) {
     for (int c : pattern) {
       const std::size_t ci = static_cast<std::size_t>(c);
       if (cstep_[ci] >= 0) continue;
-      if (std::abs(w[ci]) < kPivotRelThreshold * umax) continue;
+      if (!(scalar_abs(w[ci]) > pivot_tol * colmax_[ci])) continue;
+      if (scalar_abs(w[ci]) < kPivotRelThreshold * umax) continue;
       if (best_col < 0 ||
           coldeg[ci] < coldeg[static_cast<std::size_t>(best_col)] ||
           (coldeg[ci] == coldeg[static_cast<std::size_t>(best_col)] &&
@@ -377,7 +423,7 @@ void SparseLuFactorization::analyze(const SparseMatrix& a, double tol_abs) {
     // Reset scratch state for the next row.
     for (int c : pattern) {
       inpat[static_cast<std::size_t>(c)] = 0;
-      w[static_cast<std::size_t>(c)] = 0.0;
+      w[static_cast<std::size_t>(c)] = Scalar{};
     }
     pattern.clear();
     for (int s : steps_touched) step_seen[static_cast<std::size_t>(s)] = 0;
@@ -399,7 +445,7 @@ void SparseLuFactorization::analyze(const SparseMatrix& a, double tol_abs) {
   l_val_.resize(l_nnz);
   u_step_.resize(u_nnz);
   u_val_.resize(u_nnz);
-  std::vector<std::pair<int, double>> urow_steps;
+  std::vector<std::pair<int, Scalar>> urow_steps;
   for (std::size_t k = 0; k < n; ++k) {
     // L rows were emitted in ascending step order already.
     for (std::size_t i = 0; i < lrows[k].size(); ++i) {
@@ -412,7 +458,8 @@ void SparseLuFactorization::analyze(const SparseMatrix& a, double tol_abs) {
     for (const auto& [c, v] : urows[k]) {
       urow_steps.emplace_back(cstep_[static_cast<std::size_t>(c)], v);
     }
-    std::sort(urow_steps.begin(), urow_steps.end());
+    std::sort(urow_steps.begin(), urow_steps.end(),
+              [](const auto& x, const auto& y) { return x.first < y.first; });
     for (std::size_t i = 0; i < urow_steps.size(); ++i) {
       u_step_[static_cast<std::size_t>(u_ptr_[k]) + i] = urow_steps[i].first;
       u_val_[static_cast<std::size_t>(u_ptr_[k]) + i] = urow_steps[i].second;
@@ -425,26 +472,28 @@ void SparseLuFactorization::analyze(const SparseMatrix& a, double tol_abs) {
     astep_[i] = cstep_[static_cast<std::size_t>(col_index[i])];
   }
 
-  work_.assign(n, 0.0);
-  perm_.assign(n, 0.0);
+  work_.assign(n, Scalar{});
+  perm_.assign(n, Scalar{});
   pattern_stamp_ = a.pattern_stamp();
   analyzed_ = true;
   ++analysis_count_;
 }
 
-bool SparseLuFactorization::refactor_frozen(const SparseMatrix& a,
-                                            double tol_abs, double amax) {
+template <typename Scalar>
+bool SparseLuFactorizationT<Scalar>::refactor_frozen(
+    const SparseMatrixT<Scalar>& a, double pivot_tol, double amax) {
   const std::size_t n = n_;
   const std::vector<int>& row_ptr = a.row_ptr();
-  const std::vector<double>& values = a.values();
+  const std::vector<Scalar>& values = a.values();
 
   // Element-growth guard: with the pivot order frozen there is no
   // numerical pivoting left, so a restamp whose value distribution differs
   // wildly from the analysed one (a transient step's huge companion
-  // conductances, say) can blow the factors up and yield a finite but
-  // garbage solution. Growth beyond this factor over max|A| aborts the
-  // frozen pass; the caller re-analyses with fresh pivoting (partial
-  // pivoting keeps growth within ~2^n theory, single digits in practice).
+  // conductances, or an AC restamp decades away in frequency, say) can
+  // blow the factors up and yield a finite but garbage solution. Growth
+  // beyond this factor over max|A| aborts the frozen pass; the caller
+  // re-analyses with fresh pivoting (partial pivoting keeps growth within
+  // ~2^n theory, single digits in practice).
   constexpr double kGrowthLimit = 1e8;
   const double growth_cap = kGrowthLimit * amax;
   double gmax = 0.0;
@@ -458,29 +507,32 @@ bool SparseLuFactorization::refactor_frozen(const SparseMatrix& a,
     for (int li = l_ptr_[k]; li < l_ptr_[k + 1]; ++li) {
       const std::size_t j =
           static_cast<std::size_t>(l_step_[static_cast<std::size_t>(li)]);
-      const double lv = work_[j] / udiag_[j];
+      const Scalar lv = work_[j] / udiag_[j];
       l_val_[static_cast<std::size_t>(li)] = lv;
-      work_[j] = 0.0;
+      work_[j] = Scalar{};
       for (int ui = u_ptr_[j]; ui < u_ptr_[j + 1]; ++ui) {
         work_[static_cast<std::size_t>(u_step_[static_cast<std::size_t>(ui)])] -=
             lv * u_val_[static_cast<std::size_t>(ui)];
       }
     }
-    const double d = work_[k];
-    work_[k] = 0.0;
-    gmax = std::max(gmax, std::abs(d));
+    const Scalar d = work_[k];
+    work_[k] = Scalar{};
+    gmax = std::max(gmax, scalar_abs(d));
     for (int ui = u_ptr_[k]; ui < u_ptr_[k + 1]; ++ui) {
       const std::size_t us =
           static_cast<std::size_t>(u_step_[static_cast<std::size_t>(ui)]);
-      const double uv = work_[us];
+      const Scalar uv = work_[us];
       u_val_[static_cast<std::size_t>(ui)] = uv;
-      gmax = std::max(gmax, std::abs(uv));
-      work_[us] = 0.0;
+      gmax = std::max(gmax, scalar_abs(uv));
+      work_[us] = Scalar{};
     }
-    if (!(std::abs(d) > tol_abs) || gmax > growth_cap) {
-      // Frozen pivot collapsed or the factors are blowing up (the matrix
-      // may still be fine under a different order); work_ is already clean
-      // for the re-analysis -- both checks run after this row's gather.
+    const double tol =
+        pivot_tol * colmax_[static_cast<std::size_t>(cperm_[k])];
+    if (!(scalar_abs(d) > tol) || gmax > growth_cap) {
+      // Frozen pivot collapsed (judged against its own column's current
+      // scale) or the factors are blowing up (the matrix may still be
+      // fine under a different order); work_ is already clean for the
+      // re-analysis -- both checks run after this row's gather.
       return false;
     }
     udiag_[k] = d;
@@ -488,7 +540,9 @@ bool SparseLuFactorization::refactor_frozen(const SparseMatrix& a,
   return true;
 }
 
-void SparseLuFactorization::solve_in_place(Vector& rhs) const {
+template <typename Scalar>
+void SparseLuFactorizationT<Scalar>::solve_in_place(
+    VectorT<Scalar>& rhs) const {
   ICVBE_REQUIRE(analyzed_, "sparse LU: refactor() before solving");
   ICVBE_REQUIRE(rhs.size() == n_, "sparse LU solve: rhs size mismatch");
   // z = P b (step space).
@@ -497,7 +551,7 @@ void SparseLuFactorization::solve_in_place(Vector& rhs) const {
   }
   // Forward substitution with unit-lower L.
   for (std::size_t k = 0; k < n_; ++k) {
-    double acc = perm_[k];
+    Scalar acc = perm_[k];
     for (int li = l_ptr_[k]; li < l_ptr_[k + 1]; ++li) {
       acc -= l_val_[static_cast<std::size_t>(li)] *
              perm_[static_cast<std::size_t>(l_step_[static_cast<std::size_t>(li)])];
@@ -506,7 +560,7 @@ void SparseLuFactorization::solve_in_place(Vector& rhs) const {
   }
   // Back substitution with U.
   for (std::size_t ki = n_; ki-- > 0;) {
-    double acc = perm_[ki];
+    Scalar acc = perm_[ki];
     for (int ui = u_ptr_[ki]; ui < u_ptr_[ki + 1]; ++ui) {
       acc -= u_val_[static_cast<std::size_t>(ui)] *
              perm_[static_cast<std::size_t>(u_step_[static_cast<std::size_t>(ui)])];
@@ -519,29 +573,36 @@ void SparseLuFactorization::solve_in_place(Vector& rhs) const {
   }
 }
 
-Vector SparseLuFactorization::solve(const Vector& b) const {
-  Vector x = b;
+template <typename Scalar>
+VectorT<Scalar> SparseLuFactorizationT<Scalar>::solve(
+    const VectorT<Scalar>& b) const {
+  VectorT<Scalar> x = b;
   solve_in_place(x);
   return x;
 }
 
-double SparseLuFactorization::condition_estimate() const {
+template <typename Scalar>
+double SparseLuFactorizationT<Scalar>::condition_estimate() const {
   ICVBE_REQUIRE(analyzed_, "sparse LU: refactor() before condition_estimate");
   // Probe |A^-1| by solving against the same +/-1 vectors the dense
-  // LuFactorization uses and taking the largest column-sum growth; cheap
+  // LuFactorizationT uses and taking the largest column-sum growth; cheap
   // and adequate for diagnostics, and directly comparable across engines.
   double inv_norm = 0.0;
-  Vector e(n_, 1.0);
+  VectorT<Scalar> e(n_, Scalar(1.0));
   for (int probe = 0; probe < 2; ++probe) {
     for (std::size_t i = 0; i < n_; ++i) {
-      e[i] = (probe == 0) ? 1.0 : ((i % 2) ? -1.0 : 1.0);
+      e[i] = (probe == 0) ? Scalar(1.0)
+                          : ((i % 2) ? Scalar(-1.0) : Scalar(1.0));
     }
-    const Vector x = solve(e);
+    const VectorT<Scalar> x = solve(e);
     double s = 0.0;
-    for (double v : x) s += std::abs(v);
+    for (const Scalar& v : x) s += scalar_abs(v);
     inv_norm = std::max(inv_norm, s / static_cast<double>(n_));
   }
   return a_norm1_ * inv_norm;
 }
+
+template class SparseLuFactorizationT<double>;
+template class SparseLuFactorizationT<Complex>;
 
 }  // namespace icvbe::linalg

@@ -154,6 +154,26 @@ Bjt::Eval Bjt::evaluate(double v1, double v2) const {
   return ev;
 }
 
+Bjt::RowJacobian Bjt::row_jacobian(const Eval& ev) const {
+  // Partials of the currents leaving each node in the junction frame
+  // (type factor s handled by the callers; s^2 = 1 cancels in every
+  // entry). The vertical parasitic collects isub_e into the substrate and
+  // returns isub_e/bf_sub through the base (its base is the main device's
+  // n-well base).
+  const double inv_bf_sub =
+      std::isfinite(model_.bf_sub) ? 1.0 / model_.bf_sub : 0.0;
+  RowJacobian j;
+  j.djc_dv1 = ev.git1;
+  j.djc_dv2 = ev.git2 - ev.gbc + ev.gsub;
+  j.djb_dv1 = ev.gbe + ev.gsub_e * inv_bf_sub;
+  j.djb_dv2 = ev.gbc;
+  j.dje_dv1 = -(ev.git1 + ev.gbe + ev.gsub_e * (1.0 + inv_bf_sub));
+  j.dje_dv2 = -ev.git2;
+  j.djs_dv1 = ev.gsub_e;
+  j.djs_dv2 = -ev.gsub;
+  return j;
+}
+
 void Bjt::stamp(Stamper& stamper, const Unknowns& prev) {
   const double s = sign_;
   double v1 = s * (prev.node_voltage(b_) - prev.node_voltage(e_));
@@ -166,9 +186,7 @@ void Bjt::stamp(Stamper& stamper, const Unknowns& prev) {
   const Eval ev = evaluate(v1, v2);
 
   // Currents leaving each node (type frame handled by s; s^2 = 1 cancels
-  // in all Jacobian entries). The vertical parasitic collects isub_e into
-  // the substrate and returns isub_e/bf_sub through the base (its base is
-  // the main device's n-well base):
+  // in all Jacobian entries):
   //   Jc = s (it - ibc + isub)
   //   Jb = s (ibe + ibc + isub_e / bf_sub)
   //   Je = -s (it + ibe + isub_e (1 + 1/bf_sub))
@@ -181,15 +199,7 @@ void Bjt::stamp(Stamper& stamper, const Unknowns& prev) {
       -s * (ev.it + ev.ibe + ev.isub_e * (1.0 + inv_bf_sub));
   const double js = s * (ev.isub_e - ev.isub);
 
-  // Partials in the junction frame.
-  const double djc_dv1 = ev.git1;
-  const double djc_dv2 = ev.git2 - ev.gbc + ev.gsub;
-  const double djb_dv1 = ev.gbe + ev.gsub_e * inv_bf_sub;
-  const double djb_dv2 = ev.gbc;
-  const double dje_dv1 = -(ev.git1 + ev.gbe + ev.gsub_e * (1.0 + inv_bf_sub));
-  const double dje_dv2 = -ev.git2;
-  const double djs_dv1 = ev.gsub_e;
-  const double djs_dv2 = -ev.gsub;
+  const RowJacobian g = row_jacobian(ev);
 
   const int ic = stamper.node_index(c_);
   const int ib = stamper.node_index(b_);
@@ -204,10 +214,10 @@ void Bjt::stamp(Stamper& stamper, const Unknowns& prev) {
     double dv1, dv2, j;
   };
   const RowStamp rows[] = {
-      {ic, djc_dv1, djc_dv2, jc},
-      {ib, djb_dv1, djb_dv2, jb},
-      {ie, dje_dv1, dje_dv2, je},
-      {is_i, djs_dv1, djs_dv2, js},
+      {ic, g.djc_dv1, g.djc_dv2, jc},
+      {ib, g.djb_dv1, g.djb_dv2, jb},
+      {ie, g.dje_dv1, g.dje_dv2, je},
+      {is_i, g.djs_dv1, g.djs_dv2, js},
   };
   for (const auto& r : rows) {
     stamper.add_entry(r.row, ib, r.dv1 + r.dv2);
@@ -220,6 +230,36 @@ void Bjt::stamp(Stamper& stamper, const Unknowns& prev) {
     // extracted from the node's RHS injection.
     const double ieq = r.j - s * (r.dv1 * v1 + r.dv2 * v2);
     stamper.add_rhs(r.row, -ieq);
+  }
+}
+
+void Bjt::stamp_ac(AcStamper& ac, const Unknowns& op) const {
+  // Small-signal Jacobian at the committed OP: the same row_jacobian()
+  // partials stamp() writes (junction limiting skipped -- a converged OP
+  // is its own limit), with no companion RHS.
+  const double s = sign_;
+  const double v1 = s * (op.node_voltage(b_) - op.node_voltage(e_));
+  const double v2 = s * (op.node_voltage(b_) - op.node_voltage(c_));
+  const RowJacobian g = row_jacobian(evaluate(v1, v2));
+
+  const int ic = ac.node_index(c_);
+  const int ib = ac.node_index(b_);
+  const int ie = ac.node_index(e_);
+  const int is_i = ac.node_index(s_node_);
+
+  const struct {
+    int row;
+    double dv1, dv2;
+  } rows[] = {
+      {ic, g.djc_dv1, g.djc_dv2},
+      {ib, g.djb_dv1, g.djb_dv2},
+      {ie, g.dje_dv1, g.dje_dv2},
+      {is_i, g.djs_dv1, g.djs_dv2},
+  };
+  for (const auto& r : rows) {
+    ac.add_entry(r.row, ib, linalg::Complex(r.dv1 + r.dv2));
+    ac.add_entry(r.row, ie, linalg::Complex(-r.dv1));
+    ac.add_entry(r.row, ic, linalg::Complex(-r.dv2));
   }
 }
 

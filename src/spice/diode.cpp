@@ -48,14 +48,28 @@ void Diode::set_temperature(double t_kelvin) {
 
 void Diode::reset_state() { v_state_ = 0.0; }
 
+double Diode::conductance_from_exp(double e) const {
+  return is_t_ * e / vt_ + 1e-15;  // floor keeps the matrix regular
+}
+
 void Diode::stamp(Stamper& stamper, const Unknowns& prev) {
   double v = prev.node_voltage(anode_) - prev.node_voltage(cathode_);
   v = pnjlim(v, v_state_, vt_, vcrit_);
   v_state_ = v;
   const double e = safe_exp(v / vt_);
   const double i = is_t_ * (e - 1.0);
-  const double g = is_t_ * e / vt_ + 1e-15;  // floor keeps matrix regular
+  const double g = conductance_from_exp(e);
   stamper.stamp_companion(anode_, cathode_, g, i - g * v);
+}
+
+void Diode::stamp_ac(AcStamper& ac, const Unknowns& op) const {
+  // Small-signal conductance at the committed operating point: the same
+  // conductance_from_exp() the large-signal stamp() linearises with,
+  // minus the junction limiting (the OP is converged, so limiting is a
+  // no-op).
+  const double v = op.node_voltage(anode_) - op.node_voltage(cathode_);
+  ac.add_conductance(anode_, cathode_,
+                     linalg::Complex(conductance_from_exp(safe_exp(v / vt_))));
 }
 
 double Diode::current(const Unknowns& x) const {

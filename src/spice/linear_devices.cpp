@@ -6,6 +6,15 @@
 
 namespace icvbe::spice {
 
+namespace {
+
+/// "AC <mag> <phase_deg>" as a phasor.
+linalg::Complex ac_phasor(double magnitude, double phase_deg) {
+  return std::polar(magnitude, phase_deg * M_PI / 180.0);
+}
+
+}  // namespace
+
 Resistor::Resistor(std::string name, NodeId a, NodeId b, double ohms,
                    double tc1, double tc2, double tnom_kelvin)
     : Device(std::move(name)),
@@ -43,6 +52,10 @@ void Resistor::stamp(Stamper& stamper, const Unknowns& /*prev*/) {
   stamper.add_conductance(a_, b_, 1.0 / r_now_);
 }
 
+void Resistor::stamp_ac(AcStamper& ac, const Unknowns& /*op*/) const {
+  ac.add_conductance(a_, b_, linalg::Complex(1.0 / r_now_));
+}
+
 double Resistor::current(const Unknowns& x) const {
   return (x.node_voltage(a_) - x.node_voltage(b_)) / r_now_;
 }
@@ -70,6 +83,19 @@ void VoltageSource::stamp(Stamper& stamper, const Unknowns& /*prev*/) {
   stamper.add_rhs(k, volts_);
 }
 
+void VoltageSource::stamp_ac(AcStamper& ac, const Unknowns& /*op*/) const {
+  const int k = first_aux();
+  ICVBE_ASSERT(k >= 0, "VoltageSource: aux index not assigned");
+  const int ip = ac.node_index(p_);
+  const int im = ac.node_index(m_);
+  const linalg::Complex one(1.0);
+  ac.add_entry(ip, k, one);
+  ac.add_entry(im, k, -one);
+  ac.add_entry(k, ip, one);
+  ac.add_entry(k, im, -one);
+  ac.add_rhs(k, ac_phasor(ac_magnitude_, ac_phase_deg_));
+}
+
 double VoltageSource::current(const Unknowns& x) const {
   return x.aux(first_aux());
 }
@@ -83,6 +109,8 @@ double VoltageSource::power(const Unknowns& /*x*/) const {
 std::unique_ptr<Device> VoltageSource::clone() const {
   auto d = std::make_unique<VoltageSource>(name(), p_, m_, volts_);
   d->waveform_ = waveform_;
+  d->ac_magnitude_ = ac_magnitude_;
+  d->ac_phase_deg_ = ac_phase_deg_;
   return d;
 }
 
@@ -98,9 +126,18 @@ void CurrentSource::stamp(Stamper& stamper, const Unknowns& /*prev*/) {
   stamper.add_current_into(m_, amps_);
 }
 
+void CurrentSource::stamp_ac(AcStamper& ac, const Unknowns& /*op*/) const {
+  // The AC stimulus flows p -> m inside the source, like the DC value.
+  const linalg::Complex j = ac_phasor(ac_magnitude_, ac_phase_deg_);
+  ac.add_current_into(p_, -j);
+  ac.add_current_into(m_, j);
+}
+
 std::unique_ptr<Device> CurrentSource::clone() const {
   auto d = std::make_unique<CurrentSource>(name(), p_, m_, amps_);
   d->waveform_ = waveform_;
+  d->ac_magnitude_ = ac_magnitude_;
+  d->ac_phase_deg_ = ac_phase_deg_;
   return d;
 }
 
@@ -122,6 +159,20 @@ void Vcvs::stamp(Stamper& stamper, const Unknowns& /*prev*/) {
   stamper.add_entry(k, im, -1.0);
   stamper.add_entry(k, stamper.node_index(cp_), -gain_);
   stamper.add_entry(k, stamper.node_index(cm_), gain_);
+}
+
+void Vcvs::stamp_ac(AcStamper& ac, const Unknowns& /*op*/) const {
+  const int k = first_aux();
+  ICVBE_ASSERT(k >= 0, "Vcvs: aux index not assigned");
+  const int ip = ac.node_index(p_);
+  const int im = ac.node_index(m_);
+  const linalg::Complex one(1.0);
+  ac.add_entry(ip, k, one);
+  ac.add_entry(im, k, -one);
+  ac.add_entry(k, ip, one);
+  ac.add_entry(k, im, -one);
+  ac.add_entry(k, ac.node_index(cp_), linalg::Complex(-gain_));
+  ac.add_entry(k, ac.node_index(cm_), linalg::Complex(gain_));
 }
 
 double Vcvs::current(const Unknowns& x) const { return x.aux(first_aux()); }
@@ -154,6 +205,19 @@ void OpAmp::stamp(Stamper& stamper, const Unknowns& /*prev*/) {
   stamper.add_entry(k, stamper.node_index(inp_), -1.0);
   stamper.add_entry(k, stamper.node_index(inn_), 1.0);
   stamper.add_rhs(k, offset_);
+}
+
+void OpAmp::stamp_ac(AcStamper& ac, const Unknowns& /*op*/) const {
+  const int k = first_aux();
+  ICVBE_ASSERT(k >= 0, "OpAmp: aux index not assigned");
+  const int io = ac.node_index(out_);
+  const linalg::Complex one(1.0);
+  ac.add_entry(io, k, one);
+  // Same gain-normalised row as the DC stamp; the offset is a bias term
+  // and contributes nothing to the small-signal system.
+  ac.add_entry(k, io, linalg::Complex(1.0 / gain_));
+  ac.add_entry(k, ac.node_index(inp_), -one);
+  ac.add_entry(k, ac.node_index(inn_), one);
 }
 
 std::unique_ptr<Device> OpAmp::clone() const {

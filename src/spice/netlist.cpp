@@ -152,6 +152,19 @@ DiodeModel parse_diode_model(const std::map<std::string, double>& p) {
   return m;
 }
 
+MosfetModel parse_mosfet_model(const std::map<std::string, double>& p,
+                               MosfetModel::Type type) {
+  MosfetModel m;
+  m.type = type;
+  m.vto = param_or(p, "VTO", m.vto);
+  m.kp = param_or(p, "KP", m.kp);
+  m.lambda = param_or(p, "LAMBDA", m.lambda);
+  m.tnom = param_or(p, "TNOM", m.tnom);
+  m.vto_tc = param_or(p, "VTOTC", m.vto_tc);
+  m.mobility_exp = param_or(p, "MOBEXP", m.mobility_exp);
+  return m;
+}
+
 /// start, start+incr, ... up to stop (inclusive within a tolerance), the
 /// SPICE .DC / .STEP stepping rule.
 std::vector<double> stepped_values(double start, double stop, double incr,
@@ -235,6 +248,34 @@ Waveform parse_source_waveform(const std::vector<std::string>& tokens,
   }
 }
 
+/// Optional small-signal stimulus on a V/I source card: "AC <mag> [phase]".
+struct SourceAcSpec {
+  bool present = false;
+  double magnitude = 0.0;
+  double phase_deg = 0.0;
+};
+
+/// Strip a trailing "AC <mag> [phase]" group from a source card's tokens
+/// (it follows the DC value / waveform, or stands alone for a pure AC
+/// stimulus source). Returns the parsed spec; `tokens` loses the group.
+SourceAcSpec extract_source_ac(std::vector<std::string>& tokens,
+                               std::size_t from, int line) {
+  for (std::size_t i = from; i < tokens.size(); ++i) {
+    if (to_upper(tokens[i]) != "AC") continue;
+    SourceAcSpec spec;
+    spec.present = true;
+    const std::size_t nargs = tokens.size() - i - 1;
+    if (nargs < 1 || nargs > 2) {
+      fail(line, "AC spec needs <magnitude> [phase-degrees]");
+    }
+    spec.magnitude = parse_spice_number(tokens[i + 1]);
+    if (nargs == 2) spec.phase_deg = parse_spice_number(tokens[i + 2]);
+    tokens.erase(tokens.begin() + static_cast<long>(i), tokens.end());
+    return spec;
+  }
+  return {};
+}
+
 /// Shared body of .NODESET and .IC: "V node = value" groups (the tokenizer
 /// splits 'V(n)=x' into 'V', 'n', '=', 'x') or bare "node = value" pairs.
 void parse_node_value_pairs(const std::vector<std::string>& tokens, int line,
@@ -271,34 +312,64 @@ SweepAxis axis_for_target(const std::string& target, SweepGrid grid,
 
 }  // namespace
 
+namespace {
+
+/// Unit annotations allowed after a scale factor ("2.5kohm", "10uF") or on
+/// their own ("5V"). Anything else trailing a number is ambiguous garbage
+/// ("10kk", "5x") and is rejected -- a silent scale-by-1 there has bitten
+/// real decks. All lowercase; the caller already lowercased the token.
+bool is_unit_annotation(std::string_view unit) {
+  static constexpr std::string_view kUnits[] = {
+      "",    "v",     "volt",  "volts",  "a",   "amp",    "amps",
+      "ohm", "ohms",  "f",     "farad",  "h",   "henry",  "henries",
+      "hz",  "s",     "sec",   "deg"};
+  for (std::string_view u : kUnits) {
+    if (unit == u) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
 double parse_spice_number(std::string_view token) {
+  // Case-insensitive throughout: the token is lowercased once, so "10MEG",
+  // "10Meg" and "10meg" are the same mega suffix (and "10M" the same milli
+  // as "10m" -- SPICE's classic MEG-vs-m distinction is by spelling, never
+  // by case).
   const std::string t = to_lower(token);
   char* end = nullptr;
   const double base = std::strtod(t.c_str(), &end);
   if (end == t.c_str()) {
     throw NetlistError("not a number: '" + std::string(token) + "'");
   }
-  std::string suffix(end);
-  // Strip trailing unit letters after a recognised scale (e.g. "2.5kohm").
+  const std::string suffix(end);
+  // Recognise at most ONE scale factor, optionally followed by a known
+  // unit annotation (e.g. "2.5kohm", "10uF"). "meg" must be checked before
+  // the one-letter scales ('m' alone is milli).
   double scale = 1.0;
+  std::string unit = suffix;
   if (!suffix.empty()) {
     if (suffix.rfind("meg", 0) == 0) {
       scale = 1e6;
+      unit = suffix.substr(3);
     } else {
       switch (suffix[0]) {
-        case 'f': scale = 1e-15; break;
-        case 'p': scale = 1e-12; break;
-        case 'n': scale = 1e-9; break;
-        case 'u': scale = 1e-6; break;
-        case 'm': scale = 1e-3; break;
-        case 'k': scale = 1e3; break;
-        case 'g': scale = 1e9; break;
-        case 't': scale = 1e12; break;
-        default:
-          // Unit annotations like "v", "a", "ohm" scale by 1.
-          scale = 1.0;
-          break;
+        case 'f': scale = 1e-15; unit = suffix.substr(1); break;
+        case 'p': scale = 1e-12; unit = suffix.substr(1); break;
+        case 'n': scale = 1e-9; unit = suffix.substr(1); break;
+        case 'u': scale = 1e-6; unit = suffix.substr(1); break;
+        case 'm': scale = 1e-3; unit = suffix.substr(1); break;
+        case 'k': scale = 1e3; unit = suffix.substr(1); break;
+        case 'g': scale = 1e9; unit = suffix.substr(1); break;
+        case 't': scale = 1e12; unit = suffix.substr(1); break;
+        default: break;  // no scale; the whole suffix must be a unit
       }
+    }
+    if (!is_unit_annotation(unit)) {
+      throw NetlistError("ambiguous number suffix '" + suffix + "' in '" +
+                         std::string(token) +
+                         "' (one scale factor plus an optional unit like "
+                         "'ohm', 'v', 'a', 'f', 'h', 'hz', 's')");
     }
   }
   return base * scale;
@@ -319,14 +390,21 @@ ParsedNetlist parse_netlist(std::string_view text) {
     double area;
     int line;
   };
+  struct PendingMosfet {
+    std::string name, drain, gate, source, model;
+    double wl;
+    int line;
+  };
   std::vector<PendingBjt> bjts;
   std::vector<PendingDiode> diodes;
+  std::vector<PendingMosfet> mosfets;
 
   // Analysis directives: .DC specs in deck order (first spec = innermost
   // axis), at most one .STEP (always the outermost axis), .PROBE exprs.
   std::vector<SweepAxis> dc_axes;
   std::optional<SweepAxis> step_axis;
   std::optional<TransientSpec> tran;
+  std::optional<AcSpec> ac;
   int analysis_line = 0;
 
   for (const auto& [line_text, lineno] : logical_lines(text)) {
@@ -461,6 +539,35 @@ ParsedNetlist parse_netlist(std::string_view text) {
       analysis_line = lineno;
       continue;
     }
+    if (head == ".AC") {
+      if (ac.has_value()) fail(lineno, "only one .AC directive per deck");
+      if (tokens.size() != 5) {
+        fail(lineno, ".AC needs <DEC|OCT|LIN> <points> <fstart> <fstop>");
+      }
+      AcSpec spec;
+      const std::string form = to_upper(tokens[1]);
+      if (form == "DEC") {
+        spec.spacing = AcSpec::Spacing::kDecade;
+      } else if (form == "OCT") {
+        spec.spacing = AcSpec::Spacing::kOctave;
+      } else if (form == "LIN") {
+        spec.spacing = AcSpec::Spacing::kLinear;
+      } else {
+        fail(lineno, ".AC: unknown sweep form '" + tokens[1] +
+                         "' (want DEC, OCT, or LIN)");
+      }
+      spec.points = static_cast<int>(parse_spice_number(tokens[2]));
+      spec.fstart = parse_spice_number(tokens[3]);
+      spec.fstop = parse_spice_number(tokens[4]);
+      try {
+        (void)spec.frequencies();  // validate now, with line context
+      } catch (const PlanError& e) {
+        fail(lineno, e.what());
+      }
+      ac = spec;
+      analysis_line = lineno;
+      continue;
+    }
     if (head == ".IC") {
       parse_node_value_pairs(tokens, lineno, ".IC", out.ics);
       continue;
@@ -486,6 +593,12 @@ ParsedNetlist parse_netlist(std::string_view text) {
         out.bjt_models[name] = parse_bjt_model(params, BjtModel::Type::kPnp);
       } else if (type == "D") {
         out.diode_models[name] = parse_diode_model(params);
+      } else if (type == "NMOS") {
+        out.mosfet_models[name] =
+            parse_mosfet_model(params, MosfetModel::Type::kNmos);
+      } else if (type == "PMOS") {
+        out.mosfet_models[name] =
+            parse_mosfet_model(params, MosfetModel::Type::kPmos);
       } else {
         fail(lineno, "unknown model type '" + type + "'");
       }
@@ -508,18 +621,31 @@ ParsedNetlist parse_netlist(std::string_view text) {
       }
       case 'V': {
         if (tokens.size() < 4) fail(lineno, "V: need name, 2 nodes, value");
-        const Waveform wf = parse_source_waveform(tokens, 3, lineno);
+        std::vector<std::string> value_tokens = tokens;
+        const SourceAcSpec acs = extract_source_ac(value_tokens, 3, lineno);
+        // A pure "V1 a b AC 1" stimulus source biases to DC 0.
+        const Waveform wf =
+            value_tokens.size() == 3
+                ? Waveform::dc(0.0)
+                : parse_source_waveform(value_tokens, 3, lineno);
         VoltageSource& v = c.add_vsource(tokens[0], c.node(tokens[1]),
                                          c.node(tokens[2]), wf.dc_value());
         if (wf.kind() != Waveform::Kind::kDc) v.set_waveform(wf);
+        if (acs.present) v.set_ac(acs.magnitude, acs.phase_deg);
         break;
       }
       case 'I': {
         if (tokens.size() < 4) fail(lineno, "I: need name, 2 nodes, value");
-        const Waveform wf = parse_source_waveform(tokens, 3, lineno);
+        std::vector<std::string> value_tokens = tokens;
+        const SourceAcSpec acs = extract_source_ac(value_tokens, 3, lineno);
+        const Waveform wf =
+            value_tokens.size() == 3
+                ? Waveform::dc(0.0)
+                : parse_source_waveform(value_tokens, 3, lineno);
         CurrentSource& src = c.add_isource(tokens[0], c.node(tokens[1]),
                                            c.node(tokens[2]), wf.dc_value());
         if (wf.kind() != Waveform::Kind::kDc) src.set_waveform(wf);
+        if (acs.present) src.set_ac(acs.magnitude, acs.phase_deg);
         break;
       }
       case 'C': {
@@ -562,6 +688,17 @@ ParsedNetlist parse_netlist(std::string_view text) {
         diodes.push_back({tokens[0], tokens[1], tokens[2],
                           to_upper(tokens[3]), param_or(params, "AREA", 1.0),
                           lineno});
+        break;
+      }
+      case 'M': {
+        if (tokens.size() < 5) {
+          fail(lineno, "M: need name, 3 nodes (d g s), model");
+        }
+        std::map<std::string, double> params;
+        if (tokens.size() > 5) params = parse_params(tokens, 5, lineno);
+        mosfets.push_back({tokens[0], tokens[1], tokens[2], tokens[3],
+                           to_upper(tokens[4]), param_or(params, "WL", 1.0),
+                           lineno});
         break;
       }
       case 'Q': {
@@ -626,11 +763,37 @@ ParsedNetlist parse_netlist(std::string_view text) {
       fail(q.line, e.what());
     }
   }
+  for (const auto& m : mosfets) {
+    auto it = out.mosfet_models.find(m.model);
+    if (it == out.mosfet_models.end()) {
+      fail(m.line, "MOSFET model '" + m.model + "' not defined");
+    }
+    try {
+      c.add_mosfet(m.name, c.node(m.drain), c.node(m.gate), c.node(m.source),
+                   it->second, m.wl);
+    } catch (const CircuitError& e) {
+      fail(m.line, e.what());
+    }
+  }
 
-  // Assemble the deck-described analysis: .TRAN stands alone; otherwise
-  // .STEP is always the outermost axis and within .DC the first spec is
-  // the innermost.
-  if (tran.has_value()) {
+  // Assemble the deck-described analysis: .TRAN and .AC stand alone;
+  // otherwise .STEP is always the outermost axis and within .DC the first
+  // spec is the innermost.
+  if (ac.has_value()) {
+    if (tran.has_value() || step_axis.has_value() || !dc_axes.empty()) {
+      fail(analysis_line,
+           "a deck cannot mix .AC with .TRAN/.DC/.STEP (one analysis per "
+           "deck)");
+    }
+    if (out.probes.empty()) {
+      fail(analysis_line, "deck has .AC but no .PROBE");
+    }
+    AnalysisPlan plan;
+    plan.name = "deck";
+    plan.ac = *ac;
+    plan.probes = out.probes;
+    out.plan = std::move(plan);
+  } else if (tran.has_value()) {
     if (step_axis.has_value() || !dc_axes.empty()) {
       fail(analysis_line,
            "a deck cannot mix .TRAN with .DC/.STEP (one analysis per deck)");

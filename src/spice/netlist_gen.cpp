@@ -33,7 +33,7 @@ void emit_header(std::ostringstream& os, const SyntheticNetlistSpec& spec) {
 void emit_ladder(std::ostringstream& os, const SyntheticNetlistSpec& spec,
                  Rng& rng) {
   const int n = spec.nodes;
-  os << "V1 n1 0 5\n";
+  os << "V1 n1 0 5" << (spec.ac_analysis ? " AC 1" : "") << "\n";
   for (int i = 1; i < n; ++i) {
     os << "RS" << i << " n" << i << " n" << (i + 1) << " "
        << fmt(rng.uniform(500.0, 2000.0)) << "\n";
@@ -63,7 +63,7 @@ void emit_mesh(std::ostringstream& os, const SyntheticNetlistSpec& spec,
   const int g = std::max(2, static_cast<int>(std::lround(
                                 std::sqrt(static_cast<double>(spec.nodes)))));
   auto node = [g](int r, int c) { return r * g + c + 1; };
-  os << "V1 drv 0 5\n";
+  os << "V1 drv 0 5" << (spec.ac_analysis ? " AC 1" : "") << "\n";
   os << "RDRV drv n1 " << fmt(rng.uniform(100.0, 300.0)) << "\n";
   for (int r = 0; r < g; ++r) {
     for (int c = 0; c < g; ++c) {
@@ -92,8 +92,8 @@ void emit_mesh(std::ostringstream& os, const SyntheticNetlistSpec& spec,
 void emit_rc_ladder(std::ostringstream& os, const SyntheticNetlistSpec& spec,
                     Rng& rng) {
   const int n = spec.nodes;
-  os << "V1 n1 0 PULSE(0 1.8 0 " << fmt(rc_ladder_tstop(spec) * 1e-3)
-     << ")\n";
+  os << "V1 n1 0 PULSE(0 1.8 0 " << fmt(rc_ladder_tstop(spec) * 1e-3) << ")"
+     << (spec.ac_analysis ? " AC 1" : "") << "\n";
   for (int i = 1; i < n; ++i) {
     os << "RS" << i << " n" << i << " n" << (i + 1) << " "
        << fmt(rng.uniform(800.0, 1200.0)) << "\n";
@@ -142,13 +142,24 @@ std::string generate_netlist(const SyntheticNetlistSpec& spec) {
     emit_ladder(os, spec, rng);
   }
   if (spec.with_analysis) {
-    if (spec.topology == SyntheticTopology::kRcLadder) {
+    if (spec.ac_analysis) {
+      // Sweep from well below the rc-ladder's slowest mode up to the
+      // per-stage pole (1/(2 pi R C) ~ 160 kHz at the nominal 1 kOhm /
+      // 1 nF). Stopping there keeps the far node's magnitude finite in
+      // dB even for hundreds of cascaded stages (the attenuation compounds
+      // per stage); purely resistive topologies are flat but exercise the
+      // same machinery.
+      os << ".AC DEC 10 10 100K\n";
+      os << ".PROBE VDB(" << generated_probe_node(spec) << ") VP("
+         << generated_probe_node(spec) << ")\n";
+    } else if (spec.topology == SyntheticTopology::kRcLadder) {
       const double tstop = rc_ladder_tstop(spec);
       os << ".TRAN " << fmt(tstop / 200.0) << ' ' << fmt(tstop) << "\n";
+      os << ".PROBE V(" << generated_probe_node(spec) << ") I(V1)\n";
     } else {
       os << ".DC V1 3 6 0.5\n";
+      os << ".PROBE V(" << generated_probe_node(spec) << ") I(V1)\n";
     }
-    os << ".PROBE V(" << generated_probe_node(spec) << ") I(V1)\n";
   }
   os << ".END\n";
   return os.str();

@@ -30,10 +30,11 @@ Probe Probe::constant(double value) {
   return p;
 }
 
-Probe Probe::node_voltage(std::string node) {
+Probe Probe::node_voltage(std::string node, std::string node2) {
   Probe p;
   p.kind_ = Kind::kNodeVoltage;
   p.target_ = std::move(node);
+  p.target2_ = std::move(node2);
   return p;
 }
 
@@ -49,6 +50,16 @@ Probe Probe::bjt_current(std::string device, BjtTerminal terminal) {
   p.kind_ = Kind::kBjtCurrent;
   p.target_ = std::move(device);
   p.terminal_ = terminal;
+  return p;
+}
+
+Probe Probe::ac_voltage(AcQuantity quantity, std::string node,
+                        std::string node2) {
+  Probe p;
+  p.kind_ = Kind::kAcVoltage;
+  p.quantity_ = quantity;
+  p.target_ = std::move(node);
+  p.target2_ = std::move(node2);
   return p;
 }
 
@@ -137,6 +148,29 @@ const char* bjt_terminal_name(Probe::BjtTerminal t) {
   return "IC";  // unreachable
 }
 
+const char* ac_quantity_name(Probe::AcQuantity q) {
+  switch (q) {
+    case Probe::AcQuantity::kMagnitude: return "VM";
+    case Probe::AcQuantity::kDb: return "VDB";
+    case Probe::AcQuantity::kPhaseDeg: return "VP";
+    case Probe::AcQuantity::kReal: return "VR";
+    case Probe::AcQuantity::kImag: return "VI";
+  }
+  return "VM";  // unreachable
+}
+
+/// Scalarise a node phasor for one AC probe quantity.
+double ac_quantity_value(Probe::AcQuantity q, const linalg::Complex& v) {
+  switch (q) {
+    case Probe::AcQuantity::kMagnitude: return std::abs(v);
+    case Probe::AcQuantity::kDb: return 20.0 * std::log10(std::abs(v));
+    case Probe::AcQuantity::kPhaseDeg: return std::arg(v) * 180.0 / M_PI;
+    case Probe::AcQuantity::kReal: return v.real();
+    case Probe::AcQuantity::kImag: return v.imag();
+  }
+  return 0.0;  // unreachable
+}
+
 char op_char(Probe::Op op) {
   switch (op) {
     case Probe::Op::kAdd: return '+';
@@ -170,7 +204,13 @@ double Probe::eval(const Circuit& circuit, const Unknowns& x) const {
       if (n < 0) {
         throw CircuitError("V(" + target_ + "): no node with that name");
       }
-      return x.node_voltage(n);
+      if (target2_.empty()) return x.node_voltage(n);
+      const NodeId n2 = circuit.find_node(target2_);
+      if (n2 < 0) {
+        throw CircuitError("V(" + target_ + "," + target2_ +
+                           "): no node named '" + target2_ + "'");
+      }
+      return x.node_voltage(n) - x.node_voltage(n2);
     }
     case Kind::kBranchCurrent: {
       const Device* d = circuit.find(target_);
@@ -181,6 +221,10 @@ double Probe::eval(const Circuit& circuit, const Unknowns& x) const {
     }
     case Kind::kBjtCurrent:
       return bjt_terminal_current(circuit.get<Bjt>(target_), terminal_, x);
+    case Kind::kAcVoltage:
+      throw PlanError(to_string() +
+                      ": AC probes have no value at a DC operating point "
+                      "(run them through an .AC analysis)");
     case Kind::kExpression: {
       const double a = lhs().eval(circuit, x);
       const double b = rhs().eval(circuit, x);
@@ -201,11 +245,14 @@ std::string Probe::to_string() const {
     case Kind::kConstant:
       return format_double_roundtrip(value_);
     case Kind::kNodeVoltage:
-      return "V(" + target_ + ")";
+      return "V(" + target_ + (target2_.empty() ? "" : "," + target2_) + ")";
     case Kind::kBranchCurrent:
       return "I(" + target_ + ")";
     case Kind::kBjtCurrent:
       return std::string(bjt_terminal_name(terminal_)) + "(" + target_ + ")";
+    case Kind::kAcVoltage:
+      return std::string(ac_quantity_name(quantity_)) + "(" + target_ +
+             (target2_.empty() ? "" : "," + target2_) + ")";
     case Kind::kExpression:
       return "(" + lhs().to_string() + op_char(op_) + rhs().to_string() + ")";
   }
@@ -345,16 +392,33 @@ class ProbeParser {
     if (!consume('(')) fail("expected '(' after '" + ident + "'");
     std::string name = atom_name();
     if (ident == "V") {
-      if (consume(',')) {
-        // V(a,b): differential voltage.
-        std::string second = atom_name();
-        if (!consume(')')) fail("expected ')'");
-        return Probe::expression(Probe::Op::kSub,
-                                 Probe::node_voltage(std::move(name)),
-                                 Probe::node_voltage(std::move(second)));
-      }
+      // V(a,b) stays one typed pair (NOT sugar for V(a)-V(b)): in an .AC
+      // analysis the pair reads the differential phasor's magnitude
+      // |V(a)-V(b)|, which real subtraction of two magnitudes cannot
+      // express.
+      std::string second;
+      if (consume(',')) second = atom_name();
       if (!consume(')')) fail("expected ')'");
-      return Probe::node_voltage(std::move(name));
+      return Probe::node_voltage(std::move(name), std::move(second));
+    }
+    // AC phasor probes keep an optional second node *inside* the atom:
+    // VDB(a,b) is the dB magnitude of the differential phasor, which does
+    // not desugar to real arithmetic the way V(a,b) does.
+    const auto ac_quantity =
+        [&]() -> std::optional<Probe::AcQuantity> {
+      if (ident == "VM") return Probe::AcQuantity::kMagnitude;
+      if (ident == "VDB") return Probe::AcQuantity::kDb;
+      if (ident == "VP") return Probe::AcQuantity::kPhaseDeg;
+      if (ident == "VR") return Probe::AcQuantity::kReal;
+      if (ident == "VI") return Probe::AcQuantity::kImag;
+      return std::nullopt;
+    }();
+    if (ac_quantity.has_value()) {
+      std::string second;
+      if (consume(',')) second = atom_name();
+      if (!consume(')')) fail("expected ')'");
+      return Probe::ac_voltage(*ac_quantity, std::move(name),
+                               std::move(second));
     }
     if (!consume(')')) fail("expected ')'");
     if (ident == "I") return Probe::branch_current(std::move(name));
@@ -450,6 +514,39 @@ std::vector<double> SweepGrid::points() const {
       return logspace_decades(first_, last_, n_);
     case Spacing::kList:
       return values_;
+  }
+  return {};  // unreachable
+}
+
+// --------------------------------------------------------------- AcSpec ---
+
+std::vector<double> AcSpec::frequencies() const {
+  if (points < 1) throw PlanError("AcSpec: need at least one point");
+  // f = 0 is the DC operating point, not an AC point: a zero (or
+  // negative) frequency in any grid shape is a spec error, same as SPICE.
+  if (!(fstart > 0.0)) throw PlanError("AcSpec: need fstart > 0");
+  if (!(fstop >= fstart)) throw PlanError("AcSpec: need fstop >= fstart");
+  switch (spacing) {
+    case Spacing::kLinear: {
+      if (points == 1 || fstop == fstart) return {fstart};
+      return linspace(fstart, fstop, points);
+    }
+    case Spacing::kDecade:
+    case Spacing::kOctave: {
+      // f_k = fstart * base^(k / points) up to fstop, endpoint included
+      // within one part in 1e9 (the SPICE DEC/OCT stepping rule).
+      const double base = spacing == Spacing::kDecade ? 10.0 : 2.0;
+      const double step =
+          std::pow(base, 1.0 / static_cast<double>(points));
+      std::vector<double> out;
+      double f = fstart;
+      while (f <= fstop * (1.0 + 1e-9)) {
+        out.push_back(std::min(f, fstop));
+        f *= step;
+      }
+      if (out.empty()) out.push_back(fstart);
+      return out;
+    }
   }
   return {};  // unreachable
 }
@@ -627,6 +724,7 @@ struct ProbeInstr {
     kNode,
     kBranch,  ///< dispatch resolved at compile time via `sub`
     kBjt,
+    kAcNode,  ///< AC domain: scalarised (differential) node phasor
     kAdd,
     kSub,
     kMul,
@@ -636,9 +734,12 @@ struct ProbeInstr {
   Code code = Code::kConst;
   double value = 0.0;
   NodeId node = kGround;
+  /// kNode / kAcNode differential reference (0 = ground / single-ended).
+  NodeId node2 = kGround;
   const Device* dev = nullptr;
   BranchKind sub = BranchKind::kVsource;
   Probe::BjtTerminal terminal = Probe::BjtTerminal::kCollector;
+  Probe::AcQuantity quantity = Probe::AcQuantity::kMagnitude;
 };
 
 /// A probe compiled against one circuit: a postfix program plus the stack
@@ -648,7 +749,18 @@ struct CompiledProbe {
   std::size_t max_depth = 0;
 };
 
-void compile_into(const Probe& p, const Circuit& circuit,
+/// Node lookup shared by the DC and AC leaf compilers.
+NodeId resolve_node(const Circuit& circuit, const std::string& name,
+                    const char* what) {
+  const NodeId n = circuit.find_node(name);
+  if (n < 0) {
+    throw CircuitError(std::string(what) + "(" + name +
+                       "): no node with that name");
+  }
+  return n;
+}
+
+void compile_into(const Probe& p, const Circuit& circuit, ProbeDomain domain,
                   std::vector<ProbeInstr>& out, std::size_t& depth,
                   std::size_t& max_depth) {
   switch (p.kind()) {
@@ -661,18 +773,30 @@ void compile_into(const Probe& p, const Circuit& circuit,
       return;
     }
     case Probe::Kind::kNodeVoltage: {
-      const NodeId n = circuit.find_node(p.target());
-      if (n < 0) {
-        throw CircuitError("V(" + p.target() + "): no node with that name");
-      }
       ProbeInstr i;
-      i.code = ProbeInstr::Code::kNode;
-      i.node = n;
+      i.node = resolve_node(circuit, p.target(), "V");
+      i.node2 = p.target2().empty()
+                    ? kGround
+                    : resolve_node(circuit, p.target2(), "V");
+      if (domain == ProbeDomain::kAc) {
+        // A bare V(node) in an AC analysis reads the phasor magnitude
+        // (the SPICE .PRINT AC convention); V(a,b) the differential
+        // phasor's magnitude |V(a)-V(b)|.
+        i.code = ProbeInstr::Code::kAcNode;
+        i.quantity = Probe::AcQuantity::kMagnitude;
+      } else {
+        i.code = ProbeInstr::Code::kNode;
+      }
       out.push_back(i);
       max_depth = std::max(max_depth, ++depth);
       return;
     }
     case Probe::Kind::kBranchCurrent: {
+      if (domain == ProbeDomain::kAc) {
+        throw PlanError("I(" + p.target() +
+                        "): branch-current probes are not available in an "
+                        ".AC analysis (probe V/VM/VDB/VP quantities)");
+      }
       const Device* d = circuit.find(p.target());
       if (d == nullptr) {
         throw CircuitError("I(" + p.target() + "): no device with that name");
@@ -692,6 +816,12 @@ void compile_into(const Probe& p, const Circuit& circuit,
       return;
     }
     case Probe::Kind::kBjtCurrent: {
+      if (domain == ProbeDomain::kAc) {
+        throw PlanError(std::string(bjt_terminal_name(p.terminal())) + "(" +
+                        p.target() +
+                        "): BJT terminal probes are not available in an "
+                        ".AC analysis");
+      }
       ProbeInstr i;
       i.code = ProbeInstr::Code::kBjt;
       i.dev = &circuit.get<Bjt>(p.target());
@@ -700,9 +830,28 @@ void compile_into(const Probe& p, const Circuit& circuit,
       max_depth = std::max(max_depth, ++depth);
       return;
     }
+    case Probe::Kind::kAcVoltage: {
+      if (domain != ProbeDomain::kAc) {
+        throw PlanError(p.to_string() +
+                        ": AC probes have no value at a DC operating point "
+                        "(run them through an .AC analysis)");
+      }
+      ProbeInstr i;
+      i.code = ProbeInstr::Code::kAcNode;
+      i.quantity = p.ac_quantity();
+      i.node = resolve_node(circuit, p.target(),
+                            ac_quantity_name(p.ac_quantity()));
+      i.node2 = p.target2().empty()
+                    ? kGround
+                    : resolve_node(circuit, p.target2(),
+                                   ac_quantity_name(p.ac_quantity()));
+      out.push_back(i);
+      max_depth = std::max(max_depth, ++depth);
+      return;
+    }
     case Probe::Kind::kExpression: {
-      compile_into(p.lhs(), circuit, out, depth, max_depth);
-      compile_into(p.rhs(), circuit, out, depth, max_depth);
+      compile_into(p.lhs(), circuit, domain, out, depth, max_depth);
+      compile_into(p.rhs(), circuit, domain, out, depth, max_depth);
       ProbeInstr i;
       switch (p.op()) {
         case Probe::Op::kAdd: i.code = ProbeInstr::Code::kAdd; break;
@@ -717,30 +866,32 @@ void compile_into(const Probe& p, const Circuit& circuit,
   }
 }
 
-CompiledProbe compile_probe(const Probe& p, const Circuit& circuit) {
+CompiledProbe compile_probe(const Probe& p, const Circuit& circuit,
+                            ProbeDomain domain = ProbeDomain::kDc) {
   CompiledProbe c;
   std::size_t depth = 0;
-  compile_into(p, circuit, c.program, depth, c.max_depth);
+  compile_into(p, circuit, domain, c.program, depth, c.max_depth);
   return c;
 }
 
-double eval_compiled(const CompiledProbe& probe, const Unknowns& x,
-                     std::vector<double>& stack) {
+/// Phasor of unknown index (node - 1); ground reads 0.
+linalg::Complex ac_node_phasor(const linalg::ComplexVector& x, NodeId n) {
+  return n == kGround ? linalg::Complex{}
+                      : x[static_cast<std::size_t>(n - 1)];
+}
+
+/// The ONE postfix interpreter both evaluation domains share: constants
+/// and the four operators are common; every other opcode is a leaf handed
+/// to `leaf(instr)` (the compile-time domain check guarantees only that
+/// domain's leaves appear in the program).
+template <typename LeafFn>
+double run_probe_program(const CompiledProbe& probe,
+                         std::vector<double>& stack, LeafFn&& leaf) {
   std::size_t sp = 0;
   for (const ProbeInstr& i : probe.program) {
     switch (i.code) {
       case ProbeInstr::Code::kConst:
         stack[sp++] = i.value;
-        break;
-      case ProbeInstr::Code::kNode:
-        stack[sp++] = x.node_voltage(i.node);
-        break;
-      case ProbeInstr::Code::kBranch:
-        stack[sp++] = branch_current_of(i.sub, *i.dev, x);
-        break;
-      case ProbeInstr::Code::kBjt:
-        stack[sp++] = bjt_terminal_current(*static_cast<const Bjt*>(i.dev),
-                                           i.terminal, x);
         break;
       case ProbeInstr::Code::kAdd:
         --sp;
@@ -758,9 +909,43 @@ double eval_compiled(const CompiledProbe& probe, const Unknowns& x,
         --sp;
         stack[sp - 1] /= stack[sp];
         break;
+      default:
+        stack[sp++] = leaf(i);
+        break;
     }
   }
   return stack[0];
+}
+
+double eval_compiled(const CompiledProbe& probe, const Unknowns& x,
+                     std::vector<double>& stack) {
+  return run_probe_program(probe, stack, [&x](const ProbeInstr& i) {
+    switch (i.code) {
+      case ProbeInstr::Code::kNode:
+        return x.node_voltage(i.node) - x.node_voltage(i.node2);
+      case ProbeInstr::Code::kBranch:
+        return branch_current_of(i.sub, *i.dev, x);
+      case ProbeInstr::Code::kBjt:
+        return bjt_terminal_current(*static_cast<const Bjt*>(i.dev),
+                                    i.terminal, x);
+      default:
+        // kAcNode is unreachable: kDc compilation rejects AC leaves.
+        return 0.0;
+    }
+  });
+}
+
+/// AC-domain twin of eval_compiled: leaves read (differential) node
+/// phasors out of the complex solution and scalarise them; arithmetic is
+/// real as usual.
+double eval_compiled_ac(const CompiledProbe& probe,
+                        const linalg::ComplexVector& x,
+                        std::vector<double>& stack) {
+  return run_probe_program(probe, stack, [&x](const ProbeInstr& i) {
+    // kAcNode is the only leaf a kAc compilation emits.
+    return ac_quantity_value(
+        i.quantity, ac_node_phasor(x, i.node) - ac_node_phasor(x, i.node2));
+  });
 }
 
 /// Everything one executor (the session itself or a per-thread clone)
@@ -850,12 +1035,12 @@ struct CompiledProbeSet::Impl {
 };
 
 CompiledProbeSet::CompiledProbeSet(const std::vector<Probe>& probes,
-                                   const Circuit& circuit)
+                                   const Circuit& circuit, ProbeDomain domain)
     : impl_(std::make_unique<Impl>()) {
   impl_->probes.reserve(probes.size());
   std::size_t max_depth = 1;
   for (const Probe& p : probes) {
-    impl_->probes.push_back(compile_probe(p, circuit));
+    impl_->probes.push_back(compile_probe(p, circuit, domain));
     max_depth = std::max(max_depth, impl_->probes.back().max_depth);
   }
   impl_->stack.assign(max_depth, 0.0);
@@ -872,6 +1057,103 @@ std::size_t CompiledProbeSet::size() const noexcept {
 
 double CompiledProbeSet::eval(std::size_t i, const Unknowns& x) const {
   return eval_compiled(impl_->probes.at(i), x, impl_->stack);
+}
+
+double CompiledProbeSet::eval_ac(std::size_t i,
+                                 const linalg::ComplexVector& x) const {
+  return eval_compiled_ac(impl_->probes.at(i), x, impl_->stack);
+}
+
+SweepResult SimSession::run_ac(const AnalysisPlan& plan) {
+  const std::vector<double> freqs = plan.ac->frequencies();
+
+  SweepResult out;
+  out.axis_labels_ = {"FREQ"};
+  out.inner_ = freqs;
+  out.rows_ = freqs.size();
+  for (const Probe& p : plan.probes) {
+    out.probe_labels_.push_back(p.to_string());
+  }
+  out.columns_.resize(plan.probes.size());
+  for (auto& col : out.columns_) col.resize(out.rows_);
+
+  // One committed operating point serves the whole sweep. The plan path
+  // always SOLVES it -- a live warm-start seed (.NODESET hints, an
+  // analytic guess) is a starting point for Newton here, never a
+  // substitute for convergence. Solving once up front also pins the copy
+  // the parallel workers inherit verbatim, so every thread count
+  // linearises about the same bits. (SimSession::solve_ac alone is the
+  // low-level hook that accepts a seeded vector as the OP directly; the
+  // workers below use exactly that to inherit this op.)
+  (void)solve_or_throw();
+  const Unknowns op = result_.solution;
+
+  unsigned threads = plan.threads;
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  threads = std::min<unsigned>(threads, static_cast<unsigned>(freqs.size()));
+
+  if (threads <= 1) {
+    // Re-pin the session's cached sparse analysis to THIS plan's first
+    // frequency. A previous solve_ac (or a run over a different grid)
+    // may have pinned it elsewhere, and the parallel path's fresh
+    // workers always prime at freqs.front() -- without the re-pin the
+    // serial and parallel factorisations could use different pivot
+    // orders and the thread-count bit-identity promise would break.
+    ac_prime_omega_ = 2.0 * M_PI * freqs.front();
+    ac_pinned_analysis_ = -1;  // any live analysis re-pins on first use
+    const CompiledProbeSet probes(plan.probes, *circuit_, ProbeDomain::kAc);
+    for (std::size_t i = 0; i < freqs.size(); ++i) {
+      const linalg::ComplexVector& xac = solve_ac(2.0 * M_PI * freqs[i]);
+      for (std::size_t p = 0; p < probes.size(); ++p) {
+        out.columns_[p][i] = probes.eval_ac(p, xac);
+      }
+    }
+    return out;
+  }
+
+  // Parallel frequency fanout over per-thread circuit clones. Every point
+  // is an independent linear solve about the shared OP, so workers pull
+  // indices from a counter and write their own preallocated slots.
+  // Bit-identity for any thread count needs two pins: the OP is the
+  // parent's (seeded, never re-solved), and every worker primes its
+  // sparse symbolic analysis at the sweep's FIRST frequency -- otherwise
+  // the threshold pivoting would run at whichever point a worker happened
+  // to draw first and the factor could differ across schedules.
+  NewtonOptions worker_options = plan.options;
+  worker_options.sparse =
+      use_sparse_ ? SparseMode::kSparse : SparseMode::kDense;
+  std::atomic<std::size_t> next{0};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  auto worker = [&]() {
+    try {
+      Circuit clone = circuit_->clone();
+      SimSession session(clone, worker_options);
+      session.seed_warm_start(op);
+      const CompiledProbeSet probes(plan.probes, clone, ProbeDomain::kAc);
+      (void)session.solve_ac(2.0 * M_PI * freqs.front());  // prime analysis
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= freqs.size()) break;
+        const linalg::ComplexVector& xac =
+            session.solve_ac(2.0 * M_PI * freqs[i]);
+        for (std::size_t p = 0; p < probes.size(); ++p) {
+          out.columns_[p][i] = probes.eval_ac(p, xac);
+        }
+      }
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(error_mutex);
+      if (!first_error) first_error = std::current_exception();
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+  return out;
 }
 
 Series SimSession::sweep(const SweepAxis& axis, const SweepProbe& probe,
@@ -891,6 +1173,11 @@ SweepResult SimSession::run(const AnalysisPlan& plan) {
   } guard{this, options_};
   options_ = plan.options;
 
+  if (plan.transient.has_value() && plan.ac.has_value()) {
+    throw PlanError(plan.name +
+                    ": a plan carries either a transient or an AC spec, "
+                    "not both");
+  }
   if (plan.transient.has_value()) {
     if (!plan.axes.empty()) {
       throw PlanError(plan.name +
@@ -901,6 +1188,16 @@ SweepResult SimSession::run(const AnalysisPlan& plan) {
     }
     TransientSolver solver(*this, *plan.transient);
     return solver.run(plan.probes);
+  }
+  if (plan.ac.has_value()) {
+    if (!plan.axes.empty()) {
+      throw PlanError(plan.name +
+                      ": an AC plan cannot also carry sweep axes");
+    }
+    if (plan.probes.empty()) {
+      throw PlanError(plan.name + ": plan needs at least one probe");
+    }
+    return run_ac(plan);
   }
   if (plan.axes.empty()) {
     throw PlanError(plan.name + ": plan needs at least one sweep axis");

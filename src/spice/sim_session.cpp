@@ -57,6 +57,15 @@ void SimSession::rebind() {
     a_.resize(n, n);
   }
 
+  // Release the complex AC engine; the next solve_ac() rebuilds it at the
+  // new size (and re-discovers the sparse pattern).
+  ac_ready_ = false;
+  ca_ = linalg::ComplexMatrix();
+  cb_ = linalg::ComplexVector();
+  clu_ = linalg::ComplexLuFactorization();
+  csa_ = linalg::ComplexSparseMatrix();
+  cslu_ = linalg::ComplexSparseLuFactorization();
+
   vsources_.clear();
   isources_.clear();
   for (const auto& dev : circuit_->devices()) {
@@ -245,6 +254,80 @@ const DcResult& SimSession::solve(const Unknowns* initial) {
   }
 
   return result_;  // converged == false
+}
+
+const linalg::ComplexVector& SimSession::solve_ac(double omega) {
+  if (circuit_->devices().size() != bound_device_count_) {
+    throw CircuitError("SimSession: circuit topology changed; call rebind()");
+  }
+  // The small-signal system linearises about a committed operating point:
+  // the last converged solution, a seeded warm start (the parallel AC
+  // sweep workers' path -- they inherit the parent's OP verbatim so every
+  // thread count produces bit-identical phasors), or a fresh OP solve.
+  if (!have_last_) (void)solve_or_throw();
+  const Unknowns& op = result_.solution;
+
+  const auto n = static_cast<std::size_t>(n_unknowns_);
+  if (!ac_ready_) {
+    cb_.assign(n, linalg::Complex{});
+    if (use_sparse_) {
+      // Pattern discovery, mirroring the real engine: one stamp_ac pass
+      // registers every slot (zero values included), gmin diagonal too.
+      csa_.resize(n, n);
+      AcStamper st(csa_, cb_, node_unknowns_, omega);
+      for (const auto& dev : circuit_->devices()) dev->stamp_ac(st, op);
+      for (int i = 0; i < node_unknowns_; ++i) {
+        st.add_entry(i, i, linalg::Complex{});
+      }
+      csa_.freeze_pattern();
+      std::fill(cb_.begin(), cb_.end(), linalg::Complex{});
+    } else {
+      ca_.resize(n, n);
+    }
+    ac_ready_ = true;
+  }
+
+  const auto stamp_at = [&](double w) {
+    linalg::ComplexMatrixView a = use_sparse_
+                                      ? linalg::ComplexMatrixView(csa_)
+                                      : linalg::ComplexMatrixView(ca_);
+    a.fill(linalg::Complex{});
+    std::fill(cb_.begin(), cb_.end(), linalg::Complex{});
+    AcStamper st(a, cb_, node_unknowns_, w);
+    for (const auto& dev : circuit_->devices()) dev->stamp_ac(st, op);
+    for (int i = 0; i < node_unknowns_; ++i) {
+      st.add_entry(i, i, linalg::Complex(options_.gmin_floor));
+    }
+  };
+
+  if (use_sparse_) {
+    // Bit-identity discipline: the cached symbolic analysis belongs to
+    // the first stamped frequency (the sweep's prime). If a previous
+    // point's refactor collapsed the frozen pivots and re-analysed at
+    // its own frequency, re-pin a fresh analysis at the prime before
+    // this point -- every point's factorisation then depends only on
+    // (op, omega, prime omega), never on sweep order or which parallel
+    // worker tripped the collapse.
+    const bool primed = cslu_.analysis_count() > 0;
+    if (primed && cslu_.analysis_count() != ac_pinned_analysis_) {
+      cslu_.invalidate_analysis();
+      stamp_at(ac_prime_omega_);
+      cslu_.refactor(csa_);
+      ac_pinned_analysis_ = cslu_.analysis_count();
+    }
+    stamp_at(omega);
+    cslu_.refactor(csa_);
+    if (!primed) {
+      ac_prime_omega_ = omega;
+      ac_pinned_analysis_ = cslu_.analysis_count();
+    }
+    cslu_.solve_in_place(cb_);
+  } else {
+    stamp_at(omega);
+    clu_.refactor(ca_);
+    clu_.solve_in_place(cb_);
+  }
+  return cb_;
 }
 
 const Unknowns& SimSession::solve_or_throw(const Unknowns* initial) {

@@ -4,7 +4,9 @@
 
 namespace icvbe::spice {
 
-Stamper::Stamper(linalg::MatrixView a, linalg::Vector& b, int node_unknowns)
+template <typename Scalar>
+StamperT<Scalar>::StamperT(linalg::MatrixViewT<Scalar> a,
+                           linalg::VectorT<Scalar>& b, int node_unknowns)
     : a_(a), b_(b), node_unknowns_(node_unknowns) {
   ICVBE_REQUIRE(a_.rows() == a_.cols() && a_.rows() == b.size(),
                 "Stamper: inconsistent system dimensions");
@@ -13,17 +15,20 @@ Stamper::Stamper(linalg::MatrixView a, linalg::Vector& b, int node_unknowns)
                 "Stamper: bad node unknown count");
 }
 
-void Stamper::add_entry(int row, int col, double v) {
+template <typename Scalar>
+void StamperT<Scalar>::add_entry(int row, int col, Scalar v) {
   if (row < 0 || col < 0) return;  // ground row/column is eliminated
   a_.add(static_cast<std::size_t>(row), static_cast<std::size_t>(col), v);
 }
 
-void Stamper::add_rhs(int row, double v) {
+template <typename Scalar>
+void StamperT<Scalar>::add_rhs(int row, Scalar v) {
   if (row < 0) return;
   b_[static_cast<std::size_t>(row)] += v;
 }
 
-void Stamper::add_conductance(NodeId a, NodeId b, double g) {
+template <typename Scalar>
+void StamperT<Scalar>::add_conductance(NodeId a, NodeId b, Scalar g) {
   const int ia = node_index(a);
   const int ib = node_index(b);
   add_entry(ia, ia, g);
@@ -32,19 +37,24 @@ void Stamper::add_conductance(NodeId a, NodeId b, double g) {
   add_entry(ib, ia, -g);
 }
 
-void Stamper::add_current_into(NodeId n, double j) {
+template <typename Scalar>
+void StamperT<Scalar>::add_current_into(NodeId n, Scalar j) {
   add_rhs(node_index(n), j);
 }
 
-void Stamper::stamp_companion(NodeId p, NodeId m, double g, double ieq) {
+template <typename Scalar>
+void StamperT<Scalar>::stamp_companion(NodeId p, NodeId m, Scalar g,
+                                       Scalar ieq) {
   add_conductance(p, m, g);
   // ieq flows p -> m: extract it from p's injection, add to m's.
   add_rhs(node_index(p), -ieq);
   add_rhs(node_index(m), ieq);
 }
 
-void Stamper::add_transconductance(NodeId out_p, NodeId out_m, NodeId in_p,
-                                   NodeId in_m, double gm) {
+template <typename Scalar>
+void StamperT<Scalar>::add_transconductance(NodeId out_p, NodeId out_m,
+                                            NodeId in_p, NodeId in_m,
+                                            Scalar gm) {
   const int op = node_index(out_p);
   const int om = node_index(out_m);
   const int ip = node_index(in_p);
@@ -54,5 +64,8 @@ void Stamper::add_transconductance(NodeId out_p, NodeId out_m, NodeId in_p,
   add_entry(om, ip, -gm);
   add_entry(om, im, gm);
 }
+
+template class StamperT<double>;
+template class StamperT<linalg::Complex>;
 
 }  // namespace icvbe::spice

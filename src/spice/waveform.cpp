@@ -68,6 +68,20 @@ Waveform Waveform::pwl(std::vector<std::pair<double, double>> points) {
   return w;
 }
 
+double Waveform::dc_value() const {
+  switch (kind_) {
+    case Kind::kDc:
+      return p_[0];
+    case Kind::kPulse:
+      return p_[0];  // v1, the pre-delay level
+    case Kind::kSin:
+      return p_[0];  // vo, the offset
+    case Kind::kPwl:
+      return points_.front().second;  // first knot's value
+  }
+  return 0.0;  // unreachable
+}
+
 double Waveform::value_at(double t) const {
   if (t < 0.0) t = 0.0;
   switch (kind_) {

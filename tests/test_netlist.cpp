@@ -30,14 +30,43 @@ TEST(SpiceNumber, EngineeringSuffixes) {
   EXPECT_DOUBLE_EQ(parse_spice_number("1t"), 1e12);
 }
 
+TEST(SpiceNumber, SuffixesAreCaseInsensitiveBySpellingNotCase) {
+  // MEG is mega and M is milli by SPELLING; case never changes meaning.
+  EXPECT_DOUBLE_EQ(parse_spice_number("10MEG"), 1e7);
+  EXPECT_DOUBLE_EQ(parse_spice_number("10Meg"), 1e7);
+  EXPECT_DOUBLE_EQ(parse_spice_number("10meg"), 1e7);
+  EXPECT_DOUBLE_EQ(parse_spice_number("10M"), 10e-3);
+  EXPECT_DOUBLE_EQ(parse_spice_number("10m"), 10e-3);
+  EXPECT_DOUBLE_EQ(parse_spice_number("2.5K"), 2500.0);
+  EXPECT_DOUBLE_EQ(parse_spice_number("47U"), 47e-6);
+  EXPECT_DOUBLE_EQ(parse_spice_number("1N"), 1e-9);
+}
+
 TEST(SpiceNumber, UnitAnnotationsIgnored) {
   EXPECT_DOUBLE_EQ(parse_spice_number("5v"), 5.0);
+  EXPECT_DOUBLE_EQ(parse_spice_number("5V"), 5.0);
   EXPECT_DOUBLE_EQ(parse_spice_number("2.5kohm"), 2500.0);
+  EXPECT_DOUBLE_EQ(parse_spice_number("2.5KOhm"), 2500.0);
+  EXPECT_DOUBLE_EQ(parse_spice_number("10uF"), 10e-6);
+  EXPECT_DOUBLE_EQ(parse_spice_number("100nH"), 100e-9);
+  EXPECT_DOUBLE_EQ(parse_spice_number("3kHz"), 3000.0);
+  EXPECT_DOUBLE_EQ(parse_spice_number("2.2megohm"), 2.2e6);
+  EXPECT_DOUBLE_EQ(parse_spice_number("1ms"), 1e-3);
 }
 
 TEST(SpiceNumber, RejectsGarbage) {
   EXPECT_THROW((void)parse_spice_number("abc"), NetlistError);
   EXPECT_THROW((void)parse_spice_number(""), NetlistError);
+}
+
+TEST(SpiceNumber, RejectsAmbiguousTrailingSuffixes) {
+  // A second scale factor after the first is ambiguous garbage, not a
+  // unit ("10kk" used to silently parse as 10k).
+  EXPECT_THROW((void)parse_spice_number("10kk"), NetlistError);
+  EXPECT_THROW((void)parse_spice_number("10megmeg"), NetlistError);
+  EXPECT_THROW((void)parse_spice_number("10km"), NetlistError);
+  EXPECT_THROW((void)parse_spice_number("5x"), NetlistError);
+  EXPECT_THROW((void)parse_spice_number("1kbogus"), NetlistError);
 }
 
 TEST(NetlistParser, ResistorDividerSolves) {

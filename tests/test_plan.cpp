@@ -66,8 +66,14 @@ TEST(ProbeTest, ParseToStringRoundTrip) {
 TEST(ProbeTest, ParsePrecedenceAndSugar) {
   // * binds tighter than +.
   EXPECT_EQ(parse_probe("V(a)+V(b)*2").to_string(), "(V(a)+(V(b)*2))");
-  // V(a,b) is differential-voltage sugar.
-  EXPECT_EQ(parse_probe("V(a,b)").to_string(), "(V(a)-V(b))");
+  // V(a,b) stays one typed differential pair (NOT expression sugar: in an
+  // .AC analysis it must read |V(a)-V(b)|, which real subtraction of two
+  // magnitudes cannot express).
+  const Probe diff = parse_probe("V(a,b)");
+  EXPECT_EQ(diff.kind(), Probe::Kind::kNodeVoltage);
+  EXPECT_EQ(diff.target(), "a");
+  EXPECT_EQ(diff.target2(), "b");
+  EXPECT_EQ(diff.to_string(), "V(a,b)");
   // SPICE number suffixes work inside expressions.
   EXPECT_EQ(parse_probe("2.5k").value(), 2500.0);
   // Unary minus folds into constants.

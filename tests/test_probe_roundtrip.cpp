@@ -32,6 +32,9 @@ void expect_same_probe(const Probe& a, const Probe& b,
       EXPECT_EQ(a.value(), b.value()) << context;
       break;
     case Probe::Kind::kNodeVoltage:
+      EXPECT_EQ(a.target(), b.target()) << context;
+      EXPECT_EQ(a.target2(), b.target2()) << context;
+      break;
     case Probe::Kind::kBranchCurrent:
       EXPECT_EQ(a.target(), b.target()) << context;
       break;
@@ -39,6 +42,13 @@ void expect_same_probe(const Probe& a, const Probe& b,
       EXPECT_EQ(a.target(), b.target()) << context;
       EXPECT_EQ(static_cast<int>(a.terminal()),
                 static_cast<int>(b.terminal()))
+          << context;
+      break;
+    case Probe::Kind::kAcVoltage:
+      EXPECT_EQ(a.target(), b.target()) << context;
+      EXPECT_EQ(a.target2(), b.target2()) << context;
+      EXPECT_EQ(static_cast<int>(a.ac_quantity()),
+                static_cast<int>(b.ac_quantity()))
           << context;
       break;
     case Probe::Kind::kExpression:
@@ -58,15 +68,19 @@ class ProbeGen {
 
   Probe random_probe(int depth = 0) {
     // Bias towards leaves as the tree deepens; cap at depth 4.
-    const int kind = pick(depth >= 4 ? 3 : 5);
+    const int kind = pick(depth >= 4 ? 4 : 6);
     switch (kind) {
       case 0:
-        return Probe::node_voltage(name());
+        return Probe::node_voltage(name(),
+                                   pick(3) == 0 ? name() : std::string());
       case 1:
         return Probe::branch_current(name());
       case 2:
         return Probe::constant(constant_value());
       case 3:
+        return Probe::ac_voltage(ac_quantity(), name(),
+                                 pick(2) == 0 ? name() : std::string());
+      case 4:
         return Probe::bjt_current(name(), terminal());
       default:
         return Probe::expression(op(), random_probe(depth + 1),
@@ -100,6 +114,16 @@ class ProbeGen {
       case 1: return Probe::BjtTerminal::kBase;
       case 2: return Probe::BjtTerminal::kEmitter;
       default: return Probe::BjtTerminal::kSubstrate;
+    }
+  }
+
+  Probe::AcQuantity ac_quantity() {
+    switch (pick(5)) {
+      case 0: return Probe::AcQuantity::kMagnitude;
+      case 1: return Probe::AcQuantity::kDb;
+      case 2: return Probe::AcQuantity::kPhaseDeg;
+      case 3: return Probe::AcQuantity::kReal;
+      default: return Probe::AcQuantity::kImag;
     }
   }
 
@@ -142,11 +166,14 @@ TEST(ProbeRoundTripEdge, WhitespaceAndPrecedence) {
   expect_same_probe(p, parse_probe(p.to_string()), "precedence");
 }
 
-TEST(ProbeRoundTripEdge, DifferentialVoltageDesugarsStably) {
-  // V(a,b) parses to V(a)-V(b); its serialisation "(V(a)-V(b))" must stay
-  // stable through further round trips.
+TEST(ProbeRoundTripEdge, DifferentialVoltagePairRoundTrips) {
+  // V(a,b) is one typed differential pair (so the AC domain can read the
+  // differential phasor); it serialises back to exactly "V(a,b)".
   const Probe p = parse_probe("V(a,b)");
+  EXPECT_EQ(p.kind(), Probe::Kind::kNodeVoltage);
+  EXPECT_EQ(p.target2(), "b");
   const std::string text = p.to_string();
+  EXPECT_EQ(text, "V(a,b)");
   expect_same_probe(p, parse_probe(text), text);
   EXPECT_EQ(parse_probe(text).to_string(), text);
 }
@@ -324,6 +351,81 @@ TEST_P(DeckRoundTrip, RandomAnalysisFragmentsParseToTheirPlan) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DeckRoundTrip, ::testing::Values(5, 6, 7));
+
+// ------------------------------------------- .AC directive round trips ---
+
+class AcDeckRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(AcDeckRoundTrip, RandomAcFragmentsParseToTheirPlan) {
+  DeckAxisGen gen(static_cast<unsigned>(GetParam()));
+  ProbeGen probes(static_cast<unsigned>(GetParam()) * 13 + 5);
+
+  const struct {
+    const char* keyword;
+    AcSpec::Spacing spacing;
+  } forms[] = {
+      {"DEC", AcSpec::Spacing::kDecade},
+      {"OCT", AcSpec::Spacing::kOctave},
+      {"LIN", AcSpec::Spacing::kLinear},
+  };
+
+  for (int iter = 0; iter < 40; ++iter) {
+    const auto& form = forms[gen.pick(0, 2)];
+    AcSpec want;
+    want.spacing = form.spacing;
+    want.points = form.spacing == AcSpec::Spacing::kLinear ? gen.pick(2, 40)
+                                                          : gen.pick(1, 12);
+    want.fstart = 0.25 * gen.pick(1, 40);
+    want.fstop = want.fstart * gen.pick(2, 1000);
+
+    // AC-domain probes only: what a real .AC deck carries.
+    std::vector<Probe> want_probes;
+    std::string probe_line = ".PROBE";
+    const int n_probes = gen.pick(1, 3);
+    for (int p = 0; p < n_probes; ++p) {
+      want_probes.push_back(
+          Probe::ac_voltage(Probe::AcQuantity::kDb, "out",
+                            p % 2 == 0 ? std::string() : "in"));
+      // Mix in one arbitrary expression probe for grammar coverage.
+      if (p == 0) want_probes.back() = probes.random_probe(3);
+      probe_line += ' ';
+      probe_line += want_probes.back().to_string();
+    }
+
+    std::string deck = kBaseDeck;
+    deck += ".AC " + std::string(form.keyword) + " " +
+            std::to_string(want.points) + " " + fmt(want.fstart) + " " +
+            fmt(want.fstop) + "\n";
+    deck += probe_line + "\n.END\n";
+    SCOPED_TRACE(deck);
+
+    ParsedNetlist parsed;
+    ASSERT_NO_THROW(parsed = parse_netlist(deck));
+    ASSERT_TRUE(parsed.plan.has_value());
+    const AnalysisPlan& plan = *parsed.plan;
+    EXPECT_TRUE(plan.axes.empty());
+    ASSERT_TRUE(plan.ac.has_value());
+    EXPECT_EQ(static_cast<int>(plan.ac->spacing),
+              static_cast<int>(want.spacing));
+    EXPECT_EQ(plan.ac->points, want.points);
+    EXPECT_EQ(plan.ac->fstart, want.fstart);
+    EXPECT_EQ(plan.ac->fstop, want.fstop);
+    // The materialised grids agree point for point.
+    const std::vector<double> got_f = plan.ac->frequencies();
+    const std::vector<double> want_f = want.frequencies();
+    ASSERT_EQ(got_f.size(), want_f.size());
+    for (std::size_t i = 0; i < got_f.size(); ++i) {
+      EXPECT_EQ(got_f[i], want_f[i]) << "frequency " << i;
+    }
+    ASSERT_EQ(plan.probes.size(), want_probes.size());
+    for (std::size_t p = 0; p < want_probes.size(); ++p) {
+      expect_same_probe(plan.probes[p], want_probes[p],
+                        want_probes[p].to_string());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AcDeckRoundTrip, ::testing::Values(3, 9));
 
 }  // namespace
 }  // namespace icvbe::spice

@@ -9,8 +9,9 @@ Keeps README.md and docs/ from rotting:
    every fenced deck block that follows a deck link matches the deck file
    on disk (comment lines aside) -- the docs show the real thing.
 3. With --run <icvbe-binary>: every deck is executed end-to-end through
-   the CLI (`tran` for .TRAN decks, `run` for .DC/.STEP decks, `simulate`
-   otherwise) and must exit 0 and produce output.
+   the CLI (`tran` for .TRAN decks, `ac` for .AC decks, `run` for
+   .DC/.STEP decks, `simulate` otherwise) and must exit 0 and produce
+   output.
 
 Exit code 0 = all good; 1 = findings (printed one per line).
 """
@@ -106,6 +107,8 @@ def deck_subcommand(deck: Path) -> str:
     body = deck.read_text().upper()
     if re.search(r"^\s*\.TRAN\b", body, re.M):
         return "tran"
+    if re.search(r"^\s*\.AC\b", body, re.M):
+        return "ac"
     if re.search(r"^\s*\.(DC|STEP)\b", body, re.M):
         return "run"
     return "simulate"

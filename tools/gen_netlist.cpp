@@ -1,14 +1,18 @@
 // gen_netlist: emit a synthetic stress deck on stdout.
 //
-//   gen_netlist <ladder|diode-ladder|bjt-ladder|mesh|rc-ladder> <nodes> [seed]
+//   gen_netlist <ladder|diode-ladder|bjt-ladder|mesh|rc-ladder> <nodes>
+//               [seed] [--ac]
 //
 // The decks are the sparse-engine stress workloads (see
 // spice/netlist_gen.hpp); pipe one into `icvbe run /dev/stdin` or save it
 // for an external SPICE to chew on. Same topology+nodes+seed, same text.
+// With --ac the drive source carries an "AC 1" stimulus and the analysis
+// becomes an `.AC DEC` sweep with VDB/VP probes (run via `icvbe ac`).
 
 #include <cstdio>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "icvbe/common/error.hpp"
 #include "icvbe/spice/netlist_gen.hpp"
@@ -16,16 +20,27 @@
 int main(int argc, char** argv) {
   using namespace icvbe;
   try {
-    if (argc < 3 || argc > 4) {
+    spice::SyntheticNetlistSpec spec;
+    std::vector<std::string> positional;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--ac") {
+        spec.ac_analysis = true;
+      } else if (arg.rfind("--", 0) == 0) {
+        throw Error("unknown option '" + arg + "'");
+      } else {
+        positional.push_back(arg);
+      }
+    }
+    if (positional.size() < 2 || positional.size() > 3) {
       std::fprintf(stderr,
-                   "usage: gen_netlist <ladder|diode-ladder|bjt-ladder|mesh|rc-ladder> "
-                   "<nodes> [seed]\n");
+                   "usage: gen_netlist <ladder|diode-ladder|bjt-ladder|mesh|"
+                   "rc-ladder> <nodes> [seed] [--ac]\n");
       return 2;
     }
-    spice::SyntheticNetlistSpec spec;
-    spec.topology = spice::topology_from_name(argv[1]);
-    spec.nodes = std::stoi(argv[2]);
-    if (argc == 4) spec.seed = std::stoull(argv[3]);
+    spec.topology = spice::topology_from_name(positional[0]);
+    spec.nodes = std::stoi(positional[1]);
+    if (positional.size() == 3) spec.seed = std::stoull(positional[2]);
     std::cout << spice::generate_netlist(spec);
     return 0;
   } catch (const std::exception& e) {

@@ -14,6 +14,11 @@
 //                                        (time-indexed .PROBE series), CSV
 //                                        out; --method overrides the deck's
 //                                        integration scheme
+//   icvbe ac <deck.cir> [threads] [--sparse[=auto|on|off]]
+//                                        execute the deck's .AC small-signal
+//                                        analysis about the DC operating
+//                                        point (frequency-indexed VM/VDB/VP
+//                                        .PROBE series), CSV out
 //   icvbe sweep <deck.cir> <vsrc> <from> <to> <n> <node>
 //                                        DC sweep a voltage source, CSV out
 //   icvbe tempsweep <deck.cir> <fromC> <toC> <n> <node>
@@ -51,11 +56,14 @@ using namespace icvbe;
 
 int usage() {
   std::fprintf(stderr,
-               "usage: icvbe <simulate|run|tran|sweep|tempsweep|extract|lot|"
-               "table1|truthcard> [args]\n"
+               "usage: icvbe <simulate|run|tran|ac|sweep|tempsweep|extract|"
+               "lot|table1|truthcard> [args]\n"
                "  simulate <deck.cir>\n"
                "  tran <deck.cir> [--method=be|trap] [--sparse[=auto|on|off]]\n"
                "      executes the deck's .TRAN/.PROBE analysis, CSV out\n"
+               "  ac <deck.cir> [threads] [--sparse[=auto|on|off]]\n"
+               "      executes the deck's .AC/.PROBE small-signal analysis\n"
+               "      about the DC operating point, CSV out\n"
                "  run <deck.cir> [threads] [--sparse[=auto|on|off]]\n"
                "      --sparse picks the linear engine: auto (default) "
                "switches to the\n"
@@ -209,6 +217,31 @@ int cmd_tran(const std::string& path, spice::SparseMode sparse_mode,
   session_options.sparse = sparse_mode;
   spice::SimSession session(c, session_options);
   // .NODESET hints seed the operating-point solve of the transient start.
+  if (!parsed.nodesets.empty()) {
+    session.seed_warm_start(guess_from_nodesets(c, parsed));
+  }
+  const spice::SweepResult result = session.run(plan);
+  result.write_csv(std::cout);
+  return 0;
+}
+
+int cmd_ac(const std::string& path, unsigned threads,
+           spice::SparseMode sparse_mode) {
+  auto parsed = load_deck(path);
+  if (!parsed.plan.has_value() || !parsed.plan->ac.has_value()) {
+    throw Error("deck '" + path +
+                "' describes no AC analysis (needs .AC plus .PROBE)");
+  }
+  auto& c = *parsed.circuit;
+  c.set_temperature(to_kelvin(parsed.temperature_celsius));
+  spice::AnalysisPlan plan = *parsed.plan;
+  plan.threads = threads;
+  plan.options.sparse = sparse_mode;
+  spice::NewtonOptions session_options;
+  session_options.sparse = sparse_mode;
+  spice::SimSession session(c, session_options);
+  // .NODESET hints seed the operating-point solve the sweep linearises
+  // about (bandgap decks need them just like DC runs do).
   if (!parsed.nodesets.empty()) {
     session.seed_warm_start(guess_from_nodesets(c, parsed));
   }
@@ -402,6 +435,28 @@ int main(int argc, char** argv) {
       }
       if (positional.size() != 1) return usage();
       return cmd_tran(positional[0], sparse_mode, method);
+    }
+    if (cmd == "ac") {
+      spice::SparseMode sparse_mode = spice::SparseMode::kAuto;
+      std::vector<std::string> positional;
+      for (std::size_t i = 1; i < args.size(); ++i) {
+        if (args[i] == "--sparse") {
+          sparse_mode = spice::SparseMode::kAuto;
+        } else if (args[i].rfind("--sparse=", 0) == 0) {
+          sparse_mode = parse_sparse_mode(
+              args[i].substr(std::string("--sparse=").size()));
+        } else if (args[i].rfind("--", 0) == 0) {
+          throw Error("unknown option '" + args[i] + "'");
+        } else {
+          positional.push_back(args[i]);
+        }
+      }
+      if (positional.size() != 1 && positional.size() != 2) return usage();
+      const int threads =
+          positional.size() > 1 ? parse_int_arg("threads", positional[1]) : 1;
+      if (threads < 0) throw Error("threads: must be >= 0");
+      return cmd_ac(positional[0], static_cast<unsigned>(threads),
+                    sparse_mode);
     }
     if (cmd == "sweep" && args.size() == 7) {
       return cmd_sweep(args[1], args[2], parse_double_arg("from", args[3]),
