@@ -1,0 +1,215 @@
+// SimServer warm-session benchmark and load generator.
+//
+// Stage 1 (report): an in-process SimServer on an AF_UNIX socket serves a
+// generated ~400-node resistor-ladder deck whose .DC plan has only a
+// handful of points -- so per-run cost is dominated by setup (parse, MNA
+// bind, sparse pattern + symbolic LU), exactly the cost the warm session
+// amortises. Two interactive loops are timed over many iterations:
+//
+//   cold:  LOAD (re-parse + rebind) then RUN       -- `icvbe run` shape
+//   warm:  PATCH one value then RUN on the warm session
+//
+// The per-iteration medians feed results/BENCH_server.json, and the run
+// ASSERTS the warm loop is at least kWarmSpeedupGate x faster than the
+// cold one (exit 1 otherwise) -- the daemon's reason to exist, kept
+// honest in CI. A concurrent stage then hammers the shared worker pool
+// with several connections to report aggregate runs/second.
+//
+// Stage 2: google-benchmark timing of the warm PATCH+RUN round trip.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "icvbe/server/client.hpp"
+#include "icvbe/server/sim_server.hpp"
+#include "icvbe/spice/netlist_gen.hpp"
+
+namespace {
+
+using namespace icvbe;
+using Clock = std::chrono::steady_clock;
+
+constexpr int kLadderNodes = 400;
+constexpr int kIterations = 21;
+constexpr double kWarmSpeedupGate = 1.5;
+
+std::string ladder_deck() {
+  spice::SyntheticNetlistSpec spec;
+  spec.topology = spice::SyntheticTopology::kResistorLadder;
+  spec.nodes = kLadderNodes;
+  spec.seed = 7;
+  return spice::generate_netlist(spec);
+}
+
+std::string socket_path() {
+  return "/tmp/icvbe_bench_" + std::to_string(::getpid()) + ".sock";
+}
+
+double median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0)
+      .count();
+}
+
+struct LoopStats {
+  double median_ms = 0.0;
+  std::size_t rows = 0;
+};
+
+/// Cold loop: every iteration re-LOADs the deck (parse + bind + symbolic
+/// analysis) before running -- the cost profile of one `icvbe run`
+/// process per analysis, minus even the process spawn.
+LoopStats cold_loop(server::Client& client, const std::string& deck) {
+  LoopStats stats;
+  std::vector<double> ms;
+  for (int i = 0; i < kIterations; ++i) {
+    const auto t0 = Clock::now();
+    (void)client.load("cold", deck);
+    const server::RunResult r = client.run("cold", "DC");
+    ms.push_back(ms_since(t0));
+    stats.rows = r.rows;
+  }
+  stats.median_ms = median(ms);
+  return stats;
+}
+
+/// Warm loop: the session survives; each iteration re-programs one
+/// resistor value (pattern and symbolic LU untouched) and reruns.
+LoopStats warm_loop(server::Client& client, const std::string& deck) {
+  (void)client.load("warm", deck);
+  LoopStats stats;
+  std::vector<double> ms;
+  for (int i = 0; i < kIterations; ++i) {
+    const double ohms = 500.0 + 10.0 * i;
+    const auto t0 = Clock::now();
+    (void)client.patch("warm", "R RS5 " + std::to_string(ohms) + "\n");
+    const server::RunResult r = client.run("warm", "DC");
+    ms.push_back(ms_since(t0));
+    stats.rows = r.rows;
+  }
+  stats.median_ms = median(ms);
+  return stats;
+}
+
+/// Load generator: `clients` connections, each its own warm session,
+/// all rerunning concurrently through the shared worker pool.
+double concurrent_runs_per_second(const server::SimServer& server,
+                                  const std::string& deck, int clients,
+                                  int runs_each) {
+  std::vector<std::thread> threads;
+  const auto t0 = Clock::now();
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&] {
+      server::Client client =
+          server::Client::connect_unix(server.socket_path());
+      (void)client.load("mine", deck);
+      for (int i = 0; i < runs_each; ++i) {
+        (void)client.run("mine", "DC");
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double wall_s = ms_since(t0) / 1e3;
+  return static_cast<double>(clients * runs_each) / wall_s;
+}
+
+void write_json(const LoopStats& cold, const LoopStats& warm,
+                double speedup, bool gate_passed, double runs_per_s,
+                const std::string& path) {
+  std::ofstream os(path);
+  os << "{\n"
+     << "  \"bench\": \"bench_server\",\n"
+     << "  \"kernel\": \"SimServer warm-session PATCH+RUN vs cold "
+        "LOAD+RUN on a "
+     << kLadderNodes << "-node resistor ladder\",\n"
+     << "  \"ladder_nodes\": " << kLadderNodes << ",\n"
+     << "  \"iterations\": " << kIterations << ",\n"
+     << "  \"rows_per_run\": " << warm.rows << ",\n"
+     << "  \"cold_load_run_ms\": " << cold.median_ms << ",\n"
+     << "  \"warm_patch_run_ms\": " << warm.median_ms << ",\n"
+     << "  \"warm_speedup\": " << speedup << ",\n"
+     << "  \"speedup_gate\": " << kWarmSpeedupGate << ",\n"
+     << "  \"gate_passed\": " << (gate_passed ? "true" : "false") << ",\n"
+     << "  \"concurrent_runs_per_s\": " << runs_per_s << "\n"
+     << "}\n";
+}
+
+/// Returns false when the warm-rerun gate fails.
+bool report() {
+  bench::banner("SimServer warm-session reuse (cold LOAD+RUN vs warm "
+                "PATCH+RUN)");
+  const std::string deck = ladder_deck();
+
+  server::ServerConfig cfg;
+  cfg.socket_path = socket_path();
+  cfg.workers = 4;
+  server::SimServer server(cfg);
+  server.start();
+
+  server::Client client = server::Client::connect_unix(server.socket_path());
+  const LoopStats cold = cold_loop(client, deck);
+  const LoopStats warm = warm_loop(client, deck);
+  const double speedup =
+      warm.median_ms > 0.0 ? cold.median_ms / warm.median_ms : 0.0;
+  const bool gate_passed = speedup >= kWarmSpeedupGate;
+  const double runs_per_s =
+      concurrent_runs_per_second(server, deck, /*clients=*/4,
+                                 /*runs_each=*/10);
+
+  Table t({"loop", "median [ms]", "rows/run"});
+  t.add_row({"cold LOAD+RUN", format_sig(cold.median_ms, 4),
+             std::to_string(cold.rows)});
+  t.add_row({"warm PATCH+RUN", format_sig(warm.median_ms, 4),
+             std::to_string(warm.rows)});
+  bench::emit(t, "server_warm_reuse.csv");
+  std::printf("warm speedup: %.2fx (gate: >= %.1fx) -- %s\n", speedup,
+              kWarmSpeedupGate, gate_passed ? "PASS" : "FAIL");
+  std::printf("concurrent load: %.1f runs/s (4 clients on 4 workers)\n",
+              runs_per_s);
+
+  const std::string json_path = bench::results_dir() + "/BENCH_server.json";
+  write_json(cold, warm, speedup, gate_passed, runs_per_s, json_path);
+  std::printf("[json] %s\n", json_path.c_str());
+
+  server.stop();
+  return gate_passed;
+}
+
+// ------------------------------------------- registered microbenchmarks --
+
+void BM_WarmPatchRun(benchmark::State& state) {
+  server::ServerConfig cfg;
+  cfg.socket_path = socket_path() + ".bm";
+  cfg.workers = 2;
+  server::SimServer server(cfg);
+  server.start();
+  server::Client client = server::Client::connect_unix(server.socket_path());
+  (void)client.load("bm", ladder_deck());
+  double ohms = 500.0;
+  for (auto _ : state) {
+    ohms += 1.0;
+    (void)client.patch("bm", "R RS5 " + std::to_string(ohms) + "\n");
+    benchmark::DoNotOptimize(client.run("bm", "DC"));
+  }
+  state.SetItemsProcessed(state.iterations());
+  server.stop();
+}
+BENCHMARK(BM_WarmPatchRun)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool gate_passed = report();
+  const int bench_rc = icvbe::bench::run_benchmarks(argc, argv);
+  return gate_passed ? bench_rc : 1;
+}

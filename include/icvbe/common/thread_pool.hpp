@@ -1,0 +1,99 @@
+#pragma once
+// Shared threading primitives.
+//
+// Two shapes of concurrency exist in the repository and both live here:
+//
+//  * fan_out(): the one-shot deterministic fanout the parallel analysis
+//    paths use (plan.cpp 2-axis rows, plan.cpp AC frequency points,
+//    lab::LotCampaign dies). N workers run the same callable to
+//    completion; the callable pulls work indices from a caller-owned
+//    atomic counter and writes only its own preallocated result slots, so
+//    results are bit-identical for any worker count -- scheduling decides
+//    who computes an item, never what it yields. fan_out only owns the
+//    thread lifecycle and exception capture; the deterministic work
+//    partitioning stays at the call site.
+//
+//  * ThreadPool: a persistent pool with a job queue, built for the
+//    long-lived SimServer -- analyses arrive over connections at any time
+//    and execute asynchronously on whichever worker frees up first.
+//    Determinism is not a pool property here: each submitted job is an
+//    independent simulation run whose result is a pure function of its
+//    inputs (the SimSession discipline), so which worker executes it is
+//    irrelevant.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace icvbe::common {
+
+/// Resolve a thread-count request: 0 = hardware_concurrency (min 1).
+[[nodiscard]] unsigned resolve_thread_count(unsigned requested) noexcept;
+
+/// Run `worker` on `threads` threads and join them all. threads <= 1 runs
+/// the callable inline on the calling thread (no spawn), which is what
+/// keeps serial analysis paths on the session's own thread. If workers
+/// throw, every worker still runs to completion and the first captured
+/// exception is rethrown in the caller afterwards.
+///
+/// The callable is invoked once per worker and must be safe to run
+/// concurrently with itself; deterministic work partitioning (shared
+/// atomic counter + per-item result slots) is the caller's job.
+void fan_out(unsigned threads, const std::function<void()>& worker);
+
+/// Fixed-size worker pool over a FIFO job queue.
+///
+/// Thread-safety: submit() may be called from any thread, including from
+/// inside a running job. Jobs must not block waiting for later-queued
+/// jobs (the pool has no work stealing; that would deadlock a full pool).
+/// Exceptions escaping a job are swallowed -- jobs own their error
+/// reporting (the server wraps every run in a try block that turns
+/// failures into protocol frames).
+class ThreadPool {
+ public:
+  /// Spawn `threads` workers (0 = hardware_concurrency).
+  explicit ThreadPool(unsigned threads);
+  /// Drains: blocks until every queued and running job has finished,
+  /// then joins the workers (same as stop_and_join()).
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a job. Throws icvbe::Error if the pool is stopping.
+  void submit(std::function<void()> job);
+
+  /// Workers in the pool.
+  [[nodiscard]] unsigned size() const noexcept {
+    return static_cast<unsigned>(workers_.size());
+  }
+  /// Jobs queued but not yet started (snapshot).
+  [[nodiscard]] std::size_t queued() const;
+  /// Jobs currently executing (snapshot).
+  [[nodiscard]] std::size_t running() const noexcept {
+    return running_.load(std::memory_order_relaxed);
+  }
+
+  /// Stop accepting jobs, run the queue dry, join the workers.
+  /// Idempotent. Queued jobs still execute -- a server shutdown first
+  /// flips the per-run cancel flags, so drained jobs finish fast.
+  void stop_and_join();
+
+ private:
+  void worker_loop();
+
+  mutable std::mutex mutex_;
+  std::mutex join_mutex_;  ///< serialises stop_and_join() callers
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::atomic<std::size_t> running_{0};
+  bool stopping_ = false;
+};
+
+}  // namespace icvbe::common

@@ -1,0 +1,86 @@
+#pragma once
+// SimServer: the long-lived simulation-as-a-service daemon.
+//
+// A server listens on a local endpoint (AF_UNIX socket by default, or
+// loopback TCP), speaks the length-prefixed protocol of protocol.hpp /
+// docs/PROTOCOL.md, and keeps one *warm* spice::SimSession per loaded
+// circuit: the netlist is parsed once, the MNA workspace allocated once,
+// and -- on the sparse path -- the matrix pattern frozen and the symbolic
+// LU analysis cached once, at LOAD. Every subsequent RUN and every
+// value-only PATCH reuses all of it, which is where the interactive-loop
+// speedup over cold `icvbe run` processes comes from.
+//
+// Concurrency model:
+//  * one accept thread;
+//  * one reader thread per connection, which parses frames and executes
+//    the cheap commands (LOAD/PATCH/CANCEL/STATUS/CLOSE) inline;
+//  * a shared worker pool (common::ThreadPool) executing RUNs
+//    asynchronously. A RUN streams INIT/DATA frames as points complete
+//    (spice::RunObserver) and finishes with DONE/CANCELLED/FAIL.
+//
+// Sessions are scoped to their connection: names are per-connection,
+// other clients never see them, and connection teardown cancels the
+// connection's in-flight runs and waits for them before the sessions are
+// destroyed. Per-session serialisation is a busy flag: a session with a
+// run in flight rejects RUN/PATCH/CLOSE/LOAD-over with ERR ... busy
+// (other sessions of the same connection proceed in parallel).
+//
+// Determinism: before every RUN the session's device state and warm-start
+// seed are reset to the deck-described start (.NODESET hints re-seeded),
+// so a RUN's result is a pure function of (deck, patches applied, plan) --
+// bit-identical to a cold `icvbe run/tran/ac` of the equivalently patched
+// deck, for any worker count and any interleaving of other clients.
+
+#include <atomic>
+#include <memory>
+#include <string>
+
+namespace icvbe::server {
+
+struct ServerConfig {
+  /// AF_UNIX socket path; wins over tcp_port when nonempty. The file is
+  /// unlinked on stop().
+  std::string socket_path;
+  /// Loopback TCP port when socket_path is empty (0 = kernel-assigned;
+  /// read the resolved one back with port()).
+  int tcp_port = 0;
+  /// Worker threads executing RUNs (0 = hardware_concurrency).
+  unsigned workers = 0;
+};
+
+class SimServer {
+ public:
+  explicit SimServer(ServerConfig config);
+  /// stop()s if still running.
+  ~SimServer();
+
+  SimServer(const SimServer&) = delete;
+  SimServer& operator=(const SimServer&) = delete;
+
+  /// Bind, listen, spawn the accept thread and worker pool. Throws
+  /// icvbe::Error if the endpoint cannot be bound.
+  void start();
+
+  /// Stop accepting, cancel every in-flight run, drain the pool, join
+  /// all threads, close all connections. Idempotent.
+  void stop();
+
+  [[nodiscard]] bool running() const noexcept;
+  /// The bound AF_UNIX path ("" when listening on TCP).
+  [[nodiscard]] const std::string& socket_path() const noexcept;
+  /// The resolved TCP port (-1 when listening on AF_UNIX).
+  [[nodiscard]] int port() const noexcept;
+  [[nodiscard]] unsigned workers() const noexcept;
+  /// Connections currently alive (snapshot; tests and STATUS use this).
+  [[nodiscard]] std::size_t connection_count() const;
+
+  /// start(), then block until `*interrupt` turns true (polled), then
+  /// stop(). The CLI's serve loop with its signal flag.
+  void serve_until(const std::atomic<bool>& interrupt);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace icvbe::server

@@ -107,6 +107,11 @@ class Capacitor final : public DynamicDevice {
   [[nodiscard]] double current(const Unknowns& x) const;
 
   [[nodiscard]] double capacitance() const noexcept { return farads_; }
+  /// Re-program the value (a server PATCH). Touches only the coefficient
+  /// the companion derives per step, so the matrix pattern -- and with it
+  /// a sparse session's cached symbolic analysis -- stays valid.
+  /// \pre farads > 0; not while in transient mode.
+  void set_capacitance(double farads);
   /// Committed branch voltage of the previous accepted timepoint.
   [[nodiscard]] double state_voltage() const noexcept { return v_prev_; }
 
@@ -152,6 +157,10 @@ class Inductor final : public DynamicDevice {
   [[nodiscard]] double current(const Unknowns& x) const;
 
   [[nodiscard]] double inductance() const noexcept { return henries_; }
+  /// Re-program the value (a server PATCH); pattern-preserving like
+  /// Capacitor::set_capacitance.
+  /// \pre henries > 0; not while in transient mode.
+  void set_inductance(double henries);
   /// Committed branch current of the previous accepted timepoint.
   [[nodiscard]] double state_current() const noexcept { return i_prev_; }
 

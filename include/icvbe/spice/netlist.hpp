@@ -96,9 +96,19 @@ struct ParsedNetlist {
   std::map<std::string, double> ics;
   /// .PROBE expressions in deck order.
   std::vector<Probe> probes;
-  /// Deck-described analysis, present iff the deck has .DC/.STEP or .TRAN
-  /// (which then also requires .PROBE). Execute with SimSession::run.
+  /// Deck-described analyses in the pinned canonical execution order
+  /// [DC/.STEP sweep, .TRAN, .AC] -- a deck carries at most one plan per
+  /// family, and each plan's probes are the .PROBE subset its evaluation
+  /// domain supports (see probe_supported_in). Card order in the deck
+  /// never changes this ordering.
+  std::vector<AnalysisPlan> plans;
+  /// First entry of `plans` (the whole story for single-analysis decks),
+  /// kept so existing callers read the deck's analysis unchanged.
   std::optional<AnalysisPlan> plan;
+
+  /// The deck's plan of one analysis family, or nullptr if absent.
+  [[nodiscard]] const AnalysisPlan* find_plan(AnalysisKind kind)
+      const noexcept;
 };
 
 /// Parse a netlist from text. Throws NetlistError with line context.

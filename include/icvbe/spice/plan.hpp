@@ -43,6 +43,63 @@ class PlanError : public Error {
   explicit PlanError(const std::string& what) : Error(what) {}
 };
 
+/// Raised by SimSession::run / TransientSolver::run when a RunObserver
+/// requested cancellation (on_row returned false). The run stops with
+/// bounded latency -- within one grid point / accepted timestep -- and the
+/// session remains usable: warm state, frozen patterns, and cached
+/// symbolic analyses all survive a cancelled run.
+class CancelledError : public Error {
+ public:
+  explicit CancelledError(const std::string& what) : Error(what) {}
+};
+
+/// Incremental consumer of an executing plan, mirroring the sharedspice
+/// callback shape (fnSendInitData -> on_begin, fnSendData -> on_row). The
+/// SimServer streams probe rows to clients through one of these; tests
+/// watch progress and drive cancellation the same way.
+///
+/// Threading contract: on_begin is called once from the thread that
+/// entered run(), before any row. on_row may be called concurrently from
+/// plan worker threads (2-axis outer fanout, AC frequency fanout) --
+/// implementations must synchronise their own state. Rows are identified
+/// by their result-grid index, so out-of-order delivery from parallel
+/// workers is unambiguous; the serial paths deliver strictly in order.
+///
+/// Returning false from on_row requests cooperative cancellation: every
+/// executor stops at its next point/step check and run() throws
+/// CancelledError. The observer is never invoked again after the run
+/// returns or throws.
+class RunObserver {
+ public:
+  virtual ~RunObserver() = default;
+
+  /// Called once before any row with the result-grid shape.
+  /// `expected_rows` is the grid size, or 0 when unknown up front (the
+  /// adaptive transient path).
+  virtual void on_begin(const std::vector<std::string>& axis_labels,
+                        const std::vector<std::string>& probe_labels,
+                        std::size_t expected_rows) {
+    (void)axis_labels;
+    (void)probe_labels;
+    (void)expected_rows;
+  }
+
+  /// Row `row` of the result grid is complete. `axes` holds the axis
+  /// values (outer first for 2-axis plans; TIME for transient; FREQ for
+  /// AC), `probes` one value per plan probe, in plan order. The pointers
+  /// are only valid during the call. Return false to cancel the run.
+  virtual bool on_row(std::size_t row, const double* axes,
+                      std::size_t axis_count, const double* probes,
+                      std::size_t probe_count) {
+    (void)row;
+    (void)axes;
+    (void)axis_count;
+    (void)probes;
+    (void)probe_count;
+    return true;
+  }
+};
+
 // --------------------------------------------------------------- Probe ---
 
 /// A typed, serialisable measurement: maps a solved operating point (or,
@@ -158,6 +215,15 @@ class Probe {
 /// Evaluation domain a probe set is compiled for: a DC/transient operating
 /// point (real Unknowns) or one AC frequency point (complex phasors).
 enum class ProbeDomain { kDc, kAc };
+
+/// True if `probe` can evaluate in `domain` -- the name/topology-free
+/// subset of the CompiledProbeSet compile-time rules: AC-quantity leaves
+/// (VM/VDB/VP/VR/VI) exist only in kAc; current leaves (I/IC/IB/IE/ISUB)
+/// only in kDc; node voltages and constants in both; an expression needs
+/// every leaf supported. Multi-analysis decks use this to route each
+/// .PROBE to the analyses that can evaluate it.
+[[nodiscard]] bool probe_supported_in(const Probe& probe,
+                                      ProbeDomain domain) noexcept;
 
 /// Probes compiled once against one circuit: per-point evaluation is
 /// allocation- and lookup-free (the same machinery SimSession::run uses
@@ -343,6 +409,27 @@ struct AnalysisPlan {
   /// bit-identical for any value.
   unsigned threads = 1;
 };
+
+/// The analysis family a plan describes -- the selector decks, the CLI,
+/// and the server RUN command share (a multi-analysis deck carries up to
+/// one plan per family; see ParsedNetlist::plans).
+enum class AnalysisKind {
+  kDcSweep,    ///< .DC/.STEP sweep axes
+  kTransient,  ///< .TRAN
+  kAc,         ///< .AC
+};
+
+/// Classify a plan. Sweep plans are the default family (axes, or nothing
+/// set yet); transient/AC plans are recognised by their spec.
+[[nodiscard]] AnalysisKind analysis_kind(const AnalysisPlan& plan);
+
+/// "DC", "TRAN", or "AC" -- the token the deck dialect, the CLI, and the
+/// wire protocol all use.
+[[nodiscard]] const char* to_token(AnalysisKind kind);
+
+/// Parse a "DC"/"TRAN"/"AC" token (case-insensitive). Throws PlanError on
+/// anything else.
+[[nodiscard]] AnalysisKind analysis_kind_from_token(std::string_view token);
 
 // --------------------------------------------------------- SweepResult ---
 

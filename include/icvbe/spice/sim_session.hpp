@@ -70,6 +70,7 @@ using SweepSetter = std::function<void(double)>;
 struct AnalysisPlan;
 class SweepAxis;
 class SweepResult;
+class RunObserver;
 
 /// Persistent solver session bound to one Circuit (see the header
 /// comment for the motivation).
@@ -213,7 +214,15 @@ class SimSession {
   ///       (the run executes under plan.options).
   /// Throws PlanError on malformed plans, NumericalError if a point fails
   /// to converge.
-  [[nodiscard]] SweepResult run(const AnalysisPlan& plan);
+  ///
+  /// A non-null `observer` streams the run incrementally: on_begin once
+  /// with the grid shape, then on_row per completed point (see RunObserver
+  /// in plan.hpp for the threading/cancellation contract). When the
+  /// observer cancels, run() throws CancelledError within one point/step;
+  /// the session stays warm and usable. With observer == nullptr the
+  /// per-point path is unchanged (and stays allocation-free).
+  [[nodiscard]] SweepResult run(const AnalysisPlan& plan,
+                                RunObserver* observer = nullptr);
 
   /// Cached independent sources (discovered once at bind time).
   [[nodiscard]] const std::vector<VoltageSource*>& voltage_sources()
@@ -232,7 +241,8 @@ class SimSession {
 
   /// AC-plan execution (defined with the rest of the plan machinery in
   /// plan.cpp). \pre plan.ac is set and plan.axes is empty.
-  [[nodiscard]] SweepResult run_ac(const AnalysisPlan& plan);
+  [[nodiscard]] SweepResult run_ac(const AnalysisPlan& plan,
+                                   RunObserver* observer);
 
   /// Scale every cached independent source by lambda (source stepping).
   void scale_sources(double lambda);

@@ -76,7 +76,14 @@ class TransientSolver {
   /// Drive the whole run and record `probes` at every accepted timepoint
   /// with t >= tstart (plus the initial point when tstart == 0). The
   /// result's single axis is TIME.
-  [[nodiscard]] SweepResult run(const std::vector<Probe>& probes);
+  ///
+  /// A non-null `observer` receives on_begin (expected_rows = 0: the
+  /// adaptive controller does not know the accepted-point count up front)
+  /// and one on_row per recorded timepoint, always from the calling
+  /// thread. Cancellation (on_row -> false) throws CancelledError within
+  /// one accepted step; the destructor still restores DC mode.
+  [[nodiscard]] SweepResult run(const std::vector<Probe>& probes,
+                                RunObserver* observer = nullptr);
 
  private:
   void apply_sources(double t);

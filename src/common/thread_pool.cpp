@@ -1,0 +1,99 @@
+#include "icvbe/common/thread_pool.hpp"
+
+#include <exception>
+#include <utility>
+
+#include "icvbe/common/error.hpp"
+
+namespace icvbe::common {
+
+unsigned resolve_thread_count(unsigned requested) noexcept {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1u : hw;
+}
+
+void fan_out(unsigned threads, const std::function<void()>& worker) {
+  if (threads <= 1) {
+    worker();
+    return;
+  }
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  auto guarded = [&]() {
+    try {
+      worker();
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(error_mutex);
+      if (!first_error) first_error = std::current_exception();
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) pool.emplace_back(guarded);
+  for (auto& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+ThreadPool::ThreadPool(unsigned threads) {
+  const unsigned n = resolve_thread_count(threads);
+  workers_.reserve(n);
+  for (unsigned t = 0; t < n; ++t) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { stop_and_join(); }
+
+void ThreadPool::submit(std::function<void()> job) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) throw Error("ThreadPool: submit after stop");
+    queue_.push_back(std::move(job));
+  }
+  cv_.notify_one();
+}
+
+std::size_t ThreadPool::queued() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+void ThreadPool::stop_and_join() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  // Serialise concurrent stop_and_join() callers (stop() racing the
+  // destructor): join() on the same std::thread twice is UB.
+  const std::lock_guard<std::mutex> join_lock(join_mutex_);
+  for (auto& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      // Drain the queue even when stopping: queued runs still owe their
+      // clients a terminal frame.
+      if (queue_.empty()) return;
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      running_.fetch_add(1, std::memory_order_relaxed);
+    }
+    try {
+      job();
+    } catch (...) {
+      // Jobs own their error reporting; a throwing job must not take the
+      // worker down.
+    }
+    running_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace icvbe::common

@@ -3,9 +3,9 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
-#include <thread>
 
 #include "icvbe/common/constants.hpp"
+#include "icvbe/common/thread_pool.hpp"
 #include "icvbe/common/error.hpp"
 #include "icvbe/extract/best_fit.hpp"
 #include "icvbe/extract/dataset.hpp"
@@ -93,31 +93,20 @@ std::vector<DieCharacterisation> LotCampaign::run() const {
   const auto n = static_cast<std::size_t>(config_.samples);
   std::vector<DieCharacterisation> results(n);
 
-  unsigned threads = config_.threads != 0
-                         ? config_.threads
-                         : std::max(1u, std::thread::hardware_concurrency());
+  unsigned threads = common::resolve_thread_count(config_.threads);
   threads = std::min<unsigned>(threads, static_cast<unsigned>(n));
 
   // Workers pull die offsets from a shared counter; every die writes only
   // its own preallocated slot, so the result is identical for any thread
   // count -- scheduling decides who computes a die, never what it yields.
   std::atomic<int> next{0};
-  auto worker = [&]() {
+  common::fan_out(threads, [&]() {
     for (;;) {
       const int i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= config_.samples) break;
       results[static_cast<std::size_t>(i)] = run_die(i);
     }
-  };
-
-  if (threads <= 1) {
-    worker();
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(threads);
-    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
-    for (auto& t : pool) t.join();
-  }
+  });
   return results;
 }
 

@@ -50,6 +50,13 @@ void Capacitor::commit(const Unknowns& x) {
   v_prev_ = v;
 }
 
+void Capacitor::set_capacitance(double farads) {
+  ICVBE_REQUIRE(farads > 0.0, "Capacitor: capacitance must be > 0");
+  ICVBE_REQUIRE(!transient_,
+                "Capacitor: cannot re-program the value mid-transient");
+  farads_ = farads;
+}
+
 void Capacitor::init_state(const Unknowns& x) {
   v_prev_ = has_initial_condition()
                 ? initial_condition()
@@ -124,6 +131,13 @@ double Inductor::current(const Unknowns& x) const {
 void Inductor::commit(const Unknowns& x) {
   i_prev_ = x.aux(first_aux());
   v_prev_ = x.node_voltage(p_) - x.node_voltage(m_);
+}
+
+void Inductor::set_inductance(double henries) {
+  ICVBE_REQUIRE(henries > 0.0, "Inductor: inductance must be > 0");
+  ICVBE_REQUIRE(!transient_,
+                "Inductor: cannot re-program the value mid-transient");
+  henries_ = henries;
 }
 
 void Inductor::init_state(const Unknowns& x) {

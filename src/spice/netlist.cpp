@@ -776,57 +776,88 @@ ParsedNetlist parse_netlist(std::string_view text) {
     }
   }
 
-  // Assemble the deck-described analysis: .TRAN and .AC stand alone;
-  // otherwise .STEP is always the outermost axis and within .DC the first
-  // spec is the innermost.
-  if (ac.has_value()) {
-    if (tran.has_value() || step_axis.has_value() || !dc_axes.empty()) {
-      fail(analysis_line,
-           "a deck cannot mix .AC with .TRAN/.DC/.STEP (one analysis per "
-           "deck)");
-    }
+  // Assemble the deck-described analyses. A deck may carry any
+  // combination of the three families; the canonical execution order is
+  // pinned to [DC/.STEP sweep, .TRAN, .AC] regardless of card order, and
+  // each plan gets the .PROBE subset its evaluation domain supports
+  // (VM/VDB/... only ride the AC plan, I/IC/... only the DC-domain
+  // plans). Within a family, .STEP is always the outermost axis and the
+  // first .DC spec is the innermost.
+  const bool has_sweep = step_axis.has_value() || !dc_axes.empty();
+  const int analysis_count = static_cast<int>(has_sweep) +
+                             static_cast<int>(tran.has_value()) +
+                             static_cast<int>(ac.has_value());
+  const bool multi = analysis_count > 1;
+
+  /// .PROBE subset `domain` can evaluate; empty = deck error for `card`.
+  /// Routing only applies to multi-analysis decks -- a single-analysis
+  /// deck keeps its probe list verbatim (the historical contract; probe
+  /// round trips depend on it) and any domain mismatch surfaces when the
+  /// plan compiles its probes.
+  const auto domain_probes = [&](ProbeDomain domain,
+                                 const char* card) -> std::vector<Probe> {
     if (out.probes.empty()) {
-      fail(analysis_line, "deck has .AC but no .PROBE");
-    }
-    AnalysisPlan plan;
-    plan.name = "deck";
-    plan.ac = *ac;
-    plan.probes = out.probes;
-    out.plan = std::move(plan);
-  } else if (tran.has_value()) {
-    if (step_axis.has_value() || !dc_axes.empty()) {
       fail(analysis_line,
-           "a deck cannot mix .TRAN with .DC/.STEP (one analysis per deck)");
+           std::string("deck has ") + card + " but no .PROBE");
     }
-    if (out.probes.empty()) {
-      fail(analysis_line, "deck has .TRAN but no .PROBE");
+    if (!multi) return out.probes;
+    std::vector<Probe> subset;
+    for (const Probe& p : out.probes) {
+      if (probe_supported_in(p, domain)) subset.push_back(p);
     }
-    for (const auto& [node, volts] : out.ics) {
-      tran->initial_conditions.emplace_back(node, volts);
+    if (subset.empty()) {
+      fail(analysis_line,
+           std::string("deck has ") + card + " but none of its .PROBE " +
+               "expressions can evaluate in that analysis (" +
+               (domain == ProbeDomain::kAc
+                    ? "probe V/VM/VDB/VP/VR/VI quantities"
+                    : "AC quantities exist only in .AC") +
+               ")");
     }
-    AnalysisPlan plan;
-    plan.name = "deck";
-    plan.transient = std::move(*tran);
-    plan.probes = out.probes;
-    out.plan = std::move(plan);
-  } else if (step_axis.has_value() || !dc_axes.empty()) {
+    return subset;
+  };
+
+  if (has_sweep) {
     if (dc_axes.size() + (step_axis.has_value() ? 1u : 0u) > 2u) {
       fail(analysis_line,
            "at most two nested sweep axes (.STEP plus .DC specs)");
     }
-    if (out.probes.empty()) {
-      fail(analysis_line, "deck has .DC/.STEP but no .PROBE");
-    }
     AnalysisPlan plan;
-    plan.name = "deck";
+    plan.name = multi ? "deck:DC" : "deck";
     if (step_axis.has_value()) plan.axes.push_back(std::move(*step_axis));
     for (auto it = dc_axes.rbegin(); it != dc_axes.rend(); ++it) {
       plan.axes.push_back(std::move(*it));
     }
-    plan.probes = out.probes;
-    out.plan = std::move(plan);
+    plan.probes = domain_probes(ProbeDomain::kDc, ".DC/.STEP");
+    out.plans.push_back(std::move(plan));
   }
+  if (tran.has_value()) {
+    for (const auto& [node, volts] : out.ics) {
+      tran->initial_conditions.emplace_back(node, volts);
+    }
+    AnalysisPlan plan;
+    plan.name = multi ? "deck:TRAN" : "deck";
+    plan.transient = std::move(*tran);
+    plan.probes = domain_probes(ProbeDomain::kDc, ".TRAN");
+    out.plans.push_back(std::move(plan));
+  }
+  if (ac.has_value()) {
+    AnalysisPlan plan;
+    plan.name = multi ? "deck:AC" : "deck";
+    plan.ac = *ac;
+    plan.probes = domain_probes(ProbeDomain::kAc, ".AC");
+    out.plans.push_back(std::move(plan));
+  }
+  if (!out.plans.empty()) out.plan = out.plans.front();
   return out;
+}
+
+const AnalysisPlan* ParsedNetlist::find_plan(AnalysisKind kind)
+    const noexcept {
+  for (const AnalysisPlan& p : plans) {
+    if (analysis_kind(p) == kind) return &p;
+  }
+  return nullptr;
 }
 
 ParsedNetlist parse_netlist(std::istream& in) {

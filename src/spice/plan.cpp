@@ -6,15 +6,14 @@
 #include <cctype>
 #include <cstdlib>
 #include <exception>
-#include <mutex>
 #include <optional>
 #include <ostream>
 #include <sstream>
-#include <thread>
 #include <utility>
 
 #include "icvbe/common/constants.hpp"
 #include "icvbe/common/csv.hpp"
+#include "icvbe/common/thread_pool.hpp"
 #include "icvbe/spice/analysis.hpp"
 #include "icvbe/spice/netlist.hpp"
 #include "icvbe/spice/transient.hpp"
@@ -955,6 +954,7 @@ struct BoundPlan {
   BoundAxis inner;
   std::vector<CompiledProbe> probes;
   std::vector<double> stack;
+  std::vector<double> probe_row;  ///< staging row for RunObserver delivery
 
   BoundPlan(const AnalysisPlan& plan, Circuit& circuit) {
     if (plan.axes.size() == 2) outer = bind_axis(plan.axes.front(), circuit);
@@ -966,6 +966,35 @@ struct BoundPlan {
       max_depth = std::max(max_depth, probes.back().max_depth);
     }
     stack.assign(max_depth, 0.0);
+    probe_row.assign(plan.probes.size(), 0.0);
+  }
+};
+
+/// Shared streaming state of one run() execution: the observer (may be
+/// null) plus the cooperative cancel flag every executor -- the session
+/// itself or the parallel workers -- polls. Cancellation can only
+/// originate from the observer, so a null observer makes the whole
+/// streaming path a no-op and keeps the per-point loop allocation-free
+/// and bit-identical to the pre-streaming code.
+struct ObserverStream {
+  RunObserver* observer = nullptr;
+  std::atomic<bool> cancelled{false};
+
+  [[nodiscard]] bool active() const noexcept { return observer != nullptr; }
+
+  /// Deliver one completed row; throws CancelledError if this or any
+  /// other executor was cancelled. Safe to call from worker threads (the
+  /// RunObserver contract makes on_row implementations synchronise).
+  void deliver(std::size_t row, const double* axes, std::size_t axis_count,
+               const double* probes, std::size_t probe_count,
+               const std::string& run_name) {
+    if (cancelled.load(std::memory_order_relaxed)) {
+      throw CancelledError(run_name + ": cancelled");
+    }
+    if (!observer->on_row(row, axes, axis_count, probes, probe_count)) {
+      cancelled.store(true, std::memory_order_relaxed);
+      throw CancelledError(run_name + ": cancelled by observer");
+    }
   }
 };
 
@@ -983,7 +1012,9 @@ void run_inner_sweep(SimSession& session, BoundPlan& bound,
                      const AnalysisPlan& plan,
                      const std::vector<double>& inner_values,
                      std::size_t row_base, const Unknowns* seed,
-                     std::vector<std::vector<double>>& columns) {
+                     std::vector<std::vector<double>>& columns,
+                     ObserverStream& stream,
+                     const double* outer_value = nullptr) {
   for (std::size_t j = 0; j < inner_values.size(); ++j) {
     bound.inner.apply(inner_values[j]);
     const DcResult* r = &session.solve();
@@ -1003,6 +1034,17 @@ void run_inner_sweep(SimSession& session, BoundPlan& bound,
       columns[p][row_base + j] =
           eval_compiled(bound.probes[p], r->solution, bound.stack);
     }
+    if (stream.active()) {
+      double axes[2];
+      std::size_t axis_count = 0;
+      if (outer_value != nullptr) axes[axis_count++] = *outer_value;
+      axes[axis_count++] = inner_values[j];
+      for (std::size_t p = 0; p < bound.probes.size(); ++p) {
+        bound.probe_row[p] = columns[p][row_base + j];
+      }
+      stream.deliver(row_base + j, axes, axis_count, bound.probe_row.data(),
+                     bound.probe_row.size(), plan.name);
+    }
   }
 }
 
@@ -1016,16 +1058,62 @@ void run_outer_row(SimSession& session, BoundPlan& bound,
                    const std::vector<double>& inner_values,
                    std::size_t outer_idx, double outer_value,
                    const Unknowns* seed,
-                   std::vector<std::vector<double>>& columns) {
+                   std::vector<std::vector<double>>& columns,
+                   ObserverStream& stream) {
   for (const auto& dev : session.circuit().devices()) dev->reset_state();
   session.invalidate_warm_start();
   if (seed != nullptr) session.seed_warm_start(*seed);
   bound.outer.apply(outer_value);
   run_inner_sweep(session, bound, plan, inner_values,
-                  outer_idx * inner_values.size(), seed, columns);
+                  outer_idx * inner_values.size(), seed, columns, stream,
+                  &outer_value);
 }
 
 }  // namespace
+
+bool probe_supported_in(const Probe& probe, ProbeDomain domain) noexcept {
+  switch (probe.kind()) {
+    case Probe::Kind::kConstant:
+    case Probe::Kind::kNodeVoltage:
+      return true;
+    case Probe::Kind::kBranchCurrent:
+    case Probe::Kind::kBjtCurrent:
+      return domain == ProbeDomain::kDc;
+    case Probe::Kind::kAcVoltage:
+      return domain == ProbeDomain::kAc;
+    case Probe::Kind::kExpression:
+      return probe_supported_in(probe.lhs(), domain) &&
+             probe_supported_in(probe.rhs(), domain);
+  }
+  return false;  // unreachable
+}
+
+// ------------------------------------------------------- AnalysisKind ---
+
+AnalysisKind analysis_kind(const AnalysisPlan& plan) {
+  if (plan.transient.has_value()) return AnalysisKind::kTransient;
+  if (plan.ac.has_value()) return AnalysisKind::kAc;
+  return AnalysisKind::kDcSweep;
+}
+
+const char* to_token(AnalysisKind kind) {
+  switch (kind) {
+    case AnalysisKind::kDcSweep: return "DC";
+    case AnalysisKind::kTransient: return "TRAN";
+    case AnalysisKind::kAc: return "AC";
+  }
+  return "DC";  // unreachable
+}
+
+AnalysisKind analysis_kind_from_token(std::string_view token) {
+  std::string upper(token);
+  for (char& c : upper) c = static_cast<char>(std::toupper(c));
+  if (upper == "DC") return AnalysisKind::kDcSweep;
+  if (upper == "TRAN") return AnalysisKind::kTransient;
+  if (upper == "AC") return AnalysisKind::kAc;
+  throw PlanError("unknown analysis '" + std::string(token) +
+                  "' (expected DC, TRAN, or AC)");
+}
 
 // ----------------------------------------------------- CompiledProbeSet ---
 
@@ -1064,7 +1152,8 @@ double CompiledProbeSet::eval_ac(std::size_t i,
   return eval_compiled_ac(impl_->probes.at(i), x, impl_->stack);
 }
 
-SweepResult SimSession::run_ac(const AnalysisPlan& plan) {
+SweepResult SimSession::run_ac(const AnalysisPlan& plan,
+                               RunObserver* observer) {
   const std::vector<double> freqs = plan.ac->frequencies();
 
   SweepResult out;
@@ -1077,6 +1166,11 @@ SweepResult SimSession::run_ac(const AnalysisPlan& plan) {
   out.columns_.resize(plan.probes.size());
   for (auto& col : out.columns_) col.resize(out.rows_);
 
+  ObserverStream stream{observer};
+  if (stream.active()) {
+    observer->on_begin(out.axis_labels_, out.probe_labels_, out.rows_);
+  }
+
   // One committed operating point serves the whole sweep. The plan path
   // always SOLVES it -- a live warm-start seed (.NODESET hints, an
   // analytic guess) is a starting point for Newton here, never a
@@ -1088,10 +1182,7 @@ SweepResult SimSession::run_ac(const AnalysisPlan& plan) {
   (void)solve_or_throw();
   const Unknowns op = result_.solution;
 
-  unsigned threads = plan.threads;
-  if (threads == 0) {
-    threads = std::max(1u, std::thread::hardware_concurrency());
-  }
+  unsigned threads = common::resolve_thread_count(plan.threads);
   threads = std::min<unsigned>(threads, static_cast<unsigned>(freqs.size()));
 
   if (threads <= 1) {
@@ -1104,10 +1195,18 @@ SweepResult SimSession::run_ac(const AnalysisPlan& plan) {
     ac_prime_omega_ = 2.0 * M_PI * freqs.front();
     ac_pinned_analysis_ = -1;  // any live analysis re-pins on first use
     const CompiledProbeSet probes(plan.probes, *circuit_, ProbeDomain::kAc);
+    std::vector<double> probe_row(plan.probes.size(), 0.0);
     for (std::size_t i = 0; i < freqs.size(); ++i) {
       const linalg::ComplexVector& xac = solve_ac(2.0 * M_PI * freqs[i]);
       for (std::size_t p = 0; p < probes.size(); ++p) {
         out.columns_[p][i] = probes.eval_ac(p, xac);
+      }
+      if (stream.active()) {
+        for (std::size_t p = 0; p < probes.size(); ++p) {
+          probe_row[p] = out.columns_[p][i];
+        }
+        stream.deliver(i, &freqs[i], 1, probe_row.data(), probe_row.size(),
+                       plan.name);
       }
     }
     return out;
@@ -1125,34 +1224,33 @@ SweepResult SimSession::run_ac(const AnalysisPlan& plan) {
   worker_options.sparse =
       use_sparse_ ? SparseMode::kSparse : SparseMode::kDense;
   std::atomic<std::size_t> next{0};
-  std::mutex error_mutex;
-  std::exception_ptr first_error;
-  auto worker = [&]() {
-    try {
-      Circuit clone = circuit_->clone();
-      SimSession session(clone, worker_options);
-      session.seed_warm_start(op);
-      const CompiledProbeSet probes(plan.probes, clone, ProbeDomain::kAc);
-      (void)session.solve_ac(2.0 * M_PI * freqs.front());  // prime analysis
-      for (;;) {
-        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= freqs.size()) break;
-        const linalg::ComplexVector& xac =
-            session.solve_ac(2.0 * M_PI * freqs[i]);
-        for (std::size_t p = 0; p < probes.size(); ++p) {
-          out.columns_[p][i] = probes.eval_ac(p, xac);
-        }
+  common::fan_out(threads, [&]() {
+    Circuit clone = circuit_->clone();
+    SimSession session(clone, worker_options);
+    session.seed_warm_start(op);
+    const CompiledProbeSet probes(plan.probes, clone, ProbeDomain::kAc);
+    std::vector<double> probe_row(plan.probes.size(), 0.0);
+    (void)session.solve_ac(2.0 * M_PI * freqs.front());  // prime analysis
+    for (;;) {
+      if (stream.cancelled.load(std::memory_order_relaxed)) break;
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= freqs.size()) break;
+      const linalg::ComplexVector& xac =
+          session.solve_ac(2.0 * M_PI * freqs[i]);
+      for (std::size_t p = 0; p < probes.size(); ++p) {
+        out.columns_[p][i] = probes.eval_ac(p, xac);
       }
-    } catch (...) {
-      const std::lock_guard<std::mutex> lock(error_mutex);
-      if (!first_error) first_error = std::current_exception();
+      if (stream.active()) {
+        for (std::size_t p = 0; p < probes.size(); ++p) {
+          probe_row[p] = out.columns_[p][i];
+        }
+        stream.deliver(i, &freqs[i], 1, probe_row.data(), probe_row.size(),
+                       plan.name);
+      }
     }
-  };
-  std::vector<std::thread> pool;
-  pool.reserve(threads);
-  for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
-  for (auto& t : pool) t.join();
-  if (first_error) std::rethrow_exception(first_error);
+  });
+  // A cancelling worker throws CancelledError from deliver(); fan_out
+  // rethrows it here after every worker has stopped.
   return out;
 }
 
@@ -1163,7 +1261,7 @@ Series SimSession::sweep(const SweepAxis& axis, const SweepProbe& probe,
                [&bound](double v) { bound.apply(v); }, probe, name);
 }
 
-SweepResult SimSession::run(const AnalysisPlan& plan) {
+SweepResult SimSession::run(const AnalysisPlan& plan, RunObserver* observer) {
   // Run under the plan's solver options; restore the session's own on all
   // exit paths (shared by the transient and sweep branches).
   struct OptionsGuard {
@@ -1187,7 +1285,7 @@ SweepResult SimSession::run(const AnalysisPlan& plan) {
       throw PlanError(plan.name + ": plan needs at least one probe");
     }
     TransientSolver solver(*this, *plan.transient);
-    return solver.run(plan.probes);
+    return solver.run(plan.probes, observer);
   }
   if (plan.ac.has_value()) {
     if (!plan.axes.empty()) {
@@ -1197,7 +1295,7 @@ SweepResult SimSession::run(const AnalysisPlan& plan) {
     if (plan.probes.empty()) {
       throw PlanError(plan.name + ": plan needs at least one probe");
     }
-    return run_ac(plan);
+    return run_ac(plan, observer);
   }
   if (plan.axes.empty()) {
     throw PlanError(plan.name + ": plan needs at least one sweep axis");
@@ -1240,6 +1338,11 @@ SweepResult SimSession::run(const AnalysisPlan& plan) {
 
   std::vector<std::vector<double>>& columns = out.columns_;
 
+  ObserverStream stream{observer};
+  if (stream.active()) {
+    observer->on_begin(out.axis_labels_, out.probe_labels_, out.rows_);
+  }
+
   // The warm start live at run() entry (e.g. .NODESET hints or an
   // analytic startup guess) doubles as the deterministic seed: 2-axis
   // rows start from it, and failed points retry from it.
@@ -1251,21 +1354,18 @@ SweepResult SimSession::run(const AnalysisPlan& plan) {
     // Single axis: run in place, inheriting the session's continuation
     // state -- identical semantics to sweep().
     BoundPlan bound(plan, *circuit_);
-    run_inner_sweep(*this, bound, plan, out.inner_, 0, seed, columns);
+    run_inner_sweep(*this, bound, plan, out.inner_, 0, seed, columns, stream);
     return out;
   }
 
-  unsigned threads = plan.threads;
-  if (threads == 0) {
-    threads = std::max(1u, std::thread::hardware_concurrency());
-  }
+  unsigned threads = common::resolve_thread_count(plan.threads);
   threads = std::min<unsigned>(threads, static_cast<unsigned>(outer_n));
 
   if (threads <= 1) {
     BoundPlan bound(plan, *circuit_);
     for (std::size_t o = 0; o < outer_n; ++o) {
       run_outer_row(*this, bound, plan, out.inner_, o, out.outer_[o], seed,
-                    columns);
+                    columns, stream);
     }
     return out;
   }
@@ -1281,29 +1381,20 @@ SweepResult SimSession::run(const AnalysisPlan& plan) {
   worker_options.sparse =
       use_sparse_ ? SparseMode::kSparse : SparseMode::kDense;
   std::atomic<std::size_t> next{0};
-  std::mutex error_mutex;
-  std::exception_ptr first_error;
-  auto worker = [&]() {
-    try {
-      Circuit clone = circuit_->clone();
-      SimSession session(clone, worker_options);
-      BoundPlan bound(plan, clone);
-      for (;;) {
-        const std::size_t o = next.fetch_add(1, std::memory_order_relaxed);
-        if (o >= outer_n) break;
-        run_outer_row(session, bound, plan, out.inner_, o, out.outer_[o],
-                      seed, columns);
-      }
-    } catch (...) {
-      const std::lock_guard<std::mutex> lock(error_mutex);
-      if (!first_error) first_error = std::current_exception();
+  common::fan_out(threads, [&]() {
+    Circuit clone = circuit_->clone();
+    SimSession session(clone, worker_options);
+    BoundPlan bound(plan, clone);
+    for (;;) {
+      if (stream.cancelled.load(std::memory_order_relaxed)) break;
+      const std::size_t o = next.fetch_add(1, std::memory_order_relaxed);
+      if (o >= outer_n) break;
+      run_outer_row(session, bound, plan, out.inner_, o, out.outer_[o], seed,
+                    columns, stream);
     }
-  };
-  std::vector<std::thread> pool;
-  pool.reserve(threads);
-  for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
-  for (auto& t : pool) t.join();
-  if (first_error) std::rethrow_exception(first_error);
+  });
+  // A cancelling worker throws CancelledError from deliver(); fan_out
+  // rethrows it here after every worker has stopped.
   return out;
 }
 

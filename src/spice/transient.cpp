@@ -252,7 +252,8 @@ bool TransientSolver::advance() {
                        std::to_string(t_) + " s");
 }
 
-SweepResult TransientSolver::run(const std::vector<Probe>& probes) {
+SweepResult TransientSolver::run(const std::vector<Probe>& probes,
+                                 RunObserver* observer) {
   ICVBE_REQUIRE(!probes.empty(), "TransientSolver::run: need >= 1 probe");
   begin();
 
@@ -265,6 +266,13 @@ SweepResult TransientSolver::run(const std::vector<Probe>& probes) {
   out.inner_.reserve(estimate);
   for (auto& col : out.columns_) col.reserve(estimate);
 
+  // expected_rows = 0: the adaptive controller does not know the
+  // accepted-point count up front.
+  if (observer != nullptr) {
+    observer->on_begin(out.axis_labels_, out.probe_labels_, 0);
+  }
+  std::vector<double> probe_row(observer != nullptr ? probes.size() : 0, 0.0);
+
   // Compile once: per-timepoint recording then does no name lookups
   // (same discipline as the DC plan path).
   const CompiledProbeSet compiled(probes, session_.circuit());
@@ -272,6 +280,17 @@ SweepResult TransientSolver::run(const std::vector<Probe>& probes) {
     out.inner_.push_back(t_);
     for (std::size_t p = 0; p < probes.size(); ++p) {
       out.columns_[p].push_back(compiled.eval(p, x_now_));
+    }
+    if (observer != nullptr) {
+      const std::size_t row = out.inner_.size() - 1;
+      for (std::size_t p = 0; p < probes.size(); ++p) {
+        probe_row[p] = out.columns_[p][row];
+      }
+      if (!observer->on_row(row, &out.inner_[row], 1, probe_row.data(),
+                            probe_row.size())) {
+        throw CancelledError("transient: cancelled by observer at t = " +
+                             std::to_string(t_) + " s");
+      }
     }
   };
   if (spec_.tstart <= teps_) record();

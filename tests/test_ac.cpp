@@ -426,10 +426,19 @@ TEST(AcDeck, AcCardAndSourceSpecParse) {
   EXPECT_DOUBLE_EQ(i1.ac_magnitude(), 1.0e-3);
 }
 
-TEST(AcDeck, MixedAnalysesAndBadFormsAreRejected) {
-  EXPECT_THROW((void)parse_netlist("R1 a 0 1k\n.AC DEC 10 1 1k\n"
-                                   ".DC TEMP 0 100 25\n.PROBE V(a)\n"),
-               NetlistError);
+TEST(AcDeck, MixedAnalysesBuildOnePlanPerFamily) {
+  // .AC + .DC in one deck used to be rejected; it now yields two plans in
+  // the pinned canonical order (DC sweep first, AC last).
+  auto parsed = parse_netlist("R1 a 0 1k\n.AC DEC 10 1 1k\n"
+                              ".DC TEMP 0 100 25\n.PROBE V(a)\n");
+  ASSERT_EQ(parsed.plans.size(), 2u);
+  EXPECT_EQ(analysis_kind(parsed.plans[0]), AnalysisKind::kDcSweep);
+  EXPECT_EQ(analysis_kind(parsed.plans[1]), AnalysisKind::kAc);
+  ASSERT_TRUE(parsed.plan.has_value());
+  EXPECT_EQ(analysis_kind(*parsed.plan), AnalysisKind::kDcSweep);
+}
+
+TEST(AcDeck, BadFormsAreRejected) {
   EXPECT_THROW((void)parse_netlist("R1 a 0 1k\n.AC LOG 10 1 1k\n"
                                    ".PROBE V(a)\n"),
                NetlistError);

@@ -429,10 +429,6 @@ TEST(NetlistParser, TranDirectiveErrors) {
   };
   // No .PROBE.
   EXPECT_THROW((void)parse_netlist(deck(".TRAN 1u 1m\n")), NetlistError);
-  // Mixing analyses.
-  EXPECT_THROW((void)parse_netlist(
-                   deck(".TRAN 1u 1m\n.DC V1 0 1 0.1\n.PROBE V(a)\n")),
-               NetlistError);
   // Bad numbers.
   EXPECT_THROW((void)parse_netlist(deck(".TRAN 0 1m\n.PROBE V(a)\n")),
                NetlistError);
@@ -445,6 +441,117 @@ TEST(NetlistParser, TranDirectiveErrors) {
   EXPECT_THROW((void)parse_netlist(
                    deck(".TRAN 1u 1m\n.TRAN 2u 1m\n.PROBE V(a)\n")),
                NetlistError);
+}
+
+// ------------------------------------------------ multi-analysis decks ---
+
+TEST(MultiAnalysisDeck, AllThreeFamiliesInPinnedCanonicalOrder) {
+  // Cards deliberately in reverse canonical order: the plans vector must
+  // still come out [DC sweep, TRAN, AC].
+  const char* deck = R"(
+V1 in 0 1 AC 1
+R1 in out 1k
+C1 out 0 1u
+.AC DEC 5 1 1k
+.TRAN 10u 1m
+.DC V1 0 1 0.5
+.PROBE V(out)
+)";
+  auto parsed = parse_netlist(deck);
+  ASSERT_EQ(parsed.plans.size(), 3u);
+  EXPECT_EQ(analysis_kind(parsed.plans[0]), AnalysisKind::kDcSweep);
+  EXPECT_EQ(analysis_kind(parsed.plans[1]), AnalysisKind::kTransient);
+  EXPECT_EQ(analysis_kind(parsed.plans[2]), AnalysisKind::kAc);
+  EXPECT_EQ(parsed.plans[0].name, "deck:DC");
+  EXPECT_EQ(parsed.plans[1].name, "deck:TRAN");
+  EXPECT_EQ(parsed.plans[2].name, "deck:AC");
+  // Legacy accessor stays the first plan.
+  ASSERT_TRUE(parsed.plan.has_value());
+  EXPECT_EQ(analysis_kind(*parsed.plan), AnalysisKind::kDcSweep);
+  // find_plan resolves each family.
+  ASSERT_NE(parsed.find_plan(AnalysisKind::kTransient), nullptr);
+  EXPECT_TRUE(parsed.find_plan(AnalysisKind::kTransient)
+                  ->transient.has_value());
+  ASSERT_NE(parsed.find_plan(AnalysisKind::kAc), nullptr);
+  EXPECT_TRUE(parsed.find_plan(AnalysisKind::kAc)->ac.has_value());
+}
+
+TEST(MultiAnalysisDeck, ProbesAreDomainFiltered) {
+  // I(V1) cannot evaluate in .AC; VDB(out) cannot evaluate at a DC
+  // operating point; V(out) rides everywhere.
+  const char* deck = R"(
+V1 in 0 1 AC 1
+R1 in out 1k
+C1 out 0 1u
+.TRAN 10u 1m
+.AC DEC 5 1 1k
+.PROBE V(out) I(V1) VDB(out)
+)";
+  auto parsed = parse_netlist(deck);
+  ASSERT_EQ(parsed.plans.size(), 2u);
+  const AnalysisPlan* tran = parsed.find_plan(AnalysisKind::kTransient);
+  const AnalysisPlan* ac = parsed.find_plan(AnalysisKind::kAc);
+  ASSERT_NE(tran, nullptr);
+  ASSERT_NE(ac, nullptr);
+  ASSERT_EQ(tran->probes.size(), 2u);
+  EXPECT_EQ(tran->probes[0].to_string(), "V(out)");
+  EXPECT_EQ(tran->probes[1].to_string(), "I(V1)");
+  ASSERT_EQ(ac->probes.size(), 2u);
+  EXPECT_EQ(ac->probes[0].to_string(), "V(out)");
+  EXPECT_EQ(ac->probes[1].to_string(), "VDB(out)");
+}
+
+TEST(MultiAnalysisDeck, AnalysisWithNoSupportedProbeIsAnError) {
+  // Every .PROBE is AC-only, so the .TRAN plan would be empty.
+  EXPECT_THROW((void)parse_netlist("V1 in 0 1 AC 1\nR1 in out 1k\n"
+                                   "C1 out 0 1u\n.TRAN 10u 1m\n"
+                                   ".AC DEC 5 1 1k\n.PROBE VDB(out)\n"),
+               NetlistError);
+  // And the mirror image: every .PROBE is DC-only for the .AC plan.
+  EXPECT_THROW((void)parse_netlist("V1 in 0 1 AC 1\nR1 in out 1k\n"
+                                   "C1 out 0 1u\n.TRAN 10u 1m\n"
+                                   ".AC DEC 5 1 1k\n.PROBE I(V1)\n"),
+               NetlistError);
+}
+
+TEST(MultiAnalysisDeck, SingleAnalysisDecksKeepTheLegacyShape) {
+  auto parsed = parse_netlist("V1 a 0 1\nR1 a 0 1k\n.DC V1 0 1 0.5\n"
+                              ".PROBE V(a) I(V1)\n");
+  ASSERT_EQ(parsed.plans.size(), 1u);
+  EXPECT_EQ(parsed.plans[0].name, "deck");
+  ASSERT_TRUE(parsed.plan.has_value());
+  EXPECT_EQ(parsed.plan->probes.size(), 2u);
+  EXPECT_EQ(parsed.find_plan(AnalysisKind::kAc), nullptr);
+}
+
+TEST(MultiAnalysisDeck, EveryPlanExecutes) {
+  // End-to-end: one deck, three plans, one warm session runs them all.
+  const char* deck = R"(
+V1 in 0 1 AC 1
+R1 in out 1k
+C1 out 0 1u
+.DC V1 0 1 0.5
+.TRAN 0.2m 2m
+.AC DEC 5 1 1k
+.PROBE V(out)
+)";
+  auto parsed = parse_netlist(deck);
+  ASSERT_EQ(parsed.plans.size(), 3u);
+  SimSession session(*parsed.circuit);
+  for (const AnalysisPlan& plan : parsed.plans) {
+    const SweepResult r = session.run(plan);
+    EXPECT_GT(r.rows(), 0u) << plan.name;
+  }
+}
+
+TEST(AnalysisKindTokens, RoundTripAndRejection) {
+  EXPECT_STREQ(to_token(AnalysisKind::kDcSweep), "DC");
+  EXPECT_STREQ(to_token(AnalysisKind::kTransient), "TRAN");
+  EXPECT_STREQ(to_token(AnalysisKind::kAc), "AC");
+  EXPECT_EQ(analysis_kind_from_token("dc"), AnalysisKind::kDcSweep);
+  EXPECT_EQ(analysis_kind_from_token("Tran"), AnalysisKind::kTransient);
+  EXPECT_EQ(analysis_kind_from_token("AC"), AnalysisKind::kAc);
+  EXPECT_THROW((void)analysis_kind_from_token("NOISE"), PlanError);
 }
 
 TEST(ModelWriter, RoundTripsBjtCard) {

@@ -1,0 +1,167 @@
+// Tests for the shared threading primitives (common/thread_pool.hpp):
+// fan_out semantics (inline serial path, exception rethrow, full-crew
+// completion) and ThreadPool lifecycle (FIFO execution, submit-from-job,
+// drain-on-stop, post-stop rejection, exception swallowing).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "icvbe/common/error.hpp"
+#include "icvbe/common/thread_pool.hpp"
+
+namespace icvbe::common {
+namespace {
+
+TEST(ResolveThreadCount, PassthroughAndHardwareFallback) {
+  EXPECT_EQ(resolve_thread_count(1), 1u);
+  EXPECT_EQ(resolve_thread_count(7), 7u);
+  EXPECT_GE(resolve_thread_count(0), 1u);
+}
+
+TEST(FanOut, SerialRunsInlineOnCaller) {
+  // threads <= 1 must run on the calling thread: the serial analysis
+  // paths rely on inheriting the session's state without a handoff.
+  const std::thread::id caller = std::this_thread::get_id();
+  std::thread::id seen{};
+  fan_out(1, [&]() { seen = std::this_thread::get_id(); });
+  EXPECT_EQ(seen, caller);
+}
+
+TEST(FanOut, RunsCallableOncePerWorker) {
+  std::atomic<int> calls{0};
+  fan_out(4, [&]() { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 4);
+}
+
+TEST(FanOut, CounterPartitionCoversEveryIndexOnce) {
+  // The canonical call shape: counter-pull partitioning over preallocated
+  // slots. Every index must be computed exactly once.
+  constexpr int kN = 1000;
+  std::vector<int> slots(kN, -1);
+  std::atomic<int> next{0};
+  fan_out(8, [&]() {
+    for (;;) {
+      const int i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= kN) break;
+      slots[static_cast<std::size_t>(i)] = i;
+    }
+  });
+  for (int i = 0; i < kN; ++i) {
+    ASSERT_EQ(slots[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(FanOut, RethrowsFirstExceptionAfterAllWorkersFinish) {
+  // One worker throws; the others must still run to completion before the
+  // exception surfaces in the caller.
+  std::atomic<int> finished{0};
+  std::atomic<int> thrown{0};
+  std::string caught;
+  try {
+    fan_out(4, [&]() {
+      if (thrown.fetch_add(1) == 0) {
+        throw std::runtime_error("worker boom");
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      finished.fetch_add(1);
+    });
+  } catch (const std::runtime_error& e) {
+    caught = e.what();
+  }
+  EXPECT_EQ(caught, "worker boom");
+  EXPECT_EQ(finished.load(), 3);
+}
+
+TEST(FanOut, SerialExceptionPropagatesDirectly) {
+  EXPECT_THROW(fan_out(1, []() { throw Error("serial boom"); }), Error);
+}
+
+TEST(ThreadPool, DestructorDrainsAllQueuedJobs) {
+  std::atomic<int> sum{0};
+  {
+    ThreadPool pool(3);
+    EXPECT_EQ(pool.size(), 3u);
+    for (int i = 1; i <= 100; ++i) {
+      pool.submit([&sum, i]() { sum.fetch_add(i); });
+    }
+  }  // destructor drains
+  EXPECT_EQ(sum.load(), 5050);
+}
+
+TEST(ThreadPool, JobsMaySubmitFollowUpJobs) {
+  // A running job may enqueue follow-up work (the server's run bodies do
+  // this when a client pipelines requests).
+  std::atomic<int> hits{0};
+  {
+    ThreadPool pool(2);
+    pool.submit([&]() {
+      hits.fetch_add(1);
+      pool.submit([&]() { hits.fetch_add(1); });
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_EQ(hits.load(), 2);
+}
+
+TEST(ThreadPool, SubmitAfterStopThrows) {
+  ThreadPool pool(1);
+  pool.stop_and_join();
+  EXPECT_THROW(pool.submit([]() {}), Error);
+  pool.stop_and_join();  // idempotent
+}
+
+TEST(ThreadPool, StopRunsQueueDry) {
+  // Queued-but-unstarted jobs still execute: queued runs owe their
+  // clients a terminal protocol frame.
+  std::atomic<int> ran{0};
+  ThreadPool pool(1);
+  pool.submit([&]() {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    ran.fetch_add(1);
+  });
+  for (int i = 0; i < 5; ++i) {
+    pool.submit([&]() { ran.fetch_add(1); });
+  }
+  pool.stop_and_join();
+  EXPECT_EQ(ran.load(), 6);
+  EXPECT_EQ(pool.queued(), 0u);
+  EXPECT_EQ(pool.running(), 0u);
+}
+
+TEST(ThreadPool, ThrowingJobDoesNotKillItsWorker) {
+  std::atomic<int> after{0};
+  {
+    ThreadPool pool(1);
+    pool.submit([]() { throw std::runtime_error("job boom"); });
+    pool.submit([&]() { after.fetch_add(1); });
+  }
+  EXPECT_EQ(after.load(), 1);
+}
+
+TEST(ThreadPool, ConcurrentSubmittersAllLand) {
+  // Many threads hammering submit() concurrently (the server shape: one
+  // reader thread per connection, all feeding one pool).
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(4);
+    std::vector<std::thread> submitters;
+    for (int t = 0; t < 4; ++t) {
+      submitters.emplace_back([&pool, &done]() {
+        for (int i = 0; i < 250; ++i) {
+          pool.submit([&done]() { done.fetch_add(1); });
+        }
+      });
+    }
+    for (auto& t : submitters) t.join();
+  }
+  EXPECT_EQ(done.load(), 1000);
+}
+
+}  // namespace
+}  // namespace icvbe::common

@@ -9,9 +9,15 @@ Keeps README.md and docs/ from rotting:
    every fenced deck block that follows a deck link matches the deck file
    on disk (comment lines aside) -- the docs show the real thing.
 3. With --run <icvbe-binary>: every deck is executed end-to-end through
-   the CLI (`tran` for .TRAN decks, `ac` for .AC decks, `run` for
-   .DC/.STEP decks, `simulate` otherwise) and must exit 0 and produce
-   output.
+   the CLI -- once per analysis family it declares (`tran` for .TRAN,
+   `ac` for .AC, `run` for .DC/.STEP; multi-analysis combo decks execute
+   through every matching subcommand), `simulate` when it declares none.
+   Each invocation must exit 0 and produce output.
+4. With --run: the ```transcript block in docs/PROTOCOL.md is played
+   against a live `icvbe serve` daemon over its AF_UNIX socket. `C: `
+   lines are sent as frame heads (`C| ` lines as their body), `S: `
+   lines are matched against received frames (`S| ` against body lines);
+   a trailing ` ...` makes the comparison a prefix match.
 
 Exit code 0 = all good; 1 = findings (printed one per line).
 """
@@ -19,9 +25,14 @@ Exit code 0 = all good; 1 = findings (printed one per line).
 from __future__ import annotations
 
 import argparse
+import os
 import re
+import signal
+import socket
 import subprocess
 import sys
+import tempfile
+import time
 from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
@@ -103,37 +114,162 @@ def check_decks_md() -> list[Path]:
     return decks
 
 
-def deck_subcommand(deck: Path) -> str:
+def deck_subcommands(deck: Path) -> list[str]:
+    """All CLI subcommands a deck executes through -- a multi-analysis
+    combo deck runs once per family it declares."""
     body = deck.read_text().upper()
-    if re.search(r"^\s*\.TRAN\b", body, re.M):
-        return "tran"
-    if re.search(r"^\s*\.AC\b", body, re.M):
-        return "ac"
+    cmds = []
     if re.search(r"^\s*\.(DC|STEP)\b", body, re.M):
-        return "run"
-    return "simulate"
+        cmds.append("run")
+    if re.search(r"^\s*\.TRAN\b", body, re.M):
+        cmds.append("tran")
+    if re.search(r"^\s*\.AC\b", body, re.M):
+        cmds.append("ac")
+    return cmds or ["simulate"]
 
 
 def run_decks(binary: str, decks: list[Path]) -> None:
     for deck in decks:
-        cmd = [binary, deck_subcommand(deck), str(deck)]
+        for sub in deck_subcommands(deck):
+            cmd = [binary, sub, str(deck)]
+            try:
+                proc = subprocess.run(
+                    cmd, capture_output=True, text=True, timeout=120
+                )
+            except (OSError, subprocess.TimeoutExpired) as e:
+                finding(f"{' '.join(cmd)}: {e}")
+                continue
+            if proc.returncode != 0:
+                finding(
+                    f"{' '.join(cmd)}: exit {proc.returncode}: "
+                    f"{proc.stderr.strip().splitlines()[-1] if proc.stderr else ''}"
+                )
+            elif not proc.stdout.strip():
+                finding(f"{' '.join(cmd)}: produced no output")
+            else:
+                print(f"ok: {deck.name} via '{sub}' "
+                      f"({len(proc.stdout.splitlines())} lines)")
+
+
+# ----------------------------------------------------- protocol transcript --
+
+
+def parse_transcript(text: str) -> list[tuple[str, str, list[str]]]:
+    """Parse a ```transcript block into (direction, head, body_lines)
+    steps. Directions: 'C' = send to server, 'S' = expect from server."""
+    steps: list[tuple[str, str, list[str]]] = []
+    for line in text.splitlines():
+        if line.startswith("C: ") or line.startswith("S: "):
+            steps.append((line[0], line[3:], []))
+        elif line.startswith("C| ") or line.startswith("S| "):
+            if not steps or steps[-1][0] != line[0]:
+                raise ValueError(f"transcript body line without head: {line}")
+            steps[-1][2].append(line[3:])
+        elif line.startswith(("C|", "S|")) and line[2:].strip() == "":
+            steps[-1][2].append("")  # empty body line
+    return steps
+
+
+def encode_frame(head: str, body_lines: list[str]) -> bytes:
+    payload = head
+    if body_lines:
+        payload += "\n" + "\n".join(body_lines) + "\n"
+    raw = payload.encode()
+    return str(len(raw)).encode() + b"\n" + raw
+
+
+class FrameReader:
+    def __init__(self, sock: socket.socket) -> None:
+        self.sock = sock
+        self.buf = b""
+
+    def read_frame(self) -> str:
+        while b"\n" not in self.buf:
+            self._recv()
+        length_text, rest = self.buf.split(b"\n", 1)
+        length = int(length_text)
+        while len(rest) < length:
+            self.buf = rest
+            self._recv()
+            rest = self.buf
+        self.buf = rest[length:]
+        return rest[:length].decode()
+
+    def _recv(self) -> None:
+        chunk = self.sock.recv(65536)
+        if not chunk:
+            raise ConnectionError("server closed the connection")
+        self.buf += chunk
+
+
+def match_line(expected: str, actual: str) -> bool:
+    """Exact match, or prefix match when `expected` ends with '...'."""
+    if expected.endswith("..."):
+        return actual.startswith(expected[:-3].rstrip())
+    return expected == actual
+
+
+def check_transcript(binary: str) -> None:
+    protocol_md = REPO / "docs" / "PROTOCOL.md"
+    if not protocol_md.exists():
+        finding("docs/PROTOCOL.md is missing")
+        return
+    blocks = re.findall(r"```transcript\n(.*?)```", protocol_md.read_text(),
+                        re.S)
+    if not blocks:
+        finding("docs/PROTOCOL.md has no ```transcript block")
+        return
+
+    sock_path = tempfile.mktemp(prefix="icvbe_docs_", suffix=".sock")
+    server = subprocess.Popen(
+        [binary, "serve", "--socket", sock_path, "--workers", "2"],
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+    try:
+        deadline = time.monotonic() + 10.0
+        while not os.path.exists(sock_path):
+            if time.monotonic() > deadline or server.poll() is not None:
+                finding("icvbe serve did not come up for the transcript")
+                return
+            time.sleep(0.05)
+
+        for block in blocks:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.connect(sock_path)
+            reader = FrameReader(sock)
+            try:
+                for direction, head, body in parse_transcript(block):
+                    if direction == "C":
+                        sock.sendall(encode_frame(head, body))
+                        continue
+                    frame = reader.read_frame()
+                    lines = frame.split("\n")
+                    if not match_line(head, lines[0]):
+                        finding(f"PROTOCOL.md transcript: expected "
+                                f"'{head}', got '{lines[0]}'")
+                        return
+                    for i, expected in enumerate(body, start=1):
+                        if i >= len(lines) or not match_line(expected,
+                                                             lines[i]):
+                            got = lines[i] if i < len(lines) else "<missing>"
+                            finding(f"PROTOCOL.md transcript: body of "
+                                    f"'{head}': expected '{expected}', "
+                                    f"got '{got}'")
+                            return
+                print(f"ok: PROTOCOL.md transcript "
+                      f"({len(block.splitlines())} lines) played back")
+            finally:
+                sock.close()
+    except (OSError, ConnectionError, ValueError) as e:
+        finding(f"PROTOCOL.md transcript: {e}")
+    finally:
+        server.send_signal(signal.SIGTERM)
         try:
-            proc = subprocess.run(
-                cmd, capture_output=True, text=True, timeout=120
-            )
-        except (OSError, subprocess.TimeoutExpired) as e:
-            finding(f"{' '.join(cmd)}: {e}")
-            continue
-        if proc.returncode != 0:
-            finding(
-                f"{' '.join(cmd)}: exit {proc.returncode}: "
-                f"{proc.stderr.strip().splitlines()[-1] if proc.stderr else ''}"
-            )
-        elif not proc.stdout.strip():
-            finding(f"{' '.join(cmd)}: produced no output")
-        else:
-            print(f"ok: {deck.name} via '{deck_subcommand(deck)}' "
-                  f"({len(proc.stdout.splitlines())} lines)")
+            server.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            server.kill()
+        if os.path.exists(sock_path):
+            os.unlink(sock_path)
 
 
 def main() -> int:
@@ -149,6 +285,7 @@ def main() -> int:
     decks = check_decks_md()
     if args.run:
         run_decks(args.run, decks)
+        check_transcript(args.run)
 
     if findings:
         print(f"\n{len(findings)} finding(s)")

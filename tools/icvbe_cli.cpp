@@ -30,8 +30,19 @@
 //                                        parallel and print the statistics
 //   icvbe table1                         reproduce the paper's Table 1
 //   icvbe truthcard                      print the hidden ground-truth card
+//   icvbe serve [--socket <path>|--port <p>] [--workers N]
+//                                        run the simulation-as-a-service
+//                                        daemon (docs/PROTOCOL.md) until
+//                                        SIGINT/SIGTERM
+//
+// Exit codes: 0 success, 1 named runtime error (bad value, missing file,
+// deck/analysis mismatch, solver failure), 2 usage error (unknown
+// subcommand or option, wrong argument shape) with the usage text.
 
+#include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -45,6 +56,7 @@
 #include "icvbe/extract/meijer.hpp"
 #include "icvbe/lab/campaign.hpp"
 #include "icvbe/lab/lot_campaign.hpp"
+#include "icvbe/server/sim_server.hpp"
 #include "icvbe/spice/analysis.hpp"
 #include "icvbe/spice/dc_solver.hpp"
 #include "icvbe/spice/netlist.hpp"
@@ -54,10 +66,18 @@ namespace {
 
 using namespace icvbe;
 
-int usage() {
-  std::fprintf(stderr,
+/// Structural misuse of the command line -- unknown subcommand or option,
+/// wrong argument shape. Exits 2 and prints the usage text; everything
+/// else an Error names exits 1 without it.
+class UsageError : public Error {
+ public:
+  using Error::Error;
+};
+
+void print_usage(std::FILE* out) {
+  std::fprintf(out,
                "usage: icvbe <simulate|run|tran|ac|sweep|tempsweep|extract|"
-               "lot|table1|truthcard> [args]\n"
+               "lot|table1|truthcard|serve> [args]\n"
                "  simulate <deck.cir>\n"
                "  tran <deck.cir> [--method=be|trap] [--sparse[=auto|on|off]]\n"
                "      executes the deck's .TRAN/.PROBE analysis, CSV out\n"
@@ -76,8 +96,10 @@ int usage() {
                "  extract [sample-index]\n"
                "  lot [samples] [threads]\n"
                "  table1\n"
-               "  truthcard\n");
-  return 2;
+               "  truthcard\n"
+               "  serve [--socket <path>|--port <p>] [--workers N]\n"
+               "      long-lived daemon speaking docs/PROTOCOL.md; decks in\n"
+               "      a combo deck select per analysis (RUN ... DC|TRAN|AC)\n");
 }
 
 /// Checked numeric argument parsing: std::stod's bare "stod" exception
@@ -175,48 +197,67 @@ spice::SparseMode parse_sparse_mode(const std::string& text) {
               "' (want auto, on, or off)");
 }
 
-int cmd_run(const std::string& path, unsigned threads,
-            spice::SparseMode sparse_mode) {
-  auto parsed = load_deck(path);
-  if (!parsed.plan.has_value()) {
-    throw Error("deck '" + path +
-                "' describes no analysis (needs .DC or .STEP plus .PROBE)");
+/// The flag vocabulary shared by the deck-executing subcommands. One
+/// scanner instead of three copy-pasted loops: `--sparse[=mode]`
+/// everywhere, `--method=` only where the subcommand allows it; unknown
+/// `--options` are usage errors.
+struct DeckArgs {
+  std::vector<std::string> positional;
+  spice::SparseMode sparse = spice::SparseMode::kAuto;
+  std::optional<spice::IntegrationMethod> method;
+};
+
+DeckArgs scan_deck_args(const std::vector<std::string>& args,
+                        bool allow_method) {
+  DeckArgs out;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == "--sparse") {
+      out.sparse = spice::SparseMode::kAuto;
+    } else if (args[i].rfind("--sparse=", 0) == 0) {
+      out.sparse = parse_sparse_mode(
+          args[i].substr(std::string("--sparse=").size()));
+    } else if (allow_method && args[i].rfind("--method=", 0) == 0) {
+      const std::string m = args[i].substr(std::string("--method=").size());
+      if (m == "be" || m == "euler") {
+        out.method = spice::IntegrationMethod::kBackwardEuler;
+      } else if (m == "trap" || m == "trapezoidal") {
+        out.method = spice::IntegrationMethod::kTrapezoidal;
+      } else {
+        throw Error("--method: unknown method '" + m + "' (want be or trap)");
+      }
+    } else if (args[i].rfind("--", 0) == 0) {
+      throw UsageError("unknown option '" + args[i] + "'");
+    } else {
+      out.positional.push_back(args[i]);
+    }
   }
-  auto& c = *parsed.circuit;
-  c.set_temperature(to_kelvin(parsed.temperature_celsius));
-  spice::AnalysisPlan plan = *parsed.plan;
-  plan.threads = threads;
-  spice::NewtonOptions session_options;
-  session_options.sparse = sparse_mode;
-  plan.options.sparse = sparse_mode;
-  spice::SimSession session(c, session_options);
-  // .NODESET hints seed the first point -- and, for 2-axis plans, the
-  // deterministic start of every outer row.
-  if (!parsed.nodesets.empty()) {
-    session.seed_warm_start(guess_from_nodesets(c, parsed));
-  }
-  const spice::SweepResult result = session.run(plan);
-  result.write_csv(std::cout);
-  return 0;
+  return out;
 }
 
-int cmd_tran(const std::string& path, spice::SparseMode sparse_mode,
-             std::optional<spice::IntegrationMethod> method) {
+/// Shared body of run/tran/ac: load, select the deck plan of `kind`
+/// (multi-analysis decks carry up to one plan per family), execute on a
+/// warm session, CSV to stdout.
+int run_deck_analysis(const std::string& path, spice::AnalysisKind kind,
+                      unsigned threads, spice::SparseMode sparse_mode,
+                      std::optional<spice::IntegrationMethod> method) {
   auto parsed = load_deck(path);
-  if (!parsed.plan.has_value() || !parsed.plan->transient.has_value()) {
-    throw Error("deck '" + path +
-                "' describes no transient analysis (needs .TRAN plus "
-                ".PROBE)");
+  const spice::AnalysisPlan* deck_plan = parsed.find_plan(kind);
+  if (deck_plan == nullptr) {
+    const std::string token(spice::to_token(kind));
+    throw Error("deck '" + path + "' describes no " + token +
+                " analysis (needs ." + token + "-family cards plus .PROBE)");
   }
   auto& c = *parsed.circuit;
   c.set_temperature(to_kelvin(parsed.temperature_celsius));
-  spice::AnalysisPlan plan = *parsed.plan;
+  spice::AnalysisPlan plan = *deck_plan;
+  plan.threads = threads;
   if (method.has_value()) plan.transient->method = *method;
-  plan.options.sparse = sparse_mode;
   spice::NewtonOptions session_options;
   session_options.sparse = sparse_mode;
+  plan.options.sparse = sparse_mode;
   spice::SimSession session(c, session_options);
-  // .NODESET hints seed the operating-point solve of the transient start.
+  // .NODESET hints seed the first operating-point solve -- and, for
+  // 2-axis plans, the deterministic start of every outer row.
   if (!parsed.nodesets.empty()) {
     session.seed_warm_start(guess_from_nodesets(c, parsed));
   }
@@ -225,28 +266,49 @@ int cmd_tran(const std::string& path, spice::SparseMode sparse_mode,
   return 0;
 }
 
-int cmd_ac(const std::string& path, unsigned threads,
-           spice::SparseMode sparse_mode) {
-  auto parsed = load_deck(path);
-  if (!parsed.plan.has_value() || !parsed.plan->ac.has_value()) {
-    throw Error("deck '" + path +
-                "' describes no AC analysis (needs .AC plus .PROBE)");
+std::atomic<bool> g_interrupted{false};
+
+extern "C" void handle_stop_signal(int) { g_interrupted.store(true); }
+
+int cmd_serve(const std::vector<std::string>& args) {
+  server::ServerConfig cfg;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == "--socket" && i + 1 < args.size()) {
+      cfg.socket_path = args[++i];
+    } else if (args[i] == "--port" && i + 1 < args.size()) {
+      const int port = parse_int_arg("--port", args[++i]);
+      if (port < 0 || port > 65535) {
+        throw Error("--port: out of range: " + std::to_string(port));
+      }
+      cfg.tcp_port = port;
+      cfg.socket_path.clear();
+    } else if (args[i] == "--workers" && i + 1 < args.size()) {
+      const int workers = parse_int_arg("--workers", args[++i]);
+      if (workers < 0) throw Error("--workers: must be >= 0");
+      cfg.workers = static_cast<unsigned>(workers);
+    } else {
+      throw UsageError("serve: unknown or incomplete option '" + args[i] +
+                       "'");
+    }
   }
-  auto& c = *parsed.circuit;
-  c.set_temperature(to_kelvin(parsed.temperature_celsius));
-  spice::AnalysisPlan plan = *parsed.plan;
-  plan.threads = threads;
-  plan.options.sparse = sparse_mode;
-  spice::NewtonOptions session_options;
-  session_options.sparse = sparse_mode;
-  spice::SimSession session(c, session_options);
-  // .NODESET hints seed the operating-point solve the sweep linearises
-  // about (bandgap decks need them just like DC runs do).
-  if (!parsed.nodesets.empty()) {
-    session.seed_warm_start(guess_from_nodesets(c, parsed));
+  if (cfg.socket_path.empty() && cfg.tcp_port == 0 &&
+      std::none_of(args.begin(), args.end(),
+                   [](const std::string& a) { return a == "--port"; })) {
+    cfg.socket_path = "/tmp/icvbe.sock";
   }
-  const spice::SweepResult result = session.run(plan);
-  result.write_csv(std::cout);
+  server::SimServer server(std::move(cfg));
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+  server.start();
+  if (server.port() >= 0) {
+    std::fprintf(stderr, "icvbe serve: listening on 127.0.0.1:%d (%u workers)\n",
+                 server.port(), server.workers());
+  } else {
+    std::fprintf(stderr, "icvbe serve: listening on %s (%u workers)\n",
+                 server.socket_path().c_str(), server.workers());
+  }
+  server.serve_until(g_interrupted);
+  std::fprintf(stderr, "icvbe serve: stopped\n");
   return 0;
 }
 
@@ -375,116 +437,88 @@ int cmd_truthcard() {
   return 0;
 }
 
+/// One dispatch for every subcommand; throws UsageError on structural
+/// misuse, Error on named runtime failures.
+int dispatch(const std::vector<std::string>& args) {
+  if (args.empty()) throw UsageError("missing subcommand");
+  const std::string& cmd = args[0];
+  if (cmd == "simulate") {
+    if (args.size() != 2) throw UsageError("simulate: want <deck.cir>");
+    return cmd_simulate(args[1]);
+  }
+  if (cmd == "run" || cmd == "ac") {
+    const DeckArgs deck = scan_deck_args(args, /*allow_method=*/false);
+    if (deck.positional.size() != 1 && deck.positional.size() != 2) {
+      throw UsageError(cmd + ": want <deck.cir> [threads]");
+    }
+    const int threads = deck.positional.size() > 1
+                            ? parse_int_arg("threads", deck.positional[1])
+                            : 1;
+    if (threads < 0) throw Error("threads: must be >= 0");
+    return run_deck_analysis(deck.positional[0],
+                             cmd == "run" ? spice::AnalysisKind::kDcSweep
+                                          : spice::AnalysisKind::kAc,
+                             static_cast<unsigned>(threads), deck.sparse,
+                             std::nullopt);
+  }
+  if (cmd == "tran") {
+    const DeckArgs deck = scan_deck_args(args, /*allow_method=*/true);
+    if (deck.positional.size() != 1) {
+      throw UsageError("tran: want <deck.cir>");
+    }
+    return run_deck_analysis(deck.positional[0],
+                             spice::AnalysisKind::kTransient, 1, deck.sparse,
+                             deck.method);
+  }
+  if (cmd == "sweep") {
+    if (args.size() != 7) {
+      throw UsageError("sweep: want <deck.cir> <vsrc> <from> <to> <points> "
+                       "<node>");
+    }
+    return cmd_sweep(args[1], args[2], parse_double_arg("from", args[3]),
+                     parse_double_arg("to", args[4]),
+                     parse_points_arg(args[5]), args[6]);
+  }
+  if (cmd == "tempsweep") {
+    if (args.size() != 6) {
+      throw UsageError("tempsweep: want <deck.cir> <fromC> <toC> <points> "
+                       "<node>");
+    }
+    return cmd_tempsweep(args[1], parse_double_arg("fromC", args[2]),
+                         parse_double_arg("toC", args[3]),
+                         parse_points_arg(args[4]), args[5]);
+  }
+  if (cmd == "extract") {
+    if (args.size() > 2) throw UsageError("extract: want [sample-index]");
+    return cmd_extract(
+        args.size() > 1 ? parse_int_arg("sample-index", args[1]) : 1);
+  }
+  if (cmd == "lot") {
+    if (args.size() > 3) throw UsageError("lot: want [samples] [threads]");
+    const int samples =
+        args.size() > 1 ? parse_int_arg("samples", args[1]) : 25;
+    if (samples < 1) throw Error("samples: must be >= 1");
+    const int threads =
+        args.size() > 2 ? parse_int_arg("threads", args[2]) : 0;
+    if (threads < 0) throw Error("threads: must be >= 0");
+    return cmd_lot(samples, static_cast<unsigned>(threads));
+  }
+  if (cmd == "table1") return cmd_table1();
+  if (cmd == "truthcard") return cmd_truthcard();
+  if (cmd == "serve") return cmd_serve(args);
+  throw UsageError("unknown subcommand '" + cmd + "'");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::vector<std::string> args(argv + 1, argv + argc);
+  const std::vector<std::string> args(argv + 1, argv + argc);
   try {
-    if (args.empty()) return usage();
-    const std::string& cmd = args[0];
-    if (cmd == "simulate" && args.size() == 2) return cmd_simulate(args[1]);
-    if (cmd == "run") {
-      // Accept --sparse[=mode] anywhere after the subcommand.
-      spice::SparseMode sparse_mode = spice::SparseMode::kAuto;
-      std::vector<std::string> positional;
-      for (std::size_t i = 1; i < args.size(); ++i) {
-        if (args[i] == "--sparse") {
-          sparse_mode = spice::SparseMode::kAuto;
-        } else if (args[i].rfind("--sparse=", 0) == 0) {
-          sparse_mode = parse_sparse_mode(
-              args[i].substr(std::string("--sparse=").size()));
-        } else if (args[i].rfind("--", 0) == 0) {
-          throw Error("unknown option '" + args[i] + "'");
-        } else {
-          positional.push_back(args[i]);
-        }
-      }
-      if (positional.size() != 1 && positional.size() != 2) return usage();
-      const int threads =
-          positional.size() > 1 ? parse_int_arg("threads", positional[1]) : 1;
-      if (threads < 0) throw Error("threads: must be >= 0");
-      return cmd_run(positional[0], static_cast<unsigned>(threads),
-                     sparse_mode);
-    }
-    if (cmd == "tran") {
-      spice::SparseMode sparse_mode = spice::SparseMode::kAuto;
-      std::optional<spice::IntegrationMethod> method;
-      std::vector<std::string> positional;
-      for (std::size_t i = 1; i < args.size(); ++i) {
-        if (args[i] == "--sparse") {
-          sparse_mode = spice::SparseMode::kAuto;
-        } else if (args[i].rfind("--sparse=", 0) == 0) {
-          sparse_mode = parse_sparse_mode(
-              args[i].substr(std::string("--sparse=").size()));
-        } else if (args[i].rfind("--method=", 0) == 0) {
-          const std::string m =
-              args[i].substr(std::string("--method=").size());
-          if (m == "be" || m == "euler") {
-            method = spice::IntegrationMethod::kBackwardEuler;
-          } else if (m == "trap" || m == "trapezoidal") {
-            method = spice::IntegrationMethod::kTrapezoidal;
-          } else {
-            throw Error("--method: unknown method '" + m +
-                        "' (want be or trap)");
-          }
-        } else if (args[i].rfind("--", 0) == 0) {
-          throw Error("unknown option '" + args[i] + "'");
-        } else {
-          positional.push_back(args[i]);
-        }
-      }
-      if (positional.size() != 1) return usage();
-      return cmd_tran(positional[0], sparse_mode, method);
-    }
-    if (cmd == "ac") {
-      spice::SparseMode sparse_mode = spice::SparseMode::kAuto;
-      std::vector<std::string> positional;
-      for (std::size_t i = 1; i < args.size(); ++i) {
-        if (args[i] == "--sparse") {
-          sparse_mode = spice::SparseMode::kAuto;
-        } else if (args[i].rfind("--sparse=", 0) == 0) {
-          sparse_mode = parse_sparse_mode(
-              args[i].substr(std::string("--sparse=").size()));
-        } else if (args[i].rfind("--", 0) == 0) {
-          throw Error("unknown option '" + args[i] + "'");
-        } else {
-          positional.push_back(args[i]);
-        }
-      }
-      if (positional.size() != 1 && positional.size() != 2) return usage();
-      const int threads =
-          positional.size() > 1 ? parse_int_arg("threads", positional[1]) : 1;
-      if (threads < 0) throw Error("threads: must be >= 0");
-      return cmd_ac(positional[0], static_cast<unsigned>(threads),
-                    sparse_mode);
-    }
-    if (cmd == "sweep" && args.size() == 7) {
-      return cmd_sweep(args[1], args[2], parse_double_arg("from", args[3]),
-                       parse_double_arg("to", args[4]),
-                       parse_points_arg(args[5]), args[6]);
-    }
-    if (cmd == "tempsweep" && args.size() == 6) {
-      return cmd_tempsweep(args[1], parse_double_arg("fromC", args[2]),
-                           parse_double_arg("toC", args[3]),
-                           parse_points_arg(args[4]), args[5]);
-    }
-    if (cmd == "extract") {
-      return cmd_extract(args.size() > 1
-                             ? parse_int_arg("sample-index", args[1])
-                             : 1);
-    }
-    if (cmd == "lot") {
-      const int samples =
-          args.size() > 1 ? parse_int_arg("samples", args[1]) : 25;
-      if (samples < 1) throw Error("samples: must be >= 1");
-      const int threads =
-          args.size() > 2 ? parse_int_arg("threads", args[2]) : 0;
-      if (threads < 0) throw Error("threads: must be >= 0");
-      return cmd_lot(samples, static_cast<unsigned>(threads));
-    }
-    if (cmd == "table1") return cmd_table1();
-    if (cmd == "truthcard") return cmd_truthcard();
-    return usage();
+    return dispatch(args);
+  } catch (const UsageError& e) {
+    std::fprintf(stderr, "icvbe: %s\n", e.what());
+    print_usage(stderr);
+    return 2;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "icvbe: %s\n", e.what());
     return 1;
