@@ -19,8 +19,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <string>
 #include <thread>
 #include <vector>
@@ -51,9 +53,14 @@ std::string socket_path() {
   return "/tmp/icvbe_bench_" + std::to_string(::getpid()) + ".sock";
 }
 
-double median(std::vector<double> v) {
+/// Interpolated quantile of the sorted sample (q in [0, 1]).
+double percentile(std::vector<double> v, double q) {
   std::sort(v.begin(), v.end());
-  return v[v.size() / 2];
+  const double idx = q * static_cast<double>(v.size() - 1);
+  const auto lo = static_cast<std::size_t>(idx);
+  const double frac = idx - static_cast<double>(lo);
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  return v[lo] + frac * (v[hi] - v[lo]);
 }
 
 double ms_since(Clock::time_point t0) {
@@ -62,8 +69,14 @@ double ms_since(Clock::time_point t0) {
 }
 
 struct LoopStats {
-  double median_ms = 0.0;
+  double median_ms = 0.0;  ///< p50 per-iteration latency
+  double p99_ms = 0.0;     ///< tail per-iteration latency
   std::size_t rows = 0;
+
+  void fill_latencies(std::vector<double> ms) {
+    median_ms = percentile(ms, 0.50);
+    p99_ms = percentile(std::move(ms), 0.99);
+  }
 };
 
 /// Cold loop: every iteration re-LOADs the deck (parse + bind + symbolic
@@ -79,7 +92,7 @@ LoopStats cold_loop(server::Client& client, const std::string& deck) {
     ms.push_back(ms_since(t0));
     stats.rows = r.rows;
   }
-  stats.median_ms = median(ms);
+  stats.fill_latencies(std::move(ms));
   return stats;
 }
 
@@ -97,7 +110,7 @@ LoopStats warm_loop(server::Client& client, const std::string& deck) {
     ms.push_back(ms_since(t0));
     stats.rows = r.rows;
   }
-  stats.median_ms = median(ms);
+  stats.fill_latencies(std::move(ms));
   return stats;
 }
 
@@ -136,8 +149,18 @@ void write_json(const LoopStats& cold, const LoopStats& warm,
      << "  \"iterations\": " << kIterations << ",\n"
      << "  \"rows_per_run\": " << warm.rows << ",\n"
      << "  \"cold_load_run_ms\": " << cold.median_ms << ",\n"
+     << "  \"cold_load_run_p99_ms\": " << cold.p99_ms << ",\n"
      << "  \"warm_patch_run_ms\": " << warm.median_ms << ",\n"
-     << "  \"warm_speedup\": " << speedup << ",\n"
+     << "  \"warm_patch_run_p99_ms\": " << warm.p99_ms << ",\n"
+     << "  \"warm_speedup\": ";
+  // JSON has no Infinity: a warm loop below the timer resolution is
+  // reported as the explicit string "inf", never as a fake number.
+  if (std::isfinite(speedup)) {
+    os << speedup;
+  } else {
+    os << '"' << (speedup > 0.0 ? "inf" : "unmeasurable") << '"';
+  }
+  os << ",\n"
      << "  \"speedup_gate\": " << kWarmSpeedupGate << ",\n"
      << "  \"gate_passed\": " << (gate_passed ? "true" : "false") << ",\n"
      << "  \"concurrent_runs_per_s\": " << runs_per_s << "\n"
@@ -159,21 +182,39 @@ bool report() {
   server::Client client = server::Client::connect_unix(server.socket_path());
   const LoopStats cold = cold_loop(client, deck);
   const LoopStats warm = warm_loop(client, deck);
-  const double speedup =
-      warm.median_ms > 0.0 ? cold.median_ms / warm.median_ms : 0.0;
+  // A warm median of zero means "below the clock's resolution", which is
+  // the best possible outcome, not a 0x speedup: report it as an explicit
+  // infinity (the old code reported 0.0 and failed the gate). If the cold
+  // loop is immeasurable too there is nothing to compare: fail loudly.
+  double speedup;
+  if (warm.median_ms > 0.0) {
+    speedup = cold.median_ms / warm.median_ms;
+  } else if (cold.median_ms > 0.0) {
+    speedup = std::numeric_limits<double>::infinity();
+  } else {
+    speedup = -std::numeric_limits<double>::infinity();  // unmeasurable
+  }
   const bool gate_passed = speedup >= kWarmSpeedupGate;
   const double runs_per_s =
       concurrent_runs_per_second(server, deck, /*clients=*/4,
                                  /*runs_each=*/10);
 
-  Table t({"loop", "median [ms]", "rows/run"});
+  Table t({"loop", "p50 [ms]", "p99 [ms]", "rows/run"});
   t.add_row({"cold LOAD+RUN", format_sig(cold.median_ms, 4),
-             std::to_string(cold.rows)});
+             format_sig(cold.p99_ms, 4), std::to_string(cold.rows)});
   t.add_row({"warm PATCH+RUN", format_sig(warm.median_ms, 4),
-             std::to_string(warm.rows)});
+             format_sig(warm.p99_ms, 4), std::to_string(warm.rows)});
   bench::emit(t, "server_warm_reuse.csv");
-  std::printf("warm speedup: %.2fx (gate: >= %.1fx) -- %s\n", speedup,
-              kWarmSpeedupGate, gate_passed ? "PASS" : "FAIL");
+  if (std::isfinite(speedup)) {
+    std::printf("warm speedup: %.2fx (gate: >= %.1fx) -- %s\n", speedup,
+                kWarmSpeedupGate, gate_passed ? "PASS" : "FAIL");
+  } else {
+    std::printf("warm speedup: %s (gate: >= %.1fx) -- %s\n",
+                speedup > 0.0 ? "inf (warm below timer resolution)"
+                              : "unmeasurable (both loops below timer "
+                                "resolution)",
+                kWarmSpeedupGate, gate_passed ? "PASS" : "FAIL");
+  }
   std::printf("concurrent load: %.1f runs/s (4 clients on 4 workers)\n",
               runs_per_s);
 

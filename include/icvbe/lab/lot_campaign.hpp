@@ -24,6 +24,17 @@ struct LotCampaignConfig {
   int first_index = 1;       ///< lot index of the first die
   unsigned threads = 0;      ///< worker threads; 0 = hardware_concurrency
 
+  /// Batched lot solver: lanes > 1 makes run() group dies into lanes-wide
+  /// batches per worker, sharing one sparse pattern + symbolic analysis
+  /// per rig and carrying all lanes through each LU refactor/solve
+  /// together (BatchDcSession) instead of building fresh circuits and
+  /// sessions per die. Requires lab.newton.sparse == kSparse (the batch
+  /// engine is sparse; forcing the per-die path onto the same engine is
+  /// what keeps the two paths bit-identical). 0 or 1 = classic per-die
+  /// path. Results are bit-identical for any lanes value and any thread
+  /// count (asserted by test_lot_batch and bench_lot_statistics).
+  unsigned lanes = 0;
+
   /// Per-die instrument master seed is `seed_base + die index` (the same
   /// convention the serial lot studies used).
   std::uint64_t seed_base = 9000;
@@ -70,7 +81,7 @@ struct DieCharacterisation {
 struct LotStatistic {
   std::size_t count = 0;
   double mean = 0.0;
-  double stddev = 0.0;  ///< population standard deviation
+  double stddev = 0.0;  ///< sample standard deviation (÷(N-1); 0 if N < 2)
   double min = 0.0;
   double max = 0.0;
   double q10 = 0.0;
@@ -96,7 +107,20 @@ class LotCampaign {
 
   /// Characterise every die, fanning across the configured thread pool.
   /// Results are ordered by die index and independent of thread count.
+  /// With config().lanes > 1, dispatches to run_batched().
   [[nodiscard]] std::vector<DieCharacterisation> run() const;
+
+  /// The batched lot path: workers claim groups of `lanes` consecutive
+  /// dies and drive them through shared-analysis BatchDcSessions (one
+  /// ibias rig batch, one cell rig batch per worker), re-programming the
+  /// lane circuits per die instead of rebuilding them. Any lane that
+  /// leaves the lockstep (pivot rejection, non-convergence in plain
+  /// Newton, any measurement error) falls back to the per-die run_die()
+  /// for that die, so every result is bit-identical to run() with
+  /// lanes == 0 under the same (sparse-forced) solver options.
+  /// \pre config().lab.newton.sparse == SparseMode::kSparse (throws
+  ///      Error otherwise).
+  [[nodiscard]] std::vector<DieCharacterisation> run_batched() const;
 
   /// Characterise a single die (what each worker runs). Deterministic in
   /// (lot, config, die_offset).

@@ -11,6 +11,7 @@
 // ComplexMatrixView carries the AC small-signal admittance system -- one
 // frozen sparse pattern per engine, stamped through the identical path.
 
+#include "icvbe/common/error.hpp"
 #include "icvbe/linalg/matrix.hpp"
 #include "icvbe/linalg/sparse.hpp"
 
@@ -23,37 +24,53 @@ class MatrixViewT {
       : dense_(&dense) {}
   /*implicit*/ MatrixViewT(SparseMatrixT<Scalar>& sparse)   // NOLINT
       : sparse_(&sparse) {}
+  /// View over one lane of a K-wide value batch: the same device stamp()
+  /// code fills lane planes for the batched lot solver. The batch must be
+  /// bound to a frozen pattern.
+  MatrixViewT(SparseValueBatchT<Scalar>& batch, std::size_t lane)
+      : batch_(&batch), lane_(lane) {}
 
   [[nodiscard]] std::size_t rows() const noexcept {
-    return dense_ != nullptr ? dense_->rows() : sparse_->rows();
+    if (dense_ != nullptr) return dense_->rows();
+    return sparse_ != nullptr ? sparse_->rows() : batch_->rows();
   }
   [[nodiscard]] std::size_t cols() const noexcept {
-    return dense_ != nullptr ? dense_->cols() : sparse_->cols();
+    if (dense_ != nullptr) return dense_->cols();
+    return sparse_ != nullptr ? sparse_->cols() : batch_->rows();
   }
-  [[nodiscard]] bool is_sparse() const noexcept { return sparse_ != nullptr; }
+  [[nodiscard]] bool is_sparse() const noexcept { return dense_ == nullptr; }
 
   /// Accumulate v at (r, c). On a frozen sparse target the slot must be
   /// inside the pattern (see SparseMatrixT::add).
   void add(std::size_t r, std::size_t c, Scalar v) {
     if (dense_ != nullptr) {
       (*dense_)(r, c) += v;
-    } else {
+    } else if (sparse_ != nullptr) {
       sparse_->add(r, c, v);
+    } else {
+      batch_->add(r, c, v, lane_);
     }
   }
 
-  /// Reset every stored entry (dense: all elements; sparse: the pattern).
+  /// Reset every stored entry (dense: all elements; sparse: the pattern;
+  /// batch: this view's lane -- value must be zero there).
   void fill(Scalar value) {
     if (dense_ != nullptr) {
       dense_->fill(value);
-    } else {
+    } else if (sparse_ != nullptr) {
       sparse_->fill(value);
+    } else {
+      ICVBE_REQUIRE(value == Scalar{},
+                    "MatrixView: batch lanes only reset to zero");
+      batch_->clear_lane(lane_);
     }
   }
 
  private:
   MatrixT<Scalar>* dense_ = nullptr;
   SparseMatrixT<Scalar>* sparse_ = nullptr;
+  SparseValueBatchT<Scalar>* batch_ = nullptr;
+  std::size_t lane_ = 0;
 };
 
 using MatrixView = MatrixViewT<double>;

@@ -115,10 +115,14 @@ class SparseMatrixT {
   /// Max stored value magnitude (frozen only; 0.0 for an empty pattern).
   [[nodiscard]] double max_abs() const;
 
+  /// CSR slot of (r, c) (frozen only); throws Error if outside the
+  /// pattern. Binary search over the (short, sorted) row -- the same
+  /// lookup frozen add() uses, exposed so SparseValueBatchT can stamp
+  /// lane planes against this pattern.
+  [[nodiscard]] std::size_t slot(std::size_t r, std::size_t c) const;
+
  private:
   void add_building(std::size_t r, std::size_t c, Scalar v);
-  /// CSR slot of (r, c); throws Error if outside the pattern.
-  [[nodiscard]] std::size_t slot(std::size_t r, std::size_t c) const;
 
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
@@ -140,6 +144,71 @@ using ComplexSparseMatrix = SparseMatrixT<Complex>;
 
 extern template class SparseMatrixT<double>;
 extern template class SparseMatrixT<Complex>;
+
+/// K value planes over one frozen sparse pattern -- the SoA side of the
+/// batched lot solver. Lane l of a lot/corner group stamps its own matrix
+/// values into plane l; all K planes share the pattern (and therefore the
+/// factorisation's one cached symbolic analysis and pivot sequence).
+///
+/// Layout is lane-fastest: the K values of pattern slot i are contiguous
+/// at values()[i * lanes() + l], so the batched refactor/solve inner loops
+/// walk unit-stride across the die lane and vectorise.
+///
+/// The bound pattern matrix is referenced, not copied -- it must outlive
+/// the batch and stay frozen (re-freezing changes the pattern stamp and
+/// the batch must be re-bound).
+template <typename Scalar>
+class SparseValueBatchT {
+ public:
+  SparseValueBatchT() = default;
+
+  /// Bind to a frozen pattern with `lanes` zeroed value planes.
+  /// Allocation happens here (and only here): the per-die steady state --
+  /// clear_lane / add / load_lane -- is allocation-free.
+  void bind(const SparseMatrixT<Scalar>& pattern, std::size_t lanes);
+
+  [[nodiscard]] bool bound() const noexcept { return pattern_ != nullptr; }
+  [[nodiscard]] std::size_t lanes() const noexcept { return lanes_; }
+  [[nodiscard]] std::size_t rows() const noexcept {
+    return pattern_ != nullptr ? pattern_->rows() : 0;
+  }
+  [[nodiscard]] std::size_t nonzeros() const noexcept {
+    return pattern_ != nullptr ? pattern_->nonzeros() : 0;
+  }
+  [[nodiscard]] std::uint64_t pattern_stamp() const noexcept {
+    return pattern_ != nullptr ? pattern_->pattern_stamp() : 0;
+  }
+  [[nodiscard]] const SparseMatrixT<Scalar>& pattern() const;
+
+  /// Zero every value of one lane (the per-Newton-iteration restamp reset
+  /// of that lane). Strided by lanes(); allocation-free.
+  void clear_lane(std::size_t lane);
+
+  /// Accumulate v at (r, c) in `lane`. Slot must be inside the frozen
+  /// pattern (throws Error otherwise, like frozen SparseMatrixT::add).
+  void add(std::size_t r, std::size_t c, Scalar v, std::size_t lane) {
+    values_[pattern_->slot(r, c) * lanes_ + lane] += v;
+  }
+
+  /// Copy a scalar matrix's values into one lane. The matrix must share
+  /// the bound pattern (same pattern stamp).
+  void load_lane(std::size_t lane, const SparseMatrixT<Scalar>& m);
+
+  [[nodiscard]] const std::vector<Scalar>& values() const noexcept {
+    return values_;
+  }
+
+ private:
+  const SparseMatrixT<Scalar>* pattern_ = nullptr;
+  std::size_t lanes_ = 0;
+  std::vector<Scalar> values_;  ///< nnz * lanes, lane-fastest
+};
+
+using SparseValueBatch = SparseValueBatchT<double>;
+using ComplexSparseValueBatch = SparseValueBatchT<Complex>;
+
+extern template class SparseValueBatchT<double>;
+extern template class SparseValueBatchT<Complex>;
 
 /// Sparse LU with a reusable symbolic analysis, the SPICE-family engine
 /// shape (Nagel's SPICE2 reordering, KLU-style refactorisation):
@@ -214,6 +283,43 @@ class SparseLuFactorizationT {
   /// sweep point (or parallel worker) tripped the collapse.
   void invalidate_analysis() noexcept { analyzed_ = false; }
 
+  /// Numeric refactorisation of K value lanes along the one cached pivot
+  /// order -- the batched lot kernel. Each lane runs exactly the frozen
+  /// numeric pass refactor() would run on its values (bit-identical
+  /// factors, same column-relative pivot screen, same growth guard), but
+  /// the inner loops carry all K lanes together through each elimination
+  /// step (unit-stride across the lane, vectorisable).
+  ///
+  /// \pre a cached analysis for batch.pattern() exists: refactor() a
+  ///      reference matrix sharing the pattern first. The analysis is
+  ///      never redone here -- a lane whose values reject the frozen
+  ///      pivots is *flagged*, not re-pivoted, so one bad die can never
+  ///      perturb its lane mates' factors.
+  /// \param lane_ok in: lanes to factor (non-zero entries); out: 1 iff
+  ///        that lane factored cleanly -- finite values, non-zero matrix,
+  ///        every frozen pivot above pivot_tol times the lane's own
+  ///        column max, bounded element growth. Size must equal
+  ///        batch.lanes(). The caller re-runs failed lanes through the
+  ///        scalar path (which may re-analyse with fresh pivoting).
+  /// Allocation-free once called with a given (analysis, lane-count)
+  /// shape; the scalar factors from refactor() are left untouched.
+  void refactor_batch(const SparseValueBatchT<Scalar>& batch,
+                      std::vector<unsigned char>& lane_ok,
+                      double pivot_tol = 1e-14);
+
+  /// Solve A_l x_l = rhs_l for all K lanes of the last refactor_batch().
+  /// rhs is lane-fastest (entry i of lane l at rhs[i * K + l], K * size()
+  /// total) and is overwritten by the solutions. Lanes that failed (or
+  /// were inactive in) refactor_batch() receive unspecified values -- the
+  /// arithmetic still runs branch-free across all lanes, and a divide by
+  /// a rejected pivot stays confined to its own lane. Allocation-free.
+  void solve_batch(std::vector<Scalar>& rhs) const;
+
+  /// Lane count of the last refactor_batch() (0 before the first).
+  [[nodiscard]] std::size_t batch_lanes() const noexcept {
+    return batch_lanes_;
+  }
+
   /// Rough 1-norm condition estimate via |A|_1 * |A^-1 e|_1 probing --
   /// the same +/-1-vector probe the dense LuFactorizationT uses, so the
   /// two engines report comparable numbers on the same system (held to
@@ -270,6 +376,20 @@ class SparseLuFactorizationT {
 
   std::vector<Scalar> work_;          ///< dense scatter row (step space)
   mutable std::vector<Scalar> perm_;  ///< solve permutation buffer
+
+  // Batched (K-lane) numeric state, lane-fastest planes mirroring the
+  // scalar factor arrays. Sized by refactor_batch on shape change only;
+  // independent of the scalar factors so reference refactor() and batch
+  // passes coexist.
+  std::size_t batch_lanes_ = 0;
+  std::vector<Scalar> l_val_b_;
+  std::vector<Scalar> u_val_b_;
+  std::vector<Scalar> udiag_b_;
+  std::vector<Scalar> work_b_;            ///< step space * K
+  std::vector<double> colmax_b_;          ///< cols * K
+  std::vector<double> amax_b_;            ///< per-lane max|A|
+  std::vector<double> gmax_b_;            ///< per-lane growth tracker
+  mutable std::vector<Scalar> perm_b_;    ///< batched solve buffer
 };
 
 using SparseLuFactorization = SparseLuFactorizationT<double>;

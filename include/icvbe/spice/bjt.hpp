@@ -97,6 +97,15 @@ class Bjt final : public Device {
   [[nodiscard]] double vbe(const Unknowns& x) const;
   [[nodiscard]] double vbc(const Unknowns& x) const;
 
+  /// Swap the model card in place (same validation as the constructor) and
+  /// re-derive every temperature-dependent quantity at the current device
+  /// temperature. Limiting state is reset, so the next solve starts exactly
+  /// as a freshly-constructed device would -- this is what lets a lot
+  /// campaign re-program one bound circuit per die instead of rebuilding
+  /// it. The device type (NPN/PNP) must not change: the sign convention is
+  /// baked into the bound stamp pattern.
+  void set_model(const BjtModel& model);
+
   [[nodiscard]] const BjtModel& model() const noexcept { return model_; }
   [[nodiscard]] double area() const noexcept { return area_; }
   [[nodiscard]] double is_at_temperature() const noexcept { return is_t_; }

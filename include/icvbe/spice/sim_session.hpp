@@ -168,6 +168,15 @@ class SimSession {
     return solve_or_throw(&guess);
   }
 
+  /// Start a new parameter variant (a Monte-Carlo die, a .STEP corner) on
+  /// the *same* bound topology: forget the warm start and every device's
+  /// limiting state, so the next solve's trajectory is bit-identical to a
+  /// freshly-constructed session over a freshly-built circuit -- without
+  /// paying rebind's pattern discovery or invalidating the cached sparse
+  /// symbolic analysis. Call it after re-programming per-die parameter
+  /// values (ParamDeltaSet); value changes never alter the frozen pattern.
+  void begin_variant();
+
   /// Warm-start continuation across solves (default on).
   void set_warm_start_enabled(bool on) noexcept { warm_start_enabled_ = on; }
   /// True if a previous (or seeded) solution is available to warm-start.

@@ -31,7 +31,7 @@ Laboratory::CellRig& Laboratory::cell_rig(double radja_ohms) {
   if (!cell_) {
     cell_ = std::make_unique<CellRig>();
     cell_->handles = build_cell(cell_->circuit, radja_ohms);
-    cell_->session.emplace(cell_->circuit);
+    cell_->session.emplace(cell_->circuit, config_.newton);
   } else {
     cell_->circuit.get<spice::Resistor>(cell_->handles.radja)
         .set_nominal_resistance(std::max(radja_ohms, kMinTrim));
@@ -47,7 +47,7 @@ Laboratory::DutRig& Laboratory::vbias_rig() {
     c.add_vsource("VE", vbias_->emitter, spice::kGround, 0.6);
     c.add_bjt("DUT", spice::kGround, spice::kGround, vbias_->emitter,
               sample_.qin, 1.0, spice::kGround);
-    vbias_->session.emplace(c);
+    vbias_->session.emplace(c, config_.newton);
   }
   return *vbias_;
 }
@@ -60,7 +60,7 @@ Laboratory::DutRig& Laboratory::ibias_rig() {
     c.add_isource("IE", spice::kGround, ibias_->emitter, 1e-6);
     c.add_bjt("DUT", spice::kGround, spice::kGround, ibias_->emitter,
               sample_.qin, 1.0, spice::kGround);
-    ibias_->session.emplace(c);
+    ibias_->session.emplace(c, config_.newton);
   }
   return *ibias_;
 }

@@ -23,9 +23,13 @@ LotStatistic LotStatistic::of(std::vector<double> values) {
   double sum = 0.0;
   for (double v : values) sum += v;
   s.mean = sum / static_cast<double>(values.size());
+  // Sample (Bessel-corrected) standard deviation: the lot is a sample of
+  // the process, not the whole population of dies it will ever produce.
   double var = 0.0;
   for (double v : values) var += (v - s.mean) * (v - s.mean);
-  s.stddev = std::sqrt(var / static_cast<double>(values.size()));
+  s.stddev = values.size() > 1
+                 ? std::sqrt(var / static_cast<double>(values.size() - 1))
+                 : 0.0;
   auto quantile = [&](double q) {
     const double idx = q * static_cast<double>(values.size() - 1);
     const std::size_t lo = static_cast<std::size_t>(idx);
@@ -90,6 +94,7 @@ DieCharacterisation LotCampaign::run_die(int die_offset) const {
 }
 
 std::vector<DieCharacterisation> LotCampaign::run() const {
+  if (config_.lanes > 1) return run_batched();
   const auto n = static_cast<std::size_t>(config_.samples);
   std::vector<DieCharacterisation> results(n);
 

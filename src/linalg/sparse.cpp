@@ -175,6 +175,47 @@ double SparseMatrixT<Scalar>::max_abs() const {
 template class SparseMatrixT<double>;
 template class SparseMatrixT<Complex>;
 
+// ------------------------------------------------- SparseValueBatchT ---
+
+template <typename Scalar>
+void SparseValueBatchT<Scalar>::bind(const SparseMatrixT<Scalar>& pattern,
+                                     std::size_t lanes) {
+  ICVBE_REQUIRE(pattern.frozen(),
+                "SparseValueBatch: freeze_pattern() before binding");
+  ICVBE_REQUIRE(lanes > 0, "SparseValueBatch: need at least one lane");
+  pattern_ = &pattern;
+  lanes_ = lanes;
+  values_.assign(pattern.nonzeros() * lanes, Scalar{});
+}
+
+template <typename Scalar>
+const SparseMatrixT<Scalar>& SparseValueBatchT<Scalar>::pattern() const {
+  ICVBE_REQUIRE(pattern_ != nullptr, "SparseValueBatch: bind() first");
+  return *pattern_;
+}
+
+template <typename Scalar>
+void SparseValueBatchT<Scalar>::clear_lane(std::size_t lane) {
+  ICVBE_REQUIRE(lane < lanes_, "SparseValueBatch: lane out of range");
+  Scalar* v = values_.data() + lane;
+  const std::size_t nnz = values_.size() / lanes_;
+  for (std::size_t i = 0; i < nnz; ++i) v[i * lanes_] = Scalar{};
+}
+
+template <typename Scalar>
+void SparseValueBatchT<Scalar>::load_lane(std::size_t lane,
+                                          const SparseMatrixT<Scalar>& m) {
+  ICVBE_REQUIRE(lane < lanes_, "SparseValueBatch: lane out of range");
+  ICVBE_REQUIRE(pattern_ != nullptr && m.pattern_stamp() == pattern_stamp(),
+                "SparseValueBatch::load_lane: pattern mismatch");
+  const std::vector<Scalar>& src = m.values();
+  Scalar* v = values_.data() + lane;
+  for (std::size_t i = 0; i < src.size(); ++i) v[i * lanes_] = src[i];
+}
+
+template class SparseValueBatchT<double>;
+template class SparseValueBatchT<Complex>;
+
 // -------------------------------------------- SparseLuFactorizationT ---
 
 namespace {
@@ -538,6 +579,182 @@ bool SparseLuFactorizationT<Scalar>::refactor_frozen(
     udiag_[k] = d;
   }
   return true;
+}
+
+template <typename Scalar>
+void SparseLuFactorizationT<Scalar>::refactor_batch(
+    const SparseValueBatchT<Scalar>& batch,
+    std::vector<unsigned char>& lane_ok, double pivot_tol) {
+  ICVBE_REQUIRE(batch.bound(), "sparse LU batch: bind the value batch first");
+  ICVBE_REQUIRE(analyzed_ && pattern_stamp_ == batch.pattern_stamp() &&
+                    n_ == batch.rows(),
+                "sparse LU batch: refactor() a reference matrix sharing the "
+                "batch's pattern before refactor_batch()");
+  const std::size_t K = batch.lanes();
+  ICVBE_REQUIRE(lane_ok.size() == K,
+                "sparse LU batch: lane_ok size must equal the lane count");
+
+  // (Re)shape the lane planes; steady state re-enters with the same
+  // (analysis, K) and never allocates.
+  if (batch_lanes_ != K || l_val_b_.size() != l_val_.size() * K ||
+      u_val_b_.size() != u_val_.size() * K || udiag_b_.size() != n_ * K) {
+    batch_lanes_ = K;
+    l_val_b_.resize(l_val_.size() * K);
+    u_val_b_.resize(u_val_.size() * K);
+    udiag_b_.resize(n_ * K);
+    work_b_.resize(n_ * K);
+    colmax_b_.resize(n_ * K);
+    amax_b_.resize(K);
+    gmax_b_.resize(K);
+    perm_b_.resize(n_ * K);
+  }
+  // Failed lanes may have left garbage in the scatter planes last call
+  // (the scalar pass keeps work_ clean by construction; an aborted lane
+  // cannot).
+  std::fill(work_b_.begin(), work_b_.end(), Scalar{});
+  std::fill(colmax_b_.begin(), colmax_b_.end(), 0.0);
+  std::fill(amax_b_.begin(), amax_b_.end(), 0.0);
+  std::fill(gmax_b_.begin(), gmax_b_.end(), 0.0);
+
+  // Per-lane input screen: the batched twin of refactor()'s prologue.
+  // Non-finite values or an all-zero matrix fail the lane (where the
+  // scalar path throws); the same pass fills the per-lane column maxima
+  // for the column-relative pivot test.
+  const std::vector<int>& cols = batch.pattern().col_index();
+  const std::vector<Scalar>& vals = batch.values();
+  const std::size_t nnz = vals.size() / K;
+  for (std::size_t i = 0; i < nnz; ++i) {
+    const Scalar* v = vals.data() + i * K;
+    double* cm = colmax_b_.data() + static_cast<std::size_t>(cols[i]) * K;
+    for (std::size_t l = 0; l < K; ++l) {
+      lane_ok[l] = static_cast<unsigned char>(
+          lane_ok[l] & static_cast<unsigned char>(scalar_is_finite(v[l])));
+      const double m = scalar_abs(v[l]);
+      amax_b_[l] = std::max(amax_b_[l], m);
+      cm[l] = std::max(cm[l], m);
+    }
+  }
+  for (std::size_t l = 0; l < K; ++l) {
+    lane_ok[l] =
+        static_cast<unsigned char>(lane_ok[l] & (amax_b_[l] > 0.0 ? 1 : 0));
+    // The growth cap repurposes amax_b_ in place (amax is not needed
+    // beyond this point).
+    amax_b_[l] *= 1e8;  // kGrowthLimit, as in refactor_frozen
+  }
+
+  // Frozen numeric pass, all K lanes per elimination step. Each lane's
+  // per-slot operation sequence is exactly refactor_frozen's, so a lane
+  // that passes produces bit-identical factors to a scalar refactor of
+  // the same values under this analysis. Lanes are arithmetically
+  // independent: a rejected pivot only poisons its own plane.
+  const std::vector<int>& row_ptr = batch.pattern().row_ptr();
+  for (std::size_t k = 0; k < n_; ++k) {
+    const std::size_t r = static_cast<std::size_t>(rperm_[k]);
+    for (int i = row_ptr[r]; i < row_ptr[r + 1]; ++i) {
+      Scalar* w =
+          work_b_.data() +
+          static_cast<std::size_t>(astep_[static_cast<std::size_t>(i)]) * K;
+      const Scalar* v = vals.data() + static_cast<std::size_t>(i) * K;
+      for (std::size_t l = 0; l < K; ++l) w[l] += v[l];
+    }
+    for (int li = l_ptr_[k]; li < l_ptr_[k + 1]; ++li) {
+      const std::size_t j =
+          static_cast<std::size_t>(l_step_[static_cast<std::size_t>(li)]);
+      Scalar* wj = work_b_.data() + j * K;
+      Scalar* lv = l_val_b_.data() + static_cast<std::size_t>(li) * K;
+      const Scalar* dj = udiag_b_.data() + j * K;
+      for (std::size_t l = 0; l < K; ++l) {
+        lv[l] = wj[l] / dj[l];
+        wj[l] = Scalar{};
+      }
+      for (int ui = u_ptr_[j]; ui < u_ptr_[j + 1]; ++ui) {
+        Scalar* wu =
+            work_b_.data() +
+            static_cast<std::size_t>(u_step_[static_cast<std::size_t>(ui)]) *
+                K;
+        const Scalar* uv =
+            u_val_b_.data() + static_cast<std::size_t>(ui) * K;
+        for (std::size_t l = 0; l < K; ++l) wu[l] -= lv[l] * uv[l];
+      }
+    }
+    Scalar* wd = work_b_.data() + k * K;
+    Scalar* dk = udiag_b_.data() + k * K;
+    for (std::size_t l = 0; l < K; ++l) {
+      dk[l] = wd[l];
+      wd[l] = Scalar{};
+      gmax_b_[l] = std::max(gmax_b_[l], scalar_abs(dk[l]));
+    }
+    for (int ui = u_ptr_[k]; ui < u_ptr_[k + 1]; ++ui) {
+      Scalar* wu =
+          work_b_.data() +
+          static_cast<std::size_t>(u_step_[static_cast<std::size_t>(ui)]) * K;
+      Scalar* uv = u_val_b_.data() + static_cast<std::size_t>(ui) * K;
+      for (std::size_t l = 0; l < K; ++l) {
+        uv[l] = wu[l];
+        gmax_b_[l] = std::max(gmax_b_[l], scalar_abs(uv[l]));
+        wu[l] = Scalar{};
+      }
+    }
+    const double* cm =
+        colmax_b_.data() + static_cast<std::size_t>(cperm_[k]) * K;
+    for (std::size_t l = 0; l < K; ++l) {
+      // Same acceptance as the scalar frozen pass: pivot above its own
+      // column's scale, growth bounded (amax_b_ now holds the cap). The
+      // inverted comparison rejects NaN.
+      lane_ok[l] = static_cast<unsigned char>(
+          lane_ok[l] &
+          static_cast<unsigned char>(scalar_abs(dk[l]) >
+                                     pivot_tol * cm[l]) &
+          static_cast<unsigned char>(!(gmax_b_[l] > amax_b_[l])));
+    }
+  }
+}
+
+template <typename Scalar>
+void SparseLuFactorizationT<Scalar>::solve_batch(
+    std::vector<Scalar>& rhs) const {
+  ICVBE_REQUIRE(batch_lanes_ > 0, "sparse LU batch: refactor_batch() first");
+  ICVBE_REQUIRE(rhs.size() == n_ * batch_lanes_,
+                "sparse LU batch solve: rhs size mismatch");
+  const std::size_t K = batch_lanes_;
+  // Per lane this is exactly solve_in_place's operation sequence (the
+  // running accumulator becomes in-place updates applied in the same
+  // order, which is the same FP sequence).
+  for (std::size_t k = 0; k < n_; ++k) {
+    const Scalar* src =
+        rhs.data() + static_cast<std::size_t>(rperm_[k]) * K;
+    Scalar* dst = perm_b_.data() + k * K;
+    for (std::size_t l = 0; l < K; ++l) dst[l] = src[l];
+  }
+  for (std::size_t k = 0; k < n_; ++k) {
+    Scalar* pk = perm_b_.data() + k * K;
+    for (int li = l_ptr_[k]; li < l_ptr_[k + 1]; ++li) {
+      const Scalar* lv =
+          l_val_b_.data() + static_cast<std::size_t>(li) * K;
+      const Scalar* pj =
+          perm_b_.data() +
+          static_cast<std::size_t>(l_step_[static_cast<std::size_t>(li)]) * K;
+      for (std::size_t l = 0; l < K; ++l) pk[l] -= lv[l] * pj[l];
+    }
+  }
+  for (std::size_t ki = n_; ki-- > 0;) {
+    Scalar* pk = perm_b_.data() + ki * K;
+    for (int ui = u_ptr_[ki]; ui < u_ptr_[ki + 1]; ++ui) {
+      const Scalar* uv =
+          u_val_b_.data() + static_cast<std::size_t>(ui) * K;
+      const Scalar* pu =
+          perm_b_.data() +
+          static_cast<std::size_t>(u_step_[static_cast<std::size_t>(ui)]) * K;
+      for (std::size_t l = 0; l < K; ++l) pk[l] -= uv[l] * pu[l];
+    }
+    const Scalar* dk = udiag_b_.data() + ki * K;
+    for (std::size_t l = 0; l < K; ++l) pk[l] /= dk[l];
+  }
+  for (std::size_t k = 0; k < n_; ++k) {
+    const Scalar* src = perm_b_.data() + k * K;
+    Scalar* dst = rhs.data() + static_cast<std::size_t>(cperm_[k]) * K;
+    for (std::size_t l = 0; l < K; ++l) dst[l] = src[l];
+  }
 }
 
 template <typename Scalar>

@@ -1,0 +1,237 @@
+#include "icvbe/spice/batch_session.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "icvbe/common/error.hpp"
+#include "icvbe/spice/stamper.hpp"
+
+namespace icvbe::spice {
+
+BatchDcSession::BatchDcSession(std::vector<Circuit*> lanes,
+                               NewtonOptions options)
+    : lanes_(std::move(lanes)), options_(options) {
+  ICVBE_REQUIRE(!lanes_.empty(), "BatchDcSession: need at least one lane");
+  const std::size_t k = lanes_.size();
+
+  n_unknowns_ = lanes_[0]->assign_unknowns();
+  node_unknowns_ = lanes_[0]->node_count() - 1;
+  ICVBE_REQUIRE(n_unknowns_ > 0, "BatchDcSession: circuit has no unknowns");
+  bound_device_count_ = lanes_[0]->devices().size();
+  for (std::size_t l = 1; l < k; ++l) {
+    ICVBE_REQUIRE(lanes_[l]->assign_unknowns() == n_unknowns_ &&
+                      lanes_[l]->node_count() - 1 == node_unknowns_ &&
+                      lanes_[l]->devices().size() == bound_device_count_,
+                  "BatchDcSession: lanes must share one topology");
+  }
+
+  const auto n = static_cast<std::size_t>(n_unknowns_);
+  x_.assign(k, Unknowns(n));
+  last_solution_.assign(k, Unknowns(n));
+  b_lane_.assign(k, linalg::Vector(n, 0.0));
+  b_prime_.assign(n, 0.0);
+  rhs_.assign(n * k, 0.0);
+  active_.assign(k, 1);
+  have_last_.assign(k, 0);
+  live_.assign(k, 0);
+  lane_ok_.assign(k, 0);
+  status_.assign(k, BatchLaneStatus{});
+
+  // Pattern discovery on lane 0, exactly as SimSession::rebind does it:
+  // one stamp pass registers every slot a device can touch (values are
+  // irrelevant), plus the gmin diagonal slots; then the pattern freezes
+  // and the discovery pass's limiting-state side effects are wiped.
+  sa_.resize(n, n);
+  Stamper st(sa_, b_prime_, node_unknowns_);
+  for (const auto& dev : lanes_[0]->devices()) dev->stamp(st, x_[0]);
+  for (int i = 0; i < node_unknowns_; ++i) st.add_entry(i, i, 0.0);
+  sa_.freeze_pattern();
+  for (const auto& dev : lanes_[0]->devices()) dev->reset_state();
+  std::fill(b_prime_.begin(), b_prime_.end(), 0.0);
+
+  batch_.bind(sa_, k);
+}
+
+void BatchDcSession::prime(std::size_t reference_lane) {
+  Circuit& ref = *lanes_[reference_lane];
+  // The reference's start point, chosen like a solve would choose it.
+  Unknowns& x = x_[reference_lane];
+  if (have_last_[reference_lane]) {
+    x = last_solution_[reference_lane];
+  } else {
+    std::fill(x.raw().begin(), x.raw().end(), 0.0);
+  }
+  linalg::MatrixView a(sa_);
+  a.fill(0.0);
+  std::fill(b_prime_.begin(), b_prime_.end(), 0.0);
+  Stamper st(a, b_prime_, node_unknowns_);
+  for (const auto& dev : ref.devices()) dev->stamp(st, x);
+  for (int i = 0; i < node_unknowns_; ++i) {
+    st.add_entry(i, i, options_.gmin_floor);
+  }
+  slu_.invalidate_analysis();
+  slu_.refactor(sa_);  // throws NumericalError if singular here
+  // The stamp ran device junction limiting; wipe it so priming leaves the
+  // reference lane's next real solve trajectory untouched.
+  for (const auto& dev : ref.devices()) dev->reset_state();
+}
+
+void BatchDcSession::begin_variant(std::size_t lane) {
+  have_last_[lane] = 0;
+  for (const auto& dev : lanes_[lane]->devices()) dev->reset_state();
+}
+
+void BatchDcSession::set_lane_active(std::size_t lane, bool active) {
+  active_[lane] = active ? 1 : 0;
+}
+
+void BatchDcSession::seed_warm_start(std::size_t lane, const Unknowns& x) {
+  if (x.size() == static_cast<std::size_t>(n_unknowns_)) {
+    last_solution_[lane] = x;  // same-size copy, no reallocation
+    have_last_[lane] = 1;
+  }
+}
+
+void BatchDcSession::solve_active() {
+  const std::size_t k = lanes_.size();
+  const int n_unknowns = n_unknowns_;
+  const int node_unknowns = node_unknowns_;
+  const NewtonOptions& opt = options_;
+
+  // Per-lane start points: warm-start continuation or cold, exactly
+  // SimSession::solve's choice (there is no per-lane `initial` channel;
+  // seed_warm_start covers that use).
+  std::size_t live_count = 0;
+  std::size_t first_active = k;
+  for (std::size_t l = 0; l < k; ++l) {
+    live_[l] = active_[l];
+    if (!active_[l]) continue;
+    if (first_active == k) first_active = l;
+    ++live_count;
+    status_[l] = BatchLaneStatus{};
+    if (lanes_[l]->devices().size() != bound_device_count_) {
+      throw CircuitError(
+          "BatchDcSession: lane topology changed since binding");
+    }
+    if (have_last_[l]) {
+      x_[l] = last_solution_[l];
+    } else {
+      std::fill(x_[l].raw().begin(), x_[l].raw().end(), 0.0);
+    }
+  }
+  if (live_count == 0) return;
+  if (!primed()) prime(first_active);
+
+  for (int iter = 0; iter < opt.max_iterations && live_count > 0; ++iter) {
+    // Stamp every live lane's value plane and RHS at its own iterate.
+    for (std::size_t l = 0; l < k; ++l) {
+      if (!live_[l]) continue;
+      ++status_[l].iterations;
+      linalg::MatrixView a(batch_, l);
+      a.fill(0.0);
+      std::fill(b_lane_[l].begin(), b_lane_[l].end(), 0.0);
+      Stamper st(a, b_lane_[l], node_unknowns);
+      for (const auto& dev : lanes_[l]->devices()) dev->stamp(st, x_[l]);
+      for (int i = 0; i < node_unknowns; ++i) {
+        st.add_entry(i, i, opt.gmin_floor);
+      }
+    }
+
+    // One shared refactor carries all live lanes; a lane whose values
+    // reject the frozen pivots leaves the lockstep (the scalar path would
+    // have re-analysed or fallen down the ladder -- solo does both).
+    lane_ok_ = live_;
+    slu_.refactor_batch(batch_, lane_ok_);
+    for (std::size_t l = 0; l < k; ++l) {
+      if (live_[l] && !lane_ok_[l]) {
+        status_[l].needs_solo = true;
+        live_[l] = 0;
+        --live_count;
+      }
+    }
+    if (live_count == 0) break;
+
+    // Pack the RHS planes (lane-fastest) and solve them all together.
+    for (int i = 0; i < n_unknowns; ++i) {
+      const auto row = static_cast<std::size_t>(i) * k;
+      for (std::size_t l = 0; l < k; ++l) {
+        rhs_[row + l] = b_lane_[l][static_cast<std::size_t>(i)];
+      }
+    }
+    slu_.solve_batch(rhs_);
+
+    // Per-lane damping + update + convergence test: bit-for-bit
+    // SimSession::newton_attempt's epilogue, reading this lane's plane.
+    for (std::size_t l = 0; l < k; ++l) {
+      if (!live_[l]) continue;
+      Unknowns& x = x_[l];
+      double max_node_dx = 0.0;
+      for (int i = 0; i < node_unknowns; ++i) {
+        max_node_dx = std::max(
+            max_node_dx,
+            std::abs(rhs_[static_cast<std::size_t>(i) * k + l] -
+                     x.raw()[static_cast<std::size_t>(i)]));
+      }
+      double scale = 1.0;
+      if (max_node_dx > opt.max_step_volts) {
+        scale = opt.max_step_volts / max_node_dx;
+      }
+
+      bool converged = (iter > 0);  // require at least two iterations
+      for (int i = 0; i < n_unknowns; ++i) {
+        const double xi = x.raw()[static_cast<std::size_t>(i)];
+        const double xn =
+            xi + scale * (rhs_[static_cast<std::size_t>(i) * k + l] - xi);
+        const double dx = std::abs(xn - xi);
+        const double abstol =
+            (i < node_unknowns) ? opt.v_abstol : opt.i_abstol;
+        const double tol =
+            abstol + opt.reltol * std::max(std::abs(xi), std::abs(xn));
+        if (dx > tol) converged = false;
+        x.raw()[static_cast<std::size_t>(i)] = xn;
+      }
+      if (!std::isfinite(linalg::norm_inf(x.raw()))) {
+        status_[l].needs_solo = true;
+        live_[l] = 0;
+        --live_count;
+      } else if (converged && scale == 1.0) {
+        status_[l].converged = true;
+        last_solution_[l] = x;  // same-size copy
+        have_last_[l] = 1;
+        live_[l] = 0;
+        --live_count;
+      }
+    }
+  }
+
+  // Plain Newton exhausted without converging: the scalar path would now
+  // try gmin / source stepping -- that is solo work by construction.
+  for (std::size_t l = 0; l < k; ++l) {
+    if (live_[l]) {
+      status_[l].needs_solo = true;
+      live_[l] = 0;
+    }
+  }
+}
+
+std::size_t ParamDeltaSet::bind_resistor(std::string_view name) {
+  resistors_.push_back(&circuit_->get<Resistor>(name));
+  return resistors_.size() - 1;
+}
+
+std::size_t ParamDeltaSet::bind_bjt(std::string_view name) {
+  bjts_.push_back(&circuit_->get<Bjt>(name));
+  return bjts_.size() - 1;
+}
+
+std::size_t ParamDeltaSet::bind_opamp(std::string_view name) {
+  opamps_.push_back(&circuit_->get<OpAmp>(name));
+  return opamps_.size() - 1;
+}
+
+std::size_t ParamDeltaSet::bind_isource(std::string_view name) {
+  isources_.push_back(&circuit_->get<CurrentSource>(name));
+  return isources_.size() - 1;
+}
+
+}  // namespace icvbe::spice

@@ -85,6 +85,17 @@ void Bjt::set_temperature(double t_kelvin) {
   vcrit_bc_ = junction_vcrit(model_.nr * vt_, std::max(is_t_, 1e-30));
 }
 
+void Bjt::set_model(const BjtModel& model) {
+  ICVBE_REQUIRE(model.type == model_.type,
+                "Bjt: set_model cannot change the device type");
+  ICVBE_REQUIRE(model.is > 0.0, "Bjt: IS must be > 0");
+  ICVBE_REQUIRE(model.bf > 0.0 && model.br > 0.0, "Bjt: BF, BR must be > 0");
+  ICVBE_REQUIRE(model.nf > 0.0 && model.nr > 0.0, "Bjt: NF, NR must be > 0");
+  model_ = model;
+  set_temperature(temp_);
+  reset_state();
+}
+
 void Bjt::reset_state() {
   v1_state_ = 0.0;
   v2_state_ = 0.0;

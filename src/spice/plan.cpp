@@ -1,5 +1,7 @@
 #include "icvbe/spice/plan.hpp"
 
+#include "icvbe/spice/batch_session.hpp"
+
 #include <algorithm>
 #include <atomic>
 #include <cmath>
@@ -1360,6 +1362,109 @@ SweepResult SimSession::run(const AnalysisPlan& plan, RunObserver* observer) {
 
   unsigned threads = common::resolve_thread_count(plan.threads);
   threads = std::min<unsigned>(threads, static_cast<unsigned>(outer_n));
+
+  // Batched outer-row fanout (.STEP corner families): workers claim
+  // lanes-wide groups of rows and drive them through one BatchDcSession --
+  // one symbolic analysis and one K-wide LU refactor/solve per Newton
+  // iteration instead of per-row scalar factorisations. Sparse engine
+  // only (the batch kernel is sparse, and mixing engines would break
+  // bit-identity with the scalar path); a row whose lane leaves the
+  // lockstep is re-run through the ordinary scalar row path on its clone,
+  // which is exactly what the per-row fallback ladder would have done.
+  if (plan.lanes > 1 && use_sparse_) {
+    NewtonOptions lane_options = plan.options;
+    lane_options.sparse = SparseMode::kSparse;
+    const auto lane_w = std::min<std::size_t>(plan.lanes, outer_n);
+    const std::size_t groups = (outer_n + lane_w - 1) / lane_w;
+    unsigned lane_threads = common::resolve_thread_count(plan.threads);
+    lane_threads =
+        std::min<unsigned>(lane_threads, static_cast<unsigned>(groups));
+    const std::size_t inner_n2 = out.inner_.size();
+    std::atomic<std::size_t> next_group{0};
+    common::fan_out(lane_threads, [&]() {
+      std::vector<Circuit> clones;
+      clones.reserve(lane_w);
+      std::vector<Circuit*> ptrs;
+      std::vector<BoundPlan> bounds;
+      bounds.reserve(lane_w);
+      for (std::size_t l = 0; l < lane_w; ++l) {
+        clones.push_back(circuit_->clone());
+      }
+      for (std::size_t l = 0; l < lane_w; ++l) {
+        ptrs.push_back(&clones[l]);
+        bounds.emplace_back(plan, clones[l]);
+      }
+      BatchDcSession batch(std::move(ptrs), lane_options);
+      // Deterministic prime: row 0's first point start state -- a pure
+      // function of (circuit, plan), so the pinned pivot sequence never
+      // depends on which worker claims which group.
+      batch.begin_variant(0);
+      if (seed != nullptr) batch.seed_warm_start(0, *seed);
+      bounds[0].outer.apply(out.outer_[0]);
+      bounds[0].inner.apply(out.inner_[0]);
+      batch.prime(0);
+
+      std::vector<std::size_t> row(lane_w, 0);
+      std::vector<unsigned char> solo(lane_w, 0);
+      for (;;) {
+        if (stream.cancelled.load(std::memory_order_relaxed)) break;
+        const std::size_t g =
+            next_group.fetch_add(1, std::memory_order_relaxed);
+        if (g >= groups) break;
+        const std::size_t first = g * lane_w;
+        const std::size_t group_size = std::min(lane_w, outer_n - first);
+        for (std::size_t l = 0; l < lane_w; ++l) {
+          if (l >= group_size) {
+            batch.set_lane_active(l, false);
+            continue;
+          }
+          row[l] = first + l;
+          solo[l] = 0;
+          // The deterministic row start of run_outer_row: devices reset,
+          // warm re-seeded (or cold), outer value applied.
+          batch.begin_variant(l);
+          if (seed != nullptr) batch.seed_warm_start(l, *seed);
+          bounds[l].outer.apply(out.outer_[row[l]]);
+          batch.set_lane_active(l, true);
+        }
+        for (std::size_t j = 0; j < inner_n2; ++j) {
+          for (std::size_t l = 0; l < group_size; ++l) {
+            if (batch.lane_active(l)) bounds[l].inner.apply(out.inner_[j]);
+          }
+          batch.solve_active();
+          for (std::size_t l = 0; l < group_size; ++l) {
+            if (!batch.lane_active(l)) continue;
+            if (!batch.status(l).converged) {
+              solo[l] = 1;  // scalar rerun replays the full fallback ladder
+              batch.set_lane_active(l, false);
+              continue;
+            }
+            const Unknowns& x = batch.solution(l);
+            const std::size_t r = row[l] * inner_n2 + j;
+            for (std::size_t p = 0; p < bounds[l].probes.size(); ++p) {
+              columns[p][r] = eval_compiled(bounds[l].probes[p], x,
+                                            bounds[l].stack);
+            }
+            if (stream.active()) {
+              double axes[2] = {out.outer_[row[l]], out.inner_[j]};
+              for (std::size_t p = 0; p < bounds[l].probes.size(); ++p) {
+                bounds[l].probe_row[p] = columns[p][r];
+              }
+              stream.deliver(r, axes, 2, bounds[l].probe_row.data(),
+                             bounds[l].probe_row.size(), plan.name);
+            }
+          }
+        }
+        for (std::size_t l = 0; l < group_size; ++l) {
+          if (!solo[l]) continue;
+          SimSession solo_session(clones[l], lane_options);
+          run_outer_row(solo_session, bounds[l], plan, out.inner_, row[l],
+                        out.outer_[row[l]], seed, columns, stream);
+        }
+      }
+    });
+    return out;
+  }
 
   if (threads <= 1) {
     BoundPlan bound(plan, *circuit_);

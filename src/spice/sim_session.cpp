@@ -79,6 +79,11 @@ void SimSession::rebind() {
   isource_base_.assign(isources_.size(), 0.0);
 }
 
+void SimSession::begin_variant() {
+  invalidate_warm_start();
+  for (auto& d : circuit_->devices()) d->reset_state();
+}
+
 void SimSession::seed_warm_start(const Unknowns& x) {
   if (x.size() == static_cast<std::size_t>(n_unknowns_)) {
     x_ = x;  // same-size copy, no reallocation

@@ -1,0 +1,491 @@
+// Tests for the batched value-plane solver stack: the SparseValueBatch
+// kernel must be bit-identical to scalar frozen refactor/solve, the
+// BatchDcSession lockstep Newton must be bit-identical to SimSession per
+// lane, a failed lane must not perturb its lane mates, the per-die steady
+// state must be allocation-free, and LotCampaign::run_batched() must be
+// bit-identical to the per-die path for any lane count and thread count.
+//
+// This binary links icvbe_alloc_hook (see CMakeLists.txt) for the
+// zero-allocation assertion.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "icvbe/bandgap/test_cell.hpp"
+#include "icvbe/common/constants.hpp"
+#include "icvbe/common/error.hpp"
+#include "icvbe/lab/lot_campaign.hpp"
+#include "icvbe/linalg/sparse.hpp"
+#include "icvbe/spice/batch_session.hpp"
+#include "icvbe/spice/sim_session.hpp"
+#include "icvbe/testing/alloc_hook.hpp"
+
+namespace icvbe {
+namespace {
+
+// ------------------------------------------------- kernel level ---
+
+// Shared MNA-flavoured pattern: tridiagonal conductances plus a
+// voltage-source-style aux pair with a structurally zero diagonal, so the
+// pivot permutation is not the identity.
+linalg::SparseMatrix make_pattern(std::size_t n) {
+  linalg::SparseMatrix m(n + 1, n + 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    m.add(i, i, 0.0);
+    if (i + 1 < n) {
+      m.add(i, i + 1, 0.0);
+      m.add(i + 1, i, 0.0);
+    }
+  }
+  m.add(0, n, 0.0);
+  m.add(n, 0, 0.0);
+  m.add(n, n, 0.0);  // structurally present, numerically zero
+  m.freeze_pattern();
+  return m;
+}
+
+// Fill `m` with lane `l`'s values: a small deterministic perturbation of
+// the reference system, the shape of a Monte-Carlo die.
+void fill_lane_values(linalg::SparseMatrix& m, std::size_t n, std::size_t l) {
+  const double s = 1.0 + 0.01 * static_cast<double>(l);
+  m.fill(0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    m.add(i, i, 4.0 * s + 0.1 * static_cast<double>(i));
+    if (i + 1 < n) {
+      m.add(i, i + 1, -1.0 * s);
+      m.add(i + 1, i, -1.0 / s);
+    }
+  }
+  m.add(0, n, 1.0);
+  m.add(n, 0, 1.0);
+  m.add(n, n, 0.0);
+}
+
+TEST(SparseBatchKernelTest, BatchMatchesScalarFrozenRefactorBitwise) {
+  const std::size_t n = 24;
+  const std::size_t k = 4;
+  linalg::SparseMatrix m = make_pattern(n);
+  const std::size_t nn = n + 1;
+
+  // Scalar reference: one factorisation, analysis pinned at lane 0's
+  // values, then a frozen refactor + solve per lane.
+  fill_lane_values(m, n, 0);
+  linalg::SparseLuFactorization scalar_lu;
+  scalar_lu.refactor(m);
+  std::vector<linalg::Vector> scalar_x(k);
+  for (std::size_t l = 0; l < k; ++l) {
+    fill_lane_values(m, n, l);
+    scalar_lu.refactor(m);  // same pattern stamp: frozen-pivot refactor
+    linalg::Vector b(nn, 0.0);
+    for (std::size_t i = 0; i < nn; ++i)
+      b[i] = 1.0 + 0.5 * static_cast<double>(i) +
+             0.125 * static_cast<double>(l);
+    scalar_lu.solve_in_place(b);
+    scalar_x[l] = std::move(b);
+  }
+
+  // Batch: same analysis reference, all K lanes in one refactor/solve.
+  fill_lane_values(m, n, 0);
+  linalg::SparseLuFactorization batch_lu;
+  batch_lu.refactor(m);
+  linalg::SparseValueBatch batch;
+  batch.bind(m, k);
+  for (std::size_t l = 0; l < k; ++l) {
+    fill_lane_values(m, n, l);
+    batch.load_lane(l, m);
+  }
+  std::vector<unsigned char> lane_ok(k, 1);
+  batch_lu.refactor_batch(batch, lane_ok);
+  for (std::size_t l = 0; l < k; ++l) EXPECT_EQ(lane_ok[l], 1);
+
+  std::vector<double> rhs(nn * k);
+  for (std::size_t i = 0; i < nn; ++i)
+    for (std::size_t l = 0; l < k; ++l)
+      rhs[i * k + l] = 1.0 + 0.5 * static_cast<double>(i) +
+                       0.125 * static_cast<double>(l);
+  batch_lu.solve_batch(rhs);
+
+  // Exact equality on purpose: the lockstep elimination must perform the
+  // scalar operation sequence per lane, to the bit.
+  for (std::size_t l = 0; l < k; ++l)
+    for (std::size_t i = 0; i < nn; ++i)
+      EXPECT_EQ(rhs[i * k + l], scalar_x[l][i])
+          << "lane " << l << " unknown " << i;
+}
+
+TEST(SparseBatchKernelTest, SingularLaneIsFlaggedLaneMatesUnaffected) {
+  const std::size_t n = 12;
+  const std::size_t k = 3;
+  linalg::SparseMatrix m = make_pattern(n);
+  const std::size_t nn = n + 1;
+
+  fill_lane_values(m, n, 0);
+  linalg::SparseLuFactorization scalar_lu;
+  scalar_lu.refactor(m);
+  std::vector<linalg::Vector> scalar_x(k);
+  for (std::size_t l = 0; l < k; ++l) {
+    if (l == 1) continue;  // the poisoned lane has no scalar reference
+    fill_lane_values(m, n, l);
+    scalar_lu.refactor(m);
+    linalg::Vector b(nn, 1.0);
+    scalar_lu.solve_in_place(b);
+    scalar_x[l] = std::move(b);
+  }
+
+  fill_lane_values(m, n, 0);
+  linalg::SparseLuFactorization batch_lu;
+  batch_lu.refactor(m);
+  linalg::SparseValueBatch batch;
+  batch.bind(m, k);
+  for (std::size_t l = 0; l < k; ++l) {
+    fill_lane_values(m, n, l);
+    if (l == 1) m.fill(0.0);  // exactly singular
+    batch.load_lane(l, m);
+  }
+  std::vector<unsigned char> lane_ok(k, 1);
+  batch_lu.refactor_batch(batch, lane_ok);
+  EXPECT_EQ(lane_ok[0], 1);
+  EXPECT_EQ(lane_ok[1], 0) << "singular lane must be rejected";
+  EXPECT_EQ(lane_ok[2], 1);
+
+  std::vector<double> rhs(nn * k, 1.0);
+  batch_lu.solve_batch(rhs);
+  for (std::size_t i = 0; i < nn; ++i) {
+    EXPECT_EQ(rhs[i * k + 0], scalar_x[0][i]) << "unknown " << i;
+    EXPECT_EQ(rhs[i * k + 2], scalar_x[2][i]) << "unknown " << i;
+  }
+}
+
+// ------------------------------------------------ session level ---
+
+using spice::BatchDcSession;
+using spice::Circuit;
+using spice::NewtonOptions;
+using spice::SimSession;
+using spice::SparseMode;
+
+NewtonOptions sparse_options() {
+  NewtonOptions opt;
+  opt.sparse = SparseMode::kSparse;
+  return opt;
+}
+
+struct CellLane {
+  Circuit circuit;
+  bandgap::TestCellHandles handles;
+};
+
+bandgap::TestCellParams lane_params(std::size_t l) {
+  // The lab's nominal cell with real (PNP) device cards from the lot.
+  bandgap::TestCellParams p = lab::CampaignConfig{}.cell;
+  const lab::DieSample die = lab::SiliconLot{}.sample(1);
+  p.qa_model = die.qa;
+  p.qb_model = die.qb;
+  const double scale = 1.0 + 0.01 * static_cast<double>(l);
+  p.rx1 *= scale;
+  p.rx2 *= scale;
+  p.rb *= scale;
+  p.opamp_offset = 1e-3 * static_cast<double>(l);
+  return p;
+}
+
+TEST(BatchDcSessionTest, CellLanesBitIdenticalToScalarSessions) {
+  const std::size_t k = 3;
+  const double t = to_kelvin(25.0);
+
+  // Scalar references: a fresh sparse-forced SimSession per lane, solved
+  // from the analytic startup guess (the lab's own discipline).
+  std::vector<spice::Unknowns> scalar_x;
+  for (std::size_t l = 0; l < k; ++l) {
+    CellLane lane;
+    lane.handles = bandgap::build_test_cell(lane.circuit, lane_params(l));
+    lane.circuit.set_temperature(t);
+    SimSession session(lane.circuit, sparse_options());
+    const spice::Unknowns guess =
+        bandgap::cell_initial_guess(lane.circuit, lane.handles, t);
+    const auto& r = session.solve(&guess);
+    ASSERT_TRUE(r.converged) << "lane " << l;
+    EXPECT_EQ(r.strategy, "newton");
+    scalar_x.push_back(r.solution);
+  }
+
+  // Batch: all K lanes through one shared-analysis session. The lanes are
+  // built nominal and re-programmed through ParamDeltaSet, the lot
+  // driver's own path.
+  std::vector<CellLane> lanes(k);
+  std::vector<Circuit*> ptrs;
+  for (auto& lane : lanes) {
+    lane.handles = bandgap::build_test_cell(lane.circuit, lane_params(0));
+    ptrs.push_back(&lane.circuit);
+  }
+  BatchDcSession batch(std::move(ptrs), sparse_options());
+  for (std::size_t l = 0; l < k; ++l) {
+    const bandgap::TestCellParams p = lane_params(l);
+    spice::ParamDeltaSet d(lanes[l].circuit);
+    d.set_resistance(d.bind_resistor("RX1"), p.rx1);
+    d.set_resistance(d.bind_resistor("RX2"), p.rx2);
+    d.set_resistance(d.bind_resistor("RB"), p.rb);
+    d.set_opamp_offset(d.bind_opamp("U1"), p.opamp_offset);
+    lanes[l].circuit.set_temperature(t);
+    batch.begin_variant(l);
+    batch.seed_warm_start(
+        l, bandgap::cell_initial_guess(lanes[l].circuit, lanes[l].handles, t));
+  }
+  batch.solve_active();
+
+  for (std::size_t l = 0; l < k; ++l) {
+    ASSERT_TRUE(batch.status(l).converged) << "lane " << l;
+    const auto& x = batch.solution(l);
+    ASSERT_EQ(x.size(), scalar_x[l].size());
+    for (std::size_t i = 0; i < x.size(); ++i)
+      EXPECT_EQ(x.raw()[i], scalar_x[l].raw()[i])
+          << "lane " << l << " unknown " << i;
+  }
+}
+
+TEST(BatchDcSessionTest, FailedLaneDoesNotPerturbLaneMates) {
+  const std::size_t k = 3;
+  const double t = to_kelvin(25.0);
+
+  std::vector<spice::Unknowns> scalar_x(k);
+  for (std::size_t l = 0; l < k; ++l) {
+    if (l == 1) continue;
+    CellLane lane;
+    lane.handles = bandgap::build_test_cell(lane.circuit, lane_params(l));
+    lane.circuit.set_temperature(t);
+    SimSession session(lane.circuit, sparse_options());
+    const spice::Unknowns guess =
+        bandgap::cell_initial_guess(lane.circuit, lane.handles, t);
+    const auto& r = session.solve(&guess);
+    ASSERT_TRUE(r.converged);
+    scalar_x[l] = r.solution;
+  }
+
+  std::vector<CellLane> lanes(k);
+  std::vector<Circuit*> ptrs;
+  for (auto& lane : lanes) {
+    lane.handles = bandgap::build_test_cell(lane.circuit, lane_params(0));
+    ptrs.push_back(&lane.circuit);
+  }
+  BatchDcSession batch(std::move(ptrs), sparse_options());
+  for (std::size_t l = 0; l < k; ++l) {
+    bandgap::TestCellParams p = lane_params(l);
+    if (l == 1) p.opamp_offset = 1e6;  // a die that cannot converge
+    spice::ParamDeltaSet d(lanes[l].circuit);
+    d.set_resistance(d.bind_resistor("RX1"), p.rx1);
+    d.set_resistance(d.bind_resistor("RX2"), p.rx2);
+    d.set_resistance(d.bind_resistor("RB"), p.rb);
+    d.set_opamp_offset(d.bind_opamp("U1"), p.opamp_offset);
+    lanes[l].circuit.set_temperature(t);
+    batch.begin_variant(l);
+    batch.seed_warm_start(
+        l, bandgap::cell_initial_guess(lanes[l].circuit, lanes[l].handles, t));
+  }
+  batch.solve_active();
+
+  EXPECT_FALSE(batch.status(1).converged)
+      << "the poisoned lane must not report convergence";
+  for (std::size_t l : {std::size_t{0}, std::size_t{2}}) {
+    ASSERT_TRUE(batch.status(l).converged) << "lane " << l;
+    const auto& x = batch.solution(l);
+    for (std::size_t i = 0; i < x.size(); ++i)
+      EXPECT_EQ(x.raw()[i], scalar_x[l].raw()[i])
+          << "lane " << l << " unknown " << i
+          << ": a failed lane mate changed this lane's bits";
+  }
+}
+
+TEST(BatchDcSessionTest, PerDieSteadyStateIsAllocationFree) {
+  const std::size_t k = 2;
+  const double t = to_kelvin(25.0);
+
+  std::vector<CellLane> lanes(k);
+  std::vector<Circuit*> ptrs;
+  for (auto& lane : lanes) {
+    lane.handles = bandgap::build_test_cell(lane.circuit, lane_params(0));
+    ptrs.push_back(&lane.circuit);
+  }
+  BatchDcSession batch(std::move(ptrs), sparse_options());
+  std::vector<spice::ParamDeltaSet> delta;
+  std::vector<std::size_t> slot_rx1, slot_u1;
+  for (std::size_t l = 0; l < k; ++l) {
+    spice::ParamDeltaSet d(lanes[l].circuit);
+    slot_rx1.push_back(d.bind_resistor("RX1"));
+    slot_u1.push_back(d.bind_opamp("U1"));
+    delta.push_back(std::move(d));
+  }
+  // Warm-up die: first solve allocates (analysis, factor planes, buffers)
+  // and pins the shape. Seed each lane once so the steady state below can
+  // reuse the preallocated warm-start storage.
+  for (std::size_t l = 0; l < k; ++l) {
+    lanes[l].circuit.set_temperature(t);
+    batch.begin_variant(l);
+    batch.seed_warm_start(
+        l, bandgap::cell_initial_guess(lanes[l].circuit, lanes[l].handles, t));
+  }
+  batch.solve_active();
+  for (std::size_t l = 0; l < k; ++l)
+    ASSERT_TRUE(batch.status(l).converged);
+
+  // Steady state: re-program parameters, reset variants, solve. The
+  // re-programming and the whole lockstep Newton (stamp, refactor_batch,
+  // solve_batch, damping, convergence test) must not touch the heap; only
+  // the startup-guess construction (a lab-side Unknowns) may allocate, so
+  // it sits outside the counting window.
+  for (int die = 0; die < 3; ++die) {
+    std::vector<spice::Unknowns> guess;
+    for (std::size_t l = 0; l < k; ++l) {
+      lanes[l].circuit.set_temperature(t);
+      guess.push_back(bandgap::cell_initial_guess(lanes[l].circuit,
+                                                  lanes[l].handles, t));
+    }
+    const std::uint64_t before = testing::allocation_count();
+    for (std::size_t l = 0; l < k; ++l) {
+      delta[l].set_resistance(slot_rx1[l],
+                              lane_params(l).rx1 * (1.0 + 0.001 * die));
+      delta[l].set_opamp_offset(slot_u1[l], 1e-4 * static_cast<double>(die));
+      batch.begin_variant(l);
+      batch.seed_warm_start(l, guess[l]);
+    }
+    batch.solve_active();
+    for (std::size_t l = 0; l < k; ++l) {
+      ASSERT_TRUE(batch.status(l).converged);
+      (void)batch.solution(l);
+    }
+    const std::uint64_t after = testing::allocation_count();
+    EXPECT_EQ(after, before)
+        << "BatchDcSession allocated on the per-die steady-state path "
+           "(die "
+        << die << ")";
+  }
+}
+
+// ---------------------------------------------- lot-campaign level ---
+
+lab::LotCampaignConfig lot_config() {
+  lab::LotCampaignConfig cfg;
+  cfg.samples = 10;
+  cfg.first_index = 1;
+  cfg.seed_base = 9000;
+  cfg.classical_celsius = {-25.0, 25.0, 75.0, 125.0};
+  cfg.lab.newton.sparse = SparseMode::kSparse;
+  return cfg;
+}
+
+void expect_die_bit_identical(const lab::DieCharacterisation& a,
+                              const lab::DieCharacterisation& b) {
+  EXPECT_EQ(a.index, b.index);
+  EXPECT_EQ(a.ok, b.ok);
+  EXPECT_EQ(a.error, b.error);
+  EXPECT_EQ(a.has_classical, b.has_classical);
+  EXPECT_EQ(a.has_meijer, b.has_meijer);
+  EXPECT_EQ(a.eg_classical, b.eg_classical);
+  EXPECT_EQ(a.eg_meijer, b.eg_meijer);
+  EXPECT_EQ(a.xti_meijer, b.xti_meijer);
+  EXPECT_EQ(a.eg_measured_t, b.eg_measured_t);
+  EXPECT_EQ(a.xti_measured_t, b.xti_measured_t);
+  EXPECT_EQ(a.delta_t1, b.delta_t1);
+  EXPECT_EQ(a.delta_t3, b.delta_t3);
+  ASSERT_EQ(a.cell.size(), b.cell.size());
+  for (std::size_t i = 0; i < a.cell.size(); ++i) {
+    EXPECT_EQ(a.cell[i].vref, b.cell[i].vref);
+    EXPECT_EQ(a.cell[i].delta_vbe, b.cell[i].delta_vbe);
+    EXPECT_EQ(a.cell[i].t_sensor, b.cell[i].t_sensor);
+    EXPECT_EQ(a.cell[i].ic_qa, b.cell[i].ic_qa);
+    EXPECT_EQ(a.cell[i].ic_qb, b.cell[i].ic_qb);
+  }
+}
+
+void expect_stat_bit_identical(const lab::LotStatistic& a,
+                               const lab::LotStatistic& b) {
+  EXPECT_EQ(a.count, b.count);
+  EXPECT_EQ(a.mean, b.mean);
+  EXPECT_EQ(a.stddev, b.stddev);
+  EXPECT_EQ(a.min, b.min);
+  EXPECT_EQ(a.max, b.max);
+  EXPECT_EQ(a.q10, b.q10);
+  EXPECT_EQ(a.q50, b.q50);
+  EXPECT_EQ(a.q90, b.q90);
+}
+
+TEST(LotBatchTest, BatchedBitIdenticalToPerDieForAnyLanesAndThreads) {
+  lab::LotCampaignConfig ref_cfg = lot_config();
+  ref_cfg.threads = 1;
+  ref_cfg.lanes = 0;  // the classic per-die path
+  const auto ref = lab::LotCampaign(lab::SiliconLot{}, ref_cfg).run();
+  const lab::LotSummary ref_sum = lab::LotCampaign::summarise(ref);
+  ASSERT_EQ(ref.size(), 10u);
+  for (const auto& die : ref) ASSERT_TRUE(die.ok) << die.error;
+
+  const unsigned lane_counts[] = {1, 4, 32};
+  const unsigned thread_counts[] = {1, 3};
+  for (unsigned lanes : lane_counts) {
+    for (unsigned threads : thread_counts) {
+      lab::LotCampaignConfig cfg = lot_config();
+      cfg.threads = threads;
+      cfg.lanes = lanes;
+      const lab::LotCampaign campaign(lab::SiliconLot{}, cfg);
+      // lanes == 1 exercises the batched machinery at K = 1 directly
+      // (run() would route it to the classic path).
+      const auto got = lanes > 1 ? campaign.run() : campaign.run_batched();
+      ASSERT_EQ(got.size(), ref.size());
+      for (std::size_t i = 0; i < ref.size(); ++i) {
+        SCOPED_TRACE(::testing::Message()
+                     << "lanes=" << lanes << " threads=" << threads
+                     << " die=" << i);
+        expect_die_bit_identical(ref[i], got[i]);
+      }
+      const lab::LotSummary got_sum = lab::LotCampaign::summarise(got);
+      EXPECT_EQ(got_sum.dies_ok, ref_sum.dies_ok);
+      EXPECT_EQ(got_sum.dies_failed, ref_sum.dies_failed);
+      expect_stat_bit_identical(ref_sum.eg_classical, got_sum.eg_classical);
+      expect_stat_bit_identical(ref_sum.eg_meijer, got_sum.eg_meijer);
+      expect_stat_bit_identical(ref_sum.xti_meijer, got_sum.xti_meijer);
+      expect_stat_bit_identical(ref_sum.delta_t1, got_sum.delta_t1);
+      expect_stat_bit_identical(ref_sum.delta_t3, got_sum.delta_t3);
+    }
+  }
+}
+
+TEST(LotBatchTest, FailingDiesFallBackBitIdentically) {
+  // A wild process: some dies fail (extraction or convergence), others
+  // survive. The batched path must reproduce the per-die results exactly,
+  // failures included, without a failed die poisoning its lane mates.
+  lab::ProcessTruth truth = lab::ProcessTruth::nominal();
+  truth.opamp_offset_sigma = 0.6;  // +-volts of offset: some dies are broken
+  const lab::SiliconLot lot(truth);
+
+  lab::LotCampaignConfig ref_cfg = lot_config();
+  ref_cfg.samples = 8;
+  ref_cfg.run_classical = false;
+  ref_cfg.threads = 1;
+  const auto ref = lab::LotCampaign(lot, ref_cfg).run();
+
+  int ok = 0, failed = 0;
+  for (const auto& die : ref) (die.ok ? ok : failed)++;
+  ASSERT_GT(failed, 0) << "tune opamp_offset_sigma: no die failed";
+  ASSERT_GT(ok, 0) << "tune opamp_offset_sigma: every die failed";
+
+  lab::LotCampaignConfig cfg = ref_cfg;
+  cfg.lanes = 4;
+  cfg.threads = 2;
+  const auto got = lab::LotCampaign(lot, cfg).run();
+  ASSERT_EQ(got.size(), ref.size());
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    SCOPED_TRACE(::testing::Message() << "die=" << i);
+    expect_die_bit_identical(ref[i], got[i]);
+  }
+}
+
+TEST(LotBatchTest, BatchedPathRequiresSparseEngine) {
+  lab::LotCampaignConfig cfg = lot_config();
+  cfg.lanes = 4;
+  cfg.lab.newton.sparse = SparseMode::kAuto;  // would pick dense at n = 7
+  const lab::LotCampaign campaign(lab::SiliconLot{}, cfg);
+  EXPECT_THROW((void)campaign.run(), Error);
+}
+
+}  // namespace
+}  // namespace icvbe

@@ -124,6 +124,22 @@ TEST(LotCampaignTest, ResultsAreOrderedAndPlausible) {
   EXPECT_GE(s.eg_meijer.stddev, 0.0);
 }
 
+TEST(LotStatisticTest, UsesSampleStandardDeviation) {
+  // The lot is a sample of the process, so the spread must be the
+  // Bessel-corrected (/(N-1)) standard deviation, not the population
+  // (/N) one the original implementation computed.
+  const LotStatistic s = LotStatistic::of({1.0, 2.0, 3.0, 4.0});
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.stddev, std::sqrt(5.0 / 3.0));  // not sqrt(1.25)
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+
+  // Degenerate sizes must not divide by zero.
+  EXPECT_DOUBLE_EQ(LotStatistic::of({7.0}).stddev, 0.0);
+  EXPECT_EQ(LotStatistic::of({}).count, 0u);
+}
+
 TEST(LotCampaignTest, RejectsBadConfig) {
   LotCampaignConfig cfg;
   cfg.samples = 0;

@@ -271,6 +271,55 @@ TEST(AnalysisPlanTest, TwoAxisParallelIsBitIdenticalForAnyThreadCount) {
   }
 }
 
+TEST(AnalysisPlanTest, TwoAxisLanedFanoutIsBitIdenticalToScalar) {
+  // plan.lanes > 1 routes the outer-axis fanout through BatchDcSession on
+  // the sparse engine: whole lane groups of outer rows share one symbolic
+  // analysis and go through each refactor/solve together. The recorded
+  // probes must be bit-identical to the scalar path for any lane count
+  // and any thread count.
+  AnalysisPlan plan;
+  plan.name = "laned_grid";
+  plan.axes = {SweepAxis::temperature_kelvin(SweepGrid::linear(250.0, 400.0,
+                                                               7)),
+               SweepAxis::vsource("V1", SweepGrid::linear(0.0, 2.0, 9))};
+  plan.probes = {Probe::node_voltage("a"), Probe::branch_current("V1")};
+
+  NewtonOptions opt;
+  opt.sparse = SparseMode::kSparse;  // the batch engine is sparse-only
+
+  SweepResult reference;
+  {
+    Circuit c;
+    build_diode_rig(c);
+    SimSession session(c, opt);
+    plan.threads = 1;
+    plan.lanes = 0;
+    reference = session.run(plan);
+  }
+  ASSERT_EQ(reference.rows(), 7u * 9u);
+
+  const unsigned lane_counts[] = {2, 4, 16};
+  const unsigned thread_counts[] = {1, 3};
+  for (unsigned lanes : lane_counts) {
+    for (unsigned threads : thread_counts) {
+      Circuit c;
+      build_diode_rig(c);
+      SimSession session(c, opt);
+      plan.threads = threads;
+      plan.lanes = lanes;
+      const SweepResult got = session.run(plan);
+      ASSERT_EQ(got.rows(), reference.rows());
+      for (std::size_t p = 0; p < reference.probe_count(); ++p) {
+        for (std::size_t r = 0; r < reference.rows(); ++r) {
+          EXPECT_EQ(got.value(p, r), reference.value(p, r))
+              << "lanes=" << lanes << " threads=" << threads
+              << " probe=" << p << " row=" << r;
+        }
+      }
+    }
+  }
+}
+
 TEST(AnalysisPlanTest, TwoAxisResistorStepMatchesManualReprogramming) {
   // Outer axis re-programs a resistor (the trim-curve shape); compare one
   // row against a manually re-programmed 1-axis run.
