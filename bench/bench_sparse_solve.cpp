@@ -7,10 +7,23 @@
 // threshold, and records the study in results/BENCH_sparse.json (plus the
 // usual CSV).
 //
-// Stage 2: google-benchmark timings of the same kernels plus a full
+// Stage 2 (ordering A/B): legacy set-based minimum degree vs the AMD +
+// BTF/supernode default (SparseOptions) at 1000-node ladder/mesh --
+// symbolic-analysis time, steady refactor+solve time, and factor fill.
+// Gate: the new default's steady refactor+solve is no slower than legacy
+// within 1.25x noise slack.
+//
+// Stage 3 (stress, ICVBE_SPARSE_STRESS=1): single-shot analysis timing at
+// a 10k-node grid (gate: AMD symbolic analysis >= 10x faster than legacy)
+// plus an AMD-only 1e5-node clock-tree row. CI runs this in the
+// sparse-stress job and uploads results/BENCH_sparse.json.
+//
+// Stage 4: google-benchmark timings of the same kernels plus a full
 // session-level DC solve on the sparse path.
 
+#include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <fstream>
 #include <memory>
 #include <string>
@@ -134,6 +147,142 @@ std::vector<CrossoverRow> run_crossover_study() {
   return rows;
 }
 
+// ------------------------------------------------ ordering A/B (stage 2) --
+
+struct OrderingRow {
+  std::string topology;
+  int nodes = 0;
+  int unknowns = 0;
+  double legacy_analysis_us = 0.0;
+  double amd_analysis_us = 0.0;
+  double legacy_steady_us = 0.0;
+  double amd_steady_us = 0.0;
+  std::size_t legacy_nnz = 0;
+  std::size_t amd_nnz = 0;
+};
+
+/// Measure one ordering on one stamped system: steady refactor+solve and
+/// symbolic-analysis cost (fresh analyze+refactor minus the steady
+/// refactor, clamped at zero -- isolates the symbolic work).
+void measure_ordering(const StampedSystem& sys,
+                      const linalg::SparseOptions& opts, double& analysis_us,
+                      double& steady_us, std::size_t& nnz) {
+  linalg::SparseLuFactorization f;
+  f.set_options(opts);
+  linalg::Vector x(static_cast<std::size_t>(sys.unknowns));
+  steady_us = time_us([&] {
+    f.refactor(sys.sparse);
+    x = sys.rhs;
+    f.solve_in_place(x);
+  });
+  const double fresh_us = time_us([&] {
+    f.invalidate_analysis();
+    f.refactor(sys.sparse);
+  });
+  analysis_us = std::max(0.0, fresh_us - steady_us);
+  nnz = f.factor_nonzeros();
+}
+
+std::vector<OrderingRow> run_ordering_study() {
+  std::vector<OrderingRow> rows;
+  for (auto topology : {spice::SyntheticTopology::kResistorLadder,
+                        spice::SyntheticTopology::kMesh}) {
+    OrderingRow row;
+    row.topology = spice::topology_name(topology);
+    row.nodes = 1000;
+    StampedSystem sys = make_system(topology, row.nodes);
+    row.unknowns = sys.unknowns;
+    measure_ordering(sys, linalg::SparseOptions::legacy(),
+                     row.legacy_analysis_us, row.legacy_steady_us,
+                     row.legacy_nnz);
+    measure_ordering(sys, linalg::SparseOptions{}, row.amd_analysis_us,
+                     row.amd_steady_us, row.amd_nnz);
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+// ------------------------------------------------ stress gate (stage 3) --
+
+bool stress_enabled() {
+  const char* v = std::getenv("ICVBE_SPARSE_STRESS");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+struct StressReport {
+  bool ran = false;
+  int grid_unknowns = 0;
+  double grid_legacy_analysis_us = 0.0;
+  double grid_amd_analysis_us = 0.0;
+  std::size_t grid_legacy_nnz = 0;
+  std::size_t grid_amd_nnz = 0;
+  int tree_unknowns = 0;
+  double tree_amd_analysis_us = 0.0;
+  double tree_amd_steady_us = 0.0;
+  std::size_t tree_amd_nnz = 0;
+};
+
+/// Single-shot analyze+refactor timing (the legacy ordering at 10k nodes
+/// is way too slow for the adaptive repeat loop).
+double single_shot_us(linalg::SparseLuFactorization& f,
+                      const linalg::SparseMatrix& m) {
+  const auto t0 = Clock::now();
+  f.invalidate_analysis();
+  f.refactor(m);
+  return std::chrono::duration<double, std::micro>(Clock::now() - t0).count();
+}
+
+StressReport run_stress_study() {
+  StressReport rep;
+  rep.ran = true;
+
+  // 10k-node grid: legacy vs AMD, analysis isolated by subtracting one
+  // steady refactor from the fresh analyze+refactor shot.
+  {
+    StampedSystem sys = make_system(spice::SyntheticTopology::kGrid, 10000);
+    rep.grid_unknowns = sys.unknowns;
+    linalg::SparseLuFactorization leg;
+    leg.set_options(linalg::SparseOptions::legacy());
+    const double leg_fresh = single_shot_us(leg, sys.sparse);
+    const auto t0 = Clock::now();
+    leg.refactor(sys.sparse);
+    const double leg_steady =
+        std::chrono::duration<double, std::micro>(Clock::now() - t0).count();
+    rep.grid_legacy_analysis_us = std::max(0.0, leg_fresh - leg_steady);
+    rep.grid_legacy_nnz = leg.factor_nonzeros();
+
+    linalg::SparseLuFactorization amd;
+    const double amd_fresh = single_shot_us(amd, sys.sparse);
+    const auto t1 = Clock::now();
+    amd.refactor(sys.sparse);
+    const double amd_steady =
+        std::chrono::duration<double, std::micro>(Clock::now() - t1).count();
+    rep.grid_amd_analysis_us = std::max(1.0, amd_fresh - amd_steady);
+    rep.grid_amd_nnz = amd.factor_nonzeros();
+  }
+
+  // 1e5-node clock tree: AMD-only (legacy would take minutes); the tree
+  // pattern has near-zero fill under a good ordering, so nnz is the
+  // quality check here.
+  {
+    StampedSystem sys =
+        make_system(spice::SyntheticTopology::kClockTree, 100000);
+    rep.tree_unknowns = sys.unknowns;
+    linalg::SparseLuFactorization amd;
+    const double fresh = single_shot_us(amd, sys.sparse);
+    linalg::Vector x(static_cast<std::size_t>(sys.unknowns));
+    const auto t0 = Clock::now();
+    amd.refactor(sys.sparse);
+    x = sys.rhs;
+    amd.solve_in_place(x);
+    rep.tree_amd_steady_us =
+        std::chrono::duration<double, std::micro>(Clock::now() - t0).count();
+    rep.tree_amd_analysis_us = std::max(0.0, fresh - rep.tree_amd_steady_us);
+    rep.tree_amd_nnz = amd.factor_nonzeros();
+  }
+  return rep;
+}
+
 /// Smallest unknown count from which the sparse engine stays ahead. When
 /// sparse wins every measured size (the usual outcome), this reports the
 /// smallest size measured -- the true crossover is at or below it.
@@ -150,7 +299,8 @@ int crossover_unknowns(const std::vector<CrossoverRow>& rows) {
 }
 
 void write_json(const std::vector<CrossoverRow>& rows, int crossover,
-                const std::string& path) {
+                const std::vector<OrderingRow>& ordering,
+                const StressReport& stress, const std::string& path) {
   std::ofstream os(path);
   os << "{\n"
      << "  \"bench\": \"bench_sparse_solve\",\n"
@@ -169,7 +319,37 @@ void write_json(const std::vector<CrossoverRow>& rows, int crossover,
        << ", \"factor_nnz\": " << r.factor_nnz << "}"
        << (i + 1 < rows.size() ? "," : "") << "\n";
   }
-  os << "  ]\n}\n";
+  os << "  ],\n"
+     << "  \"ordering_rows\": [\n";
+  for (std::size_t i = 0; i < ordering.size(); ++i) {
+    const OrderingRow& r = ordering[i];
+    os << "    {\"topology\": \"" << r.topology << "\", \"nodes\": "
+       << r.nodes << ", \"unknowns\": " << r.unknowns
+       << ", \"legacy_analysis_us\": " << r.legacy_analysis_us
+       << ", \"amd_analysis_us\": " << r.amd_analysis_us
+       << ", \"legacy_steady_us\": " << r.legacy_steady_us
+       << ", \"amd_steady_us\": " << r.amd_steady_us
+       << ", \"legacy_factor_nnz\": " << r.legacy_nnz
+       << ", \"amd_factor_nnz\": " << r.amd_nnz << "}"
+       << (i + 1 < ordering.size() ? "," : "") << "\n";
+  }
+  os << "  ]";
+  if (stress.ran) {
+    os << ",\n  \"stress\": {\n"
+       << "    \"grid_10k\": {\"unknowns\": " << stress.grid_unknowns
+       << ", \"legacy_analysis_us\": " << stress.grid_legacy_analysis_us
+       << ", \"amd_analysis_us\": " << stress.grid_amd_analysis_us
+       << ", \"analysis_speedup\": "
+       << (stress.grid_legacy_analysis_us / stress.grid_amd_analysis_us)
+       << ", \"legacy_factor_nnz\": " << stress.grid_legacy_nnz
+       << ", \"amd_factor_nnz\": " << stress.grid_amd_nnz << "},\n"
+       << "    \"clock_tree_100k\": {\"unknowns\": " << stress.tree_unknowns
+       << ", \"amd_analysis_us\": " << stress.tree_amd_analysis_us
+       << ", \"amd_refactor_solve_us\": " << stress.tree_amd_steady_us
+       << ", \"amd_factor_nnz\": " << stress.tree_amd_nnz << "}\n"
+       << "  }";
+  }
+  os << "\n}\n";
 }
 
 /// Returns false if the PR acceptance gate (>= 3x at >= 500 nodes) is
@@ -202,7 +382,7 @@ void write_json(const std::vector<CrossoverRow>& rows, int crossover,
       "(or force SparseMode::kSparse) to claim the win earlier.\n",
       crossover, threshold);
 
-  // Acceptance gate of this PR: >= 3x on a >= 500-node netlist.
+  // Crossover gate: >= 3x on a >= 500-node netlist.
   bool gate_ok = true;
   for (const CrossoverRow& r : rows) {
     if (r.nodes >= 500 && r.dense_us < 3.0 * r.sparse_us) {
@@ -212,8 +392,66 @@ void write_json(const std::vector<CrossoverRow>& rows, int crossover,
     }
   }
 
+  // Stage 2: ordering A/B. Gate: the AMD+BTF+supernode default must not
+  // slow the steady refactor+solve path at existing sizes (1.25x slack
+  // absorbs timer noise on shared runners).
+  bench::banner("Ordering A/B: legacy min-degree vs AMD+BTF+supernode");
+  const std::vector<OrderingRow> ordering = run_ordering_study();
+  Table ot({"topology", "unknowns", "legacy analysis [us]", "amd analysis [us]",
+            "legacy steady [us]", "amd steady [us]", "legacy nnz", "amd nnz"});
+  for (const OrderingRow& r : ordering) {
+    ot.add_row({r.topology, std::to_string(r.unknowns),
+                format_sig(r.legacy_analysis_us, 4),
+                format_sig(r.amd_analysis_us, 4),
+                format_sig(r.legacy_steady_us, 4),
+                format_sig(r.amd_steady_us, 4), std::to_string(r.legacy_nnz),
+                std::to_string(r.amd_nnz)});
+  }
+  bench::emit(ot, "sparse_ordering.csv");
+  for (const OrderingRow& r : ordering) {
+    if (r.amd_steady_us > 1.25 * r.legacy_steady_us) {
+      std::printf(
+          "GATE FAILED: %s/%d AMD steady refactor+solve %.1f us vs legacy "
+          "%.1f us (> 1.25x)\n",
+          r.topology.c_str(), r.nodes, r.amd_steady_us, r.legacy_steady_us);
+      gate_ok = false;
+    }
+  }
+
+  // Stage 3: the 10k/100k stress gate, opt-in (ICVBE_SPARSE_STRESS=1) --
+  // the legacy ordering alone costs ~seconds at 10k nodes.
+  StressReport stress;
+  if (stress_enabled()) {
+    bench::banner("Symbolic stress gate (ICVBE_SPARSE_STRESS=1)");
+    stress = run_stress_study();
+    const double speedup =
+        stress.grid_legacy_analysis_us / stress.grid_amd_analysis_us;
+    std::printf(
+        "grid 10k (%d unknowns): legacy analysis %.0f us, AMD analysis "
+        "%.0f us -> %.1fx (gate >= 10x)\n"
+        "  factor nnz: legacy %zu, AMD %zu\n"
+        "clock-tree 100k (%d unknowns): AMD analysis %.0f us, "
+        "refactor+solve %.0f us, factor nnz %zu\n",
+        stress.grid_unknowns, stress.grid_legacy_analysis_us,
+        stress.grid_amd_analysis_us, speedup, stress.grid_legacy_nnz,
+        stress.grid_amd_nnz, stress.tree_unknowns,
+        stress.tree_amd_analysis_us, stress.tree_amd_steady_us,
+        stress.tree_amd_nnz);
+    if (speedup < 10.0) {
+      std::printf(
+          "GATE FAILED: AMD symbolic analysis only %.1fx faster than legacy "
+          "at the 10k grid (>= 10x required)\n",
+          speedup);
+      gate_ok = false;
+    }
+  } else {
+    std::printf(
+        "\n[stress] skipped (set ICVBE_SPARSE_STRESS=1 for the 10k-grid "
+        "analysis gate and the 1e5 clock-tree row)\n");
+  }
+
   const std::string json_path = bench::results_dir() + "/BENCH_sparse.json";
-  write_json(rows, crossover, json_path);
+  write_json(rows, crossover, ordering, stress, json_path);
   std::printf("[json] %s\n", json_path.c_str());
   return gate_ok;
 }

@@ -10,6 +10,13 @@
 // is scalar-generic: MatrixView (double) carries DC/transient Jacobians,
 // ComplexMatrixView carries the AC small-signal admittance system -- one
 // frozen sparse pattern per engine, stamped through the identical path.
+//
+// Coordinate contract: `add(r, c, v)` always addresses the *original* MNA
+// coordinates. Row/column permutations -- AMD/min-degree pre-ordering, the
+// BTF block permutation, threshold-pivoting column swaps -- live entirely
+// inside SparseLuFactorizationT's cached symbolic analysis; neither devices
+// nor sessions ever see a permuted index, which is what lets the ordering
+// default change (SparseOptions) without touching any stamping code.
 
 #include "icvbe/common/error.hpp"
 #include "icvbe/linalg/matrix.hpp"

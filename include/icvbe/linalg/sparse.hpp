@@ -20,13 +20,21 @@
 //     cached pivot order and fill pattern, also allocation-free.
 //
 // Scalar genericity: the pattern machinery (COO -> CSR compilation,
-// minimum-degree ordering, fill-pattern discovery) is purely structural
-// and identical for every scalar; pivot *selection* compares magnitudes
-// (scalar_abs -- a double either way), so the symbolic analysis is
-// real-valued for both instantiations and only the numeric refactor /
-// solve arithmetic is scalar-typed. An AC frequency sweep therefore runs
-// the analysis once at its first stamped frequency and re-factors
-// allocation-free at every further point, exactly like a Newton loop.
+// fill-reducing ordering, BTF permutation, fill-pattern discovery) is
+// purely structural and identical for every scalar; pivot *selection*
+// compares magnitudes (scalar_abs -- a double either way), so the symbolic
+// analysis is real-valued for both instantiations and only the numeric
+// refactor / solve arithmetic is scalar-typed. An AC frequency sweep
+// therefore runs the analysis once at its first stamped frequency and
+// re-factors allocation-free at every further point, exactly like a
+// Newton loop.
+//
+// Symbolic scale-up (SparseOptions): the default pre-order is approximate
+// minimum degree (AMD) on a quotient graph composed with a block-triangular
+// (BTF) permutation, and the trailing fill-dense columns of the factor are
+// solved through a dense supernode microkernel. The original exact
+// set-based minimum-degree path survives behind SparseOptions::legacy()
+// for A/B gating (bench_sparse_solve, test_sparse_ordering).
 
 #include <cstddef>
 #include <cstdint>
@@ -210,14 +218,103 @@ using ComplexSparseValueBatch = SparseValueBatchT<Complex>;
 extern template class SparseValueBatchT<double>;
 extern template class SparseValueBatchT<Complex>;
 
+/// Symbolic pre-order family for SparseLuFactorizationT (structural only,
+/// shared by both scalar instantiations; every choice is deterministic).
+enum class SparseOrdering {
+  kMinDegree,  ///< exact set-based minimum degree (the original O(n^2)-ish
+               ///< path; kept for A/B gating and as a fill reference)
+  kAmd,        ///< approximate minimum degree on a quotient graph
+               ///< (supervariables + external-degree approximation);
+               ///< near-linear analysis, the default
+};
+
+/// Symbolic-path configuration. The default is the scaled-up path: AMD
+/// pre-ordering inside a block-triangular (BTF) permutation with the
+/// fill-dense trailing columns routed through a dense supernode
+/// microkernel. legacy() reproduces the pre-AMD engine exactly.
+struct SparseOptions {
+  SparseOrdering ordering = SparseOrdering::kAmd;
+  /// Permute to block-triangular form first (maximum transversal + SCC
+  /// condensation) and order/factor each diagonal block independently;
+  /// pivoting is confined to the current block. Structurally singular
+  /// matrices are rejected at the matching, before any numeric work.
+  bool btf = true;
+  /// Route the trailing dense part of the factor through the supernode
+  /// microkernel when at least this many step-space columns qualify
+  /// (0 disables the dense kernel entirely).
+  int supernode_min = 32;
+  /// Factor density (stored entries / B^2) a trailing block must reach to
+  /// qualify as the dense supernode. Below ~0.7 the dense kernel's
+  /// structural-zero arithmetic outweighs its locality win over the
+  /// indexed sparse replay (measured on 1000-node meshes, where 0.5
+  /// admitted a block ~40% slower than just replaying it sparse).
+  double supernode_density = 0.8;
+
+  /// The original engine: exact minimum degree, no BTF, no supernodes.
+  [[nodiscard]] static SparseOptions legacy() noexcept {
+    return SparseOptions{SparseOrdering::kMinDegree, false, 0, 0.0};
+  }
+
+  friend bool operator==(const SparseOptions&,
+                         const SparseOptions&) = default;
+};
+
+/// Exact set-based minimum-degree row pre-ordering over the symmetrised
+/// pattern (the original default; O(n^2)-ish). Deterministic: ties break
+/// on the smallest node index. Exposed for the ordering test harness.
+[[nodiscard]] std::vector<int> minimum_degree_order(
+    const std::vector<int>& row_ptr, const std::vector<int>& col_index,
+    std::size_t n);
+
+/// Approximate minimum degree on a quotient graph over the symmetrised
+/// pattern: supervariable detection (indistinguishable-node merging),
+/// element absorption, and the external-degree approximation -- the
+/// near-linear replacement for minimum_degree_order. Deterministic:
+/// (degree, index) min-selection and index-ordered supervariable
+/// emission. Exposed for the ordering test harness.
+[[nodiscard]] std::vector<int> amd_order(const std::vector<int>& row_ptr,
+                                         const std::vector<int>& col_index,
+                                         std::size_t n);
+
+/// Block-triangular decomposition of a square pattern: a maximum
+/// transversal (row-perfect matching) followed by the SCC condensation of
+/// the matched graph. Rows of block b have entries only in columns of
+/// blocks >= b, so LU never creates fill across blocks and pivoting can
+/// stay block-confined. Purely structural and deterministic.
+struct BtfDecomposition {
+  /// Rows concatenated block by block (within a block: ascending row id).
+  std::vector<int> row_order;
+  /// Offsets into row_order, size block_count() + 1.
+  std::vector<int> block_ptr;
+  /// Block id of each row (and of its matched column).
+  std::vector<int> row_block;
+  /// Matched column of each row (the maximum transversal).
+  std::vector<int> match_col;
+
+  [[nodiscard]] std::size_t block_count() const noexcept {
+    return block_ptr.empty() ? 0 : block_ptr.size() - 1;
+  }
+};
+
+/// Compute the BTF decomposition of a frozen square CSR pattern. Throws
+/// NumericalError if the pattern is structurally singular (no perfect
+/// matching exists -- no value assignment could make the matrix
+/// non-singular).
+[[nodiscard]] BtfDecomposition btf_decompose(const std::vector<int>& row_ptr,
+                                             const std::vector<int>& col_index,
+                                             std::size_t n);
+
 /// Sparse LU with a reusable symbolic analysis, the SPICE-family engine
 /// shape (Nagel's SPICE2 reordering, KLU-style refactorisation):
 ///
-///  * analyse once: a fill-reducing minimum-degree row pre-ordering over
-///    the symmetrised pattern, then an up-looking row factorisation with
-///    threshold column pivoting (Markowitz-flavoured: among numerically
-///    acceptable pivots the sparsest column wins). The pivot order and the
-///    complete fill-in pattern of L and U are cached. Pivot acceptability
+///  * analyse once: a block-triangular permutation plus a fill-reducing
+///    row pre-ordering per diagonal block (AMD by default; the exact
+///    minimum-degree path behind SparseOptions), then an up-looking row
+///    factorisation with threshold column pivoting (Markowitz-flavoured:
+///    among numerically acceptable pivots the sparsest column wins),
+///    pivots confined to the current BTF block. The pivot order, the
+///    complete fill-in pattern of L and U, and the trailing dense
+///    supernode (if one qualifies) are cached. Pivot acceptability
 ///    compares magnitudes, so the analysis decisions are real-valued for
 ///    both scalar instantiations.
 ///  * refactor() per Newton iteration / AC frequency point: if the matrix
@@ -263,9 +360,11 @@ class SparseLuFactorizationT {
 
   [[nodiscard]] std::size_t size() const noexcept { return n_; }
 
-  /// Entries stored in L + U (including fill-in; diagnostic).
+  /// Entries stored in L + U (including fill-in) plus the raw
+  /// off-diagonal-block entries a BTF factorisation keeps unfactored
+  /// (diagnostic).
   [[nodiscard]] std::size_t factor_nonzeros() const noexcept {
-    return l_step_.size() + u_step_.size() + n_;
+    return l_step_.size() + u_step_.size() + n_ + off_step_.size();
   }
 
   /// How many times the symbolic analysis has run (diagnostic; a steady
@@ -282,6 +381,29 @@ class SparseLuFactorizationT {
   /// (operating point, frequency, prime frequency), independent of which
   /// sweep point (or parallel worker) tripped the collapse.
   void invalidate_analysis() noexcept { analyzed_ = false; }
+
+  /// Select the symbolic path (ordering / BTF / supernode thresholds).
+  /// Changing the options drops the cached analysis -- the next refactor()
+  /// re-analyses under the new configuration. Same-value calls are no-ops,
+  /// so sessions may set options unconditionally at rebind.
+  void set_options(const SparseOptions& options) noexcept {
+    if (!(options == options_)) analyzed_ = false;
+    options_ = options;
+  }
+  [[nodiscard]] const SparseOptions& options() const noexcept {
+    return options_;
+  }
+
+  /// Diagonal-block count of the analysed pattern (1 when BTF is off or
+  /// the pattern is irreducible; diagnostic, valid after a refactor()).
+  [[nodiscard]] std::size_t btf_block_count() const noexcept {
+    return btf_blocks_;
+  }
+  /// Step-space columns the dense supernode microkernel covers (0 when no
+  /// trailing block qualified; diagnostic, valid after a refactor()).
+  [[nodiscard]] std::size_t supernode_size() const noexcept {
+    return analyzed_ ? n_ - sn_start_ : 0;
+  }
 
   /// Numeric refactorisation of K value lanes along the one cached pivot
   /// order -- the batched lot kernel. Each lane runs exactly the frozen
@@ -332,19 +454,27 @@ class SparseLuFactorizationT {
   /// acceptability is column-relative: pivot_tol * colmax_ (filled by
   /// refactor()).
   void analyze(const SparseMatrixT<Scalar>& a, double pivot_tol);
-  /// Numeric-only pass along the cached order/pattern. Returns false on
+  /// Numeric-only pass along the cached order/pattern (sparse replay up to
+  /// sn_start_, dense supernode microkernel beyond). Returns false on
   /// pivot breakdown (column-relative, via colmax_) or runaway element
   /// growth -- the frozen pivots were chosen for different numerics, e.g.
   /// a transient restamp whose companion conductances dwarf the values
   /// the analysis saw (caller re-analyses). `amax` = max|A| of the
-  /// current matrix.
+  /// current matrix. `enforce_screens = false` skips both failure checks:
+  /// the post-analysis value pass uses it to rewrite the factors through
+  /// the very kernel every later refactor runs, making the stored values
+  /// (down to the sign of zero) independent of whether the analysis or a
+  /// frozen pass produced them.
   [[nodiscard]] bool refactor_frozen(const SparseMatrixT<Scalar>& a,
-                                     double pivot_tol, double amax);
+                                     double pivot_tol, double amax,
+                                     bool enforce_screens = true);
   [[nodiscard]] bool pattern_matches(const SparseMatrixT<Scalar>& a) const;
 
   std::size_t n_ = 0;
   bool analyzed_ = false;
   int analysis_count_ = 0;
+  SparseOptions options_{};
+  std::size_t btf_blocks_ = 0;  ///< diagonal blocks of the analysed pattern
   double a_norm1_ = 0.0;  ///< 1-norm of the last refactored A
   /// Per-column max|A| of the matrix being refactored (the pivot test's
   /// column-relative scale); refilled by every refactor(), allocation-free
@@ -377,6 +507,35 @@ class SparseLuFactorizationT {
   std::vector<Scalar> work_;          ///< dense scatter row (step space)
   mutable std::vector<Scalar> perm_;  ///< solve permutation buffer
 
+  // Block-triangular structure. Blocks occupy contiguous step ranges
+  // [bstep_ptr_[b], bstep_ptr_[b+1]); the factor above is block-diagonal,
+  // and A entries crossing into a *later* block's columns stay unfactored:
+  // they are copied raw each refactor (off_val_[t] = A value at CSR slot
+  // off_a_idx_[t], astep_ is -1 there so the scatter skips them) and
+  // applied during block back-substitution in solve (x of later blocks is
+  // final by then). That is what makes BTF a fill *win*: cross-block
+  // columns never join any elimination pattern. Without blocks,
+  // bstep_ptr_ = {0, n} and the off arrays are empty.
+  std::vector<int> bstep_ptr_;
+  std::vector<int> off_ptr_;    ///< per step: range into the off arrays
+  std::vector<int> off_a_idx_;  ///< CSR value slot of each off entry
+  std::vector<int> off_step_;   ///< pivot step of the entry's column
+  std::vector<Scalar> off_val_;
+
+  // Trailing dense supernode: steps [sn_start_, n_) of the factor are
+  // dense enough that the numeric pass runs them through a row-major
+  // B x B dense microkernel (B = n_ - sn_start_) instead of the sparse
+  // replay, then mirrors the pattern positions back into the flat factor
+  // arrays so every solve/estimate path is oblivious to it. sn_start_ ==
+  // n_ means no block qualified. The mirror maps are built once per
+  // analysis.
+  std::size_t sn_start_ = 0;
+  std::vector<Scalar> sn_val_;  ///< B x B dense block, row-major
+  std::vector<int> sn_l_idx_;   ///< l_val_ slots inside the block...
+  std::vector<int> sn_l_pos_;   ///< ...and their dense positions
+  std::vector<int> sn_u_idx_;   ///< u_val_ slots inside the block...
+  std::vector<int> sn_u_pos_;   ///< ...and their dense positions
+
   // Batched (K-lane) numeric state, lane-fastest planes mirroring the
   // scalar factor arrays. Sized by refactor_batch on shape change only;
   // independent of the scalar factors so reference refactor() and batch
@@ -385,7 +544,9 @@ class SparseLuFactorizationT {
   std::vector<Scalar> l_val_b_;
   std::vector<Scalar> u_val_b_;
   std::vector<Scalar> udiag_b_;
+  std::vector<Scalar> sn_val_b_;          ///< B x B x K dense block planes
   std::vector<Scalar> work_b_;            ///< step space * K
+  std::vector<Scalar> off_val_b_;         ///< off entries * K, raw copies
   std::vector<double> colmax_b_;          ///< cols * K
   std::vector<double> amax_b_;            ///< per-lane max|A|
   std::vector<double> gmax_b_;            ///< per-lane growth tracker

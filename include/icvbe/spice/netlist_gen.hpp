@@ -25,6 +25,13 @@ enum class SyntheticTopology {
   kRcLadder,        ///< series-R / shunt-C chain driven by a PULSE step
                     ///< (transient startup-settling workload; the
                     ///< analysis directive is .TRAN instead of .DC)
+  kGrid,            ///< purely resistive 2-D grid (no diodes): the linear
+                    ///< symbolic-analysis stress workload at 1e4-1e5
+                    ///< nodes, where ordering quality dominates fill
+  kClockTree,       ///< heap-indexed binary resistor tree with leaf loads
+                    ///< (clock-distribution shape): deep, nearly
+                    ///< fill-free -- exercises BTF/elimination ordering
+                    ///< on tree-structured patterns at 1e5 nodes
 };
 
 struct SyntheticNetlistSpec {
@@ -59,7 +66,7 @@ struct SyntheticNetlistSpec {
 [[nodiscard]] double rc_ladder_tstop(const SyntheticNetlistSpec& spec);
 
 /// CLI-facing topology names: "ladder", "diode-ladder", "bjt-ladder",
-/// "mesh".
+/// "mesh", "rc-ladder", "grid", "clock-tree".
 [[nodiscard]] const char* topology_name(SyntheticTopology t);
 /// Inverse of topology_name; throws Error on an unknown name.
 [[nodiscard]] SyntheticTopology topology_from_name(std::string_view name);

@@ -48,6 +48,12 @@ struct NewtonOptions {
   /// default tracks the measured dense/sparse crossover on generated
   /// netlists (bench_sparse_solve; see results/BENCH_sparse.json).
   int sparse_threshold = 64;
+  /// Symbolic-path knobs for the sparse engine (ordering, BTF, supernode
+  /// thresholds). Applied to every sparse factorization the session owns
+  /// (real DC/TRAN, complex AC, batched lanes) at bind/rebind time.
+  /// Defaults select AMD + BTF; `linalg::SparseOptions::legacy()` restores
+  /// the original set-based minimum-degree path for A/B comparisons.
+  linalg::SparseOptions sparse_options{};
 };
 
 struct DcResult {

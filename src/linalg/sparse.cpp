@@ -228,25 +228,39 @@ namespace {
 /// which the tight-tolerance equivalence suite relies on.
 constexpr double kPivotRelThreshold = 0.5;
 
-/// Fill-reducing minimum-degree ordering over the symmetrised pattern
-/// (the textbook algorithm with explicit fill edges -- one-time cost, so
-/// clarity beats the quotient-graph refinements). Purely structural, so it
-/// is shared by both scalar instantiations. Ties break on the smallest
-/// node index, keeping the order fully deterministic.
-std::vector<int> minimum_degree_order(const std::vector<int>& row_ptr,
-                                      const std::vector<int>& col_index,
-                                      std::size_t n) {
-  std::vector<std::set<int>> adj(n);
+/// Hard cap on the dense supernode edge: a B x B Scalar block is
+/// materialised (and the batched kernel multiplies that by K lanes), so
+/// the kernel stays within a few MB per instance no matter the matrix.
+constexpr std::size_t kSupernodeMaxDim = 1024;
+
+/// Symmetrised pattern as sorted, deduplicated adjacency lists (no self
+/// loops) -- the graph both fill-reducing orderings run on.
+std::vector<std::vector<int>> symmetrized_adjacency(
+    const std::vector<int>& row_ptr, const std::vector<int>& col_index,
+    std::size_t n) {
+  std::vector<std::vector<int>> adj(n);
   for (std::size_t r = 0; r < n; ++r) {
     for (int i = row_ptr[r]; i < row_ptr[r + 1]; ++i) {
       const int c = col_index[static_cast<std::size_t>(i)];
       if (static_cast<std::size_t>(c) != r) {
-        adj[r].insert(c);
-        adj[static_cast<std::size_t>(c)].insert(static_cast<int>(r));
+        adj[r].push_back(c);
+        adj[static_cast<std::size_t>(c)].push_back(static_cast<int>(r));
       }
     }
   }
+  for (auto& a : adj) {
+    std::sort(a.begin(), a.end());
+    a.erase(std::unique(a.begin(), a.end()), a.end());
+  }
+  return adj;
+}
 
+/// Exact minimum degree over explicit adjacency sets (the original
+/// default's algorithm body, unchanged: one-time cost, so clarity beats
+/// the quotient-graph refinements -- which is exactly why it is now the
+/// legacy path). Ties break on the smallest node index, keeping the order
+/// fully deterministic.
+std::vector<int> md_order_core(std::size_t n, std::vector<std::set<int>> adj) {
   std::vector<char> eliminated(n, 0);
   std::vector<int> order;
   order.reserve(n);
@@ -278,7 +292,463 @@ std::vector<int> minimum_degree_order(const std::vector<int>& row_ptr,
   return order;
 }
 
+std::vector<int> md_order_graph(std::size_t n,
+                                const std::vector<std::vector<int>>& vadj) {
+  std::vector<std::set<int>> adj(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    adj[v].insert(vadj[v].begin(), vadj[v].end());
+  }
+  return md_order_core(n, std::move(adj));
+}
+
+/// Approximate minimum degree on a quotient graph (Amestoy/Davis/Duff
+/// shape): eliminated pivots survive as *elements* (their neighbourhood
+/// clique represented implicitly), indistinguishable variables merge into
+/// *supervariables* (one elimination covers all members), and degrees are
+/// the external-degree approximation computed with the |Le \ Lp| counter
+/// trick -- each pivot costs work proportional to the size of the
+/// structures it touches instead of the clique it would materialise.
+///
+/// Determinism: pivot selection is exact (degree, index) min via a
+/// lazy-deletion heap, supervariable candidates are scanned in sorted
+/// (hash, index) order, and each supervariable emits its members in
+/// ascending index order. Input adjacency must be sorted/deduplicated
+/// (symmetrized_adjacency's output); it is consumed in place.
+std::vector<int> amd_order_graph(std::size_t n,
+                                 std::vector<std::vector<int>> vadj) {
+  std::vector<int> order;
+  order.reserve(n);
+  if (n == 0) return order;
+
+  std::vector<long long> nv(n, 1);  ///< supervariable weight
+  std::vector<char> is_elem(n, 0);
+  std::vector<char> absorbed(n, 0);
+  std::vector<char> dead_elem(n, 0);
+  std::vector<std::vector<int>> eadj(n);   ///< live var -> adjacent elements
+  std::vector<std::vector<int>> elist(n);  ///< element -> member variables
+  std::vector<long long> esize(n, 0);      ///< element -> live member weight
+  std::vector<long long> degree(n, 0);     ///< external-degree approximation
+  std::vector<long long> wde(n, -1);       ///< |Le \ Lp| scratch per element
+  std::vector<char> mark(n, 0);
+  std::vector<int> merge_head(n, -1);      ///< absorbed-children chain...
+  std::vector<int> merge_next(n, -1);      ///< ...for supervariable emission
+  std::vector<std::uint64_t> hash(n, 0);
+
+  using Entry = std::pair<long long, int>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> pq;
+  for (std::size_t v = 0; v < n; ++v) {
+    degree[v] = static_cast<long long>(vadj[v].size());
+    pq.push({degree[v], static_cast<int>(v)});
+  }
+
+  // Sorted-list equality modulo {skip_a, skip_b} and absorbed entries --
+  // the indistinguishability test (covers both adjacent supervariable
+  // pairs, where each list holds the other, and non-adjacent twins).
+  const auto filtered_equal = [&absorbed](const std::vector<int>& a,
+                                          const std::vector<int>& b,
+                                          int skip_a, int skip_b) {
+    std::size_t x = 0;
+    std::size_t y = 0;
+    while (true) {
+      while (x < a.size() &&
+             (a[x] == skip_a || a[x] == skip_b ||
+              absorbed[static_cast<std::size_t>(a[x])])) {
+        ++x;
+      }
+      while (y < b.size() &&
+             (b[y] == skip_a || b[y] == skip_b ||
+              absorbed[static_cast<std::size_t>(b[y])])) {
+        ++y;
+      }
+      if (x == a.size() || y == b.size()) {
+        return x == a.size() && y == b.size();
+      }
+      if (a[x] != b[y]) return false;
+      ++x;
+      ++y;
+    }
+  };
+
+  std::vector<int> lp;       ///< live neighbourhood of the pivot
+  std::vector<int> touched;  ///< elements whose wde is set this round
+  std::vector<int> emit;
+  long long remaining = static_cast<long long>(n);
+
+  while (order.size() < n) {
+    // Lazy-deletion min-heap: entries are pushed on every degree change;
+    // one is valid iff its node is live and the degree still matches.
+    int p = -1;
+    while (!pq.empty()) {
+      const auto [d, v] = pq.top();
+      pq.pop();
+      const std::size_t sv = static_cast<std::size_t>(v);
+      if (!is_elem[sv] && !absorbed[sv] && d == degree[sv]) {
+        p = v;
+        break;
+      }
+    }
+    ICVBE_REQUIRE(p >= 0, "amd_order: no live pivot left");
+    const std::size_t sp = static_cast<std::size_t>(p);
+
+    // Lp: the pivot's live neighbourhood -- its variable neighbours plus
+    // every live member of its adjacent elements. Each such element's
+    // members all land in Lp, so the element is absorbed by the new one.
+    lp.clear();
+    mark[sp] = 1;
+    for (int v : vadj[sp]) {
+      const std::size_t sv = static_cast<std::size_t>(v);
+      if (absorbed[sv] || is_elem[sv] || mark[sv]) continue;
+      mark[sv] = 1;
+      lp.push_back(v);
+    }
+    for (int e : eadj[sp]) {
+      const std::size_t se = static_cast<std::size_t>(e);
+      if (dead_elem[se]) continue;
+      for (int v : elist[se]) {
+        const std::size_t sv = static_cast<std::size_t>(v);
+        if (absorbed[sv] || is_elem[sv] || mark[sv]) continue;
+        mark[sv] = 1;
+        lp.push_back(v);
+      }
+      dead_elem[se] = 1;  // Le is a subset of Lp + pivot: absorbed
+      elist[se].clear();
+    }
+    long long lpw = 0;
+    for (int v : lp) lpw += nv[static_cast<std::size_t>(v)];
+
+    // w[e] = |Le \ Lp| in weight for every element adjacent to Lp (the
+    // counter trick: start at the element's live weight, subtract each Lp
+    // member it contains).
+    touched.clear();
+    for (int i : lp) {
+      for (int e : eadj[static_cast<std::size_t>(i)]) {
+        const std::size_t se = static_cast<std::size_t>(e);
+        if (dead_elem[se]) continue;
+        if (wde[se] < 0) {
+          wde[se] = esize[se];
+          touched.push_back(e);
+        }
+        wde[se] -= nv[static_cast<std::size_t>(i)];
+      }
+    }
+
+    // Per-member update: prune dead state from the quotient graph and
+    // recompute the approximate external degree
+    //   d(i) ~ |A_i \ Lp| + |Lp \ i| + sum_e |Le \ Lp|,
+    // clamped by the exact bounds (remaining weight; old degree + new
+    // element contribution).
+    for (int i : lp) {
+      const std::size_t si = static_cast<std::size_t>(i);
+      auto& va = vadj[si];
+      std::size_t wv = 0;
+      long long aw = 0;
+      for (int v : va) {
+        const std::size_t sv = static_cast<std::size_t>(v);
+        if (absorbed[sv] || is_elem[sv] || mark[sv]) continue;
+        va[wv++] = v;
+        aw += nv[sv];
+      }
+      va.resize(wv);
+      auto& ea = eadj[si];
+      std::size_t we = 0;
+      long long esum = 0;
+      for (int e : ea) {
+        const std::size_t se = static_cast<std::size_t>(e);
+        if (dead_elem[se]) continue;
+        if (wde[se] == 0) {
+          // Everything the element covers is already in Lp: absorbed.
+          dead_elem[se] = 1;
+          elist[se].clear();
+          continue;
+        }
+        ea[we++] = e;
+        esum += wde[se];
+      }
+      ea.resize(we);
+      ea.push_back(p);
+      std::sort(ea.begin(), ea.end());
+      long long d = aw + (lpw - nv[si]) + esum;
+      d = std::min(d, remaining - nv[sp] - nv[si]);
+      d = std::min(d, degree[si] + (lpw - nv[si]));
+      degree[si] = std::max<long long>(d, 0);
+    }
+
+    // Supervariable detection among Lp's members: identical quotient-graph
+    // adjacency (modulo each other) means the nodes are indistinguishable
+    // and can be eliminated as one. Hash buckets keep the scan cheap; the
+    // comparison itself is exact, so a hash miss only costs a merge.
+    for (int i : lp) {
+      const std::size_t si = static_cast<std::size_t>(i);
+      std::uint64_t h =
+          0x9e3779b97f4a7c15ull * (vadj[si].size() + 31 * eadj[si].size() + 1);
+      for (int v : vadj[si]) {
+        h += 0x100000001b3ull * static_cast<std::uint64_t>(v + 1);
+      }
+      for (int e : eadj[si]) {
+        h += 0x100000001b3ull * static_cast<std::uint64_t>(e + 1);
+      }
+      hash[si] = h;
+    }
+    std::sort(lp.begin(), lp.end(), [&hash](int a, int b) {
+      const std::uint64_t ha = hash[static_cast<std::size_t>(a)];
+      const std::uint64_t hb = hash[static_cast<std::size_t>(b)];
+      return ha != hb ? ha < hb : a < b;
+    });
+    for (std::size_t bi = 0; bi < lp.size();) {
+      std::size_t bj = bi + 1;
+      while (bj < lp.size() &&
+             hash[static_cast<std::size_t>(lp[bj])] ==
+                 hash[static_cast<std::size_t>(lp[bi])]) {
+        ++bj;
+      }
+      for (std::size_t x = bi; x < bj; ++x) {
+        const int i = lp[x];
+        const std::size_t si = static_cast<std::size_t>(i);
+        if (absorbed[si]) continue;
+        for (std::size_t y = x + 1; y < bj; ++y) {
+          const int j = lp[y];
+          const std::size_t sj = static_cast<std::size_t>(j);
+          if (absorbed[sj]) continue;
+          if (eadj[si].size() != eadj[sj].size() ||
+              !std::equal(eadj[si].begin(), eadj[si].end(),
+                          eadj[sj].begin()) ||
+              !filtered_equal(vadj[si], vadj[sj], i, j)) {
+            continue;
+          }
+          // Merge j into i: i's one elimination will cover both.
+          nv[si] += nv[sj];
+          degree[si] -= nv[sj];
+          absorbed[sj] = 1;
+          merge_next[j] = merge_head[i];
+          merge_head[i] = j;
+          vadj[sj].clear();
+          eadj[sj].clear();
+        }
+      }
+      bi = bj;
+    }
+
+    // Re-queue the surviving members at their new degrees.
+    for (int i : lp) {
+      const std::size_t si = static_cast<std::size_t>(i);
+      if (absorbed[si]) continue;
+      pq.push({degree[si], i});
+    }
+
+    // The pivot becomes an element whose members are Lp's survivors (the
+    // merges conserved the weight).
+    is_elem[sp] = 1;
+    elist[sp].clear();
+    for (int v : lp) {
+      if (!absorbed[static_cast<std::size_t>(v)]) elist[sp].push_back(v);
+    }
+    esize[sp] = lpw;
+    vadj[sp].clear();
+    eadj[sp].clear();
+
+    // Reset the round's scratch.
+    mark[sp] = 0;
+    for (int v : lp) mark[static_cast<std::size_t>(v)] = 0;
+    for (int e : touched) wde[static_cast<std::size_t>(e)] = -1;
+
+    // Emit the pivot supervariable: p plus everything ever merged into it
+    // (transitively), in ascending index order.
+    emit.clear();
+    emit.push_back(p);
+    for (std::size_t head = 0; head < emit.size(); ++head) {
+      for (int c = merge_head[emit[head]]; c >= 0; c = merge_next[c]) {
+        emit.push_back(c);
+      }
+    }
+    std::sort(emit.begin(), emit.end());
+    order.insert(order.end(), emit.begin(), emit.end());
+    remaining -= nv[sp];
+  }
+  return order;
+}
+
 }  // namespace
+
+std::vector<int> minimum_degree_order(const std::vector<int>& row_ptr,
+                                      const std::vector<int>& col_index,
+                                      std::size_t n) {
+  std::vector<std::set<int>> adj(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (int i = row_ptr[r]; i < row_ptr[r + 1]; ++i) {
+      const int c = col_index[static_cast<std::size_t>(i)];
+      if (static_cast<std::size_t>(c) != r) {
+        adj[r].insert(c);
+        adj[static_cast<std::size_t>(c)].insert(static_cast<int>(r));
+      }
+    }
+  }
+  return md_order_core(n, std::move(adj));
+}
+
+std::vector<int> amd_order(const std::vector<int>& row_ptr,
+                           const std::vector<int>& col_index, std::size_t n) {
+  return amd_order_graph(n, symmetrized_adjacency(row_ptr, col_index, n));
+}
+
+BtfDecomposition btf_decompose(const std::vector<int>& row_ptr,
+                               const std::vector<int>& col_index,
+                               std::size_t n) {
+  // --- maximum transversal (Kuhn's augmenting paths, iterative) ---------
+  std::vector<int> match_col(n, -1);  // column -> matched row
+  std::vector<int> match_row(n, -1);  // row -> matched column
+  // Cheap pass, diagonal first: MNA rows are structurally diagonal except
+  // for source/aux equations, and an identity-heavy matching keeps the
+  // row<->matched-column identification (which the per-block ordering
+  // eliminates on) close to the matrix's natural symmetric structure.
+  // Matching first-free-column instead shifts the whole matching by one
+  // along chain topologies and costs ~10% factor fill on ladders.
+  for (std::size_t r = 0; r < n; ++r) {
+    for (int i = row_ptr[r]; i < row_ptr[r + 1]; ++i) {
+      if (col_index[static_cast<std::size_t>(i)] == static_cast<int>(r)) {
+        match_col[r] = static_cast<int>(r);
+        match_row[r] = static_cast<int>(r);
+        break;
+      }
+    }
+  }
+  for (std::size_t r = 0; r < n; ++r) {  // then first free column
+    if (match_row[r] >= 0) continue;
+    for (int i = row_ptr[r]; i < row_ptr[r + 1]; ++i) {
+      const int c = col_index[static_cast<std::size_t>(i)];
+      if (match_col[static_cast<std::size_t>(c)] < 0) {
+        match_col[static_cast<std::size_t>(c)] = static_cast<int>(r);
+        match_row[r] = c;
+        break;
+      }
+    }
+  }
+  std::vector<int> visited(n, -1);  // column -> DFS stamp
+  std::vector<std::pair<int, int>> stack;  // (row, entry cursor)
+  std::vector<int> via;  // column linking stack[d-1] to stack[d]
+  for (std::size_t r0 = 0; r0 < n; ++r0) {
+    if (match_row[r0] >= 0) continue;
+    const int stamp = static_cast<int>(r0);
+    stack.assign(1, {static_cast<int>(r0), row_ptr[r0]});
+    via.assign(1, -1);
+    bool found = false;
+    while (!stack.empty() && !found) {
+      auto& fr = stack.back();
+      const int r = fr.first;
+      if (fr.second >= row_ptr[static_cast<std::size_t>(r) + 1]) {
+        stack.pop_back();
+        via.pop_back();
+        continue;
+      }
+      const int c = col_index[static_cast<std::size_t>(fr.second++)];
+      if (visited[static_cast<std::size_t>(c)] == stamp) continue;
+      visited[static_cast<std::size_t>(c)] = stamp;
+      if (match_col[static_cast<std::size_t>(c)] < 0) {
+        // Free column: flip the alternating path along the DFS stack.
+        int col = c;
+        for (std::size_t d = stack.size(); d-- > 0;) {
+          const int rr = stack[d].first;
+          match_row[static_cast<std::size_t>(rr)] = col;
+          match_col[static_cast<std::size_t>(col)] = rr;
+          if (d > 0) col = via[d];
+        }
+        found = true;
+      } else {
+        const int rnext = match_col[static_cast<std::size_t>(c)];
+        stack.emplace_back(rnext, row_ptr[static_cast<std::size_t>(rnext)]);
+        via.push_back(c);
+      }
+    }
+    if (!found) {
+      throw NumericalError(
+          "sparse BTF: pattern is structurally singular (no perfect "
+          "matching covers row " +
+          std::to_string(r0) + ")");
+    }
+  }
+
+  // --- SCC condensation of the matched graph (iterative Tarjan) ---------
+  // Node r's successors are the matched rows of r's columns; an SCC is a
+  // diagonal block. Tarjan emits SCCs in reverse topological order, so
+  // block id = (count - 1 - emission index) makes every cross-block entry
+  // land in a *later* block: block upper triangular.
+  std::vector<int> disc(n, -1);
+  std::vector<int> low(n, 0);
+  std::vector<char> on_stack(n, 0);
+  std::vector<int> scc_stack;
+  std::vector<int> comp(n, -1);
+  std::vector<std::pair<int, int>> frames;  // (row, entry cursor)
+  int index = 0;
+  int ncomp = 0;
+  for (std::size_t r0 = 0; r0 < n; ++r0) {
+    if (disc[r0] >= 0) continue;
+    disc[r0] = low[r0] = index++;
+    scc_stack.push_back(static_cast<int>(r0));
+    on_stack[r0] = 1;
+    frames.assign(1, {static_cast<int>(r0), row_ptr[r0]});
+    while (!frames.empty()) {
+      auto& f = frames.back();
+      const int r = f.first;
+      if (f.second < row_ptr[static_cast<std::size_t>(r) + 1]) {
+        const int c = col_index[static_cast<std::size_t>(f.second++)];
+        const int s = match_col[static_cast<std::size_t>(c)];
+        if (s == r) continue;
+        if (disc[static_cast<std::size_t>(s)] < 0) {
+          disc[static_cast<std::size_t>(s)] =
+              low[static_cast<std::size_t>(s)] = index++;
+          scc_stack.push_back(s);
+          on_stack[static_cast<std::size_t>(s)] = 1;
+          frames.emplace_back(s, row_ptr[static_cast<std::size_t>(s)]);
+        } else if (on_stack[static_cast<std::size_t>(s)]) {
+          low[static_cast<std::size_t>(r)] =
+              std::min(low[static_cast<std::size_t>(r)],
+                       disc[static_cast<std::size_t>(s)]);
+        }
+        continue;
+      }
+      frames.pop_back();
+      if (!frames.empty()) {
+        const int parent = frames.back().first;
+        low[static_cast<std::size_t>(parent)] =
+            std::min(low[static_cast<std::size_t>(parent)],
+                     low[static_cast<std::size_t>(r)]);
+      }
+      if (low[static_cast<std::size_t>(r)] ==
+          disc[static_cast<std::size_t>(r)]) {
+        while (true) {
+          const int v = scc_stack.back();
+          scc_stack.pop_back();
+          on_stack[static_cast<std::size_t>(v)] = 0;
+          comp[static_cast<std::size_t>(v)] = ncomp;
+          if (v == r) break;
+        }
+        ++ncomp;
+      }
+    }
+  }
+
+  BtfDecomposition btf;
+  btf.row_block.resize(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    btf.row_block[r] = ncomp - 1 - comp[r];
+  }
+  btf.block_ptr.assign(static_cast<std::size_t>(ncomp) + 1, 0);
+  for (std::size_t r = 0; r < n; ++r) {
+    ++btf.block_ptr[static_cast<std::size_t>(btf.row_block[r]) + 1];
+  }
+  for (int b = 0; b < ncomp; ++b) {
+    btf.block_ptr[static_cast<std::size_t>(b) + 1] +=
+        btf.block_ptr[static_cast<std::size_t>(b)];
+  }
+  btf.row_order.resize(n);
+  std::vector<int> cursor(btf.block_ptr.begin(), btf.block_ptr.end() - 1);
+  for (std::size_t r = 0; r < n; ++r) {  // ascending row id within a block
+    btf.row_order[static_cast<std::size_t>(
+        cursor[static_cast<std::size_t>(btf.row_block[r])]++)] =
+        static_cast<int>(r);
+  }
+  btf.match_col = std::move(match_row);
+  return btf;
+}
 
 template <typename Scalar>
 bool SparseLuFactorizationT<Scalar>::pattern_matches(
@@ -326,6 +796,16 @@ void SparseLuFactorizationT<Scalar>::refactor(const SparseMatrixT<Scalar>& a,
     // First factorisation, new pattern, or a frozen pivot collapsed: run
     // the full analysis with fresh pivoting.
     analyze(a, pivot_tol);
+    if (sn_start_ < n_) {
+      // Rewrite the factors through the frozen kernel so the stored
+      // values never depend on which pass produced them: the dense
+      // supernode's structural-zero arithmetic can flip the sign of an
+      // exact zero relative to the analysis's sparse pass, and the batch
+      // bit-identity contract compares lanes against frozen-kernel
+      // output. Magnitudes are identical by construction, so the screens
+      // the analysis just passed are not re-judged.
+      (void)refactor_frozen(a, pivot_tol, amax, /*enforce_screens=*/false);
+    }
   }
 
   // 1-norm of A for condition_estimate(). perm_ (sized by the analysis
@@ -353,7 +833,86 @@ void SparseLuFactorizationT<Scalar>::analyze(const SparseMatrixT<Scalar>& a,
   analyzed_ = false;
   n_ = n;
 
-  rperm_ = minimum_degree_order(row_ptr, col_index, n);
+  // --- symbolic pre-order ------------------------------------------------
+  // With BTF on, the matching rejects structurally singular patterns
+  // before any numeric work, rows are grouped block by block (so LU never
+  // fills across blocks), and the fill-reducing order runs per diagonal
+  // block on the matched row<->column identification. With BTF off, one
+  // global order over the whole symmetrised pattern (the original path).
+  std::vector<int> row_block;  // block id per row (pivot confinement)
+  std::vector<int> col_block;  // block id per column
+  bool use_blocks = false;
+  if (options_.btf) {
+    const BtfDecomposition btf = btf_decompose(row_ptr, col_index, n);
+    btf_blocks_ = btf.block_count();
+    use_blocks = btf_blocks_ > 1;
+    row_block = btf.row_block;
+    col_block.assign(n, 0);
+    for (std::size_t r = 0; r < n; ++r) {
+      col_block[static_cast<std::size_t>(btf.match_col[r])] =
+          btf.row_block[r];
+    }
+    rperm_.clear();
+    rperm_.reserve(n);
+    std::vector<int> local_of_col(n, -1);
+    std::vector<std::vector<int>> adj;
+    std::vector<int> block_rows;
+    for (std::size_t b = 0; b < btf.block_count(); ++b) {
+      const int lo = btf.block_ptr[b];
+      const int hi = btf.block_ptr[b + 1];
+      const std::size_t m = static_cast<std::size_t>(hi - lo);
+      if (m == 1) {
+        rperm_.push_back(btf.row_order[static_cast<std::size_t>(lo)]);
+        continue;
+      }
+      block_rows.assign(btf.row_order.begin() + lo,
+                        btf.row_order.begin() + hi);
+      for (std::size_t k = 0; k < m; ++k) {
+        local_of_col[static_cast<std::size_t>(
+            btf.match_col[static_cast<std::size_t>(block_rows[k])])] =
+            static_cast<int>(k);
+      }
+      // Local symmetrised graph: row k of the block is identified with
+      // its matched column (the vertex the elimination merges them into).
+      adj.assign(m, {});
+      for (std::size_t k = 0; k < m; ++k) {
+        const std::size_t r = static_cast<std::size_t>(block_rows[k]);
+        for (int i = row_ptr[r]; i < row_ptr[r + 1]; ++i) {
+          const int lc =
+              local_of_col[static_cast<std::size_t>(col_index[i])];
+          if (lc >= 0 && lc != static_cast<int>(k)) {
+            adj[k].push_back(lc);
+            adj[static_cast<std::size_t>(lc)].push_back(static_cast<int>(k));
+          }
+        }
+      }
+      for (auto& al : adj) {
+        std::sort(al.begin(), al.end());
+        al.erase(std::unique(al.begin(), al.end()), al.end());
+      }
+      const std::vector<int> local =
+          options_.ordering == SparseOrdering::kAmd
+              ? amd_order_graph(m, std::move(adj))
+              : md_order_graph(m, adj);
+      for (int v : local) {
+        rperm_.push_back(block_rows[static_cast<std::size_t>(v)]);
+      }
+      for (std::size_t k = 0; k < m; ++k) {
+        local_of_col[static_cast<std::size_t>(
+            btf.match_col[static_cast<std::size_t>(block_rows[k])])] = -1;
+      }
+    }
+    // Blocks occupy contiguous step ranges (rperm_ was emitted block by
+    // block), so the BTF block offsets are the solve-time step fences.
+    bstep_ptr_.assign(btf.block_ptr.begin(), btf.block_ptr.end());
+  } else {
+    btf_blocks_ = 1;
+    rperm_ = options_.ordering == SparseOrdering::kAmd
+                 ? amd_order(row_ptr, col_index, n)
+                 : minimum_degree_order(row_ptr, col_index, n);
+    bstep_ptr_ = {0, static_cast<int>(n)};
+  }
+
   cstep_.assign(n, -1);
   cperm_.assign(n, -1);
   udiag_.assign(n, Scalar{});
@@ -375,9 +934,21 @@ void SparseLuFactorizationT<Scalar>::analyze(const SparseMatrixT<Scalar>& a,
 
   for (std::size_t k = 0; k < n; ++k) {
     const std::size_t r = static_cast<std::size_t>(rperm_[k]);
-    // Scatter row r of A.
+    // With blocks, only the row's own BTF block participates: its columns
+    // are exactly what its rows can eliminate (earlier blocks are fully
+    // pivoted, later blocks belong to later rows), so filtering the
+    // scatter below confines the pattern -- and hence the pivot search --
+    // to the block.
+    const int cur_block = use_blocks ? row_block[r] : 0;
+    // Scatter row r of A. Entries whose column belongs to a *later* BTF
+    // block stay out of the elimination entirely (block-diagonal factor;
+    // they are applied raw during block back-substitution), so neither
+    // they nor any fill they would cascade ever enter the pattern.
     for (int i = row_ptr[r]; i < row_ptr[r + 1]; ++i) {
       const int c = col_index[static_cast<std::size_t>(i)];
+      if (use_blocks && col_block[static_cast<std::size_t>(c)] != cur_block) {
+        continue;
+      }
       inpat[static_cast<std::size_t>(c)] = 1;
       pattern.push_back(c);
       w[static_cast<std::size_t>(c)] = values[static_cast<std::size_t>(i)];
@@ -507,10 +1078,90 @@ void SparseLuFactorizationT<Scalar>::analyze(const SparseMatrixT<Scalar>& a,
     }
   }
 
-  // Scatter map: A entry i lands in step-space slot astep_[i].
+  // Scatter map: A entry i lands in step-space slot astep_[i]. Cross-block
+  // entries get a -1 sentinel (the scatter skips them) and are indexed per
+  // step for the raw copy + solve-time application instead.
   astep_.resize(col_index.size());
   for (std::size_t i = 0; i < col_index.size(); ++i) {
     astep_[i] = cstep_[static_cast<std::size_t>(col_index[i])];
+  }
+  off_ptr_.assign(n + 1, 0);
+  off_a_idx_.clear();
+  off_step_.clear();
+  off_val_.clear();
+  if (use_blocks) {
+    for (std::size_t k = 0; k < n; ++k) {
+      const std::size_t r = static_cast<std::size_t>(rperm_[k]);
+      const int b = row_block[r];
+      for (int i = row_ptr[r]; i < row_ptr[r + 1]; ++i) {
+        const std::size_t c = static_cast<std::size_t>(col_index[i]);
+        if (col_block[c] == b) continue;
+        astep_[static_cast<std::size_t>(i)] = -1;
+        off_a_idx_.push_back(i);
+        off_step_.push_back(cstep_[c]);
+        off_val_.push_back(values[static_cast<std::size_t>(i)]);
+      }
+      off_ptr_[k + 1] = static_cast<int>(off_a_idx_.size());
+    }
+  }
+
+  // --- trailing dense supernode -----------------------------------------
+  // Factors of fill-heavy systems end dense: the last columns of the
+  // elimination accumulate nearly every remaining position. Find the
+  // largest trailing step range [s, n) whose factor density qualifies and
+  // route it through the dense microkernel; mirror maps let the numeric
+  // passes copy the pattern positions back so solve / condition paths
+  // never know. D(s) counts factor entries with both coordinates >= s,
+  // accumulated by suffix scan: row s contributes its diagonal, its whole
+  // U row (steps > s), and every L entry *at* step s (their rows are > s).
+  sn_start_ = n;
+  sn_val_.clear();
+  sn_val_b_.clear();
+  sn_l_idx_.clear();
+  sn_l_pos_.clear();
+  sn_u_idx_.clear();
+  sn_u_pos_.clear();
+  if (options_.supernode_min > 0) {
+    const std::size_t min_b =
+        std::max<std::size_t>(static_cast<std::size_t>(options_.supernode_min),
+                              2);
+    std::vector<long long> l_hist(n, 0);
+    for (int j : l_step_) ++l_hist[static_cast<std::size_t>(j)];
+    long long inblk = 0;
+    std::size_t best = n;
+    for (std::size_t s = n; s-- > 0;) {
+      inblk += 1 + (u_ptr_[s + 1] - u_ptr_[s]) + l_hist[s];
+      const std::size_t b = n - s;
+      if (b > kSupernodeMaxDim) break;
+      if (b < min_b) continue;
+      if (static_cast<double>(inblk) >= options_.supernode_density *
+                                            static_cast<double>(b) *
+                                            static_cast<double>(b)) {
+        best = s;  // keep scanning: prefer the largest qualifying block
+      }
+    }
+    if (best < n) {
+      sn_start_ = best;
+      const std::size_t bdim = n - best;
+      sn_val_.assign(bdim * bdim, Scalar{});
+      for (std::size_t k = best; k < n; ++k) {
+        const std::size_t kb = k - best;
+        for (int li = l_ptr_[k]; li < l_ptr_[k + 1]; ++li) {
+          const int j = l_step_[static_cast<std::size_t>(li)];
+          if (j < static_cast<int>(best)) continue;
+          sn_l_idx_.push_back(li);
+          sn_l_pos_.push_back(static_cast<int>(
+              kb * bdim + (static_cast<std::size_t>(j) - best)));
+        }
+        for (int ui = u_ptr_[k]; ui < u_ptr_[k + 1]; ++ui) {
+          sn_u_idx_.push_back(ui);
+          sn_u_pos_.push_back(static_cast<int>(
+              kb * bdim +
+              (static_cast<std::size_t>(u_step_[static_cast<std::size_t>(ui)]) -
+               best)));
+        }
+      }
+    }
   }
 
   work_.assign(n, Scalar{});
@@ -522,8 +1173,11 @@ void SparseLuFactorizationT<Scalar>::analyze(const SparseMatrixT<Scalar>& a,
 
 template <typename Scalar>
 bool SparseLuFactorizationT<Scalar>::refactor_frozen(
-    const SparseMatrixT<Scalar>& a, double pivot_tol, double amax) {
+    const SparseMatrixT<Scalar>& a, double pivot_tol, double amax,
+    bool enforce_screens) {
   const std::size_t n = n_;
+  const std::size_t sn = sn_start_;
+  const std::size_t bdim = n - sn;
   const std::vector<int>& row_ptr = a.row_ptr();
   const std::vector<Scalar>& values = a.values();
 
@@ -539,44 +1193,112 @@ bool SparseLuFactorizationT<Scalar>::refactor_frozen(
   const double growth_cap = kGrowthLimit * amax;
   double gmax = 0.0;
 
+  // Cross-block entries never join the elimination: refresh their raw
+  // copies for the solve's block back-substitution and skip them below
+  // (their astep_ is -1).
+  for (std::size_t t = 0; t < off_a_idx_.size(); ++t) {
+    off_val_[t] = values[static_cast<std::size_t>(off_a_idx_[t])];
+  }
+
   for (std::size_t k = 0; k < n; ++k) {
     const std::size_t r = static_cast<std::size_t>(rperm_[k]);
     for (int i = row_ptr[r]; i < row_ptr[r + 1]; ++i) {
-      work_[static_cast<std::size_t>(astep_[static_cast<std::size_t>(i)])] +=
-          values[static_cast<std::size_t>(i)];
+      const int s = astep_[static_cast<std::size_t>(i)];
+      if (s >= 0) work_[static_cast<std::size_t>(s)] += values[static_cast<std::size_t>(i)];
     }
-    for (int li = l_ptr_[k]; li < l_ptr_[k + 1]; ++li) {
-      const std::size_t j =
-          static_cast<std::size_t>(l_step_[static_cast<std::size_t>(li)]);
-      const Scalar lv = work_[j] / udiag_[j];
-      l_val_[static_cast<std::size_t>(li)] = lv;
-      work_[j] = Scalar{};
-      for (int ui = u_ptr_[j]; ui < u_ptr_[j + 1]; ++ui) {
-        work_[static_cast<std::size_t>(u_step_[static_cast<std::size_t>(ui)])] -=
-            lv * u_val_[static_cast<std::size_t>(ui)];
+    if (k < sn) {
+      // Sparse replay along the cached pattern.
+      for (int li = l_ptr_[k]; li < l_ptr_[k + 1]; ++li) {
+        const std::size_t j =
+            static_cast<std::size_t>(l_step_[static_cast<std::size_t>(li)]);
+        const Scalar lv = work_[j] / udiag_[j];
+        l_val_[static_cast<std::size_t>(li)] = lv;
+        work_[j] = Scalar{};
+        for (int ui = u_ptr_[j]; ui < u_ptr_[j + 1]; ++ui) {
+          work_[static_cast<std::size_t>(
+              u_step_[static_cast<std::size_t>(ui)])] -=
+              lv * u_val_[static_cast<std::size_t>(ui)];
+        }
       }
+      const Scalar d = work_[k];
+      work_[k] = Scalar{};
+      gmax = std::max(gmax, scalar_abs(d));
+      for (int ui = u_ptr_[k]; ui < u_ptr_[k + 1]; ++ui) {
+        const std::size_t us =
+            static_cast<std::size_t>(u_step_[static_cast<std::size_t>(ui)]);
+        const Scalar uv = work_[us];
+        u_val_[static_cast<std::size_t>(ui)] = uv;
+        gmax = std::max(gmax, scalar_abs(uv));
+        work_[us] = Scalar{};
+      }
+      const double tol =
+          pivot_tol * colmax_[static_cast<std::size_t>(cperm_[k])];
+      if (enforce_screens && (!(scalar_abs(d) > tol) || gmax > growth_cap)) {
+        // Frozen pivot collapsed (judged against its own column's current
+        // scale) or the factors are blowing up (the matrix may still be
+        // fine under a different order); work_ is already clean for the
+        // re-analysis -- both checks run after this row's gather.
+        return false;
+      }
+      udiag_[k] = d;
+    } else {
+      // Dense supernode row: replay the out-of-block L prefix sparsely
+      // (ascending steps, so the prefix ends at the first in-block entry),
+      // then eliminate inside the B x B block with contiguous loops. The
+      // per-position arithmetic matches the sparse replay exactly except
+      // on structural zeros, where only the sign of an exact zero can
+      // differ -- which is why every stored factor value comes from this
+      // kernel (see the post-analysis pass in refactor()).
+      const std::size_t kb = k - sn;
+      for (int li = l_ptr_[k]; li < l_ptr_[k + 1]; ++li) {
+        const std::size_t j =
+            static_cast<std::size_t>(l_step_[static_cast<std::size_t>(li)]);
+        if (j >= sn) break;
+        const Scalar lv = work_[j] / udiag_[j];
+        l_val_[static_cast<std::size_t>(li)] = lv;
+        work_[j] = Scalar{};
+        for (int ui = u_ptr_[j]; ui < u_ptr_[j + 1]; ++ui) {
+          work_[static_cast<std::size_t>(
+              u_step_[static_cast<std::size_t>(ui)])] -=
+              lv * u_val_[static_cast<std::size_t>(ui)];
+        }
+      }
+      Scalar* drow = sn_val_.data() + kb * bdim;
+      for (std::size_t t = 0; t < bdim; ++t) {
+        drow[t] = work_[sn + t];
+        work_[sn + t] = Scalar{};
+      }
+      for (std::size_t jb = 0; jb < kb; ++jb) {
+        const Scalar lv = drow[jb] / sn_val_[jb * bdim + jb];
+        drow[jb] = lv;
+        const Scalar* urow = sn_val_.data() + jb * bdim;
+        for (std::size_t t = jb + 1; t < bdim; ++t) {
+          drow[t] -= lv * urow[t];
+        }
+      }
+      const Scalar d = drow[kb];
+      gmax = std::max(gmax, scalar_abs(d));
+      for (std::size_t t = kb + 1; t < bdim; ++t) {
+        gmax = std::max(gmax, scalar_abs(drow[t]));
+      }
+      const double tol =
+          pivot_tol * colmax_[static_cast<std::size_t>(cperm_[k])];
+      if (enforce_screens && (!(scalar_abs(d) > tol) || gmax > growth_cap)) {
+        return false;  // work_ is clean: the block's dirt lives in sn_val_
+      }
+      udiag_[k] = d;
     }
-    const Scalar d = work_[k];
-    work_[k] = Scalar{};
-    gmax = std::max(gmax, scalar_abs(d));
-    for (int ui = u_ptr_[k]; ui < u_ptr_[k + 1]; ++ui) {
-      const std::size_t us =
-          static_cast<std::size_t>(u_step_[static_cast<std::size_t>(ui)]);
-      const Scalar uv = work_[us];
-      u_val_[static_cast<std::size_t>(ui)] = uv;
-      gmax = std::max(gmax, scalar_abs(uv));
-      work_[us] = Scalar{};
-    }
-    const double tol =
-        pivot_tol * colmax_[static_cast<std::size_t>(cperm_[k])];
-    if (!(scalar_abs(d) > tol) || gmax > growth_cap) {
-      // Frozen pivot collapsed (judged against its own column's current
-      // scale) or the factors are blowing up (the matrix may still be
-      // fine under a different order); work_ is already clean for the
-      // re-analysis -- both checks run after this row's gather.
-      return false;
-    }
-    udiag_[k] = d;
+  }
+  // Mirror the dense block's pattern positions back into the flat factor
+  // arrays: the solve / condition / diagnostic paths stay oblivious to
+  // the supernode.
+  for (std::size_t t = 0; t < sn_l_idx_.size(); ++t) {
+    l_val_[static_cast<std::size_t>(sn_l_idx_[t])] =
+        sn_val_[static_cast<std::size_t>(sn_l_pos_[t])];
+  }
+  for (std::size_t t = 0; t < sn_u_idx_.size(); ++t) {
+    u_val_[static_cast<std::size_t>(sn_u_idx_[t])] =
+        sn_val_[static_cast<std::size_t>(sn_u_pos_[t])];
   }
   return true;
 }
@@ -597,11 +1319,15 @@ void SparseLuFactorizationT<Scalar>::refactor_batch(
   // (Re)shape the lane planes; steady state re-enters with the same
   // (analysis, K) and never allocates.
   if (batch_lanes_ != K || l_val_b_.size() != l_val_.size() * K ||
-      u_val_b_.size() != u_val_.size() * K || udiag_b_.size() != n_ * K) {
+      u_val_b_.size() != u_val_.size() * K || udiag_b_.size() != n_ * K ||
+      sn_val_b_.size() != sn_val_.size() * K ||
+      off_val_b_.size() != off_val_.size() * K) {
     batch_lanes_ = K;
     l_val_b_.resize(l_val_.size() * K);
     u_val_b_.resize(u_val_.size() * K);
     udiag_b_.resize(n_ * K);
+    sn_val_b_.resize(sn_val_.size() * K);
+    off_val_b_.resize(off_val_.size() * K);
     work_b_.resize(n_ * K);
     colmax_b_.resize(n_ * K);
     amax_b_.resize(K);
@@ -648,51 +1374,117 @@ void SparseLuFactorizationT<Scalar>::refactor_batch(
   // the same values under this analysis. Lanes are arithmetically
   // independent: a rejected pivot only poisons its own plane.
   const std::vector<int>& row_ptr = batch.pattern().row_ptr();
+  const std::size_t sn = sn_start_;
+  const std::size_t bdim = n_ - sn;
+  // Raw per-lane copies of the unfactored cross-block entries.
+  for (std::size_t t = 0; t < off_a_idx_.size(); ++t) {
+    const Scalar* v =
+        vals.data() + static_cast<std::size_t>(off_a_idx_[t]) * K;
+    Scalar* ov = off_val_b_.data() + t * K;
+    for (std::size_t l = 0; l < K; ++l) ov[l] = v[l];
+  }
   for (std::size_t k = 0; k < n_; ++k) {
     const std::size_t r = static_cast<std::size_t>(rperm_[k]);
     for (int i = row_ptr[r]; i < row_ptr[r + 1]; ++i) {
-      Scalar* w =
-          work_b_.data() +
-          static_cast<std::size_t>(astep_[static_cast<std::size_t>(i)]) * K;
+      const int s = astep_[static_cast<std::size_t>(i)];
+      if (s < 0) continue;
+      Scalar* w = work_b_.data() + static_cast<std::size_t>(s) * K;
       const Scalar* v = vals.data() + static_cast<std::size_t>(i) * K;
       for (std::size_t l = 0; l < K; ++l) w[l] += v[l];
     }
-    for (int li = l_ptr_[k]; li < l_ptr_[k + 1]; ++li) {
-      const std::size_t j =
-          static_cast<std::size_t>(l_step_[static_cast<std::size_t>(li)]);
-      Scalar* wj = work_b_.data() + j * K;
-      Scalar* lv = l_val_b_.data() + static_cast<std::size_t>(li) * K;
-      const Scalar* dj = udiag_b_.data() + j * K;
-      for (std::size_t l = 0; l < K; ++l) {
-        lv[l] = wj[l] / dj[l];
-        wj[l] = Scalar{};
+    Scalar* dk = udiag_b_.data() + k * K;
+    if (k < sn) {
+      for (int li = l_ptr_[k]; li < l_ptr_[k + 1]; ++li) {
+        const std::size_t j =
+            static_cast<std::size_t>(l_step_[static_cast<std::size_t>(li)]);
+        Scalar* wj = work_b_.data() + j * K;
+        Scalar* lv = l_val_b_.data() + static_cast<std::size_t>(li) * K;
+        const Scalar* dj = udiag_b_.data() + j * K;
+        for (std::size_t l = 0; l < K; ++l) {
+          lv[l] = wj[l] / dj[l];
+          wj[l] = Scalar{};
+        }
+        for (int ui = u_ptr_[j]; ui < u_ptr_[j + 1]; ++ui) {
+          Scalar* wu =
+              work_b_.data() +
+              static_cast<std::size_t>(u_step_[static_cast<std::size_t>(ui)]) *
+                  K;
+          const Scalar* uv =
+              u_val_b_.data() + static_cast<std::size_t>(ui) * K;
+          for (std::size_t l = 0; l < K; ++l) wu[l] -= lv[l] * uv[l];
+        }
       }
-      for (int ui = u_ptr_[j]; ui < u_ptr_[j + 1]; ++ui) {
+      Scalar* wd = work_b_.data() + k * K;
+      for (std::size_t l = 0; l < K; ++l) {
+        dk[l] = wd[l];
+        wd[l] = Scalar{};
+        gmax_b_[l] = std::max(gmax_b_[l], scalar_abs(dk[l]));
+      }
+      for (int ui = u_ptr_[k]; ui < u_ptr_[k + 1]; ++ui) {
         Scalar* wu =
             work_b_.data() +
             static_cast<std::size_t>(u_step_[static_cast<std::size_t>(ui)]) *
                 K;
-        const Scalar* uv =
-            u_val_b_.data() + static_cast<std::size_t>(ui) * K;
-        for (std::size_t l = 0; l < K; ++l) wu[l] -= lv[l] * uv[l];
+        Scalar* uv = u_val_b_.data() + static_cast<std::size_t>(ui) * K;
+        for (std::size_t l = 0; l < K; ++l) {
+          uv[l] = wu[l];
+          gmax_b_[l] = std::max(gmax_b_[l], scalar_abs(uv[l]));
+          wu[l] = Scalar{};
+        }
       }
-    }
-    Scalar* wd = work_b_.data() + k * K;
-    Scalar* dk = udiag_b_.data() + k * K;
-    for (std::size_t l = 0; l < K; ++l) {
-      dk[l] = wd[l];
-      wd[l] = Scalar{};
-      gmax_b_[l] = std::max(gmax_b_[l], scalar_abs(dk[l]));
-    }
-    for (int ui = u_ptr_[k]; ui < u_ptr_[k + 1]; ++ui) {
-      Scalar* wu =
-          work_b_.data() +
-          static_cast<std::size_t>(u_step_[static_cast<std::size_t>(ui)]) * K;
-      Scalar* uv = u_val_b_.data() + static_cast<std::size_t>(ui) * K;
+    } else {
+      // Dense supernode row, K lanes in lockstep -- per lane this is
+      // exactly the scalar dense path's operation sequence, which is what
+      // keeps batch factors bit-identical to scalar refactors.
+      const std::size_t kb = k - sn;
+      for (int li = l_ptr_[k]; li < l_ptr_[k + 1]; ++li) {
+        const std::size_t j =
+            static_cast<std::size_t>(l_step_[static_cast<std::size_t>(li)]);
+        if (j >= sn) break;
+        Scalar* wj = work_b_.data() + j * K;
+        Scalar* lv = l_val_b_.data() + static_cast<std::size_t>(li) * K;
+        const Scalar* dj = udiag_b_.data() + j * K;
+        for (std::size_t l = 0; l < K; ++l) {
+          lv[l] = wj[l] / dj[l];
+          wj[l] = Scalar{};
+        }
+        for (int ui = u_ptr_[j]; ui < u_ptr_[j + 1]; ++ui) {
+          Scalar* wu =
+              work_b_.data() +
+              static_cast<std::size_t>(u_step_[static_cast<std::size_t>(ui)]) *
+                  K;
+          const Scalar* uv =
+              u_val_b_.data() + static_cast<std::size_t>(ui) * K;
+          for (std::size_t l = 0; l < K; ++l) wu[l] -= lv[l] * uv[l];
+        }
+      }
+      Scalar* drow = sn_val_b_.data() + kb * bdim * K;
+      Scalar* wrow = work_b_.data() + sn * K;
+      for (std::size_t t = 0; t < bdim * K; ++t) {
+        drow[t] = wrow[t];
+        wrow[t] = Scalar{};
+      }
+      for (std::size_t jb = 0; jb < kb; ++jb) {
+        Scalar* lv = drow + jb * K;
+        const Scalar* piv = sn_val_b_.data() + (jb * bdim + jb) * K;
+        for (std::size_t l = 0; l < K; ++l) lv[l] /= piv[l];
+        const Scalar* urow = sn_val_b_.data() + jb * bdim * K;
+        for (std::size_t t = jb + 1; t < bdim; ++t) {
+          Scalar* w = drow + t * K;
+          const Scalar* uv = urow + t * K;
+          for (std::size_t l = 0; l < K; ++l) w[l] -= lv[l] * uv[l];
+        }
+      }
+      const Scalar* dd = drow + kb * K;
       for (std::size_t l = 0; l < K; ++l) {
-        uv[l] = wu[l];
-        gmax_b_[l] = std::max(gmax_b_[l], scalar_abs(uv[l]));
-        wu[l] = Scalar{};
+        dk[l] = dd[l];
+        gmax_b_[l] = std::max(gmax_b_[l], scalar_abs(dk[l]));
+      }
+      for (std::size_t t = kb + 1; t < bdim; ++t) {
+        const Scalar* w = drow + t * K;
+        for (std::size_t l = 0; l < K; ++l) {
+          gmax_b_[l] = std::max(gmax_b_[l], scalar_abs(w[l]));
+        }
       }
     }
     const double* cm =
@@ -707,6 +1499,22 @@ void SparseLuFactorizationT<Scalar>::refactor_batch(
                                      pivot_tol * cm[l]) &
           static_cast<unsigned char>(!(gmax_b_[l] > amax_b_[l])));
     }
+  }
+  // Mirror the dense block planes back into the flat factor planes, as
+  // the scalar frozen pass does for its factor arrays.
+  for (std::size_t t = 0; t < sn_l_idx_.size(); ++t) {
+    Scalar* dst =
+        l_val_b_.data() + static_cast<std::size_t>(sn_l_idx_[t]) * K;
+    const Scalar* src =
+        sn_val_b_.data() + static_cast<std::size_t>(sn_l_pos_[t]) * K;
+    for (std::size_t l = 0; l < K; ++l) dst[l] = src[l];
+  }
+  for (std::size_t t = 0; t < sn_u_idx_.size(); ++t) {
+    Scalar* dst =
+        u_val_b_.data() + static_cast<std::size_t>(sn_u_idx_[t]) * K;
+    const Scalar* src =
+        sn_val_b_.data() + static_cast<std::size_t>(sn_u_pos_[t]) * K;
+    for (std::size_t l = 0; l < K; ++l) dst[l] = src[l];
   }
 }
 
@@ -726,29 +1534,48 @@ void SparseLuFactorizationT<Scalar>::solve_batch(
     Scalar* dst = perm_b_.data() + k * K;
     for (std::size_t l = 0; l < K; ++l) dst[l] = src[l];
   }
-  for (std::size_t k = 0; k < n_; ++k) {
-    Scalar* pk = perm_b_.data() + k * K;
-    for (int li = l_ptr_[k]; li < l_ptr_[k + 1]; ++li) {
-      const Scalar* lv =
-          l_val_b_.data() + static_cast<std::size_t>(li) * K;
-      const Scalar* pj =
-          perm_b_.data() +
-          static_cast<std::size_t>(l_step_[static_cast<std::size_t>(li)]) * K;
-      for (std::size_t l = 0; l < K; ++l) pk[l] -= lv[l] * pj[l];
+  // Block back-substitution mirroring solve_in_place, K lanes per step.
+  for (std::size_t b = bstep_ptr_.size() - 1; b-- > 0;) {
+    const std::size_t lo = static_cast<std::size_t>(bstep_ptr_[b]);
+    const std::size_t hi = static_cast<std::size_t>(bstep_ptr_[b + 1]);
+    for (std::size_t k = lo; k < hi; ++k) {
+      Scalar* pk = perm_b_.data() + k * K;
+      for (int t = off_ptr_[k]; t < off_ptr_[k + 1]; ++t) {
+        const Scalar* ov =
+            off_val_b_.data() + static_cast<std::size_t>(t) * K;
+        const Scalar* po =
+            perm_b_.data() +
+            static_cast<std::size_t>(off_step_[static_cast<std::size_t>(t)]) *
+                K;
+        for (std::size_t l = 0; l < K; ++l) pk[l] -= ov[l] * po[l];
+      }
     }
-  }
-  for (std::size_t ki = n_; ki-- > 0;) {
-    Scalar* pk = perm_b_.data() + ki * K;
-    for (int ui = u_ptr_[ki]; ui < u_ptr_[ki + 1]; ++ui) {
-      const Scalar* uv =
-          u_val_b_.data() + static_cast<std::size_t>(ui) * K;
-      const Scalar* pu =
-          perm_b_.data() +
-          static_cast<std::size_t>(u_step_[static_cast<std::size_t>(ui)]) * K;
-      for (std::size_t l = 0; l < K; ++l) pk[l] -= uv[l] * pu[l];
+    for (std::size_t k = lo; k < hi; ++k) {
+      Scalar* pk = perm_b_.data() + k * K;
+      for (int li = l_ptr_[k]; li < l_ptr_[k + 1]; ++li) {
+        const Scalar* lv =
+            l_val_b_.data() + static_cast<std::size_t>(li) * K;
+        const Scalar* pj =
+            perm_b_.data() +
+            static_cast<std::size_t>(l_step_[static_cast<std::size_t>(li)]) *
+                K;
+        for (std::size_t l = 0; l < K; ++l) pk[l] -= lv[l] * pj[l];
+      }
     }
-    const Scalar* dk = udiag_b_.data() + ki * K;
-    for (std::size_t l = 0; l < K; ++l) pk[l] /= dk[l];
+    for (std::size_t ki = hi; ki-- > lo;) {
+      Scalar* pk = perm_b_.data() + ki * K;
+      for (int ui = u_ptr_[ki]; ui < u_ptr_[ki + 1]; ++ui) {
+        const Scalar* uv =
+            u_val_b_.data() + static_cast<std::size_t>(ui) * K;
+        const Scalar* pu =
+            perm_b_.data() +
+            static_cast<std::size_t>(u_step_[static_cast<std::size_t>(ui)]) *
+                K;
+        for (std::size_t l = 0; l < K; ++l) pk[l] -= uv[l] * pu[l];
+      }
+      const Scalar* dk = udiag_b_.data() + ki * K;
+      for (std::size_t l = 0; l < K; ++l) pk[l] /= dk[l];
+    }
   }
   for (std::size_t k = 0; k < n_; ++k) {
     const Scalar* src = perm_b_.data() + k * K;
@@ -766,23 +1593,43 @@ void SparseLuFactorizationT<Scalar>::solve_in_place(
   for (std::size_t k = 0; k < n_; ++k) {
     perm_[k] = rhs[static_cast<std::size_t>(rperm_[k])];
   }
-  // Forward substitution with unit-lower L.
-  for (std::size_t k = 0; k < n_; ++k) {
-    Scalar acc = perm_[k];
-    for (int li = l_ptr_[k]; li < l_ptr_[k + 1]; ++li) {
-      acc -= l_val_[static_cast<std::size_t>(li)] *
-             perm_[static_cast<std::size_t>(l_step_[static_cast<std::size_t>(li)])];
+  // Block back-substitution, last block first: the factor is
+  // block-diagonal, so each block is an independent L/U solve once the
+  // raw cross-block entries (columns of *later* blocks, whose x is final
+  // by then) are deducted from its right-hand side. A single block is
+  // exactly the classic forward/backward pass.
+  for (std::size_t b = bstep_ptr_.size() - 1; b-- > 0;) {
+    const std::size_t lo = static_cast<std::size_t>(bstep_ptr_[b]);
+    const std::size_t hi = static_cast<std::size_t>(bstep_ptr_[b + 1]);
+    for (std::size_t k = lo; k < hi; ++k) {
+      Scalar acc = perm_[k];
+      for (int t = off_ptr_[k]; t < off_ptr_[k + 1]; ++t) {
+        acc -= off_val_[static_cast<std::size_t>(t)] *
+               perm_[static_cast<std::size_t>(
+                   off_step_[static_cast<std::size_t>(t)])];
+      }
+      perm_[k] = acc;
     }
-    perm_[k] = acc;
-  }
-  // Back substitution with U.
-  for (std::size_t ki = n_; ki-- > 0;) {
-    Scalar acc = perm_[ki];
-    for (int ui = u_ptr_[ki]; ui < u_ptr_[ki + 1]; ++ui) {
-      acc -= u_val_[static_cast<std::size_t>(ui)] *
-             perm_[static_cast<std::size_t>(u_step_[static_cast<std::size_t>(ui)])];
+    // Forward substitution with unit-lower L.
+    for (std::size_t k = lo; k < hi; ++k) {
+      Scalar acc = perm_[k];
+      for (int li = l_ptr_[k]; li < l_ptr_[k + 1]; ++li) {
+        acc -= l_val_[static_cast<std::size_t>(li)] *
+               perm_[static_cast<std::size_t>(
+                   l_step_[static_cast<std::size_t>(li)])];
+      }
+      perm_[k] = acc;
     }
-    perm_[ki] = acc / udiag_[ki];
+    // Back substitution with U.
+    for (std::size_t ki = hi; ki-- > lo;) {
+      Scalar acc = perm_[ki];
+      for (int ui = u_ptr_[ki]; ui < u_ptr_[ki + 1]; ++ui) {
+        acc -= u_val_[static_cast<std::size_t>(ui)] *
+               perm_[static_cast<std::size_t>(
+                   u_step_[static_cast<std::size_t>(ui)])];
+      }
+      perm_[ki] = acc / udiag_[ki];
+    }
   }
   // x = Q w (undo the column permutation).
   for (std::size_t k = 0; k < n_; ++k) {

@@ -104,6 +104,60 @@ void emit_rc_ladder(std::ostringstream& os, const SyntheticNetlistSpec& spec,
   }
 }
 
+/// Purely resistive g x g grid: the ordering/fill stress workload. No
+/// diodes, so a 1e5-node deck converges in one Newton iteration and the
+/// run time is dominated by exactly what the topology is for -- symbolic
+/// analysis and refactor/solve.
+void emit_grid(std::ostringstream& os, const SyntheticNetlistSpec& spec,
+               Rng& rng) {
+  const int g = std::max(2, static_cast<int>(std::lround(
+                                std::sqrt(static_cast<double>(spec.nodes)))));
+  auto node = [g](int r, int c) { return r * g + c + 1; };
+  os << "V1 drv 0 5" << (spec.ac_analysis ? " AC 1" : "") << "\n";
+  os << "RDRV drv n1 " << fmt(rng.uniform(100.0, 300.0)) << "\n";
+  for (int r = 0; r < g; ++r) {
+    for (int c = 0; c < g; ++c) {
+      if (c + 1 < g) {
+        os << "RH" << node(r, c) << " n" << node(r, c) << " n" << node(r, c + 1)
+           << " " << fmt(rng.uniform(500.0, 2000.0)) << "\n";
+      }
+      if (r + 1 < g) {
+        os << "RV" << node(r, c) << " n" << node(r, c) << " n" << node(r + 1, c)
+           << " " << fmt(rng.uniform(500.0, 2000.0)) << "\n";
+      }
+    }
+  }
+  os << "RLOAD n" << node(g - 1, g - 1) << " 0 "
+     << fmt(rng.uniform(2000.0, 8000.0)) << "\n";
+}
+
+/// Heap-indexed binary resistor tree (clock-distribution shape): node i
+/// feeds children 2i and 2i+1; every leaf carries a shunt load. The
+/// elimination graph is a tree -- near-zero fill under a good ordering --
+/// so this is the topology where ordering *quality* (not just speed)
+/// shows up immediately at 1e5 nodes.
+void emit_clock_tree(std::ostringstream& os, const SyntheticNetlistSpec& spec,
+                     Rng& rng) {
+  const int n = spec.nodes;
+  os << "V1 drv 0 5" << (spec.ac_analysis ? " AC 1" : "") << "\n";
+  os << "RDRV drv n1 " << fmt(rng.uniform(50.0, 150.0)) << "\n";
+  for (int i = 1; i <= n; ++i) {
+    const int l = 2 * i, r = 2 * i + 1;
+    if (l <= n) {
+      os << "RL" << i << " n" << i << " n" << l << " "
+         << fmt(rng.uniform(200.0, 800.0)) << "\n";
+    }
+    if (r <= n) {
+      os << "RR" << i << " n" << i << " n" << r << " "
+         << fmt(rng.uniform(200.0, 800.0)) << "\n";
+    }
+    if (l > n) {  // leaf: shunt load to ground
+      os << "RG" << i << " n" << i << " 0 "
+         << fmt(rng.uniform(5000.0, 20000.0)) << "\n";
+    }
+  }
+}
+
 int mesh_last_node(const SyntheticNetlistSpec& spec) {
   const int g = std::max(2, static_cast<int>(std::lround(
                                 std::sqrt(static_cast<double>(spec.nodes)))));
@@ -113,7 +167,8 @@ int mesh_last_node(const SyntheticNetlistSpec& spec) {
 }  // namespace
 
 std::string generated_probe_node(const SyntheticNetlistSpec& spec) {
-  const int last = spec.topology == SyntheticTopology::kMesh
+  const int last = (spec.topology == SyntheticTopology::kMesh ||
+                    spec.topology == SyntheticTopology::kGrid)
                        ? mesh_last_node(spec)
                        : spec.nodes;
   std::string name = "n";
@@ -136,6 +191,10 @@ std::string generate_netlist(const SyntheticNetlistSpec& spec) {
   Rng rng(spec.seed);
   if (spec.topology == SyntheticTopology::kMesh) {
     emit_mesh(os, spec, rng);
+  } else if (spec.topology == SyntheticTopology::kGrid) {
+    emit_grid(os, spec, rng);
+  } else if (spec.topology == SyntheticTopology::kClockTree) {
+    emit_clock_tree(os, spec, rng);
   } else if (spec.topology == SyntheticTopology::kRcLadder) {
     emit_rc_ladder(os, spec, rng);
   } else {
@@ -172,6 +231,8 @@ const char* topology_name(SyntheticTopology t) {
     case SyntheticTopology::kBjtLadder: return "bjt-ladder";
     case SyntheticTopology::kMesh: return "mesh";
     case SyntheticTopology::kRcLadder: return "rc-ladder";
+    case SyntheticTopology::kGrid: return "grid";
+    case SyntheticTopology::kClockTree: return "clock-tree";
   }
   return "ladder";  // unreachable
 }
@@ -182,9 +243,11 @@ SyntheticTopology topology_from_name(std::string_view name) {
   if (name == "bjt-ladder") return SyntheticTopology::kBjtLadder;
   if (name == "mesh") return SyntheticTopology::kMesh;
   if (name == "rc-ladder") return SyntheticTopology::kRcLadder;
+  if (name == "grid") return SyntheticTopology::kGrid;
+  if (name == "clock-tree") return SyntheticTopology::kClockTree;
   throw Error("unknown netlist topology '" + std::string(name) +
-              "' (want ladder, diode-ladder, bjt-ladder, mesh, or "
-              "rc-ladder)");
+              "' (want ladder, diode-ladder, bjt-ladder, mesh, "
+              "rc-ladder, grid, or clock-tree)");
 }
 
 }  // namespace icvbe::spice

@@ -37,6 +37,7 @@ void SimSession::rebind() {
     a_ = linalg::Matrix();
     lu_ = linalg::LuFactorization();
     slu_ = linalg::SparseLuFactorization();
+    slu_.set_options(options_.sparse_options);
     // Pattern discovery: one stamp pass registers every (row, col) a
     // device can touch -- stamped values are irrelevant (a zero value
     // still registers its slot), so the zero iterate works. The gmin
@@ -65,6 +66,7 @@ void SimSession::rebind() {
   clu_ = linalg::ComplexLuFactorization();
   csa_ = linalg::ComplexSparseMatrix();
   cslu_ = linalg::ComplexSparseLuFactorization();
+  cslu_.set_options(options_.sparse_options);
 
   vsources_.clear();
   isources_.clear();

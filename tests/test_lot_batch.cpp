@@ -191,7 +191,12 @@ bandgap::TestCellParams lane_params(std::size_t l) {
   return p;
 }
 
-TEST(BatchDcSessionTest, CellLanesBitIdenticalToScalarSessions) {
+/// The lane bit-identity contract under a given set of sparse engine
+/// options: scalar sparse-forced SimSessions per lane vs one
+/// shared-analysis BatchDcSession must agree to the bit. Parameterised by
+/// SparseOptions so the same contract is asserted along the ordering
+/// dimension (legacy min-degree vs the AMD+BTF default).
+void check_cell_lanes_bit_identical(const NewtonOptions& opt) {
   const std::size_t k = 3;
   const double t = to_kelvin(25.0);
 
@@ -202,7 +207,7 @@ TEST(BatchDcSessionTest, CellLanesBitIdenticalToScalarSessions) {
     CellLane lane;
     lane.handles = bandgap::build_test_cell(lane.circuit, lane_params(l));
     lane.circuit.set_temperature(t);
-    SimSession session(lane.circuit, sparse_options());
+    SimSession session(lane.circuit, opt);
     const spice::Unknowns guess =
         bandgap::cell_initial_guess(lane.circuit, lane.handles, t);
     const auto& r = session.solve(&guess);
@@ -220,7 +225,7 @@ TEST(BatchDcSessionTest, CellLanesBitIdenticalToScalarSessions) {
     lane.handles = bandgap::build_test_cell(lane.circuit, lane_params(0));
     ptrs.push_back(&lane.circuit);
   }
-  BatchDcSession batch(std::move(ptrs), sparse_options());
+  BatchDcSession batch(std::move(ptrs), opt);
   for (std::size_t l = 0; l < k; ++l) {
     const bandgap::TestCellParams p = lane_params(l);
     spice::ParamDeltaSet d(lanes[l].circuit);
@@ -243,6 +248,23 @@ TEST(BatchDcSessionTest, CellLanesBitIdenticalToScalarSessions) {
       EXPECT_EQ(x.raw()[i], scalar_x[l].raw()[i])
           << "lane " << l << " unknown " << i;
   }
+}
+
+TEST(BatchDcSessionTest, CellLanesBitIdenticalToScalarSessions) {
+  check_cell_lanes_bit_identical(sparse_options());
+}
+
+TEST(BatchDcSessionTest, CellLanesBitIdenticalUnderLegacyOrdering) {
+  NewtonOptions opt = sparse_options();
+  opt.sparse_options = linalg::SparseOptions::legacy();
+  check_cell_lanes_bit_identical(opt);
+}
+
+TEST(BatchDcSessionTest, CellLanesBitIdenticalUnderForcedSupernode) {
+  NewtonOptions opt = sparse_options();
+  opt.sparse_options.supernode_min = 8;
+  opt.sparse_options.supernode_density = 0.3;
+  check_cell_lanes_bit_identical(opt);
 }
 
 TEST(BatchDcSessionTest, FailedLaneDoesNotPerturbLaneMates) {

@@ -306,6 +306,59 @@ TEST(SparseLuTest, ConditionEstimateMatchesDenseWithin10x) {
   }
 }
 
+// The fill-heavy counterpart: a 2-D conductance mesh is where the AMD
+// ordering leaves a dense trailing region and the supernode kernel takes
+// over the tail of the factor. The condition probe walks that mixed
+// sparse/supernodal factor, so pin it to the dense engine's number on the
+// same system -- a divergence here means the supernodal triangular solves
+// drifted from the reference factorisation.
+TEST(SparseLuTest, ConditionEstimateMatchesDenseOnFillHeavyMesh) {
+  const int g = 14;  // 196 unknowns, enough elimination fill to supernode
+  const std::size_t n = static_cast<std::size_t>(g) * g;
+  std::mt19937 gen(7u);
+  std::uniform_real_distribution<double> dist(0.5, 2.0);
+  SparseMatrix s(n, n);
+  Matrix d(n, n, 0.0);
+  std::vector<double> diag(n, 1e-3);
+  auto idx = [g](int x, int y) { return static_cast<std::size_t>(x * g + y); };
+  auto couple = [&](std::size_t a, std::size_t b) {
+    const double c = dist(gen);
+    s.add(a, b, -c);
+    s.add(b, a, -c);
+    d(a, b) -= c;
+    d(b, a) -= c;
+    diag[a] += c;
+    diag[b] += c;
+  };
+  for (int x = 0; x < g; ++x) {
+    for (int y = 0; y < g; ++y) {
+      if (x + 1 < g) couple(idx(x, y), idx(x + 1, y));
+      if (y + 1 < g) couple(idx(x, y), idx(x, y + 1));
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    s.add(i, i, diag[i]);
+    d(i, i) += diag[i];
+  }
+  s.freeze_pattern();
+
+  SparseLuFactorization slu;
+  SparseOptions opts;  // force the supernode at this size (the production
+  opts.supernode_min = 8;       // 0.8-density cut keeps 196 unknowns fully
+  opts.supernode_density = 0.3;  // sparse -- here we want the mixed walk)
+  slu.set_options(opts);
+  slu.refactor(s);
+  ASSERT_GT(slu.supernode_size(), 0u)
+      << "mesh did not engage the supernode kernel; the case would not "
+         "cover the mixed factor walk";
+  const LuFactorization dlu(d);
+  const double cs = slu.condition_estimate();
+  const double cd = dlu.condition_estimate();
+  ASSERT_GT(cd, 0.0);
+  EXPECT_GT(cs, cd / 10.0);
+  EXPECT_LT(cs, cd * 10.0);
+}
+
 TEST(SparseLuTest, ConditionEstimateGrowsOnIllConditionedSystem) {
   const std::size_t n = 8;
   SparseMatrix s(n, n);

@@ -61,11 +61,15 @@ std::vector<EquivalenceCase> equivalence_cases() {
       {SyntheticTopology::kBjtLadder, 200},
       {SyntheticTopology::kMesh, 100},
       {SyntheticTopology::kMesh, 500},
+      {SyntheticTopology::kGrid, 400},
+      {SyntheticTopology::kClockTree, 300},
   };
   if (stress_enabled()) {
     cases.push_back({SyntheticTopology::kResistorLadder, 2000});
     cases.push_back({SyntheticTopology::kDiodeLadder, 1000});
     cases.push_back({SyntheticTopology::kMesh, 1000});
+    cases.push_back({SyntheticTopology::kGrid, 2500});
+    cases.push_back({SyntheticTopology::kClockTree, 4000});
   }
   return cases;
 }
@@ -179,6 +183,46 @@ TEST(SparseEquivalence, TwoAxisPlanBitIdenticalAcrossThreadCounts) {
       for (std::size_t r = 0; r < results[0].rows(); ++r) {
         EXPECT_EQ(results[0].value(p, r), results[v].value(p, r))
             << "thread variant " << v << " probe " << p << " row " << r;
+      }
+    }
+  }
+}
+
+TEST(SparseEquivalence, OrderingSweepMatchesDenseAndLegacy) {
+  // The ordering dimension of the equivalence matrix: the legacy exact
+  // minimum-degree path (pre-AMD default, kept behind SparseOptions), the
+  // new AMD+BTF default, and a forced-supernode AMD variant must all land
+  // on the dense engine's answer on every deck shape.
+  struct Variant {
+    const char* name;
+    linalg::SparseOptions options;
+  };
+  linalg::SparseOptions forced_sn;
+  forced_sn.supernode_min = 8;
+  forced_sn.supernode_density = 0.3;
+  const std::vector<Variant> variants = {
+      {"legacy-md", linalg::SparseOptions::legacy()},
+      {"amd-btf-default", linalg::SparseOptions{}},
+      {"amd-forced-supernode", forced_sn},
+  };
+  for (const EquivalenceCase& c : equivalence_cases()) {
+    SCOPED_TRACE(case_name(c));
+    auto dense_deck = parse_case(c);
+    SimSession dense(*dense_deck.circuit, tight_options(SparseMode::kDense));
+    const Unknowns& xd = dense.solve_or_throw();
+
+    for (const Variant& v : variants) {
+      SCOPED_TRACE(v.name);
+      auto deck = parse_case(c);
+      NewtonOptions opt = tight_options(SparseMode::kSparse);
+      opt.sparse_options = v.options;
+      SimSession sparse(*deck.circuit, opt);
+      ASSERT_TRUE(sparse.uses_sparse_engine());
+      const Unknowns& xs = sparse.solve_or_throw();
+      ASSERT_EQ(xd.size(), xs.size());
+      for (std::size_t i = 0; i < xd.size(); ++i) {
+        EXPECT_NEAR(xd.raw()[i], xs.raw()[i], kAgreeTol)
+            << "unknown " << i << " under ordering variant " << v.name;
       }
     }
   }

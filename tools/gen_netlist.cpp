@@ -1,6 +1,7 @@
 // gen_netlist: emit a synthetic stress deck on stdout.
 //
-//   gen_netlist <ladder|diode-ladder|bjt-ladder|mesh|rc-ladder> <nodes>
+//   gen_netlist <ladder|diode-ladder|bjt-ladder|mesh|rc-ladder|grid|
+//                clock-tree> <nodes>
 //               [seed] [--ac]
 //
 // The decks are the sparse-engine stress workloads (see
@@ -35,7 +36,7 @@ int main(int argc, char** argv) {
     if (positional.size() < 2 || positional.size() > 3) {
       std::fprintf(stderr,
                    "usage: gen_netlist <ladder|diode-ladder|bjt-ladder|mesh|"
-                   "rc-ladder> <nodes> [seed] [--ac]\n");
+                   "rc-ladder|grid|clock-tree> <nodes> [seed] [--ac]\n");
       return 2;
     }
     spec.topology = spice::topology_from_name(positional[0]);
