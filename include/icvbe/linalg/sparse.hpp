@@ -442,6 +442,16 @@ class SparseLuFactorizationT {
     return batch_lanes_;
   }
 
+  /// Toggle the explicit-SIMD batched kernels at runtime (double scalar
+  /// only; Complex always runs the scalar-lane loops). Defaults to on. The
+  /// off position replays the original runtime-K scalar-lane kernel
+  /// verbatim -- results are bit-identical either way, so this is purely a
+  /// measurement hook: bench_lot_statistics flips it for the same-build
+  /// SIMD-vs-scalar A/B gate, and the equivalence tests pin the bitwise
+  /// agreement.
+  void set_batch_simd(bool on) noexcept { batch_simd_ = on; }
+  [[nodiscard]] bool batch_simd() const noexcept { return batch_simd_; }
+
   /// Rough 1-norm condition estimate via |A|_1 * |A^-1 e|_1 probing --
   /// the same +/-1-vector probe the dense LuFactorizationT uses, so the
   /// two engines report comparable numbers on the same system (held to
@@ -469,6 +479,18 @@ class SparseLuFactorizationT {
                                      double pivot_tol, double amax,
                                      bool enforce_screens = true);
   [[nodiscard]] bool pattern_matches(const SparseMatrixT<Scalar>& a) const;
+
+  /// Batched kernel bodies, parameterised over the lane-op policy (the
+  /// scalar-lane baseline or the DPack policies -- see sparse.cpp). Every
+  /// policy performs the same elementwise FP sequence per lane, so the
+  /// instantiations produce bit-identical value planes; refactor_batch /
+  /// solve_batch dispatch on batch_simd_ and the lane count.
+  template <typename Ops>
+  void refactor_batch_kernel(const SparseValueBatchT<Scalar>& batch,
+                             std::vector<unsigned char>& lane_ok,
+                             double pivot_tol);
+  template <typename Ops>
+  void solve_batch_kernel(std::vector<Scalar>& rhs) const;
 
   std::size_t n_ = 0;
   bool analyzed_ = false;
@@ -541,6 +563,7 @@ class SparseLuFactorizationT {
   // independent of the scalar factors so reference refactor() and batch
   // passes coexist.
   std::size_t batch_lanes_ = 0;
+  bool batch_simd_ = true;  ///< runtime kernel toggle (see set_batch_simd)
   std::vector<Scalar> l_val_b_;
   std::vector<Scalar> u_val_b_;
   std::vector<Scalar> udiag_b_;

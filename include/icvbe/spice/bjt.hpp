@@ -81,6 +81,15 @@ class Bjt final : public Device {
   void reset_state() override;
   [[nodiscard]] double power(const Unknowns& x) const override;
 
+  /// The six junction exponentials of one evaluation (transport fwd/rev,
+  /// B-E / B-C leakage, substrate, emitter-side parasitic), batched
+  /// through the session's vectorized safe_exp sweep.
+  static constexpr int kExpArgs = 6;
+  [[nodiscard]] int exp_arg_count() const override { return kExpArgs; }
+  void collect_exp_args(const Unknowns& prev, double* out) override;
+  void stamp_with_exps(Stamper& stamper, const Unknowns& prev,
+                       const double* exps) override;
+
   /// Terminal currents at solution x, positive flowing *into* the terminal
   /// from the node (SPICE convention).
   struct TerminalCurrents {
@@ -120,6 +129,17 @@ class Bjt final : public Device {
     double gbe, gbc, gsub, gsub_e;       // diode conductances
   };
   [[nodiscard]] Eval evaluate(double v1, double v2) const;
+  /// The kExpArgs exponent arguments of an evaluation at (v1, v2), in the
+  /// order stamp_with_exps consumes them.
+  void exp_args(double v1, double v2, double* out) const;
+  /// evaluate() with the junction exponentials precomputed (e[i] =
+  /// safe_exp of exp_args()[i]); evaluate() routes through this so the
+  /// scalar and batched paths share one model body.
+  [[nodiscard]] Eval evaluate_from_exps(double v1, double v2,
+                                        const double* e) const;
+  /// Everything stamp() does after junction limiting and evaluation --
+  /// shared by stamp() and stamp_with_exps().
+  void stamp_core(Stamper& stamper, double v1, double v2, const Eval& ev);
 
   /// The four terminal-current partials d J{c,b,e,s} / d {v1,v2} derived
   /// from an Eval -- the ONE place the Jacobian structure lives, shared

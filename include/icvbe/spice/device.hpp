@@ -66,6 +66,30 @@ class Device {
   /// True if the device is nonlinear (forces Newton iteration).
   [[nodiscard]] virtual bool is_nonlinear() const { return false; }
 
+  // Lane-batched exponential evaluation (BatchDcSession). Junction devices
+  // split one stamp into three phases so a whole lane's exp() arguments can
+  // run through one vectorized safe_exp_many sweep:
+  //   A. collect_exp_args(prev, out) -- run junction limiting against
+  //      `prev` (updating limiting state exactly as stamp() would) and
+  //      write exp_arg_count() exponent arguments to `out`;
+  //   B. the session evaluates safe_exp over every collected argument;
+  //   C. stamp_with_exps(stamper, prev, exps) -- stamp consuming the
+  //      precomputed safe_exp values, same order as written in phase A.
+  // safe_exp_many is element-wise bit-identical to safe_exp, and phases
+  // run in original device order, so the three-phase stamp reproduces
+  // stamp()'s matrix and RHS bit-for-bit.
+
+  /// Number of exp() arguments this device contributes per evaluation
+  /// (0 = device does not participate; stamp() is used directly).
+  [[nodiscard]] virtual int exp_arg_count() const { return 0; }
+  /// Phase A (see above). Only called when exp_arg_count() > 0.
+  virtual void collect_exp_args(const Unknowns& /*prev*/, double* /*out*/) {}
+  /// Phase C (see above). Default falls back to the one-shot stamp().
+  virtual void stamp_with_exps(Stamper& stamper, const Unknowns& prev,
+                               const double* /*exps*/) {
+    stamp(stamper, prev);
+  }
+
   /// Clear iteration state before a fresh solve.
   virtual void reset_state() {}
 

@@ -30,6 +30,13 @@ class Diode final : public Device {
   void reset_state() override;
   [[nodiscard]] double power(const Unknowns& x) const override;
 
+  /// One junction exponential per evaluation, batched through the
+  /// session's vectorized safe_exp sweep.
+  [[nodiscard]] int exp_arg_count() const override { return 1; }
+  void collect_exp_args(const Unknowns& prev, double* out) override;
+  void stamp_with_exps(Stamper& stamper, const Unknowns& prev,
+                       const double* exps) override;
+
   /// Diode current anode -> cathode at solution x.
   [[nodiscard]] double current(const Unknowns& x) const;
 

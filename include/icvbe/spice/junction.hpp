@@ -3,11 +3,21 @@
 // SPICE3 pnjlim junction-voltage limiter that keeps Newton from exploding
 // through the exponential.
 
+#include <cstddef>
+
 namespace icvbe::spice {
 
 /// exp(x) linearised above `cap` so companion conductances stay finite
-/// during wild Newton excursions.
+/// during wild Newton excursions. Computed with common::vexp (<= 4 ulp of
+/// std::exp, see simd.hpp) so the scalar and batched stamping paths share
+/// one exp implementation bit-for-bit.
 [[nodiscard]] double safe_exp(double x, double cap = 200.0);
+
+/// safe_exp over a contiguous array, SIMD packs across elements. Each
+/// element's result is bit-identical to safe_exp(x[i], cap) -- the batched
+/// device-evaluation path depends on that to match the per-die fallback.
+void safe_exp_many(const double* x, double* out, std::size_t n,
+                   double cap = 200.0);
 
 /// SPICE3 pnjlim: limit the new junction voltage `vnew` given the previous
 /// accepted `vold`, thermal voltage `vt` and critical voltage `vcrit`.

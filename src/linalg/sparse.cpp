@@ -3,11 +3,14 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <limits>
 #include <queue>
 #include <set>
 #include <string>
+#include <type_traits>
 
 #include "icvbe/common/error.hpp"
+#include "icvbe/common/simd.hpp"
 
 namespace icvbe::linalg {
 
@@ -197,9 +200,21 @@ const SparseMatrixT<Scalar>& SparseValueBatchT<Scalar>::pattern() const {
 template <typename Scalar>
 void SparseValueBatchT<Scalar>::clear_lane(std::size_t lane) {
   ICVBE_REQUIRE(lane < lanes_, "SparseValueBatch: lane out of range");
+  // Blocked walk: one running pointer, four slots per trip. The naive
+  // v[i * lanes_] form re-derives the address every element and carries a
+  // loop-length dependency the compiler cannot break at runtime K; this
+  // shape is measurably faster at campaign nnz (K = 8, ~4e5 entries).
   Scalar* v = values_.data() + lane;
   const std::size_t nnz = values_.size() / lanes_;
-  for (std::size_t i = 0; i < nnz; ++i) v[i * lanes_] = Scalar{};
+  const std::size_t k = lanes_;
+  std::size_t i = 0;
+  for (; i + 4 <= nnz; i += 4, v += 4 * k) {
+    v[0] = Scalar{};
+    v[k] = Scalar{};
+    v[2 * k] = Scalar{};
+    v[3 * k] = Scalar{};
+  }
+  for (; i < nnz; ++i, v += k) *v = Scalar{};
 }
 
 template <typename Scalar>
@@ -210,7 +225,15 @@ void SparseValueBatchT<Scalar>::load_lane(std::size_t lane,
                 "SparseValueBatch::load_lane: pattern mismatch");
   const std::vector<Scalar>& src = m.values();
   Scalar* v = values_.data() + lane;
-  for (std::size_t i = 0; i < src.size(); ++i) v[i * lanes_] = src[i];
+  const std::size_t k = lanes_;
+  std::size_t i = 0;
+  for (; i + 4 <= src.size(); i += 4, v += 4 * k) {  // blocked, as above
+    v[0] = src[i];
+    v[k] = src[i + 1];
+    v[2 * k] = src[i + 2];
+    v[3 * k] = src[i + 3];
+  }
+  for (; i < src.size(); ++i, v += k) *v = src[i];
 }
 
 template class SparseValueBatchT<double>;
@@ -1268,12 +1291,49 @@ bool SparseLuFactorizationT<Scalar>::refactor_frozen(
         drow[t] = work_[sn + t];
         work_[sn + t] = Scalar{};
       }
-      for (std::size_t jb = 0; jb < kb; ++jb) {
-        const Scalar lv = drow[jb] / sn_val_[jb * bdim + jb];
-        drow[jb] = lv;
-        const Scalar* urow = sn_val_.data() + jb * bdim;
-        for (std::size_t t = jb + 1; t < bdim; ++t) {
-          drow[t] -= lv * urow[t];
+      if constexpr (std::is_same_v<Scalar, double>) {
+        // Phase-split replay: multipliers and the leading (t < kb) updates
+        // stay j-outer, then the trailing columns run t-outer with the
+        // element kept in pack registers across the whole jb sweep -- each
+        // element's subtractions remain in ascending-jb order, so the tiled
+        // kernel is bit-identical to the plain j-outer loop while touching
+        // each trailing element once instead of once per jb.
+        for (std::size_t jb = 0; jb < kb; ++jb) {
+          const double lv = drow[jb] / sn_val_[jb * bdim + jb];
+          drow[jb] = lv;
+          const double* urow = sn_val_.data() + jb * bdim;
+          for (std::size_t t = jb + 1; t < kb; ++t) drow[t] -= lv * urow[t];
+        }
+        using P = common::DPack;
+        constexpr std::size_t W = common::kPackWidth;
+        std::size_t t = kb;
+        for (; t + 2 * W <= bdim; t += 2 * W) {
+          P a0 = P::load(drow + t);
+          P a1 = P::load(drow + t + W);
+          for (std::size_t jb = 0; jb < kb; ++jb) {
+            const P lv = P::broadcast(drow[jb]);
+            const double* urow = sn_val_.data() + jb * bdim;
+            a0 = a0 - lv * P::load(urow + t);
+            a1 = a1 - lv * P::load(urow + t + W);
+          }
+          a0.store(drow + t);
+          a1.store(drow + t + W);
+        }
+        for (; t < bdim; ++t) {
+          double acc = drow[t];
+          for (std::size_t jb = 0; jb < kb; ++jb) {
+            acc -= drow[jb] * sn_val_[jb * bdim + t];
+          }
+          drow[t] = acc;
+        }
+      } else {
+        for (std::size_t jb = 0; jb < kb; ++jb) {
+          const Scalar lv = drow[jb] / sn_val_[jb * bdim + jb];
+          drow[jb] = lv;
+          const Scalar* urow = sn_val_.data() + jb * bdim;
+          for (std::size_t t = jb + 1; t < bdim; ++t) {
+            drow[t] -= lv * urow[t];
+          }
         }
       }
       const Scalar d = drow[kb];
@@ -1302,6 +1362,328 @@ bool SparseLuFactorizationT<Scalar>::refactor_frozen(
   }
   return true;
 }
+
+namespace {
+
+/// Lane-op policy: the original runtime-K scalar-lane loops of the batched
+/// kernel, preserved verbatim. This is the measurable baseline the
+/// explicit-SIMD policy is gated against (set_batch_simd(false) routes the
+/// batched kernels through it), and the only policy the Complex
+/// instantiation uses. Each op is one of the batched kernel's inner loops.
+template <typename Scalar>
+struct ScalarLaneOps {
+  /// Straight row-major supernode replay (no register tiling).
+  static constexpr bool kTiled = false;
+
+  static void copy(Scalar* dst, const Scalar* src, std::size_t K) noexcept {
+    for (std::size_t l = 0; l < K; ++l) dst[l] = src[l];
+  }
+  /// dst[l] += src[l] -- the scatter accumulation.
+  static void add(Scalar* dst, const Scalar* src, std::size_t K) noexcept {
+    for (std::size_t l = 0; l < K; ++l) dst[l] += src[l];
+  }
+  /// dst[t] = src[t]; src[t] = 0 over a flat range (the supernode row
+  /// harvest, length bdim * K).
+  static void take_flat(Scalar* dst, Scalar* src, std::size_t len) noexcept {
+    for (std::size_t t = 0; t < len; ++t) {
+      dst[t] = src[t];
+      src[t] = Scalar{};
+    }
+  }
+  /// lv[l] = wj[l] / dj[l]; wj[l] = 0 -- multiplier harvest.
+  static void div_take(Scalar* lv, Scalar* wj, const Scalar* dj,
+                       std::size_t K) noexcept {
+    for (std::size_t l = 0; l < K; ++l) {
+      lv[l] = wj[l] / dj[l];
+      wj[l] = Scalar{};
+    }
+  }
+  /// w[l] -= lv[l] * uv[l] -- the elimination update.
+  static void submul(Scalar* w, const Scalar* lv, const Scalar* uv,
+                     std::size_t K) noexcept {
+    for (std::size_t l = 0; l < K; ++l) w[l] -= lv[l] * uv[l];
+  }
+  static void div_inplace(Scalar* p, const Scalar* d,
+                          std::size_t K) noexcept {
+    for (std::size_t l = 0; l < K; ++l) p[l] /= d[l];
+  }
+  /// dst[l] = src[l]; src[l] = 0; g[l] = max(g[l], |dst[l]|) -- diagonal
+  /// and U-row harvest with the growth tracker.
+  static void take_absmax(Scalar* dst, Scalar* src, double* g,
+                          std::size_t K) noexcept {
+    for (std::size_t l = 0; l < K; ++l) {
+      dst[l] = src[l];
+      src[l] = Scalar{};
+      g[l] = std::max(g[l], scalar_abs(dst[l]));
+    }
+  }
+  static void copy_absmax(Scalar* dst, const Scalar* src, double* g,
+                          std::size_t K) noexcept {
+    for (std::size_t l = 0; l < K; ++l) {
+      dst[l] = src[l];
+      g[l] = std::max(g[l], scalar_abs(dst[l]));
+    }
+  }
+  static void absmax(double* g, const Scalar* x, std::size_t K) noexcept {
+    for (std::size_t l = 0; l < K; ++l) {
+      g[l] = std::max(g[l], scalar_abs(x[l]));
+    }
+  }
+  /// Input screen: finiteness into ok, magnitude maxima into amax / cm.
+  static void screen_input(unsigned char* ok, const Scalar* v, double* amax,
+                           double* cm, std::size_t K) noexcept {
+    for (std::size_t l = 0; l < K; ++l) {
+      ok[l] = static_cast<unsigned char>(
+          ok[l] & static_cast<unsigned char>(scalar_is_finite(v[l])));
+      const double m = scalar_abs(v[l]);
+      amax[l] = std::max(amax[l], m);
+      cm[l] = std::max(cm[l], m);
+    }
+  }
+  /// Per-step acceptance: pivot above its column's scale, growth bounded.
+  /// The inverted comparison rejects NaN.
+  static void screen_pivot(unsigned char* ok, const Scalar* dk,
+                           const double* cm, const double* g,
+                           const double* cap, double pivot_tol,
+                           std::size_t K) noexcept {
+    for (std::size_t l = 0; l < K; ++l) {
+      ok[l] = static_cast<unsigned char>(
+          ok[l] &
+          static_cast<unsigned char>(scalar_abs(dk[l]) > pivot_tol * cm[l]) &
+          static_cast<unsigned char>(!(g[l] > cap[l])));
+    }
+  }
+};
+
+/// Lane-op policy: explicit SIMD over the lane-fastest planes, double
+/// scalar only. Each op walks the lane dimension in DPack packs with a
+/// scalar tail; all pack arithmetic is elementwise and FMA-free (see
+/// simd.hpp), so every lane's FP sequence is exactly ScalarLaneOps' and
+/// the planes come out bit-identical.
+///
+/// KC > 0 pins the lane count at compile time: refactor_batch dispatches
+/// the common K = 4 / 8 / 16 shapes so these loops fully unroll. At
+/// bandgap-cell sizes (n ~ 7, rows of 2-3 entries) the runtime-K loop
+/// control -- counter, compare, and the alias versioning the
+/// auto-vectorizer has to emit -- costs as much as the arithmetic, and
+/// unrolling is where most of the batched SIMD win comes from. KC == 0
+/// serves any other lane count.
+template <std::size_t KC>
+struct PackLaneOps {
+  /// Supernode rows run the register-tiled phase-split replay.
+  static constexpr bool kTiled = true;
+  using P = common::DPack;
+  static constexpr std::size_t W = common::kPackWidth;
+
+  static constexpr std::size_t lanes(std::size_t K) noexcept {
+    return KC != 0 ? KC : K;
+  }
+  static constexpr std::size_t packed(std::size_t K) noexcept {
+    return lanes(K) & ~(W - 1);
+  }
+
+  static void copy(double* dst, const double* src, std::size_t K) noexcept {
+    const std::size_t n = lanes(K);
+    const std::size_t m = packed(K);
+    for (std::size_t p = 0; p < m; p += W) P::load(src + p).store(dst + p);
+    for (std::size_t l = m; l < n; ++l) dst[l] = src[l];
+  }
+  static void add(double* dst, const double* src, std::size_t K) noexcept {
+    const std::size_t n = lanes(K);
+    const std::size_t m = packed(K);
+    for (std::size_t p = 0; p < m; p += W) {
+      (P::load(dst + p) + P::load(src + p)).store(dst + p);
+    }
+    for (std::size_t l = m; l < n; ++l) dst[l] += src[l];
+  }
+  static void take_flat(double* dst, double* src, std::size_t len) noexcept {
+    const std::size_t m = len & ~(W - 1);
+    const P z = P::zero();
+    for (std::size_t t = 0; t < m; t += W) {
+      P::load(src + t).store(dst + t);
+      z.store(src + t);
+    }
+    for (std::size_t t = m; t < len; ++t) {
+      dst[t] = src[t];
+      src[t] = 0.0;
+    }
+  }
+  static void div_take(double* lv, double* wj, const double* dj,
+                       std::size_t K) noexcept {
+    const std::size_t n = lanes(K);
+    const std::size_t m = packed(K);
+    const P z = P::zero();
+    for (std::size_t p = 0; p < m; p += W) {
+      (P::load(wj + p) / P::load(dj + p)).store(lv + p);
+      z.store(wj + p);
+    }
+    for (std::size_t l = m; l < n; ++l) {
+      lv[l] = wj[l] / dj[l];
+      wj[l] = 0.0;
+    }
+  }
+  static void submul(double* w, const double* lv, const double* uv,
+                     std::size_t K) noexcept {
+    const std::size_t n = lanes(K);
+    const std::size_t m = packed(K);
+    for (std::size_t p = 0; p < m; p += W) {
+      (P::load(w + p) - P::load(lv + p) * P::load(uv + p)).store(w + p);
+    }
+    for (std::size_t l = m; l < n; ++l) w[l] -= lv[l] * uv[l];
+  }
+  static void div_inplace(double* p, const double* d,
+                          std::size_t K) noexcept {
+    const std::size_t n = lanes(K);
+    const std::size_t m = packed(K);
+    for (std::size_t q = 0; q < m; q += W) {
+      (P::load(p + q) / P::load(d + q)).store(p + q);
+    }
+    for (std::size_t l = m; l < n; ++l) p[l] /= d[l];
+  }
+  static void take_absmax(double* dst, double* src, double* g,
+                          std::size_t K) noexcept {
+    const std::size_t n = lanes(K);
+    const std::size_t m = packed(K);
+    const P z = P::zero();
+    for (std::size_t p = 0; p < m; p += W) {
+      const P v = P::load(src + p);
+      v.store(dst + p);
+      z.store(src + p);
+      P::max(P::load(g + p), P::abs(v)).store(g + p);
+    }
+    for (std::size_t l = m; l < n; ++l) {
+      dst[l] = src[l];
+      src[l] = 0.0;
+      g[l] = std::max(g[l], std::abs(dst[l]));
+    }
+  }
+  static void copy_absmax(double* dst, const double* src, double* g,
+                          std::size_t K) noexcept {
+    const std::size_t n = lanes(K);
+    const std::size_t m = packed(K);
+    for (std::size_t p = 0; p < m; p += W) {
+      const P v = P::load(src + p);
+      v.store(dst + p);
+      P::max(P::load(g + p), P::abs(v)).store(g + p);
+    }
+    for (std::size_t l = m; l < n; ++l) {
+      dst[l] = src[l];
+      g[l] = std::max(g[l], std::abs(dst[l]));
+    }
+  }
+  static void absmax(double* g, const double* x, std::size_t K) noexcept {
+    const std::size_t n = lanes(K);
+    const std::size_t m = packed(K);
+    for (std::size_t p = 0; p < m; p += W) {
+      P::max(P::load(g + p), P::abs(P::load(x + p))).store(g + p);
+    }
+    for (std::size_t l = m; l < n; ++l) {
+      g[l] = std::max(g[l], std::abs(x[l]));
+    }
+  }
+  static void screen_input(unsigned char* ok, const double* v, double* amax,
+                           double* cm, std::size_t K) noexcept {
+    const std::size_t n = lanes(K);
+    const std::size_t m = packed(K);
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    for (std::size_t p = 0; p < m; p += W) {
+      const P a = P::abs(P::load(v + p));
+      P::max(P::load(amax + p), a).store(amax + p);
+      P::max(P::load(cm + p), a).store(cm + p);
+      for (std::size_t i = 0; i < W; ++i) {
+        // |v| < inf is the finiteness test (|NaN| < inf is false).
+        ok[p + i] = static_cast<unsigned char>(
+            ok[p + i] & static_cast<unsigned char>(a[i] < kInf));
+      }
+    }
+    for (std::size_t l = m; l < n; ++l) {
+      ok[l] = static_cast<unsigned char>(
+          ok[l] & static_cast<unsigned char>(std::isfinite(v[l])));
+      const double x = std::abs(v[l]);
+      amax[l] = std::max(amax[l], x);
+      cm[l] = std::max(cm[l], x);
+    }
+  }
+  static void screen_pivot(unsigned char* ok, const double* dk,
+                           const double* cm, const double* g,
+                           const double* cap, double pivot_tol,
+                           std::size_t K) noexcept {
+    // Once per elimination step, result is bytes: scalar is the right tool.
+    const std::size_t n = lanes(K);
+    for (std::size_t l = 0; l < n; ++l) {
+      ok[l] = static_cast<unsigned char>(
+          ok[l] &
+          static_cast<unsigned char>(std::abs(dk[l]) > pivot_tol * cm[l]) &
+          static_cast<unsigned char>(!(g[l] > cap[l])));
+    }
+  }
+
+  /// Register-tiled trailing supernode update (t >= kb), the BLAS-3-style
+  /// half of the phase-split replay: t-outer / jb-inner with the row kept
+  /// in pack accumulators across the whole jb sweep, so each element is
+  /// loaded and stored once instead of once per jb. Per element the
+  /// subtraction sequence is jb ascending -- exactly the j-outer loop's
+  /// order -- so the phase split does not move a single rounding.
+  static void supernode_trailing(double* drow, const double* snb,
+                                 std::size_t kb, std::size_t bdim,
+                                 std::size_t K) noexcept {
+    if constexpr (KC != 0) {
+      static_assert(KC % W == 0);
+      constexpr std::size_t Q = KC / W;
+      // 2-wide t-tile: each multiplier pack serves two output elements, so
+      // the jb sweep loads lv once instead of twice. Lanes stay elementwise
+      // and each element's jb order is still ascending -- no rounding moves.
+      std::size_t t = kb;
+      for (; t + 2 <= bdim; t += 2) {
+        double* w0 = drow + t * KC;
+        double* w1 = w0 + KC;
+        P a0[Q];
+        P a1[Q];
+        for (std::size_t q = 0; q < Q; ++q) {
+          a0[q] = P::load(w0 + q * W);
+          a1[q] = P::load(w1 + q * W);
+        }
+        for (std::size_t jb = 0; jb < kb; ++jb) {
+          const double* lv = drow + jb * KC;
+          const double* uv = snb + (jb * bdim + t) * KC;
+          for (std::size_t q = 0; q < Q; ++q) {
+            const P m = P::load(lv + q * W);
+            a0[q] = a0[q] - m * P::load(uv + q * W);
+            a1[q] = a1[q] - m * P::load(uv + KC + q * W);
+          }
+        }
+        for (std::size_t q = 0; q < Q; ++q) {
+          a0[q].store(w0 + q * W);
+          a1[q].store(w1 + q * W);
+        }
+      }
+      for (; t < bdim; ++t) {
+        double* wt = drow + t * KC;
+        P acc[Q];
+        for (std::size_t q = 0; q < Q; ++q) acc[q] = P::load(wt + q * W);
+        for (std::size_t jb = 0; jb < kb; ++jb) {
+          const double* lv = drow + jb * KC;
+          const double* uv = snb + (jb * bdim + t) * KC;
+          for (std::size_t q = 0; q < Q; ++q) {
+            acc[q] = acc[q] - P::load(lv + q * W) * P::load(uv + q * W);
+          }
+        }
+        for (std::size_t q = 0; q < Q; ++q) acc[q].store(wt + q * W);
+      }
+    } else {
+      // Runtime K: no compile-time accumulator count, so accumulate in
+      // place -- same per-element op order, one extra load/store per jb.
+      for (std::size_t t = kb; t < bdim; ++t) {
+        double* wt = drow + t * K;
+        for (std::size_t jb = 0; jb < kb; ++jb) {
+          submul(wt, drow + jb * K, snb + (jb * bdim + t) * K, K);
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
 
 template <typename Scalar>
 void SparseLuFactorizationT<Scalar>::refactor_batch(
@@ -1342,6 +1724,41 @@ void SparseLuFactorizationT<Scalar>::refactor_batch(
   std::fill(amax_b_.begin(), amax_b_.end(), 0.0);
   std::fill(gmax_b_.begin(), gmax_b_.end(), 0.0);
 
+  // Kernel selection. Real-valued batches take the pack policy (explicit
+  // SIMD across the lane planes) with the common lane counts pinned at
+  // compile time so the per-slot K-loops unroll flat -- at bandgap-cell
+  // row sizes the loop control would otherwise cost as much as the
+  // arithmetic. Complex batches and the runtime A/B baseline
+  // (set_batch_simd(false)) take the scalar-lane policy, which is the
+  // pre-SIMD kernel verbatim. Both policies run the identical per-lane FP
+  // sequence, so the choice never changes a bit of the factors.
+  if constexpr (std::is_same_v<Scalar, double>) {
+    if (batch_simd_) {
+      switch (K) {
+        case 4:
+          refactor_batch_kernel<PackLaneOps<4>>(batch, lane_ok, pivot_tol);
+          return;
+        case 8:
+          refactor_batch_kernel<PackLaneOps<8>>(batch, lane_ok, pivot_tol);
+          return;
+        case 16:
+          refactor_batch_kernel<PackLaneOps<16>>(batch, lane_ok, pivot_tol);
+          return;
+        default:
+          refactor_batch_kernel<PackLaneOps<0>>(batch, lane_ok, pivot_tol);
+          return;
+      }
+    }
+  }
+  refactor_batch_kernel<ScalarLaneOps<Scalar>>(batch, lane_ok, pivot_tol);
+}
+
+template <typename Scalar>
+template <typename Ops>
+void SparseLuFactorizationT<Scalar>::refactor_batch_kernel(
+    const SparseValueBatchT<Scalar>& batch,
+    std::vector<unsigned char>& lane_ok, double pivot_tol) {
+  const std::size_t K = batch.lanes();
   // Per-lane input screen: the batched twin of refactor()'s prologue.
   // Non-finite values or an all-zero matrix fail the lane (where the
   // scalar path throws); the same pass fills the per-lane column maxima
@@ -1350,15 +1767,9 @@ void SparseLuFactorizationT<Scalar>::refactor_batch(
   const std::vector<Scalar>& vals = batch.values();
   const std::size_t nnz = vals.size() / K;
   for (std::size_t i = 0; i < nnz; ++i) {
-    const Scalar* v = vals.data() + i * K;
-    double* cm = colmax_b_.data() + static_cast<std::size_t>(cols[i]) * K;
-    for (std::size_t l = 0; l < K; ++l) {
-      lane_ok[l] = static_cast<unsigned char>(
-          lane_ok[l] & static_cast<unsigned char>(scalar_is_finite(v[l])));
-      const double m = scalar_abs(v[l]);
-      amax_b_[l] = std::max(amax_b_[l], m);
-      cm[l] = std::max(cm[l], m);
-    }
+    Ops::screen_input(
+        lane_ok.data(), vals.data() + i * K, amax_b_.data(),
+        colmax_b_.data() + static_cast<std::size_t>(cols[i]) * K, K);
   }
   for (std::size_t l = 0; l < K; ++l) {
     lane_ok[l] =
@@ -1378,59 +1789,43 @@ void SparseLuFactorizationT<Scalar>::refactor_batch(
   const std::size_t bdim = n_ - sn;
   // Raw per-lane copies of the unfactored cross-block entries.
   for (std::size_t t = 0; t < off_a_idx_.size(); ++t) {
-    const Scalar* v =
-        vals.data() + static_cast<std::size_t>(off_a_idx_[t]) * K;
-    Scalar* ov = off_val_b_.data() + t * K;
-    for (std::size_t l = 0; l < K; ++l) ov[l] = v[l];
+    Ops::copy(off_val_b_.data() + t * K,
+              vals.data() + static_cast<std::size_t>(off_a_idx_[t]) * K, K);
   }
   for (std::size_t k = 0; k < n_; ++k) {
     const std::size_t r = static_cast<std::size_t>(rperm_[k]);
     for (int i = row_ptr[r]; i < row_ptr[r + 1]; ++i) {
       const int s = astep_[static_cast<std::size_t>(i)];
       if (s < 0) continue;
-      Scalar* w = work_b_.data() + static_cast<std::size_t>(s) * K;
-      const Scalar* v = vals.data() + static_cast<std::size_t>(i) * K;
-      for (std::size_t l = 0; l < K; ++l) w[l] += v[l];
+      Ops::add(work_b_.data() + static_cast<std::size_t>(s) * K,
+               vals.data() + static_cast<std::size_t>(i) * K, K);
     }
     Scalar* dk = udiag_b_.data() + k * K;
     if (k < sn) {
       for (int li = l_ptr_[k]; li < l_ptr_[k + 1]; ++li) {
         const std::size_t j =
             static_cast<std::size_t>(l_step_[static_cast<std::size_t>(li)]);
-        Scalar* wj = work_b_.data() + j * K;
         Scalar* lv = l_val_b_.data() + static_cast<std::size_t>(li) * K;
-        const Scalar* dj = udiag_b_.data() + j * K;
-        for (std::size_t l = 0; l < K; ++l) {
-          lv[l] = wj[l] / dj[l];
-          wj[l] = Scalar{};
-        }
+        Ops::div_take(lv, work_b_.data() + j * K, udiag_b_.data() + j * K,
+                      K);
         for (int ui = u_ptr_[j]; ui < u_ptr_[j + 1]; ++ui) {
-          Scalar* wu =
+          Ops::submul(
               work_b_.data() +
-              static_cast<std::size_t>(u_step_[static_cast<std::size_t>(ui)]) *
-                  K;
-          const Scalar* uv =
-              u_val_b_.data() + static_cast<std::size_t>(ui) * K;
-          for (std::size_t l = 0; l < K; ++l) wu[l] -= lv[l] * uv[l];
+                  static_cast<std::size_t>(
+                      u_step_[static_cast<std::size_t>(ui)]) *
+                      K,
+              lv, u_val_b_.data() + static_cast<std::size_t>(ui) * K, K);
         }
       }
-      Scalar* wd = work_b_.data() + k * K;
-      for (std::size_t l = 0; l < K; ++l) {
-        dk[l] = wd[l];
-        wd[l] = Scalar{};
-        gmax_b_[l] = std::max(gmax_b_[l], scalar_abs(dk[l]));
-      }
+      Ops::take_absmax(dk, work_b_.data() + k * K, gmax_b_.data(), K);
       for (int ui = u_ptr_[k]; ui < u_ptr_[k + 1]; ++ui) {
-        Scalar* wu =
+        Ops::take_absmax(
+            u_val_b_.data() + static_cast<std::size_t>(ui) * K,
             work_b_.data() +
-            static_cast<std::size_t>(u_step_[static_cast<std::size_t>(ui)]) *
-                K;
-        Scalar* uv = u_val_b_.data() + static_cast<std::size_t>(ui) * K;
-        for (std::size_t l = 0; l < K; ++l) {
-          uv[l] = wu[l];
-          gmax_b_[l] = std::max(gmax_b_[l], scalar_abs(uv[l]));
-          wu[l] = Scalar{};
-        }
+                static_cast<std::size_t>(
+                    u_step_[static_cast<std::size_t>(ui)]) *
+                    K,
+            gmax_b_.data(), K);
       }
     } else {
       // Dense supernode row, K lanes in lockstep -- per lane this is
@@ -1441,80 +1836,66 @@ void SparseLuFactorizationT<Scalar>::refactor_batch(
         const std::size_t j =
             static_cast<std::size_t>(l_step_[static_cast<std::size_t>(li)]);
         if (j >= sn) break;
-        Scalar* wj = work_b_.data() + j * K;
         Scalar* lv = l_val_b_.data() + static_cast<std::size_t>(li) * K;
-        const Scalar* dj = udiag_b_.data() + j * K;
-        for (std::size_t l = 0; l < K; ++l) {
-          lv[l] = wj[l] / dj[l];
-          wj[l] = Scalar{};
-        }
+        Ops::div_take(lv, work_b_.data() + j * K, udiag_b_.data() + j * K,
+                      K);
         for (int ui = u_ptr_[j]; ui < u_ptr_[j + 1]; ++ui) {
-          Scalar* wu =
+          Ops::submul(
               work_b_.data() +
-              static_cast<std::size_t>(u_step_[static_cast<std::size_t>(ui)]) *
-                  K;
-          const Scalar* uv =
-              u_val_b_.data() + static_cast<std::size_t>(ui) * K;
-          for (std::size_t l = 0; l < K; ++l) wu[l] -= lv[l] * uv[l];
+                  static_cast<std::size_t>(
+                      u_step_[static_cast<std::size_t>(ui)]) *
+                      K,
+              lv, u_val_b_.data() + static_cast<std::size_t>(ui) * K, K);
         }
       }
       Scalar* drow = sn_val_b_.data() + kb * bdim * K;
-      Scalar* wrow = work_b_.data() + sn * K;
-      for (std::size_t t = 0; t < bdim * K; ++t) {
-        drow[t] = wrow[t];
-        wrow[t] = Scalar{};
-      }
-      for (std::size_t jb = 0; jb < kb; ++jb) {
-        Scalar* lv = drow + jb * K;
-        const Scalar* piv = sn_val_b_.data() + (jb * bdim + jb) * K;
-        for (std::size_t l = 0; l < K; ++l) lv[l] /= piv[l];
-        const Scalar* urow = sn_val_b_.data() + jb * bdim * K;
-        for (std::size_t t = jb + 1; t < bdim; ++t) {
-          Scalar* w = drow + t * K;
-          const Scalar* uv = urow + t * K;
-          for (std::size_t l = 0; l < K; ++l) w[l] -= lv[l] * uv[l];
+      Ops::take_flat(drow, work_b_.data() + sn * K, bdim * K);
+      if constexpr (Ops::kTiled) {
+        // Phase-split replay: multipliers and the leading (t < kb) updates
+        // j-outer as before, then the trailing block register-tiled
+        // t-outer (see supernode_trailing for the bit-identity argument).
+        for (std::size_t jb = 0; jb < kb; ++jb) {
+          Scalar* lv = drow + jb * K;
+          Ops::div_inplace(lv, sn_val_b_.data() + (jb * bdim + jb) * K, K);
+          const Scalar* urow = sn_val_b_.data() + jb * bdim * K;
+          for (std::size_t t = jb + 1; t < kb; ++t) {
+            Ops::submul(drow + t * K, lv, urow + t * K, K);
+          }
+        }
+        Ops::supernode_trailing(drow, sn_val_b_.data(), kb, bdim, K);
+      } else {
+        for (std::size_t jb = 0; jb < kb; ++jb) {
+          Scalar* lv = drow + jb * K;
+          Ops::div_inplace(lv, sn_val_b_.data() + (jb * bdim + jb) * K, K);
+          const Scalar* urow = sn_val_b_.data() + jb * bdim * K;
+          for (std::size_t t = jb + 1; t < bdim; ++t) {
+            Ops::submul(drow + t * K, lv, urow + t * K, K);
+          }
         }
       }
-      const Scalar* dd = drow + kb * K;
-      for (std::size_t l = 0; l < K; ++l) {
-        dk[l] = dd[l];
-        gmax_b_[l] = std::max(gmax_b_[l], scalar_abs(dk[l]));
-      }
+      Ops::copy_absmax(dk, drow + kb * K, gmax_b_.data(), K);
       for (std::size_t t = kb + 1; t < bdim; ++t) {
-        const Scalar* w = drow + t * K;
-        for (std::size_t l = 0; l < K; ++l) {
-          gmax_b_[l] = std::max(gmax_b_[l], scalar_abs(w[l]));
-        }
+        Ops::absmax(gmax_b_.data(), drow + t * K, K);
       }
     }
-    const double* cm =
-        colmax_b_.data() + static_cast<std::size_t>(cperm_[k]) * K;
-    for (std::size_t l = 0; l < K; ++l) {
-      // Same acceptance as the scalar frozen pass: pivot above its own
-      // column's scale, growth bounded (amax_b_ now holds the cap). The
-      // inverted comparison rejects NaN.
-      lane_ok[l] = static_cast<unsigned char>(
-          lane_ok[l] &
-          static_cast<unsigned char>(scalar_abs(dk[l]) >
-                                     pivot_tol * cm[l]) &
-          static_cast<unsigned char>(!(gmax_b_[l] > amax_b_[l])));
-    }
+    // Same acceptance as the scalar frozen pass: pivot above its own
+    // column's scale, growth bounded (amax_b_ now holds the cap).
+    Ops::screen_pivot(lane_ok.data(), dk,
+                      colmax_b_.data() +
+                          static_cast<std::size_t>(cperm_[k]) * K,
+                      gmax_b_.data(), amax_b_.data(), pivot_tol, K);
   }
   // Mirror the dense block planes back into the flat factor planes, as
   // the scalar frozen pass does for its factor arrays.
   for (std::size_t t = 0; t < sn_l_idx_.size(); ++t) {
-    Scalar* dst =
-        l_val_b_.data() + static_cast<std::size_t>(sn_l_idx_[t]) * K;
-    const Scalar* src =
-        sn_val_b_.data() + static_cast<std::size_t>(sn_l_pos_[t]) * K;
-    for (std::size_t l = 0; l < K; ++l) dst[l] = src[l];
+    Ops::copy(l_val_b_.data() + static_cast<std::size_t>(sn_l_idx_[t]) * K,
+              sn_val_b_.data() + static_cast<std::size_t>(sn_l_pos_[t]) * K,
+              K);
   }
   for (std::size_t t = 0; t < sn_u_idx_.size(); ++t) {
-    Scalar* dst =
-        u_val_b_.data() + static_cast<std::size_t>(sn_u_idx_[t]) * K;
-    const Scalar* src =
-        sn_val_b_.data() + static_cast<std::size_t>(sn_u_pos_[t]) * K;
-    for (std::size_t l = 0; l < K; ++l) dst[l] = src[l];
+    Ops::copy(u_val_b_.data() + static_cast<std::size_t>(sn_u_idx_[t]) * K,
+              sn_val_b_.data() + static_cast<std::size_t>(sn_u_pos_[t]) * K,
+              K);
   }
 }
 
@@ -1524,15 +1905,39 @@ void SparseLuFactorizationT<Scalar>::solve_batch(
   ICVBE_REQUIRE(batch_lanes_ > 0, "sparse LU batch: refactor_batch() first");
   ICVBE_REQUIRE(rhs.size() == n_ * batch_lanes_,
                 "sparse LU batch solve: rhs size mismatch");
+  // Same kernel selection as refactor_batch (see the comment there).
+  if constexpr (std::is_same_v<Scalar, double>) {
+    if (batch_simd_) {
+      switch (batch_lanes_) {
+        case 4:
+          solve_batch_kernel<PackLaneOps<4>>(rhs);
+          return;
+        case 8:
+          solve_batch_kernel<PackLaneOps<8>>(rhs);
+          return;
+        case 16:
+          solve_batch_kernel<PackLaneOps<16>>(rhs);
+          return;
+        default:
+          solve_batch_kernel<PackLaneOps<0>>(rhs);
+          return;
+      }
+    }
+  }
+  solve_batch_kernel<ScalarLaneOps<Scalar>>(rhs);
+}
+
+template <typename Scalar>
+template <typename Ops>
+void SparseLuFactorizationT<Scalar>::solve_batch_kernel(
+    std::vector<Scalar>& rhs) const {
   const std::size_t K = batch_lanes_;
   // Per lane this is exactly solve_in_place's operation sequence (the
   // running accumulator becomes in-place updates applied in the same
   // order, which is the same FP sequence).
   for (std::size_t k = 0; k < n_; ++k) {
-    const Scalar* src =
-        rhs.data() + static_cast<std::size_t>(rperm_[k]) * K;
-    Scalar* dst = perm_b_.data() + k * K;
-    for (std::size_t l = 0; l < K; ++l) dst[l] = src[l];
+    Ops::copy(perm_b_.data() + k * K,
+              rhs.data() + static_cast<std::size_t>(rperm_[k]) * K, K);
   }
   // Block back-substitution mirroring solve_in_place, K lanes per step.
   for (std::size_t b = bstep_ptr_.size() - 1; b-- > 0;) {
@@ -1541,46 +1946,44 @@ void SparseLuFactorizationT<Scalar>::solve_batch(
     for (std::size_t k = lo; k < hi; ++k) {
       Scalar* pk = perm_b_.data() + k * K;
       for (int t = off_ptr_[k]; t < off_ptr_[k + 1]; ++t) {
-        const Scalar* ov =
-            off_val_b_.data() + static_cast<std::size_t>(t) * K;
-        const Scalar* po =
+        Ops::submul(
+            pk, off_val_b_.data() + static_cast<std::size_t>(t) * K,
             perm_b_.data() +
-            static_cast<std::size_t>(off_step_[static_cast<std::size_t>(t)]) *
-                K;
-        for (std::size_t l = 0; l < K; ++l) pk[l] -= ov[l] * po[l];
+                static_cast<std::size_t>(
+                    off_step_[static_cast<std::size_t>(t)]) *
+                    K,
+            K);
       }
     }
     for (std::size_t k = lo; k < hi; ++k) {
       Scalar* pk = perm_b_.data() + k * K;
       for (int li = l_ptr_[k]; li < l_ptr_[k + 1]; ++li) {
-        const Scalar* lv =
-            l_val_b_.data() + static_cast<std::size_t>(li) * K;
-        const Scalar* pj =
+        Ops::submul(
+            pk, l_val_b_.data() + static_cast<std::size_t>(li) * K,
             perm_b_.data() +
-            static_cast<std::size_t>(l_step_[static_cast<std::size_t>(li)]) *
-                K;
-        for (std::size_t l = 0; l < K; ++l) pk[l] -= lv[l] * pj[l];
+                static_cast<std::size_t>(
+                    l_step_[static_cast<std::size_t>(li)]) *
+                    K,
+            K);
       }
     }
     for (std::size_t ki = hi; ki-- > lo;) {
       Scalar* pk = perm_b_.data() + ki * K;
       for (int ui = u_ptr_[ki]; ui < u_ptr_[ki + 1]; ++ui) {
-        const Scalar* uv =
-            u_val_b_.data() + static_cast<std::size_t>(ui) * K;
-        const Scalar* pu =
+        Ops::submul(
+            pk, u_val_b_.data() + static_cast<std::size_t>(ui) * K,
             perm_b_.data() +
-            static_cast<std::size_t>(u_step_[static_cast<std::size_t>(ui)]) *
-                K;
-        for (std::size_t l = 0; l < K; ++l) pk[l] -= uv[l] * pu[l];
+                static_cast<std::size_t>(
+                    u_step_[static_cast<std::size_t>(ui)]) *
+                    K,
+            K);
       }
-      const Scalar* dk = udiag_b_.data() + ki * K;
-      for (std::size_t l = 0; l < K; ++l) pk[l] /= dk[l];
+      Ops::div_inplace(pk, udiag_b_.data() + ki * K, K);
     }
   }
   for (std::size_t k = 0; k < n_; ++k) {
-    const Scalar* src = perm_b_.data() + k * K;
-    Scalar* dst = rhs.data() + static_cast<std::size_t>(cperm_[k]) * K;
-    for (std::size_t l = 0; l < K; ++l) dst[l] = src[l];
+    Ops::copy(rhs.data() + static_cast<std::size_t>(cperm_[k]) * K,
+              perm_b_.data() + k * K, K);
   }
 }
 

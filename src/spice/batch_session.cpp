@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "icvbe/common/error.hpp"
+#include "icvbe/spice/junction.hpp"
 #include "icvbe/spice/stamper.hpp"
 
 namespace icvbe::spice {
@@ -51,6 +52,28 @@ BatchDcSession::BatchDcSession(std::vector<Circuit*> lanes,
 
   slu_.set_options(options_.sparse_options);
   batch_.bind(sa_, k);
+
+  // Offsets for the lane-batched exponential sweep, from lane 0's device
+  // order; the same-topology contract extends to every lane's device
+  // sequence contributing the same exp counts (checked below).
+  exp_off_.resize(bound_device_count_ + 1);
+  std::size_t off = 0;
+  const auto& devs0 = lanes_[0]->devices();
+  for (std::size_t d = 0; d < bound_device_count_; ++d) {
+    exp_off_[d] = off;
+    off += static_cast<std::size_t>(std::max(0, devs0[d]->exp_arg_count()));
+  }
+  exp_off_[bound_device_count_] = off;
+  exp_stride_ = off;
+  for (std::size_t l = 1; l < k; ++l) {
+    const auto& devs = lanes_[l]->devices();
+    for (std::size_t d = 0; d < bound_device_count_; ++d) {
+      ICVBE_REQUIRE(devs[d]->exp_arg_count() == devs0[d]->exp_arg_count(),
+                    "BatchDcSession: lanes must share one device sequence");
+    }
+  }
+  exp_args_.assign(exp_stride_ * k, 0.0);
+  exp_vals_.assign(exp_stride_ * k, 0.0);
 }
 
 void BatchDcSession::prime(std::size_t reference_lane) {
@@ -124,15 +147,37 @@ void BatchDcSession::solve_active() {
   if (!primed()) prime(first_active);
 
   for (int iter = 0; iter < opt.max_iterations && live_count > 0; ++iter) {
-    // Stamp every live lane's value plane and RHS at its own iterate.
+    // Stamp every live lane's value plane and RHS at its own iterate,
+    // with the junction exponentials batched: collect every device's exp
+    // arguments (phase A, runs the limiting exactly as stamp() would),
+    // evaluate them in one vectorized sweep (phase B), then stamp in
+    // original device order consuming the precomputed values (phase C).
+    // safe_exp_many is element-wise bit-identical to safe_exp and the
+    // stamp order is unchanged, so the assembled system matches the
+    // one-shot stamp() path bit-for-bit.
     for (std::size_t l = 0; l < k; ++l) {
       if (!live_[l]) continue;
       ++status_[l].iterations;
       linalg::MatrixView a(batch_, l);
       a.fill(0.0);
       std::fill(b_lane_[l].begin(), b_lane_[l].end(), 0.0);
+      const auto& devs = lanes_[l]->devices();
+      double* args = exp_args_.data() + l * exp_stride_;
+      for (std::size_t d = 0; d < devs.size(); ++d) {
+        if (exp_off_[d + 1] != exp_off_[d]) {
+          devs[d]->collect_exp_args(x_[l], args + exp_off_[d]);
+        }
+      }
+      double* vals = exp_vals_.data() + l * exp_stride_;
+      safe_exp_many(args, vals, exp_stride_);
       Stamper st(a, b_lane_[l], node_unknowns);
-      for (const auto& dev : lanes_[l]->devices()) dev->stamp(st, x_[l]);
+      for (std::size_t d = 0; d < devs.size(); ++d) {
+        if (exp_off_[d + 1] != exp_off_[d]) {
+          devs[d]->stamp_with_exps(st, x_[l], vals + exp_off_[d]);
+        } else {
+          devs[d]->stamp(st, x_[l]);
+        }
+      }
       for (int i = 0; i < node_unknowns; ++i) {
         st.add_entry(i, i, opt.gmin_floor);
       }

@@ -101,7 +101,25 @@ void Bjt::reset_state() {
   v2_state_ = 0.0;
 }
 
+void Bjt::exp_args(double v1, double v2, double* out) const {
+  out[0] = v1 / (model_.nf * vt_);
+  out[1] = v2 / (model_.nr * vt_);
+  out[2] = v1 / (model_.ne * vt_);
+  out[3] = v2 / (model_.nc * vt_);
+  out[4] = v2 / (model_.ns * vt_);
+  out[5] = v1 / (model_.ns_e * vt_);
+}
+
 Bjt::Eval Bjt::evaluate(double v1, double v2) const {
+  double args[kExpArgs];
+  double exps[kExpArgs];
+  exp_args(v1, v2, args);
+  for (int i = 0; i < kExpArgs; ++i) exps[i] = safe_exp(args[i]);
+  return evaluate_from_exps(v1, v2, exps);
+}
+
+Bjt::Eval Bjt::evaluate_from_exps(double v1, double v2,
+                                  const double* e) const {
   Eval ev{};
   const double nf_vt = model_.nf * vt_;
   const double nr_vt = model_.nr * vt_;
@@ -109,8 +127,8 @@ Bjt::Eval Bjt::evaluate(double v1, double v2) const {
   const double nc_vt = model_.nc * vt_;
   const double ns_vt = model_.ns * vt_;
 
-  const double e1 = safe_exp(v1 / nf_vt);
-  const double e2 = safe_exp(v2 / nr_vt);
+  const double e1 = e[0];
+  const double e2 = e[1];
 
   // Base-width modulation: 1/qb ~ (1 - v1/VAR - v2/VAF), clamped away from
   // zero so wild iterates cannot flip the sign of the transport current.
@@ -136,8 +154,8 @@ Bjt::Eval Bjt::evaluate(double v1, double v2) const {
   ev.git1 = (is_t_ * e1 / nf_vt) * kqb + (itf - itr) * dkqb_dv1;
   ev.git2 = -(is_t_ * e2 / nr_vt) * kqb + (itf - itr) * dkqb_dv2;
 
-  const double ebe_l = (ise_t_ > 0.0) ? safe_exp(v1 / ne_vt) : 0.0;
-  const double ebc_l = (isc_t_ > 0.0) ? safe_exp(v2 / nc_vt) : 0.0;
+  const double ebe_l = (ise_t_ > 0.0) ? e[2] : 0.0;
+  const double ebc_l = (isc_t_ > 0.0) ? e[3] : 0.0;
   ev.ibe = itf / model_.bf + ise_t_ * (ebe_l - 1.0);
   ev.gbe = is_t_ * e1 / (nf_vt * model_.bf) +
            (ise_t_ > 0.0 ? ise_t_ * ebe_l / ne_vt : 0.0) + 1e-15;
@@ -146,7 +164,7 @@ Bjt::Eval Bjt::evaluate(double v1, double v2) const {
            (isc_t_ > 0.0 ? isc_t_ * ebc_l / nc_vt : 0.0) + 1e-15;
 
   if (iss_t_ > 0.0) {
-    const double es = safe_exp(v2 / ns_vt);
+    const double es = e[4];
     ev.isub = iss_t_ * (es - 1.0);
     ev.gsub = iss_t_ * es / ns_vt;
   } else {
@@ -155,7 +173,7 @@ Bjt::Eval Bjt::evaluate(double v1, double v2) const {
   }
   if (iss_e_t_ > 0.0) {
     const double nse_vt = model_.ns_e * vt_;
-    const double es = safe_exp(v1 / nse_vt);
+    const double es = e[5];
     ev.isub_e = iss_e_t_ * (es - 1.0);
     ev.gsub_e = iss_e_t_ * es / nse_vt;
   } else {
@@ -193,9 +211,34 @@ void Bjt::stamp(Stamper& stamper, const Unknowns& prev) {
   v2 = pnjlim(v2, v2_state_, model_.nr * vt_, vcrit_bc_);
   v1_state_ = v1;
   v2_state_ = v2;
+  stamp_core(stamper, v1, v2, evaluate(v1, v2));
+}
 
-  const Eval ev = evaluate(v1, v2);
+void Bjt::collect_exp_args(const Unknowns& prev, double* out) {
+  // stamp()'s prologue verbatim: limit the junction voltages and commit
+  // the limiting state, then emit the exponent arguments the batched
+  // safe_exp sweep will evaluate. stamp_with_exps picks the limited
+  // voltages back up from v1_state_/v2_state_ -- re-limiting there would
+  // not be idempotent once pnjlim has engaged.
+  const double s = sign_;
+  double v1 = s * (prev.node_voltage(b_) - prev.node_voltage(e_));
+  double v2 = s * (prev.node_voltage(b_) - prev.node_voltage(c_));
+  v1 = pnjlim(v1, v1_state_, model_.nf * vt_, vcrit_be_);
+  v2 = pnjlim(v2, v2_state_, model_.nr * vt_, vcrit_bc_);
+  v1_state_ = v1;
+  v2_state_ = v2;
+  exp_args(v1, v2, out);
+}
 
+void Bjt::stamp_with_exps(Stamper& stamper, const Unknowns& /*prev*/,
+                          const double* exps) {
+  const double v1 = v1_state_;
+  const double v2 = v2_state_;
+  stamp_core(stamper, v1, v2, evaluate_from_exps(v1, v2, exps));
+}
+
+void Bjt::stamp_core(Stamper& stamper, double v1, double v2, const Eval& ev) {
+  const double s = sign_;
   // Currents leaving each node (type frame handled by s; s^2 = 1 cancels
   // in all Jacobian entries):
   //   Jc = s (it - ibc + isub)

@@ -56,7 +56,21 @@ void Diode::stamp(Stamper& stamper, const Unknowns& prev) {
   double v = prev.node_voltage(anode_) - prev.node_voltage(cathode_);
   v = pnjlim(v, v_state_, vt_, vcrit_);
   v_state_ = v;
-  const double e = safe_exp(v / vt_);
+  stamp_with_exps(stamper, prev, nullptr);
+}
+
+void Diode::collect_exp_args(const Unknowns& prev, double* out) {
+  // stamp()'s limiting prologue; stamp_with_exps reads v_state_ back.
+  double v = prev.node_voltage(anode_) - prev.node_voltage(cathode_);
+  v = pnjlim(v, v_state_, vt_, vcrit_);
+  v_state_ = v;
+  out[0] = v / vt_;
+}
+
+void Diode::stamp_with_exps(Stamper& stamper, const Unknowns& /*prev*/,
+                            const double* exps) {
+  const double v = v_state_;
+  const double e = exps ? exps[0] : safe_exp(v / vt_);
   const double i = is_t_ * (e - 1.0);
   const double g = conductance_from_exp(e);
   stamper.stamp_companion(anode_, cathode_, g, i - g * v);

@@ -3,14 +3,36 @@
 #include <algorithm>
 #include <cmath>
 
+#include "icvbe/common/simd.hpp"
+
 namespace icvbe::spice {
 
 double safe_exp(double x, double cap) {
-  if (x > cap) {
-    // First-order continuation keeps the derivative continuous at the cap.
-    return std::exp(cap) * (1.0 + (x - cap));
+  // vexp rather than std::exp so the per-die fallback path and the
+  // lane-batched stamping (safe_exp_many) run the exact same exp
+  // implementation and stay bit-identical; std::exp's rounding differs
+  // between libms. The clamped-argument form mirrors the pack kernel's
+  // select sequence, NaN included (x > cap is false on NaN, so NaN flows
+  // through vexp and propagates).
+  const double e = common::vexp(x > cap ? cap : x);
+  return x > cap ? e * (1.0 + (x - cap)) : e;
+}
+
+void safe_exp_many(const double* x, double* out, std::size_t n, double cap) {
+  using P = common::DPack;
+  constexpr std::size_t W = common::kPackWidth;
+  const P capv = P::broadcast(cap);
+  const P one = P::broadcast(1.0);
+  std::size_t i = 0;
+  for (; i + W <= n; i += W) {
+    const P xv = P::load(x + i);
+    const P e = common::vexp(P::select_gt(xv, capv, capv, xv));
+    // First-order continuation above the cap, as in safe_exp; the linear
+    // branch is computed for every lane and discarded where x <= cap.
+    const P lin = e * (one + (xv - capv));
+    P::select_gt(xv, capv, lin, e).store(out + i);
   }
-  return std::exp(x);
+  for (; i < n; ++i) out[i] = safe_exp(x[i], cap);
 }
 
 double pnjlim(double vnew, double vold, double vt, double vcrit) {

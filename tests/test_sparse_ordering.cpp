@@ -18,6 +18,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <cstdlib>
 #include <cstring>
 #include <numeric>
@@ -28,6 +29,7 @@
 #include "icvbe/linalg/matrix.hpp"
 #include "icvbe/linalg/solve.hpp"
 #include "icvbe/linalg/sparse.hpp"
+#include "icvbe/testing/alloc_hook.hpp"
 
 namespace icvbe::linalg {
 namespace {
@@ -455,6 +457,101 @@ TEST(SparseOrderingHarness, BatchLanesBitIdenticalUnderNewPath) {
       }
     }
     EXPECT_EQ(f.analysis_count(), 1) << "lane refactors must reuse analysis";
+  }
+}
+
+TEST(SparseOrderingHarness, BatchSimdKernelBitIdenticalToScalarLaneKernel) {
+  // A/B the two runtime batch kernels: the pack-vectorized lane kernel
+  // (set_batch_simd(true), the default; K = 4/8 hit the compile-time-K
+  // specializations, K = 3 the generic pack path) against the scalar
+  // per-lane reference kernel (set_batch_simd(false), the PR-9 loops).
+  // The contract is bitwise equality of the ok masks and every solution
+  // bit, over the same pattern families the main harness uses. The
+  // steady-state calls must also stay allocation-free (this binary links
+  // icvbe_alloc_hook).
+  std::mt19937_64 rng(20260808u ^ 0x51u);
+  for (int rep = 0; rep < 8; ++rep) {
+    TestSystem sys;
+    switch (rep % 4) {
+      case 0:
+        sys = make_mesh(rng, 5 + rep, /*with_aux=*/true);
+        break;
+      case 1:
+        sys = make_random_mna(rng, 30 + 10 * rep, 2);
+        break;
+      case 2:
+        sys = make_ladder(rng, 20 + 10 * rep);
+        break;
+      default:
+        sys = make_near_singular(rng, 5 + rep % 3);
+        break;
+    }
+    const std::size_t n = sys.n;
+    for (std::size_t K : {std::size_t{3}, std::size_t{4}, std::size_t{8}}) {
+      SCOPED_TRACE("rep " + std::to_string(rep) + " K = " + std::to_string(K));
+
+      SparseOptions o;  // force supernode coverage: the tiled kernel's
+      o.supernode_min = 8;  // trailing update is the riskiest code path
+      o.supernode_density = 0.3;
+
+      SparseLuFactorization fs;  // SIMD lane kernel (default on)
+      SparseLuFactorization fr;  // scalar reference lane kernel
+      fr.set_batch_simd(false);
+      fs.set_options(o);
+      fr.set_options(o);
+      fs.refactor(sys.sparse);
+      fr.refactor(sys.sparse);
+
+      SparseValueBatch bs;
+      SparseValueBatch br;
+      bs.bind(sys.sparse, K);
+      br.bind(sys.sparse, K);
+      std::vector<SparseMatrix> lanes;
+      for (std::size_t l = 0; l < K; ++l) {
+        lanes.push_back(sys.sparse);
+        lanes[l].add(0, 0, 1e-3 * static_cast<double>(l));
+        bs.load_lane(l, lanes[l]);
+        br.load_lane(l, lanes[l]);
+      }
+      std::vector<unsigned char> ok_s(K, 1);
+      std::vector<unsigned char> ok_r(K, 1);
+      fs.refactor_batch(bs, ok_s);
+      fr.refactor_batch(br, ok_r);
+      ASSERT_EQ(ok_s, ok_r) << "pivot screening diverged between kernels";
+
+      const Vector b = random_rhs(rng, n);
+      std::vector<double> rhs_s(n * K);
+      for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t l = 0; l < K; ++l) rhs_s[i * K + l] = b[i];
+      }
+      std::vector<double> rhs_r = rhs_s;
+      fs.solve_batch(rhs_s);
+      fr.solve_batch(rhs_r);
+      bool any_ok = false;
+      for (std::size_t l = 0; l < K; ++l) {
+        if (!ok_s[l]) continue;
+        any_ok = true;
+        for (std::size_t i = 0; i < n; ++i) {
+          ASSERT_EQ(std::memcmp(&rhs_s[i * K + l], &rhs_r[i * K + l],
+                                sizeof(double)),
+                    0)
+              << "lane " << l << " row " << i
+              << " SIMD kernel not bit-identical to scalar lane kernel";
+        }
+      }
+      if (rep % 4 != 3) ASSERT_TRUE(any_ok);
+
+      // Steady state: re-running the batch at the same shape allocates
+      // nothing on either kernel path.
+      for (std::size_t l = 0; l < K; ++l) bs.load_lane(l, lanes[l]);
+      std::fill(ok_s.begin(), ok_s.end(), 1);
+      const std::uint64_t a0 = testing::allocation_count();
+      fs.refactor_batch(bs, ok_s);
+      fs.solve_batch(rhs_s);
+      const std::uint64_t a1 = testing::allocation_count();
+      EXPECT_EQ(a1 - a0, 0u)
+          << "batched refactor/solve steady state allocated on the heap";
+    }
   }
 }
 

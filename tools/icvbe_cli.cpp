@@ -84,17 +84,24 @@ void print_usage(std::FILE* out) {
                "  ac <deck.cir> [threads] [--sparse[=auto|on|off]]\n"
                "      executes the deck's .AC/.PROBE small-signal analysis\n"
                "      about the DC operating point, CSV out\n"
-               "  run <deck.cir> [threads] [--sparse[=auto|on|off]]\n"
+               "  run <deck.cir> [threads] [--sparse[=auto|on|off]] "
+               "[--lanes=K]\n"
                "      --sparse picks the linear engine: auto (default) "
                "switches to the\n"
                "      CSR solver above an MNA-unknown-count threshold "
                "(nodes + source\n"
                "      branch currents), on forces it, off forces the dense "
                "workspace solver\n"
+               "      --lanes=K batches .STEP corner fanout K rows at a "
+               "time through the\n"
+               "      lane-batched sparse solver (results bit-identical to "
+               "--lanes=1)\n"
                "  sweep <deck.cir> <vsrc> <from> <to> <points> <node>\n"
                "  tempsweep <deck.cir> <fromC> <toC> <points> <node>\n"
                "  extract [sample-index]\n"
-               "  lot [samples] [threads]\n"
+               "  lot [samples] [threads] [--lanes=K]\n"
+               "      --lanes=K carries K dies per LU refactor/solve "
+               "(bit-identical)\n"
                "  table1\n"
                "  truthcard\n"
                "  serve [--socket <path>|--port <p>] [--workers N]\n"
@@ -205,10 +212,21 @@ struct DeckArgs {
   std::vector<std::string> positional;
   spice::SparseMode sparse = spice::SparseMode::kAuto;
   std::optional<spice::IntegrationMethod> method;
+  unsigned lanes = 0;
 };
 
+/// Parse a `--lanes=K` value: the lane count of the batched solver paths
+/// (.STEP fanout for `run`, dies-per-refactor for `lot`).
+unsigned parse_lanes_value(const std::string& text) {
+  const int lanes = parse_int_arg("--lanes", text);
+  if (lanes < 1 || lanes > 1024) {
+    throw Error("--lanes: want 1..1024, got " + text);
+  }
+  return static_cast<unsigned>(lanes);
+}
+
 DeckArgs scan_deck_args(const std::vector<std::string>& args,
-                        bool allow_method) {
+                        bool allow_method, bool allow_lanes = false) {
   DeckArgs out;
   for (std::size_t i = 1; i < args.size(); ++i) {
     if (args[i] == "--sparse") {
@@ -216,6 +234,9 @@ DeckArgs scan_deck_args(const std::vector<std::string>& args,
     } else if (args[i].rfind("--sparse=", 0) == 0) {
       out.sparse = parse_sparse_mode(
           args[i].substr(std::string("--sparse=").size()));
+    } else if (allow_lanes && args[i].rfind("--lanes=", 0) == 0) {
+      out.lanes = parse_lanes_value(
+          args[i].substr(std::string("--lanes=").size()));
     } else if (allow_method && args[i].rfind("--method=", 0) == 0) {
       const std::string m = args[i].substr(std::string("--method=").size());
       if (m == "be" || m == "euler") {
@@ -239,7 +260,8 @@ DeckArgs scan_deck_args(const std::vector<std::string>& args,
 /// warm session, CSV to stdout.
 int run_deck_analysis(const std::string& path, spice::AnalysisKind kind,
                       unsigned threads, spice::SparseMode sparse_mode,
-                      std::optional<spice::IntegrationMethod> method) {
+                      std::optional<spice::IntegrationMethod> method,
+                      unsigned lanes = 0) {
   auto parsed = load_deck(path);
   const spice::AnalysisPlan* deck_plan = parsed.find_plan(kind);
   if (deck_plan == nullptr) {
@@ -251,6 +273,7 @@ int run_deck_analysis(const std::string& path, spice::AnalysisKind kind,
   c.set_temperature(to_kelvin(parsed.temperature_celsius));
   spice::AnalysisPlan plan = *deck_plan;
   plan.threads = threads;
+  if (lanes > 0) plan.lanes = lanes;
   if (method.has_value()) plan.transient->method = *method;
   spice::NewtonOptions session_options;
   session_options.sparse = sparse_mode;
@@ -386,11 +409,16 @@ int cmd_extract(int sample_index) {
   return 0;
 }
 
-int cmd_lot(int samples, unsigned threads) {
+int cmd_lot(int samples, unsigned threads, unsigned lanes) {
   lab::SiliconLot lot;
   lab::LotCampaignConfig cfg;
   cfg.samples = samples;
   cfg.threads = threads;
+  cfg.lanes = lanes;
+  // The batch engine is sparse; --lanes forces the per-die path (K <= 1)
+  // onto the same engine, which is what makes --lanes=1 the bit-identical
+  // scalar reference for any --lanes=K.
+  if (lanes > 0) cfg.lab.newton.sparse = spice::SparseMode::kSparse;
   const lab::LotCampaign campaign(lot, cfg);
   const auto dies = campaign.run();
   const lab::LotSummary s = lab::LotCampaign::summarise(dies);
@@ -447,7 +475,9 @@ int dispatch(const std::vector<std::string>& args) {
     return cmd_simulate(args[1]);
   }
   if (cmd == "run" || cmd == "ac") {
-    const DeckArgs deck = scan_deck_args(args, /*allow_method=*/false);
+    const DeckArgs deck =
+        scan_deck_args(args, /*allow_method=*/false,
+                       /*allow_lanes=*/cmd == "run");
     if (deck.positional.size() != 1 && deck.positional.size() != 2) {
       throw UsageError(cmd + ": want <deck.cir> [threads]");
     }
@@ -459,7 +489,7 @@ int dispatch(const std::vector<std::string>& args) {
                              cmd == "run" ? spice::AnalysisKind::kDcSweep
                                           : spice::AnalysisKind::kAc,
                              static_cast<unsigned>(threads), deck.sparse,
-                             std::nullopt);
+                             std::nullopt, deck.lanes);
   }
   if (cmd == "tran") {
     const DeckArgs deck = scan_deck_args(args, /*allow_method=*/true);
@@ -494,14 +524,28 @@ int dispatch(const std::vector<std::string>& args) {
         args.size() > 1 ? parse_int_arg("sample-index", args[1]) : 1);
   }
   if (cmd == "lot") {
-    if (args.size() > 3) throw UsageError("lot: want [samples] [threads]");
+    std::vector<std::string> positional;
+    unsigned lanes = 0;
+    for (std::size_t i = 1; i < args.size(); ++i) {
+      if (args[i].rfind("--lanes=", 0) == 0) {
+        lanes = parse_lanes_value(
+            args[i].substr(std::string("--lanes=").size()));
+      } else if (args[i].rfind("--", 0) == 0) {
+        throw UsageError("lot: unknown option '" + args[i] + "'");
+      } else {
+        positional.push_back(args[i]);
+      }
+    }
+    if (positional.size() > 2) {
+      throw UsageError("lot: want [samples] [threads] [--lanes=K]");
+    }
     const int samples =
-        args.size() > 1 ? parse_int_arg("samples", args[1]) : 25;
+        !positional.empty() ? parse_int_arg("samples", positional[0]) : 25;
     if (samples < 1) throw Error("samples: must be >= 1");
     const int threads =
-        args.size() > 2 ? parse_int_arg("threads", args[2]) : 0;
+        positional.size() > 1 ? parse_int_arg("threads", positional[1]) : 0;
     if (threads < 0) throw Error("threads: must be >= 0");
-    return cmd_lot(samples, static_cast<unsigned>(threads));
+    return cmd_lot(samples, static_cast<unsigned>(threads), lanes);
   }
   if (cmd == "table1") return cmd_table1();
   if (cmd == "truthcard") return cmd_truthcard();
